@@ -1,0 +1,237 @@
+// Command lht-bench regenerates the paper's evaluation figures (section
+// 9) at configurable scale and prints each as an aligned table (or CSV).
+//
+// Reduced-scale smoke run (seconds):
+//
+//	lht-bench -experiments all
+//
+// Paper-scale run (2^20 records, 100 datasets per point; minutes):
+//
+//	lht-bench -experiments all -paper
+//
+// Individual figures: -experiments fig6a,fig7,fig9a ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"lht/internal/bench"
+	"lht/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lht-bench:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	opts     bench.Options
+	minExp   int
+	maxExp   int
+	span     float64
+	csv      bool
+	selected map[string]bool
+}
+
+// experimentNames lists every figure in presentation order, followed by
+// the ablation studies (a1: lookup strategy, a2: merge hysteresis, a3:
+// theta sweep).
+var experimentNames = []string{"fig6a", "fig6b", "fig7", "fig8a", "fig8b", "fig9a", "fig9b", "eq3", "thm3", "a1", "a2", "a3", "s1", "rw1", "x1"}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("lht-bench", flag.ContinueOnError)
+	var (
+		experiments = fs.String("experiments", "all", "comma-separated figures to run ("+strings.Join(experimentNames, ",")+") or 'all'")
+		theta       = fs.Int("theta", 100, "theta_split, the leaf bucket capacity")
+		depth       = fs.Int("depth", 20, "D, the maximum tree depth")
+		trials      = fs.Int("trials", 10, "independently generated datasets per data point")
+		queries     = fs.Int("queries", 300, "queries per trial for query experiments")
+		seed        = fs.Int64("seed", 1, "base random seed")
+		minExp      = fs.Int("minexp", 10, "smallest data size as a power of two")
+		maxExp      = fs.Int("maxexp", 16, "largest data size as a power of two")
+		span        = fs.Float64("span", 0.1, "range span for the vs-size experiments")
+		csv         = fs.Bool("csv", false, "emit CSV instead of tables")
+		paper       = fs.Bool("paper", false, "paper scale: 100 trials, 1000 queries, sizes up to 2^20")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := config{
+		opts: bench.Options{
+			Theta: *theta, Depth: *depth, Trials: *trials, Queries: *queries, Seed: *seed,
+		},
+		minExp: *minExp, maxExp: *maxExp, span: *span, csv: *csv,
+		selected: map[string]bool{},
+	}
+	if *paper {
+		cfg.opts.Trials = 100
+		cfg.opts.Queries = 1000
+		cfg.maxExp = 20
+	}
+	if cfg.minExp < 4 || cfg.maxExp > 24 || cfg.minExp > cfg.maxExp {
+		return fmt.Errorf("invalid size range 2^%d..2^%d", cfg.minExp, cfg.maxExp)
+	}
+
+	if *experiments == "all" {
+		for _, n := range experimentNames {
+			cfg.selected[n] = true
+		}
+	} else {
+		for _, n := range strings.Split(*experiments, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			if !contains(experimentNames, n) {
+				return fmt.Errorf("unknown experiment %q (have %s)", n, strings.Join(experimentNames, ", "))
+			}
+			cfg.selected[n] = true
+		}
+	}
+	if len(cfg.selected) == 0 {
+		return fmt.Errorf("no experiments selected")
+	}
+	return runExperiments(cfg, out)
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}
+
+func runExperiments(cfg config, out io.Writer) error {
+	emit := func(results ...bench.Result) {
+		for _, r := range results {
+			if cfg.csv {
+				fmt.Fprintf(out, "# %s: %s\n%s\n", r.Name, r.Title, bench.FormatCSV(r))
+			} else {
+				fmt.Fprintln(out, bench.FormatTable(r))
+			}
+		}
+	}
+	both := []workload.Dist{workload.Uniform, workload.Gaussian}
+	sizes := bench.Sizes(cfg.minExp, cfg.maxExp)
+
+	if cfg.selected["fig6a"] {
+		res, err := bench.RunAvgAlphaVsSize(cfg.opts, both, []int{40, 160}, sizes)
+		if err != nil {
+			return err
+		}
+		emit(res)
+	}
+	if cfg.selected["fig6b"] {
+		res, err := bench.RunAvgAlphaVsTheta(cfg.opts, both,
+			[]int{20, 40, 80, 160, 320}, sizes[len(sizes)-1])
+		if err != nil {
+			return err
+		}
+		emit(res)
+	}
+	if cfg.selected["fig7"] {
+		moved, lookups, err := bench.RunMaintenance(cfg.opts, both, sizes)
+		if err != nil {
+			return err
+		}
+		emit(moved, lookups)
+	}
+	if cfg.selected["fig8a"] {
+		res, err := bench.RunLookup(cfg.opts, workload.Uniform, sizes)
+		if err != nil {
+			return err
+		}
+		res.Name = "Fig 8a"
+		emit(res)
+	}
+	if cfg.selected["fig8b"] {
+		res, err := bench.RunLookup(cfg.opts, workload.Gaussian, sizes)
+		if err != nil {
+			return err
+		}
+		res.Name = "Fig 8b"
+		emit(res)
+	}
+	if cfg.selected["fig9a"] {
+		bw, lat, err := bench.RunRangeVsSize(cfg.opts, workload.Uniform, sizes, cfg.span)
+		if err != nil {
+			return err
+		}
+		emit(bw, lat)
+	}
+	if cfg.selected["fig9b"] {
+		bw, lat, err := bench.RunRangeVsSpan(cfg.opts, workload.Uniform, sizes[len(sizes)-1],
+			[]float64{0.025, 0.05, 0.1, 0.2, 0.4})
+		if err != nil {
+			return err
+		}
+		emit(bw, lat)
+	}
+	if cfg.selected["eq3"] {
+		res, err := bench.RunSavingRatio(cfg.opts, workload.Uniform, sizes[len(sizes)-1],
+			[]float64{0, 0.5, 1, 2, 4, 8, 16, 32, 64, 128, 256})
+		if err != nil {
+			return err
+		}
+		emit(res)
+	}
+	if cfg.selected["thm3"] {
+		res, err := bench.RunMinMax(cfg.opts, workload.Uniform, sizes)
+		if err != nil {
+			return err
+		}
+		emit(res)
+	}
+	if cfg.selected["a1"] {
+		res, err := bench.RunLookupAblation(cfg.opts, workload.Uniform, sizes)
+		if err != nil {
+			return err
+		}
+		emit(res)
+	}
+	if cfg.selected["a2"] {
+		res, err := bench.RunMergeAblation(cfg.opts, workload.Uniform, sizes[len(sizes)-1], 4*sizes[len(sizes)-1])
+		if err != nil {
+			return err
+		}
+		emit(res)
+	}
+	if cfg.selected["a3"] {
+		res, err := bench.RunThetaSweep(cfg.opts, workload.Uniform, sizes[len(sizes)-1],
+			[]int{25, 50, 100, 200, 400}, cfg.span)
+		if err != nil {
+			return err
+		}
+		emit(res)
+	}
+	if cfg.selected["s1"] {
+		res, err := bench.RunHopsVsNodes(cfg.opts, []int{4, 8, 16, 32, 64, 128})
+		if err != nil {
+			return err
+		}
+		emit(res)
+	}
+	if cfg.selected["rw1"] {
+		results, err := bench.RunRelatedWork(cfg.opts, workload.Uniform, sizes[len(sizes)-1], cfg.span)
+		if err != nil {
+			return err
+		}
+		emit(results...)
+	}
+	if cfg.selected["x1"] {
+		res, err := bench.RunSkewRobustness(cfg.opts, sizes)
+		if err != nil {
+			return err
+		}
+		emit(res)
+	}
+	return nil
+}

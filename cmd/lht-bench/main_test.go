@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runBench(t *testing.T, args ...string) string {
+	t.Helper()
+	var out strings.Builder
+	base := []string{"-trials", "1", "-queries", "20", "-minexp", "8", "-maxexp", "10"}
+	if err := run(append(base, args...), &out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return out.String()
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	out := runBench(t, "-experiments", "thm3")
+	for _, want := range []string{"Thm 3", "min query", "max query", "2^8", "2^10"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep")
+	}
+	out := runBench(t, "-experiments", "all")
+	for _, want := range []string{"Fig 6a", "Fig 6b", "Fig 7a", "Fig 7b", "Fig 8a", "Fig 8b",
+		"Fig 9a", "Fig 9b", "Fig 10a", "Fig 10b", "Eq 3", "Thm 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	out := runBench(t, "-experiments", "thm3", "-csv")
+	if !strings.Contains(out, `x,"min query","max query"`) {
+		t.Errorf("CSV header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "256,1,1") {
+		t.Errorf("CSV row missing:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-experiments", "nope"}, &out); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+	if err := run([]string{"-experiments", ""}, &out); err == nil {
+		t.Error("empty selection should fail")
+	}
+	if err := run([]string{"-minexp", "12", "-maxexp", "8"}, &out); err == nil {
+		t.Error("inverted size range should fail")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Error("bad flag should fail")
+	}
+}

@@ -1,0 +1,204 @@
+// Command lht-cli operates an LHT index over a cluster of lht-node
+// processes. Every invocation connects to the member list, runs one
+// command against the shared index, and prints the result together with
+// the DHT-lookup cost of the operation.
+//
+//	lht-cli -nodes host1:7001,host2:7001 put 0.42 "some value"
+//	lht-cli -nodes ... get 0.42
+//	lht-cli -nodes ... del 0.42
+//	lht-cli -nodes ... range 0.2 0.6
+//	lht-cli -nodes ... scan 0.5 20
+//	lht-cli -nodes ... min | max | count
+//	lht-cli -nodes ... fill 10000        # seeded uniform bulk load
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"lht"
+	"lht/internal/tcpnet"
+	"lht/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lht-cli:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("lht-cli", flag.ContinueOnError)
+	var (
+		nodes = fs.String("nodes", "127.0.0.1:7001", "comma-separated lht-node addresses")
+		theta = fs.Int("theta", 100, "theta_split used by the index")
+		depth = fs.Int("depth", 20, "maximum tree depth D")
+		seed  = fs.Int64("seed", 1, "seed for the fill command")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cmd := fs.Args()
+	if len(cmd) == 0 {
+		return fmt.Errorf("missing command (put|get|del|range|scan|min|max|count|fill)")
+	}
+
+	lht.RegisterGobTypes()
+	client, err := tcpnet.Dial(strings.Split(*nodes, ","))
+	if err != nil {
+		return err
+	}
+	defer func() { _ = client.Close() }()
+
+	ix, err := lht.New(client, lht.Config{SplitThreshold: *theta, MergeThreshold: *theta / 2, Depth: *depth})
+	if err != nil {
+		return err
+	}
+	return dispatch(ix, cmd, *seed, out)
+}
+
+func dispatch(ix *lht.Index, cmd []string, seed int64, out io.Writer) error {
+	parseKey := func(s string) (float64, error) {
+		k, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return 0, fmt.Errorf("key %q: %w", s, err)
+		}
+		return k, nil
+	}
+	need := func(n int) error {
+		if len(cmd)-1 != n {
+			return fmt.Errorf("%s takes %d argument(s)", cmd[0], n)
+		}
+		return nil
+	}
+
+	switch cmd[0] {
+	case "put":
+		if err := need(2); err != nil {
+			return err
+		}
+		k, err := parseKey(cmd[1])
+		if err != nil {
+			return err
+		}
+		cost, err := ix.Insert(lht.Record{Key: k, Value: []byte(cmd[2])})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "ok (%d DHT-lookups)\n", cost.Lookups)
+	case "get":
+		if err := need(1); err != nil {
+			return err
+		}
+		k, err := parseKey(cmd[1])
+		if err != nil {
+			return err
+		}
+		rec, cost, err := ix.Get(k)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s (%d DHT-lookups)\n", rec.Value, cost.Lookups)
+	case "del":
+		if err := need(1); err != nil {
+			return err
+		}
+		k, err := parseKey(cmd[1])
+		if err != nil {
+			return err
+		}
+		cost, err := ix.Delete(k)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "ok (%d DHT-lookups)\n", cost.Lookups)
+	case "range":
+		if err := need(2); err != nil {
+			return err
+		}
+		lo, err := parseKey(cmd[1])
+		if err != nil {
+			return err
+		}
+		hi, err := parseKey(cmd[2])
+		if err != nil {
+			return err
+		}
+		recs, cost, err := ix.Range(lo, hi)
+		if err != nil {
+			return err
+		}
+		for _, r := range recs {
+			fmt.Fprintf(out, "%-12g %s\n", r.Key, r.Value)
+		}
+		fmt.Fprintf(out, "%d records (%d DHT-lookups, %d parallel steps)\n",
+			len(recs), cost.Lookups, cost.Steps)
+	case "min", "max":
+		if err := need(0); err != nil {
+			return err
+		}
+		query := ix.Min
+		if cmd[0] == "max" {
+			query = ix.Max
+		}
+		rec, cost, err := query()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%g %s (%d DHT-lookups)\n", rec.Key, rec.Value, cost.Lookups)
+	case "scan":
+		if err := need(2); err != nil {
+			return err
+		}
+		from, err := parseKey(cmd[1])
+		if err != nil {
+			return err
+		}
+		limit, err := strconv.Atoi(cmd[2])
+		if err != nil || limit < 1 {
+			return fmt.Errorf("scan limit %q", cmd[2])
+		}
+		recs, cost, err := ix.Scan(from, limit)
+		if err != nil {
+			return err
+		}
+		for _, r := range recs {
+			fmt.Fprintf(out, "%-12g %s\n", r.Key, r.Value)
+		}
+		fmt.Fprintf(out, "%d records (%d DHT-lookups)\n", len(recs), cost.Lookups)
+	case "count":
+		if err := need(0); err != nil {
+			return err
+		}
+		n, err := ix.Count()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%d records\n", n)
+	case "fill":
+		if err := need(1); err != nil {
+			return err
+		}
+		n, err := strconv.Atoi(cmd[1])
+		if err != nil || n < 1 {
+			return fmt.Errorf("fill count %q", cmd[1])
+		}
+		gen := workload.NewGenerator(workload.Uniform, seed)
+		for _, r := range gen.Records(n) {
+			if _, err := ix.Insert(r); err != nil {
+				return err
+			}
+		}
+		s := ix.Metrics()
+		fmt.Fprintf(out, "inserted %d records: %d DHT-lookups, %d splits, %d record slots moved\n",
+			n, s.Lookups, s.Splits, s.MovedRecords)
+	default:
+		return fmt.Errorf("unknown command %q", cmd[0])
+	}
+	return nil
+}

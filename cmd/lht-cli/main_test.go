@@ -1,0 +1,118 @@
+package main
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"lht/internal/tcpnet"
+)
+
+// startNodes boots n in-process lht-node equivalents and returns their
+// addresses joined for the -nodes flag.
+func startNodes(t *testing.T, n int) string {
+	t.Helper()
+	addrs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := tcpnet.NewServer()
+		go func() { _ = srv.Serve(ln) }()
+		t.Cleanup(func() { _ = srv.Close() })
+		addrs = append(addrs, ln.Addr().String())
+	}
+	return strings.Join(addrs, ",")
+}
+
+func cli(t *testing.T, nodes string, args ...string) (string, error) {
+	t.Helper()
+	var out strings.Builder
+	err := run(append([]string{"-nodes", nodes, "-theta", "8"}, args...), &out)
+	return out.String(), err
+}
+
+func TestCLIWorkflow(t *testing.T) {
+	nodes := startNodes(t, 3)
+
+	out, err := cli(t, nodes, "put", "0.42", "hello world")
+	if err != nil || !strings.Contains(out, "ok (") {
+		t.Fatalf("put: %q, %v", out, err)
+	}
+	out, err = cli(t, nodes, "get", "0.42")
+	if err != nil || !strings.Contains(out, "hello world") {
+		t.Fatalf("get: %q, %v", out, err)
+	}
+	out, err = cli(t, nodes, "fill", "500")
+	if err != nil || !strings.Contains(out, "inserted 500 records") {
+		t.Fatalf("fill: %q, %v", out, err)
+	}
+	out, err = cli(t, nodes, "count")
+	if err != nil || !strings.Contains(out, "501 records") {
+		t.Fatalf("count: %q, %v", out, err)
+	}
+	out, err = cli(t, nodes, "range", "0.4", "0.45")
+	if err != nil || !strings.Contains(out, "DHT-lookups") {
+		t.Fatalf("range: %q, %v", out, err)
+	}
+	if !strings.Contains(out, "hello world") {
+		t.Fatalf("range should include the put record: %q", out)
+	}
+	out, err = cli(t, nodes, "min")
+	if err != nil || !strings.Contains(out, "DHT-lookups") {
+		t.Fatalf("min: %q, %v", out, err)
+	}
+	out, err = cli(t, nodes, "max")
+	if err != nil || out == "" {
+		t.Fatalf("max: %q, %v", out, err)
+	}
+	if _, err = cli(t, nodes, "del", "0.42"); err != nil {
+		t.Fatalf("del: %v", err)
+	}
+	if _, err = cli(t, nodes, "get", "0.42"); err == nil {
+		t.Fatal("get after del should fail")
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	nodes := startNodes(t, 1)
+	cases := [][]string{
+		{},                  // missing command
+		{"put", "0.5"},      // wrong arity
+		{"put", "abc", "v"}, // bad key
+		{"range", "0.5"},    // wrong arity
+		{"fill", "-3"},      // bad count
+		{"frobnicate"},      // unknown command
+		{"get", "1.5"},      // key out of domain
+	}
+	for _, args := range cases {
+		if _, err := cli(t, nodes, args...); err == nil {
+			t.Errorf("cli(%v) should fail", args)
+		}
+	}
+	var out strings.Builder
+	if err := run([]string{"-nodes", "127.0.0.1:1", "count"}, &out); err == nil {
+		t.Error("dead cluster should fail")
+	}
+}
+
+func TestCLIScan(t *testing.T) {
+	nodes := startNodes(t, 2)
+	if _, err := cli(t, nodes, "fill", "200"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := cli(t, nodes, "scan", "0.5", "10")
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if !strings.Contains(out, "10 records") {
+		t.Fatalf("scan output: %q", out)
+	}
+	if _, err := cli(t, nodes, "scan", "0.5"); err == nil {
+		t.Error("scan with wrong arity should fail")
+	}
+	if _, err := cli(t, nodes, "scan", "0.5", "x"); err == nil {
+		t.Error("scan with bad limit should fail")
+	}
+}

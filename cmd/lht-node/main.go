@@ -1,0 +1,69 @@
+// Command lht-node runs one storage node of an LHT cluster: a
+// gob-over-TCP key-value server (internal/tcpnet). Start a few on
+// different ports, then point lht-cli (or any program using
+// tcpnet.Dial + lht.New) at the full member list:
+//
+//	lht-node -listen 127.0.0.1:7001 -data /var/lib/lht/n1.snap &
+//	lht-node -listen 127.0.0.1:7002 -data /var/lib/lht/n2.snap &
+//	lht-node -listen 127.0.0.1:7003 -data /var/lib/lht/n3.snap &
+//	lht-cli -nodes 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 fill 10000
+//
+// With -data set, the node loads its shard at startup and snapshots it
+// on SIGINT/SIGTERM, so a restart preserves the index.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"lht/internal/tcpnet"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7001", "address to listen on")
+	data := flag.String("data", "", "snapshot file for the node's shard (empty = in-memory only)")
+	flag.Parse()
+	if err := run(*listen, *data); err != nil {
+		fmt.Fprintln(os.Stderr, "lht-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, data string) error {
+	srv := tcpnet.NewServer()
+	if data != "" {
+		if err := srv.LoadSnapshot(data); err != nil {
+			return err
+		}
+		log.Printf("loaded %d keys from %s", srv.Len(), data)
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		if data != "" {
+			if err := srv.SaveSnapshot(data); err != nil {
+				log.Printf("snapshot: %v", err)
+			} else {
+				log.Printf("snapshotted %d keys to %s", srv.Len(), data)
+			}
+		}
+		log.Printf("shutting down (%d keys stored)", srv.Len())
+		if err := srv.Close(); err != nil {
+			log.Printf("close: %v", err)
+		}
+	}()
+
+	log.Printf("lht-node serving on %s", ln.Addr())
+	return srv.Serve(ln)
+}

@@ -1,0 +1,147 @@
+package lht_test
+
+import (
+	"fmt"
+	"sort"
+
+	"lht"
+)
+
+// The smallest end-to-end program: build an index, insert, query.
+func Example() {
+	ix, err := lht.New(lht.NewLocalDHT(), lht.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	if _, err := ix.Insert(lht.Record{Key: 0.42, Value: []byte("answer")}); err != nil {
+		panic(err)
+	}
+	rec, _, err := ix.Get(0.42)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%g -> %s\n", rec.Key, rec.Value)
+	// Output: 0.42 -> answer
+}
+
+// Range queries return every record in [lo, hi) with near-optimal
+// DHT traffic (at most B+3 lookups for B result buckets).
+func ExampleIndex_Range() {
+	ix, err := lht.New(lht.NewLocalDHT(), lht.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	for _, k := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		if _, err := ix.Insert(lht.Record{Key: k}); err != nil {
+			panic(err)
+		}
+	}
+	recs, _, err := ix.Range(0.25, 0.75)
+	if err != nil {
+		panic(err)
+	}
+	keys := make([]float64, len(recs))
+	for i, r := range recs {
+		keys[i] = r.Key
+	}
+	sort.Float64s(keys)
+	fmt.Println(keys)
+	// Output: [0.3 0.5 0.7]
+}
+
+// Min and max queries cost exactly one DHT-lookup (Theorem 3): the
+// naming function pins the leftmost leaf to key "#" and the rightmost to
+// "#0".
+func ExampleIndex_Min() {
+	ix, err := lht.New(lht.NewLocalDHT(), lht.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	for _, k := range []float64{0.5, 0.2, 0.8} {
+		if _, err := ix.Insert(lht.Record{Key: k}); err != nil {
+			panic(err)
+		}
+	}
+	rec, cost, err := ix.Min()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("min %g in %d lookup(s)\n", rec.Key, cost.Lookups)
+	// Output: min 0.2 in 1 lookup(s)
+}
+
+// Scan pages through the index in key order; resume from the last key.
+func ExampleIndex_Scan() {
+	ix, err := lht.New(lht.NewLocalDHT(), lht.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	for i := 1; i <= 6; i++ {
+		if _, err := ix.Insert(lht.Record{Key: float64(i) / 10}); err != nil {
+			panic(err)
+		}
+	}
+	page, _, err := ix.Scan(0.25, 3)
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range page {
+		fmt.Println(r.Key)
+	}
+	// Output:
+	// 0.3
+	// 0.4
+	// 0.5
+}
+
+// The same index runs unchanged over a simulated Chord ring - the
+// over-DHT property the paper is about.
+func ExampleNewChordDHT() {
+	ring, err := lht.NewChordDHT(8, lht.ChordConfig{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	ix, err := lht.New(ring, lht.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	if _, err := ix.Insert(lht.Record{Key: 0.25, Value: []byte("on chord")}); err != nil {
+		panic(err)
+	}
+	rec, _, err := ix.Get(0.25)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s\n", rec.Value)
+	// Output: on chord
+}
+
+// GeoIndex layers two-dimensional rectangle search on top of the
+// one-dimensional index via a Z-order curve (the paper's footnote 1).
+func ExampleGeoIndex() {
+	g, err := lht.NewGeoIndex(lht.NewLocalDHT(), lht.GeoConfig{Bits: 10})
+	if err != nil {
+		panic(err)
+	}
+	pts := []lht.Point{
+		{X: 0.2, Y: 0.3, Value: []byte("a")},
+		{X: 0.25, Y: 0.35, Value: []byte("b")},
+		{X: 0.9, Y: 0.9, Value: []byte("far away")},
+	}
+	for _, p := range pts {
+		if _, err := g.Insert(p); err != nil {
+			panic(err)
+		}
+	}
+	hits, _, err := g.SearchRect(lht.Rect{X0: 0.1, X1: 0.4, Y0: 0.2, Y1: 0.5})
+	if err != nil {
+		panic(err)
+	}
+	names := make([]string, len(hits))
+	for i, p := range hits {
+		names[i] = string(p.Value)
+	}
+	sort.Strings(names)
+	fmt.Println(names)
+	// Output: [a b]
+}

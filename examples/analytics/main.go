@@ -1,0 +1,119 @@
+// Analytics demonstrates the bulk-construction and pagination features on
+// a DB-flavoured workload: bulk load 100k order amounts, page through a
+// report with Scan, and answer percentile-style questions with ranges -
+// while comparing the bulk load's cost against what incremental insertion
+// would have paid.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"lht"
+)
+
+// Orders range from $1 to $10,000; amounts are log-normally distributed
+// like real transaction data. keyOf maps dollars into [0, 1) by log scale
+// so the index partitions where the data lives.
+func keyOf(dollars float64) float64 {
+	return math.Log(dollars) / math.Log(10000)
+}
+
+func dollarsOf(key float64) float64 {
+	return math.Exp(key * math.Log(10000))
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ix, err := lht.New(lht.NewLocalDHT(), lht.DefaultConfig())
+	if err != nil {
+		return err
+	}
+
+	// Generate 100k orders.
+	rng := rand.New(rand.NewSource(17))
+	recs := make([]lht.Record, 0, 100_000)
+	for i := 0; i < 100_000; i++ {
+		dollars := math.Exp(rng.NormFloat64()*1.2 + 4) // log-normal, median ~$55
+		if dollars < 1 || dollars >= 10000 {
+			continue
+		}
+		recs = append(recs, lht.Record{
+			Key:   keyOf(dollars),
+			Value: []byte(fmt.Sprintf("order-%06d", i)),
+		})
+	}
+
+	cost, err := ix.BulkLoad(recs)
+	if err != nil {
+		return err
+	}
+	n, err := ix.Count()
+	if err != nil {
+		return err
+	}
+	leaves, err := ix.Leaves()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bulk-loaded %d orders into %d leaf buckets: %d DHT-lookups\n",
+		n, len(leaves), cost.Lookups)
+	fmt.Printf("(incremental insertion would have paid about %d lookups: ~4 per insert)\n\n", 4*n)
+
+	// Report: the 10 smallest orders, paged with Scan.
+	page, cost, err := ix.Scan(0, 10)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("10 smallest orders (%d DHT-lookups):\n", cost.Lookups)
+	for _, r := range page {
+		fmt.Printf("  $%8.2f  %s\n", dollarsOf(r.Key), r.Value)
+	}
+
+	// Percentile-style question: how many orders are above $1,000?
+	big, cost, err := ix.Range(keyOf(1000), 1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\norders above $1000: %d of %d (%.2f%%)  [%d DHT-lookups, %d steps]\n",
+		len(big), n, 100*float64(len(big))/float64(n), cost.Lookups, cost.Steps)
+
+	// Largest single order: one DHT-lookup.
+	top, cost, err := ix.Max()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("largest order: $%.2f (%s), found in %d DHT-lookup\n",
+		dollarsOf(top.Key), top.Value, cost.Lookups)
+
+	// Paged full scan: count pages a report generator would fetch.
+	var pages int
+	from := 0.0
+	const pageSize = 1000
+	for {
+		page, _, err := ix.Scan(from, pageSize)
+		if err != nil {
+			return err
+		}
+		if len(page) == 0 {
+			break
+		}
+		pages++
+		if len(page) < pageSize {
+			break
+		}
+		from = math.Nextafter(page[len(page)-1].Key, 2)
+		if from >= 1 {
+			break
+		}
+	}
+	fmt.Printf("full report: %d pages of %d records\n", pages, pageSize)
+	return nil
+}

@@ -1,0 +1,173 @@
+package lht
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"lht/internal/record"
+	"lht/internal/sfc"
+)
+
+// This file is the public face of the multi-dimensional extension the
+// paper's footnote 1 sketches: two-dimensional indexing on top of the
+// one-dimensional index via a Z-order space-filling curve.
+
+// Point is a two-dimensional item in the unit square [0,1) x [0,1).
+type Point struct {
+	X, Y  float64
+	Value []byte
+}
+
+// Rect is a half-open query rectangle [X0, X1) x [Y0, Y1).
+type Rect = sfc.Rect
+
+// GeoConfig tunes a GeoIndex.
+type GeoConfig struct {
+	// Index is the underlying one-dimensional index configuration. Its
+	// Depth should be at least 2*Bits to let the tree separate
+	// individual grid cells; NewGeoIndex raises it if needed.
+	Index Config
+	// Bits is the per-dimension grid resolution (1..26, default 16).
+	Bits int
+	// MaxSpans bounds the per-query curve decomposition; each span costs
+	// one LHT range query (default 32).
+	MaxSpans int
+}
+
+// GeoIndex is a two-dimensional index over a DHT: points are Z-order
+// encoded into LHT data keys, rectangle queries decompose into curve
+// spans served by LHT range queries and post-filtered exactly.
+//
+// Points are unique per grid cell: inserting a second point into the same
+// cell replaces the first (pick Bits high enough for the data density).
+type GeoIndex struct {
+	ix       *Index
+	curve    sfc.Curve
+	maxSpans int
+}
+
+// NewGeoIndex creates a two-dimensional index over the substrate.
+func NewGeoIndex(d DHT, cfg GeoConfig) (*GeoIndex, error) {
+	if cfg.Bits == 0 {
+		cfg.Bits = 16
+	}
+	if cfg.MaxSpans == 0 {
+		cfg.MaxSpans = 32
+	}
+	curve, err := sfc.NewCurve(cfg.Bits)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Index.SplitThreshold == 0 {
+		cfg.Index = DefaultConfig()
+	}
+	if cfg.Index.Depth < 2*cfg.Bits {
+		cfg.Index.Depth = 2 * cfg.Bits
+	}
+	ix, err := New(d, cfg.Index)
+	if err != nil {
+		return nil, err
+	}
+	return &GeoIndex{ix: ix, curve: curve, maxSpans: cfg.MaxSpans}, nil
+}
+
+// Index exposes the underlying one-dimensional index (for metrics and
+// inspection).
+func (g *GeoIndex) Index() *Index { return g.ix }
+
+// packPoint stores exact coordinates ahead of the payload so queries can
+// filter without precision loss.
+func packPoint(p Point) []byte {
+	buf := make([]byte, 16+len(p.Value))
+	binary.BigEndian.PutUint64(buf, math.Float64bits(p.X))
+	binary.BigEndian.PutUint64(buf[8:], math.Float64bits(p.Y))
+	copy(buf[16:], p.Value)
+	return buf
+}
+
+func unpackPoint(v []byte) (Point, error) {
+	if len(v) < 16 {
+		return Point{}, fmt.Errorf("lht: geo record payload too short (%d bytes)", len(v))
+	}
+	return Point{
+		X:     math.Float64frombits(binary.BigEndian.Uint64(v)),
+		Y:     math.Float64frombits(binary.BigEndian.Uint64(v[8:])),
+		Value: v[16:],
+	}, nil
+}
+
+// Insert adds a point (replacing any point in the same grid cell).
+func (g *GeoIndex) Insert(p Point) (Cost, error) {
+	key, err := g.curve.Encode(p.X, p.Y)
+	if err != nil {
+		return Cost{}, err
+	}
+	return g.ix.Insert(Record{Key: key, Value: packPoint(p)})
+}
+
+// Delete removes the point in the grid cell containing (x, y), or returns
+// ErrKeyNotFound.
+func (g *GeoIndex) Delete(x, y float64) (Cost, error) {
+	key, err := g.curve.Encode(x, y)
+	if err != nil {
+		return Cost{}, err
+	}
+	return g.ix.Delete(key)
+}
+
+// Get returns the point stored in the grid cell containing (x, y).
+func (g *GeoIndex) Get(x, y float64) (Point, Cost, error) {
+	key, err := g.curve.Encode(x, y)
+	if err != nil {
+		return Point{}, Cost{}, err
+	}
+	rec, cost, err := g.ix.Get(key)
+	if err != nil {
+		return Point{}, cost, err
+	}
+	p, err := unpackPoint(rec.Value)
+	return p, cost, err
+}
+
+// SearchRect returns every point inside the rectangle. The reported Cost
+// sums the underlying LHT range queries; Steps takes the maximum, as the
+// per-span queries are independent and proceed in parallel.
+func (g *GeoIndex) SearchRect(r Rect) ([]Point, Cost, error) {
+	spans, err := g.curve.CoverRect(r, g.maxSpans)
+	if err != nil {
+		return nil, Cost{}, err
+	}
+	var (
+		out   []Point
+		total Cost
+	)
+	for _, s := range spans {
+		recs, cost, err := g.ix.Range(s.Lo, s.Hi)
+		if err != nil {
+			return nil, total, err
+		}
+		total.Lookups += cost.Lookups
+		if cost.Steps > total.Steps {
+			total.Steps = cost.Steps
+		}
+		out, err = appendInRect(out, recs, r)
+		if err != nil {
+			return nil, total, err
+		}
+	}
+	return out, total, nil
+}
+
+func appendInRect(dst []Point, recs []record.Record, r Rect) ([]Point, error) {
+	for _, rec := range recs {
+		p, err := unpackPoint(rec.Value)
+		if err != nil {
+			return dst, err
+		}
+		if r.Contains(p.X, p.Y) {
+			dst = append(dst, p)
+		}
+	}
+	return dst, nil
+}

@@ -1,0 +1,106 @@
+package lht_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"lht"
+)
+
+func TestGeoIndexBasics(t *testing.T) {
+	g, err := lht.NewGeoIndex(lht.NewLocalDHT(), lht.GeoConfig{Bits: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Insert(lht.Point{X: 0.3, Y: 0.7, Value: []byte("library")}); err != nil {
+		t.Fatal(err)
+	}
+	p, cost, err := g.Get(0.3, 0.7)
+	if err != nil || string(p.Value) != "library" {
+		t.Fatalf("Get = %+v, %v", p, err)
+	}
+	if cost.Lookups == 0 {
+		t.Error("Get should cost lookups")
+	}
+	// Same-cell replace.
+	if _, err := g.Insert(lht.Point{X: 0.3, Y: 0.7, Value: []byte("cafe")}); err != nil {
+		t.Fatal(err)
+	}
+	if p, _, _ = g.Get(0.3, 0.7); string(p.Value) != "cafe" {
+		t.Fatalf("replace failed: %q", p.Value)
+	}
+	if _, err := g.Delete(0.3, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.Get(0.3, 0.7); !errors.Is(err, lht.ErrKeyNotFound) {
+		t.Fatalf("Get after Delete = %v", err)
+	}
+	if _, err := g.Insert(lht.Point{X: 1.2, Y: 0}); err == nil {
+		t.Error("out-of-domain insert should fail")
+	}
+	if g.Index() == nil {
+		t.Error("Index accessor broken")
+	}
+}
+
+func TestGeoSearchRectMatchesBruteForce(t *testing.T) {
+	g, err := lht.NewGeoIndex(lht.NewLocalDHT(), lht.GeoConfig{
+		Bits:     14,
+		MaxSpans: 24,
+		Index:    lht.Config{SplitThreshold: 16, MergeThreshold: 8, Depth: 28},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	type pt struct{ x, y float64 }
+	cells := make(map[[2]int]pt) // dedupe per grid cell like the index does
+	for i := 0; i < 3000; i++ {
+		x, y := rng.Float64(), rng.Float64()
+		if _, err := g.Insert(lht.Point{X: x, Y: y, Value: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+		cells[[2]int{int(x * (1 << 14)), int(y * (1 << 14))}] = pt{x, y}
+	}
+	for trial := 0; trial < 25; trial++ {
+		x0, y0 := rng.Float64()*0.8, rng.Float64()*0.8
+		r := lht.Rect{X0: x0, X1: x0 + 0.15, Y0: y0, Y1: y0 + 0.15}
+		got, cost, err := g.SearchRect(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for _, p := range cells {
+			if r.Contains(p.x, p.y) {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("SearchRect(%+v) = %d points, brute force %d", r, len(got), want)
+		}
+		for _, p := range got {
+			if !r.Contains(p.X, p.Y) {
+				t.Fatalf("point (%v,%v) outside rect", p.X, p.Y)
+			}
+		}
+		if cost.Steps > cost.Lookups {
+			t.Fatalf("Steps %d > Lookups %d", cost.Steps, cost.Lookups)
+		}
+	}
+}
+
+func TestGeoConfigDefaults(t *testing.T) {
+	g, err := lht.NewGeoIndex(lht.NewLocalDHT(), lht.GeoConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default Bits=16 requires Depth >= 32; the underlying config must
+	// have been raised.
+	if d := g.Index().Config().Depth; d < 32 {
+		t.Errorf("Depth = %d, want >= 32", d)
+	}
+	if _, err := lht.NewGeoIndex(lht.NewLocalDHT(), lht.GeoConfig{Bits: 99}); err == nil {
+		t.Error("invalid Bits should fail")
+	}
+}

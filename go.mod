@@ -1,0 +1,3 @@
+module lht
+
+go 1.22

@@ -1,0 +1,267 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"lht/internal/workload"
+)
+
+// The tests below run every figure driver at reduced scale and assert the
+// *shapes* the paper reports - who wins, by roughly what factor - which is
+// exactly what EXPERIMENTS.md promises to reproduce.
+
+func testOptions() Options {
+	return Options{Theta: 32, Depth: 20, Trials: 2, Queries: 60, Seed: 7}
+}
+
+func seriesByName(t *testing.T, r Result, name string) Series {
+	t.Helper()
+	for _, s := range r.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("%s: no series %q (have %v)", r.Name, name, func() []string {
+		var out []string
+		for _, s := range r.Series {
+			out = append(out, s.Name)
+		}
+		return out
+	}())
+	return Series{}
+}
+
+func lastY(s Series) float64 { return s.Points[len(s.Points)-1].Y }
+
+func sumY(s Series) float64 {
+	var sum float64
+	for _, p := range s.Points {
+		sum += p.Y
+	}
+	return sum
+}
+
+func TestSizes(t *testing.T) {
+	got := Sizes(3, 6)
+	want := []int{8, 16, 32, 64}
+	if len(got) != len(want) {
+		t.Fatalf("Sizes = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sizes = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFig6aAlphaVsSize(t *testing.T) {
+	o := testOptions()
+	res, err := RunAvgAlphaVsSize(o, []workload.Dist{workload.Uniform, workload.Gaussian},
+		[]int{16, 64}, Sizes(9, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 4 {
+		t.Fatalf("want 4 series, got %d", len(res.Series))
+	}
+	// Uniform curves converge to 1/2 + 1/(2*theta).
+	for _, tc := range []struct {
+		name  string
+		theta float64
+	}{{"uniform theta=16", 16}, {"uniform theta=64", 64}} {
+		s := seriesByName(t, res, tc.name)
+		want := 0.5 + 1/(2*tc.theta)
+		if got := lastY(s); math.Abs(got-want) > 0.03 {
+			t.Errorf("%s final alpha = %v, want about %v", tc.name, got, want)
+		}
+	}
+	// Smaller theta means larger offset from 1/2 (Fig. 6's visible gap).
+	a16 := lastY(seriesByName(t, res, "uniform theta=16"))
+	a64 := lastY(seriesByName(t, res, "uniform theta=64"))
+	if a16 <= a64 {
+		t.Errorf("alpha(theta=16)=%v should exceed alpha(theta=64)=%v", a16, a64)
+	}
+}
+
+func TestFig6bAlphaVsTheta(t *testing.T) {
+	o := testOptions()
+	res, err := RunAvgAlphaVsTheta(o, []workload.Dist{workload.Uniform}, []int{8, 16, 32, 64}, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := seriesByName(t, res, "uniform")
+	// Monotone decrease toward 1/2 as theta grows.
+	for i := 1; i < len(s.Points); i++ {
+		if s.Points[i].Y >= s.Points[i-1].Y+0.01 {
+			t.Errorf("alpha should fall with theta: %v", s.Points)
+		}
+	}
+	if got := lastY(s); math.Abs(got-(0.5+1.0/128)) > 0.03 {
+		t.Errorf("alpha(theta=64) = %v", got)
+	}
+}
+
+func TestFig7Maintenance(t *testing.T) {
+	o := testOptions()
+	moved, lookups, err := RunMaintenance(o, []workload.Dist{workload.Uniform}, Sizes(9, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm := lastY(seriesByName(t, moved, "LHT uniform"))
+	pm := lastY(seriesByName(t, moved, "PHT uniform"))
+	ratio := lm / pm
+	// Paper: LHT's movement is about half of PHT's.
+	if ratio < 0.40 || ratio > 0.60 {
+		t.Errorf("moved ratio LHT/PHT = %v, want about 0.5", ratio)
+	}
+	ll := lastY(seriesByName(t, lookups, "LHT uniform"))
+	pl := lastY(seriesByName(t, lookups, "PHT uniform"))
+	ratio = ll / pl
+	// Paper: LHT's maintenance lookups are about 25% of PHT's.
+	if ratio < 0.18 || ratio > 0.35 {
+		t.Errorf("maintenance lookup ratio LHT/PHT = %v, want about 0.25", ratio)
+	}
+	// Cumulative cost grows monotonically.
+	for _, s := range moved.Series {
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].Y < s.Points[i-1].Y {
+				t.Errorf("%s not cumulative: %v", s.Name, s.Points)
+			}
+		}
+	}
+}
+
+func TestFig8Lookup(t *testing.T) {
+	o := testOptions()
+	for _, dist := range []workload.Dist{workload.Uniform, workload.Gaussian} {
+		res, err := RunLookup(o, dist, Sizes(8, 12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lht := sumY(seriesByName(t, res, "LHT"))
+		pht := sumY(seriesByName(t, res, "PHT"))
+		// Paper: LHT saves roughly 20% (uniform) / 30% (gaussian) on
+		// average; require it to win and stay within plausible bounds.
+		if lht >= pht {
+			t.Errorf("%s: LHT lookup cost %v should be below PHT %v", dist, lht, pht)
+		}
+		saving := 1 - lht/pht
+		if saving < 0.05 || saving > 0.55 {
+			t.Errorf("%s: lookup saving ratio = %v, want roughly 0.2-0.3", dist, saving)
+		}
+	}
+}
+
+func TestFig9and10Range(t *testing.T) {
+	o := testOptions()
+	// The order-of-magnitude latency gap is a wide-range effect (it scales
+	// with the result bucket count B), so use a generous span.
+	bw, lat, err := RunRangeVsSize(o, workload.Uniform, Sizes(11, 13), 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lhtBW := sumY(seriesByName(t, bw, "LHT"))
+	seqBW := sumY(seriesByName(t, bw, "PHT(seq)"))
+	parBW := sumY(seriesByName(t, bw, "PHT(par)"))
+	// Fig. 9: PHT(parallel) spends the most bandwidth; LHT is at or below
+	// PHT(sequential), both near optimal.
+	if parBW <= seqBW || parBW <= lhtBW {
+		t.Errorf("bandwidth: par=%v should dominate seq=%v and lht=%v", parBW, seqBW, lhtBW)
+	}
+	if lhtBW > seqBW*1.10 {
+		t.Errorf("bandwidth: LHT %v should be at or below PHT(seq) %v", lhtBW, seqBW)
+	}
+	lhtLat := sumY(seriesByName(t, lat, "LHT"))
+	seqLat := sumY(seriesByName(t, lat, "PHT(seq)"))
+	parLat := sumY(seriesByName(t, lat, "PHT(par)"))
+	// Fig. 10: PHT(sequential) latency is an order of magnitude worse;
+	// LHT is the most time-efficient.
+	if seqLat < 4*parLat || seqLat < 4*lhtLat {
+		t.Errorf("latency: seq=%v should be far above par=%v and lht=%v", seqLat, parLat, lhtLat)
+	}
+	if lhtLat >= parLat {
+		t.Errorf("latency: LHT %v should beat PHT(par) %v", lhtLat, parLat)
+	}
+}
+
+func TestFig9bAnd10bSpan(t *testing.T) {
+	o := testOptions()
+	bw, lat, err := RunRangeVsSpan(o, workload.Gaussian, 1<<12, []float64{0.05, 0.1, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bandwidth grows with span for every algorithm.
+	for _, s := range bw.Series {
+		if s.Points[len(s.Points)-1].Y <= s.Points[0].Y {
+			t.Errorf("%s bandwidth should grow with span: %v", s.Name, s.Points)
+		}
+	}
+	lhtLat := sumY(seriesByName(t, lat, "LHT"))
+	parLat := sumY(seriesByName(t, lat, "PHT(par)"))
+	seqLat := sumY(seriesByName(t, lat, "PHT(seq)"))
+	if lhtLat >= parLat || parLat >= seqLat {
+		t.Errorf("latency ordering want LHT < PHT(par) < PHT(seq): %v, %v, %v", lhtLat, parLat, seqLat)
+	}
+}
+
+func TestEq3SavingRatio(t *testing.T) {
+	o := testOptions()
+	res, err := RunSavingRatio(o, workload.Uniform, 1<<12, []float64{0, 1, 4, 16, 64, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic := seriesByName(t, res, "analytic (Eq 3)")
+	measured := seriesByName(t, res, "measured")
+	if analytic.Points[0].Y != 0.75 {
+		t.Errorf("analytic at gamma=0 = %v", analytic.Points[0].Y)
+	}
+	for i := range analytic.Points {
+		a, m := analytic.Points[i].Y, measured.Points[i].Y
+		if m < 0.40 || m > 0.80 {
+			t.Errorf("measured saving at gamma=%v is %v", measured.Points[i].X, m)
+		}
+		if math.Abs(a-m) > 0.12 {
+			t.Errorf("gamma=%v: measured %v far from analytic %v", analytic.Points[i].X, m, a)
+		}
+	}
+}
+
+func TestThm3MinMax(t *testing.T) {
+	o := testOptions()
+	res, err := RunMinMax(o, workload.Uniform, Sizes(8, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Series {
+		for _, p := range s.Points {
+			if p.Y != 1 {
+				t.Errorf("%s at size %v costs %v lookups, want 1", s.Name, p.X, p.Y)
+			}
+		}
+	}
+}
+
+func TestFormatTableAndCSV(t *testing.T) {
+	r := Result{
+		Name: "Fig X", Title: "demo", XLabel: "size", YLabel: "y",
+		Series: []Series{
+			{Name: "A", Points: []Point{{X: 1024, Y: 1.5}, {X: 2048, Y: 2}}},
+			{Name: "B", Points: []Point{{X: 1024, Y: 1000.25}}},
+		},
+	}
+	table := FormatTable(r)
+	for _, want := range []string{"Fig X", "2^10", "2^11", "1.5", "1000.2", "A", "B", "-"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	csv := FormatCSV(r)
+	if !strings.Contains(csv, `x,"A","B"`) || !strings.Contains(csv, "1024,1.5,1000.25") {
+		t.Errorf("csv malformed:\n%s", csv)
+	}
+	if got := FormatCSV(Result{}); got != "x\n" {
+		t.Errorf("empty csv = %q", got)
+	}
+}

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// FormatTable renders a Result as an aligned text table, one row per X
+// value and one column per series - the textual equivalent of the paper's
+// figure.
+func FormatTable(r Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", r.Name, r.Title)
+
+	headers := make([]string, 0, len(r.Series)+1)
+	headers = append(headers, r.XLabel)
+	for _, s := range r.Series {
+		headers = append(headers, s.Name)
+	}
+
+	// Collect rows keyed by X in first-series order (all series share X).
+	var rows [][]string
+	if len(r.Series) > 0 {
+		for i, p := range r.Series[0].Points {
+			row := make([]string, 0, len(headers))
+			row = append(row, formatX(p.X))
+			for _, s := range r.Series {
+				if i < len(s.Points) {
+					row = append(row, formatY(s.Points[i].Y))
+				} else {
+					row = append(row, "-")
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// formatX renders sizes as powers of two when exact ("2^14"), other
+// values plainly.
+func formatX(x float64) string {
+	if x >= 4 && x == math.Trunc(x) {
+		e := math.Log2(x)
+		if e == math.Trunc(e) {
+			return fmt.Sprintf("2^%d", int(e))
+		}
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%g", x)
+}
+
+func formatY(y float64) string {
+	switch {
+	case y == math.Trunc(y) && math.Abs(y) < 1e15:
+		return fmt.Sprintf("%d", int64(y))
+	case math.Abs(y) >= 1000:
+		return fmt.Sprintf("%.1f", y)
+	default:
+		return fmt.Sprintf("%.4g", y)
+	}
+}
+
+// FormatCSV renders a Result as CSV for external plotting.
+func FormatCSV(r Result) string {
+	var b strings.Builder
+	b.WriteString("x")
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, ",%q", s.Name)
+	}
+	b.WriteByte('\n')
+	if len(r.Series) == 0 {
+		return b.String()
+	}
+	for i, p := range r.Series[0].Points {
+		fmt.Fprintf(&b, "%g", p.X)
+		for _, s := range r.Series {
+			if i < len(s.Points) {
+				fmt.Fprintf(&b, ",%g", s.Points[i].Y)
+			} else {
+				b.WriteString(",")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

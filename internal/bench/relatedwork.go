@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+
+	"lht/internal/dht"
+	"lht/internal/dst"
+	"lht/internal/lht"
+	"lht/internal/metrics"
+	"lht/internal/pht"
+	"lht/internal/record"
+	"lht/internal/rst"
+	"lht/internal/workload"
+)
+
+// RunRelatedWork extends the paper's evaluation with the other baselines
+// its related-work section discusses: the Distributed Segment Tree and
+// the Range Search Tree. It compares LHT, PHT, DST and RST on the full
+// operation mix - per-insert bandwidth, exact-match cost, range bandwidth
+// and range latency - and substantiates section 2's qualitative claims
+// quantitatively: DST's replication buys one-lookup exact-match and
+// low-latency ranges at the price of D lookups per insertion; RST's
+// globally-known tree buys optimal queries at the price of a broadcast
+// on every split - cheap on the paper's 20-peer testbed, and the
+// dominant cost on a 1000-peer network, which is the unscalability
+// argument (the two RST columns differ only in P).
+func RunRelatedWork(o Options, distKind workload.Dist, size int, span float64) ([]Result, error) {
+	o = o.WithDefaults()
+	mkResult := func(name, title, ylabel string) Result {
+		return Result{
+			Name:   name,
+			Title:  title,
+			XLabel: "scheme",
+			YLabel: ylabel,
+		}
+	}
+	insertRes := mkResult("RW insert", fmt.Sprintf("Per-insert bandwidth, %d records (D=%d)", size, o.Depth), "DHT-lookups per insert")
+	searchRes := mkResult("RW search", "Exact-match query cost", "DHT-lookups per query")
+	rangeBWRes := mkResult("RW range-bw", fmt.Sprintf("Range bandwidth, span %.2g", span), "DHT-lookups per query")
+	rangeLatRes := mkResult("RW range-lat", fmt.Sprintf("Range latency, span %.2g", span), "parallel steps per query")
+
+	type scheme struct {
+		name   string
+		insert func(record.Record) (metrics.Cost, error)
+		search func(float64) (metrics.Cost, error)
+		rrange func(lo, hi float64) (metrics.Cost, error)
+	}
+	schemes := make([][]float64, 4) // insert, search, rangeBW, rangeLat per scheme column
+	var names []string
+
+	for t := 0; t < o.Trials; t++ {
+		gen := workload.NewGenerator(distKind, o.Seed+int64(t))
+		recs := gen.Records(size)
+		queries := gen.LookupKeys(o.Queries)
+
+		lix, err := newLHT(o.Theta, o.Depth)
+		if err != nil {
+			return nil, err
+		}
+		pix, err := newPHT(o.Theta, o.Depth)
+		if err != nil {
+			return nil, err
+		}
+		dix, err := dst.New(dht.NewLocal(), dst.Config{SaturationThreshold: o.Theta, Depth: o.Depth})
+		if err != nil {
+			return nil, err
+		}
+		rix, err := rst.New(dht.NewLocal(), rst.Config{
+			SplitThreshold: o.Theta, MergeThreshold: o.Theta / 2, Depth: o.Depth, Peers: 20,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rixBig, err := rst.New(dht.NewLocal(), rst.Config{
+			SplitThreshold: o.Theta, MergeThreshold: o.Theta / 2, Depth: o.Depth, Peers: 1000,
+		})
+		if err != nil {
+			return nil, err
+		}
+		all := []scheme{
+			{
+				name:   "LHT",
+				insert: func(r record.Record) (metrics.Cost, error) { return lix.Insert(r) },
+				search: func(k float64) (metrics.Cost, error) { _, c, err := lix.Search(k); return c, ignoreNotFound(err) },
+				rrange: func(lo, hi float64) (metrics.Cost, error) { _, c, err := lix.Range(lo, hi); return c, err },
+			},
+			{
+				name:   "PHT(seq)",
+				insert: func(r record.Record) (metrics.Cost, error) { return pix.Insert(r) },
+				search: func(k float64) (metrics.Cost, error) { _, c, err := pix.Search(k); return c, ignoreNotFound(err) },
+				rrange: func(lo, hi float64) (metrics.Cost, error) { _, c, err := pix.RangeSequential(lo, hi); return c, err },
+			},
+			{
+				name:   "PHT(par)",
+				insert: nil, // same index as PHT(seq); insertion measured once
+				search: nil,
+				rrange: func(lo, hi float64) (metrics.Cost, error) { _, c, err := pix.RangeParallel(lo, hi); return c, err },
+			},
+			{
+				name:   "DST",
+				insert: func(r record.Record) (metrics.Cost, error) { return dix.Insert(r) },
+				search: func(k float64) (metrics.Cost, error) { _, c, err := dix.Search(k); return c, ignoreNotFound(err) },
+				rrange: func(lo, hi float64) (metrics.Cost, error) { _, c, err := dix.Range(lo, hi); return c, err },
+			},
+			{
+				name:   "RST(P=20)",
+				insert: func(r record.Record) (metrics.Cost, error) { return rix.Insert(r) },
+				search: func(k float64) (metrics.Cost, error) { _, c, err := rix.Search(k); return c, ignoreNotFound(err) },
+				rrange: func(lo, hi float64) (metrics.Cost, error) { _, c, err := rix.Range(lo, hi); return c, err },
+			},
+			{
+				name:   "RST(P=1000)",
+				insert: func(r record.Record) (metrics.Cost, error) { return rixBig.Insert(r) },
+				search: func(k float64) (metrics.Cost, error) { _, c, err := rixBig.Search(k); return c, ignoreNotFound(err) },
+				rrange: func(lo, hi float64) (metrics.Cost, error) { _, c, err := rixBig.Range(lo, hi); return c, err },
+			},
+		}
+		if names == nil {
+			for _, s := range all {
+				names = append(names, s.name)
+			}
+			for i := range schemes {
+				schemes[i] = make([]float64, len(all))
+			}
+		}
+
+		for si, s := range all {
+			if s.insert == nil {
+				continue
+			}
+			var total int
+			for _, r := range recs {
+				c, err := s.insert(r)
+				if err != nil {
+					return nil, fmt.Errorf("%s insert: %w", s.name, err)
+				}
+				total += c.Lookups
+			}
+			schemes[0][si] += float64(total) / float64(len(recs)) / float64(o.Trials)
+
+			total = 0
+			for _, q := range queries {
+				c, err := s.search(q)
+				if err != nil {
+					return nil, fmt.Errorf("%s search: %w", s.name, err)
+				}
+				total += c.Lookups
+			}
+			schemes[1][si] += float64(total) / float64(len(queries)) / float64(o.Trials)
+		}
+		// PHT(par) shares PHT(seq)'s structure for insert/search.
+		schemes[0][2] = schemes[0][1]
+		schemes[1][2] = schemes[1][1]
+
+		for si, s := range all {
+			var bw, lat int
+			for q := 0; q < o.Queries; q++ {
+				lo, hi := gen.RangeQuery(span)
+				c, err := s.rrange(lo, hi)
+				if err != nil {
+					return nil, fmt.Errorf("%s range: %w", s.name, err)
+				}
+				bw += c.Lookups
+				lat += c.Steps
+			}
+			schemes[2][si] += float64(bw) / float64(o.Queries) / float64(o.Trials)
+			schemes[3][si] += float64(lat) / float64(o.Queries) / float64(o.Trials)
+		}
+	}
+
+	attach := func(res *Result, row []float64) {
+		for i, name := range names {
+			res.Series = append(res.Series, Series{
+				Name:   name,
+				Points: []Point{{X: 1, Y: row[i]}},
+			})
+		}
+	}
+	attach(&insertRes, schemes[0])
+	attach(&searchRes, schemes[1])
+	attach(&rangeBWRes, schemes[2])
+	attach(&rangeLatRes, schemes[3])
+	return []Result{insertRes, searchRes, rangeBWRes, rangeLatRes}, nil
+}
+
+// ignoreNotFound maps "key not found" outcomes to success: the related-
+// work comparison queries uniform keys that may or may not be indexed,
+// and a clean miss is a valid, fully-priced answer.
+func ignoreNotFound(err error) error {
+	if err == nil ||
+		errors.Is(err, lht.ErrKeyNotFound) ||
+		errors.Is(err, pht.ErrKeyNotFound) ||
+		errors.Is(err, dst.ErrKeyNotFound) ||
+		errors.Is(err, rst.ErrKeyNotFound) {
+		return nil
+	}
+	return err
+}

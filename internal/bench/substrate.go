@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"fmt"
+
+	"lht/internal/chord"
+	"lht/internal/kademlia"
+)
+
+// RunHopsVsNodes measures the substrates' routing cost as the network
+// grows: mean messages per DHT lookup for Chord and Kademlia at several
+// ring sizes. This grounds the cost model's j parameter (section 8.1:
+// "for P2P network with more peers, each DHT-lookup incurs more physical
+// hops, typically at complexity of O(log N)") in measured behaviour.
+func RunHopsVsNodes(o Options, nodeCounts []int) (Result, error) {
+	o = o.WithDefaults()
+	res := Result{
+		Name:   "Substrate S1",
+		Title:  "Routing cost vs network size (the cost model's j)",
+		XLabel: "nodes",
+		YLabel: "messages per lookup",
+	}
+	chordYs := make([][]float64, o.Trials)
+	kadYs := make([][]float64, o.Trials)
+	for t := 0; t < o.Trials; t++ {
+		var crow, krow []float64
+		for _, n := range nodeCounts {
+			ring, err := chord.NewRing(n, chord.Config{Seed: o.Seed + int64(t)})
+			if err != nil {
+				return res, err
+			}
+			var hops int
+			for q := 0; q < o.Queries; q++ {
+				_, h, err := ring.Lookup(fmt.Sprintf("q-%d-%d", t, q))
+				if err != nil {
+					return res, err
+				}
+				hops += h
+			}
+			crow = append(crow, float64(hops)/float64(o.Queries))
+
+			nw, err := kademlia.NewNetwork(n, kademlia.Config{Seed: o.Seed + int64(t)})
+			if err != nil {
+				return res, err
+			}
+			hops = 0
+			for q := 0; q < o.Queries; q++ {
+				_, h, err := nw.Lookup(fmt.Sprintf("q-%d-%d", t, q))
+				if err != nil {
+					return res, err
+				}
+				hops += h
+			}
+			krow = append(krow, float64(hops)/float64(o.Queries))
+		}
+		chordYs[t], kadYs[t] = crow, krow
+	}
+	xs := make([]float64, len(nodeCounts))
+	for i, n := range nodeCounts {
+		xs[i] = float64(n)
+	}
+	res.Series = append(res.Series,
+		meanSeries("Chord", xs, chordYs),
+		meanSeries("Kademlia", xs, kadYs))
+	return res, nil
+}

@@ -1,0 +1,71 @@
+package bitlabel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomLabels(n int) []Label {
+	rng := rand.New(rand.NewSource(1))
+	out := make([]Label, n)
+	for i := range out {
+		out[i] = MustParse(randLabelString(rng, 60))
+	}
+	return out
+}
+
+// BenchmarkName measures f_n, the hot operation of every lookup probe.
+func BenchmarkName(b *testing.B) {
+	labels := randomLabels(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = labels[i%len(labels)].Name()
+	}
+}
+
+// BenchmarkNextName measures f_nn, the binary search's skip step.
+func BenchmarkNextName(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	type pair struct{ x, mu Label }
+	pairs := make([]pair, 1024)
+	for i := range pairs {
+		mu := MustParse(randLabelString(rng, 40))
+		for mu.Len() < 8 {
+			mu = MustParse(randLabelString(rng, 40))
+		}
+		pairs[i] = pair{x: mu.Prefix(1 + rng.Intn(mu.Len()-1)), mu: mu}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		_, _ = p.x.NextName(p.mu)
+	}
+}
+
+// BenchmarkNeighbors measures the range-forwarding branch enumeration.
+func BenchmarkNeighbors(b *testing.B) {
+	labels := randomLabels(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := labels[i%len(labels)]
+		_, _ = l.RightNeighbor()
+		_, _ = l.LeftNeighbor()
+	}
+}
+
+// BenchmarkParseAndString measures label text conversion (DHT keys).
+func BenchmarkParseAndString(b *testing.B) {
+	labels := randomLabels(1024)
+	keys := make([]string, len(labels))
+	for i, l := range labels {
+		keys[i] = l.String()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := Parse(keys[i%len(keys)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = l.Key()
+	}
+}

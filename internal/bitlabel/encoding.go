@@ -1,0 +1,38 @@
+package bitlabel
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MarshalBinary implements encoding.BinaryMarshaler. The format is one
+// length byte followed by the bit string as a big-endian uint64, 9 bytes
+// total; it is stable and used by the gob codecs of the networked
+// substrates.
+func (l Label) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 9)
+	buf[0] = l.n
+	binary.BigEndian.PutUint64(buf[1:], l.val)
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (l *Label) UnmarshalBinary(data []byte) error {
+	if len(data) != 9 {
+		return fmt.Errorf("%w: binary label has %d bytes, want 9", ErrBadLabel, len(data))
+	}
+	n := data[0]
+	if n > MaxBits {
+		return fmt.Errorf("%w: binary label has %d bits", ErrTooDeep, n)
+	}
+	val := binary.BigEndian.Uint64(data[1:])
+	if n < 64 && val>>n != 0 {
+		return fmt.Errorf("%w: binary label value wider than %d bits", ErrBadLabel, n)
+	}
+	if n > 0 && val>>(n-1)&1 != 0 {
+		return fmt.Errorf("%w: binary label first bit must be 0", ErrBadLabel)
+	}
+	l.n = n
+	l.val = val
+	return nil
+}

@@ -1,0 +1,57 @@
+package bitlabel
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that Parse never panics, accepts exactly the valid
+// label grammar, and round-trips everything it accepts.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{"", "#", "#0", "#01", "#0110", "#1", "x", "#01x", "#" + strings.Repeat("0", 70)} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		l, err := Parse(s)
+		valid := len(s) >= 1 && s[0] == '#' && len(s)-1 <= MaxBits &&
+			(len(s) == 1 || s[1] == '0') && strings.Trim(s[1:], "01") == ""
+		if valid != (err == nil) {
+			t.Fatalf("Parse(%q) err=%v, grammar validity=%v", s, err, valid)
+		}
+		if err != nil {
+			return
+		}
+		if l.String() != s {
+			t.Fatalf("round trip %q -> %q", s, l.String())
+		}
+		// The accepted label's operations must not panic and must agree
+		// with the reference implementation.
+		if l.Len() > 0 {
+			if got, want := l.Name().String(), refName(s); got != want {
+				t.Fatalf("Name(%q) = %q, want %q", s, got, want)
+			}
+		}
+	})
+}
+
+// FuzzBinaryRoundTrip checks UnmarshalBinary on arbitrary bytes: it must
+// never panic, and everything it accepts must re-marshal identically.
+func FuzzBinaryRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{62, 0x20, 0, 0, 0, 0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var l Label
+		if err := l.UnmarshalBinary(data); err != nil {
+			return
+		}
+		out, err := l.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal of accepted label: %v", err)
+		}
+		var l2 Label
+		if err := l2.UnmarshalBinary(out); err != nil || l2 != l {
+			t.Fatalf("round trip %v -> %v (%v)", l, l2, err)
+		}
+	})
+}

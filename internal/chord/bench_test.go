@@ -1,0 +1,50 @@
+package chord
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkLookup64 measures routed lookups on a stabilized 64-node ring.
+func BenchmarkLookup64(b *testing.B) {
+	r, err := NewRing(64, Config{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := r.Lookup(fmt.Sprintf("bench-%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPutGet64 measures full storage round trips.
+func BenchmarkPutGet64(b *testing.B) {
+	r, err := NewRing(64, Config{Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := fmt.Sprintf("bench-%d", i%1000)
+		if err := r.Put(key, i); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Get(key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStabilize64 measures one full maintenance sweep.
+func BenchmarkStabilize64(b *testing.B) {
+	r, err := NewRing(64, Config{Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Stabilize(1)
+	}
+}

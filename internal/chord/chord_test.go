@@ -1,0 +1,321 @@
+package chord
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"lht/internal/dht"
+	"lht/internal/hashring"
+)
+
+func newRing(t *testing.T, n int, cfg Config) *Ring {
+	t.Helper()
+	r, err := NewRing(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestSingleNodeRing(t *testing.T) {
+	r := newRing(t, 1, Config{Seed: 1})
+	if err := r.Put("k", 42); err != nil {
+		t.Fatal(err)
+	}
+	v, err := r.Get("k")
+	if err != nil || v.(int) != 42 {
+		t.Fatalf("Get = %v, %v", v, err)
+	}
+	ref, hops, err := r.Lookup("k")
+	if err != nil || ref.Addr != "n0" {
+		t.Fatalf("Lookup = %v, %v", ref, err)
+	}
+	if hops != 0 {
+		t.Errorf("single-node lookup hops = %d", hops)
+	}
+}
+
+func TestNewRingValidates(t *testing.T) {
+	if _, err := NewRing(0, Config{}); err == nil {
+		t.Error("NewRing(0) should fail")
+	}
+}
+
+func TestRingConsistency(t *testing.T) {
+	r := newRing(t, 16, Config{Seed: 2})
+	assertRingOrdered(t, r)
+}
+
+// assertRingOrdered walks successor pointers from one node and verifies
+// they form a single cycle covering every live node in ID order.
+func assertRingOrdered(t *testing.T, r *Ring) {
+	t.Helper()
+	nodes := r.liveNodes()
+	if len(nodes) == 0 {
+		t.Fatal("no live nodes")
+	}
+	start := nodes[0]
+	visited := map[string]bool{}
+	cur := start
+	for i := 0; i <= len(nodes); i++ {
+		if visited[cur.ref.Addr] {
+			break
+		}
+		visited[cur.ref.Addr] = true
+		succ := cur.rpcSuccessorList()[0]
+		v, ok := r.net.Peek(succ.Addr)
+		if !ok {
+			t.Fatalf("successor %q of %q not registered", succ.Addr, cur.ref.Addr)
+		}
+		next := v.(*Node)
+		// The arc (cur, succ] must contain no other live node.
+		for _, other := range nodes {
+			if other.ref.Addr == cur.ref.Addr || other.ref.Addr == succ.Addr {
+				continue
+			}
+			if hashring.StrictBetween(other.ref.ID, cur.ref.ID, succ.ID) {
+				t.Fatalf("node %q lies between %q and its successor %q", other.ref.Addr, cur.ref.Addr, succ.Addr)
+			}
+		}
+		cur = next
+	}
+	if len(visited) != len(nodes) {
+		t.Fatalf("successor cycle covers %d of %d nodes", len(visited), len(nodes))
+	}
+}
+
+func TestPutGetAcrossRing(t *testing.T) {
+	r := newRing(t, 20, Config{Seed: 3})
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if err := r.Put(key, i); err != nil {
+			t.Fatalf("Put(%s): %v", key, err)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		v, err := r.Get(key)
+		if err != nil || v.(int) != i {
+			t.Fatalf("Get(%s) = %v, %v", key, v, err)
+		}
+	}
+	if _, err := r.Get("absent"); !errors.Is(err, dht.ErrNotFound) {
+		t.Fatalf("Get absent = %v", err)
+	}
+	if r.TotalKeys() != 500 {
+		t.Fatalf("TotalKeys = %d", r.TotalKeys())
+	}
+}
+
+func TestTakeRemoveWrite(t *testing.T) {
+	r := newRing(t, 8, Config{Seed: 4})
+	if err := r.Put("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Write("a", 2); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := r.Get("a"); v.(int) != 2 {
+		t.Fatalf("Write lost: %v", v)
+	}
+	if err := r.Write("missing", 1); !errors.Is(err, dht.ErrNotFound) {
+		t.Fatalf("Write missing = %v", err)
+	}
+	v, err := r.Take("a")
+	if err != nil || v.(int) != 2 {
+		t.Fatalf("Take = %v, %v", v, err)
+	}
+	if _, err := r.Take("a"); !errors.Is(err, dht.ErrNotFound) {
+		t.Fatal("second Take should miss")
+	}
+	if err := r.Put("b", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Remove("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get("b"); !errors.Is(err, dht.ErrNotFound) {
+		t.Fatal("Remove did not delete")
+	}
+}
+
+func TestLookupHopsLogarithmic(t *testing.T) {
+	r := newRing(t, 64, Config{Seed: 5})
+	var total int
+	const queries = 300
+	for i := 0; i < queries; i++ {
+		_, hops, err := r.Lookup(fmt.Sprintf("q-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += hops
+	}
+	mean := float64(total) / queries
+	// log2(64) = 6; the classic expectation is ~(1/2)log2 N. Allow slack
+	// but fail if routing degrades toward linear (32).
+	if mean > 2*math.Log2(64) {
+		t.Errorf("mean hops = %v for 64 nodes; routing not logarithmic", mean)
+	}
+	if mean == 0 {
+		t.Error("mean hops = 0; counting broken")
+	}
+}
+
+func TestLoadBalance(t *testing.T) {
+	r := newRing(t, 16, Config{Seed: 6})
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		if err := r.Put(fmt.Sprintf("lb-%d", i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	per := r.KeysPerNode()
+	if len(per) != 16 {
+		t.Fatalf("expected 16 nodes, got %d", len(per))
+	}
+	// Uniform hashing: no node should be empty or hold a majority.
+	for addr, n := range per {
+		if n == 0 {
+			t.Errorf("node %s holds no keys", addr)
+		}
+		if n > keys/2 {
+			t.Errorf("node %s holds %d of %d keys", addr, n, keys)
+		}
+	}
+}
+
+func TestJoinTransfersKeys(t *testing.T) {
+	r := newRing(t, 4, Config{Seed: 7})
+	for i := 0; i < 300; i++ {
+		if err := r.Put(fmt.Sprintf("j-%d", i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 4; i < 12; i++ {
+		if err := r.AddNode(fmt.Sprintf("n%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Stabilize(3)
+	assertRingOrdered(t, r)
+	for i := 0; i < 300; i++ {
+		key := fmt.Sprintf("j-%d", i)
+		v, err := r.Get(key)
+		if err != nil || v.(int) != i {
+			t.Fatalf("after joins, Get(%s) = %v, %v", key, v, err)
+		}
+	}
+	if err := r.AddNode("n4"); !errors.Is(err, ErrNodeExists) {
+		t.Fatalf("duplicate AddNode = %v", err)
+	}
+}
+
+func TestGracefulLeavePreservesData(t *testing.T) {
+	r := newRing(t, 10, Config{Seed: 8})
+	for i := 0; i < 300; i++ {
+		if err := r.Put(fmt.Sprintf("g-%d", i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, addr := range []string{"n1", "n4", "n7"} {
+		if err := r.RemoveNode(addr, true); err != nil {
+			t.Fatal(err)
+		}
+		r.Stabilize(3)
+	}
+	assertRingOrdered(t, r)
+	for i := 0; i < 300; i++ {
+		key := fmt.Sprintf("g-%d", i)
+		v, err := r.Get(key)
+		if err != nil || v.(int) != i {
+			t.Fatalf("after leaves, Get(%s) = %v, %v", key, v, err)
+		}
+	}
+	if err := r.RemoveNode("n1", true); !errors.Is(err, ErrNodeUnknown) {
+		t.Fatalf("double remove = %v", err)
+	}
+}
+
+func TestAbruptFailureHealsRing(t *testing.T) {
+	r := newRing(t, 12, Config{Seed: 9})
+	for i := 0; i < 200; i++ {
+		if err := r.Put(fmt.Sprintf("f-%d", i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Fail("n3")
+	r.Fail("n8")
+	r.Stabilize(4)
+	// The ring must stay routable: every key resolves to a live node;
+	// values on the failed nodes are lost (no replication configured).
+	var lost int
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("f-%d", i)
+		v, err := r.Get(key)
+		switch {
+		case errors.Is(err, dht.ErrNotFound):
+			lost++
+		case err != nil:
+			t.Fatalf("Get(%s) = %v", key, err)
+		case v.(int) != i:
+			t.Fatalf("Get(%s) = %v", key, v)
+		}
+	}
+	if lost == 0 {
+		t.Error("expected some loss without replication")
+	}
+	if lost > 120 {
+		t.Errorf("lost %d of 200 keys to 2/12 failures", lost)
+	}
+	// Recovery brings the stored keys back.
+	r.Recover("n3")
+	r.Recover("n8")
+	r.Stabilize(4)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("f-%d", i)
+		if _, err := r.Get(key); err != nil {
+			t.Fatalf("after recovery, Get(%s) = %v", key, err)
+		}
+	}
+}
+
+func TestReplicationSurvivesFailure(t *testing.T) {
+	r := newRing(t, 12, Config{Seed: 10, Replicas: 3})
+	for i := 0; i < 200; i++ {
+		if err := r.Put(fmt.Sprintf("r-%d", i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Fail("n2")
+	r.Fail("n9")
+	r.Stabilize(4)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("r-%d", i)
+		v, err := r.Get(key)
+		if err != nil || v.(int) != i {
+			t.Fatalf("with replication, Get(%s) = %v, %v", key, v, err)
+		}
+	}
+}
+
+func TestAllNodesDown(t *testing.T) {
+	r := newRing(t, 2, Config{Seed: 11})
+	r.Fail("n0")
+	r.Fail("n1")
+	if err := r.Put("x", 1); !errors.Is(err, ErrNoNodes) {
+		t.Fatalf("Put with all down = %v", err)
+	}
+}
+
+func TestMessagesAreCounted(t *testing.T) {
+	r := newRing(t, 16, Config{Seed: 12})
+	r.Network().ResetMessages()
+	if err := r.Put("counted", 1); err != nil {
+		t.Fatal(err)
+	}
+	if r.Network().Messages() == 0 {
+		t.Error("Put on a 16-node ring should cost messages")
+	}
+}

@@ -1,0 +1,28 @@
+package chord
+
+import (
+	"testing"
+
+	"lht/internal/dht"
+	"lht/internal/dht/dhttest"
+)
+
+func TestRingConformance(t *testing.T) {
+	dhttest.Run(t, func(t *testing.T) dht.DHT {
+		r, err := NewRing(8, Config{Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}, dhttest.Options{Keys: 120})
+}
+
+func TestReplicatedRingConformance(t *testing.T) {
+	dhttest.Run(t, func(t *testing.T) dht.DHT {
+		r, err := NewRing(8, Config{Seed: 100, Replicas: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}, dhttest.Options{Keys: 120})
+}

@@ -1,0 +1,409 @@
+package chord
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"lht/internal/dht"
+	"lht/internal/hashring"
+	"lht/internal/simnet"
+)
+
+var (
+	// ErrNoNodes reports an operation against a ring with no live nodes.
+	ErrNoNodes = errors.New("chord: no live nodes")
+	// ErrNodeExists reports adding an address twice.
+	ErrNodeExists = errors.New("chord: node already exists")
+	// ErrNodeUnknown reports removing an address the ring never had.
+	ErrNodeUnknown = errors.New("chord: unknown node")
+
+	errLookupDiverged = errors.New("chord: lookup diverged (ring too unstable)")
+)
+
+// Config tunes a Ring.
+type Config struct {
+	// SuccessorListLen is the fault-tolerance depth of each node's
+	// successor list. Default 8.
+	SuccessorListLen int
+	// Replicas is the number of consecutive successors each key is
+	// stored on (1 = no replication). Reads fall back along the replica
+	// chain when the primary has failed. Default 1.
+	Replicas int
+	// StabilizeRounds is how many stabilization sweeps AddNode runs after
+	// a join so tests get a coherent ring without calling Stabilize
+	// themselves. Default 2.
+	StabilizeRounds int
+	// Seed drives entry-point selection and stabilization order.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.SuccessorListLen <= 0 {
+		c.SuccessorListLen = 8
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	if c.StabilizeRounds <= 0 {
+		c.StabilizeRounds = 2
+	}
+	return c
+}
+
+// Ring is a Chord network plus its client side. It implements dht.DHT, so
+// an LHT or PHT index runs over it unchanged.
+//
+// Ring methods are safe for concurrent use; the protocol itself is
+// step-driven (Stabilize), so the harness controls when maintenance runs.
+type Ring struct {
+	cfg Config
+	net *simnet.Network
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	nodes map[string]*Node // every node ever added and not removed
+}
+
+var _ dht.DHT = (*Ring)(nil)
+
+// NewRing creates a ring with n initial nodes named "n0".."n<n-1>", fully
+// stabilized.
+func NewRing(n int, cfg Config) (*Ring, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("chord: ring needs at least 1 node, got %d", n)
+	}
+	r := &Ring{
+		cfg:   cfg.withDefaults(),
+		net:   simnet.New(),
+		nodes: make(map[string]*Node, n),
+	}
+	r.rng = rand.New(rand.NewSource(r.cfg.Seed))
+	for i := 0; i < n; i++ {
+		if err := r.AddNode(fmt.Sprintf("n%d", i)); err != nil {
+			return nil, err
+		}
+	}
+	// Enough sweeps for fingers to converge on the initial membership.
+	r.Stabilize(3)
+	return r, nil
+}
+
+// Network exposes the underlying simulated network (message counters,
+// failure injection).
+func (r *Ring) Network() *simnet.Network { return r.net }
+
+// AddNode creates a node at addr, joins it through a random live member,
+// and runs a few stabilization sweeps to integrate it.
+func (r *Ring) AddNode(addr string) error {
+	r.mu.Lock()
+	if _, ok := r.nodes[addr]; ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNodeExists, addr)
+	}
+	node := newNode(Ref{ID: hashring.HashAddr(addr), Addr: addr}, r.net, r.cfg.SuccessorListLen)
+	entry := r.randomLiveLocked()
+	r.nodes[addr] = node
+	r.mu.Unlock()
+	r.net.Register(addr, node)
+
+	if entry == nil {
+		return nil // first node: its own ring
+	}
+	succ, _, err := entry.findSuccessor(node.ref.ID, 0)
+	if err != nil {
+		return fmt.Errorf("chord: join %q: %w", addr, err)
+	}
+	node.mu.Lock()
+	node.succ = []Ref{succ}
+	node.mu.Unlock()
+	node.stabilize()
+	r.Stabilize(r.cfg.StabilizeRounds)
+	return nil
+}
+
+// RemoveNode takes a node out of the ring. Graceful departure hands the
+// node's keys to its successor before leaving; an abrupt failure
+// (graceful=false) strands them, modelling a crash - replication and
+// stabilization are what keep the system serving.
+func (r *Ring) RemoveNode(addr string, graceful bool) error {
+	r.mu.Lock()
+	node, ok := r.nodes[addr]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNodeUnknown, addr)
+	}
+	delete(r.nodes, addr)
+	r.mu.Unlock()
+
+	if graceful {
+		node.mu.Lock()
+		data := node.data
+		node.data = make(map[string]dht.Value)
+		succs := make([]Ref, len(node.succ))
+		copy(succs, node.succ)
+		node.mu.Unlock()
+		for _, s := range succs {
+			if s.Addr == addr {
+				continue
+			}
+			if peer, err := node.call(s.Addr); err == nil {
+				peer.rpcStoreBatch(data)
+				break
+			}
+		}
+	}
+	r.net.Unregister(addr)
+	return nil
+}
+
+// Fail marks a node crashed (unreachable) without removing its state;
+// Recover brings it back, as a rebooted peer re-entering with stale state.
+func (r *Ring) Fail(addr string)    { r.net.SetDown(addr, true) }
+func (r *Ring) Recover(addr string) { r.net.SetDown(addr, false) }
+
+// Stabilize runs the given number of maintenance sweeps: every live node
+// stabilizes, checks its predecessor, and refreshes its finger table.
+// Order is randomized per sweep, as asynchronous timers would interleave.
+func (r *Ring) Stabilize(rounds int) {
+	for i := 0; i < rounds; i++ {
+		nodes := r.liveNodes()
+		r.mu.Lock()
+		r.rng.Shuffle(len(nodes), func(a, b int) { nodes[a], nodes[b] = nodes[b], nodes[a] })
+		r.mu.Unlock()
+		for _, n := range nodes {
+			n.checkPredecessor()
+			n.stabilize()
+			for f := 0; f < hashring.Bits; f++ {
+				n.fixFinger(f)
+			}
+		}
+	}
+}
+
+// liveNodes returns the nodes that are registered and not failed.
+func (r *Ring) liveNodes() []*Node {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Node, 0, len(r.nodes))
+	for addr, n := range r.nodes {
+		if !r.net.Down(addr) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// NodeAddrs returns the live node addresses in sorted order.
+func (r *Ring) NodeAddrs() []string {
+	nodes := r.liveNodes()
+	out := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		out = append(out, n.ref.Addr)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (r *Ring) randomLiveLocked() *Node {
+	candidates := make([]*Node, 0, len(r.nodes))
+	for addr, n := range r.nodes {
+		if !r.net.Down(addr) {
+			candidates = append(candidates, n)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	// Map iteration is already random, but seed-driven selection keeps
+	// runs reproducible.
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].ref.Addr < candidates[j].ref.Addr })
+	return candidates[r.rng.Intn(len(candidates))]
+}
+
+func (r *Ring) entry() (*Node, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.randomLiveLocked()
+	if n == nil {
+		return nil, ErrNoNodes
+	}
+	return n, nil
+}
+
+// Lookup resolves the node responsible for a DHT key and reports the hop
+// count, Chord's O(log N) routing at work.
+func (r *Ring) Lookup(key string) (Ref, int, error) {
+	entry, err := r.entry()
+	if err != nil {
+		return zeroRef, 0, err
+	}
+	return entry.findSuccessor(hashring.HashKey(key), 0)
+}
+
+// replicaChain resolves the responsible node and up to Replicas-1 of its
+// live successors, retrying the lookup from other entries on failure.
+func (r *Ring) replicaChain(key string) ([]*Node, int, error) {
+	var lastErr error
+	hops := 0
+	for attempt := 0; attempt < 3; attempt++ {
+		entry, err := r.entry()
+		if err != nil {
+			return nil, hops, err
+		}
+		primary, h, err := entry.findSuccessor(hashring.HashKey(key), hops)
+		hops = h
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		chain := make([]*Node, 0, r.cfg.Replicas)
+		seen := map[string]bool{}
+		ref := primary
+		for len(chain) < r.cfg.Replicas && !seen[ref.Addr] {
+			seen[ref.Addr] = true
+			peer, err := entry.call(ref.Addr)
+			if ref.Addr != entry.ref.Addr {
+				hops++
+			}
+			if err == nil {
+				chain = append(chain, peer)
+				next := peer.rpcSuccessorList()
+				if len(next) == 0 {
+					break
+				}
+				ref = next[0]
+				continue
+			}
+			// Primary (or a replica) is down: slide along the successor
+			// chain via the entry's routing.
+			nref, h2, err2 := entry.findSuccessor(hashring.Add(ref.ID, 1), hops)
+			hops = h2
+			if err2 != nil || seen[nref.Addr] {
+				break
+			}
+			ref = nref
+		}
+		if len(chain) > 0 {
+			return chain, hops, nil
+		}
+		lastErr = dht.ErrNotFound
+	}
+	if lastErr == nil {
+		lastErr = errLookupDiverged
+	}
+	return nil, hops, fmt.Errorf("chord: %q unroutable: %w", key, lastErr)
+}
+
+// --- dht.DHT -------------------------------------------------------------
+
+// Put implements dht.DHT: route to the responsible node and store, then
+// replicate along the successor chain.
+func (r *Ring) Put(key string, v dht.Value) error {
+	chain, _, err := r.replicaChain(key)
+	if err != nil {
+		return err
+	}
+	for _, n := range chain {
+		n.rpcStore(key, v)
+	}
+	return nil
+}
+
+// Get implements dht.DHT, falling back along the replica chain.
+func (r *Ring) Get(key string) (dht.Value, error) {
+	chain, _, err := r.replicaChain(key)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range chain {
+		if v, ok := n.rpcFetch(key); ok {
+			return v, nil
+		}
+	}
+	return nil, dht.ErrNotFound
+}
+
+// Take implements dht.DHT: fetch-and-delete across the replica chain.
+func (r *Ring) Take(key string) (dht.Value, error) {
+	chain, _, err := r.replicaChain(key)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		out   dht.Value
+		found bool
+	)
+	for _, n := range chain {
+		if v, ok := n.rpcTake(key); ok && !found {
+			out, found = v, true
+		}
+	}
+	if !found {
+		return nil, dht.ErrNotFound
+	}
+	return out, nil
+}
+
+// Remove implements dht.DHT.
+func (r *Ring) Remove(key string) error {
+	chain, _, err := r.replicaChain(key)
+	if err != nil {
+		return err
+	}
+	for _, n := range chain {
+		n.rpcRemove(key)
+	}
+	return nil
+}
+
+// Write implements dht.DHT: the peer already storing the key rewrites it
+// in place (the index layer's free local-disk write). The ring locates
+// the storing replicas directly - no routing happens, matching the cost
+// contract.
+func (r *Ring) Write(key string, v dht.Value) error {
+	r.mu.Lock()
+	holders := make([]*Node, 0, r.cfg.Replicas)
+	for _, n := range r.nodes {
+		n.mu.Lock()
+		_, ok := n.data[key]
+		n.mu.Unlock()
+		if ok {
+			holders = append(holders, n)
+		}
+	}
+	r.mu.Unlock()
+	if len(holders) == 0 {
+		return dht.ErrNotFound
+	}
+	for _, n := range holders {
+		n.rpcWriteLocal(key, v)
+	}
+	return nil
+}
+
+// TotalKeys sums stored keys across live nodes (replicas counted once per
+// holder); a testing and load-balance inspection helper.
+func (r *Ring) TotalKeys() int {
+	var total int
+	for _, n := range r.liveNodes() {
+		n.mu.Lock()
+		total += len(n.data)
+		n.mu.Unlock()
+	}
+	return total
+}
+
+// KeysPerNode returns the per-node key counts keyed by address, the
+// load-balance view.
+func (r *Ring) KeysPerNode() map[string]int {
+	out := make(map[string]int)
+	for _, n := range r.liveNodes() {
+		n.mu.Lock()
+		out[n.ref.Addr] = len(n.data)
+		n.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+// Package costmodel implements the linear bandwidth cost model of paper
+// section 8: moving one data record costs i units (record size), one
+// DHT-lookup costs j units (routing hops, typically O(log N) physical
+// messages). The model prices maintenance events of over-DHT indexing
+// schemes and yields the analytic saving ratio of equation 3.
+package costmodel
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Params are the two unit costs of the linear model.
+type Params struct {
+	// RecordUnit is i: the bandwidth cost of moving one record between
+	// peers. Grows with record size.
+	RecordUnit float64
+	// LookupUnit is j: the bandwidth cost of one DHT-lookup. Grows with
+	// network scale (O(log N) physical hops per lookup).
+	LookupUnit float64
+}
+
+// ErrParams reports non-positive unit costs.
+var ErrParams = errors.New("costmodel: units must be positive")
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.RecordUnit <= 0 || p.LookupUnit <= 0 {
+		return fmt.Errorf("%w: i=%v j=%v", ErrParams, p.RecordUnit, p.LookupUnit)
+	}
+	return nil
+}
+
+// Gamma is the dimensionless ratio gamma = theta*i/j that equation 3's
+// saving ratio depends on: how record-movement-heavy one split is relative
+// to one DHT-lookup.
+func (p Params) Gamma(theta int) float64 {
+	return float64(theta) * p.RecordUnit / p.LookupUnit
+}
+
+// Cost prices an arbitrary maintenance event: moved record slots plus
+// DHT-lookups.
+func (p Params) Cost(movedRecords, lookups float64) float64 {
+	return movedRecords*p.RecordUnit + lookups*p.LookupUnit
+}
+
+// PsiLHT is equation 1: the average cost of one LHT leaf split - half the
+// bucket (alpha approaches 1/2) moves with a single DHT-lookup.
+func (p Params) PsiLHT(theta int) float64 {
+	return 0.5*float64(theta)*p.RecordUnit + 1*p.LookupUnit
+}
+
+// PsiPHT is equation 2: the average cost of one PHT leaf split - the whole
+// bucket moves (both children change labels) with 4 DHT-lookups (two child
+// puts, two B+-tree link updates).
+func (p Params) PsiPHT(theta int) float64 {
+	return float64(theta)*p.RecordUnit + 4*p.LookupUnit
+}
+
+// SavingRatio is equation 3: 1 - PsiLHT/PsiPHT = (gamma/2 + 3)/(gamma + 4),
+// the fraction of per-split maintenance bandwidth LHT saves over PHT. It
+// decreases from 3/4 (lookup-dominated, gamma -> 0) to 1/2
+// (record-dominated, gamma -> infinity): the paper's "up to 75%, at least
+// 50%" claim.
+func (p Params) SavingRatio(theta int) float64 {
+	gamma := p.Gamma(theta)
+	return (gamma/2 + 3) / (gamma + 4)
+}
+
+// SavingRatioFromGamma evaluates equation 3 directly from gamma.
+func SavingRatioFromGamma(gamma float64) float64 {
+	return (gamma/2 + 3) / (gamma + 4)
+}
+
+// MeasuredSaving computes the empirical saving ratio from two measured
+// maintenance totals priced by the model.
+func (p Params) MeasuredSaving(lhtMoved, lhtLookups, phtMoved, phtLookups float64) float64 {
+	lht := p.Cost(lhtMoved, lhtLookups)
+	pht := p.Cost(phtMoved, phtLookups)
+	if pht == 0 {
+		return 0
+	}
+	return 1 - lht/pht
+}

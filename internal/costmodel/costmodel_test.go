@@ -1,0 +1,72 @@
+package costmodel
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	if err := (Params{RecordUnit: 1, LookupUnit: 2}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Params{{}, {RecordUnit: 1}, {LookupUnit: 1}, {RecordUnit: -1, LookupUnit: 1}} {
+		if err := p.Validate(); !errors.Is(err, ErrParams) {
+			t.Errorf("Validate(%+v) = %v", p, err)
+		}
+	}
+}
+
+func TestEquations(t *testing.T) {
+	p := Params{RecordUnit: 2, LookupUnit: 10}
+	theta := 100
+	if got, want := p.PsiLHT(theta), 0.5*100*2+10.0; got != want {
+		t.Errorf("PsiLHT = %v, want %v", got, want)
+	}
+	if got, want := p.PsiPHT(theta), 100*2+40.0; got != want {
+		t.Errorf("PsiPHT = %v, want %v", got, want)
+	}
+	if got, want := p.Gamma(theta), 20.0; got != want {
+		t.Errorf("Gamma = %v, want %v", got, want)
+	}
+	// Equation 3 must equal 1 - PsiLHT/PsiPHT.
+	if got, want := p.SavingRatio(theta), 1-p.PsiLHT(theta)/p.PsiPHT(theta); math.Abs(got-want) > 1e-12 {
+		t.Errorf("SavingRatio = %v, want %v", got, want)
+	}
+}
+
+// TestSavingRatioBounds pins the paper's headline claim: the saving ratio
+// spans (1/2, 3/4], monotonically decreasing in gamma.
+func TestSavingRatioBounds(t *testing.T) {
+	if got := SavingRatioFromGamma(0); got != 0.75 {
+		t.Errorf("gamma=0: %v, want 0.75", got)
+	}
+	if got := SavingRatioFromGamma(1e12); math.Abs(got-0.5) > 1e-6 {
+		t.Errorf("gamma->inf: %v, want ~0.5", got)
+	}
+	prop := func(g float64) bool {
+		gamma := math.Abs(g)
+		if math.IsInf(gamma, 0) || math.IsNaN(gamma) {
+			return true
+		}
+		r := SavingRatioFromGamma(gamma)
+		return r > 0.5-1e-9 && r <= 0.75 && SavingRatioFromGamma(gamma+1) <= r
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeasuredSaving(t *testing.T) {
+	p := Params{RecordUnit: 1, LookupUnit: 1}
+	// LHT: 50 records + 1 lookup per split; PHT: 100 records + 4 lookups.
+	got := p.MeasuredSaving(50, 1, 100, 4)
+	want := 1 - 51.0/104.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("MeasuredSaving = %v, want %v", got, want)
+	}
+	if p.MeasuredSaving(1, 1, 0, 0) != 0 {
+		t.Error("zero PHT cost should yield 0")
+	}
+}

@@ -1,0 +1,21 @@
+package dht_test
+
+import (
+	"testing"
+
+	"lht/internal/dht"
+	"lht/internal/dht/dhttest"
+	"lht/internal/metrics"
+)
+
+func newCounters() *metrics.Counters { return &metrics.Counters{} }
+
+func TestLocalConformance(t *testing.T) {
+	dhttest.Run(t, func(t *testing.T) dht.DHT { return dht.NewLocal() }, dhttest.Options{})
+}
+
+func TestInstrumentedConformance(t *testing.T) {
+	dhttest.Run(t, func(t *testing.T) dht.DHT {
+		return dht.NewInstrumented(dht.NewLocal(), newCounters())
+	}, dhttest.Options{})
+}

@@ -1,0 +1,58 @@
+// Package dht defines the generic put/get interface that over-DHT
+// indexing schemes are built on (the "over-DHT paradigm" of paper section
+// 2), together with a single-process implementation and a cost-counting
+// instrumentation wrapper.
+//
+// Every routed operation (Put, Get, Take, Remove) costs exactly one
+// DHT-lookup in the paper's cost model: the underlying substrate resolves
+// the key to its responsible peer (typically O(log N) physical hops) and
+// performs the storage action there. Write is the deliberate exception: it
+// rewrites a value on the peer that already stores it ("write b back to
+// the local disk", Algorithm 1 line 10) and costs no lookup.
+//
+// Implementations in this repository: Local (this package), the Chord ring
+// adapter (internal/chord), the Kademlia adapter (internal/kademlia), and
+// the TCP cluster client (internal/tcpnet).
+package dht
+
+import "errors"
+
+// ErrNotFound reports that no value is stored under the requested key.
+// Over-DHT index algorithms rely on distinguishing this outcome: a failed
+// DHT-get steers the LHT lookup binary search (Algorithm 2 line 7).
+var ErrNotFound = errors.New("dht: key not found")
+
+// Value is the unit of storage. Index layers store their bucket structures
+// directly; substrates that cross process boundaries serialize values with
+// a codec supplied at construction.
+type Value any
+
+// DHT is the substrate interface the index layers program against. A DHT
+// is a flat key-value store addressed by opaque string keys; the index
+// layers derive keys from tree-node labels.
+//
+// Implementations must be safe for concurrent use.
+type DHT interface {
+	// Get returns the value stored under key, or ErrNotFound. Costs one
+	// DHT-lookup whether or not the key exists.
+	Get(key string) (Value, error)
+
+	// Put stores v under key, replacing any previous value. Costs one
+	// DHT-lookup.
+	Put(key string, v Value) error
+
+	// Take atomically removes and returns the value stored under key, or
+	// returns ErrNotFound. Costs one DHT-lookup. LHT leaf merges use Take
+	// to fetch-and-delete the sibling bucket in a single routing.
+	Take(key string) (Value, error)
+
+	// Remove deletes the value under key if present; removing an absent
+	// key is not an error. Costs one DHT-lookup.
+	Remove(key string) error
+
+	// Write rewrites the value stored under key in place on the peer that
+	// already holds it, without routing; it is an error (ErrNotFound) if
+	// the key is not stored. Costs zero DHT-lookups. Index layers call
+	// Write after mutating a bucket they just fetched.
+	Write(key string, v Value) error
+}

@@ -1,0 +1,169 @@
+package dht
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"lht/internal/metrics"
+)
+
+func TestLocalBasicOps(t *testing.T) {
+	d := NewLocal()
+
+	if _, err := d.Get("a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get missing = %v, want ErrNotFound", err)
+	}
+	if err := d.Put("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.Get("a")
+	if err != nil || v.(int) != 1 {
+		t.Fatalf("Get = %v, %v", v, err)
+	}
+	if err := d.Put("a", 2); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := d.Get("a"); v.(int) != 2 {
+		t.Fatalf("Put should replace, got %v", v)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if err := d.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Remove("a"); err != nil {
+		t.Fatal("Remove of absent key must not error:", err)
+	}
+	if _, err := d.Get("a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after Remove = %v", err)
+	}
+}
+
+func TestLocalTake(t *testing.T) {
+	d := NewLocal()
+	if _, err := d.Take("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Take missing = %v", err)
+	}
+	if err := d.Put("k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.Take("k")
+	if err != nil || v.(string) != "v" {
+		t.Fatalf("Take = %v, %v", v, err)
+	}
+	if _, err := d.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("Take must remove the key")
+	}
+}
+
+func TestLocalWrite(t *testing.T) {
+	d := NewLocal()
+	if err := d.Write("k", 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Write to absent key = %v, want ErrNotFound", err)
+	}
+	if err := d.Put("k", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write("k", 2); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := d.Get("k"); v.(int) != 2 {
+		t.Fatalf("Write did not update, got %v", v)
+	}
+}
+
+func TestLocalKeys(t *testing.T) {
+	d := NewLocal()
+	want := map[string]bool{"x": true, "y": true, "z": true}
+	for k := range want {
+		if err := d.Put(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := d.Keys()
+	if len(keys) != len(want) {
+		t.Fatalf("Keys = %v", keys)
+	}
+	for _, k := range keys {
+		if !want[k] {
+			t.Fatalf("unexpected key %q", k)
+		}
+	}
+}
+
+func TestLocalConcurrent(t *testing.T) {
+	d := NewLocal()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d-%d", g, i)
+				if err := d.Put(key, i); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := d.Get(key); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if d.Len() != 8*200 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+}
+
+func TestInstrumentedCounting(t *testing.T) {
+	var c metrics.Counters
+	d := NewInstrumented(NewLocal(), &c)
+	if d.Counters() != &c {
+		t.Fatal("Counters accessor mismatch")
+	}
+
+	_ = d.Put("a", 1)       // 1 lookup
+	_, _ = d.Get("a")       // 2
+	_, _ = d.Get("missing") // 3, 1 failed
+	_, _ = d.Take("a")      // 4
+	_, _ = d.Take("a")      // 5, 2 failed
+	_ = d.Remove("a")       // 6
+	_ = d.Put("b", 1)       // 7
+	_ = d.Write("b", 2)     // free
+
+	s := c.Snapshot()
+	if s.Lookups != 7 {
+		t.Errorf("Lookups = %d, want 7", s.Lookups)
+	}
+	if s.FailedGets != 2 {
+		t.Errorf("FailedGets = %d, want 2", s.FailedGets)
+	}
+	if v, err := d.Get("b"); err != nil || v.(int) != 2 {
+		t.Errorf("Write through instrumentation failed: %v, %v", v, err)
+	}
+}
+
+func TestSnapshotSubAndReset(t *testing.T) {
+	var c metrics.Counters
+	c.AddLookups(10)
+	c.AddFailedGets(2)
+	c.AddMovedRecords(30)
+	c.AddSplits(4)
+	c.AddMerges(1)
+	before := c.Snapshot()
+	c.AddLookups(5)
+	c.AddMovedRecords(7)
+	diff := c.Snapshot().Sub(before)
+	if diff.Lookups != 5 || diff.MovedRecords != 7 || diff.Splits != 0 {
+		t.Errorf("Sub = %+v", diff)
+	}
+	c.Reset()
+	if s := c.Snapshot(); s != (metrics.Snapshot{}) {
+		t.Errorf("Reset left %+v", s)
+	}
+}

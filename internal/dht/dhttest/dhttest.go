@@ -1,0 +1,204 @@
+// Package dhttest provides a conformance battery for dht.DHT
+// implementations: every substrate in the repository (the local map, the
+// Chord ring, the Kademlia network, the TCP cluster client, and any
+// future one) must pass the same behavioural contract the index layers
+// rely on. Substrate test files call Run with a factory.
+package dhttest
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"lht/internal/dht"
+)
+
+// Options tunes the battery for substrate-specific constraints.
+type Options struct {
+	// ValueFactory produces storable values; substrates that serialize
+	// need registered concrete types. Defaults to plain byte slices.
+	ValueFactory func(i int) dht.Value
+	// ValueEqual compares a stored value with the factory's i-th value.
+	ValueEqual func(v dht.Value, i int) bool
+	// Keys is the number of keys bulk tests use (default 200).
+	Keys int
+	// Concurrent disables the concurrency test when false-unsafe
+	// substrates are wrapped for single-threaded use. Defaults to true.
+	SkipConcurrency bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.ValueFactory == nil {
+		o.ValueFactory = func(i int) dht.Value { return []byte{byte(i), byte(i >> 8)} }
+	}
+	if o.ValueEqual == nil {
+		o.ValueEqual = func(v dht.Value, i int) bool {
+			b, ok := v.([]byte)
+			return ok && len(b) == 2 && b[0] == byte(i) && b[1] == byte(i>>8)
+		}
+	}
+	if o.Keys == 0 {
+		o.Keys = 200
+	}
+	return o
+}
+
+// Run drives the full conformance battery against fresh substrates from
+// the factory.
+func Run(t *testing.T, factory func(t *testing.T) dht.DHT, opts Options) {
+	t.Helper()
+	o := opts.withDefaults()
+
+	t.Run("GetMissing", func(t *testing.T) {
+		d := factory(t)
+		if _, err := d.Get("absent"); !errors.Is(err, dht.ErrNotFound) {
+			t.Fatalf("Get(absent) = %v, want ErrNotFound", err)
+		}
+	})
+
+	t.Run("PutGetReplace", func(t *testing.T) {
+		d := factory(t)
+		if err := d.Put("k", o.ValueFactory(1)); err != nil {
+			t.Fatal(err)
+		}
+		v, err := d.Get("k")
+		if err != nil || !o.ValueEqual(v, 1) {
+			t.Fatalf("Get = %v, %v", v, err)
+		}
+		if err := d.Put("k", o.ValueFactory(2)); err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := d.Get("k"); !o.ValueEqual(v, 2) {
+			t.Fatal("Put must replace")
+		}
+	})
+
+	t.Run("TakeSemantics", func(t *testing.T) {
+		d := factory(t)
+		if _, err := d.Take("k"); !errors.Is(err, dht.ErrNotFound) {
+			t.Fatalf("Take(absent) = %v", err)
+		}
+		if err := d.Put("k", o.ValueFactory(3)); err != nil {
+			t.Fatal(err)
+		}
+		v, err := d.Take("k")
+		if err != nil || !o.ValueEqual(v, 3) {
+			t.Fatalf("Take = %v, %v", v, err)
+		}
+		if _, err := d.Get("k"); !errors.Is(err, dht.ErrNotFound) {
+			t.Fatal("Take must remove the key")
+		}
+	})
+
+	t.Run("RemoveIdempotent", func(t *testing.T) {
+		d := factory(t)
+		if err := d.Put("k", o.ValueFactory(4)); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Remove("k"); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Remove("k"); err != nil {
+			t.Fatalf("Remove(absent) = %v, must not error", err)
+		}
+		if _, err := d.Get("k"); !errors.Is(err, dht.ErrNotFound) {
+			t.Fatal("Remove must delete")
+		}
+	})
+
+	t.Run("WriteSemantics", func(t *testing.T) {
+		d := factory(t)
+		if err := d.Write("k", o.ValueFactory(5)); !errors.Is(err, dht.ErrNotFound) {
+			t.Fatalf("Write(absent) = %v, want ErrNotFound", err)
+		}
+		if err := d.Put("k", o.ValueFactory(5)); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Write("k", o.ValueFactory(6)); err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := d.Get("k"); !o.ValueEqual(v, 6) {
+			t.Fatal("Write must update")
+		}
+	})
+
+	t.Run("ManyKeys", func(t *testing.T) {
+		d := factory(t)
+		for i := 0; i < o.Keys; i++ {
+			if err := d.Put(fmt.Sprintf("key-%d", i), o.ValueFactory(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < o.Keys; i++ {
+			v, err := d.Get(fmt.Sprintf("key-%d", i))
+			if err != nil || !o.ValueEqual(v, i) {
+				t.Fatalf("Get(key-%d) = %v, %v", i, v, err)
+			}
+		}
+		// Delete the even keys, the odd ones must survive.
+		for i := 0; i < o.Keys; i += 2 {
+			if err := d.Remove(fmt.Sprintf("key-%d", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < o.Keys; i++ {
+			_, err := d.Get(fmt.Sprintf("key-%d", i))
+			if i%2 == 0 && !errors.Is(err, dht.ErrNotFound) {
+				t.Fatalf("key-%d should be gone, got %v", i, err)
+			}
+			if i%2 == 1 && err != nil {
+				t.Fatalf("key-%d should survive, got %v", i, err)
+			}
+		}
+	})
+
+	t.Run("LabelShapedKeys", func(t *testing.T) {
+		// The index layers use '#'-prefixed bit-string keys; make sure
+		// nothing in the substrate chokes on them or conflates them.
+		d := factory(t)
+		keys := []string{"#", "#0", "#00", "#01", "#0110", "#01100000000000000000"}
+		for i, k := range keys {
+			if err := d.Put(k, o.ValueFactory(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i, k := range keys {
+			v, err := d.Get(k)
+			if err != nil || !o.ValueEqual(v, i) {
+				t.Fatalf("Get(%q) = %v, %v", k, v, err)
+			}
+		}
+	})
+
+	if !o.SkipConcurrency {
+		t.Run("ConcurrentMixedOps", func(t *testing.T) {
+			d := factory(t)
+			var wg sync.WaitGroup
+			for g := 0; g < 6; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < 40; i++ {
+						key := fmt.Sprintf("c-%d-%d", g, i)
+						if err := d.Put(key, o.ValueFactory(i)); err != nil {
+							t.Errorf("Put: %v", err)
+							return
+						}
+						if v, err := d.Get(key); err != nil || !o.ValueEqual(v, i) {
+							t.Errorf("Get(%s) = %v, %v", key, v, err)
+							return
+						}
+						if i%3 == 0 {
+							if err := d.Remove(key); err != nil {
+								t.Errorf("Remove: %v", err)
+								return
+							}
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+		})
+	}
+}

@@ -1,0 +1,63 @@
+package dht
+
+import (
+	"errors"
+
+	"lht/internal/metrics"
+)
+
+// Instrumented wraps a DHT and charges every routed operation to a
+// metrics.Counters according to the paper's cost model: Get, Put, Take and
+// Remove each cost one DHT-lookup; failed Gets are additionally counted so
+// experiments can report them; Write is free.
+type Instrumented struct {
+	inner DHT
+	c     *metrics.Counters
+}
+
+var _ DHT = (*Instrumented)(nil)
+
+// NewInstrumented wraps inner, charging costs to c. c must not be nil.
+func NewInstrumented(inner DHT, c *metrics.Counters) *Instrumented {
+	return &Instrumented{inner: inner, c: c}
+}
+
+// Counters returns the counter set this wrapper charges.
+func (d *Instrumented) Counters() *metrics.Counters { return d.c }
+
+// Get implements DHT, counting one lookup (and one failed get on miss).
+func (d *Instrumented) Get(key string) (Value, error) {
+	d.c.AddLookups(1)
+	v, err := d.inner.Get(key)
+	if errors.Is(err, ErrNotFound) {
+		d.c.AddFailedGets(1)
+	}
+	return v, err
+}
+
+// Put implements DHT, counting one lookup.
+func (d *Instrumented) Put(key string, v Value) error {
+	d.c.AddLookups(1)
+	return d.inner.Put(key, v)
+}
+
+// Take implements DHT, counting one lookup.
+func (d *Instrumented) Take(key string) (Value, error) {
+	d.c.AddLookups(1)
+	v, err := d.inner.Take(key)
+	if errors.Is(err, ErrNotFound) {
+		d.c.AddFailedGets(1)
+	}
+	return v, err
+}
+
+// Remove implements DHT, counting one lookup.
+func (d *Instrumented) Remove(key string) error {
+	d.c.AddLookups(1)
+	return d.inner.Remove(key)
+}
+
+// Write implements DHT; it is free in the cost model.
+func (d *Instrumented) Write(key string, v Value) error {
+	return d.inner.Write(key, v)
+}

@@ -1,0 +1,89 @@
+package dht
+
+import "sync"
+
+// Local is a single-process DHT: one flat map standing in for the whole
+// ring. It gives the index layers exactly the put/get semantics of a real
+// substrate while keeping experiments fast and deterministic, which is
+// what makes paper-scale (2^20-record) runs feasible on one machine.
+//
+// The zero value is not usable; create with NewLocal.
+type Local struct {
+	mu   sync.RWMutex
+	data map[string]Value
+}
+
+var _ DHT = (*Local)(nil)
+
+// NewLocal returns an empty single-process DHT.
+func NewLocal() *Local {
+	return &Local{data: make(map[string]Value)}
+}
+
+// Get implements DHT.
+func (l *Local) Get(key string) (Value, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	v, ok := l.data[key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return v, nil
+}
+
+// Put implements DHT.
+func (l *Local) Put(key string, v Value) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.data[key] = v
+	return nil
+}
+
+// Take implements DHT.
+func (l *Local) Take(key string) (Value, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	v, ok := l.data[key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	delete(l.data, key)
+	return v, nil
+}
+
+// Remove implements DHT.
+func (l *Local) Remove(key string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.data, key)
+	return nil
+}
+
+// Write implements DHT.
+func (l *Local) Write(key string, v Value) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.data[key]; !ok {
+		return ErrNotFound
+	}
+	l.data[key] = v
+	return nil
+}
+
+// Len returns the number of stored keys.
+func (l *Local) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.data)
+}
+
+// Keys returns a copy of all stored keys, in no particular order.
+func (l *Local) Keys() []string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	keys := make([]string, 0, len(l.data))
+	for k := range l.data {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,180 @@
+package dst
+
+import (
+	"errors"
+	"fmt"
+
+	"lht/internal/bitlabel"
+	"lht/internal/dht"
+	"lht/internal/keyspace"
+	"lht/internal/record"
+)
+
+// Range answers [lo, hi) the DST way: the initiator locally decomposes
+// the range into its canonical segments (the minimal set of maximal
+// dyadic segments covering it, at most 2 per level - data-independent)
+// and probes all segment nodes in parallel. An absent node means an
+// empty segment; a saturated node holds no replicas, so the query
+// descends to its children. Latency is one round plus the deepest
+// descent - the "parallel lookups to reduce query latency" of the
+// paper's related-work discussion - while bandwidth pays for every probe,
+// hit or miss.
+func (ix *Index) Range(lo, hi float64) ([]record.Record, Cost, error) {
+	var cost Cost
+	if err := keyspace.CheckKey(lo); err != nil {
+		return nil, cost, fmt.Errorf("%w: lo: %v", ErrBadRange, err)
+	}
+	if !(hi > lo && hi <= 1) {
+		return nil, cost, fmt.Errorf("%w: [%v, %v)", ErrBadRange, lo, hi)
+	}
+	r := keyspace.Interval{Lo: lo, Hi: hi}
+	segments := canonicalSegments(r, ix.cfg.Depth)
+
+	var out []record.Record
+	maxDepth := 0
+	for _, seg := range segments {
+		want := keyspace.IntervalOf(seg).Intersect(r)
+		d, err := ix.querySegment(seg, want, &out, &cost)
+		if err != nil {
+			return nil, cost, err
+		}
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	cost.Steps = maxDepth
+	return out, cost, nil
+}
+
+// canonicalSegments computes the segment-tree decomposition of r: the
+// maximal dyadic segments fully inside r, found by local recursion (no
+// DHT traffic).
+func canonicalSegments(r keyspace.Interval, maxDepth int) []bitlabel.Label {
+	var out []bitlabel.Label
+	var walk func(label bitlabel.Label)
+	walk = func(label bitlabel.Label) {
+		iv := keyspace.IntervalOf(label)
+		if !iv.Overlaps(r) {
+			return
+		}
+		if iv.ContainedIn(r) || label.Len() >= maxDepth {
+			out = append(out, label)
+			return
+		}
+		walk(label.Left())
+		walk(label.Right())
+	}
+	walk(bitlabel.TreeRoot)
+	return out
+}
+
+// querySegment probes one canonical segment node and collects the records
+// inside want, descending below saturated nodes. It returns the length of
+// its dependent lookup chain.
+func (ix *Index) querySegment(label bitlabel.Label, want keyspace.Interval, out *[]record.Record, cost *Cost) (int, error) {
+	if want.Empty() {
+		return 0, nil
+	}
+	n, err := ix.getNode(label.Key(), cost)
+	if errors.Is(err, dht.ErrNotFound) {
+		return 1, nil // empty segment
+	}
+	if err != nil {
+		return 1, fmt.Errorf("dst: segment %s: %w", label, err)
+	}
+	if !n.Saturated {
+		*out = record.FilterRange(*out, n.Records, want.Lo, want.Hi)
+		return 1, nil
+	}
+	// Saturated: the children hold complete replicas of their halves;
+	// probe them in parallel.
+	maxChild := 0
+	for _, child := range []bitlabel.Label{label.Left(), label.Right()} {
+		sub := keyspace.IntervalOf(child).Intersect(want)
+		if sub.Empty() {
+			continue
+		}
+		d, err := ix.querySegment(child, sub, out, cost)
+		if err != nil {
+			return 1 + d, err
+		}
+		if d > maxChild {
+			maxChild = d
+		}
+	}
+	return 1 + maxChild, nil
+}
+
+// Count returns the number of indexed records via a full-space range
+// query (testing helper; charged like any other query).
+func (ix *Index) Count() (int, error) {
+	recs, _, err := ix.Range(0, 1)
+	if err != nil {
+		return 0, err
+	}
+	return len(recs), nil
+}
+
+// CheckInvariants verifies DST's replication invariants over the stored
+// tree, using uncharged reads: saturated nodes hold nothing; every
+// non-saturated node's replica set equals the union of the ground-truth
+// (depth-D) records under it; all records lie inside their node's
+// segment. It is meant for tests.
+func (ix *Index) CheckInvariants() error {
+	var walk func(label bitlabel.Label) (map[float64]bool, error)
+	walk = func(label bitlabel.Label) (map[float64]bool, error) {
+		n, err := ix.peekNode(label)
+		if errors.Is(err, dht.ErrNotFound) {
+			return nil, nil // empty segment
+		}
+		if err != nil {
+			return nil, err
+		}
+		iv := n.Interval()
+		for _, r := range n.Records {
+			if !iv.Contains(r.Key) {
+				return nil, fmt.Errorf("%w: record %g outside %s", ErrCorrupt, r.Key, n)
+			}
+		}
+		if label.Len() == ix.cfg.Depth {
+			set := make(map[float64]bool, len(n.Records))
+			for _, r := range n.Records {
+				set[r.Key] = true
+			}
+			return set, nil
+		}
+		left, err := walk(label.Left())
+		if err != nil {
+			return nil, err
+		}
+		right, err := walk(label.Right())
+		if err != nil {
+			return nil, err
+		}
+		union := left
+		if union == nil {
+			union = make(map[float64]bool)
+		}
+		for k := range right {
+			union[k] = true
+		}
+		if n.Saturated {
+			if len(n.Records) != 0 {
+				return nil, fmt.Errorf("%w: saturated node %s holds records", ErrCorrupt, n)
+			}
+			return union, nil
+		}
+		if len(n.Records) != len(union) {
+			return nil, fmt.Errorf("%w: node %s replicates %d of %d ground-truth records",
+				ErrCorrupt, n, len(n.Records), len(union))
+		}
+		for _, r := range n.Records {
+			if !union[r.Key] {
+				return nil, fmt.Errorf("%w: node %s replicates phantom record %g", ErrCorrupt, n, r.Key)
+			}
+		}
+		return union, nil
+	}
+	_, err := walk(bitlabel.TreeRoot)
+	return err
+}

@@ -1,0 +1,68 @@
+// Package hashring provides the consistent-hashing identifier space that
+// ring DHTs (Chord here; Bamboo in the paper's testbed) are built on
+// (Karger et al., STOC 1997): peers and keys hash onto a circular 64-bit
+// identifier space, and a key belongs to the first peer clockwise from its
+// identifier.
+package hashring
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"fmt"
+)
+
+// Bits is the width of the identifier space.
+const Bits = 64
+
+// ID is a point on the identifier circle [0, 2^64).
+type ID uint64
+
+// String renders the ID in fixed-width hex for stable logs.
+func (id ID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// HashKey maps a DHT key onto the circle (SHA-1 truncated to 64 bits, as
+// consistent hashing prescribes a uniform base hash).
+func HashKey(key string) ID {
+	sum := sha1.Sum([]byte(key))
+	return ID(binary.BigEndian.Uint64(sum[:8]))
+}
+
+// HashAddr maps a peer address onto the circle. It is HashKey with a
+// domain-separation prefix so a peer named like a key does not collide by
+// construction.
+func HashAddr(addr string) ID {
+	return HashKey("node:" + addr)
+}
+
+// Between reports whether x lies on the half-open clockwise arc (a, b].
+// When a == b the arc spans the whole circle, matching Chord's convention
+// for a single-node ring.
+func Between(x, a, b ID) bool {
+	if a < b {
+		return x > a && x <= b
+	}
+	return x > a || x <= b
+}
+
+// StrictBetween reports whether x lies on the open clockwise arc (a, b).
+func StrictBetween(x, a, b ID) bool {
+	if a == b {
+		return x != a
+	}
+	if a < b {
+		return x > a && x < b
+	}
+	return x > a || x < b
+}
+
+// Add returns id + d on the circle (mod 2^64), used to compute finger
+// starts id + 2^(i-1).
+func Add(id ID, d uint64) ID { return ID(uint64(id) + d) }
+
+// FingerStart returns the i-th finger start (0-indexed): id + 2^i.
+func FingerStart(id ID, i int) ID {
+	return Add(id, 1<<uint(i))
+}
+
+// Distance returns the clockwise distance from a to b.
+func Distance(a, b ID) uint64 { return uint64(b) - uint64(a) }

@@ -1,0 +1,101 @@
+package hashring
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashDeterminismAndSpread(t *testing.T) {
+	if HashKey("#0101") != HashKey("#0101") {
+		t.Error("HashKey not deterministic")
+	}
+	if HashKey("a") == HashKey("b") {
+		t.Error("distinct keys should almost surely differ")
+	}
+	if HashKey("x") == HashAddr("x") {
+		t.Error("key and addr domains must be separated")
+	}
+	// Uniformity smoke test: bucket 64k hashes into 16 bins.
+	bins := make([]int, 16)
+	for i := 0; i < 1<<16; i++ {
+		bins[HashKey(fmt.Sprintf("key-%d", i))>>60]++
+	}
+	for i, n := range bins {
+		if n < 3500 || n > 4700 {
+			t.Errorf("bin %d has %d of 65536 hashes", i, n)
+		}
+	}
+}
+
+func TestBetween(t *testing.T) {
+	cases := []struct {
+		x, a, b ID
+		want    bool
+	}{
+		{5, 1, 10, true},
+		{10, 1, 10, true}, // half-open: includes b
+		{1, 1, 10, false}, // excludes a
+		{11, 1, 10, false},
+		{0, 10, 1, true},  // wrapping arc
+		{11, 10, 1, true}, // wrapping arc
+		{5, 10, 1, false},
+		{7, 7, 7, true}, // a == b spans the whole circle (single-node ring)
+		{8, 7, 7, true},
+	}
+	for _, tc := range cases {
+		if got := Between(tc.x, tc.a, tc.b); got != tc.want {
+			t.Errorf("Between(%d, %d, %d) = %v", tc.x, tc.a, tc.b, got)
+		}
+	}
+}
+
+func TestStrictBetween(t *testing.T) {
+	if StrictBetween(10, 1, 10) {
+		t.Error("strict arc must exclude b")
+	}
+	if !StrictBetween(5, 1, 10) || !StrictBetween(0, 10, 1) {
+		t.Error("strict arc membership broken")
+	}
+	if StrictBetween(7, 7, 7) || !StrictBetween(8, 7, 7) {
+		t.Error("degenerate strict arc broken")
+	}
+}
+
+func TestFingerStartAndAdd(t *testing.T) {
+	if FingerStart(0, 0) != 1 || FingerStart(0, 63) != 1<<63 {
+		t.Error("FingerStart broken")
+	}
+	// Wraparound.
+	if Add(^ID(0), 2) != 1 {
+		t.Errorf("Add wrap = %v", Add(^ID(0), 2))
+	}
+	if FingerStart(^ID(0), 0) != 0 {
+		t.Error("FingerStart wrap broken")
+	}
+}
+
+func TestDistance(t *testing.T) {
+	if Distance(10, 15) != 5 {
+		t.Error("Distance forward broken")
+	}
+	if Distance(15, 10) != ^uint64(0)-4 {
+		t.Errorf("Distance wrap = %d", Distance(15, 10))
+	}
+}
+
+// Property: exactly one of "x in (a,b]" and "x in (b,a]" holds whenever
+// a, b, x are distinct - the arcs partition the circle.
+func TestQuickArcPartition(t *testing.T) {
+	prop := func(x, a, b uint64) bool {
+		if x == a || x == b || a == b {
+			return true
+		}
+		return Between(ID(x), ID(a), ID(b)) != Between(ID(x), ID(b), ID(a))
+	}
+	cfg := &quick.Config{MaxCount: 10000, Rand: rand.New(rand.NewSource(12))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

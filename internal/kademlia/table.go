@@ -1,0 +1,106 @@
+// Package kademlia implements the Kademlia DHT (Maymounkov & Mazieres,
+// IPTPS 2002): XOR-metric routing over k-buckets with iterative,
+// concurrent lookups. It is the repository's second substrate, present to
+// substantiate the paper's claim that over-DHT indexes are "adaptable to
+// any DHT substrate": the same LHT index runs over it unchanged.
+//
+// Like internal/chord it runs on simnet with per-message accounting and is
+// step-driven and deterministic.
+package kademlia
+
+import (
+	"math/bits"
+	"sort"
+
+	"lht/internal/hashring"
+)
+
+// Ref identifies a node by ring ID and address.
+type Ref struct {
+	ID   hashring.ID
+	Addr string
+}
+
+// xorDist is the Kademlia metric.
+func xorDist(a, b hashring.ID) uint64 { return uint64(a) ^ uint64(b) }
+
+// bucketIndex returns which k-bucket of self a contact belongs to: the
+// position of the highest differing bit (0..63), or -1 for self.
+func bucketIndex(self, other hashring.ID) int {
+	d := xorDist(self, other)
+	if d == 0 {
+		return -1
+	}
+	return 63 - bits.LeadingZeros64(d)
+}
+
+// table is one node's routing state: 64 k-buckets of at most k contacts
+// each, least-recently-seen first.
+type table struct {
+	self    Ref
+	k       int
+	buckets [hashring.Bits][]Ref
+}
+
+func newTable(self Ref, k int) *table {
+	return &table{self: self, k: k}
+}
+
+// observe records contact with a peer: fresh contacts go to the bucket
+// tail (most recently seen); a full bucket drops the newcomer, Kademlia's
+// preference for long-lived contacts.
+func (t *table) observe(r Ref) {
+	i := bucketIndex(t.self.ID, r.ID)
+	if i < 0 {
+		return
+	}
+	b := t.buckets[i]
+	for j, c := range b {
+		if c.Addr == r.Addr {
+			copy(b[j:], b[j+1:])
+			b[len(b)-1] = r
+			return
+		}
+	}
+	if len(b) < t.k {
+		t.buckets[i] = append(b, r)
+	}
+}
+
+// remove drops a dead contact.
+func (t *table) remove(addr string) {
+	for i, b := range t.buckets {
+		for j, c := range b {
+			if c.Addr == addr {
+				t.buckets[i] = append(b[:j], b[j+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// closest returns up to n known contacts closest to target by XOR
+// distance, including self.
+func (t *table) closest(target hashring.ID, n int) []Ref {
+	out := make([]Ref, 0, n+1)
+	out = append(out, t.self)
+	for _, b := range t.buckets {
+		out = append(out, b...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return xorDist(out[i].ID, target) < xorDist(out[j].ID, target)
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// size returns the number of contacts (excluding self).
+func (t *table) size() int {
+	var n int
+	for _, b := range t.buckets {
+		n += len(b)
+	}
+	return n
+}

@@ -1,0 +1,153 @@
+// Package keyspace models the one-dimensional data-key space of LHT.
+//
+// A data key delta is a real value in [0, 1) (paper section 3.1). The
+// partition tree splits the space at interval medians, so every tree node
+// covers a dyadic interval [lo, hi) determined entirely by its label
+// (section 3.2). This package converts between data keys, labels, and
+// intervals, including the binary expansion mu(delta, D) used by the
+// lookup binary search (section 5).
+package keyspace
+
+import (
+	"errors"
+	"fmt"
+
+	"lht/internal/bitlabel"
+)
+
+// MaxDepth is the deepest tree the float64 key space supports exactly:
+// every dyadic boundary down to 2^-52 is representable, so interval
+// arithmetic and binary expansion agree bit for bit. (bitlabel.Label
+// holds up to 62 bits, but beyond 52 the float64 mantissa runs out.)
+const MaxDepth = 52
+
+// ErrKeyRange reports a data key outside [0, 1).
+var ErrKeyRange = errors.New("keyspace: data key outside [0, 1)")
+
+// CheckKey validates that delta lies in the data-key domain [0, 1).
+func CheckKey(delta float64) error {
+	if !(delta >= 0 && delta < 1) { // also rejects NaN
+		return fmt.Errorf("%w: %v", ErrKeyRange, delta)
+	}
+	return nil
+}
+
+// Mu computes the binary string mu(delta, D) of section 5: the label of
+// the depth-D tree node whose interval contains delta. Its first bit is
+// the root edge 0 and the remaining D-1 bits are the binary expansion of
+// delta. Every possible leaf label covering delta is a prefix of
+// Mu(delta, D) as long as the tree is at most D deep.
+//
+// depth must be in [1, MaxDepth]; the caller (index configuration)
+// validates it. Mu panics on an invalid depth and returns an error only
+// for an out-of-range key, mirroring how the index layers use it.
+func Mu(delta float64, depth int) (bitlabel.Label, error) {
+	if depth < 1 || depth > MaxDepth {
+		panic(fmt.Sprintf("keyspace: Mu depth %d outside [1, %d]", depth, MaxDepth))
+	}
+	if err := CheckKey(delta); err != nil {
+		return bitlabel.Label{}, err
+	}
+	l := bitlabel.TreeRoot
+	for i := 1; i < depth; i++ {
+		delta *= 2
+		if delta >= 1 {
+			l = l.Right()
+			delta -= 1
+		} else {
+			l = l.Left()
+		}
+	}
+	return l, nil
+}
+
+// Interval is a half-open interval [Lo, Hi) of the data-key space.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Full is the whole data-key space [0, 1).
+var Full = Interval{Lo: 0, Hi: 1}
+
+// IntervalOf returns the dyadic interval covered by a tree node. The
+// virtual root and the regular root "#0" both cover [0, 1); each further
+// bit halves the interval (0 keeps the lower half, 1 the upper half).
+func IntervalOf(l bitlabel.Label) Interval {
+	iv := Full
+	for i := 1; i < l.Len(); i++ {
+		mid := iv.Lo + (iv.Hi-iv.Lo)/2
+		if l.Bit(i) == 0 {
+			iv.Hi = mid
+		} else {
+			iv.Lo = mid
+		}
+	}
+	return iv
+}
+
+// Contains reports whether delta lies in [Lo, Hi).
+func (iv Interval) Contains(delta float64) bool {
+	return delta >= iv.Lo && delta < iv.Hi
+}
+
+// Overlaps reports whether the two half-open intervals intersect.
+func (iv Interval) Overlaps(other Interval) bool {
+	return iv.Lo < other.Hi && other.Lo < iv.Hi
+}
+
+// ContainedIn reports whether iv is a subset of other.
+func (iv Interval) ContainedIn(other Interval) bool {
+	return other.Lo <= iv.Lo && iv.Hi <= other.Hi
+}
+
+// Intersect returns the intersection of the two intervals. The result is
+// empty (Lo >= Hi) when they do not overlap.
+func (iv Interval) Intersect(other Interval) Interval {
+	out := iv
+	if other.Lo > out.Lo {
+		out.Lo = other.Lo
+	}
+	if other.Hi < out.Hi {
+		out.Hi = other.Hi
+	}
+	return out
+}
+
+// Empty reports whether the interval contains no keys.
+func (iv Interval) Empty() bool { return iv.Lo >= iv.Hi }
+
+// Width returns Hi - Lo (zero for empty intervals).
+func (iv Interval) Width() float64 {
+	if iv.Empty() {
+		return 0
+	}
+	return iv.Hi - iv.Lo
+}
+
+// String renders the interval as "[lo, hi)".
+func (iv Interval) String() string { return fmt.Sprintf("[%g, %g)", iv.Lo, iv.Hi) }
+
+// RangeLCA returns the label of the lowest tree node whose interval covers
+// the query range [lo, hi), descending from the regular root and stopping
+// either when the node's children would split the range or at maxDepth
+// bits. This is the locally computable LCA of Algorithm 4 (general range
+// forwarding): it depends only on the range, not on the tree's current
+// shape.
+func RangeLCA(r Interval, maxDepth int) bitlabel.Label {
+	l := bitlabel.TreeRoot
+	iv := Full
+	for l.Len() < maxDepth {
+		mid := iv.Lo + (iv.Hi-iv.Lo)/2
+		switch {
+		case r.Hi <= mid:
+			l = l.Left()
+			iv.Hi = mid
+		case r.Lo >= mid:
+			l = l.Right()
+			iv.Lo = mid
+		default:
+			return l
+		}
+	}
+	return l
+}

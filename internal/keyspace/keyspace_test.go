@@ -1,0 +1,204 @@
+package keyspace
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lht/internal/bitlabel"
+)
+
+func TestCheckKey(t *testing.T) {
+	for _, ok := range []float64{0, 0.5, 0.999999, 1e-12} {
+		if err := CheckKey(ok); err != nil {
+			t.Errorf("CheckKey(%v) = %v", ok, err)
+		}
+	}
+	for _, bad := range []float64{-0.1, 1, 1.5, math.NaN(), math.Inf(1)} {
+		if err := CheckKey(bad); !errors.Is(err, ErrKeyRange) {
+			t.Errorf("CheckKey(%v) = %v, want ErrKeyRange", bad, err)
+		}
+	}
+}
+
+func TestMuPaperExample(t *testing.T) {
+	// Section 5: mu(0.4, 6) = #00110 - root prefix #0 plus the binary
+	// expansion 0110 of 0.4 to 4 bits. (The paper says "binary string
+	// #00110 (with length 6)" counting the '#'.)
+	mu, err := Mu(0.4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mu.String(); got != "#00110" {
+		t.Errorf("Mu(0.4, 5) = %s, want #00110", got)
+	}
+	// Section 5 lookup example: mu(0.9, 14) = #01110011001100.
+	mu, err = Mu(0.9, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mu.String(); got != "#01110011001100" {
+		t.Errorf("Mu(0.9, 14) = %s, want #01110011001100", got)
+	}
+}
+
+func TestMuErrors(t *testing.T) {
+	if _, err := Mu(1.0, 10); !errors.Is(err, ErrKeyRange) {
+		t.Errorf("Mu(1.0) = %v, want ErrKeyRange", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Mu with depth 0 should panic")
+		}
+	}()
+	_, _ = Mu(0.5, 0)
+}
+
+func TestIntervalOf(t *testing.T) {
+	cases := []struct {
+		label  string
+		lo, hi float64
+	}{
+		{"#", 0, 1},
+		{"#0", 0, 1},
+		{"#00", 0, 0.5},
+		{"#01", 0.5, 1},
+		{"#001", 0.25, 0.5}, // Fig. 2: lambda(0.4) = #001
+		{"#010", 0.5, 0.75},
+		{"#0111", 0.875, 1},
+		{"#0000", 0, 0.125},
+	}
+	for _, tc := range cases {
+		iv := IntervalOf(bitlabel.MustParse(tc.label))
+		if iv.Lo != tc.lo || iv.Hi != tc.hi {
+			t.Errorf("IntervalOf(%s) = %v, want [%g, %g)", tc.label, iv, tc.lo, tc.hi)
+		}
+	}
+}
+
+func TestIntervalOps(t *testing.T) {
+	a := Interval{Lo: 0.2, Hi: 0.6}
+	b := Interval{Lo: 0.5, Hi: 0.9}
+	c := Interval{Lo: 0.6, Hi: 0.7}
+
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("a and b should overlap")
+	}
+	if a.Overlaps(c) {
+		t.Error("touching intervals are half-open and do not overlap")
+	}
+	if got := a.Intersect(b); got != (Interval{Lo: 0.5, Hi: 0.6}) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Intersect(c); !got.Empty() {
+		t.Errorf("disjoint Intersect should be empty, got %v", got)
+	}
+	if !a.Contains(0.2) || a.Contains(0.6) {
+		t.Error("Contains must be half-open")
+	}
+	if !(Interval{Lo: 0.3, Hi: 0.4}).ContainedIn(a) {
+		t.Error("ContainedIn failed")
+	}
+	if a.ContainedIn(b) {
+		t.Error("a is not contained in b")
+	}
+	if got := a.Width(); math.Abs(got-0.4) > 1e-15 {
+		t.Errorf("Width = %v", got)
+	}
+	if (Interval{Lo: 1, Hi: 1}).Width() != 0 {
+		t.Error("empty width should be 0")
+	}
+	if got := a.String(); got != "[0.2, 0.6)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// TestMuIntervalConsistency is the invariant the lookup algorithm depends
+// on: every prefix of mu(delta, D) covers delta.
+func TestMuIntervalConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 5000; i++ {
+		delta := rng.Float64()
+		depth := 1 + rng.Intn(40)
+		mu, err := Mu(delta, depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 1; k <= mu.Len(); k++ {
+			if !IntervalOf(mu.Prefix(k)).Contains(delta) {
+				t.Fatalf("prefix %s of mu(%v, %d) does not contain the key", mu.Prefix(k), delta, depth)
+			}
+		}
+	}
+}
+
+// TestMuDyadicBoundaries exercises keys exactly on split points, where
+// float comparisons are most delicate.
+func TestMuDyadicBoundaries(t *testing.T) {
+	for depth := 2; depth <= 20; depth++ {
+		for num := 0; num < 16; num++ {
+			delta := float64(num) / 16
+			mu, err := Mu(delta, depth)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := 1; k <= mu.Len(); k++ {
+				if !IntervalOf(mu.Prefix(k)).Contains(delta) {
+					t.Fatalf("dyadic %v: prefix %s misses", delta, mu.Prefix(k))
+				}
+			}
+		}
+	}
+}
+
+func TestRangeLCA(t *testing.T) {
+	cases := []struct {
+		lo, hi float64
+		depth  int
+		want   string
+	}{
+		{0.2, 0.6, 20, "#0"},   // section 6.2 example: LCA = #0
+		{0.1, 0.2, 20, "#000"}, // inside [0, 0.25)
+		{0.5, 1.0, 20, "#01"},  // the right half exactly
+		{0.0, 1.0, 20, "#0"},   // the whole space
+		{0.26, 0.49, 20, "#001"},
+		{0.5, 0.5078125, 3, "#010"}, // capped by maxDepth
+	}
+	for _, tc := range cases {
+		got := RangeLCA(Interval{Lo: tc.lo, Hi: tc.hi}, tc.depth)
+		if got.String() != tc.want {
+			t.Errorf("RangeLCA([%g, %g), %d) = %s, want %s", tc.lo, tc.hi, tc.depth, got, tc.want)
+		}
+	}
+}
+
+// Property: RangeLCA covers the range and, unless capped by depth, is the
+// lowest such node (its children's median splits the range).
+func TestQuickRangeLCA(t *testing.T) {
+	prop := func(a, b float64) bool {
+		lo, hi := math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1))
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if lo == hi {
+			return true
+		}
+		r := Interval{Lo: lo, Hi: hi}
+		lca := RangeLCA(r, 30)
+		iv := IntervalOf(lca)
+		if !r.ContainedIn(iv) {
+			return false
+		}
+		if lca.Len() < 30 {
+			mid := iv.Lo + (iv.Hi-iv.Lo)/2
+			return r.Lo < mid && r.Hi > mid
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 5000, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

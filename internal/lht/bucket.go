@@ -1,0 +1,88 @@
+// Package lht implements the LHT index engine: the paper's core
+// contribution (sections 3-7). It materializes the space-partition tree as
+// leaf buckets named onto a generic DHT by the naming function, and
+// implements lookup (Algorithm 2), insertion with incremental tree growth
+// (Algorithm 1), deletion with the dual merge, range queries (Algorithms
+// 3-4) and min/max queries (Theorem 3).
+//
+// The engine is a client of the dht.DHT substrate interface and keeps no
+// state of its own beyond configuration and maintenance statistics, which
+// is exactly the over-DHT property the paper argues for: the DHT handles
+// peer membership, routing and robustness; LHT pays maintenance only for
+// tree structure adjustment.
+package lht
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"lht/internal/bitlabel"
+	"lht/internal/keyspace"
+	"lht/internal/record"
+)
+
+// Bucket is a leaf bucket (section 3.3): the atomic unit LHT maps into the
+// DHT. It consists of the leaf label, from which the peer reconstructs the
+// local tree, and the record store.
+//
+// The bucket's DHT key is Label.Name().Key() (the naming function); the
+// label itself is carried inside the bucket so queries can rebuild the
+// local tree and range forwarding can verify what it fetched.
+type Bucket struct {
+	// Label is the leaf's label in the partition tree.
+	Label bitlabel.Label
+	// Records are the stored data records, in no particular order.
+	Records []record.Record
+}
+
+// Weight is the storage occupancy of the bucket: the record count plus one
+// slot for the leaf label (section 9.2 notes the label occupies one record
+// slot, which is what shifts the average alpha to 1/2 + 1/(2*theta)).
+func (b *Bucket) Weight() int { return len(b.Records) + 1 }
+
+// Interval returns the dyadic key interval this leaf covers.
+func (b *Bucket) Interval() keyspace.Interval { return keyspace.IntervalOf(b.Label) }
+
+// Contains reports whether the bucket's interval covers the data key.
+func (b *Bucket) Contains(delta float64) bool { return b.Interval().Contains(delta) }
+
+// Clone returns a deep copy of the bucket.
+func (b *Bucket) Clone() *Bucket {
+	out := &Bucket{Label: b.Label}
+	if b.Records != nil {
+		out.Records = make([]record.Record, len(b.Records))
+		copy(out.Records, b.Records)
+	}
+	return out
+}
+
+// String summarizes the bucket for logs and test failures.
+func (b *Bucket) String() string {
+	return fmt.Sprintf("bucket(%s, %d records)", b.Label, len(b.Records))
+}
+
+// bucketWire is the serialized form of a Bucket.
+type bucketWire struct {
+	Label   bitlabel.Label
+	Records []record.Record
+}
+
+// EncodeBucket serializes a bucket for substrates that cross process
+// boundaries (Chord/Kademlia byte stores, the TCP cluster).
+func EncodeBucket(b *Bucket) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(bucketWire{Label: b.Label, Records: b.Records}); err != nil {
+		return nil, fmt.Errorf("encode bucket: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeBucket is the inverse of EncodeBucket.
+func DecodeBucket(data []byte) (*Bucket, error) {
+	var w bucketWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return nil, fmt.Errorf("decode bucket: %w", err)
+	}
+	return &Bucket{Label: w.Label, Records: w.Records}, nil
+}

@@ -1,0 +1,85 @@
+package lht
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"lht/internal/bitlabel"
+	"lht/internal/keyspace"
+	"lht/internal/record"
+)
+
+// ErrNotEmpty reports a bulk load into an index that already holds data.
+var ErrNotEmpty = errors.New("lht: bulk load requires an empty index")
+
+// BulkLoad populates an empty index with a dataset in one pass: the
+// client partitions the records into a valid tree locally (every leaf
+// under theta_split, splitting at interval medians exactly as incremental
+// growth would) and ships each leaf bucket with a single DHT-put. Loading
+// n records costs about n/(theta/2) DHT-lookups instead of incremental
+// insertion's ~n*log(D/2) - the standard index-construction optimization.
+//
+// Records with duplicate keys collapse to the last occurrence (matching
+// Insert's replace semantics). Bulk loading performs no splits, so split
+// statistics (AlphaMean) stay empty; MovedRecords counts every shipped
+// slot, as all buckets travel to their responsible peers.
+func (ix *Index) BulkLoad(recs []record.Record) (Cost, error) {
+	var cost Cost
+	// The index must be in its bootstrap state: the single empty leaf.
+	b, err := ix.getBucket(bitlabel.Root.Key(), &cost)
+	if err != nil {
+		return cost, fmt.Errorf("lht: bulk load probe: %w", err)
+	}
+	if b.Label != bitlabel.TreeRoot || len(b.Records) > 0 {
+		return cost, ErrNotEmpty
+	}
+
+	// Deduplicate (last wins) and order by key.
+	dedup := make(map[float64]record.Record, len(recs))
+	for _, r := range recs {
+		if err := keyspace.CheckKey(r.Key); err != nil {
+			return cost, err
+		}
+		dedup[r.Key] = r
+	}
+	sorted := make([]record.Record, 0, len(dedup))
+	for _, r := range dedup {
+		sorted = append(sorted, r)
+	}
+	record.SortByKey(sorted)
+
+	// Partition into leaves exactly as median splits would.
+	var leaves []*Bucket
+	var build func(label bitlabel.Label, part []record.Record)
+	build = func(label bitlabel.Label, part []record.Record) {
+		if len(part)+1 < ix.cfg.SplitThreshold || label.Len() >= ix.cfg.Depth {
+			if label.Len() >= ix.cfg.Depth && len(part)+1 >= ix.cfg.SplitThreshold {
+				ix.mu.Lock()
+				ix.overflows++
+				ix.mu.Unlock()
+			}
+			leaves = append(leaves, &Bucket{Label: label, Records: part})
+			return
+		}
+		iv := keyspace.IntervalOf(label)
+		pivot := iv.Lo + (iv.Hi-iv.Lo)/2
+		split := sort.Search(len(part), func(i int) bool { return part[i].Key >= pivot })
+		build(label.Left(), part[:split:split])
+		build(label.Right(), part[split:])
+	}
+	build(bitlabel.TreeRoot, sorted)
+
+	// Ship every leaf to its name; all puts go out in one parallel round.
+	cost.Steps++
+	for _, leaf := range leaves {
+		cost.Lookups++
+		ix.c.AddMovedRecords(int64(leaf.Weight()))
+		if err := ix.d.Put(leaf.Label.Name().Key(), leaf); err != nil {
+			return cost, fmt.Errorf("lht: bulk load put %s: %w", leaf.Label, err)
+		}
+	}
+	// The bootstrap bucket was either replaced (single-leaf result) or
+	// superseded by the new root's leftmost leaf, which shares key "#".
+	return cost, nil
+}

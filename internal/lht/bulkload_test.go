@@ -1,0 +1,160 @@
+package lht
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"lht/internal/dht"
+	"lht/internal/record"
+)
+
+func TestBulkLoad(t *testing.T) {
+	ix, err := New(dht.NewLocal(), Config{SplitThreshold: 16, MergeThreshold: 8, Depth: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(81))
+	recs := make([]record.Record, 3000)
+	for i := range recs {
+		recs[i] = record.Record{Key: rng.Float64(), Value: []byte{byte(i)}}
+	}
+	cost, err := ix.BulkLoad(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ix.Count()
+	if err != nil || n != len(recs) {
+		t.Fatalf("Count = %d, %v; want %d", n, err, len(recs))
+	}
+	// Cost is about one put per leaf, far below incremental insertion.
+	leaves, err := ix.Leaves()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.Lookups > len(leaves)+2 {
+		t.Errorf("bulk load cost %d for %d leaves", cost.Lookups, len(leaves))
+	}
+	if cost.Lookups > len(recs)/2 {
+		t.Errorf("bulk load cost %d is not bulk at all", cost.Lookups)
+	}
+	// Every leaf respects the capacity.
+	for _, b := range leaves {
+		if b.Weight() >= 16 {
+			t.Errorf("leaf %s weight %d >= theta", b.Label, b.Weight())
+		}
+	}
+	// The index behaves normally afterwards: queries and further inserts.
+	for _, r := range recs[:200] {
+		got, _, err := ix.Search(r.Key)
+		if err != nil {
+			t.Fatalf("Search(%v): %v", r.Key, err)
+		}
+		_ = got
+	}
+	keys := make([]float64, len(recs))
+	for i, r := range recs {
+		keys[i] = r.Key
+	}
+	sort.Float64s(keys)
+	if r, _, err := ix.Min(); err != nil || r.Key != keys[0] {
+		t.Fatalf("Min = %v, %v", r, err)
+	}
+	if r, _, err := ix.Max(); err != nil || r.Key != keys[len(keys)-1] {
+		t.Fatalf("Max = %v, %v", r, err)
+	}
+	if _, err := ix.Insert(record.Record{Key: 0.123456}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkLoadRequiresEmpty(t *testing.T) {
+	ix, err := New(dht.NewLocal(), Config{SplitThreshold: 16, MergeThreshold: 0, Depth: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Insert(record.Record{Key: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.BulkLoad([]record.Record{{Key: 0.1}}); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("BulkLoad on non-empty = %v", err)
+	}
+}
+
+func TestBulkLoadDeduplicatesAndValidates(t *testing.T) {
+	ix, err := New(dht.NewLocal(), Config{SplitThreshold: 8, MergeThreshold: 0, Depth: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []record.Record{
+		{Key: 0.5, Value: []byte("old")},
+		{Key: 0.25},
+		{Key: 0.5, Value: []byte("new")},
+	}
+	if _, err := ix.BulkLoad(recs); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := ix.Count(); n != 2 {
+		t.Fatalf("Count = %d, want 2 after dedup", n)
+	}
+	r, _, err := ix.Search(0.5)
+	if err != nil || string(r.Value) != "new" {
+		t.Fatalf("Search = %v, %v; last duplicate must win", r, err)
+	}
+	// Out-of-domain keys are rejected.
+	ix2, err := New(dht.NewLocal(), Config{SplitThreshold: 8, MergeThreshold: 0, Depth: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix2.BulkLoad([]record.Record{{Key: 1.5}}); err == nil {
+		t.Fatal("out-of-domain bulk load should fail")
+	}
+}
+
+func TestBulkLoadEmptyAndClustered(t *testing.T) {
+	ix, err := New(dht.NewLocal(), Config{SplitThreshold: 8, MergeThreshold: 0, Depth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.BulkLoad(nil); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := ix.Count(); n != 0 {
+		t.Fatalf("Count = %d", n)
+	}
+	// Clustered keys hit the depth cap: oversized boundary leaves are
+	// accepted and recorded.
+	ix2, err := New(dht.NewLocal(), Config{SplitThreshold: 8, MergeThreshold: 0, Depth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(82))
+	recs := make([]record.Record, 300)
+	for i := range recs {
+		recs[i] = record.Record{Key: rng.Float64() / 4096}
+	}
+	if _, err := ix2.BulkLoad(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix2.CheckInvariants(); err == nil {
+		// Oversized boundary leaves exceed the 2x sanity bound in
+		// CheckInvariants only if truly runaway; either way the data
+		// must be complete and searchable.
+		t.Log("invariants clean despite depth cap")
+	}
+	if ix2.Overflows() == 0 {
+		t.Error("expected overflow accounting at the depth cap")
+	}
+	for _, r := range recs[:30] {
+		if _, _, err := ix2.Search(r.Key); err != nil {
+			t.Fatalf("Search(%v): %v", r.Key, err)
+		}
+	}
+}

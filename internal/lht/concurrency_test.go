@@ -1,0 +1,68 @@
+package lht
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"lht/internal/dht"
+	"lht/internal/record"
+)
+
+// TestConcurrentReaders backs the documented concurrency contract: any
+// number of query operations may run in parallel (run with -race).
+func TestConcurrentReaders(t *testing.T) {
+	ix, err := New(dht.NewLocal(), Config{SplitThreshold: 16, MergeThreshold: 8, Depth: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(71))
+	keys := make([]float64, 2000)
+	for i := range keys {
+		keys[i] = rng.Float64()
+		if _, err := ix.Insert(record.Record{Key: keys[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 100; i++ {
+				switch i % 5 {
+				case 0:
+					k := keys[rng.Intn(len(keys))]
+					if _, _, err := ix.Search(k); err != nil {
+						t.Errorf("Search(%v): %v", k, err)
+						return
+					}
+				case 1:
+					lo := rng.Float64() * 0.9
+					if _, _, err := ix.Range(lo, lo+0.05); err != nil {
+						t.Errorf("Range: %v", err)
+						return
+					}
+				case 2:
+					if _, _, err := ix.Min(); err != nil {
+						t.Errorf("Min: %v", err)
+						return
+					}
+				case 3:
+					if _, _, err := ix.Max(); err != nil {
+						t.Errorf("Max: %v", err)
+						return
+					}
+				default:
+					if _, _, err := ix.Scan(rng.Float64(), 20); err != nil {
+						t.Errorf("Scan: %v", err)
+						return
+					}
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+}

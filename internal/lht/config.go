@@ -1,0 +1,73 @@
+package lht
+
+import (
+	"errors"
+	"fmt"
+
+	"lht/internal/keyspace"
+)
+
+// Config tunes an LHT index. The zero value is invalid; start from
+// DefaultConfig.
+type Config struct {
+	// SplitThreshold is theta_split: the storage capacity of a leaf
+	// bucket, counted in record slots, one of which the leaf label
+	// occupies (section 9.2). A bucket splits when an insertion brings
+	// its weight (records + label slot) up to the threshold, i.e. when
+	// its theta-1 real-record capacity is exceeded - the accounting under
+	// which the paper derives average alpha = 1/2 + 1/(2*theta). Must be
+	// at least 4 so both split halves can hold a record.
+	SplitThreshold int
+
+	// MergeThreshold triggers the dual of splitting: when, after a
+	// deletion, a leaf and its sibling leaf have combined merged weight
+	// strictly below MergeThreshold, they merge into their parent. The
+	// paper (section 3.2) merges whenever a subtree drops below
+	// theta_split; we default to theta_split/2 for hysteresis so an
+	// insert-delete workload at the boundary does not thrash. Set to 0 to
+	// disable merging.
+	MergeThreshold int
+
+	// Depth is D, the a-priori maximum tree depth in bits (paper section
+	// 5: the maximum label length is D+1 characters, i.e. D bits). The
+	// lookup binary search runs over prefix lengths 1..D. Must be in
+	// [2, keyspace.MaxDepth] (52: the float64 exactness bound). The
+	// paper's experiments use 20.
+	Depth int
+
+	// ParallelRange executes range-query forwarding concurrently: every
+	// independent branch forward runs in its own goroutine, exactly the
+	// parallelism the Steps latency metric models, so wall-clock latency
+	// over networked substrates matches it. Results and costs are
+	// identical to sequential execution. Off by default: over the
+	// in-process substrates goroutine overhead exceeds the map accesses
+	// it parallelizes.
+	ParallelRange bool
+}
+
+// DefaultConfig mirrors the paper's experiment defaults: theta_split =
+// 100, D = 20, merges enabled with theta_split/2 hysteresis.
+func DefaultConfig() Config {
+	return Config{
+		SplitThreshold: 100,
+		MergeThreshold: 50,
+		Depth:          20,
+	}
+}
+
+// ErrConfig reports an invalid configuration.
+var ErrConfig = errors.New("lht: invalid config")
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.SplitThreshold < 4 {
+		return fmt.Errorf("%w: SplitThreshold %d < 4", ErrConfig, c.SplitThreshold)
+	}
+	if c.MergeThreshold < 0 || c.MergeThreshold > c.SplitThreshold {
+		return fmt.Errorf("%w: MergeThreshold %d outside [0, SplitThreshold]", ErrConfig, c.MergeThreshold)
+	}
+	if c.Depth < 2 || c.Depth > keyspace.MaxDepth {
+		return fmt.Errorf("%w: Depth %d outside [2, %d]", ErrConfig, c.Depth, keyspace.MaxDepth)
+	}
+	return nil
+}

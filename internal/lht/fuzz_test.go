@@ -1,0 +1,83 @@
+package lht
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"lht/internal/dht"
+	"lht/internal/record"
+)
+
+// FuzzOperations feeds the index an arbitrary byte-encoded operation
+// sequence and cross-checks against the map oracle: the distributed
+// structure must agree with a flat map no matter the interleaving.
+// Each operation consumes three bytes: opcode, and a two-byte key.
+func FuzzOperations(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0, 200, 10, 1, 1, 2, 2, 0, 0})
+	f.Add([]byte{0, 0, 0, 0, 0, 1, 1, 0, 0, 3, 0, 0, 2, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ix, err := New(dht.NewLocal(), Config{SplitThreshold: 4, MergeThreshold: 3, Depth: 18})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := make(map[float64]bool)
+		for len(data) >= 3 {
+			op, k1, k2 := data[0], data[1], data[2]
+			data = data[3:]
+			key := (float64(k1)*256 + float64(k2)) / 65536
+			switch op % 4 {
+			case 0: // insert
+				if _, err := ix.Insert(record.Record{Key: key}); err != nil {
+					t.Fatalf("Insert(%v): %v", key, err)
+				}
+				oracle[key] = true
+			case 1: // delete
+				_, err := ix.Delete(key)
+				if oracle[key] != (err == nil) {
+					t.Fatalf("Delete(%v) = %v, oracle %v", key, err, oracle[key])
+				}
+				delete(oracle, key)
+			case 2: // search
+				_, _, err := ix.Search(key)
+				if oracle[key] != (err == nil) {
+					t.Fatalf("Search(%v) = %v, oracle %v", key, err, oracle[key])
+				}
+			default: // range around the key
+				hi := math.Min(1, key+0.1)
+				if hi <= key {
+					continue
+				}
+				got, _, err := ix.Range(key, hi)
+				if err != nil {
+					t.Fatalf("Range(%v, %v): %v", key, hi, err)
+				}
+				want := 0
+				for ok := range oracle {
+					if ok >= key && ok < hi {
+						want++
+					}
+				}
+				if len(got) != want {
+					t.Fatalf("Range(%v, %v) = %d records, oracle %d", key, hi, len(got), want)
+				}
+			}
+		}
+		if err := ix.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		keys := make([]float64, 0, len(oracle))
+		for k := range oracle {
+			keys = append(keys, k)
+		}
+		sort.Float64s(keys)
+		if len(keys) > 0 {
+			if r, _, err := ix.Min(); err != nil || r.Key != keys[0] {
+				t.Fatalf("Min = %v, %v; want %v", r, err, keys[0])
+			}
+			if r, _, err := ix.Max(); err != nil || r.Key != keys[len(keys)-1] {
+				t.Fatalf("Max = %v, %v; want %v", r, err, keys[len(keys)-1])
+			}
+		}
+	})
+}

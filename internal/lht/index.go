@@ -1,0 +1,370 @@
+package lht
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"lht/internal/bitlabel"
+	"lht/internal/dht"
+	"lht/internal/keyspace"
+	"lht/internal/metrics"
+	"lht/internal/record"
+)
+
+var (
+	// ErrKeyNotFound reports an exact-match query or deletion for a data
+	// key that is not indexed.
+	ErrKeyNotFound = errors.New("lht: data key not found")
+	// ErrEmpty reports a min/max query against an index with no records.
+	ErrEmpty = errors.New("lht: index is empty")
+	// ErrCorrupt reports an index state the algorithms cannot explain,
+	// e.g. a bucket missing where the naming invariants require one. It
+	// indicates a bug or an unsynchronized concurrent writer.
+	ErrCorrupt = errors.New("lht: corrupt index state")
+)
+
+// Cost reports the DHT traffic of a single index operation; see
+// metrics.Cost.
+type Cost = metrics.Cost
+
+// Index is an LHT index over a DHT substrate. Create one with New.
+//
+// Concurrency follows sync.RWMutex semantics over the data: queries may
+// run concurrently with each other, but Insert/Delete require exclusive
+// access. (In the deployed system each bucket has one responsible peer
+// serializing its updates; an in-process client cannot provide that for
+// the caller.)
+type Index struct {
+	d   dht.DHT
+	cfg Config
+	c   *metrics.Counters
+
+	mu        sync.Mutex
+	alphaSum  float64 // sum over splits of (remote bucket weight / theta)
+	overflows int64   // splits skipped because the leaf was already at depth D
+}
+
+// New creates an index client over d. If the substrate does not yet hold
+// an LHT (no bucket under the virtual-root key "#"), New bootstraps the
+// empty tree: the single leaf "#0" stored under its name "#". Bootstrap
+// traffic is not charged to the index counters.
+func New(d dht.DHT, cfg Config) (*Index, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if _, err := d.Get(bitlabel.Root.Key()); err != nil {
+		if !errors.Is(err, dht.ErrNotFound) {
+			return nil, fmt.Errorf("lht: probe substrate: %w", err)
+		}
+		if err := d.Put(bitlabel.Root.Key(), &Bucket{Label: bitlabel.TreeRoot}); err != nil {
+			return nil, fmt.Errorf("lht: bootstrap: %w", err)
+		}
+	}
+	c := &metrics.Counters{}
+	return &Index{d: dht.NewInstrumented(d, c), cfg: cfg, c: c}, nil
+}
+
+// Config returns the index configuration.
+func (ix *Index) Config() Config { return ix.cfg }
+
+// Metrics returns the cumulative cost counters of this index client:
+// DHT-lookups, failed gets, moved records, splits and merges.
+func (ix *Index) Metrics() metrics.Snapshot { return ix.c.Snapshot() }
+
+// AlphaMean returns the average alpha (remote-bucket fraction of
+// theta_split, section 8.2) over all splits performed by this client, and
+// the number of splits. It returns 0, 0 before the first split.
+func (ix *Index) AlphaMean() (mean float64, splits int64) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	n := ix.c.Snapshot().Splits
+	if n == 0 {
+		return 0, 0
+	}
+	return ix.alphaSum / float64(n), n
+}
+
+// Overflows returns the number of insertions that found a full leaf
+// already at maximum depth D, where splitting is impossible and the bucket
+// is allowed to exceed theta_split. A nonzero value means Depth is too
+// small for the data size.
+func (ix *Index) Overflows() int64 {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.overflows
+}
+
+// getBucket fetches and type-asserts a bucket, charging cost.
+func (ix *Index) getBucket(key string, cost *Cost) (*Bucket, error) {
+	cost.Lookups++
+	v, err := ix.d.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	b, ok := v.(*Bucket)
+	if !ok {
+		return nil, fmt.Errorf("%w: key %q holds %T, not a bucket", ErrCorrupt, key, v)
+	}
+	return b, nil
+}
+
+// LookupBucket implements LHT-lookup (Algorithm 2): a binary search over
+// the prefix lengths of mu(delta, D) that returns the leaf bucket covering
+// delta. The search probes the *names* f_n(x) of candidate prefixes: a
+// failed DHT-get proves every prefix sharing that name is too long
+// (longer bound becomes len(f_n(x))); a bucket that does not cover delta
+// proves x is an internal node (shorter bound becomes len(f_nn(x, mu))).
+//
+// The returned Cost counts one lookup per DHT-get; Steps equals Lookups
+// because the probes are sequential.
+func (ix *Index) LookupBucket(delta float64) (*Bucket, Cost, error) {
+	b, _, cost, err := ix.lookup(delta)
+	return b, cost, err
+}
+
+// lookup is LookupBucket returning also the bucket's DHT key.
+func (ix *Index) lookup(delta float64) (*Bucket, string, Cost, error) {
+	var cost Cost
+	mu, err := keyspace.Mu(delta, ix.cfg.Depth)
+	if err != nil {
+		return nil, "", cost, err
+	}
+	lo, hi := 1, ix.cfg.Depth
+	for lo <= hi {
+		mid := lo + (hi-lo)/2
+		x := mu.Prefix(mid)
+		name := x.Name()
+		b, err := ix.getBucket(name.Key(), &cost)
+		switch {
+		case errors.Is(err, dht.ErrNotFound):
+			// No leaf is named f_n(x): every prefix of mu in
+			// (len(f_n(x)), len(x)] shares that name and is ruled out.
+			hi = name.Len()
+		case err != nil:
+			cost.Steps = cost.Lookups
+			return nil, "", cost, err
+		case b.Contains(delta):
+			cost.Steps = cost.Lookups
+			return b, name.Key(), cost, nil
+		default:
+			// The bucket named f_n(x) does not cover delta, so x is an
+			// internal node; the next candidate is the first prefix of
+			// mu past x's trailing run (it has a different name).
+			next, ok := x.NextName(mu)
+			if !ok {
+				// mu continues with x's last bit to its full depth D, so
+				// no longer candidate exists; with a correctly sized D
+				// this cannot happen.
+				cost.Steps = cost.Lookups
+				return nil, "", cost, fmt.Errorf("%w: lookup %v exhausted mu %s at %s", ErrCorrupt, delta, mu, x)
+			}
+			lo = next.Len()
+		}
+	}
+	cost.Steps = cost.Lookups
+	return nil, "", cost, fmt.Errorf("%w: lookup %v found no covering leaf", ErrCorrupt, delta)
+}
+
+// Search is the exact-match query of section 5: an LHT lookup that returns
+// the record with the given data key, or ErrKeyNotFound.
+func (ix *Index) Search(delta float64) (record.Record, Cost, error) {
+	b, cost, err := ix.LookupBucket(delta)
+	if err != nil {
+		return record.Record{}, cost, err
+	}
+	if i := record.FindByKey(b.Records, delta); i >= 0 {
+		return b.Records[i], cost, nil
+	}
+	return record.Record{}, cost, fmt.Errorf("%w: %v", ErrKeyNotFound, delta)
+}
+
+// Insert adds a record (replacing any record with the same key). Per
+// section 5 it is an LHT lookup followed by one DHT-put toward the
+// bucket's name; if the put saturates the bucket, the leaf splits
+// (Algorithm 1), which costs one more DHT-lookup to push the remote half
+// out. An insertion causes at most one split, avoiding cascades.
+func (ix *Index) Insert(rec record.Record) (Cost, error) {
+	if err := keyspace.CheckKey(rec.Key); err != nil {
+		return Cost{}, err
+	}
+	b, key, cost, err := ix.lookup(rec.Key)
+	if err != nil {
+		return cost, err
+	}
+	if i := record.FindByKey(b.Records, rec.Key); i >= 0 {
+		b.Records[i] = rec
+	} else {
+		b.Records = append(b.Records, rec)
+	}
+	cost.Lookups++
+	cost.Steps++
+	if err := ix.d.Put(key, b); err != nil {
+		return cost, fmt.Errorf("lht: write back %q: %w", key, err)
+	}
+	if b.Weight() >= ix.cfg.SplitThreshold {
+		splitCost, err := ix.split(key, b)
+		cost.Add(splitCost)
+		ix.c.AddMaintLookups(int64(splitCost.Lookups))
+		if err != nil {
+			return cost, err
+		}
+	}
+	return cost, nil
+}
+
+// split performs Algorithm 1 on the bucket stored under key. One half
+// keeps the name f_n(lambda) and stays on its peer (a free local rewrite);
+// the other is named lambda itself and is pushed out with a single
+// DHT-put (Theorem 2).
+func (ix *Index) split(key string, b *Bucket) (Cost, error) {
+	var cost Cost
+	lambda := b.Label
+	if lambda.Len() >= ix.cfg.Depth {
+		// The tree may not outgrow the a-priori depth D; leave the
+		// bucket oversized and record the event.
+		ix.mu.Lock()
+		ix.overflows++
+		ix.mu.Unlock()
+		return cost, nil
+	}
+
+	// Partition records at the interval median (the split point is
+	// distribution-independent, section 3.2).
+	iv := b.Interval()
+	mid := iv.Lo + (iv.Hi-iv.Lo)/2
+	var left, right []record.Record
+	for _, r := range b.Records {
+		if r.Key < mid {
+			left = append(left, r)
+		} else {
+			right = append(right, r)
+		}
+	}
+
+	rb := &Bucket{}
+	if lambda.LastBit() == 1 {
+		// lambda = p011*: the remote leaf is lambda0 (named lambda), the
+		// local leaf is lambda1 (named f_n(lambda) = key).
+		rb.Label, rb.Records = lambda.Left(), left
+		b.Label, b.Records = lambda.Right(), right
+	} else {
+		// lambda = p100* or #00*: the remote leaf is lambda1 (named
+		// lambda), the local leaf is lambda0.
+		rb.Label, rb.Records = lambda.Right(), right
+		b.Label, b.Records = lambda.Left(), left
+	}
+
+	moved := int64(rb.Weight())
+	ix.c.AddSplits(1)
+	ix.c.AddMovedRecords(moved)
+	ix.mu.Lock()
+	ix.alphaSum += float64(moved) / float64(ix.cfg.SplitThreshold)
+	ix.mu.Unlock()
+
+	// Push the remote half to the peer responsible for key lambda.
+	cost.Lookups++
+	cost.Steps++
+	if err := ix.d.Put(lambda.Key(), rb); err != nil {
+		return cost, fmt.Errorf("lht: split put %s: %w", lambda, err)
+	}
+	// Write the shrunk local half back to the local disk (no lookup).
+	if err := ix.d.Write(key, b); err != nil {
+		return cost, fmt.Errorf("lht: split write %q: %w", key, err)
+	}
+	return cost, nil
+}
+
+// Delete removes the record with the given data key, or returns
+// ErrKeyNotFound. It is the dual of Insert: an LHT lookup, a DHT-put of
+// the shrunk bucket, and possibly a leaf merge.
+func (ix *Index) Delete(delta float64) (Cost, error) {
+	if err := keyspace.CheckKey(delta); err != nil {
+		return Cost{}, err
+	}
+	b, key, cost, err := ix.lookup(delta)
+	if err != nil {
+		return cost, err
+	}
+	i := record.FindByKey(b.Records, delta)
+	if i < 0 {
+		return cost, fmt.Errorf("%w: %v", ErrKeyNotFound, delta)
+	}
+	b.Records[i] = b.Records[len(b.Records)-1]
+	b.Records = b.Records[:len(b.Records)-1]
+	cost.Lookups++
+	cost.Steps++
+	if err := ix.d.Put(key, b); err != nil {
+		return cost, fmt.Errorf("lht: write back %q: %w", key, err)
+	}
+	if ix.cfg.MergeThreshold > 0 && b.Label.Len() >= 2 && b.Weight() < ix.cfg.MergeThreshold {
+		mergeCost, err := ix.merge(key, b)
+		cost.Add(mergeCost)
+		ix.c.AddMaintLookups(int64(mergeCost.Lookups))
+		if err != nil {
+			return cost, err
+		}
+	}
+	return cost, nil
+}
+
+// merge attempts to merge the underweight leaf b with its sibling, the
+// dual of Algorithm 1. It succeeds only when the sibling is itself a leaf
+// and the merged bucket (records of both plus one label slot) stays below
+// MergeThreshold. Per Theorem 2 in reverse, the merged bucket keeps the
+// key f_n(parent), which is the key one of the two children already has,
+// so one bucket stays in place and the other moves: one leaf's records of
+// data movement, as in the split cost model.
+func (ix *Index) merge(key string, b *Bucket) (Cost, error) {
+	var cost Cost
+	parent := b.Label.Parent()
+	sibling := b.Label.Sibling()
+
+	// The sibling, if it is a leaf, is stored under its own name.
+	sibKey := sibling.Name().Key()
+	sb, err := ix.getBucket(sibKey, &cost)
+	cost.Steps++
+	if errors.Is(err, dht.ErrNotFound) {
+		return cost, nil // sibling subtree deeper than a single leaf
+	}
+	if err != nil {
+		return cost, err
+	}
+	if sb.Label != sibling {
+		return cost, nil // key exists but names a deeper leaf: sibling is internal
+	}
+	if b.Weight()+sb.Weight()-1 >= ix.cfg.MergeThreshold {
+		return cost, nil // merged weight would defeat the purpose
+	}
+
+	mergedKey := parent.Name().Key()
+	merged := &Bucket{Label: parent, Records: append(b.Records, sb.Records...)}
+	ix.c.AddMerges(1)
+	if key == mergedKey {
+		// b already sits on the peer that keeps the merged bucket; the
+		// sibling (stored under parent's own label) is fetched-and-
+		// deleted and its records move here.
+		cost.Lookups++
+		cost.Steps++
+		if _, err := ix.d.Take(sibKey); err != nil {
+			return cost, fmt.Errorf("lht: merge take %q: %w", sibKey, err)
+		}
+		ix.c.AddMovedRecords(int64(sb.Weight()))
+		if err := ix.d.Write(mergedKey, merged); err != nil {
+			return cost, fmt.Errorf("lht: merge write %q: %w", mergedKey, err)
+		}
+		return cost, nil
+	}
+	// b is the child named by the parent's own label: its records move to
+	// the sibling's peer (one routed put) and b's slot is dropped.
+	cost.Lookups += 2
+	cost.Steps += 2
+	ix.c.AddMovedRecords(int64(b.Weight()))
+	if err := ix.d.Put(mergedKey, merged); err != nil {
+		return cost, fmt.Errorf("lht: merge put %q: %w", mergedKey, err)
+	}
+	if err := ix.d.Remove(key); err != nil {
+		return cost, fmt.Errorf("lht: merge remove %q: %w", key, err)
+	}
+	return cost, nil
+}

@@ -1,0 +1,90 @@
+package lht
+
+import (
+	"errors"
+	"fmt"
+
+	"lht/internal/bitlabel"
+	"lht/internal/dht"
+	"lht/internal/record"
+)
+
+// Min answers a min query (Theorem 3): the leaf holding the smallest data
+// key is the leftmost leaf #00*, which the naming function binds to the
+// virtual root "#", so a single DHT-lookup reaches it.
+//
+// If deletions have left boundary leaves empty, Min walks inward through
+// the local tree's branch nodes (one extra lookup per empty leaf) until it
+// finds a record; ErrEmpty is returned when the whole index is empty.
+func (ix *Index) Min() (record.Record, Cost, error) {
+	return ix.extreme(sweepRight)
+}
+
+// Max answers a max query (Theorem 3): the rightmost leaf #01* is bound to
+// "#0", one DHT-lookup away. On a single-leaf tree the key "#0" does not
+// exist and the leaf is under "#" instead.
+func (ix *Index) Max() (record.Record, Cost, error) {
+	return ix.extreme(sweepLeft)
+}
+
+// extreme finds the extreme non-empty leaf: dir == sweepRight walks
+// rightward from the leftmost leaf (min query), sweepLeft leftward from
+// the rightmost (max query).
+func (ix *Index) extreme(dir sweepDir) (record.Record, Cost, error) {
+	var cost Cost
+	key := bitlabel.Root.Key() // min: leftmost leaf is named "#"
+	if dir == sweepLeft {
+		key = bitlabel.TreeRoot.Key() // max: rightmost leaf is named "#0"
+	}
+	b, err := ix.getBucket(key, &cost)
+	if dir == sweepLeft && errors.Is(err, dht.ErrNotFound) {
+		// Single-leaf tree: "#0" is both leftmost and rightmost and lives
+		// under "#".
+		b, err = ix.getBucket(bitlabel.Root.Key(), &cost)
+	}
+	if err != nil {
+		cost.Steps = cost.Lookups
+		return record.Record{}, cost, fmt.Errorf("lht: extreme leaf: %w", err)
+	}
+
+	for {
+		if len(b.Records) > 0 {
+			cost.Steps = cost.Lookups
+			return pickExtreme(b.Records, dir), cost, nil
+		}
+		// Empty boundary leaf: move to the adjacent branch and enter it
+		// through its near-end boundary leaf (same pattern as sweep).
+		var (
+			beta bitlabel.Label
+			ok   bool
+		)
+		if dir == sweepRight {
+			beta, ok = b.Label.RightNeighbor()
+		} else {
+			beta, ok = b.Label.LeftNeighbor()
+		}
+		if !ok {
+			cost.Steps = cost.Lookups
+			return record.Record{}, cost, ErrEmpty
+		}
+		nb, err := ix.getBucket(beta.Key(), &cost)
+		if errors.Is(err, dht.ErrNotFound) {
+			nb, err = ix.getBucket(beta.Name().Key(), &cost)
+		}
+		if err != nil {
+			cost.Steps = cost.Lookups
+			return record.Record{}, cost, fmt.Errorf("lht: extreme walk %s: %w", beta, err)
+		}
+		b = nb
+	}
+}
+
+func pickExtreme(rs []record.Record, dir sweepDir) record.Record {
+	best := rs[0]
+	for _, r := range rs[1:] {
+		if (dir == sweepRight && r.Key < best.Key) || (dir == sweepLeft && r.Key > best.Key) {
+			best = r
+		}
+	}
+	return best
+}

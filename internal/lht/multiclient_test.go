@@ -1,0 +1,86 @@
+package lht
+
+import (
+	"math/rand"
+	"testing"
+
+	"lht/internal/dht"
+	"lht/internal/record"
+)
+
+// TestMultipleClientsShareOneTree verifies the over-DHT property from the
+// client side: several Index instances attached to the same substrate see
+// one consistent tree, because all state lives in the DHT (the clients
+// hold only configuration and counters). Writes are serialized, as the
+// concurrency contract requires.
+func TestMultipleClientsShareOneTree(t *testing.T) {
+	d := dht.NewLocal()
+	cfg := Config{SplitThreshold: 8, MergeThreshold: 6, Depth: 20}
+	clients := make([]*Index, 3)
+	for i := range clients {
+		ix, err := New(d, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = ix
+	}
+
+	rng := rand.New(rand.NewSource(91))
+	oracle := make(map[float64]bool)
+	for i := 0; i < 1500; i++ {
+		writer := clients[i%len(clients)]
+		k := rng.Float64()
+		if rng.Intn(4) == 0 && len(oracle) > 0 {
+			for dk := range oracle {
+				k = dk
+				break
+			}
+			if _, err := writer.Delete(k); err != nil {
+				t.Fatalf("client %d Delete(%v): %v", i%3, k, err)
+			}
+			delete(oracle, k)
+			continue
+		}
+		if _, err := writer.Insert(record.Record{Key: k}); err != nil {
+			t.Fatalf("client %d Insert(%v): %v", i%3, k, err)
+		}
+		oracle[k] = true
+	}
+
+	// Every client answers identically.
+	for ci, ix := range clients {
+		if err := ix.CheckInvariants(); err != nil {
+			t.Fatalf("client %d: %v", ci, err)
+		}
+		n, err := ix.Count()
+		if err != nil || n != len(oracle) {
+			t.Fatalf("client %d Count = %d, %v; want %d", ci, n, err, len(oracle))
+		}
+		for k := range oracle {
+			if _, _, err := ix.Search(k); err != nil {
+				t.Fatalf("client %d Search(%v): %v", ci, k, err)
+			}
+		}
+	}
+
+	// Split statistics are per client: the sum of splits across clients
+	// equals the tree's growth, since every split happened through
+	// exactly one of them.
+	var totalSplits int64
+	for _, ix := range clients {
+		totalSplits += ix.Metrics().Splits
+	}
+	leaves, err := clients[0].Leaves()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totalMerges int64
+	for _, ix := range clients {
+		totalMerges += ix.Metrics().Merges
+	}
+	// leaves = 1 + splits - merges (each split adds one leaf, each merge
+	// removes one).
+	if int64(len(leaves)) != 1+totalSplits-totalMerges {
+		t.Fatalf("leaves = %d, want 1 + %d splits - %d merges", len(leaves), totalSplits, totalMerges)
+	}
+}

@@ -1,0 +1,88 @@
+package lht
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"lht/internal/dht"
+	"lht/internal/record"
+)
+
+// TestParallelRangeMatchesSequential runs identical queries through a
+// sequential and a parallel index over the same substrate and requires
+// identical results and costs (run with -race to validate the collector).
+func TestParallelRangeMatchesSequential(t *testing.T) {
+	d := dht.NewLocal()
+	seq, err := New(d, Config{SplitThreshold: 8, MergeThreshold: 0, Depth: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := New(d, Config{SplitThreshold: 8, MergeThreshold: 0, Depth: 20, ParallelRange: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(101))
+	for i := 0; i < 5000; i++ {
+		if _, err := seq.Insert(record.Record{Key: rng.Float64()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for trial := 0; trial < 200; trial++ {
+		lo := rng.Float64()
+		hi := lo + rng.Float64()*(1-lo)
+		if hi <= lo {
+			continue
+		}
+		sRecs, sCost, err := seq.Range(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pRecs, pCost, err := par.Range(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sRecs) != len(pRecs) {
+			t.Fatalf("trial %d: %d vs %d records", trial, len(sRecs), len(pRecs))
+		}
+		sk := make([]float64, len(sRecs))
+		pk := make([]float64, len(pRecs))
+		for i := range sRecs {
+			sk[i], pk[i] = sRecs[i].Key, pRecs[i].Key
+		}
+		sort.Float64s(sk)
+		sort.Float64s(pk)
+		for i := range sk {
+			if sk[i] != pk[i] {
+				t.Fatalf("trial %d: key %d differs: %v vs %v", trial, i, sk[i], pk[i])
+			}
+		}
+		if sCost != pCost {
+			t.Fatalf("trial %d: cost %+v vs %+v", trial, sCost, pCost)
+		}
+	}
+}
+
+// TestParallelRangeConfigIsolation ensures parallel mode leaves the other
+// operations untouched.
+func TestParallelRangeConfigIsolation(t *testing.T) {
+	ix, err := New(dht.NewLocal(), Config{SplitThreshold: 8, MergeThreshold: 6, Depth: 20, ParallelRange: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(102))
+	for i := 0; i < 500; i++ {
+		if _, err := ix.Insert(record.Record{Key: rng.Float64()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ix.Min(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ix.Scan(0.3, 25); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,330 @@
+package lht
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"lht/internal/bitlabel"
+	"lht/internal/dht"
+	"lht/internal/keyspace"
+	"lht/internal/record"
+)
+
+// ErrBadRange reports a malformed range query.
+var ErrBadRange = errors.New("lht: invalid range")
+
+// rangeCollector accumulates a range query's results and bandwidth cost.
+// When the index is configured with ParallelRange, branch forwards run in
+// goroutines, so the collector is mutex-guarded; latency (Steps) is
+// always computed structurally from the forwarding DAG, identically in
+// both modes.
+type rangeCollector struct {
+	mu      sync.Mutex
+	out     []record.Record
+	lookups int
+	err     error
+}
+
+func (c *rangeCollector) addRecords(recs []record.Record, lo, hi float64) {
+	c.mu.Lock()
+	c.out = record.FilterRange(c.out, recs, lo, hi)
+	c.mu.Unlock()
+}
+
+func (c *rangeCollector) addLookup() {
+	c.mu.Lock()
+	c.lookups++
+	c.mu.Unlock()
+}
+
+func (c *rangeCollector) setErr(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.mu.Unlock()
+}
+
+func (c *rangeCollector) snapshot() ([]record.Record, int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.out, c.lookups, c.err
+}
+
+// getBucketC fetches a bucket, charging the collector.
+func (ix *Index) getBucketC(key string, col *rangeCollector) (*Bucket, error) {
+	col.addLookup()
+	v, err := ix.d.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	b, ok := v.(*Bucket)
+	if !ok {
+		return nil, fmt.Errorf("%w: key %q holds %T, not a bucket", ErrCorrupt, key, v)
+	}
+	return b, nil
+}
+
+// Range answers the range query [lo, hi) (sections 6.1-6.2): it returns
+// every indexed record whose key falls in the range. Bounds must satisfy
+// 0 <= lo < hi <= 1.
+//
+// The algorithm is the paper's general case (Algorithm 4): the initiator
+// locally computes the range's lowest common ancestor LCA and fetches the
+// leaf named f_n(LCA). A miss means the whole range lies in one leaf
+// (an exact-match lookup finishes the query); an overlapping bucket starts
+// recursive forwarding (Algorithm 3); a non-overlapping bucket descends
+// through LCA's two children first. Forwarding needs only each bucket's
+// local tree: branch nodes are enumerated with the neighbor functions, and
+// every fully-covered branch is entered in one hop through its named leaf.
+//
+// Cost.Lookups counts every DHT-get (the bandwidth measure, at most B+3
+// for B result buckets in the paper's analysis); Cost.Steps counts the
+// longest dependent chain (the latency measure): all forwards issued by
+// one bucket proceed in parallel. With Config.ParallelRange they really
+// do - independent branches run in goroutines - which turns the Steps
+// model into wall-clock time over networked substrates.
+func (ix *Index) Range(lo, hi float64) ([]record.Record, Cost, error) {
+	var cost Cost
+	if err := keyspace.CheckKey(lo); err != nil {
+		return nil, cost, fmt.Errorf("%w: lo: %v", ErrBadRange, err)
+	}
+	if !(hi > lo && hi <= 1) {
+		return nil, cost, fmt.Errorf("%w: [%v, %v)", ErrBadRange, lo, hi)
+	}
+	r := keyspace.Interval{Lo: lo, Hi: hi}
+	lca := keyspace.RangeLCA(r, ix.cfg.Depth)
+
+	col := &rangeCollector{}
+	b, err := ix.getBucketC(lca.Name().Key(), col)
+	switch {
+	case errors.Is(err, dht.ErrNotFound):
+		// Case 1: no leaf is named f_n(LCA), so the subtree under LCA is
+		// a single leaf covering the whole range: exact-match lookup.
+		lb, lcost, err := ix.LookupBucket(lo)
+		out, lookups, _ := col.snapshot()
+		cost.Lookups = lookups + lcost.Lookups
+		cost.Steps = 1 + lcost.Steps
+		if err != nil {
+			return nil, cost, err
+		}
+		out = record.FilterRange(out, lb.Records, lo, hi)
+		return out, cost, nil
+	case err != nil:
+		_, cost.Lookups, _ = col.snapshot()
+		cost.Steps = 1
+		return nil, cost, err
+	}
+
+	var depth int
+	if b.Interval().Overlaps(r) {
+		// Case 2: the simple case holds from this bucket.
+		depth = 1 + ix.forward(b, r, col)
+	} else {
+		// Case 3: descend through both children of the LCA; each child's
+		// subrange contains one bound of its half, so forwarding from the
+		// entered leaf is again the simple case. The two descents proceed
+		// in parallel.
+		var d0, d1 int
+		ix.inParallel(
+			func() { d0 = ix.enterChild(lca.Left(), r, col) },
+			func() { d1 = ix.enterChild(lca.Right(), r, col) },
+		)
+		depth = 1 + maxInt(d0, d1)
+	}
+	out, lookups, err := col.snapshot()
+	cost.Lookups = lookups
+	cost.Steps = depth
+	if err != nil {
+		return nil, cost, err
+	}
+	return out, cost, nil
+}
+
+// inParallel runs the thunks concurrently when ParallelRange is set, or
+// sequentially otherwise.
+func (ix *Index) inParallel(thunks ...func()) {
+	if !ix.cfg.ParallelRange {
+		for _, f := range thunks {
+			f()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for _, f := range thunks {
+		f := f
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f()
+		}()
+	}
+	wg.Wait()
+}
+
+// enterChild fetches the leaf that starts the sweep inside one child
+// subtree of the LCA and forwards the intersected range there. The child
+// label itself is tried first (the leaf bound to that name is the subtree
+// boundary leaf); if the child is a leaf rather than an internal node, the
+// key misses and the leaf is found under f_n(child) instead - the one
+// extra lookup the complexity analysis of section 6.3 budgets for.
+// It returns the depth of the dependent lookup chain it issued.
+func (ix *Index) enterChild(child bitlabel.Label, r keyspace.Interval, col *rangeCollector) int {
+	sub := keyspace.IntervalOf(child).Intersect(r)
+	if sub.Empty() {
+		return 0
+	}
+	depth := 1
+	b, err := ix.getBucketC(child.Key(), col)
+	if errors.Is(err, dht.ErrNotFound) {
+		depth = 2
+		b, err = ix.getBucketC(child.Name().Key(), col)
+	}
+	if err != nil {
+		col.setErr(fmt.Errorf("lht: range enter %s: %w", child, err))
+		return depth
+	}
+	return depth + ix.forward(b, sub, col)
+}
+
+// forward implements the recursive forwarding of Algorithm 3 from bucket
+// b, which the caller has already fetched: collect b's records in r, then
+// sweep toward whichever sides of r extend beyond b's interval. Both
+// sweeps and all per-branch forwards are issued by b's peer in one round,
+// so the returned chain depth is the maximum over the branches.
+func (ix *Index) forward(b *Bucket, r keyspace.Interval, col *rangeCollector) int {
+	col.addRecords(b.Records, r.Lo, r.Hi)
+	iv := b.Interval()
+	var dRight, dLeft int
+	ix.inParallel(
+		func() {
+			if r.Hi > iv.Hi {
+				dRight = ix.sweep(b.Label, r, sweepRight, col)
+			}
+		},
+		func() {
+			if r.Lo < iv.Lo {
+				dLeft = ix.sweep(b.Label, r, sweepLeft, col)
+			}
+		},
+	)
+	return maxInt(dRight, dLeft)
+}
+
+type sweepDir int
+
+const (
+	sweepRight sweepDir = iota + 1
+	sweepLeft
+)
+
+// sweep walks the branch nodes of the local tree of the leaf labeled from,
+// in the given direction, decomposing r into per-branch subranges
+// (Algorithm 3). A branch whose interval is fully inside r is entered
+// through the leaf bound to f_n(beta): the far-end boundary leaf of the
+// branch, which then sweeps back inward. The final, partially covered
+// branch is entered through the leaf bound to beta itself: the near-end
+// boundary leaf; if beta turns out to be a leaf, that get fails and the
+// leaf is under f_n(beta) - the at-most-one failed lookup per sweep of
+// section 6.3.
+//
+// The walk over branch labels is local arithmetic; every branch's fetch
+// and recursive forward is independent, so in parallel mode each runs in
+// its own goroutine.
+func (ix *Index) sweep(from bitlabel.Label, r keyspace.Interval, dir sweepDir, col *rangeCollector) int {
+	// Phase 1: enumerate the branches to visit (pure local arithmetic).
+	type branchTask struct {
+		label   bitlabel.Label
+		inv     keyspace.Interval
+		covered bool
+	}
+	var tasks []branchTask
+	beta := from
+loop:
+	for {
+		var ok bool
+		if dir == sweepRight {
+			beta, ok = beta.RightNeighbor()
+		} else {
+			beta, ok = beta.LeftNeighbor()
+		}
+		if !ok {
+			break // reached the tree edge
+		}
+		inv := keyspace.IntervalOf(beta)
+		covered := false
+		switch dir {
+		case sweepRight:
+			if inv.Lo >= r.Hi {
+				break loop // branch lies beyond the range
+			}
+			covered = inv.Hi <= r.Hi
+		case sweepLeft:
+			if inv.Hi <= r.Lo {
+				break loop
+			}
+			covered = inv.Lo >= r.Lo
+		}
+		tasks = append(tasks, branchTask{label: beta, inv: inv, covered: covered})
+		if !covered {
+			break // the partially covered branch terminates the sweep
+		}
+	}
+
+	// Phase 2: fetch and forward into every branch, in parallel when
+	// configured; depths land in pre-sized slots.
+	depths := make([]int, len(tasks))
+	thunks := make([]func(), len(tasks))
+	for i, task := range tasks {
+		i, task := i, task
+		if task.covered {
+			// The branch is fully inside the remaining range: enter it
+			// through its named leaf and let it sweep back inward.
+			thunks[i] = func() {
+				nb, err := ix.getBucketC(task.label.Name().Key(), col)
+				if err != nil {
+					col.setErr(fmt.Errorf("lht: range forward %s: %w", task.label, err))
+					depths[i] = 1
+					return
+				}
+				depths[i] = 1 + ix.forward(nb, task.inv, col)
+			}
+			continue
+		}
+		// Partially covered terminal branch: enter through the near-end
+		// boundary leaf, bound to beta's own label; a miss means beta is
+		// itself a leaf, found under f_n(beta) - the at-most-one failed
+		// lookup of section 6.3.
+		thunks[i] = func() {
+			hops := 1
+			nb, err := ix.getBucketC(task.label.Key(), col)
+			if errors.Is(err, dht.ErrNotFound) {
+				hops = 2
+				nb, err = ix.getBucketC(task.label.Name().Key(), col)
+			}
+			if err != nil {
+				col.setErr(fmt.Errorf("lht: range forward %s: %w", task.label, err))
+				depths[i] = hops
+				return
+			}
+			depths[i] = hops + ix.forward(nb, task.inv.Intersect(r), col)
+		}
+	}
+	ix.inParallel(thunks...)
+
+	var depth int
+	for _, d := range depths {
+		if d > depth {
+			depth = d
+		}
+	}
+	return depth
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

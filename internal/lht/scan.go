@@ -1,0 +1,54 @@
+package lht
+
+import (
+	"errors"
+	"fmt"
+
+	"lht/internal/dht"
+	"lht/internal/record"
+)
+
+// Scan returns up to limit records with keys >= from, in ascending key
+// order: the pagination primitive DB-style applications layer on a range
+// index. It costs one LHT lookup for the first bucket plus one DHT-lookup
+// per additional bucket walked (the same neighbor-function walk the range
+// algorithm uses), so a full scan in pages costs the same as one range
+// query over the union.
+func (ix *Index) Scan(from float64, limit int) ([]record.Record, Cost, error) {
+	var cost Cost
+	if limit <= 0 {
+		return nil, cost, fmt.Errorf("%w: scan limit %d", ErrBadRange, limit)
+	}
+	b, lcost, err := ix.LookupBucket(from)
+	cost.Add(lcost)
+	if err != nil {
+		return nil, cost, err
+	}
+	var out []record.Record
+	for {
+		matched := record.FilterRange(nil, b.Records, from, 1)
+		record.SortByKey(matched)
+		for _, r := range matched {
+			out = append(out, r)
+			if len(out) == limit {
+				return out, cost, nil
+			}
+		}
+		// Advance to the next leaf in key order: the near-end leaf of
+		// the nearest right branch.
+		beta, ok := b.Label.RightNeighbor()
+		if !ok {
+			return out, cost, nil // reached the right edge of the tree
+		}
+		nb, err := ix.getBucket(beta.Key(), &cost)
+		cost.Steps++
+		if errors.Is(err, dht.ErrNotFound) {
+			nb, err = ix.getBucket(beta.Name().Key(), &cost)
+			cost.Steps++
+		}
+		if err != nil {
+			return out, cost, fmt.Errorf("lht: scan walk %s: %w", beta, err)
+		}
+		b = nb
+	}
+}

@@ -1,0 +1,115 @@
+package lht
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"lht/internal/dht"
+	"lht/internal/record"
+)
+
+func TestScan(t *testing.T) {
+	ix, err := New(dht.NewLocal(), Config{SplitThreshold: 8, MergeThreshold: 0, Depth: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(61))
+	keys := make([]float64, 500)
+	for i := range keys {
+		keys[i] = rng.Float64()
+		if _, err := ix.Insert(record.Record{Key: keys[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sort.Float64s(keys)
+
+	// Scan from several starting points with several limits and compare
+	// with the sorted oracle.
+	for _, from := range []float64{0, 0.25, 0.5, 0.9, keys[100]} {
+		start := sort.SearchFloat64s(keys, from)
+		for _, limit := range []int{1, 7, 50, 1000} {
+			got, cost, err := ix.Scan(from, limit)
+			if err != nil {
+				t.Fatalf("Scan(%v, %d): %v", from, limit, err)
+			}
+			want := keys[start:]
+			if len(want) > limit {
+				want = want[:limit]
+			}
+			if len(got) != len(want) {
+				t.Fatalf("Scan(%v, %d) = %d records, want %d", from, limit, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Key != want[i] {
+					t.Fatalf("Scan(%v, %d)[%d] = %v, want %v", from, limit, i, got[i].Key, want[i])
+				}
+			}
+			if cost.Lookups == 0 {
+				t.Fatal("scan should cost lookups")
+			}
+		}
+	}
+
+	// Scanning past the end returns what exists.
+	got, _, err := ix.Scan(keys[len(keys)-1], 10)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("tail Scan = %d records, %v", len(got), err)
+	}
+	// Invalid limit.
+	if _, _, err := ix.Scan(0.5, 0); err == nil {
+		t.Fatal("Scan with limit 0 should fail")
+	}
+	// Bad key.
+	if _, _, err := ix.Scan(1.5, 10); err == nil {
+		t.Fatal("Scan with key out of domain should fail")
+	}
+}
+
+// TestScanPagination walks the whole index in pages and verifies the
+// concatenation equals one full range query.
+func TestScanPagination(t *testing.T) {
+	ix, err := New(dht.NewLocal(), Config{SplitThreshold: 8, MergeThreshold: 0, Depth: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(62))
+	for i := 0; i < 300; i++ {
+		if _, err := ix.Insert(record.Record{Key: rng.Float64()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all, _, err := ix.Range(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	record.SortByKey(all)
+
+	var pages []record.Record
+	from := 0.0
+	for {
+		page, _, err := ix.Scan(from, 37)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pages) > 0 && len(page) > 0 && page[0].Key == pages[len(pages)-1].Key {
+			page = page[1:] // drop the resume anchor
+		}
+		if len(page) == 0 {
+			break
+		}
+		pages = append(pages, page...)
+		from = page[len(page)-1].Key
+		if len(page) < 36 {
+			break
+		}
+	}
+	if len(pages) != len(all) {
+		t.Fatalf("paged scan = %d records, range = %d", len(pages), len(all))
+	}
+	for i := range all {
+		if pages[i].Key != all[i].Key {
+			t.Fatalf("page record %d = %v, want %v", i, pages[i].Key, all[i].Key)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package lht
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"lht/internal/chord"
+	"lht/internal/dht"
+	"lht/internal/kademlia"
+	"lht/internal/record"
+)
+
+// These integration tests run the full LHT engine over the real simulated
+// substrates - the paper's "adaptable to any DHT substrate" claim - and
+// cross-check results against the single-map Local DHT.
+
+func runSubstrateWorkload(t *testing.T, d dht.DHT, seed int64) {
+	t.Helper()
+	ix, err := New(d, Config{SplitThreshold: 8, MergeThreshold: 6, Depth: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	oracle := make(map[float64]string)
+	for i := 0; i < 800; i++ {
+		k := rng.Float64()
+		if rng.Intn(5) == 0 && len(oracle) > 0 {
+			// Delete a known key.
+			for dk := range oracle {
+				k = dk
+				break
+			}
+			if _, err := ix.Delete(k); err != nil {
+				t.Fatalf("Delete(%v): %v", k, err)
+			}
+			delete(oracle, k)
+			continue
+		}
+		v := fmt.Sprintf("v%d", i)
+		if _, err := ix.Insert(record.Record{Key: k, Value: []byte(v)}); err != nil {
+			t.Fatalf("Insert(%v): %v", k, err)
+		}
+		oracle[k] = v
+	}
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range oracle {
+		rec, _, err := ix.Search(k)
+		if err != nil || string(rec.Value) != v {
+			t.Fatalf("Search(%v) = %v, %v; want %q", k, rec, err, v)
+		}
+	}
+	// Range over everything must agree with the oracle.
+	keys := make([]float64, 0, len(oracle))
+	for k := range oracle {
+		keys = append(keys, k)
+	}
+	sort.Float64s(keys)
+	got, _, err := ix.Range(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("Range(0,1) = %d records, want %d", len(got), len(keys))
+	}
+	gotKeys := make([]float64, len(got))
+	for i, r := range got {
+		gotKeys[i] = r.Key
+	}
+	sort.Float64s(gotKeys)
+	for i := range keys {
+		if gotKeys[i] != keys[i] {
+			t.Fatalf("Range key %d = %v, want %v", i, gotKeys[i], keys[i])
+		}
+	}
+	if r, _, err := ix.Min(); err != nil || r.Key != keys[0] {
+		t.Fatalf("Min = %v, %v; want %v", r, err, keys[0])
+	}
+	if r, _, err := ix.Max(); err != nil || r.Key != keys[len(keys)-1] {
+		t.Fatalf("Max = %v, %v; want %v", r, err, keys[len(keys)-1])
+	}
+}
+
+func TestLHTOverChord(t *testing.T) {
+	ring, err := chord.NewRing(16, chord.Config{Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runSubstrateWorkload(t, ring, 41)
+	if ring.Network().Messages() == 0 {
+		t.Error("chord substrate reported no traffic")
+	}
+}
+
+func TestLHTOverChordWithReplication(t *testing.T) {
+	ring, err := chord.NewRing(12, chord.Config{Seed: 32, Replicas: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runSubstrateWorkload(t, ring, 42)
+}
+
+func TestLHTOverKademlia(t *testing.T) {
+	nw, err := kademlia.NewNetwork(16, kademlia.Config{Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runSubstrateWorkload(t, nw, 43)
+	if nw.Network().Messages() == 0 {
+		t.Error("kademlia substrate reported no traffic")
+	}
+}
+
+// TestLHTSurvivesChordChurn exercises the paper's maintenance argument
+// end to end: the index keeps answering correctly while nodes join and
+// leave gracefully, because the DHT absorbs membership changes and the
+// index pays nothing.
+func TestLHTSurvivesChordChurn(t *testing.T) {
+	ring, err := chord.NewRing(10, chord.Config{Seed: 34, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := New(ring, Config{SplitThreshold: 8, MergeThreshold: 0, Depth: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(44))
+	oracle := make(map[float64]bool)
+	next := 10
+	for round := 0; round < 6; round++ {
+		for i := 0; i < 100; i++ {
+			k := rng.Float64()
+			if _, err := ix.Insert(record.Record{Key: k}); err != nil {
+				t.Fatalf("round %d: Insert: %v", round, err)
+			}
+			oracle[k] = true
+		}
+		// Churn: one join, one graceful leave.
+		if err := ring.AddNode(fmt.Sprintf("n%d", next)); err != nil {
+			t.Fatal(err)
+		}
+		next++
+		addrs := ring.NodeAddrs()
+		if err := ring.RemoveNode(addrs[rng.Intn(len(addrs))], true); err != nil {
+			t.Fatal(err)
+		}
+		ring.Stabilize(3)
+	}
+	for k := range oracle {
+		if _, _, err := ix.Search(k); err != nil {
+			t.Fatalf("after churn, Search(%v): %v", k, err)
+		}
+	}
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,109 @@
+package lht
+
+import (
+	"errors"
+	"fmt"
+
+	"lht/internal/bitlabel"
+	"lht/internal/dht"
+)
+
+// Leaves returns every leaf bucket of the tree in left-to-right key order,
+// by walking neighbor branches from the leftmost leaf. It exists for
+// inspection, testing and statistics; it costs one DHT-lookup per leaf
+// (plus the boundary fallbacks) and is not part of the paper's query
+// repertoire.
+func (ix *Index) Leaves() ([]*Bucket, error) {
+	var cost Cost
+	b, err := ix.getBucket(bitlabel.Root.Key(), &cost)
+	if err != nil {
+		return nil, fmt.Errorf("lht: leftmost leaf: %w", err)
+	}
+	leaves := []*Bucket{b}
+	for {
+		beta, ok := b.Label.RightNeighbor()
+		if !ok {
+			return leaves, nil
+		}
+		// The next leaf in key order is the leftmost leaf of the nearest
+		// right branch.
+		nb, err := ix.getBucket(beta.Key(), &cost)
+		if errors.Is(err, dht.ErrNotFound) {
+			nb, err = ix.getBucket(beta.Name().Key(), &cost)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("lht: walk %s: %w", beta, err)
+		}
+		leaves = append(leaves, nb)
+		b = nb
+	}
+}
+
+// CheckInvariants verifies the structural invariants the paper's theorems
+// rely on and returns the first violation found:
+//
+//   - the leaves' intervals tile [0, 1) exactly in walk order;
+//   - every leaf bucket is stored under its name f_n(label), and the
+//     naming is injective (Theorem 1);
+//   - every record lies inside its leaf's interval;
+//   - no leaf inside the depth bound exceeds the split threshold.
+//
+// It is meant for tests and debugging.
+func (ix *Index) CheckInvariants() error {
+	leaves, err := ix.Leaves()
+	if err != nil {
+		return err
+	}
+	names := make(map[string]bitlabel.Label, len(leaves))
+	want := 0.0
+	for _, b := range leaves {
+		iv := b.Interval()
+		if iv.Lo != want {
+			return fmt.Errorf("%w: leaf %s starts at %g, want %g", ErrCorrupt, b.Label, iv.Lo, want)
+		}
+		want = iv.Hi
+		name := b.Label.Name()
+		if prev, dup := names[name.Key()]; dup {
+			return fmt.Errorf("%w: leaves %s and %s share name %s", ErrCorrupt, prev, b.Label, name)
+		}
+		names[name.Key()] = b.Label
+		var cost Cost
+		stored, err := ix.getBucket(name.Key(), &cost)
+		if err != nil {
+			return fmt.Errorf("%w: leaf %s not stored under %s: %v", ErrCorrupt, b.Label, name, err)
+		}
+		if stored.Label != b.Label {
+			return fmt.Errorf("%w: key %s holds leaf %s, want %s", ErrCorrupt, name, stored.Label, b.Label)
+		}
+		for _, r := range b.Records {
+			if !iv.Contains(r.Key) {
+				return fmt.Errorf("%w: record %g outside leaf %s %v", ErrCorrupt, r.Key, b.Label, iv)
+			}
+		}
+		// A leaf may transiently exceed theta_split: an insertion causes
+		// at most one split (section 5, no cascades), so a split whose
+		// records all fall on one side leaves that child oversized until
+		// the next insertion into it. Flag only runaway weights.
+		if b.Label.Len() < ix.cfg.Depth && b.Weight() > 2*ix.cfg.SplitThreshold {
+			return fmt.Errorf("%w: leaf %s weight %d exceeds 2x threshold %d", ErrCorrupt, b.Label, b.Weight(), ix.cfg.SplitThreshold)
+		}
+	}
+	if want != 1 {
+		return fmt.Errorf("%w: leaves tile [0, %g), want [0, 1)", ErrCorrupt, want)
+	}
+	return nil
+}
+
+// Count returns the total number of indexed records, via a full leaf walk
+// (testing/inspection helper).
+func (ix *Index) Count() (int, error) {
+	leaves, err := ix.Leaves()
+	if err != nil {
+		return 0, err
+	}
+	var n int
+	for _, b := range leaves {
+		n += len(b.Records)
+	}
+	return n, nil
+}

@@ -1,0 +1,102 @@
+// Package metrics provides the counters behind the paper's cost model
+// (section 8.1): DHT-lookups and moved data records are the two
+// bandwidth-consuming operations of an over-DHT indexing scheme, and
+// parallel step depth is the latency measure of section 9.4.
+//
+// Counters are atomic so instrumented DHTs can be shared across
+// goroutines; reads take a consistent-enough snapshot for reporting.
+package metrics
+
+import "sync/atomic"
+
+// Cost reports the DHT traffic of a single index operation, the two
+// measures of paper section 9: Lookups is the bandwidth measure (number of
+// DHT-lookups issued) and Steps is the latency measure (the longest chain
+// of DHT-lookups that must run sequentially; lookups issued by the same
+// peer in one round proceed in parallel).
+type Cost struct {
+	Lookups int
+	Steps   int
+}
+
+// Add accumulates another operation's cost as if run sequentially after
+// this one.
+func (c *Cost) Add(o Cost) {
+	c.Lookups += o.Lookups
+	c.Steps += o.Steps
+}
+
+// Counters aggregates the cost-model measurements of one index instance or
+// one DHT instance. The zero value is ready to use.
+type Counters struct {
+	lookups      atomic.Int64 // DHT-lookups: every routed Get/Put/Take/Remove
+	failedGets   atomic.Int64 // subset of lookups: Gets that found no value
+	movedRecords atomic.Int64 // records transferred between peers (incl. label slots)
+	splits       atomic.Int64 // leaf splits performed
+	merges       atomic.Int64 // leaf merges performed
+	maintLookups atomic.Int64 // subset of lookups spent on splits/merges (Fig. 7b)
+}
+
+// AddLookups adds n DHT-lookups.
+func (c *Counters) AddLookups(n int64) { c.lookups.Add(n) }
+
+// AddFailedGets adds n failed DHT-gets (already counted as lookups).
+func (c *Counters) AddFailedGets(n int64) { c.failedGets.Add(n) }
+
+// AddMovedRecords adds n records moved between peers.
+func (c *Counters) AddMovedRecords(n int64) { c.movedRecords.Add(n) }
+
+// AddSplits adds n leaf splits.
+func (c *Counters) AddSplits(n int64) { c.splits.Add(n) }
+
+// AddMerges adds n leaf merges.
+func (c *Counters) AddMerges(n int64) { c.merges.Add(n) }
+
+// AddMaintLookups attributes n already-counted lookups to structure
+// maintenance (splits and merges), the traffic Fig. 7b isolates.
+func (c *Counters) AddMaintLookups(n int64) { c.maintLookups.Add(n) }
+
+// Snapshot is a point-in-time copy of the counters.
+type Snapshot struct {
+	Lookups      int64 // DHT-lookups issued
+	FailedGets   int64 // DHT-gets that returned "not found"
+	MovedRecords int64 // record slots moved between peers
+	Splits       int64 // leaf splits
+	Merges       int64 // leaf merges
+	MaintLookups int64 // lookups spent on splits and merges
+}
+
+// Snapshot returns the current counter values.
+func (c *Counters) Snapshot() Snapshot {
+	return Snapshot{
+		Lookups:      c.lookups.Load(),
+		FailedGets:   c.failedGets.Load(),
+		MovedRecords: c.movedRecords.Load(),
+		Splits:       c.splits.Load(),
+		Merges:       c.merges.Load(),
+		MaintLookups: c.maintLookups.Load(),
+	}
+}
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() {
+	c.lookups.Store(0)
+	c.failedGets.Store(0)
+	c.movedRecords.Store(0)
+	c.splits.Store(0)
+	c.merges.Store(0)
+	c.maintLookups.Store(0)
+}
+
+// Sub returns the component-wise difference s - prev, for measuring the
+// cost of a single operation or experiment phase.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	return Snapshot{
+		Lookups:      s.Lookups - prev.Lookups,
+		FailedGets:   s.FailedGets - prev.FailedGets,
+		MovedRecords: s.MovedRecords - prev.MovedRecords,
+		Splits:       s.Splits - prev.Splits,
+		Merges:       s.Merges - prev.Merges,
+		MaintLookups: s.MaintLookups - prev.MaintLookups,
+	}
+}

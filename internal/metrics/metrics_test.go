@@ -1,0 +1,56 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCountersAndSnapshot(t *testing.T) {
+	var c Counters
+	c.AddLookups(3)
+	c.AddFailedGets(1)
+	c.AddMovedRecords(10)
+	c.AddSplits(2)
+	c.AddMerges(1)
+	c.AddMaintLookups(2)
+	s := c.Snapshot()
+	want := Snapshot{Lookups: 3, FailedGets: 1, MovedRecords: 10, Splits: 2, Merges: 1, MaintLookups: 2}
+	if s != want {
+		t.Fatalf("Snapshot = %+v, want %+v", s, want)
+	}
+	diff := s.Sub(Snapshot{Lookups: 1, MovedRecords: 4})
+	if diff.Lookups != 2 || diff.MovedRecords != 6 || diff.Splits != 2 {
+		t.Fatalf("Sub = %+v", diff)
+	}
+	c.Reset()
+	if c.Snapshot() != (Snapshot{}) {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.AddLookups(1)
+				c.AddMaintLookups(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := c.Snapshot(); s.Lookups != 8000 || s.MaintLookups != 8000 {
+		t.Fatalf("Snapshot = %+v", s)
+	}
+}
+
+func TestCostAdd(t *testing.T) {
+	c := Cost{Lookups: 2, Steps: 1}
+	c.Add(Cost{Lookups: 3, Steps: 2})
+	if c != (Cost{Lookups: 5, Steps: 3}) {
+		t.Fatalf("Add = %+v", c)
+	}
+}

@@ -1,0 +1,374 @@
+package pht
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"lht/internal/bitlabel"
+	"lht/internal/dht"
+	"lht/internal/keyspace"
+	"lht/internal/metrics"
+	"lht/internal/record"
+)
+
+var (
+	// ErrKeyNotFound reports an exact-match query or deletion for a data
+	// key that is not indexed.
+	ErrKeyNotFound = errors.New("pht: data key not found")
+	// ErrCorrupt reports a trie state the algorithms cannot explain.
+	ErrCorrupt = errors.New("pht: corrupt index state")
+)
+
+// Cost reports the DHT traffic of one operation; see metrics.Cost.
+type Cost = metrics.Cost
+
+// Config tunes a PHT index. It deliberately mirrors lht.Config so the
+// benchmark harness can drive both with identical parameters.
+type Config struct {
+	// SplitThreshold is the leaf capacity in record slots (one occupied
+	// by the label), identical in meaning to lht.Config.SplitThreshold.
+	SplitThreshold int
+	// MergeThreshold merges sibling leaves whose combined merged weight
+	// falls below it; 0 disables merging.
+	MergeThreshold int
+	// Depth is D, the maximum trie depth in bits.
+	Depth int
+}
+
+// DefaultConfig matches the paper's experiment defaults.
+func DefaultConfig() Config {
+	return Config{SplitThreshold: 100, MergeThreshold: 50, Depth: 20}
+}
+
+// ErrConfig reports an invalid configuration.
+var ErrConfig = errors.New("pht: invalid config")
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.SplitThreshold < 4 {
+		return fmt.Errorf("%w: SplitThreshold %d < 4", ErrConfig, c.SplitThreshold)
+	}
+	if c.MergeThreshold < 0 || c.MergeThreshold > c.SplitThreshold {
+		return fmt.Errorf("%w: MergeThreshold %d outside [0, SplitThreshold]", ErrConfig, c.MergeThreshold)
+	}
+	if c.Depth < 2 || c.Depth > keyspace.MaxDepth {
+		return fmt.Errorf("%w: Depth %d outside [2, %d]", ErrConfig, c.Depth, keyspace.MaxDepth)
+	}
+	return nil
+}
+
+// Index is a PHT index over a DHT substrate; create one with New. The
+// concurrency contract matches lht.Index: concurrent readers, serialized
+// writers.
+type Index struct {
+	d   dht.DHT
+	cfg Config
+	c   *metrics.Counters
+
+	mu        sync.Mutex
+	overflows int64
+}
+
+// New creates an index client over d, bootstrapping the single-leaf trie
+// (leaf "#0" stored under its own label) if the substrate is empty.
+func New(d dht.DHT, cfg Config) (*Index, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rootKey := bitlabel.TreeRoot.Key()
+	if _, err := d.Get(rootKey); err != nil {
+		if !errors.Is(err, dht.ErrNotFound) {
+			return nil, fmt.Errorf("pht: probe substrate: %w", err)
+		}
+		if err := d.Put(rootKey, &Node{Label: bitlabel.TreeRoot, Leaf: true}); err != nil {
+			return nil, fmt.Errorf("pht: bootstrap: %w", err)
+		}
+	}
+	c := &metrics.Counters{}
+	return &Index{d: dht.NewInstrumented(d, c), cfg: cfg, c: c}, nil
+}
+
+// Config returns the index configuration.
+func (ix *Index) Config() Config { return ix.cfg }
+
+// Metrics returns the cumulative cost counters of this index client.
+func (ix *Index) Metrics() metrics.Snapshot { return ix.c.Snapshot() }
+
+// Overflows returns the number of insertions into a full leaf at maximum
+// depth, where splitting is impossible.
+func (ix *Index) Overflows() int64 {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.overflows
+}
+
+// getNode fetches and type-asserts a trie node, charging cost.
+func (ix *Index) getNode(key string, cost *Cost) (*Node, error) {
+	cost.Lookups++
+	v, err := ix.d.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	n, ok := v.(*Node)
+	if !ok {
+		return nil, fmt.Errorf("%w: key %q holds %T, not a node", ErrCorrupt, key, v)
+	}
+	return n, nil
+}
+
+// LookupLeaf is the PHT lookup: a binary search over all prefix lengths of
+// mu(delta, D). Each probe gets the trie node stored under the prefix
+// itself: a miss means the prefix is below the leaf (search shorter), an
+// internal marker means above it (search longer). Expected cost is log D
+// probes - the candidate set LHT's naming function halves (section 5,
+// complexity discussion).
+func (ix *Index) LookupLeaf(delta float64) (*Node, Cost, error) {
+	var cost Cost
+	mu, err := keyspace.Mu(delta, ix.cfg.Depth)
+	if err != nil {
+		return nil, cost, err
+	}
+	lo, hi := 1, ix.cfg.Depth
+	for lo <= hi {
+		mid := lo + (hi-lo)/2
+		x := mu.Prefix(mid)
+		n, err := ix.getNode(x.Key(), &cost)
+		switch {
+		case errors.Is(err, dht.ErrNotFound):
+			hi = mid - 1
+		case err != nil:
+			cost.Steps = cost.Lookups
+			return nil, cost, err
+		case n.Leaf:
+			cost.Steps = cost.Lookups
+			return n, cost, nil
+		default:
+			lo = mid + 1
+		}
+	}
+	cost.Steps = cost.Lookups
+	return nil, cost, fmt.Errorf("%w: lookup %v found no leaf", ErrCorrupt, delta)
+}
+
+// Search is the exact-match query: a lookup returning the record itself.
+func (ix *Index) Search(delta float64) (record.Record, Cost, error) {
+	n, cost, err := ix.LookupLeaf(delta)
+	if err != nil {
+		return record.Record{}, cost, err
+	}
+	if i := record.FindByKey(n.Records, delta); i >= 0 {
+		return n.Records[i], cost, nil
+	}
+	return record.Record{}, cost, fmt.Errorf("%w: %v", ErrKeyNotFound, delta)
+}
+
+// Insert adds a record (replacing any record with the same key): a lookup,
+// a put of the leaf, and possibly a split.
+func (ix *Index) Insert(rec record.Record) (Cost, error) {
+	if err := keyspace.CheckKey(rec.Key); err != nil {
+		return Cost{}, err
+	}
+	n, cost, err := ix.LookupLeaf(rec.Key)
+	if err != nil {
+		return cost, err
+	}
+	if i := record.FindByKey(n.Records, rec.Key); i >= 0 {
+		n.Records[i] = rec
+	} else {
+		n.Records = append(n.Records, rec)
+	}
+	cost.Lookups++
+	cost.Steps++
+	if err := ix.d.Put(n.Label.Key(), n); err != nil {
+		return cost, fmt.Errorf("pht: write back %s: %w", n.Label, err)
+	}
+	if n.Weight() >= ix.cfg.SplitThreshold {
+		splitCost, err := ix.split(n)
+		cost.Add(splitCost)
+		ix.c.AddMaintLookups(int64(splitCost.Lookups))
+		if err != nil {
+			return cost, err
+		}
+	}
+	return cost, nil
+}
+
+// split divides a saturated leaf. Unlike LHT, both children carry labels
+// different from the parent's, so both are pushed to other peers (2
+// DHT-lookups, all records moved), the old node is rewritten in place as
+// an internal marker (free), and the two neighbor leaves' links are
+// patched (2 more DHT-lookups): equation 2's theta*i + 4*j per split.
+// Like LHT, one insertion causes at most one split.
+func (ix *Index) split(n *Node) (Cost, error) {
+	var cost Cost
+	if n.Label.Len() >= ix.cfg.Depth {
+		ix.mu.Lock()
+		ix.overflows++
+		ix.mu.Unlock()
+		return cost, nil
+	}
+
+	iv := n.Interval()
+	pivot := iv.Lo + (iv.Hi-iv.Lo)/2
+	var leftRecs, rightRecs []record.Record
+	for _, r := range n.Records {
+		if r.Key < pivot {
+			leftRecs = append(leftRecs, r)
+		} else {
+			rightRecs = append(rightRecs, r)
+		}
+	}
+	left := &Node{
+		Label: n.Label.Left(), Leaf: true, Records: leftRecs,
+		Prev: n.Prev, HasPrev: n.HasPrev,
+		Next: n.Label.Right(), HasNext: true,
+	}
+	right := &Node{
+		Label: n.Label.Right(), Leaf: true, Records: rightRecs,
+		Prev: n.Label.Left(), HasPrev: true,
+		Next: n.Next, HasNext: n.HasNext,
+	}
+
+	ix.c.AddSplits(1)
+	ix.c.AddMovedRecords(int64(left.Weight() + right.Weight()))
+
+	// Both children move to the peers responsible for their new labels.
+	cost.Lookups += 2
+	cost.Steps++ // the two puts go out in parallel
+	if err := ix.d.Put(left.Label.Key(), left); err != nil {
+		return cost, fmt.Errorf("pht: split put %s: %w", left.Label, err)
+	}
+	if err := ix.d.Put(right.Label.Key(), right); err != nil {
+		return cost, fmt.Errorf("pht: split put %s: %w", right.Label, err)
+	}
+
+	// Patch the chain neighbors; each patch routes to one peer.
+	if n.HasPrev {
+		if err := ix.patchLink(n.Prev, &cost, func(p *Node) { p.Next, p.HasNext = left.Label, true }); err != nil {
+			return cost, err
+		}
+	}
+	if n.HasNext {
+		if err := ix.patchLink(n.Next, &cost, func(p *Node) { p.Prev, p.HasPrev = right.Label, true }); err != nil {
+			return cost, err
+		}
+	}
+
+	// The old leaf becomes an internal marker in place (local rewrite).
+	n.Leaf = false
+	n.Records = nil
+	n.Prev, n.Next, n.HasPrev, n.HasNext = bitlabel.Label{}, bitlabel.Label{}, false, false
+	if err := ix.d.Write(n.Label.Key(), n); err != nil {
+		return cost, fmt.Errorf("pht: split write %s: %w", n.Label, err)
+	}
+	return cost, nil
+}
+
+// patchLink routes to the leaf stored under label, applies fn and rewrites
+// it: one DHT-lookup (the rewrite happens on the peer that was routed to).
+func (ix *Index) patchLink(label bitlabel.Label, cost *Cost, fn func(*Node)) error {
+	p, err := ix.getNode(label.Key(), cost)
+	cost.Steps++
+	if err != nil {
+		return fmt.Errorf("pht: patch link %s: %w", label, err)
+	}
+	fn(p)
+	if err := ix.d.Write(label.Key(), p); err != nil {
+		return fmt.Errorf("pht: patch link %s: %w", label, err)
+	}
+	return nil
+}
+
+// Delete removes the record with the given key, or returns
+// ErrKeyNotFound; an underweight leaf attempts to merge with its sibling.
+func (ix *Index) Delete(delta float64) (Cost, error) {
+	if err := keyspace.CheckKey(delta); err != nil {
+		return Cost{}, err
+	}
+	n, cost, err := ix.LookupLeaf(delta)
+	if err != nil {
+		return cost, err
+	}
+	i := record.FindByKey(n.Records, delta)
+	if i < 0 {
+		return cost, fmt.Errorf("%w: %v", ErrKeyNotFound, delta)
+	}
+	n.Records[i] = n.Records[len(n.Records)-1]
+	n.Records = n.Records[:len(n.Records)-1]
+	cost.Lookups++
+	cost.Steps++
+	if err := ix.d.Put(n.Label.Key(), n); err != nil {
+		return cost, fmt.Errorf("pht: write back %s: %w", n.Label, err)
+	}
+	if ix.cfg.MergeThreshold > 0 && n.Label.Len() >= 2 && n.Weight() < ix.cfg.MergeThreshold {
+		mergeCost, err := ix.merge(n)
+		cost.Add(mergeCost)
+		ix.c.AddMaintLookups(int64(mergeCost.Lookups))
+		if err != nil {
+			return cost, err
+		}
+	}
+	return cost, nil
+}
+
+// merge collapses a leaf and its sibling leaf back into their parent when
+// their combined weight is low: the records move to the parent's peer (the
+// parent marker is rewritten as a leaf), both child entries are removed,
+// and the chain is patched around them. It is noticeably more expensive
+// than LHT's merge - every step routes, just as PHT's split does.
+func (ix *Index) merge(n *Node) (Cost, error) {
+	var cost Cost
+	sibling := n.Label.Sibling()
+	sib, err := ix.getNode(sibling.Key(), &cost)
+	cost.Steps++
+	if err != nil {
+		if errors.Is(err, dht.ErrNotFound) {
+			return cost, fmt.Errorf("%w: sibling %s of leaf %s missing", ErrCorrupt, sibling, n.Label)
+		}
+		return cost, err
+	}
+	if !sib.Leaf {
+		return cost, nil
+	}
+	if n.Weight()+sib.Weight()-1 >= ix.cfg.MergeThreshold {
+		return cost, nil
+	}
+
+	left, right := n, sib
+	if n.Label.LastBit() == 1 {
+		left, right = sib, n
+	}
+	parent := &Node{
+		Label: n.Label.Parent(), Leaf: true,
+		Records: append(append([]record.Record{}, left.Records...), right.Records...),
+		Prev:    left.Prev, HasPrev: left.HasPrev,
+		Next: right.Next, HasNext: right.HasNext,
+	}
+
+	ix.c.AddMerges(1)
+	ix.c.AddMovedRecords(int64(left.Weight() + right.Weight()))
+
+	cost.Lookups += 3
+	cost.Steps++ // put parent + remove both children, in parallel
+	if err := ix.d.Put(parent.Label.Key(), parent); err != nil {
+		return cost, fmt.Errorf("pht: merge put %s: %w", parent.Label, err)
+	}
+	if err := ix.d.Remove(left.Label.Key()); err != nil {
+		return cost, fmt.Errorf("pht: merge remove %s: %w", left.Label, err)
+	}
+	if err := ix.d.Remove(right.Label.Key()); err != nil {
+		return cost, fmt.Errorf("pht: merge remove %s: %w", right.Label, err)
+	}
+	if parent.HasPrev {
+		if err := ix.patchLink(parent.Prev, &cost, func(p *Node) { p.Next, p.HasNext = parent.Label, true }); err != nil {
+			return cost, err
+		}
+	}
+	if parent.HasNext {
+		if err := ix.patchLink(parent.Next, &cost, func(p *Node) { p.Prev, p.HasPrev = parent.Label, true }); err != nil {
+			return cost, err
+		}
+	}
+	return cost, nil
+}

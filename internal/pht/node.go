@@ -1,0 +1,102 @@
+// Package pht implements the Prefix Hash Tree (Ramabhadran et al., PODC
+// 2004; Chawathe et al., SIGCOMM 2005), the baseline the paper compares
+// against as the prior state of the art in maintenance efficiency
+// (sections 8.2 and 9).
+//
+// PHT is a binary trie over the same [0, 1) key space: every trie node -
+// internal nodes included - is stored in the DHT directly under its own
+// label, leaves hold the records, and neighboring leaves are chained with
+// B+-tree-style prev/next links. Consequences the paper measures:
+//
+//   - a leaf split rewrites the leaf as an internal marker in place but
+//     must push *both* children to other peers (their labels changed) and
+//     patch two neighbor links: theta records moved and 4 DHT-lookups,
+//     versus LHT's theta/2 and 1 (equations 1-2);
+//   - lookup binary-searches all D prefix lengths (log D probes, versus
+//     LHT's log(D/2));
+//   - range queries either walk the leaf chain (near-optimal bandwidth,
+//     sequential latency) or fan out through the trie from the range's
+//     LCA (parallel latency, about twice the bandwidth).
+//
+// The implementation mirrors internal/lht's structure so experiments
+// exercise both through identical harnesses.
+package pht
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"lht/internal/bitlabel"
+	"lht/internal/keyspace"
+	"lht/internal/record"
+)
+
+// Node is one trie node as stored in the DHT under its label's key.
+type Node struct {
+	// Label is the trie node's label; its key in the DHT.
+	Label bitlabel.Label
+	// Leaf marks leaf nodes; internal nodes are empty markers that exist
+	// so the lookup binary search can distinguish "descend" from "too
+	// deep".
+	Leaf bool
+	// Records are the stored records (leaf nodes only).
+	Records []record.Record
+	// Prev and Next are the B+-tree leaf links (leaf nodes only). The
+	// flags distinguish "no neighbor" from the zero label.
+	Prev, Next       bitlabel.Label
+	HasPrev, HasNext bool
+}
+
+// Weight is the node's storage occupancy: records plus one label slot,
+// the same accounting as lht.Bucket so the comparison is like for like.
+func (n *Node) Weight() int { return len(n.Records) + 1 }
+
+// Interval returns the key interval the node covers.
+func (n *Node) Interval() keyspace.Interval { return keyspace.IntervalOf(n.Label) }
+
+// Contains reports whether the node's interval covers delta.
+func (n *Node) Contains(delta float64) bool { return n.Interval().Contains(delta) }
+
+// String summarizes the node for logs and test failures.
+func (n *Node) String() string {
+	kind := "internal"
+	if n.Leaf {
+		kind = fmt.Sprintf("leaf, %d records", len(n.Records))
+	}
+	return fmt.Sprintf("pht(%s, %s)", n.Label, kind)
+}
+
+// nodeWire is the serialized form of a Node.
+type nodeWire struct {
+	Label            bitlabel.Label
+	Leaf             bool
+	Records          []record.Record
+	Prev, Next       bitlabel.Label
+	HasPrev, HasNext bool
+}
+
+// EncodeNode serializes a node for byte-store substrates.
+func EncodeNode(n *Node) ([]byte, error) {
+	var buf bytes.Buffer
+	w := nodeWire{
+		Label: n.Label, Leaf: n.Leaf, Records: n.Records,
+		Prev: n.Prev, Next: n.Next, HasPrev: n.HasPrev, HasNext: n.HasNext,
+	}
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, fmt.Errorf("encode pht node: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeNode is the inverse of EncodeNode.
+func DecodeNode(data []byte) (*Node, error) {
+	var w nodeWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return nil, fmt.Errorf("decode pht node: %w", err)
+	}
+	return &Node{
+		Label: w.Label, Leaf: w.Leaf, Records: w.Records,
+		Prev: w.Prev, Next: w.Next, HasPrev: w.HasPrev, HasNext: w.HasNext,
+	}, nil
+}

@@ -1,0 +1,50 @@
+package record
+
+import (
+	"testing"
+)
+
+func TestString(t *testing.T) {
+	r := Record{Key: 0.25, Value: []byte("v")}
+	if got := r.String(); got != `{0.25: "v"}` {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestSortByKey(t *testing.T) {
+	rs := []Record{{Key: 0.9}, {Key: 0.1}, {Key: 0.5}}
+	SortByKey(rs)
+	if rs[0].Key != 0.1 || rs[1].Key != 0.5 || rs[2].Key != 0.9 {
+		t.Errorf("SortByKey = %v", rs)
+	}
+}
+
+func TestFindByKey(t *testing.T) {
+	rs := []Record{{Key: 0.9}, {Key: 0.1}, {Key: 0.5}}
+	if i := FindByKey(rs, 0.1); i != 1 {
+		t.Errorf("FindByKey(0.1) = %d", i)
+	}
+	if i := FindByKey(rs, 0.2); i != -1 {
+		t.Errorf("FindByKey(0.2) = %d", i)
+	}
+	if i := FindByKey(nil, 0.2); i != -1 {
+		t.Errorf("FindByKey(nil) = %d", i)
+	}
+}
+
+func TestFilterRange(t *testing.T) {
+	rs := []Record{{Key: 0.1}, {Key: 0.3}, {Key: 0.5}, {Key: 0.7}}
+	got := FilterRange(nil, rs, 0.3, 0.7)
+	if len(got) != 2 || got[0].Key != 0.3 || got[1].Key != 0.5 {
+		t.Errorf("FilterRange = %v", got)
+	}
+	// Appends to dst.
+	got = FilterRange(got, rs, 0, 0.2)
+	if len(got) != 3 || got[2].Key != 0.1 {
+		t.Errorf("FilterRange append = %v", got)
+	}
+	// Half-open: hi excluded.
+	if out := FilterRange(nil, rs, 0.7, 0.7001); len(out) != 1 {
+		t.Errorf("boundary FilterRange = %v", out)
+	}
+}

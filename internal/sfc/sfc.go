@@ -1,0 +1,202 @@
+// Package sfc implements the extension the paper's footnote 1 points at:
+// multi-dimensional indexing on top of the one-dimensional LHT index via
+// a space-filling curve (the approach PHT's authors took in the SIGCOMM
+// 2005 case study). Two-dimensional points in the unit square are
+// quantized and Z-order (Morton) encoded into [0, 1) data keys;
+// rectangle queries decompose into a small set of curve spans, each
+// served by one LHT range query, with a post-filter removing the
+// over-approximation at span edges.
+package sfc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// MaxBits is the maximum per-dimension resolution: 2*MaxBits key bits
+// must stay exactly representable in a float64 mantissa.
+const MaxBits = 26
+
+var (
+	// ErrBits reports an unsupported resolution.
+	ErrBits = errors.New("sfc: bits outside [1, MaxBits]")
+	// ErrDomain reports a coordinate outside [0, 1).
+	ErrDomain = errors.New("sfc: coordinate outside [0, 1)")
+	// ErrRect reports an empty or invalid query rectangle.
+	ErrRect = errors.New("sfc: invalid rectangle")
+)
+
+// Curve is a two-dimensional Z-order curve at a fixed resolution.
+type Curve struct {
+	bits int
+}
+
+// NewCurve creates a curve with the given per-dimension bit resolution.
+func NewCurve(bits int) (Curve, error) {
+	if bits < 1 || bits > MaxBits {
+		return Curve{}, fmt.Errorf("%w: %d", ErrBits, bits)
+	}
+	return Curve{bits: bits}, nil
+}
+
+// Bits returns the per-dimension resolution.
+func (c Curve) Bits() int { return c.bits }
+
+// CellWidth returns the side length of one grid cell.
+func (c Curve) CellWidth() float64 { return 1 / float64(uint64(1)<<uint(c.bits)) }
+
+// Encode maps a point of the unit square to its Z-order data key in
+// [0, 1): quantize both coordinates to bits bits and interleave them,
+// x contributing the even (higher) bit positions.
+func (c Curve) Encode(x, y float64) (float64, error) {
+	if !(x >= 0 && x < 1) || !(y >= 0 && y < 1) {
+		return 0, fmt.Errorf("%w: (%v, %v)", ErrDomain, x, y)
+	}
+	n := uint64(1) << uint(c.bits)
+	xi := uint64(x * float64(n))
+	yi := uint64(y * float64(n))
+	z := interleave(xi)<<1 | interleave(yi)
+	return float64(z) / float64(uint64(1)<<uint(2*c.bits)), nil
+}
+
+// Decode returns the lower-left corner of the grid cell a data key falls
+// in. Composing Decode after Encode quantizes the point to its cell.
+func (c Curve) Decode(key float64) (x, y float64) {
+	z := uint64(key * float64(uint64(1)<<uint(2*c.bits)))
+	xi := deinterleave(z >> 1)
+	yi := deinterleave(z)
+	n := float64(uint64(1) << uint(c.bits))
+	return float64(xi) / n, float64(yi) / n
+}
+
+// interleave spreads the low 32 bits of v across the even bit positions.
+func interleave(v uint64) uint64 {
+	v &= 0xFFFFFFFF
+	v = (v | v<<16) & 0x0000FFFF0000FFFF
+	v = (v | v<<8) & 0x00FF00FF00FF00FF
+	v = (v | v<<4) & 0x0F0F0F0F0F0F0F0F
+	v = (v | v<<2) & 0x3333333333333333
+	v = (v | v<<1) & 0x5555555555555555
+	return v
+}
+
+// deinterleave collects the even bit positions of v into the low bits.
+func deinterleave(v uint64) uint64 {
+	v &= 0x5555555555555555
+	v = (v | v>>1) & 0x3333333333333333
+	v = (v | v>>2) & 0x0F0F0F0F0F0F0F0F
+	v = (v | v>>4) & 0x00FF00FF00FF00FF
+	v = (v | v>>8) & 0x0000FFFF0000FFFF
+	v = (v | v>>16) & 0x00000000FFFFFFFF
+	return v
+}
+
+// Rect is a half-open query rectangle [X0, X1) x [Y0, Y1).
+type Rect struct {
+	X0, X1, Y0, Y1 float64
+}
+
+// Contains reports whether the point lies in the rectangle.
+func (r Rect) Contains(x, y float64) bool {
+	return x >= r.X0 && x < r.X1 && y >= r.Y0 && y < r.Y1
+}
+
+// Span is a half-open interval [Lo, Hi) of the one-dimensional key space.
+type Span struct {
+	Lo, Hi float64
+}
+
+// CoverRect decomposes a rectangle query into roughly maxSpans curve
+// spans whose union covers every cell intersecting the rectangle. The
+// decomposition recursively splits the square into quadrants (which are
+// exactly the Z-order subtrees, and exactly the LHT partition subtrees):
+// fully inside quadrants emit their span, partially covered ones recurse
+// while the span budget lasts, then over-approximate. Callers filter
+// results through Rect.Contains on decoded keys.
+func (c Curve) CoverRect(r Rect, maxSpans int) ([]Span, error) {
+	if !(r.X0 >= 0 && r.X0 < r.X1 && r.X1 <= 1 && r.Y0 >= 0 && r.Y0 < r.Y1 && r.Y1 <= 1) {
+		return nil, fmt.Errorf("%w: %+v", ErrRect, r)
+	}
+	if maxSpans < 1 {
+		maxSpans = 1
+	}
+	// Budgeted breadth-first refinement: start with the whole square,
+	// repeatedly split the partially-covered cell that over-approximates
+	// the most until the span budget is met.
+	type cell struct {
+		x, y  float64 // lower-left corner
+		w     float64 // side length
+		zLo   float64 // curve span of the cell
+		zW    float64
+		depth int
+	}
+	full := cell{x: 0, y: 0, w: 1, zLo: 0, zW: 1, depth: 0}
+	inside := make([]Span, 0, maxSpans)
+	partial := []cell{full}
+	budgetOK := func() bool { return len(inside)+len(partial) < maxSpans }
+
+	for {
+		// Find a partial cell that can still be refined.
+		idx := -1
+		for i, cl := range partial {
+			if cl.depth < c.bits {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 || !budgetOK() {
+			break
+		}
+		cl := partial[idx]
+		partial = append(partial[:idx], partial[idx+1:]...)
+		half := cl.w / 2
+		quarterZ := cl.zW / 4
+		// Z-order quadrant order: (x bit, y bit) = 00, 01, 10, 11 ->
+		// (left-bottom), (left-top)... x contributes the higher bit.
+		quads := [4]cell{
+			{x: cl.x, y: cl.y, w: half, zLo: cl.zLo, zW: quarterZ, depth: cl.depth + 1},
+			{x: cl.x, y: cl.y + half, w: half, zLo: cl.zLo + quarterZ, zW: quarterZ, depth: cl.depth + 1},
+			{x: cl.x + half, y: cl.y, w: half, zLo: cl.zLo + 2*quarterZ, zW: quarterZ, depth: cl.depth + 1},
+			{x: cl.x + half, y: cl.y + half, w: half, zLo: cl.zLo + 3*quarterZ, zW: quarterZ, depth: cl.depth + 1},
+		}
+		for _, q := range quads {
+			qr := Rect{X0: q.x, X1: q.x + q.w, Y0: q.y, Y1: q.y + q.w}
+			switch {
+			case qr.X1 <= r.X0 || qr.X0 >= r.X1 || qr.Y1 <= r.Y0 || qr.Y0 >= r.Y1:
+				// Disjoint: drop.
+			case qr.X0 >= r.X0 && qr.X1 <= r.X1 && qr.Y0 >= r.Y0 && qr.Y1 <= r.Y1:
+				inside = append(inside, Span{Lo: q.zLo, Hi: q.zLo + q.zW})
+			default:
+				partial = append(partial, q)
+			}
+		}
+	}
+
+	spans := make([]Span, 0, len(inside)+len(partial))
+	spans = append(spans, inside...)
+	for _, cl := range partial {
+		spans = append(spans, Span{Lo: cl.zLo, Hi: cl.zLo + cl.zW})
+	}
+	return mergeSpans(spans), nil
+}
+
+// mergeSpans sorts spans and merges adjacent or overlapping ones.
+func mergeSpans(spans []Span) []Span {
+	if len(spans) == 0 {
+		return spans
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Lo < spans[j].Lo })
+	out := spans[:1]
+	for _, s := range spans[1:] {
+		last := &out[len(out)-1]
+		if s.Lo <= last.Hi {
+			if s.Hi > last.Hi {
+				last.Hi = s.Hi
+			}
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}

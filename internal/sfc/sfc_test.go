@@ -1,0 +1,215 @@
+package sfc
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCurveValidates(t *testing.T) {
+	for _, bits := range []int{0, -1, MaxBits + 1} {
+		if _, err := NewCurve(bits); !errors.Is(err, ErrBits) {
+			t.Errorf("NewCurve(%d) = %v", bits, err)
+		}
+	}
+	c, err := NewCurve(16)
+	if err != nil || c.Bits() != 16 {
+		t.Fatalf("NewCurve(16) = %v, %v", c, err)
+	}
+	if c.CellWidth() != 1.0/65536 {
+		t.Errorf("CellWidth = %v", c.CellWidth())
+	}
+}
+
+func TestEncodeDomain(t *testing.T) {
+	c, _ := NewCurve(8)
+	for _, p := range [][2]float64{{-0.1, 0.5}, {0.5, 1.0}, {1.0, 0.5}} {
+		if _, err := c.Encode(p[0], p[1]); !errors.Is(err, ErrDomain) {
+			t.Errorf("Encode(%v) = %v", p, err)
+		}
+	}
+}
+
+func TestEncodeKnownValues(t *testing.T) {
+	c, _ := NewCurve(1)
+	// One bit per dimension: quadrants map to z = 0, 1/4, 2/4, 3/4 in
+	// (x,y) order (0,0), (0,1), (1,0), (1,1).
+	cases := []struct {
+		x, y float64
+		want float64
+	}{
+		{0.1, 0.1, 0}, {0.1, 0.6, 0.25}, {0.6, 0.1, 0.5}, {0.6, 0.6, 0.75},
+	}
+	for _, tc := range cases {
+		got, err := c.Encode(tc.x, tc.y)
+		if err != nil || got != tc.want {
+			t.Errorf("Encode(%v, %v) = %v, %v; want %v", tc.x, tc.y, got, err, tc.want)
+		}
+	}
+}
+
+// Property: Decode(Encode(p)) is p's cell corner, and re-encoding the
+// corner gives the same key (quantization is idempotent).
+func TestQuickRoundTrip(t *testing.T) {
+	c, _ := NewCurve(12)
+	rng := rand.New(rand.NewSource(1))
+	prop := func() bool {
+		x, y := rng.Float64(), rng.Float64()
+		key, err := c.Encode(x, y)
+		if err != nil || key < 0 || key >= 1 {
+			return false
+		}
+		qx, qy := c.Decode(key)
+		if !(qx <= x && x < qx+c.CellWidth() && qy <= y && y < qy+c.CellWidth()) {
+			return false
+		}
+		key2, err := c.Encode(qx, qy)
+		return err == nil && key2 == key
+	}
+	cfg := &quick.Config{MaxCount: 5000}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Z-order preserves quadrant locality - points in the same cell
+// share a key, points in different cells differ.
+func TestCellIdentity(t *testing.T) {
+	c, _ := NewCurve(4)
+	k1, _ := c.Encode(0.51, 0.26)
+	k2, _ := c.Encode(0.53, 0.28) // same 1/16 cell
+	if k1 != k2 {
+		t.Errorf("same-cell points got keys %v, %v", k1, k2)
+	}
+	k3, _ := c.Encode(0.51, 0.33) // neighboring cell
+	if k1 == k3 {
+		t.Error("different cells share a key")
+	}
+}
+
+func TestCoverRectValidates(t *testing.T) {
+	c, _ := NewCurve(8)
+	bad := []Rect{
+		{X0: 0.5, X1: 0.5, Y0: 0, Y1: 1},
+		{X0: 0.6, X1: 0.5, Y0: 0, Y1: 1},
+		{X0: -0.1, X1: 0.5, Y0: 0, Y1: 1},
+		{X0: 0, X1: 1.1, Y0: 0, Y1: 1},
+	}
+	for _, r := range bad {
+		if _, err := c.CoverRect(r, 16); !errors.Is(err, ErrRect) {
+			t.Errorf("CoverRect(%+v) = %v", r, err)
+		}
+	}
+}
+
+// TestCoverRectExactness: for every grid point, membership in the
+// rectangle implies its key is covered by some span (no false negatives),
+// and span membership plus the Contains post-filter equals rectangle
+// membership exactly.
+func TestCoverRectExactness(t *testing.T) {
+	c, _ := NewCurve(5) // 32x32 grid: exhaustive check is cheap
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		x0, x1 := rng.Float64(), rng.Float64()
+		if x0 > x1 {
+			x0, x1 = x1, x0
+		}
+		y0, y1 := rng.Float64(), rng.Float64()
+		if y0 > y1 {
+			y0, y1 = y1, y0
+		}
+		if x1-x0 < 0.05 || y1-y0 < 0.05 {
+			continue
+		}
+		r := Rect{X0: x0, X1: x1, Y0: y0, Y1: y1}
+		for _, budget := range []int{4, 16, 1000} {
+			spans, err := c.CoverRect(r, budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(spans) == 0 {
+				t.Fatalf("no spans for %+v", r)
+			}
+			inSpans := func(k float64) bool {
+				for _, s := range spans {
+					if k >= s.Lo && k < s.Hi {
+						return true
+					}
+				}
+				return false
+			}
+			n := 32
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					x := (float64(i) + 0.5) / float64(n)
+					y := (float64(j) + 0.5) / float64(n)
+					k, err := c.Encode(x, y)
+					if err != nil {
+						t.Fatal(err)
+					}
+					inRect := r.Contains(x, y)
+					covered := inSpans(k)
+					// No false negatives: every in-rectangle point's key
+					// is covered. (Spans over-approximate; applications
+					// post-filter on the exact coordinates they stored,
+					// so false positives are fine.)
+					if inRect && !covered {
+						t.Fatalf("budget %d: point (%v,%v) in rect but key %v uncovered", budget, x, y, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCoverRectBudget: small budgets produce few spans; large budgets
+// refine toward the exact cell decomposition.
+func TestCoverRectBudget(t *testing.T) {
+	c, _ := NewCurve(10)
+	r := Rect{X0: 0.1, X1: 0.62, Y0: 0.33, Y1: 0.7}
+	small, err := c.CoverRect(r, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := c.CoverRect(r, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(small) > 8 {
+		t.Errorf("budget 4 produced %d spans", len(small))
+	}
+	var smallArea, bigArea float64
+	for _, s := range small {
+		smallArea += s.Hi - s.Lo
+	}
+	for _, s := range big {
+		bigArea += s.Hi - s.Lo
+	}
+	want := (r.X1 - r.X0) * (r.Y1 - r.Y0)
+	if bigArea >= smallArea {
+		t.Errorf("refinement did not shrink coverage: %v >= %v", bigArea, smallArea)
+	}
+	if bigArea < want {
+		t.Errorf("coverage %v below true area %v", bigArea, want)
+	}
+	if bigArea > want*1.3 {
+		t.Errorf("coverage %v too loose for true area %v", bigArea, want)
+	}
+}
+
+func TestMergeSpans(t *testing.T) {
+	got := mergeSpans([]Span{{0.5, 0.75}, {0, 0.25}, {0.25, 0.5}, {0.9, 1}})
+	want := []Span{{0, 0.75}, {0.9, 1}}
+	if len(got) != len(want) {
+		t.Fatalf("mergeSpans = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mergeSpans = %v, want %v", got, want)
+		}
+	}
+	if out := mergeSpans(nil); len(out) != 0 {
+		t.Error("mergeSpans(nil) should be empty")
+	}
+}

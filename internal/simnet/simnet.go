@@ -1,0 +1,127 @@
+// Package simnet is the in-process network the simulated DHT substrates
+// run on: a registry of addressable nodes with per-message accounting and
+// failure injection. It stands in for the paper's LAN testbed; the
+// index-layer measurements are network-scale independent (paper footnote
+// 5), so the substrates only need faithful message *counts*, which simnet
+// provides, plus the ability to take peers down to exercise churn.
+//
+// simnet is payload-agnostic: each substrate registers its node objects
+// and performs direct method calls on what Send returns, charging one
+// message per Send. Synchronous delivery keeps experiments deterministic.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	// ErrUnknownAddr reports a send to an address that was never
+	// registered (or was unregistered).
+	ErrUnknownAddr = errors.New("simnet: unknown address")
+	// ErrUnreachable reports a send to a node currently down.
+	ErrUnreachable = errors.New("simnet: peer unreachable")
+)
+
+// Network is the simulated network. Create with New.
+type Network struct {
+	mu    sync.RWMutex
+	nodes map[string]any
+	down  map[string]bool
+
+	messages atomic.Int64
+}
+
+// New returns an empty network.
+func New() *Network {
+	return &Network{
+		nodes: make(map[string]any),
+		down:  make(map[string]bool),
+	}
+}
+
+// Register attaches a node object to an address, replacing any previous
+// registration and clearing its down flag.
+func (n *Network) Register(addr string, node any) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nodes[addr] = node
+	delete(n.down, addr)
+}
+
+// Unregister removes an address entirely (a departed peer).
+func (n *Network) Unregister(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.nodes, addr)
+	delete(n.down, addr)
+}
+
+// SetDown marks an address unreachable (true) or reachable (false)
+// without removing it: an abrupt failure that stabilization must detect.
+func (n *Network) SetDown(addr string, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nodes[addr]; !ok {
+		return
+	}
+	if down {
+		n.down[addr] = true
+	} else {
+		delete(n.down, addr)
+	}
+}
+
+// Down reports whether the address is currently marked unreachable.
+func (n *Network) Down(addr string) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.down[addr]
+}
+
+// Send delivers one message to addr: it charges one message and returns
+// the registered node object for the caller to invoke directly, or
+// ErrUnknownAddr / ErrUnreachable. The message is charged even when
+// delivery fails - a timeout consumes bandwidth too.
+func (n *Network) Send(addr string) (any, error) {
+	n.messages.Add(1)
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	node, ok := n.nodes[addr]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownAddr, addr)
+	}
+	if n.down[addr] {
+		return nil, fmt.Errorf("%w: %q", ErrUnreachable, addr)
+	}
+	return node, nil
+}
+
+// Peek returns the node object without charging a message; for test and
+// harness introspection only.
+func (n *Network) Peek(addr string) (any, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	node, ok := n.nodes[addr]
+	return node, ok
+}
+
+// Addrs returns all registered addresses (up or down), in no particular
+// order.
+func (n *Network) Addrs() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]string, 0, len(n.nodes))
+	for a := range n.nodes {
+		out = append(out, a)
+	}
+	return out
+}
+
+// Messages returns the total messages sent so far.
+func (n *Network) Messages() int64 { return n.messages.Load() }
+
+// ResetMessages zeroes the message counter (between experiment phases).
+func (n *Network) ResetMessages() { n.messages.Store(0) }

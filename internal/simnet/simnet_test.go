@@ -1,0 +1,107 @@
+package simnet
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestRegisterSendPeek(t *testing.T) {
+	n := New()
+	n.Register("a", 42)
+
+	v, err := n.Send("a")
+	if err != nil || v.(int) != 42 {
+		t.Fatalf("Send = %v, %v", v, err)
+	}
+	if n.Messages() != 1 {
+		t.Fatalf("Messages = %d", n.Messages())
+	}
+	if v, ok := n.Peek("a"); !ok || v.(int) != 42 {
+		t.Fatal("Peek failed")
+	}
+	if n.Messages() != 1 {
+		t.Fatal("Peek must not charge messages")
+	}
+	if _, err := n.Send("ghost"); !errors.Is(err, ErrUnknownAddr) {
+		t.Fatalf("Send to unknown = %v", err)
+	}
+	if n.Messages() != 2 {
+		t.Fatal("failed sends must still be charged")
+	}
+}
+
+func TestDownAndRecovery(t *testing.T) {
+	n := New()
+	n.Register("a", 1)
+	n.SetDown("a", true)
+	if !n.Down("a") {
+		t.Fatal("Down not set")
+	}
+	if _, err := n.Send("a"); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("Send to down node = %v", err)
+	}
+	n.SetDown("a", false)
+	if _, err := n.Send("a"); err != nil {
+		t.Fatalf("Send after recovery = %v", err)
+	}
+	// SetDown on an unknown address is a no-op.
+	n.SetDown("ghost", true)
+	if n.Down("ghost") {
+		t.Fatal("unknown addr marked down")
+	}
+	// Re-registering clears the down flag.
+	n.SetDown("a", true)
+	n.Register("a", 2)
+	if n.Down("a") {
+		t.Fatal("Register did not clear down flag")
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	n := New()
+	n.Register("a", 1)
+	n.Register("b", 2)
+	n.Unregister("a")
+	if _, err := n.Send("a"); !errors.Is(err, ErrUnknownAddr) {
+		t.Fatal("Unregister did not remove the node")
+	}
+	addrs := n.Addrs()
+	if len(addrs) != 1 || addrs[0] != "b" {
+		t.Fatalf("Addrs = %v", addrs)
+	}
+}
+
+func TestResetMessages(t *testing.T) {
+	n := New()
+	n.Register("a", 1)
+	for i := 0; i < 5; i++ {
+		_, _ = n.Send("a")
+	}
+	n.ResetMessages()
+	if n.Messages() != 0 {
+		t.Fatal("ResetMessages failed")
+	}
+}
+
+func TestConcurrentSends(t *testing.T) {
+	n := New()
+	n.Register("a", 1)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if _, err := n.Send("a"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n.Messages() != 800 {
+		t.Fatalf("Messages = %d, want 800", n.Messages())
+	}
+}

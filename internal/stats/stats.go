@@ -1,0 +1,74 @@
+// Package stats provides the small statistics helpers the experiment
+// harness uses to average results over repeated trials, as the paper does
+// over its 100 datasets per point.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// nearest-rank on a sorted copy; 0 for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// MinMax returns the extremes of xs; zeros for an empty slice.
+func MinMax(xs []float64) (minVal, maxVal float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	minVal, maxVal = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < minVal {
+			minVal = x
+		}
+		if x > maxVal {
+			maxVal = x
+		}
+	}
+	return minVal, maxVal
+}

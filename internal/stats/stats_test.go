@@ -1,0 +1,55 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Error("single-element stddev != 0")
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{9, 1, 8, 2, 7, 3, 6, 4, 5, 10}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 10}, {50, 5}, {90, 9}, {10, 1},
+	}
+	for _, tc := range cases {
+		if got := Percentile(xs, tc.p); got != tc.want {
+			t.Errorf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("Percentile(nil) != 0")
+	}
+	// The input must not be mutated.
+	if xs[0] != 9 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = %v, %v", lo, hi)
+	}
+	lo, hi = MinMax(nil)
+	if lo != 0 || hi != 0 {
+		t.Error("MinMax(nil) != 0,0")
+	}
+}

@@ -1,0 +1,181 @@
+package tcpnet
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+
+	"lht/internal/dht"
+	"lht/internal/hashring"
+)
+
+// Client implements dht.DHT over a static set of tcpnet servers: keys are
+// mapped to nodes with consistent hashing on the same 64-bit circle the
+// Chord substrate uses, so each node owns the arc ending at its hashed
+// address. It is safe for concurrent use; each node connection carries
+// one request at a time.
+type Client struct {
+	nodes []*nodeConn // sorted by ring ID
+}
+
+var _ dht.DHT = (*Client)(nil)
+
+// nodeConn is one node's connection state with lazy (re)dialing.
+type nodeConn struct {
+	id   hashring.ID
+	addr string
+
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial builds a client for the given node addresses and verifies each
+// node answers a ping.
+func Dial(addrs []string) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("tcpnet: no node addresses")
+	}
+	c := &Client{}
+	seen := make(map[string]bool, len(addrs))
+	for _, a := range addrs {
+		if seen[a] {
+			return nil, fmt.Errorf("tcpnet: duplicate node %q", a)
+		}
+		seen[a] = true
+		c.nodes = append(c.nodes, &nodeConn{id: hashring.HashAddr(a), addr: a})
+	}
+	sort.Slice(c.nodes, func(i, j int) bool { return c.nodes[i].id < c.nodes[j].id })
+	for _, n := range c.nodes {
+		if _, err := n.roundTrip(request{Op: opPing}); err != nil {
+			return nil, fmt.Errorf("tcpnet: ping %q: %w", n.addr, err)
+		}
+	}
+	return c, nil
+}
+
+// Close tears down all connections.
+func (c *Client) Close() error {
+	var first error
+	for _, n := range c.nodes {
+		n.mu.Lock()
+		if n.conn != nil {
+			if err := n.conn.Close(); err != nil && first == nil {
+				first = err
+			}
+			n.conn = nil
+		}
+		n.mu.Unlock()
+	}
+	return first
+}
+
+// owner returns the node responsible for key: the first node clockwise
+// from hash(key).
+func (c *Client) owner(key string) *nodeConn {
+	h := hashring.HashKey(key)
+	i := sort.Search(len(c.nodes), func(i int) bool { return c.nodes[i].id >= h })
+	if i == len(c.nodes) {
+		i = 0
+	}
+	return c.nodes[i]
+}
+
+func (n *nodeConn) roundTrip(req request) (response, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	// One reconnect attempt per call: a broken connection surfaces as a
+	// decode/encode error on the first try.
+	for attempt := 0; attempt < 2; attempt++ {
+		if n.conn == nil {
+			conn, err := net.Dial("tcp", n.addr)
+			if err != nil {
+				return response{}, err
+			}
+			n.conn = conn
+			n.enc = gob.NewEncoder(conn)
+			n.dec = gob.NewDecoder(conn)
+		}
+		var resp response
+		if err := n.enc.Encode(req); err == nil {
+			if err := n.dec.Decode(&resp); err == nil {
+				return resp, nil
+			}
+		}
+		_ = n.conn.Close()
+		n.conn = nil
+	}
+	return response{}, fmt.Errorf("tcpnet: node %q unreachable", n.addr)
+}
+
+func (c *Client) do(key string, req request) (response, error) {
+	resp, err := c.owner(key).roundTrip(req)
+	if err != nil {
+		return response{}, err
+	}
+	switch resp.Err {
+	case "":
+		return resp, nil
+	case errNotFound:
+		return response{}, dht.ErrNotFound
+	default:
+		return response{}, fmt.Errorf("tcpnet: server error: %s", resp.Err)
+	}
+}
+
+// Get implements dht.DHT.
+func (c *Client) Get(key string) (dht.Value, error) {
+	resp, err := c.do(key, request{Op: opGet, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	return decodeValue(resp.Val)
+}
+
+// Put implements dht.DHT.
+func (c *Client) Put(key string, v dht.Value) error {
+	data, err := encodeValue(v)
+	if err != nil {
+		return err
+	}
+	_, err = c.do(key, request{Op: opPut, Key: key, Val: data})
+	return err
+}
+
+// Take implements dht.DHT.
+func (c *Client) Take(key string) (dht.Value, error) {
+	resp, err := c.do(key, request{Op: opTake, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	return decodeValue(resp.Val)
+}
+
+// Remove implements dht.DHT.
+func (c *Client) Remove(key string) error {
+	_, err := c.do(key, request{Op: opRemove, Key: key})
+	return err
+}
+
+// Write implements dht.DHT: the owning node rewrites the value in place.
+func (c *Client) Write(key string, v dht.Value) error {
+	data, err := encodeValue(v)
+	if err != nil {
+		return err
+	}
+	_, err = c.do(key, request{Op: opWrite, Key: key, Val: data})
+	return err
+}
+
+// NodeAddrs returns the member addresses in ring order.
+func (c *Client) NodeAddrs() []string {
+	out := make([]string, len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = n.addr
+	}
+	return out
+}

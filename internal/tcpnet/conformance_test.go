@@ -1,0 +1,39 @@
+package tcpnet
+
+import (
+	"net"
+	"testing"
+
+	"lht/internal/dht"
+	"lht/internal/dht/dhttest"
+)
+
+func TestClientConformance(t *testing.T) {
+	factory := func(t *testing.T) dht.DHT {
+		addrs := make([]string, 0, 3)
+		for i := 0; i < 3; i++ {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv := NewServer()
+			go func() { _ = srv.Serve(ln) }()
+			t.Cleanup(func() { _ = srv.Close() })
+			addrs = append(addrs, ln.Addr().String())
+		}
+		c, err := Dial(addrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = c.Close() })
+		return c
+	}
+	dhttest.Run(t, factory, dhttest.Options{
+		Keys:         120,
+		ValueFactory: func(i int) dht.Value { return &payload{N: i} },
+		ValueEqual: func(v dht.Value, i int) bool {
+			p, ok := v.(*payload)
+			return ok && p.N == i
+		},
+	})
+}

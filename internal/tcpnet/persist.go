@@ -1,0 +1,77 @@
+package tcpnet
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// snapshotFormat versions the on-disk layout.
+const snapshotFormat = 1
+
+type snapshot struct {
+	Format int
+	Store  map[string][]byte
+}
+
+// SaveSnapshot writes the node's store to path atomically (temp file +
+// rename), so an lht-node can restart without losing its shard. Values
+// are already serialized bytes, making the snapshot format trivially
+// stable.
+func (s *Server) SaveSnapshot(path string) error {
+	s.mu.Lock()
+	snap := snapshot{Format: snapshotFormat, Store: make(map[string][]byte, len(s.store))}
+	for k, v := range s.store {
+		cp := make([]byte, len(v))
+		copy(cp, v)
+		snap.Store[k] = cp
+	}
+	s.mu.Unlock()
+
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".lht-node-*")
+	if err != nil {
+		return fmt.Errorf("tcpnet: snapshot temp: %w", err)
+	}
+	defer func() { _ = os.Remove(tmp.Name()) }()
+	if err := gob.NewEncoder(tmp).Encode(snap); err != nil {
+		_ = tmp.Close()
+		return fmt.Errorf("tcpnet: snapshot encode: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("tcpnet: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("tcpnet: snapshot rename: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshot replaces the node's store with the snapshot at path. A
+// missing file is not an error - it is simply a fresh node.
+func (s *Server) LoadSnapshot(path string) error {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("tcpnet: snapshot open: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	var snap snapshot
+	if err := gob.NewDecoder(f).Decode(&snap); err != nil {
+		return fmt.Errorf("tcpnet: snapshot decode: %w", err)
+	}
+	if snap.Format != snapshotFormat {
+		return fmt.Errorf("tcpnet: snapshot format %d, want %d", snap.Format, snapshotFormat)
+	}
+	s.mu.Lock()
+	s.store = snap.Store
+	if s.store == nil {
+		s.store = make(map[string][]byte)
+	}
+	s.mu.Unlock()
+	return nil
+}

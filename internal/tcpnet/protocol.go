@@ -1,0 +1,67 @@
+// Package tcpnet is the real-network deployment mode: storage nodes that
+// serve a gob-over-TCP key-value protocol, and a client that implements
+// the dht.DHT interface over a static member set with client-side
+// consistent hashing.
+//
+// This is the substrate behind cmd/lht-node and cmd/lht-cli: it
+// demonstrates the paper's "easy to implement and deploy" claim with
+// actual sockets and processes. Unlike internal/chord it has static
+// membership (the operator supplies the node list); dynamic membership,
+// churn and replication are the in-process Chord substrate's department -
+// the index layer cannot tell the difference, which is the point of the
+// over-DHT design.
+package tcpnet
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"lht/internal/dht"
+)
+
+// op enumerates protocol operations.
+type op uint8
+
+const (
+	opPing op = iota + 1
+	opGet
+	opPut
+	opTake
+	opRemove
+	opWrite
+)
+
+// request is one client->server message.
+type request struct {
+	Op  op
+	Key string
+	Val []byte // gob-encoded dht.Value for Put/Write
+}
+
+// response is one server->client message.
+type response struct {
+	Found bool
+	Val   []byte
+	Err   string
+}
+
+// encodeValue serializes a dht.Value with gob. Concrete types must be
+// registered (lht.RegisterGobTypes or gob.Register) by the embedding
+// program.
+func encodeValue(v dht.Value) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
+		return nil, fmt.Errorf("tcpnet: encode value: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeValue is the inverse of encodeValue.
+func decodeValue(data []byte) (dht.Value, error) {
+	var v dht.Value
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&v); err != nil {
+		return nil, fmt.Errorf("tcpnet: decode value: %w", err)
+	}
+	return v, nil
+}

@@ -1,0 +1,154 @@
+package tcpnet
+
+import (
+	"encoding/gob"
+	"errors"
+	"io"
+	"net"
+	"sync"
+)
+
+// Server is one storage node: a byte store behind the gob-over-TCP
+// protocol. Create with NewServer, start with Serve, stop with Close.
+type Server struct {
+	mu    sync.Mutex
+	store map[string][]byte
+	ln    net.Listener
+	conns map[net.Conn]struct{}
+	done  bool
+
+	wg sync.WaitGroup
+}
+
+// NewServer returns a server with an empty store.
+func NewServer() *Server {
+	return &Server{
+		store: make(map[string][]byte),
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// Serve accepts connections on ln until Close is called. It blocks; run
+// it in the caller's goroutine of choice (cmd/lht-node simply calls it
+// from main).
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return errors.New("tcpnet: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			done := s.done
+			s.mu.Unlock()
+			if done {
+				s.wg.Wait()
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.done {
+			s.mu.Unlock()
+			_ = conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+// Close stops accepting, closes open connections, and waits for handlers
+// to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.done = true
+	ln := s.ln
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Len returns the number of stored keys.
+func (s *Server) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.store)
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				// Connection torn down mid-request; nothing to answer.
+				return
+			}
+			return
+		}
+		if err := enc.Encode(s.apply(req)); err != nil {
+			return
+		}
+	}
+}
+
+// errNotFound is the wire form of dht.ErrNotFound.
+const errNotFound = "not found"
+
+func (s *Server) apply(req request) response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch req.Op {
+	case opPing:
+		return response{Found: true}
+	case opGet:
+		v, ok := s.store[req.Key]
+		if !ok {
+			return response{Err: errNotFound}
+		}
+		return response{Found: true, Val: v}
+	case opPut:
+		s.store[req.Key] = req.Val
+		return response{Found: true}
+	case opTake:
+		v, ok := s.store[req.Key]
+		if !ok {
+			return response{Err: errNotFound}
+		}
+		delete(s.store, req.Key)
+		return response{Found: true, Val: v}
+	case opRemove:
+		delete(s.store, req.Key)
+		return response{Found: true}
+	case opWrite:
+		if _, ok := s.store[req.Key]; !ok {
+			return response{Err: errNotFound}
+		}
+		s.store[req.Key] = req.Val
+		return response{Found: true}
+	default:
+		return response{Err: "unknown op"}
+	}
+}

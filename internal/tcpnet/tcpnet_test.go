@@ -1,0 +1,331 @@
+package tcpnet
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"testing"
+
+	"lht/internal/dht"
+	ilht "lht/internal/lht"
+	"lht/internal/record"
+)
+
+// startCluster boots n servers on loopback and returns a connected client.
+func startCluster(t *testing.T, n int) (*Client, []*Server) {
+	t.Helper()
+	addrs := make([]string, 0, n)
+	servers := make([]*Server, 0, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := NewServer()
+		go func() {
+			if err := srv.Serve(ln); err != nil {
+				t.Logf("server exited: %v", err)
+			}
+		}()
+		t.Cleanup(func() { _ = srv.Close() })
+		addrs = append(addrs, ln.Addr().String())
+		servers = append(servers, srv)
+	}
+	c, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c, servers
+}
+
+type payload struct {
+	N int
+	S string
+}
+
+func init() {
+	gob.Register(&payload{})
+	gob.Register(&ilht.Bucket{})
+}
+
+func TestClusterBasicOps(t *testing.T) {
+	c, servers := startCluster(t, 3)
+
+	if err := c.Put("a", &payload{N: 1, S: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Get("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := v.(*payload); p.N != 1 || p.S != "x" {
+		t.Fatalf("Get = %+v", p)
+	}
+	if _, err := c.Get("missing"); !errors.Is(err, dht.ErrNotFound) {
+		t.Fatalf("Get missing = %v", err)
+	}
+	if err := c.Write("a", &payload{N: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := c.Get("a"); v.(*payload).N != 2 {
+		t.Fatal("Write lost")
+	}
+	if err := c.Write("missing", &payload{}); !errors.Is(err, dht.ErrNotFound) {
+		t.Fatalf("Write missing = %v", err)
+	}
+	v, err = c.Take("a")
+	if err != nil || v.(*payload).N != 2 {
+		t.Fatalf("Take = %v, %v", v, err)
+	}
+	if _, err := c.Take("a"); !errors.Is(err, dht.ErrNotFound) {
+		t.Fatal("second Take should miss")
+	}
+	if err := c.Put("b", &payload{N: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Remove("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Remove("b"); err != nil {
+		t.Fatal("Remove absent must not error")
+	}
+
+	// Keys spread across the member set.
+	total := 0
+	for i := 0; i < 60; i++ {
+		if err := c.Put(fmt.Sprintf("spread-%d", i), &payload{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nonEmpty := 0
+	for _, s := range servers {
+		total += s.Len()
+		if s.Len() > 0 {
+			nonEmpty++
+		}
+	}
+	if total != 60 {
+		t.Fatalf("cluster holds %d keys, want 60", total)
+	}
+	if nonEmpty < 2 {
+		t.Errorf("keys landed on %d of 3 nodes", nonEmpty)
+	}
+}
+
+func TestDialValidation(t *testing.T) {
+	if _, err := Dial(nil); err == nil {
+		t.Error("Dial with no nodes should fail")
+	}
+	if _, err := Dial([]string{"x:1", "x:1"}); err == nil {
+		t.Error("Dial with duplicates should fail")
+	}
+	if _, err := Dial([]string{"127.0.0.1:1"}); err == nil {
+		t.Error("Dial to a dead port should fail the ping")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	c, _ := startCluster(t, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("c%d-%d", g, i)
+				if err := c.Put(key, &payload{N: i}); err != nil {
+					t.Error(err)
+					return
+				}
+				v, err := c.Get(key)
+				if err != nil || v.(*payload).N != i {
+					t.Errorf("Get(%s) = %v, %v", key, v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestLHTOverTCPCluster runs the full index over real sockets: the
+// deployment mode end to end.
+func TestLHTOverTCPCluster(t *testing.T) {
+	c, _ := startCluster(t, 5)
+	ix, err := ilht.New(c, ilht.Config{SplitThreshold: 8, MergeThreshold: 6, Depth: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(51))
+	oracle := make(map[float64]bool)
+	for i := 0; i < 400; i++ {
+		k := rng.Float64()
+		if rng.Intn(5) == 0 && len(oracle) > 0 {
+			for dk := range oracle {
+				k = dk
+				break
+			}
+			if _, err := ix.Delete(k); err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+			delete(oracle, k)
+			continue
+		}
+		if _, err := ix.Insert(record.Record{Key: k, Value: []byte("v")}); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		oracle[k] = true
+	}
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ix.Range(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(oracle) {
+		t.Fatalf("Range(0,1) = %d records, want %d", len(got), len(oracle))
+	}
+	for k := range oracle {
+		if _, _, err := ix.Search(k); err != nil {
+			t.Fatalf("Search(%v): %v", k, err)
+		}
+	}
+}
+
+func TestServerCloseUnblocksServe(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	c, err := Dial([]string{ln.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("k", &payload{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Serve returned %v after Close", err)
+	}
+	// The client should now fail cleanly.
+	if err := c.Put("k2", &payload{N: 2}); err == nil {
+		t.Error("Put to closed server should fail")
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/node.snap"
+
+	srv := NewServer()
+	for i := 0; i < 50; i++ {
+		srv.apply(request{Op: opPut, Key: fmt.Sprintf("k%d", i), Val: []byte{byte(i)}})
+	}
+	if err := srv.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := NewServer()
+	if err := restored.LoadSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 50 {
+		t.Fatalf("restored %d keys, want 50", restored.Len())
+	}
+	resp := restored.apply(request{Op: opGet, Key: "k7"})
+	if !resp.Found || resp.Val[0] != 7 {
+		t.Fatalf("restored value = %+v", resp)
+	}
+
+	// Missing snapshot is a fresh node, not an error.
+	fresh := NewServer()
+	if err := fresh.LoadSnapshot(dir + "/absent.snap"); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Len() != 0 {
+		t.Fatal("fresh node should be empty")
+	}
+
+	// Corrupt snapshot is an error.
+	if err := os.WriteFile(dir+"/bad.snap", []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.LoadSnapshot(dir + "/bad.snap"); err == nil {
+		t.Fatal("corrupt snapshot should fail")
+	}
+}
+
+// TestNodeRestartPreservesIndex restarts a node under a live index and
+// verifies the shard survives via the snapshot.
+func TestNodeRestartPreservesIndex(t *testing.T) {
+	dir := t.TempDir()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	srv := NewServer()
+	go func() { _ = srv.Serve(ln) }()
+
+	c, err := Dial([]string{addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := ilht.New(c, ilht.Config{SplitThreshold: 8, MergeThreshold: 0, Depth: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	keys := make([]float64, 100)
+	for i := range keys {
+		keys[i] = rng.Float64()
+		if _, err := ix.Insert(record.Record{Key: keys[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Stop, snapshot, restart on the same port, reload.
+	snapPath := dir + "/shard.snap"
+	if err := srv.SaveSnapshot(snapPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("port %s not immediately reusable: %v", addr, err)
+	}
+	srv2 := NewServer()
+	if err := srv2.LoadSnapshot(snapPath); err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv2.Serve(ln2) }()
+	t.Cleanup(func() { _ = srv2.Close() })
+
+	c2, err := Dial([]string{addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := ilht.New(c2, ilht.Config{SplitThreshold: 8, MergeThreshold: 0, Depth: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if _, _, err := ix2.Search(k); err != nil {
+			t.Fatalf("after restart, Search(%v): %v", k, err)
+		}
+	}
+}

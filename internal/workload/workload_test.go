@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"testing"
+
+	"lht/internal/stats"
+)
+
+func TestDistString(t *testing.T) {
+	if Uniform.String() != "uniform" || Gaussian.String() != "gaussian" || Zipf.String() != "zipf" {
+		t.Error("Dist names wrong")
+	}
+	if Dist(42).String() != "dist(42)" {
+		t.Error("unknown dist name wrong")
+	}
+}
+
+func TestKeysInDomain(t *testing.T) {
+	for _, d := range []Dist{Uniform, Gaussian, Zipf} {
+		g := NewGenerator(d, 1)
+		for i := 0; i < 10000; i++ {
+			k := g.Key()
+			if !(k >= 0 && k < 1) {
+				t.Fatalf("%v: key %v outside [0,1)", d, k)
+			}
+		}
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	a := NewGenerator(Gaussian, 7).Records(100)
+	b := NewGenerator(Gaussian, 7).Records(100)
+	for i := range a {
+		if a[i].Key != b[i].Key {
+			t.Fatalf("seeded generators diverge at %d", i)
+		}
+	}
+	c := NewGenerator(Gaussian, 8).Records(100)
+	same := true
+	for i := range a {
+		if a[i].Key != c[i].Key {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestRecordsDistinct(t *testing.T) {
+	recs := NewGenerator(Uniform, 3).Records(5000)
+	if len(recs) != 5000 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	seen := make(map[float64]bool, len(recs))
+	for _, r := range recs {
+		if seen[r.Key] {
+			t.Fatalf("duplicate key %v", r.Key)
+		}
+		seen[r.Key] = true
+		if len(r.Value) == 0 {
+			t.Fatal("empty payload")
+		}
+	}
+}
+
+func TestDistributionShapes(t *testing.T) {
+	// Uniform: mean ~ 0.5, stddev ~ 1/sqrt(12) ~ 0.289.
+	g := NewGenerator(Uniform, 4)
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = g.Key()
+	}
+	if m := stats.Mean(xs); m < 0.48 || m > 0.52 {
+		t.Errorf("uniform mean = %v", m)
+	}
+	if s := stats.StdDev(xs); s < 0.27 || s > 0.31 {
+		t.Errorf("uniform stddev = %v", s)
+	}
+
+	// Gaussian: mean 0.5, stddev ~ 1/6 (slightly less after redraws).
+	g = NewGenerator(Gaussian, 5)
+	for i := range xs {
+		xs[i] = g.Key()
+	}
+	if m := stats.Mean(xs); m < 0.48 || m > 0.52 {
+		t.Errorf("gaussian mean = %v", m)
+	}
+	if s := stats.StdDev(xs); s < 0.15 || s > 0.18 {
+		t.Errorf("gaussian stddev = %v", s)
+	}
+
+	// Zipf: heavily skewed toward 0.
+	g = NewGenerator(Zipf, 6)
+	below := 0
+	for i := 0; i < 20000; i++ {
+		if g.Key() < 0.01 {
+			below++
+		}
+	}
+	if below < 15000 {
+		t.Errorf("zipf mass below 0.01 = %d/20000", below)
+	}
+}
+
+func TestRangeQuery(t *testing.T) {
+	g := NewGenerator(Uniform, 9)
+	for i := 0; i < 1000; i++ {
+		lo, hi := g.RangeQuery(0.2)
+		if !(lo >= 0 && hi <= 1.0000001 && hi-lo > 0.19999) {
+			t.Fatalf("bad range [%v, %v)", lo, hi)
+		}
+	}
+}
+
+func TestLookupKeys(t *testing.T) {
+	keys := NewGenerator(Gaussian, 10).LookupKeys(1000)
+	if len(keys) != 1000 {
+		t.Fatal("wrong count")
+	}
+	// Lookup keys are uniform regardless of the data distribution.
+	if m := stats.Mean(keys); m < 0.45 || m > 0.55 {
+		t.Errorf("lookup key mean = %v", m)
+	}
+}

@@ -1,0 +1,140 @@
+// Package lht is LHT, a low-maintenance hash tree for data indexing over
+// DHTs (Tang & Zhou, ICDCS 2008).
+//
+// LHT turns any DHT with a put/get interface into an order-preserving
+// index over one-dimensional keys in [0, 1), supporting exact-match,
+// range, and min/max queries. Its distinguishing property is maintenance
+// cost: a novel naming function maps the leaves of a distributed space
+// partition tree onto the DHT so that a leaf split keeps one half on its
+// current peer - one DHT-lookup and half a bucket of data per split,
+// 50-75% cheaper than the prior state of the art (PHT), while queries get
+// faster, not slower.
+//
+// Quick start:
+//
+//	d := lht.NewLocalDHT()                     // or NewChordDHT / NewKademliaDHT
+//	ix, err := lht.New(d, lht.DefaultConfig())
+//	...
+//	ix.Insert(lht.Record{Key: 0.42, Value: []byte("answer")})
+//	recs, cost, err := ix.Range(0.4, 0.6)
+//
+// The substrates, the PHT baseline, and the experiment harness that
+// regenerates the paper's figures live under internal/; see DESIGN.md for
+// the system inventory and EXPERIMENTS.md for reproduction results.
+package lht
+
+import (
+	"lht/internal/dht"
+	ilht "lht/internal/lht"
+	"lht/internal/metrics"
+	"lht/internal/record"
+)
+
+// Record is one indexed data unit: a key in [0, 1) plus an opaque payload.
+type Record = record.Record
+
+// Config tunes an index: theta_split, the merge threshold, and the
+// maximum tree depth D.
+type Config = ilht.Config
+
+// Cost reports the DHT traffic of one operation: Lookups (bandwidth) and
+// Steps (latency in dependent rounds).
+type Cost = metrics.Cost
+
+// Snapshot is the cumulative counter state of an index client.
+type Snapshot = metrics.Snapshot
+
+// Bucket is a leaf bucket of the partition tree, as returned by inspection
+// helpers.
+type Bucket = ilht.Bucket
+
+// Errors surfaced by index operations.
+var (
+	// ErrKeyNotFound reports an exact-match query or deletion for an
+	// unindexed key.
+	ErrKeyNotFound = ilht.ErrKeyNotFound
+	// ErrEmpty reports a min/max query against an empty index.
+	ErrEmpty = ilht.ErrEmpty
+	// ErrBadRange reports a malformed range query.
+	ErrBadRange = ilht.ErrBadRange
+	// ErrNotFound is the substrate-level "no value under this key".
+	ErrNotFound = dht.ErrNotFound
+	// ErrNotEmpty reports a BulkLoad into a non-empty index.
+	ErrNotEmpty = ilht.ErrNotEmpty
+)
+
+// DefaultConfig returns the paper's experiment defaults: theta_split =
+// 100, D = 20, merging enabled.
+func DefaultConfig() Config { return ilht.DefaultConfig() }
+
+// Index is an LHT index over a DHT substrate. Create one with New.
+//
+// Concurrency follows sync.RWMutex semantics over the *data*: any number
+// of query operations (Get/Range/Min/Max/Scan) may run concurrently, but
+// a mutating operation (Insert/Delete) requires exclusive access - in
+// the deployed system each bucket's responsible peer serializes its
+// updates, which this in-process client cannot do for the caller.
+type Index struct {
+	inner *ilht.Index
+}
+
+// New creates an index client over a substrate, bootstrapping the empty
+// tree if the substrate holds none.
+func New(d DHT, cfg Config) (*Index, error) {
+	inner, err := ilht.New(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{inner: inner}, nil
+}
+
+// Insert adds a record, replacing any record with the same key.
+func (ix *Index) Insert(r Record) (Cost, error) { return ix.inner.Insert(r) }
+
+// BulkLoad populates an empty index with a whole dataset in one pass
+// (about one DHT-put per resulting leaf), the standard construction
+// optimization; ErrNotEmpty if the index already holds data.
+func (ix *Index) BulkLoad(recs []Record) (Cost, error) { return ix.inner.BulkLoad(recs) }
+
+// Delete removes the record with the given key, or returns
+// ErrKeyNotFound.
+func (ix *Index) Delete(key float64) (Cost, error) { return ix.inner.Delete(key) }
+
+// Get answers an exact-match query for one key.
+func (ix *Index) Get(key float64) (Record, Cost, error) { return ix.inner.Search(key) }
+
+// Range returns every record with key in [lo, hi).
+func (ix *Index) Range(lo, hi float64) ([]Record, Cost, error) { return ix.inner.Range(lo, hi) }
+
+// Min returns the record with the smallest key (one DHT-lookup).
+func (ix *Index) Min() (Record, Cost, error) { return ix.inner.Min() }
+
+// Max returns the record with the largest key (one DHT-lookup).
+func (ix *Index) Max() (Record, Cost, error) { return ix.inner.Max() }
+
+// Scan returns up to limit records with keys >= from in ascending order -
+// the pagination primitive (resume with from = last returned key).
+func (ix *Index) Scan(from float64, limit int) ([]Record, Cost, error) {
+	return ix.inner.Scan(from, limit)
+}
+
+// Count returns the number of indexed records by walking all leaves (an
+// inspection helper, not a constant-cost query).
+func (ix *Index) Count() (int, error) { return ix.inner.Count() }
+
+// Leaves returns the leaf buckets in key order (inspection helper).
+func (ix *Index) Leaves() ([]*Bucket, error) { return ix.inner.Leaves() }
+
+// CheckInvariants verifies the structural invariants of the stored tree;
+// useful in tests of applications embedding LHT.
+func (ix *Index) CheckInvariants() error { return ix.inner.CheckInvariants() }
+
+// Metrics returns this client's cumulative cost counters.
+func (ix *Index) Metrics() Snapshot { return ix.inner.Metrics() }
+
+// AlphaMean returns the measured average alpha over all splits (paper
+// section 8.2) and the split count.
+func (ix *Index) AlphaMean() (float64, int64) { return ix.inner.AlphaMean() }
+
+// Config returns the index configuration.
+func (ix *Index) Config() Config { return ix.inner.Config() }

@@ -1,0 +1,58 @@
+package lht
+
+import (
+	"encoding/gob"
+
+	"lht/internal/chord"
+	"lht/internal/dht"
+	"lht/internal/kademlia"
+	ilht "lht/internal/lht"
+)
+
+// DHT is the substrate interface LHT runs over: a flat key-value store
+// with one-lookup Get/Put/Take/Remove and a free local Write. Any DHT can
+// be adapted by implementing it; this package ships four substrates.
+type DHT = dht.DHT
+
+// Value is the unit of substrate storage.
+type Value = dht.Value
+
+// ChordRing is the Chord substrate (in-process simulation with
+// per-message accounting, joins/leaves/failures and stabilization).
+type ChordRing = chord.Ring
+
+// ChordConfig tunes a ChordRing (successor list length, replication,
+// seed).
+type ChordConfig = chord.Config
+
+// KademliaNetwork is the Kademlia substrate.
+type KademliaNetwork = kademlia.Network
+
+// KademliaConfig tunes a KademliaNetwork (bucket size K, lookup
+// concurrency alpha, seed).
+type KademliaConfig = kademlia.Config
+
+// NewLocalDHT returns the single-process substrate: one flat map with DHT
+// semantics. It is the right choice for tests, embedding, and paper-scale
+// experiments on one machine.
+func NewLocalDHT() DHT { return dht.NewLocal() }
+
+// NewChordDHT builds an n-node Chord ring and returns it; the returned
+// ring is itself a DHT, and its methods (AddNode, RemoveNode, Fail,
+// Stabilize) drive churn experiments.
+func NewChordDHT(n int, cfg ChordConfig) (*ChordRing, error) {
+	return chord.NewRing(n, cfg)
+}
+
+// NewKademliaDHT builds an n-node Kademlia network; the returned network
+// is itself a DHT.
+func NewKademliaDHT(n int, cfg KademliaConfig) (*KademliaNetwork, error) {
+	return kademlia.NewNetwork(n, cfg)
+}
+
+// RegisterGobTypes registers the index's stored types with encoding/gob,
+// required before using a substrate that serializes values across
+// processes (internal/tcpnet and anything else gob-encoding dht.Value).
+func RegisterGobTypes() {
+	gob.Register(&ilht.Bucket{})
+}
