@@ -206,8 +206,12 @@ func BenchmarkThm3MinMax(b *testing.B) {
 // --- micro-benchmarks of the public API over the local substrate -------
 
 func buildIndex(b *testing.B, n int) *lht.Index {
+	return buildIndexCfg(b, n, lht.DefaultConfig())
+}
+
+func buildIndexCfg(b *testing.B, n int, cfg lht.Config) *lht.Index {
 	b.Helper()
-	ix, err := lht.New(lht.NewLocalDHT(), lht.DefaultConfig())
+	ix, err := lht.New(lht.NewLocalDHT(), cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -269,6 +273,50 @@ func BenchmarkOpMin(b *testing.B) {
 		if _, _, err := ix.Min(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchmarkLookup measures exact-match queries on a 64k-record index and
+// reports the mean DHT-lookups per query, with or without the leaf cache.
+func benchmarkLookup(b *testing.B, cached bool) {
+	cfg := lht.DefaultConfig()
+	cfg.LeafCache = cached
+	ix := buildIndexCfg(b, 1<<16, cfg)
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]float64, 1<<16)
+	for i := range keys {
+		keys[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	before := ix.Metrics()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ix.Get(keys[i%len(keys)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	diff := ix.Metrics().Sub(before)
+	b.ReportMetric(float64(diff.Lookups)/float64(b.N), "dht-lookups/query")
+}
+
+// BenchmarkLookupCached is the leaf-cache fast path: repeat exact-match
+// queries resolve with ~1 DHT-get (vs ~log2(D) uncached) and skip the
+// binary search's sequential probes in wall-clock time too.
+func BenchmarkLookupCached(b *testing.B) { benchmarkLookup(b, true) }
+
+// BenchmarkLookupUncached is the same workload through plain Algorithm 2,
+// the baseline BenchmarkLookupCached's dht-lookups/query is read against.
+func BenchmarkLookupUncached(b *testing.B) { benchmarkLookup(b, false) }
+
+// BenchmarkA4CacheAblation runs the leaf-cache ablation at reduced scale
+// (reported: uncached/cached lookup-cost ratio under 95/5 churn).
+func BenchmarkA4CacheAblation(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunCacheAblation(o, workload.Uniform, bench.Sizes(10, 13))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(sumSeries(res, "uncached lookups/query")/sumSeries(res, "cached lookups/query"), "uncached/cached")
 	}
 }
 

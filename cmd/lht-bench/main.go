@@ -41,8 +41,8 @@ type config struct {
 
 // experimentNames lists every figure in presentation order, followed by
 // the ablation studies (a1: lookup strategy, a2: merge hysteresis, a3:
-// theta sweep).
-var experimentNames = []string{"fig6a", "fig6b", "fig7", "fig8a", "fig8b", "fig9a", "fig9b", "eq3", "thm3", "a1", "a2", "a3", "s1", "rw1", "x1"}
+// theta sweep, a4: client leaf cache).
+var experimentNames = []string{"fig6a", "fig6b", "fig7", "fig8a", "fig8b", "fig9a", "fig9b", "eq3", "thm3", "a1", "a2", "a3", "a4", "s1", "rw1", "x1"}
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("lht-bench", flag.ContinueOnError)
@@ -207,6 +207,13 @@ func runExperiments(cfg config, out io.Writer) error {
 	if cfg.selected["a3"] {
 		res, err := bench.RunThetaSweep(cfg.opts, workload.Uniform, sizes[len(sizes)-1],
 			[]int{25, 50, 100, 200, 400}, cfg.span)
+		if err != nil {
+			return err
+		}
+		emit(res)
+	}
+	if cfg.selected["a4"] {
+		res, err := bench.RunCacheAblation(cfg.opts, workload.Uniform, sizes)
 		if err != nil {
 			return err
 		}

@@ -37,6 +37,15 @@ func TestRunAllExperimentsSmoke(t *testing.T) {
 	}
 }
 
+func TestRunCacheAblation(t *testing.T) {
+	out := runBench(t, "-experiments", "a4")
+	for _, want := range []string{"Ablation A4", "cached lookups/query", "uncached lookups/query", "cache hit rate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRunCSV(t *testing.T) {
 	out := runBench(t, "-experiments", "thm3", "-csv")
 	if !strings.Contains(out, `x,"min query","max query"`) {

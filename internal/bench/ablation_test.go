@@ -76,6 +76,32 @@ func TestThetaSweep(t *testing.T) {
 	}
 }
 
+func TestCacheAblation(t *testing.T) {
+	o := testOptions()
+	res, err := RunCacheAblation(o, workload.Uniform, Sizes(10, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := seriesByName(t, res, "cached lookups/query")
+	uncached := seriesByName(t, res, "uncached lookups/query")
+	hit := seriesByName(t, res, "cache hit rate")
+	for i := range cached.Points {
+		c, u := cached.Points[i].Y, uncached.Points[i].Y
+		// The headline claim: a read-heavy workload under churn stays at
+		// or below 1.5 lookups per query with the cache, and never above
+		// the uncached binary search.
+		if c > 1.5 {
+			t.Errorf("cached cost %v at size %v exceeds 1.5", c, cached.Points[i].X)
+		}
+		if c >= u {
+			t.Errorf("cached cost %v should beat uncached %v at size %v", c, u, cached.Points[i].X)
+		}
+		if h := hit.Points[i].Y; h < 0.8 || h > 1 {
+			t.Errorf("hit rate %v at size %v outside [0.8, 1]", h, hit.Points[i].X)
+		}
+	}
+}
+
 func TestHopsVsNodes(t *testing.T) {
 	o := Options{Trials: 1, Queries: 40, Seed: 3}
 	res, err := RunHopsVsNodes(o, []int{4, 16, 64})

@@ -10,9 +10,21 @@ import (
 )
 
 // TestConcurrentReaders backs the documented concurrency contract: any
-// number of query operations may run in parallel (run with -race).
+// number of query operations may run in parallel (run with -race), with
+// and without the leaf cache (whose LRU is shared mutable state all
+// readers touch).
 func TestConcurrentReaders(t *testing.T) {
-	ix, err := New(dht.NewLocal(), Config{SplitThreshold: 16, MergeThreshold: 8, Depth: 20})
+	t.Run("uncached", func(t *testing.T) {
+		testConcurrentReaders(t, Config{SplitThreshold: 16, MergeThreshold: 8, Depth: 20})
+	})
+	t.Run("cached", func(t *testing.T) {
+		testConcurrentReaders(t, Config{SplitThreshold: 16, MergeThreshold: 8, Depth: 20,
+			LeafCache: true, LeafCacheSize: 32})
+	})
+}
+
+func testConcurrentReaders(t *testing.T, cfg Config) {
+	ix, err := New(dht.NewLocal(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -35,6 +35,21 @@ type Config struct {
 	// paper's experiments use 20.
 	Depth int
 
+	// LeafCache enables the client-side leaf cache: a bounded LRU of
+	// leaf labels this client has observed, consulted before Algorithm
+	// 2's binary search. A hit resolves an exact-match lookup in one
+	// DHT-get instead of ~log2(D); staleness (the leaf split or merged
+	// since it was cached) is detected soundly from the probe outcome
+	// and repaired, so results are always identical to the uncached
+	// path — only the Lookups/Steps cost changes. Off by default so the
+	// paper-reproduction experiments measure Algorithm 2 itself.
+	LeafCache bool
+
+	// LeafCacheSize bounds the number of cached leaf labels (LRU
+	// eviction beyond it). 0 means DefaultLeafCacheSize; negative is
+	// invalid. Ignored unless LeafCache is set.
+	LeafCacheSize int
+
 	// ParallelRange executes range-query forwarding concurrently: every
 	// independent branch forward runs in its own goroutine, exactly the
 	// parallelism the Steps latency metric models, so wall-clock latency
@@ -44,6 +59,12 @@ type Config struct {
 	// it parallelizes.
 	ParallelRange bool
 }
+
+// DefaultLeafCacheSize is the leaf-cache capacity used when LeafCache
+// is enabled with LeafCacheSize 0. At theta = 100 it covers trees of
+// roughly 400k records, far beyond the paper's 2^20-record experiments'
+// hot sets, while costing only a label (16 bytes) per entry.
+const DefaultLeafCacheSize = 4096
 
 // DefaultConfig mirrors the paper's experiment defaults: theta_split =
 // 100, D = 20, merges enabled with theta_split/2 hysteresis.
@@ -69,5 +90,17 @@ func (c Config) Validate() error {
 	if c.Depth < 2 || c.Depth > keyspace.MaxDepth {
 		return fmt.Errorf("%w: Depth %d outside [2, %d]", ErrConfig, c.Depth, keyspace.MaxDepth)
 	}
+	if c.LeafCacheSize < 0 {
+		return fmt.Errorf("%w: LeafCacheSize %d negative", ErrConfig, c.LeafCacheSize)
+	}
 	return nil
+}
+
+// leafCacheSize resolves the configured cache capacity, applying the
+// default for 0.
+func (c Config) leafCacheSize() int {
+	if c.LeafCacheSize == 0 {
+		return DefaultLeafCacheSize
+	}
+	return c.LeafCacheSize
 }

@@ -36,9 +36,10 @@ type Cost = metrics.Cost
 // serializing its updates; an in-process client cannot provide that for
 // the caller.)
 type Index struct {
-	d   dht.DHT
-	cfg Config
-	c   *metrics.Counters
+	d     dht.DHT
+	cfg   Config
+	c     *metrics.Counters
+	cache *leafCache // nil unless Config.LeafCache
 
 	mu        sync.Mutex
 	alphaSum  float64 // sum over splits of (remote bucket weight / theta)
@@ -62,7 +63,11 @@ func New(d dht.DHT, cfg Config) (*Index, error) {
 		}
 	}
 	c := &metrics.Counters{}
-	return &Index{d: dht.NewInstrumented(d, c), cfg: cfg, c: c}, nil
+	ix := &Index{d: dht.NewInstrumented(d, c), cfg: cfg, c: c}
+	if cfg.LeafCache {
+		ix.cache = newLeafCache(cfg.leafCacheSize())
+	}
+	return ix, nil
 }
 
 // Config returns the index configuration.
@@ -95,9 +100,12 @@ func (ix *Index) Overflows() int64 {
 	return ix.overflows
 }
 
-// getBucket fetches and type-asserts a bucket, charging cost.
-func (ix *Index) getBucket(key string, cost *Cost) (*Bucket, error) {
-	cost.Lookups++
+// fetchBucket is the shared fetch-and-type-assert behind both cost
+// paths (getBucket charges a *Cost, getBucketC a rangeCollector). Every
+// bucket fetched from the DHT is a current leaf, so the fetch is also
+// where the leaf cache learns: any successful get notes the leaf's
+// label, covering lookup probes, range forwarding, scans and walks.
+func (ix *Index) fetchBucket(key string) (*Bucket, error) {
 	v, err := ix.d.Get(key)
 	if err != nil {
 		return nil, err
@@ -106,7 +114,14 @@ func (ix *Index) getBucket(key string, cost *Cost) (*Bucket, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: key %q holds %T, not a bucket", ErrCorrupt, key, v)
 	}
+	ix.cacheNote(b.Label)
 	return b, nil
+}
+
+// getBucket fetches and type-asserts a bucket, charging cost.
+func (ix *Index) getBucket(key string, cost *Cost) (*Bucket, error) {
+	cost.Lookups++
+	return ix.fetchBucket(key)
 }
 
 // LookupBucket implements LHT-lookup (Algorithm 2): a binary search over
@@ -123,7 +138,12 @@ func (ix *Index) LookupBucket(delta float64) (*Bucket, Cost, error) {
 	return b, cost, err
 }
 
-// lookup is LookupBucket returning also the bucket's DHT key.
+// lookup is LookupBucket returning also the bucket's DHT key. With the
+// leaf cache enabled it first probes the name of the deepest cached
+// leaf covering delta: a covering bucket back is a hit (one DHT-get);
+// any other outcome is a soundly detected stale entry, which is dropped
+// and converted into tightened binary-search bounds (see repair cases
+// below), so cached results are always identical to the uncached path.
 func (ix *Index) lookup(delta float64) (*Bucket, string, Cost, error) {
 	var cost Cost
 	mu, err := keyspace.Mu(delta, ix.cfg.Depth)
@@ -131,6 +151,51 @@ func (ix *Index) lookup(delta float64) (*Bucket, string, Cost, error) {
 		return nil, "", cost, err
 	}
 	lo, hi := 1, ix.cfg.Depth
+	if ix.cache != nil {
+		if x, ok := ix.cache.find(mu); ok {
+			name := x.Name()
+			b, err := ix.getBucket(name.Key(), &cost)
+			switch {
+			case err == nil && b.Contains(delta):
+				// Hit. The fetched label can differ from the cached one
+				// (the leaf split but this half kept the name and still
+				// covers delta); fetchBucket noted the fresh label, so
+				// just retire the stale entry.
+				ix.c.AddCacheHits(1)
+				if b.Label != x {
+					ix.cache.drop(x)
+				}
+				cost.Steps = cost.Lookups
+				return b, name.Key(), cost, nil
+			case errors.Is(err, dht.ErrNotFound):
+				// The cached leaf's name is gone (a merge removed it).
+				// Algorithm 2's miss rule applies to this probe exactly
+				// as to its own: every prefix of mu longer than f_n(x)
+				// up to x shares the missing name, so the covering leaf
+				// is at most len(f_n(x)) deep.
+				ix.c.AddCacheStale(1)
+				ix.cache.drop(x)
+				hi = name.Len()
+			case err != nil:
+				cost.Steps = cost.Lookups
+				return nil, "", cost, err
+			default:
+				// A leaf answered under f_n(x) but does not cover delta,
+				// so x is now an internal node (the leaf split):
+				// Algorithm 2's non-covering rule moves the lower bound
+				// past x's trailing run. If mu never leaves that run
+				// there is no tighter bound; fall back to the full
+				// search.
+				ix.c.AddCacheStale(1)
+				ix.cache.drop(x)
+				if next, ok := x.NextName(mu); ok {
+					lo = next.Len()
+				}
+			}
+		} else {
+			ix.c.AddCacheMisses(1)
+		}
+	}
 	for lo <= hi {
 		mid := lo + (hi-lo)/2
 		x := mu.Prefix(mid)
@@ -272,6 +337,10 @@ func (ix *Index) split(key string, b *Bucket) (Cost, error) {
 	if err := ix.d.Write(key, b); err != nil {
 		return cost, fmt.Errorf("lht: split write %q: %w", key, err)
 	}
+	// This client just observed both children; lambda is now internal.
+	ix.cacheDrop(lambda)
+	ix.cacheNote(b.Label)
+	ix.cacheNote(rb.Label)
 	return cost, nil
 }
 
@@ -340,6 +409,10 @@ func (ix *Index) merge(key string, b *Bucket) (Cost, error) {
 	mergedKey := parent.Name().Key()
 	merged := &Bucket{Label: parent, Records: append(b.Records, sb.Records...)}
 	ix.c.AddMerges(1)
+	// Both children stop being leaves; the parent takes their place.
+	ix.cacheDrop(b.Label)
+	ix.cacheDrop(sibling)
+	ix.cacheNote(parent)
 	if key == mergedKey {
 		// b already sits on the peer that keeps the merged bucket; the
 		// sibling (stored under parent's own label) is fetched-and-

@@ -1,0 +1,108 @@
+package lht
+
+import (
+	"container/list"
+	"sync"
+
+	"lht/internal/bitlabel"
+)
+
+// leafCache is the client-side leaf cache behind Config.LeafCache: a
+// bounded, concurrency-safe LRU of leaf labels this client has observed
+// in the DHT. Because a leaf's label determines both its key-space
+// interval and its DHT key (the naming function), caching just the label
+// lets a later lookup for any key in that interval probe the leaf's name
+// directly — one DHT-get instead of Algorithm 2's O(log D) sequential
+// probes.
+//
+// The cache stores no records, so it can never serve stale data; the
+// only staleness possible is structural (the leaf split or merged since
+// it was observed), which the lookup path detects soundly from the probe
+// outcome itself: a fetched bucket that does not cover the key, or a
+// failed get, both feed Algorithm 2's own case analysis, so cached
+// results are always identical to the uncached path.
+type leafCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used; element values are bitlabel.Label
+	entries map[bitlabel.Label]*list.Element
+}
+
+func newLeafCache(capacity int) *leafCache {
+	return &leafCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[bitlabel.Label]*list.Element, capacity),
+	}
+}
+
+// find returns the deepest cached label that is a prefix of mu, i.e. a
+// previously observed leaf whose interval covers mu's data key. Deepest
+// first: after a split both the fresh child and its stale ancestor may
+// be cached, and the child is the live leaf. The returned entry is
+// touched. The scan is pure local work — at most D map probes, no DHT
+// traffic.
+func (c *leafCache) find(mu bitlabel.Label) (bitlabel.Label, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k := mu.Len(); k >= 1; k-- {
+		x := mu.Prefix(k)
+		if e, ok := c.entries[x]; ok {
+			c.order.MoveToFront(e)
+			return x, true
+		}
+	}
+	return bitlabel.Label{}, false
+}
+
+// note records label as a currently observed leaf, touching an existing
+// entry or inserting (and evicting the least recently used entry when
+// over capacity).
+func (c *leafCache) note(label bitlabel.Label) {
+	if label.IsRoot() {
+		return // the virtual root is never a leaf label
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[label]; ok {
+		c.order.MoveToFront(e)
+		return
+	}
+	c.entries[label] = c.order.PushFront(label)
+	if c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(bitlabel.Label))
+	}
+}
+
+// drop invalidates the entry for label, if present.
+func (c *leafCache) drop(label bitlabel.Label) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[label]; ok {
+		c.order.Remove(e)
+		delete(c.entries, label)
+	}
+}
+
+// len returns the current entry count (for tests and introspection).
+func (c *leafCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// cacheNote records an observed leaf when the cache is enabled.
+func (ix *Index) cacheNote(label bitlabel.Label) {
+	if ix.cache != nil {
+		ix.cache.note(label)
+	}
+}
+
+// cacheDrop invalidates a label when the cache is enabled.
+func (ix *Index) cacheDrop(label bitlabel.Label) {
+	if ix.cache != nil {
+		ix.cache.drop(label)
+	}
+}

@@ -1,6 +1,7 @@
 package lht
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -82,5 +83,87 @@ func TestMultipleClientsShareOneTree(t *testing.T) {
 	// removes one).
 	if int64(len(leaves)) != 1+totalSplits-totalMerges {
 		t.Fatalf("leaves = %d, want 1 + %d splits - %d merges", len(leaves), totalSplits, totalMerges)
+	}
+}
+
+// TestLeafCacheStalenessAcrossClients churns the tree behind a cached
+// client's back: client B splits and merges leaves that client A has
+// cached, and A's queries must still return exactly the right answers —
+// the stale entries are detected (the counter ticks) and repaired, never
+// served.
+func TestLeafCacheStalenessAcrossClients(t *testing.T) {
+	d := dht.NewLocal()
+	cfg := Config{SplitThreshold: 8, MergeThreshold: 6, Depth: 20}
+	cachedCfg := cfg
+	cachedCfg.LeafCache = true
+	a, err := New(d, cachedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(23))
+	keys := make([]float64, 400)
+	for i := range keys {
+		keys[i] = rng.Float64()
+		if _, err := b.Insert(record.Record{Key: keys[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm A's cache over every leaf.
+	for _, k := range keys {
+		if _, _, err := a.Search(k); err != nil {
+			t.Fatalf("warm Search(%v): %v", k, err)
+		}
+	}
+
+	// B grows the tree behind A's cache: a burst of inserts forces
+	// splits, so many of A's entries now name internal nodes.
+	grown := make([]float64, 600)
+	for i := range grown {
+		grown[i] = rng.Float64()
+		if _, err := b.Insert(record.Record{Key: grown[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range append(append([]float64{}, keys...), grown...) {
+		if _, _, err := a.Search(k); err != nil {
+			t.Fatalf("Search(%v) after B's splits: %v", k, err)
+		}
+	}
+	afterSplits := a.Metrics()
+	if afterSplits.CacheStale == 0 {
+		t.Error("no stale probes detected although B split leaves behind A's cache")
+	}
+
+	// B shrinks the tree: deleting the grown burst (and some originals)
+	// forces merges, so A's deeper entries name vanished leaves.
+	for _, k := range grown {
+		if _, err := b.Delete(k); err != nil {
+			t.Fatalf("Delete(%v): %v", k, err)
+		}
+	}
+	if b.Metrics().Merges == 0 {
+		t.Fatal("workload produced no merges; staleness-after-merge is untested")
+	}
+	for _, k := range keys {
+		rec, _, err := a.Search(k)
+		if err != nil || rec.Key != k {
+			t.Fatalf("Search(%v) after B's merges = %v, %v", k, rec, err)
+		}
+	}
+	for _, k := range grown {
+		if _, _, err := a.Search(k); !errors.Is(err, ErrKeyNotFound) {
+			t.Fatalf("Search(%v) of deleted key = %v, want ErrKeyNotFound", k, err)
+		}
+	}
+	if s := a.Metrics(); s.CacheStale <= afterSplits.CacheStale {
+		t.Errorf("stale counter did not tick for merges: %d -> %d", afterSplits.CacheStale, s.CacheStale)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -55,15 +55,7 @@ func (c *rangeCollector) snapshot() ([]record.Record, int, error) {
 // getBucketC fetches a bucket, charging the collector.
 func (ix *Index) getBucketC(key string, col *rangeCollector) (*Bucket, error) {
 	col.addLookup()
-	v, err := ix.d.Get(key)
-	if err != nil {
-		return nil, err
-	}
-	b, ok := v.(*Bucket)
-	if !ok {
-		return nil, fmt.Errorf("%w: key %q holds %T, not a bucket", ErrCorrupt, key, v)
-	}
-	return b, nil
+	return ix.fetchBucket(key)
 }
 
 // Range answers the range query [lo, hi) (sections 6.1-6.2): it returns
@@ -131,7 +123,7 @@ func (ix *Index) Range(lo, hi float64) ([]record.Record, Cost, error) {
 			func() { d0 = ix.enterChild(lca.Left(), r, col) },
 			func() { d1 = ix.enterChild(lca.Right(), r, col) },
 		)
-		depth = 1 + maxInt(d0, d1)
+		depth = 1 + max(d0, d1)
 	}
 	out, lookups, err := col.snapshot()
 	cost.Lookups = lookups
@@ -209,7 +201,7 @@ func (ix *Index) forward(b *Bucket, r keyspace.Interval, col *rangeCollector) in
 			}
 		},
 	)
-	return maxInt(dRight, dLeft)
+	return max(dRight, dLeft)
 }
 
 type sweepDir int
@@ -320,11 +312,4 @@ loop:
 		}
 	}
 	return depth
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -35,6 +35,9 @@ type Counters struct {
 	splits       atomic.Int64 // leaf splits performed
 	merges       atomic.Int64 // leaf merges performed
 	maintLookups atomic.Int64 // subset of lookups spent on splits/merges (Fig. 7b)
+	cacheHits    atomic.Int64 // leaf-cache probes that resolved the lookup in one get
+	cacheMisses  atomic.Int64 // lookups that found no leaf-cache entry
+	cacheStale   atomic.Int64 // leaf-cache probes that found a stale entry
 }
 
 // AddLookups adds n DHT-lookups.
@@ -56,6 +59,18 @@ func (c *Counters) AddMerges(n int64) { c.merges.Add(n) }
 // maintenance (splits and merges), the traffic Fig. 7b isolates.
 func (c *Counters) AddMaintLookups(n int64) { c.maintLookups.Add(n) }
 
+// AddCacheHits adds n leaf-cache hits: exact-match lookups resolved by
+// probing a cached leaf name with a single DHT-get.
+func (c *Counters) AddCacheHits(n int64) { c.cacheHits.Add(n) }
+
+// AddCacheMisses adds n leaf-cache misses: lookups for keys with no
+// cached covering leaf, answered by the full binary search.
+func (c *Counters) AddCacheMisses(n int64) { c.cacheMisses.Add(n) }
+
+// AddCacheStale adds n stale leaf-cache probes: the cached leaf had
+// split or merged away, so the client repaired and fell back.
+func (c *Counters) AddCacheStale(n int64) { c.cacheStale.Add(n) }
+
 // Snapshot is a point-in-time copy of the counters.
 type Snapshot struct {
 	Lookups      int64 // DHT-lookups issued
@@ -64,6 +79,9 @@ type Snapshot struct {
 	Splits       int64 // leaf splits
 	Merges       int64 // leaf merges
 	MaintLookups int64 // lookups spent on splits and merges
+	CacheHits    int64 // leaf-cache probes resolved in one DHT-get
+	CacheMisses  int64 // lookups with no leaf-cache entry
+	CacheStale   int64 // leaf-cache probes that detected a stale entry
 }
 
 // Snapshot returns the current counter values.
@@ -75,6 +93,9 @@ func (c *Counters) Snapshot() Snapshot {
 		Splits:       c.splits.Load(),
 		Merges:       c.merges.Load(),
 		MaintLookups: c.maintLookups.Load(),
+		CacheHits:    c.cacheHits.Load(),
+		CacheMisses:  c.cacheMisses.Load(),
+		CacheStale:   c.cacheStale.Load(),
 	}
 }
 
@@ -86,6 +107,9 @@ func (c *Counters) Reset() {
 	c.splits.Store(0)
 	c.merges.Store(0)
 	c.maintLookups.Store(0)
+	c.cacheHits.Store(0)
+	c.cacheMisses.Store(0)
+	c.cacheStale.Store(0)
 }
 
 // Sub returns the component-wise difference s - prev, for measuring the
@@ -98,5 +122,8 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		Splits:       s.Splits - prev.Splits,
 		Merges:       s.Merges - prev.Merges,
 		MaintLookups: s.MaintLookups - prev.MaintLookups,
+		CacheHits:    s.CacheHits - prev.CacheHits,
+		CacheMisses:  s.CacheMisses - prev.CacheMisses,
+		CacheStale:   s.CacheStale - prev.CacheStale,
 	}
 }

@@ -13,13 +13,17 @@ func TestCountersAndSnapshot(t *testing.T) {
 	c.AddSplits(2)
 	c.AddMerges(1)
 	c.AddMaintLookups(2)
+	c.AddCacheHits(5)
+	c.AddCacheMisses(4)
+	c.AddCacheStale(3)
 	s := c.Snapshot()
-	want := Snapshot{Lookups: 3, FailedGets: 1, MovedRecords: 10, Splits: 2, Merges: 1, MaintLookups: 2}
+	want := Snapshot{Lookups: 3, FailedGets: 1, MovedRecords: 10, Splits: 2, Merges: 1, MaintLookups: 2,
+		CacheHits: 5, CacheMisses: 4, CacheStale: 3}
 	if s != want {
 		t.Fatalf("Snapshot = %+v, want %+v", s, want)
 	}
-	diff := s.Sub(Snapshot{Lookups: 1, MovedRecords: 4})
-	if diff.Lookups != 2 || diff.MovedRecords != 6 || diff.Splits != 2 {
+	diff := s.Sub(Snapshot{Lookups: 1, MovedRecords: 4, CacheHits: 2})
+	if diff.Lookups != 2 || diff.MovedRecords != 6 || diff.Splits != 2 || diff.CacheHits != 3 || diff.CacheStale != 3 {
 		t.Fatalf("Sub = %+v", diff)
 	}
 	c.Reset()

@@ -18,6 +18,13 @@
 //	ix.Insert(lht.Record{Key: 0.42, Value: []byte("answer")})
 //	recs, cost, err := ix.Range(0.4, 0.6)
 //
+// Read-heavy clients can enable the client-side leaf cache
+// (Config.LeafCache): exact-match lookups then amortize to a single
+// DHT-get instead of Algorithm 2's ~log2(D) sequential probes, with
+// staleness after splits/merges detected and repaired soundly, so query
+// results never change — only their cost (see Snapshot.CacheHits /
+// CacheMisses / CacheStale).
+//
 // The substrates, the PHT baseline, and the experiment harness that
 // regenerates the paper's figures live under internal/; see DESIGN.md for
 // the system inventory and EXPERIMENTS.md for reproduction results.
@@ -33,9 +40,14 @@ import (
 // Record is one indexed data unit: a key in [0, 1) plus an opaque payload.
 type Record = record.Record
 
-// Config tunes an index: theta_split, the merge threshold, and the
-// maximum tree depth D.
+// Config tunes an index: theta_split, the merge threshold, the maximum
+// tree depth D, and the client-side leaf cache (LeafCache /
+// LeafCacheSize).
 type Config = ilht.Config
+
+// DefaultLeafCacheSize is the leaf-cache capacity used when
+// Config.LeafCache is set with LeafCacheSize 0.
+const DefaultLeafCacheSize = ilht.DefaultLeafCacheSize
 
 // Cost reports the DHT traffic of one operation: Lookups (bandwidth) and
 // Steps (latency in dependent rounds).
