@@ -13,18 +13,23 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"lht/internal/bench"
 	"lht/internal/workload"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "lht-bench:", err)
 		os.Exit(1)
 	}
@@ -41,10 +46,10 @@ type config struct {
 
 // experimentNames lists every figure in presentation order, followed by
 // the ablation studies (a1: lookup strategy, a2: merge hysteresis, a3:
-// theta sweep, a4: client leaf cache).
-var experimentNames = []string{"fig6a", "fig6b", "fig7", "fig8a", "fig8b", "fig9a", "fig9b", "eq3", "thm3", "a1", "a2", "a3", "a4", "s1", "rw1", "x1"}
+// theta sweep, a4: client leaf cache, a5: retry policy under faults).
+var experimentNames = []string{"fig6a", "fig6b", "fig7", "fig8a", "fig8b", "fig9a", "fig9b", "eq3", "thm3", "a1", "a2", "a3", "a4", "a5", "s1", "rw1", "x1"}
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("lht-bench", flag.ContinueOnError)
 	var (
 		experiments = fs.String("experiments", "all", "comma-separated figures to run ("+strings.Join(experimentNames, ",")+") or 'all'")
@@ -97,7 +102,7 @@ func run(args []string, out io.Writer) error {
 	if len(cfg.selected) == 0 {
 		return fmt.Errorf("no experiments selected")
 	}
-	return runExperiments(cfg, out)
+	return runExperiments(ctx, cfg, out)
 }
 
 func contains(xs []string, want string) bool {
@@ -109,7 +114,11 @@ func contains(xs []string, want string) bool {
 	return false
 }
 
-func runExperiments(cfg config, out io.Writer) error {
+func runExperiments(ctx context.Context, cfg config, out io.Writer) error {
+	// want re-checks the signal context before each experiment, so an
+	// interrupt stops the run after the experiment in flight while keeping
+	// everything already emitted.
+	want := func(name string) bool { return cfg.selected[name] && ctx.Err() == nil }
 	emit := func(results ...bench.Result) {
 		for _, r := range results {
 			if cfg.csv {
@@ -122,14 +131,14 @@ func runExperiments(cfg config, out io.Writer) error {
 	both := []workload.Dist{workload.Uniform, workload.Gaussian}
 	sizes := bench.Sizes(cfg.minExp, cfg.maxExp)
 
-	if cfg.selected["fig6a"] {
+	if want("fig6a") {
 		res, err := bench.RunAvgAlphaVsSize(cfg.opts, both, []int{40, 160}, sizes)
 		if err != nil {
 			return err
 		}
 		emit(res)
 	}
-	if cfg.selected["fig6b"] {
+	if want("fig6b") {
 		res, err := bench.RunAvgAlphaVsTheta(cfg.opts, both,
 			[]int{20, 40, 80, 160, 320}, sizes[len(sizes)-1])
 		if err != nil {
@@ -137,14 +146,14 @@ func runExperiments(cfg config, out io.Writer) error {
 		}
 		emit(res)
 	}
-	if cfg.selected["fig7"] {
+	if want("fig7") {
 		moved, lookups, err := bench.RunMaintenance(cfg.opts, both, sizes)
 		if err != nil {
 			return err
 		}
 		emit(moved, lookups)
 	}
-	if cfg.selected["fig8a"] {
+	if want("fig8a") {
 		res, err := bench.RunLookup(cfg.opts, workload.Uniform, sizes)
 		if err != nil {
 			return err
@@ -152,7 +161,7 @@ func runExperiments(cfg config, out io.Writer) error {
 		res.Name = "Fig 8a"
 		emit(res)
 	}
-	if cfg.selected["fig8b"] {
+	if want("fig8b") {
 		res, err := bench.RunLookup(cfg.opts, workload.Gaussian, sizes)
 		if err != nil {
 			return err
@@ -160,14 +169,14 @@ func runExperiments(cfg config, out io.Writer) error {
 		res.Name = "Fig 8b"
 		emit(res)
 	}
-	if cfg.selected["fig9a"] {
+	if want("fig9a") {
 		bw, lat, err := bench.RunRangeVsSize(cfg.opts, workload.Uniform, sizes, cfg.span)
 		if err != nil {
 			return err
 		}
 		emit(bw, lat)
 	}
-	if cfg.selected["fig9b"] {
+	if want("fig9b") {
 		bw, lat, err := bench.RunRangeVsSpan(cfg.opts, workload.Uniform, sizes[len(sizes)-1],
 			[]float64{0.025, 0.05, 0.1, 0.2, 0.4})
 		if err != nil {
@@ -175,7 +184,7 @@ func runExperiments(cfg config, out io.Writer) error {
 		}
 		emit(bw, lat)
 	}
-	if cfg.selected["eq3"] {
+	if want("eq3") {
 		res, err := bench.RunSavingRatio(cfg.opts, workload.Uniform, sizes[len(sizes)-1],
 			[]float64{0, 0.5, 1, 2, 4, 8, 16, 32, 64, 128, 256})
 		if err != nil {
@@ -183,28 +192,28 @@ func runExperiments(cfg config, out io.Writer) error {
 		}
 		emit(res)
 	}
-	if cfg.selected["thm3"] {
+	if want("thm3") {
 		res, err := bench.RunMinMax(cfg.opts, workload.Uniform, sizes)
 		if err != nil {
 			return err
 		}
 		emit(res)
 	}
-	if cfg.selected["a1"] {
+	if want("a1") {
 		res, err := bench.RunLookupAblation(cfg.opts, workload.Uniform, sizes)
 		if err != nil {
 			return err
 		}
 		emit(res)
 	}
-	if cfg.selected["a2"] {
+	if want("a2") {
 		res, err := bench.RunMergeAblation(cfg.opts, workload.Uniform, sizes[len(sizes)-1], 4*sizes[len(sizes)-1])
 		if err != nil {
 			return err
 		}
 		emit(res)
 	}
-	if cfg.selected["a3"] {
+	if want("a3") {
 		res, err := bench.RunThetaSweep(cfg.opts, workload.Uniform, sizes[len(sizes)-1],
 			[]int{25, 50, 100, 200, 400}, cfg.span)
 		if err != nil {
@@ -212,33 +221,44 @@ func runExperiments(cfg config, out io.Writer) error {
 		}
 		emit(res)
 	}
-	if cfg.selected["a4"] {
+	if want("a4") {
 		res, err := bench.RunCacheAblation(cfg.opts, workload.Uniform, sizes)
 		if err != nil {
 			return err
 		}
 		emit(res)
 	}
-	if cfg.selected["s1"] {
+	if want("a5") {
+		succ, cost, err := bench.RunFaultAblation(cfg.opts, workload.Uniform, sizes[len(sizes)-1],
+			[]float64{0, 0.01, 0.02, 0.05, 0.1, 0.2})
+		if err != nil {
+			return err
+		}
+		emit(succ, cost)
+	}
+	if want("s1") {
 		res, err := bench.RunHopsVsNodes(cfg.opts, []int{4, 8, 16, 32, 64, 128})
 		if err != nil {
 			return err
 		}
 		emit(res)
 	}
-	if cfg.selected["rw1"] {
+	if want("rw1") {
 		results, err := bench.RunRelatedWork(cfg.opts, workload.Uniform, sizes[len(sizes)-1], cfg.span)
 		if err != nil {
 			return err
 		}
 		emit(results...)
 	}
-	if cfg.selected["x1"] {
+	if want("x1") {
 		res, err := bench.RunSkewRobustness(cfg.opts, sizes)
 		if err != nil {
 			return err
 		}
 		emit(res)
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("interrupted: %w", err)
 	}
 	return nil
 }

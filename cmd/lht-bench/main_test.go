@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -9,8 +10,8 @@ func runBench(t *testing.T, args ...string) string {
 	t.Helper()
 	var out strings.Builder
 	base := []string{"-trials", "1", "-queries", "20", "-minexp", "8", "-maxexp", "10"}
-	if err := run(append(base, args...), &out); err != nil {
-		t.Fatalf("run(%v): %v", args, err)
+	if err := run(context.Background(), append(base, args...), &out); err != nil {
+		t.Fatalf("run(context.Background(), %v): %v", args, err)
 	}
 	return out.String()
 }
@@ -58,16 +59,16 @@ func TestRunCSV(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-experiments", "nope"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-experiments", "nope"}, &out); err == nil {
 		t.Error("unknown experiment should fail")
 	}
-	if err := run([]string{"-experiments", ""}, &out); err == nil {
+	if err := run(context.Background(), []string{"-experiments", ""}, &out); err == nil {
 		t.Error("empty selection should fail")
 	}
-	if err := run([]string{"-minexp", "12", "-maxexp", "8"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-minexp", "12", "-maxexp", "8"}, &out); err == nil {
 		t.Error("inverted size range should fail")
 	}
-	if err := run([]string{"-badflag"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-badflag"}, &out); err == nil {
 		t.Error("bad flag should fail")
 	}
 }

@@ -13,12 +13,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"lht"
 	"lht/internal/tcpnet"
@@ -26,19 +29,25 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// Ctrl-C cancels the context, which aborts the in-flight operation
+	// down to its socket I/O.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "lht-cli:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("lht-cli", flag.ContinueOnError)
 	var (
-		nodes = fs.String("nodes", "127.0.0.1:7001", "comma-separated lht-node addresses")
-		theta = fs.Int("theta", 100, "theta_split used by the index")
-		depth = fs.Int("depth", 20, "maximum tree depth D")
-		seed  = fs.Int64("seed", 1, "seed for the fill command")
+		nodes   = fs.String("nodes", "127.0.0.1:7001", "comma-separated lht-node addresses")
+		theta   = fs.Int("theta", 100, "theta_split used by the index")
+		depth   = fs.Int("depth", 20, "maximum tree depth D")
+		seed    = fs.Int64("seed", 1, "seed for the fill command")
+		timeout = fs.Duration("timeout", 0, "deadline for the whole command (0 = none); becomes socket deadlines on every request")
+		retry   = fs.Bool("retry", true, "retry transient node faults with backoff (each retry costs one DHT-lookup)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -47,22 +56,32 @@ func run(args []string, out io.Writer) error {
 	if len(cmd) == 0 {
 		return fmt.Errorf("missing command (put|get|del|range|scan|min|max|count|fill)")
 	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	lht.RegisterGobTypes()
-	client, err := tcpnet.Dial(strings.Split(*nodes, ","))
+	client, err := tcpnet.DialContext(ctx, strings.Split(*nodes, ","))
 	if err != nil {
 		return err
 	}
 	defer func() { _ = client.Close() }()
 
-	ix, err := lht.New(client, lht.Config{SplitThreshold: *theta, MergeThreshold: *theta / 2, Depth: *depth})
+	cfg := lht.Config{SplitThreshold: *theta, MergeThreshold: *theta / 2, Depth: *depth}
+	if *retry {
+		p := lht.DefaultPolicy()
+		cfg.Policy = &p
+	}
+	ix, err := lht.New(client, cfg)
 	if err != nil {
 		return err
 	}
-	return dispatch(ix, cmd, *seed, out)
+	return dispatch(ctx, ix, cmd, *seed, out)
 }
 
-func dispatch(ix *lht.Index, cmd []string, seed int64, out io.Writer) error {
+func dispatch(ctx context.Context, ix *lht.Index, cmd []string, seed int64, out io.Writer) error {
 	parseKey := func(s string) (float64, error) {
 		k, err := strconv.ParseFloat(s, 64)
 		if err != nil {
@@ -86,7 +105,7 @@ func dispatch(ix *lht.Index, cmd []string, seed int64, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		cost, err := ix.Insert(lht.Record{Key: k, Value: []byte(cmd[2])})
+		cost, err := ix.InsertContext(ctx, lht.Record{Key: k, Value: []byte(cmd[2])})
 		if err != nil {
 			return err
 		}
@@ -99,7 +118,7 @@ func dispatch(ix *lht.Index, cmd []string, seed int64, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		rec, cost, err := ix.Get(k)
+		rec, cost, err := ix.GetContext(ctx, k)
 		if err != nil {
 			return err
 		}
@@ -112,7 +131,7 @@ func dispatch(ix *lht.Index, cmd []string, seed int64, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		cost, err := ix.Delete(k)
+		cost, err := ix.DeleteContext(ctx, k)
 		if err != nil {
 			return err
 		}
@@ -129,7 +148,7 @@ func dispatch(ix *lht.Index, cmd []string, seed int64, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		recs, cost, err := ix.Range(lo, hi)
+		recs, cost, err := ix.RangeContext(ctx, lo, hi)
 		if err != nil {
 			return err
 		}
@@ -142,11 +161,11 @@ func dispatch(ix *lht.Index, cmd []string, seed int64, out io.Writer) error {
 		if err := need(0); err != nil {
 			return err
 		}
-		query := ix.Min
+		query := ix.MinContext
 		if cmd[0] == "max" {
-			query = ix.Max
+			query = ix.MaxContext
 		}
-		rec, cost, err := query()
+		rec, cost, err := query(ctx)
 		if err != nil {
 			return err
 		}
@@ -163,7 +182,7 @@ func dispatch(ix *lht.Index, cmd []string, seed int64, out io.Writer) error {
 		if err != nil || limit < 1 {
 			return fmt.Errorf("scan limit %q", cmd[2])
 		}
-		recs, cost, err := ix.Scan(from, limit)
+		recs, cost, err := ix.ScanContext(ctx, from, limit)
 		if err != nil {
 			return err
 		}
@@ -190,7 +209,7 @@ func dispatch(ix *lht.Index, cmd []string, seed int64, out io.Writer) error {
 		}
 		gen := workload.NewGenerator(workload.Uniform, seed)
 		for _, r := range gen.Records(n) {
-			if _, err := ix.Insert(r); err != nil {
+			if _, err := ix.InsertContext(ctx, r); err != nil {
 				return err
 			}
 		}

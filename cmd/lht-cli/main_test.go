@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"net"
 	"strings"
 	"testing"
@@ -29,7 +30,7 @@ func startNodes(t *testing.T, n int) string {
 func cli(t *testing.T, nodes string, args ...string) (string, error) {
 	t.Helper()
 	var out strings.Builder
-	err := run(append([]string{"-nodes", nodes, "-theta", "8"}, args...), &out)
+	err := run(context.Background(), append([]string{"-nodes", nodes, "-theta", "8"}, args...), &out)
 	return out.String(), err
 }
 
@@ -92,7 +93,7 @@ func TestCLIErrors(t *testing.T) {
 		}
 	}
 	var out strings.Builder
-	if err := run([]string{"-nodes", "127.0.0.1:1", "count"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-nodes", "127.0.0.1:1", "count"}, &out); err == nil {
 		t.Error("dead cluster should fail")
 	}
 }

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -28,13 +29,15 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7001", "address to listen on")
 	data := flag.String("data", "", "snapshot file for the node's shard (empty = in-memory only)")
 	flag.Parse()
-	if err := run(*listen, *data); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *listen, *data); err != nil {
 		fmt.Fprintln(os.Stderr, "lht-node:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, data string) error {
+func run(ctx context.Context, listen, data string) error {
 	srv := tcpnet.NewServer()
 	if data != "" {
 		if err := srv.LoadSnapshot(data); err != nil {
@@ -47,10 +50,10 @@ func run(listen, data string) error {
 		return err
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	// SIGINT/SIGTERM cancels ctx: snapshot the shard, then close the
+	// server, which unblocks Serve below for a clean exit.
 	go func() {
-		<-sig
+		<-ctx.Done()
 		if data != "" {
 			if err := srv.SaveSnapshot(data); err != nil {
 				log.Printf("snapshot: %v", err)

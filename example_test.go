@@ -1,8 +1,10 @@
 package lht_test
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"lht"
 )
@@ -114,6 +116,41 @@ func ExampleNewChordDHT() {
 	}
 	fmt.Printf("%s\n", rec.Value)
 	// Output: on chord
+}
+
+// Every operation has a Context variant: a deadline on the context
+// bounds the whole multi-step algorithm - here a range query over a
+// Chord ring, whose parallel forwarding stops promptly if the deadline
+// expires. Config.Policy additionally absorbs transient substrate
+// faults with retries and backoff, each retry charged as a DHT-lookup.
+func ExampleIndex_RangeContext() {
+	ring, err := lht.NewChordDHT(8, lht.ChordConfig{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	policy := lht.DefaultPolicy()
+	cfg := lht.DefaultConfig()
+	cfg.SplitThreshold = 4
+	cfg.MergeThreshold = 3
+	cfg.Policy = &policy
+	ix, err := lht.New(ring, cfg)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 32; i++ {
+		if _, err := ix.Insert(lht.Record{Key: (float64(i) + 0.5) / 32}); err != nil {
+			panic(err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	recs, _, err := ix.RangeContext(ctx, 0.25, 0.75)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d records within the deadline\n", len(recs))
+	// Output: 16 records within the deadline
 }
 
 // GeoIndex layers two-dimensional rectangle search on top of the

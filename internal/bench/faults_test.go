@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"testing"
+
+	"lht/internal/workload"
+)
+
+// TestFaultAblation pins the A5 acceptance criteria: with the retry
+// policy, query success stays at or above 95% under 5% injected transient
+// faults; without it, success is measurably degraded. The retry cost is
+// nonzero exactly when faults are injected.
+func TestFaultAblation(t *testing.T) {
+	o := testOptions()
+	rates := []float64{0, 0.05, 0.2}
+	succ, cost, err := RunFaultAblation(o, workload.Uniform, 1<<11, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noPolicy := seriesByName(t, succ, "LHT no policy")
+	withPolicy := seriesByName(t, succ, "LHT with policy")
+
+	// Healthy substrate: both variants answer everything.
+	if noPolicy.Points[0].Y != 100 || withPolicy.Points[0].Y != 100 {
+		t.Fatalf("success at fault rate 0 = %v / %v, want 100 / 100",
+			noPolicy.Points[0].Y, withPolicy.Points[0].Y)
+	}
+	// 5% faults: the policy holds the line, raw queries degrade.
+	if y := withPolicy.Points[1].Y; y < 95 {
+		t.Errorf("with policy at 5%% faults: success %v%%, want >= 95%%", y)
+	}
+	if y := noPolicy.Points[1].Y; y >= 95 {
+		t.Errorf("no policy at 5%% faults: success %v%%, expected measurable degradation", y)
+	}
+	// The gap widens with the fault rate.
+	if gap5, gap20 := withPolicy.Points[1].Y-noPolicy.Points[1].Y,
+		withPolicy.Points[2].Y-noPolicy.Points[2].Y; gap20 <= gap5 {
+		t.Errorf("policy advantage should grow with fault rate: %v at 5%%, %v at 20%%", gap5, gap20)
+	}
+
+	// Retries are the price, charged only when faults happen.
+	retries := seriesByName(t, cost, "with policy")
+	if retries.Points[0].Y != 0 {
+		t.Errorf("retries/query at fault rate 0 = %v, want 0", retries.Points[0].Y)
+	}
+	if retries.Points[1].Y <= 0 {
+		t.Errorf("retries/query at 5%% faults = %v, want > 0", retries.Points[1].Y)
+	}
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"lht/internal/chord"
@@ -31,7 +32,7 @@ func RunHopsVsNodes(o Options, nodeCounts []int) (Result, error) {
 			}
 			var hops int
 			for q := 0; q < o.Queries; q++ {
-				_, h, err := ring.Lookup(fmt.Sprintf("q-%d-%d", t, q))
+				_, h, err := ring.Lookup(context.Background(), fmt.Sprintf("q-%d-%d", t, q))
 				if err != nil {
 					return res, err
 				}
@@ -45,7 +46,7 @@ func RunHopsVsNodes(o Options, nodeCounts []int) (Result, error) {
 			}
 			hops = 0
 			for q := 0; q < o.Queries; q++ {
-				_, h, err := nw.Lookup(fmt.Sprintf("q-%d-%d", t, q))
+				_, h, err := nw.Lookup(context.Background(), fmt.Sprintf("q-%d-%d", t, q))
 				if err != nil {
 					return res, err
 				}

@@ -1,6 +1,7 @@
 package chord
 
 import (
+	"context"
 	"fmt"
 	"testing"
 )
@@ -13,7 +14,7 @@ func BenchmarkLookup64(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := r.Lookup(fmt.Sprintf("bench-%d", i)); err != nil {
+		if _, _, err := r.Lookup(context.Background(), fmt.Sprintf("bench-%d", i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -28,10 +29,10 @@ func BenchmarkPutGet64(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		key := fmt.Sprintf("bench-%d", i%1000)
-		if err := r.Put(key, i); err != nil {
+		if err := r.Put(context.Background(), key, i); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := r.Get(key); err != nil {
+		if _, err := r.Get(context.Background(), key); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package chord
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -21,14 +22,14 @@ func newRing(t *testing.T, n int, cfg Config) *Ring {
 
 func TestSingleNodeRing(t *testing.T) {
 	r := newRing(t, 1, Config{Seed: 1})
-	if err := r.Put("k", 42); err != nil {
+	if err := r.Put(context.Background(), "k", 42); err != nil {
 		t.Fatal(err)
 	}
-	v, err := r.Get("k")
+	v, err := r.Get(context.Background(), "k")
 	if err != nil || v.(int) != 42 {
 		t.Fatalf("Get = %v, %v", v, err)
 	}
-	ref, hops, err := r.Lookup("k")
+	ref, hops, err := r.Lookup(context.Background(), "k")
 	if err != nil || ref.Addr != "n0" {
 		t.Fatalf("Lookup = %v, %v", ref, err)
 	}
@@ -90,18 +91,18 @@ func TestPutGetAcrossRing(t *testing.T) {
 	r := newRing(t, 20, Config{Seed: 3})
 	for i := 0; i < 500; i++ {
 		key := fmt.Sprintf("key-%d", i)
-		if err := r.Put(key, i); err != nil {
+		if err := r.Put(context.Background(), key, i); err != nil {
 			t.Fatalf("Put(%s): %v", key, err)
 		}
 	}
 	for i := 0; i < 500; i++ {
 		key := fmt.Sprintf("key-%d", i)
-		v, err := r.Get(key)
+		v, err := r.Get(context.Background(), key)
 		if err != nil || v.(int) != i {
 			t.Fatalf("Get(%s) = %v, %v", key, v, err)
 		}
 	}
-	if _, err := r.Get("absent"); !errors.Is(err, dht.ErrNotFound) {
+	if _, err := r.Get(context.Background(), "absent"); !errors.Is(err, dht.ErrNotFound) {
 		t.Fatalf("Get absent = %v", err)
 	}
 	if r.TotalKeys() != 500 {
@@ -111,32 +112,32 @@ func TestPutGetAcrossRing(t *testing.T) {
 
 func TestTakeRemoveWrite(t *testing.T) {
 	r := newRing(t, 8, Config{Seed: 4})
-	if err := r.Put("a", 1); err != nil {
+	if err := r.Put(context.Background(), "a", 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := r.Write("a", 2); err != nil {
+	if err := r.Write(context.Background(), "a", 2); err != nil {
 		t.Fatal(err)
 	}
-	if v, _ := r.Get("a"); v.(int) != 2 {
+	if v, _ := r.Get(context.Background(), "a"); v.(int) != 2 {
 		t.Fatalf("Write lost: %v", v)
 	}
-	if err := r.Write("missing", 1); !errors.Is(err, dht.ErrNotFound) {
+	if err := r.Write(context.Background(), "missing", 1); !errors.Is(err, dht.ErrNotFound) {
 		t.Fatalf("Write missing = %v", err)
 	}
-	v, err := r.Take("a")
+	v, err := r.Take(context.Background(), "a")
 	if err != nil || v.(int) != 2 {
 		t.Fatalf("Take = %v, %v", v, err)
 	}
-	if _, err := r.Take("a"); !errors.Is(err, dht.ErrNotFound) {
+	if _, err := r.Take(context.Background(), "a"); !errors.Is(err, dht.ErrNotFound) {
 		t.Fatal("second Take should miss")
 	}
-	if err := r.Put("b", 3); err != nil {
+	if err := r.Put(context.Background(), "b", 3); err != nil {
 		t.Fatal(err)
 	}
-	if err := r.Remove("b"); err != nil {
+	if err := r.Remove(context.Background(), "b"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Get("b"); !errors.Is(err, dht.ErrNotFound) {
+	if _, err := r.Get(context.Background(), "b"); !errors.Is(err, dht.ErrNotFound) {
 		t.Fatal("Remove did not delete")
 	}
 }
@@ -146,7 +147,7 @@ func TestLookupHopsLogarithmic(t *testing.T) {
 	var total int
 	const queries = 300
 	for i := 0; i < queries; i++ {
-		_, hops, err := r.Lookup(fmt.Sprintf("q-%d", i))
+		_, hops, err := r.Lookup(context.Background(), fmt.Sprintf("q-%d", i))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -167,7 +168,7 @@ func TestLoadBalance(t *testing.T) {
 	r := newRing(t, 16, Config{Seed: 6})
 	const keys = 4000
 	for i := 0; i < keys; i++ {
-		if err := r.Put(fmt.Sprintf("lb-%d", i), i); err != nil {
+		if err := r.Put(context.Background(), fmt.Sprintf("lb-%d", i), i); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -189,7 +190,7 @@ func TestLoadBalance(t *testing.T) {
 func TestJoinTransfersKeys(t *testing.T) {
 	r := newRing(t, 4, Config{Seed: 7})
 	for i := 0; i < 300; i++ {
-		if err := r.Put(fmt.Sprintf("j-%d", i), i); err != nil {
+		if err := r.Put(context.Background(), fmt.Sprintf("j-%d", i), i); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -202,7 +203,7 @@ func TestJoinTransfersKeys(t *testing.T) {
 	assertRingOrdered(t, r)
 	for i := 0; i < 300; i++ {
 		key := fmt.Sprintf("j-%d", i)
-		v, err := r.Get(key)
+		v, err := r.Get(context.Background(), key)
 		if err != nil || v.(int) != i {
 			t.Fatalf("after joins, Get(%s) = %v, %v", key, v, err)
 		}
@@ -215,7 +216,7 @@ func TestJoinTransfersKeys(t *testing.T) {
 func TestGracefulLeavePreservesData(t *testing.T) {
 	r := newRing(t, 10, Config{Seed: 8})
 	for i := 0; i < 300; i++ {
-		if err := r.Put(fmt.Sprintf("g-%d", i), i); err != nil {
+		if err := r.Put(context.Background(), fmt.Sprintf("g-%d", i), i); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -228,7 +229,7 @@ func TestGracefulLeavePreservesData(t *testing.T) {
 	assertRingOrdered(t, r)
 	for i := 0; i < 300; i++ {
 		key := fmt.Sprintf("g-%d", i)
-		v, err := r.Get(key)
+		v, err := r.Get(context.Background(), key)
 		if err != nil || v.(int) != i {
 			t.Fatalf("after leaves, Get(%s) = %v, %v", key, v, err)
 		}
@@ -241,7 +242,7 @@ func TestGracefulLeavePreservesData(t *testing.T) {
 func TestAbruptFailureHealsRing(t *testing.T) {
 	r := newRing(t, 12, Config{Seed: 9})
 	for i := 0; i < 200; i++ {
-		if err := r.Put(fmt.Sprintf("f-%d", i), i); err != nil {
+		if err := r.Put(context.Background(), fmt.Sprintf("f-%d", i), i); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -253,7 +254,7 @@ func TestAbruptFailureHealsRing(t *testing.T) {
 	var lost int
 	for i := 0; i < 200; i++ {
 		key := fmt.Sprintf("f-%d", i)
-		v, err := r.Get(key)
+		v, err := r.Get(context.Background(), key)
 		switch {
 		case errors.Is(err, dht.ErrNotFound):
 			lost++
@@ -275,7 +276,7 @@ func TestAbruptFailureHealsRing(t *testing.T) {
 	r.Stabilize(4)
 	for i := 0; i < 200; i++ {
 		key := fmt.Sprintf("f-%d", i)
-		if _, err := r.Get(key); err != nil {
+		if _, err := r.Get(context.Background(), key); err != nil {
 			t.Fatalf("after recovery, Get(%s) = %v", key, err)
 		}
 	}
@@ -284,7 +285,7 @@ func TestAbruptFailureHealsRing(t *testing.T) {
 func TestReplicationSurvivesFailure(t *testing.T) {
 	r := newRing(t, 12, Config{Seed: 10, Replicas: 3})
 	for i := 0; i < 200; i++ {
-		if err := r.Put(fmt.Sprintf("r-%d", i), i); err != nil {
+		if err := r.Put(context.Background(), fmt.Sprintf("r-%d", i), i); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -293,7 +294,7 @@ func TestReplicationSurvivesFailure(t *testing.T) {
 	r.Stabilize(4)
 	for i := 0; i < 200; i++ {
 		key := fmt.Sprintf("r-%d", i)
-		v, err := r.Get(key)
+		v, err := r.Get(context.Background(), key)
 		if err != nil || v.(int) != i {
 			t.Fatalf("with replication, Get(%s) = %v, %v", key, v, err)
 		}
@@ -304,7 +305,7 @@ func TestAllNodesDown(t *testing.T) {
 	r := newRing(t, 2, Config{Seed: 11})
 	r.Fail("n0")
 	r.Fail("n1")
-	if err := r.Put("x", 1); !errors.Is(err, ErrNoNodes) {
+	if err := r.Put(context.Background(), "x", 1); !errors.Is(err, ErrNoNodes) {
 		t.Fatalf("Put with all down = %v", err)
 	}
 }
@@ -312,7 +313,7 @@ func TestAllNodesDown(t *testing.T) {
 func TestMessagesAreCounted(t *testing.T) {
 	r := newRing(t, 16, Config{Seed: 12})
 	r.Network().ResetMessages()
-	if err := r.Put("counted", 1); err != nil {
+	if err := r.Put(context.Background(), "counted", 1); err != nil {
 		t.Fatal(err)
 	}
 	if r.Network().Messages() == 0 {

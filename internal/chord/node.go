@@ -13,6 +13,7 @@
 package chord
 
 import (
+	"context"
 	"sync"
 
 	"lht/internal/dht"
@@ -302,7 +303,7 @@ func (n *Node) checkPredecessor() {
 // this node.
 func (n *Node) fixFinger(i int) {
 	target := hashring.FingerStart(n.ref.ID, i)
-	ref, _, err := n.findSuccessor(target, 0)
+	ref, _, err := n.findSuccessor(context.Background(), target, 0)
 	if err != nil {
 		return
 	}
@@ -313,13 +314,17 @@ func (n *Node) fixFinger(i int) {
 
 // findSuccessor resolves the node responsible for id by iterative
 // routing, starting from this node. One hop is one message round trip:
-// dialing a peer and asking it for its next-hop decision. extraHops seeds
-// the counter so retries accumulate.
-func (n *Node) findSuccessor(id hashring.ID, extraHops int) (Ref, int, error) {
+// dialing a peer and asking it for its next-hop decision, so the context
+// is checked once per hop and cancellation stops the walk promptly.
+// extraHops seeds the counter so retries accumulate.
+func (n *Node) findSuccessor(ctx context.Context, id hashring.ID, extraHops int) (Ref, int, error) {
 	hops := extraHops
 	cur := n
 	curRef := n.ref
 	for i := 0; i < 4*hashring.Bits; i++ {
+		if err := ctx.Err(); err != nil {
+			return zeroRef, hops, err
+		}
 		done, succ, next := cur.rpcNextHop(id)
 		if done {
 			return succ, hops, nil

@@ -1,6 +1,7 @@
 package chord
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -112,7 +113,7 @@ func (r *Ring) AddNode(addr string) error {
 	if entry == nil {
 		return nil // first node: its own ring
 	}
-	succ, _, err := entry.findSuccessor(node.ref.ID, 0)
+	succ, _, err := entry.findSuccessor(context.Background(), node.ref.ID, 0)
 	if err != nil {
 		return fmt.Errorf("chord: join %q: %w", addr, err)
 	}
@@ -234,29 +235,38 @@ func (r *Ring) entry() (*Node, error) {
 }
 
 // Lookup resolves the node responsible for a DHT key and reports the hop
-// count, Chord's O(log N) routing at work.
-func (r *Ring) Lookup(key string) (Ref, int, error) {
+// count, Chord's O(log N) routing at work. The context bounds the hop
+// walk: cancellation stops routing mid-lookup.
+func (r *Ring) Lookup(ctx context.Context, key string) (Ref, int, error) {
 	entry, err := r.entry()
 	if err != nil {
 		return zeroRef, 0, err
 	}
-	return entry.findSuccessor(hashring.HashKey(key), 0)
+	return entry.findSuccessor(ctx, hashring.HashKey(key), 0)
 }
 
 // replicaChain resolves the responsible node and up to Replicas-1 of its
-// live successors, retrying the lookup from other entries on failure.
-func (r *Ring) replicaChain(key string) ([]*Node, int, error) {
+// live successors, retrying the lookup from other entries on failure. It
+// also reports whether it had to slide past an unreachable holder, so
+// callers can classify an empty read as a transient fault rather than a
+// missing key.
+func (r *Ring) replicaChain(ctx context.Context, key string) (chain []*Node, hops int, slid bool, err error) {
 	var lastErr error
-	hops := 0
 	for attempt := 0; attempt < 3; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, hops, slid, cerr
+		}
 		entry, err := r.entry()
 		if err != nil {
-			return nil, hops, err
+			return nil, hops, slid, err
 		}
-		primary, h, err := entry.findSuccessor(hashring.HashKey(key), hops)
+		primary, h, err := entry.findSuccessor(ctx, hashring.HashKey(key), hops)
 		hops = h
 		if err != nil {
 			lastErr = err
+			if ctx.Err() != nil {
+				return nil, hops, slid, err
+			}
 			continue
 		}
 		chain := make([]*Node, 0, r.cfg.Replicas)
@@ -279,7 +289,8 @@ func (r *Ring) replicaChain(key string) ([]*Node, int, error) {
 			}
 			// Primary (or a replica) is down: slide along the successor
 			// chain via the entry's routing.
-			nref, h2, err2 := entry.findSuccessor(hashring.Add(ref.ID, 1), hops)
+			slid = true
+			nref, h2, err2 := entry.findSuccessor(ctx, hashring.Add(ref.ID, 1), hops)
 			hops = h2
 			if err2 != nil || seen[nref.Addr] {
 				break
@@ -287,22 +298,35 @@ func (r *Ring) replicaChain(key string) ([]*Node, int, error) {
 			ref = nref
 		}
 		if len(chain) > 0 {
-			return chain, hops, nil
+			return chain, hops, slid, nil
 		}
-		lastErr = dht.ErrNotFound
+		lastErr = dht.MarkTransient(fmt.Errorf("no live replica holder: %w", simnet.ErrUnreachable))
 	}
 	if lastErr == nil {
 		lastErr = errLookupDiverged
 	}
-	return nil, hops, fmt.Errorf("chord: %q unroutable: %w", key, lastErr)
+	// Every way of landing here - routing diverged on a churning ring, no
+	// live replica holder - is a fault a later retry may outlive, so the
+	// whole class is transient.
+	return nil, hops, slid, dht.MarkTransient(fmt.Errorf("chord: %q unroutable: %w", key, lastErr))
+}
+
+// errMissing distinguishes the two causes of a read that found no value:
+// an unreachable holder that a later retry may reach again (transient), or
+// a genuinely absent key.
+func errMissing(key string, slid bool) error {
+	if slid {
+		return dht.MarkTransient(fmt.Errorf("chord: %q holder unreachable: %w", key, simnet.ErrUnreachable))
+	}
+	return dht.ErrNotFound
 }
 
 // --- dht.DHT -------------------------------------------------------------
 
 // Put implements dht.DHT: route to the responsible node and store, then
 // replicate along the successor chain.
-func (r *Ring) Put(key string, v dht.Value) error {
-	chain, _, err := r.replicaChain(key)
+func (r *Ring) Put(ctx context.Context, key string, v dht.Value) error {
+	chain, _, _, err := r.replicaChain(ctx, key)
 	if err != nil {
 		return err
 	}
@@ -312,9 +336,12 @@ func (r *Ring) Put(key string, v dht.Value) error {
 	return nil
 }
 
-// Get implements dht.DHT, falling back along the replica chain.
-func (r *Ring) Get(key string) (dht.Value, error) {
-	chain, _, err := r.replicaChain(key)
+// Get implements dht.DHT, falling back along the replica chain. When no
+// live replica holds the key but an unreachable holder was slid past, the
+// miss is reported as a transient fault, not ErrNotFound: the value may
+// still exist on the crashed peer.
+func (r *Ring) Get(ctx context.Context, key string) (dht.Value, error) {
+	chain, _, slid, err := r.replicaChain(ctx, key)
 	if err != nil {
 		return nil, err
 	}
@@ -323,12 +350,12 @@ func (r *Ring) Get(key string) (dht.Value, error) {
 			return v, nil
 		}
 	}
-	return nil, dht.ErrNotFound
+	return nil, errMissing(key, slid)
 }
 
 // Take implements dht.DHT: fetch-and-delete across the replica chain.
-func (r *Ring) Take(key string) (dht.Value, error) {
-	chain, _, err := r.replicaChain(key)
+func (r *Ring) Take(ctx context.Context, key string) (dht.Value, error) {
+	chain, _, slid, err := r.replicaChain(ctx, key)
 	if err != nil {
 		return nil, err
 	}
@@ -342,14 +369,14 @@ func (r *Ring) Take(key string) (dht.Value, error) {
 		}
 	}
 	if !found {
-		return nil, dht.ErrNotFound
+		return nil, errMissing(key, slid)
 	}
 	return out, nil
 }
 
 // Remove implements dht.DHT.
-func (r *Ring) Remove(key string) error {
-	chain, _, err := r.replicaChain(key)
+func (r *Ring) Remove(ctx context.Context, key string) error {
+	chain, _, _, err := r.replicaChain(ctx, key)
 	if err != nil {
 		return err
 	}
@@ -363,7 +390,10 @@ func (r *Ring) Remove(key string) error {
 // in place (the index layer's free local-disk write). The ring locates
 // the storing replicas directly - no routing happens, matching the cost
 // contract.
-func (r *Ring) Write(key string, v dht.Value) error {
+func (r *Ring) Write(ctx context.Context, key string, v dht.Value) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	r.mu.Lock()
 	holders := make([]*Node, 0, r.cfg.Replicas)
 	for _, n := range r.nodes {

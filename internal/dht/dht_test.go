@@ -1,6 +1,7 @@
 package dht
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -12,65 +13,65 @@ import (
 func TestLocalBasicOps(t *testing.T) {
 	d := NewLocal()
 
-	if _, err := d.Get("a"); !errors.Is(err, ErrNotFound) {
+	if _, err := d.Get(context.Background(), "a"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("Get missing = %v, want ErrNotFound", err)
 	}
-	if err := d.Put("a", 1); err != nil {
+	if err := d.Put(context.Background(), "a", 1); err != nil {
 		t.Fatal(err)
 	}
-	v, err := d.Get("a")
+	v, err := d.Get(context.Background(), "a")
 	if err != nil || v.(int) != 1 {
 		t.Fatalf("Get = %v, %v", v, err)
 	}
-	if err := d.Put("a", 2); err != nil {
+	if err := d.Put(context.Background(), "a", 2); err != nil {
 		t.Fatal(err)
 	}
-	if v, _ := d.Get("a"); v.(int) != 2 {
+	if v, _ := d.Get(context.Background(), "a"); v.(int) != 2 {
 		t.Fatalf("Put should replace, got %v", v)
 	}
 	if d.Len() != 1 {
 		t.Fatalf("Len = %d", d.Len())
 	}
-	if err := d.Remove("a"); err != nil {
+	if err := d.Remove(context.Background(), "a"); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Remove("a"); err != nil {
+	if err := d.Remove(context.Background(), "a"); err != nil {
 		t.Fatal("Remove of absent key must not error:", err)
 	}
-	if _, err := d.Get("a"); !errors.Is(err, ErrNotFound) {
+	if _, err := d.Get(context.Background(), "a"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("Get after Remove = %v", err)
 	}
 }
 
 func TestLocalTake(t *testing.T) {
 	d := NewLocal()
-	if _, err := d.Take("k"); !errors.Is(err, ErrNotFound) {
+	if _, err := d.Take(context.Background(), "k"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("Take missing = %v", err)
 	}
-	if err := d.Put("k", "v"); err != nil {
+	if err := d.Put(context.Background(), "k", "v"); err != nil {
 		t.Fatal(err)
 	}
-	v, err := d.Take("k")
+	v, err := d.Take(context.Background(), "k")
 	if err != nil || v.(string) != "v" {
 		t.Fatalf("Take = %v, %v", v, err)
 	}
-	if _, err := d.Get("k"); !errors.Is(err, ErrNotFound) {
+	if _, err := d.Get(context.Background(), "k"); !errors.Is(err, ErrNotFound) {
 		t.Fatal("Take must remove the key")
 	}
 }
 
 func TestLocalWrite(t *testing.T) {
 	d := NewLocal()
-	if err := d.Write("k", 1); !errors.Is(err, ErrNotFound) {
+	if err := d.Write(context.Background(), "k", 1); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("Write to absent key = %v, want ErrNotFound", err)
 	}
-	if err := d.Put("k", 1); err != nil {
+	if err := d.Put(context.Background(), "k", 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Write("k", 2); err != nil {
+	if err := d.Write(context.Background(), "k", 2); err != nil {
 		t.Fatal(err)
 	}
-	if v, _ := d.Get("k"); v.(int) != 2 {
+	if v, _ := d.Get(context.Background(), "k"); v.(int) != 2 {
 		t.Fatalf("Write did not update, got %v", v)
 	}
 }
@@ -79,7 +80,7 @@ func TestLocalKeys(t *testing.T) {
 	d := NewLocal()
 	want := map[string]bool{"x": true, "y": true, "z": true}
 	for k := range want {
-		if err := d.Put(k, k); err != nil {
+		if err := d.Put(context.Background(), k, k); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -103,11 +104,11 @@ func TestLocalConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				key := fmt.Sprintf("k%d-%d", g, i)
-				if err := d.Put(key, i); err != nil {
+				if err := d.Put(context.Background(), key, i); err != nil {
 					t.Error(err)
 					return
 				}
-				if _, err := d.Get(key); err != nil {
+				if _, err := d.Get(context.Background(), key); err != nil {
 					t.Error(err)
 					return
 				}
@@ -127,14 +128,14 @@ func TestInstrumentedCounting(t *testing.T) {
 		t.Fatal("Counters accessor mismatch")
 	}
 
-	_ = d.Put("a", 1)       // 1 lookup
-	_, _ = d.Get("a")       // 2
-	_, _ = d.Get("missing") // 3, 1 failed
-	_, _ = d.Take("a")      // 4
-	_, _ = d.Take("a")      // 5, 2 failed
-	_ = d.Remove("a")       // 6
-	_ = d.Put("b", 1)       // 7
-	_ = d.Write("b", 2)     // free
+	_ = d.Put(context.Background(), "a", 1)       // 1 lookup
+	_, _ = d.Get(context.Background(), "a")       // 2
+	_, _ = d.Get(context.Background(), "missing") // 3, 1 failed
+	_, _ = d.Take(context.Background(), "a")      // 4
+	_, _ = d.Take(context.Background(), "a")      // 5, 2 failed
+	_ = d.Remove(context.Background(), "a")       // 6
+	_ = d.Put(context.Background(), "b", 1)       // 7
+	_ = d.Write(context.Background(), "b", 2)     // free
 
 	s := c.Snapshot()
 	if s.Lookups != 7 {
@@ -143,7 +144,7 @@ func TestInstrumentedCounting(t *testing.T) {
 	if s.FailedGets != 2 {
 		t.Errorf("FailedGets = %d, want 2", s.FailedGets)
 	}
-	if v, err := d.Get("b"); err != nil || v.(int) != 2 {
+	if v, err := d.Get(context.Background(), "b"); err != nil || v.(int) != 2 {
 		t.Errorf("Write through instrumentation failed: %v, %v", v, err)
 	}
 }

@@ -6,6 +6,7 @@
 package dhttest
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -49,76 +50,77 @@ func (o Options) withDefaults() Options {
 func Run(t *testing.T, factory func(t *testing.T) dht.DHT, opts Options) {
 	t.Helper()
 	o := opts.withDefaults()
+	ctx := context.Background()
 
 	t.Run("GetMissing", func(t *testing.T) {
 		d := factory(t)
-		if _, err := d.Get("absent"); !errors.Is(err, dht.ErrNotFound) {
+		if _, err := d.Get(ctx, "absent"); !errors.Is(err, dht.ErrNotFound) {
 			t.Fatalf("Get(absent) = %v, want ErrNotFound", err)
 		}
 	})
 
 	t.Run("PutGetReplace", func(t *testing.T) {
 		d := factory(t)
-		if err := d.Put("k", o.ValueFactory(1)); err != nil {
+		if err := d.Put(ctx, "k", o.ValueFactory(1)); err != nil {
 			t.Fatal(err)
 		}
-		v, err := d.Get("k")
+		v, err := d.Get(ctx, "k")
 		if err != nil || !o.ValueEqual(v, 1) {
 			t.Fatalf("Get = %v, %v", v, err)
 		}
-		if err := d.Put("k", o.ValueFactory(2)); err != nil {
+		if err := d.Put(ctx, "k", o.ValueFactory(2)); err != nil {
 			t.Fatal(err)
 		}
-		if v, _ := d.Get("k"); !o.ValueEqual(v, 2) {
+		if v, _ := d.Get(ctx, "k"); !o.ValueEqual(v, 2) {
 			t.Fatal("Put must replace")
 		}
 	})
 
 	t.Run("TakeSemantics", func(t *testing.T) {
 		d := factory(t)
-		if _, err := d.Take("k"); !errors.Is(err, dht.ErrNotFound) {
+		if _, err := d.Take(ctx, "k"); !errors.Is(err, dht.ErrNotFound) {
 			t.Fatalf("Take(absent) = %v", err)
 		}
-		if err := d.Put("k", o.ValueFactory(3)); err != nil {
+		if err := d.Put(ctx, "k", o.ValueFactory(3)); err != nil {
 			t.Fatal(err)
 		}
-		v, err := d.Take("k")
+		v, err := d.Take(ctx, "k")
 		if err != nil || !o.ValueEqual(v, 3) {
 			t.Fatalf("Take = %v, %v", v, err)
 		}
-		if _, err := d.Get("k"); !errors.Is(err, dht.ErrNotFound) {
+		if _, err := d.Get(ctx, "k"); !errors.Is(err, dht.ErrNotFound) {
 			t.Fatal("Take must remove the key")
 		}
 	})
 
 	t.Run("RemoveIdempotent", func(t *testing.T) {
 		d := factory(t)
-		if err := d.Put("k", o.ValueFactory(4)); err != nil {
+		if err := d.Put(ctx, "k", o.ValueFactory(4)); err != nil {
 			t.Fatal(err)
 		}
-		if err := d.Remove("k"); err != nil {
+		if err := d.Remove(ctx, "k"); err != nil {
 			t.Fatal(err)
 		}
-		if err := d.Remove("k"); err != nil {
+		if err := d.Remove(ctx, "k"); err != nil {
 			t.Fatalf("Remove(absent) = %v, must not error", err)
 		}
-		if _, err := d.Get("k"); !errors.Is(err, dht.ErrNotFound) {
+		if _, err := d.Get(ctx, "k"); !errors.Is(err, dht.ErrNotFound) {
 			t.Fatal("Remove must delete")
 		}
 	})
 
 	t.Run("WriteSemantics", func(t *testing.T) {
 		d := factory(t)
-		if err := d.Write("k", o.ValueFactory(5)); !errors.Is(err, dht.ErrNotFound) {
+		if err := d.Write(ctx, "k", o.ValueFactory(5)); !errors.Is(err, dht.ErrNotFound) {
 			t.Fatalf("Write(absent) = %v, want ErrNotFound", err)
 		}
-		if err := d.Put("k", o.ValueFactory(5)); err != nil {
+		if err := d.Put(ctx, "k", o.ValueFactory(5)); err != nil {
 			t.Fatal(err)
 		}
-		if err := d.Write("k", o.ValueFactory(6)); err != nil {
+		if err := d.Write(ctx, "k", o.ValueFactory(6)); err != nil {
 			t.Fatal(err)
 		}
-		if v, _ := d.Get("k"); !o.ValueEqual(v, 6) {
+		if v, _ := d.Get(ctx, "k"); !o.ValueEqual(v, 6) {
 			t.Fatal("Write must update")
 		}
 	})
@@ -126,24 +128,24 @@ func Run(t *testing.T, factory func(t *testing.T) dht.DHT, opts Options) {
 	t.Run("ManyKeys", func(t *testing.T) {
 		d := factory(t)
 		for i := 0; i < o.Keys; i++ {
-			if err := d.Put(fmt.Sprintf("key-%d", i), o.ValueFactory(i)); err != nil {
+			if err := d.Put(ctx, fmt.Sprintf("key-%d", i), o.ValueFactory(i)); err != nil {
 				t.Fatal(err)
 			}
 		}
 		for i := 0; i < o.Keys; i++ {
-			v, err := d.Get(fmt.Sprintf("key-%d", i))
+			v, err := d.Get(ctx, fmt.Sprintf("key-%d", i))
 			if err != nil || !o.ValueEqual(v, i) {
 				t.Fatalf("Get(key-%d) = %v, %v", i, v, err)
 			}
 		}
 		// Delete the even keys, the odd ones must survive.
 		for i := 0; i < o.Keys; i += 2 {
-			if err := d.Remove(fmt.Sprintf("key-%d", i)); err != nil {
+			if err := d.Remove(ctx, fmt.Sprintf("key-%d", i)); err != nil {
 				t.Fatal(err)
 			}
 		}
 		for i := 0; i < o.Keys; i++ {
-			_, err := d.Get(fmt.Sprintf("key-%d", i))
+			_, err := d.Get(ctx, fmt.Sprintf("key-%d", i))
 			if i%2 == 0 && !errors.Is(err, dht.ErrNotFound) {
 				t.Fatalf("key-%d should be gone, got %v", i, err)
 			}
@@ -159,15 +161,49 @@ func Run(t *testing.T, factory func(t *testing.T) dht.DHT, opts Options) {
 		d := factory(t)
 		keys := []string{"#", "#0", "#00", "#01", "#0110", "#01100000000000000000"}
 		for i, k := range keys {
-			if err := d.Put(k, o.ValueFactory(i)); err != nil {
+			if err := d.Put(ctx, k, o.ValueFactory(i)); err != nil {
 				t.Fatal(err)
 			}
 		}
 		for i, k := range keys {
-			v, err := d.Get(k)
+			v, err := d.Get(ctx, k)
 			if err != nil || !o.ValueEqual(v, i) {
 				t.Fatalf("Get(%q) = %v, %v", k, v, err)
 			}
+		}
+	})
+
+	t.Run("ContextCanceled", func(t *testing.T) {
+		// Every substrate must refuse routed work on an already-cancelled
+		// context, without disturbing stored state.
+		d := factory(t)
+		if err := d.Put(ctx, "k", o.ValueFactory(7)); err != nil {
+			t.Fatal(err)
+		}
+		cctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := d.Get(cctx, "k"); !errors.Is(err, context.Canceled) {
+			t.Fatalf("Get(cancelled) = %v, want context.Canceled", err)
+		}
+		if err := d.Put(cctx, "k2", o.ValueFactory(8)); !errors.Is(err, context.Canceled) {
+			t.Fatalf("Put(cancelled) = %v, want context.Canceled", err)
+		}
+		if _, err := d.Take(cctx, "k"); !errors.Is(err, context.Canceled) {
+			t.Fatalf("Take(cancelled) = %v, want context.Canceled", err)
+		}
+		if err := d.Remove(cctx, "k"); !errors.Is(err, context.Canceled) {
+			t.Fatalf("Remove(cancelled) = %v, want context.Canceled", err)
+		}
+		if err := d.Write(cctx, "k", o.ValueFactory(9)); !errors.Is(err, context.Canceled) {
+			t.Fatalf("Write(cancelled) = %v, want context.Canceled", err)
+		}
+		// Cancellation must be classified as permanent, not transient.
+		if _, err := d.Get(cctx, "k"); dht.IsTransient(err) {
+			t.Fatalf("cancellation classified transient: %v", err)
+		}
+		// The stored value must have survived all the refused operations.
+		if v, err := d.Get(ctx, "k"); err != nil || !o.ValueEqual(v, 7) {
+			t.Fatalf("Get after cancelled ops = %v, %v", v, err)
 		}
 	})
 
@@ -181,16 +217,16 @@ func Run(t *testing.T, factory func(t *testing.T) dht.DHT, opts Options) {
 					defer wg.Done()
 					for i := 0; i < 40; i++ {
 						key := fmt.Sprintf("c-%d-%d", g, i)
-						if err := d.Put(key, o.ValueFactory(i)); err != nil {
+						if err := d.Put(ctx, key, o.ValueFactory(i)); err != nil {
 							t.Errorf("Put: %v", err)
 							return
 						}
-						if v, err := d.Get(key); err != nil || !o.ValueEqual(v, i) {
+						if v, err := d.Get(ctx, key); err != nil || !o.ValueEqual(v, i) {
 							t.Errorf("Get(%s) = %v, %v", key, v, err)
 							return
 						}
 						if i%3 == 0 {
-							if err := d.Remove(key); err != nil {
+							if err := d.Remove(ctx, key); err != nil {
 								t.Errorf("Remove: %v", err)
 								return
 							}

@@ -1,6 +1,7 @@
 package dht
 
 import (
+	"context"
 	"errors"
 
 	"lht/internal/metrics"
@@ -9,7 +10,10 @@ import (
 // Instrumented wraps a DHT and charges every routed operation to a
 // metrics.Counters according to the paper's cost model: Get, Put, Take and
 // Remove each cost one DHT-lookup; failed Gets are additionally counted so
-// experiments can report them; Write is free.
+// experiments can report them; Write is free. Operations that end in
+// context cancellation or deadline expiry are also tallied
+// (Cancellations / DeadlineExceeded), so fault experiments can separate
+// "gave up" from "failed".
 type Instrumented struct {
 	inner DHT
 	c     *metrics.Counters
@@ -25,39 +29,58 @@ func NewInstrumented(inner DHT, c *metrics.Counters) *Instrumented {
 // Counters returns the counter set this wrapper charges.
 func (d *Instrumented) Counters() *metrics.Counters { return d.c }
 
+// note tallies the context-outcome counters for a finished operation.
+func (d *Instrumented) note(err error) {
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled):
+		d.c.AddCancellations(1)
+	case errors.Is(err, context.DeadlineExceeded):
+		d.c.AddDeadlineExceeded(1)
+	}
+}
+
 // Get implements DHT, counting one lookup (and one failed get on miss).
-func (d *Instrumented) Get(key string) (Value, error) {
+func (d *Instrumented) Get(ctx context.Context, key string) (Value, error) {
 	d.c.AddLookups(1)
-	v, err := d.inner.Get(key)
+	v, err := d.inner.Get(ctx, key)
 	if errors.Is(err, ErrNotFound) {
 		d.c.AddFailedGets(1)
 	}
+	d.note(err)
 	return v, err
 }
 
 // Put implements DHT, counting one lookup.
-func (d *Instrumented) Put(key string, v Value) error {
+func (d *Instrumented) Put(ctx context.Context, key string, v Value) error {
 	d.c.AddLookups(1)
-	return d.inner.Put(key, v)
+	err := d.inner.Put(ctx, key, v)
+	d.note(err)
+	return err
 }
 
 // Take implements DHT, counting one lookup.
-func (d *Instrumented) Take(key string) (Value, error) {
+func (d *Instrumented) Take(ctx context.Context, key string) (Value, error) {
 	d.c.AddLookups(1)
-	v, err := d.inner.Take(key)
+	v, err := d.inner.Take(ctx, key)
 	if errors.Is(err, ErrNotFound) {
 		d.c.AddFailedGets(1)
 	}
+	d.note(err)
 	return v, err
 }
 
 // Remove implements DHT, counting one lookup.
-func (d *Instrumented) Remove(key string) error {
+func (d *Instrumented) Remove(ctx context.Context, key string) error {
 	d.c.AddLookups(1)
-	return d.inner.Remove(key)
+	err := d.inner.Remove(ctx, key)
+	d.note(err)
+	return err
 }
 
 // Write implements DHT; it is free in the cost model.
-func (d *Instrumented) Write(key string, v Value) error {
-	return d.inner.Write(key, v)
+func (d *Instrumented) Write(ctx context.Context, key string, v Value) error {
+	err := d.inner.Write(ctx, key, v)
+	d.note(err)
+	return err
 }

@@ -1,6 +1,9 @@
 package dht
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // Local is a single-process DHT: one flat map standing in for the whole
 // ring. It gives the index layers exactly the put/get semantics of a real
@@ -21,7 +24,10 @@ func NewLocal() *Local {
 }
 
 // Get implements DHT.
-func (l *Local) Get(key string) (Value, error) {
+func (l *Local) Get(ctx context.Context, key string) (Value, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	v, ok := l.data[key]
@@ -32,7 +38,10 @@ func (l *Local) Get(key string) (Value, error) {
 }
 
 // Put implements DHT.
-func (l *Local) Put(key string, v Value) error {
+func (l *Local) Put(ctx context.Context, key string, v Value) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.data[key] = v
@@ -40,7 +49,10 @@ func (l *Local) Put(key string, v Value) error {
 }
 
 // Take implements DHT.
-func (l *Local) Take(key string) (Value, error) {
+func (l *Local) Take(ctx context.Context, key string) (Value, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	v, ok := l.data[key]
@@ -52,7 +64,10 @@ func (l *Local) Take(key string) (Value, error) {
 }
 
 // Remove implements DHT.
-func (l *Local) Remove(key string) error {
+func (l *Local) Remove(ctx context.Context, key string) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	delete(l.data, key)
@@ -60,7 +75,10 @@ func (l *Local) Remove(key string) error {
 }
 
 // Write implements DHT.
-func (l *Local) Write(key string, v Value) error {
+func (l *Local) Write(ctx context.Context, key string, v Value) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if _, ok := l.data[key]; !ok {

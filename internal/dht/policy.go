@@ -1,0 +1,225 @@
+package dht
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"lht/internal/metrics"
+)
+
+// ErrRetriesExhausted reports that a transient fault persisted through
+// every attempt the policy allows. The last underlying fault stays in the
+// chain, so errors.Is against the root cause (and IsTransient) still
+// match.
+var ErrRetriesExhausted = errors.New("dht: retries exhausted")
+
+// Policy describes how the retry wrapper produced by WithPolicy treats
+// transient substrate faults: how often to retry, how long to back off,
+// and what counts as transient in the first place. The zero value is
+// usable: DefaultPolicy's attempts and delays, no jitter.
+type Policy struct {
+	// MaxAttempts is the total number of attempts per operation,
+	// including the first (so MaxAttempts = 1 disables retrying).
+	// Default 4.
+	MaxAttempts int
+
+	// BaseDelay is the backoff before the first retry; each further
+	// retry doubles it, capped at MaxDelay. Default 5ms.
+	BaseDelay time.Duration
+
+	// MaxDelay caps the exponential backoff. Default 250ms.
+	MaxDelay time.Duration
+
+	// Jitter randomizes each backoff delay to d * (1-Jitter/2 .. 1+Jitter/2),
+	// decorrelating clients that tripped over the same fault. Must be in
+	// [0, 1]; 0 disables jitter (DefaultPolicy uses 0.5).
+	Jitter float64
+
+	// Classify reports whether an error is a transient fault worth
+	// retrying. Defaults to IsTransient: simnet unreachability, marked
+	// transients and net timeouts retry; ErrNotFound and context
+	// cancellation/expiry never do.
+	Classify func(error) bool
+
+	// Counters, when non-nil, receives the policy's observability
+	// signals: one Retry per re-attempt, and one Cancellation /
+	// DeadlineExceeded when a backoff wait is cut short by the context.
+	// (Attempt costs themselves are charged by whatever Instrumented
+	// wrapper sits below this one, which is what keeps every retry an
+	// honest DHT-lookup in the paper's cost model.)
+	Counters *metrics.Counters
+
+	// Seed drives the jitter; 0 means a fixed default, keeping
+	// experiments reproducible.
+	Seed int64
+}
+
+// DefaultPolicy returns the retry policy used when a zero Policy is
+// supplied: 4 attempts, 5ms base delay doubling to a 250ms cap, 50%
+// jitter, IsTransient classification.
+func DefaultPolicy() Policy {
+	return Policy{
+		MaxAttempts: 4,
+		BaseDelay:   5 * time.Millisecond,
+		MaxDelay:    250 * time.Millisecond,
+		Jitter:      0.5,
+	}
+}
+
+func (p Policy) withDefaults() Policy {
+	d := DefaultPolicy()
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = d.MaxAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = d.BaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = d.MaxDelay
+	}
+	if p.Jitter < 0 || p.Jitter > 1 {
+		p.Jitter = d.Jitter
+	}
+	if p.Classify == nil {
+		p.Classify = IsTransient
+	}
+	return p
+}
+
+// PolicyDHT is the retry/backoff wrapper created by WithPolicy.
+type PolicyDHT struct {
+	inner DHT
+	p     Policy
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+var _ DHT = (*PolicyDHT)(nil)
+
+// WithPolicy wraps inner so every routed operation retries transient
+// faults with capped, jittered exponential backoff. Permanent outcomes
+// (ErrNotFound, context cancellation, anything Classify rejects) pass
+// through untouched on the first attempt.
+//
+// To keep the paper's cost model honest, wrap the instrumented layer —
+// WithPolicy(NewInstrumented(substrate, c), Policy{Counters: c}) — so
+// every retry is charged as a full DHT-lookup; the index layers compose
+// the stack this way when Config.Policy is set.
+func WithPolicy(inner DHT, p Policy) *PolicyDHT {
+	p = p.withDefaults()
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &PolicyDHT{inner: inner, p: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Inner returns the wrapped DHT.
+func (d *PolicyDHT) Inner() DHT { return d.inner }
+
+// delay computes the jittered backoff before retry number n (0-based).
+func (d *PolicyDHT) delay(n int) time.Duration {
+	delay := d.p.BaseDelay << uint(n)
+	if delay <= 0 || delay > d.p.MaxDelay {
+		delay = d.p.MaxDelay
+	}
+	if d.p.Jitter > 0 {
+		d.mu.Lock()
+		f := 1 + d.p.Jitter*(d.rng.Float64()-0.5)
+		d.mu.Unlock()
+		delay = time.Duration(float64(delay) * f)
+	}
+	return delay
+}
+
+// backoff waits the n-th retry delay, aborting early when ctx is done.
+func (d *PolicyDHT) backoff(ctx context.Context, n int) error {
+	t := time.NewTimer(d.delay(n))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		err := ctx.Err()
+		if d.p.Counters != nil {
+			switch {
+			case errors.Is(err, context.Canceled):
+				d.p.Counters.AddCancellations(1)
+			case errors.Is(err, context.DeadlineExceeded):
+				d.p.Counters.AddDeadlineExceeded(1)
+			}
+		}
+		return fmt.Errorf("dht: backoff interrupted: %w", err)
+	}
+}
+
+// do runs op under the retry policy.
+func (d *PolicyDHT) do(ctx context.Context, op func(context.Context) error) error {
+	var err error
+	for attempt := 0; attempt < d.p.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if d.p.Counters != nil {
+				d.p.Counters.AddRetries(1)
+			}
+			if berr := d.backoff(ctx, attempt-1); berr != nil {
+				return berr
+			}
+		}
+		err = op(ctx)
+		if err == nil || !d.p.Classify(err) {
+			return err
+		}
+	}
+	return fmt.Errorf("%w after %d attempts: %w", ErrRetriesExhausted, d.p.MaxAttempts, err)
+}
+
+// Get implements DHT with retries.
+func (d *PolicyDHT) Get(ctx context.Context, key string) (Value, error) {
+	var v Value
+	err := d.do(ctx, func(ctx context.Context) error {
+		var e error
+		v, e = d.inner.Get(ctx, key)
+		return e
+	})
+	return v, err
+}
+
+// Put implements DHT with retries.
+func (d *PolicyDHT) Put(ctx context.Context, key string, v Value) error {
+	return d.do(ctx, func(ctx context.Context) error {
+		return d.inner.Put(ctx, key, v)
+	})
+}
+
+// Take implements DHT with retries. Take is safe to retry against the
+// repository's substrates: delivery is synchronous, so a failed attempt
+// means the fetch-and-delete did not happen.
+func (d *PolicyDHT) Take(ctx context.Context, key string) (Value, error) {
+	var v Value
+	err := d.do(ctx, func(ctx context.Context) error {
+		var e error
+		v, e = d.inner.Take(ctx, key)
+		return e
+	})
+	return v, err
+}
+
+// Remove implements DHT with retries.
+func (d *PolicyDHT) Remove(ctx context.Context, key string) error {
+	return d.do(ctx, func(ctx context.Context) error {
+		return d.inner.Remove(ctx, key)
+	})
+}
+
+// Write implements DHT with retries (Write stays free in the cost model;
+// the instrumented layer below charges nothing for it).
+func (d *PolicyDHT) Write(ctx context.Context, key string, v Value) error {
+	return d.do(ctx, func(ctx context.Context) error {
+		return d.inner.Write(ctx, key, v)
+	})
+}

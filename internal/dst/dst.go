@@ -28,6 +28,7 @@
 package dst
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -139,7 +140,7 @@ func (ix *Index) Metrics() metrics.Snapshot { return ix.c.Snapshot() }
 // getNode fetches and type-asserts a node, charging cost.
 func (ix *Index) getNode(key string, cost *Cost) (*Node, error) {
 	cost.Lookups++
-	v, err := ix.d.Get(key)
+	v, err := ix.d.Get(context.Background(), key)
 	if err != nil {
 		return nil, err
 	}
@@ -152,7 +153,7 @@ func (ix *Index) getNode(key string, cost *Cost) (*Node, error) {
 
 // peekNode reads a node through the uncharged handle (node-local work).
 func (ix *Index) peekNode(label bitlabel.Label) (*Node, error) {
-	v, err := ix.raw.Get(label.Key())
+	v, err := ix.raw.Get(context.Background(), label.Key())
 	if errors.Is(err, dht.ErrNotFound) {
 		return nil, err
 	}
@@ -201,7 +202,7 @@ func (ix *Index) Insert(rec record.Record) (Cost, error) {
 		// One routed store message per level.
 		cost.Lookups++
 		ix.c.AddMovedRecords(1)
-		if err := ix.d.Put(label.Key(), n); err != nil {
+		if err := ix.d.Put(context.Background(), label.Key(), n); err != nil {
 			return cost, fmt.Errorf("dst: insert put %s: %w", label, err)
 		}
 	}
@@ -257,12 +258,12 @@ func (ix *Index) Delete(delta float64) (Cost, error) {
 			n.Records = n.Records[:len(n.Records)-1]
 		}
 		if len(n.Records) == 0 && !n.Saturated {
-			if err := ix.d.Remove(label.Key()); err != nil {
+			if err := ix.d.Remove(context.Background(), label.Key()); err != nil {
 				return cost, fmt.Errorf("dst: delete remove %s: %w", label, err)
 			}
 			continue
 		}
-		if err := ix.d.Put(label.Key(), n); err != nil {
+		if err := ix.d.Put(context.Background(), label.Key(), n); err != nil {
 			return cost, fmt.Errorf("dst: delete put %s: %w", label, err)
 		}
 	}

@@ -1,6 +1,7 @@
 package kademlia
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -66,18 +67,18 @@ func TestNetworkPutGet(t *testing.T) {
 	}
 	for i := 0; i < 300; i++ {
 		key := fmt.Sprintf("key-%d", i)
-		if err := nw.Put(key, i); err != nil {
+		if err := nw.Put(context.Background(), key, i); err != nil {
 			t.Fatalf("Put(%s): %v", key, err)
 		}
 	}
 	for i := 0; i < 300; i++ {
 		key := fmt.Sprintf("key-%d", i)
-		v, err := nw.Get(key)
+		v, err := nw.Get(context.Background(), key)
 		if err != nil || v.(int) != i {
 			t.Fatalf("Get(%s) = %v, %v", key, v, err)
 		}
 	}
-	if _, err := nw.Get("absent"); !errors.Is(err, dht.ErrNotFound) {
+	if _, err := nw.Get(context.Background(), "absent"); !errors.Is(err, dht.ErrNotFound) {
 		t.Fatalf("Get absent = %v", err)
 	}
 	// K-way replication: each key stored on K=8 nodes.
@@ -91,32 +92,32 @@ func TestTakeRemoveWrite(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := nw.Put("a", 1); err != nil {
+	if err := nw.Put(context.Background(), "a", 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := nw.Write("a", 2); err != nil {
+	if err := nw.Write(context.Background(), "a", 2); err != nil {
 		t.Fatal(err)
 	}
-	if v, _ := nw.Get("a"); v.(int) != 2 {
+	if v, _ := nw.Get(context.Background(), "a"); v.(int) != 2 {
 		t.Fatal("Write did not propagate to replicas")
 	}
-	if err := nw.Write("missing", 0); !errors.Is(err, dht.ErrNotFound) {
+	if err := nw.Write(context.Background(), "missing", 0); !errors.Is(err, dht.ErrNotFound) {
 		t.Fatalf("Write missing = %v", err)
 	}
-	v, err := nw.Take("a")
+	v, err := nw.Take(context.Background(), "a")
 	if err != nil || v.(int) != 2 {
 		t.Fatalf("Take = %v, %v", v, err)
 	}
-	if _, err := nw.Get("a"); !errors.Is(err, dht.ErrNotFound) {
+	if _, err := nw.Get(context.Background(), "a"); !errors.Is(err, dht.ErrNotFound) {
 		t.Fatal("Take left replicas behind")
 	}
-	if err := nw.Put("b", 3); err != nil {
+	if err := nw.Put(context.Background(), "b", 3); err != nil {
 		t.Fatal(err)
 	}
-	if err := nw.Remove("b"); err != nil {
+	if err := nw.Remove(context.Background(), "b"); err != nil {
 		t.Fatal(err)
 	}
-	if err := nw.Remove("b"); err != nil {
+	if err := nw.Remove(context.Background(), "b"); err != nil {
 		t.Fatal("Remove of absent key must not error")
 	}
 }
@@ -129,7 +130,7 @@ func TestLookupMessagesLogarithmic(t *testing.T) {
 	var total int
 	const queries = 100
 	for i := 0; i < queries; i++ {
-		refs, hops, err := nw.Lookup(fmt.Sprintf("q-%d", i))
+		refs, hops, err := nw.Lookup(context.Background(), fmt.Sprintf("q-%d", i))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -154,7 +155,7 @@ func TestLookupFindsTrueClosest(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		key := fmt.Sprintf("c-%d", i)
 		target := hashring.HashKey(key)
-		refs, _, err := nw.Lookup(key)
+		refs, _, err := nw.Lookup(context.Background(), key)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -180,7 +181,7 @@ func TestFailureTolerance(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 200; i++ {
-		if err := nw.Put(fmt.Sprintf("f-%d", i), i); err != nil {
+		if err := nw.Put(context.Background(), fmt.Sprintf("f-%d", i), i); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -190,13 +191,13 @@ func TestFailureTolerance(t *testing.T) {
 	// K=8 replication: every key still readable with 3/20 nodes down.
 	for i := 0; i < 200; i++ {
 		key := fmt.Sprintf("f-%d", i)
-		v, err := nw.Get(key)
+		v, err := nw.Get(context.Background(), key)
 		if err != nil || v.(int) != i {
 			t.Fatalf("Get(%s) after failures = %v, %v", key, v, err)
 		}
 	}
 	nw.Recover("k3")
-	if _, err := nw.Get("f-0"); err != nil {
+	if _, err := nw.Get(context.Background(), "f-0"); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -207,7 +208,7 @@ func TestJoinAfterData(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 100; i++ {
-		if err := nw.Put(fmt.Sprintf("j-%d", i), i); err != nil {
+		if err := nw.Put(context.Background(), fmt.Sprintf("j-%d", i), i); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -218,7 +219,7 @@ func TestJoinAfterData(t *testing.T) {
 	}
 	for i := 0; i < 100; i++ {
 		key := fmt.Sprintf("j-%d", i)
-		v, err := nw.Get(key)
+		v, err := nw.Get(context.Background(), key)
 		if err != nil || v.(int) != i {
 			t.Fatalf("Get(%s) after joins = %v, %v", key, v, err)
 		}
@@ -235,7 +236,7 @@ func TestAllNodesDown(t *testing.T) {
 	}
 	nw.Fail("k0")
 	nw.Fail("k1")
-	if err := nw.Put("x", 1); !errors.Is(err, ErrNoNodes) {
+	if err := nw.Put(context.Background(), "x", 1); !errors.Is(err, ErrNoNodes) {
 		t.Fatalf("Put with all down = %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package kademlia
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -163,7 +164,7 @@ func (nw *Network) AddNode(addr string) error {
 	nd.table.observe(bootstrap.ref)
 	nd.mu.Unlock()
 	// Self-lookup populates buckets along the path (standard bootstrap).
-	nw.iterativeFindNode(nd, nd.ref.ID)
+	nw.iterativeFindNode(context.Background(), nd, nd.ref.ID)
 	return nil
 }
 
@@ -211,8 +212,10 @@ func (nw *Network) dial(from *node, addr string) (*node, error) {
 // iterativeFindNode runs the Kademlia node lookup from origin: repeatedly
 // query the alpha closest unqueried contacts for their k closest, until
 // the k best known are all queried. It returns the k closest live
-// contacts and the number of messages spent.
-func (nw *Network) iterativeFindNode(origin *node, target hashring.ID) ([]Ref, int) {
+// contacts and the number of messages spent. The context is checked once
+// per query round; cancellation ends the lookup with whatever contacts
+// are already known.
+func (nw *Network) iterativeFindNode(ctx context.Context, origin *node, target hashring.ID) ([]Ref, int) {
 	type candidate struct {
 		ref     Ref
 		queried bool
@@ -245,6 +248,9 @@ func (nw *Network) iterativeFindNode(origin *node, target hashring.ID) ([]Ref, i
 	}
 
 	for round := 0; round < 64; round++ {
+		if ctx.Err() != nil {
+			break
+		}
 		batch := bestUnqueried()
 		if len(batch) == 0 {
 			break
@@ -295,26 +301,38 @@ func (nw *Network) iterativeFindNode(origin *node, target hashring.ID) ([]Ref, i
 }
 
 // Lookup resolves the K closest nodes to a key and the messages spent.
-func (nw *Network) Lookup(key string) ([]Ref, int, error) {
+func (nw *Network) Lookup(ctx context.Context, key string) ([]Ref, int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, fmt.Errorf("kademlia: lookup aborted: %w", err)
+	}
 	origin, err := nw.entry()
 	if err != nil {
 		return nil, 0, err
 	}
-	refs, hops := nw.iterativeFindNode(origin, hashring.HashKey(key))
+	refs, hops := nw.iterativeFindNode(ctx, origin, hashring.HashKey(key))
+	if err := ctx.Err(); err != nil {
+		return refs, hops, fmt.Errorf("kademlia: lookup aborted: %w", err)
+	}
 	return refs, hops, nil
 }
 
 // --- dht.DHT -------------------------------------------------------------
 
 // Put implements dht.DHT: STORE on the K closest nodes.
-func (nw *Network) Put(key string, v dht.Value) error {
+func (nw *Network) Put(ctx context.Context, key string, v dht.Value) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	origin, err := nw.entry()
 	if err != nil {
 		return err
 	}
-	refs, _ := nw.iterativeFindNode(origin, hashring.HashKey(key))
+	refs, _ := nw.iterativeFindNode(ctx, origin, hashring.HashKey(key))
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if len(refs) == 0 {
-		return ErrNoNodes
+		return dht.MarkTransient(ErrNoNodes)
 	}
 	for _, r := range refs {
 		peer, err := nw.dial(origin, r.Addr)
@@ -327,12 +345,18 @@ func (nw *Network) Put(key string, v dht.Value) error {
 }
 
 // Get implements dht.DHT: iterative FIND_VALUE.
-func (nw *Network) Get(key string) (dht.Value, error) {
+func (nw *Network) Get(ctx context.Context, key string) (dht.Value, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	origin, err := nw.entry()
 	if err != nil {
 		return nil, err
 	}
-	refs, _ := nw.iterativeFindNode(origin, hashring.HashKey(key))
+	refs, _ := nw.iterativeFindNode(ctx, origin, hashring.HashKey(key))
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, r := range refs {
 		peer, err := nw.dial(origin, r.Addr)
 		if err != nil {
@@ -346,12 +370,18 @@ func (nw *Network) Get(key string) (dht.Value, error) {
 }
 
 // Take implements dht.DHT: fetch-and-delete across the K closest.
-func (nw *Network) Take(key string) (dht.Value, error) {
+func (nw *Network) Take(ctx context.Context, key string) (dht.Value, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	origin, err := nw.entry()
 	if err != nil {
 		return nil, err
 	}
-	refs, _ := nw.iterativeFindNode(origin, hashring.HashKey(key))
+	refs, _ := nw.iterativeFindNode(ctx, origin, hashring.HashKey(key))
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var (
 		out   dht.Value
 		found bool
@@ -372,8 +402,8 @@ func (nw *Network) Take(key string) (dht.Value, error) {
 }
 
 // Remove implements dht.DHT.
-func (nw *Network) Remove(key string) error {
-	_, err := nw.Take(key)
+func (nw *Network) Remove(ctx context.Context, key string) error {
+	_, err := nw.Take(ctx, key)
 	if errors.Is(err, dht.ErrNotFound) {
 		return nil
 	}
@@ -382,7 +412,10 @@ func (nw *Network) Remove(key string) error {
 
 // Write implements dht.DHT: every replica holding the key rewrites it in
 // place, without routing (the index layer's free local write).
-func (nw *Network) Write(key string, v dht.Value) error {
+func (nw *Network) Write(ctx context.Context, key string, v dht.Value) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	nw.mu.Lock()
 	holders := make([]*node, 0, nw.cfg.K)
 	for _, n := range nw.nodes {

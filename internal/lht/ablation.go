@@ -1,6 +1,7 @@
 package lht
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -25,7 +26,7 @@ func (ix *Index) LookupBucketLinear(delta float64) (*Bucket, Cost, error) {
 	}
 	x := mu.Prefix(1)
 	for {
-		b, err := ix.getBucket(x.Name().Key(), &cost)
+		b, err := ix.getBucket(context.Background(), x.Name().Key(), &cost)
 		switch {
 		case errors.Is(err, dht.ErrNotFound):
 			// Top-down probes only visit ancestors of the target leaf,

@@ -1,6 +1,7 @@
 package lht
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -25,9 +26,16 @@ var ErrNotEmpty = errors.New("lht: bulk load requires an empty index")
 // statistics (AlphaMean) stay empty; MovedRecords counts every shipped
 // slot, as all buckets travel to their responsible peers.
 func (ix *Index) BulkLoad(recs []record.Record) (Cost, error) {
+	return ix.BulkLoadContext(context.Background(), recs)
+}
+
+// BulkLoadContext is BulkLoad with a caller-supplied context;
+// cancellation stops the load between leaf puts (already shipped leaves
+// stay put, so a cancelled load leaves a partially populated tree).
+func (ix *Index) BulkLoadContext(ctx context.Context, recs []record.Record) (Cost, error) {
 	var cost Cost
 	// The index must be in its bootstrap state: the single empty leaf.
-	b, err := ix.getBucket(bitlabel.Root.Key(), &cost)
+	b, err := ix.getBucket(ctx, bitlabel.Root.Key(), &cost)
 	if err != nil {
 		return cost, fmt.Errorf("lht: bulk load probe: %w", err)
 	}
@@ -75,7 +83,7 @@ func (ix *Index) BulkLoad(recs []record.Record) (Cost, error) {
 	for _, leaf := range leaves {
 		cost.Lookups++
 		ix.c.AddMovedRecords(int64(leaf.Weight()))
-		if err := ix.d.Put(leaf.Label.Name().Key(), leaf); err != nil {
+		if err := ix.d.Put(ctx, leaf.Label.Name().Key(), leaf); err != nil {
 			return cost, fmt.Errorf("lht: bulk load put %s: %w", leaf.Label, err)
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"lht/internal/dht"
 	"lht/internal/keyspace"
 )
 
@@ -58,6 +59,17 @@ type Config struct {
 	// in-process substrates goroutine overhead exceeds the map accesses
 	// it parallelizes.
 	ParallelRange bool
+
+	// Policy, when non-nil, interposes a dht.WithPolicy retry layer
+	// between the index and the substrate: transient substrate faults
+	// (classified by Policy.Classify, default dht.IsTransient) are
+	// retried with capped jittered exponential backoff. The index wires
+	// the policy's Counters to its own, and stacks the policy *above*
+	// the instrumentation layer, so every retry attempt is charged as a
+	// full DHT-lookup — retries are not free in the paper's cost model.
+	// Nil (the default) means faults surface to the caller on the first
+	// occurrence.
+	Policy *dht.Policy
 }
 
 // DefaultLeafCacheSize is the leaf-cache capacity used when LeafCache

@@ -1,11 +1,13 @@
 package lht
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
 
+	"lht/internal/chord"
 	"lht/internal/dht"
 	"lht/internal/record"
 )
@@ -29,39 +31,39 @@ func (f *faultDHT) tick() error {
 	return nil
 }
 
-func (f *faultDHT) Get(key string) (dht.Value, error) {
+func (f *faultDHT) Get(ctx context.Context, key string) (dht.Value, error) {
 	if err := f.tick(); err != nil {
 		return nil, err
 	}
-	return f.inner.Get(key)
+	return f.inner.Get(ctx, key)
 }
 
-func (f *faultDHT) Put(key string, v dht.Value) error {
+func (f *faultDHT) Put(ctx context.Context, key string, v dht.Value) error {
 	if err := f.tick(); err != nil {
 		return err
 	}
-	return f.inner.Put(key, v)
+	return f.inner.Put(ctx, key, v)
 }
 
-func (f *faultDHT) Take(key string) (dht.Value, error) {
+func (f *faultDHT) Take(ctx context.Context, key string) (dht.Value, error) {
 	if err := f.tick(); err != nil {
 		return nil, err
 	}
-	return f.inner.Take(key)
+	return f.inner.Take(ctx, key)
 }
 
-func (f *faultDHT) Remove(key string) error {
+func (f *faultDHT) Remove(ctx context.Context, key string) error {
 	if err := f.tick(); err != nil {
 		return err
 	}
-	return f.inner.Remove(key)
+	return f.inner.Remove(ctx, key)
 }
 
-func (f *faultDHT) Write(key string, v dht.Value) error {
+func (f *faultDHT) Write(ctx context.Context, key string, v dht.Value) error {
 	if err := f.tick(); err != nil {
 		return err
 	}
-	return f.inner.Write(key, v)
+	return f.inner.Write(ctx, key, v)
 }
 
 // TestSubstrateFailuresPropagate injects a failure at every possible
@@ -111,6 +113,75 @@ func TestSubstrateFailuresPropagate(t *testing.T) {
 			// error, but the chain must preserve the cause.
 			t.Fatalf("cut %d: error chain lost the cause: %v", cut, err)
 		}
+	}
+}
+
+// TestChordFailMidRangeQuery drives a real (simulated) Chord substrate:
+// after the index is built, the node holding one of the leaf buckets
+// fails abruptly, and the next range query crossing that leaf must
+// surface a *transient* substrate fault - retryable by a dht.Policy -
+// rather than ErrKeyNotFound, a corrupt-tree report, or a panic. The
+// partial cost the query did pay must remain internally consistent, and
+// recovering the node must make the same query succeed again.
+func TestChordFailMidRangeQuery(t *testing.T) {
+	ring, err := chord.NewRing(12, chord.Config{Replicas: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := New(ring, Config{SplitThreshold: 4, MergeThreshold: 0, Depth: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	for i := 0; i < n; i++ {
+		if _, err := ix.Insert(record.Record{Key: (float64(i) + 0.5) / n}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	leaves, err := ix.Leaves()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leaves) < 3 {
+		t.Fatalf("want a multi-leaf tree, got %d leaves", len(leaves))
+	}
+
+	// Fail the node holding a mid-tree leaf bucket; with Replicas=1 no
+	// copy survives, so the forwarding phase of a full-space range query
+	// must hit the outage.
+	key := leaves[len(leaves)/2].Label.Name().Key()
+	ref, _, err := ring.Lookup(context.Background(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring.Fail(ref.Addr)
+
+	_, cost, err := ix.Range(0, 1)
+	if err == nil {
+		t.Fatal("range over a failed unreplicated holder succeeded")
+	}
+	if !dht.IsTransient(err) {
+		t.Fatalf("fault not classified transient: %v", err)
+	}
+	if errors.Is(err, ErrKeyNotFound) || errors.Is(err, dht.ErrNotFound) {
+		t.Fatalf("node failure mislabelled as a data condition: %v", err)
+	}
+	if cost.Lookups < 1 {
+		t.Fatalf("failed range reported no lookups: %+v", cost)
+	}
+	if cost.Steps > cost.Lookups {
+		t.Fatalf("inconsistent cost on failure: Steps %d > Lookups %d", cost.Steps, cost.Lookups)
+	}
+
+	// The outage is transient in the full sense: recovery restores the
+	// exact pre-fault result set.
+	ring.Recover(ref.Addr)
+	recs, _, err := ix.Range(0, 1)
+	if err != nil {
+		t.Fatalf("range after recovery: %v", err)
+	}
+	if len(recs) != n {
+		t.Fatalf("range after recovery returned %d records, want %d", len(recs), n)
 	}
 }
 

@@ -1,6 +1,7 @@
 package lht
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -50,20 +51,32 @@ type Index struct {
 // an LHT (no bucket under the virtual-root key "#"), New bootstraps the
 // empty tree: the single leaf "#0" stored under its name "#". Bootstrap
 // traffic is not charged to the index counters.
+//
+// When cfg.Policy is set, the substrate stack becomes
+// policy(instrumented(d)): transient faults are retried per the policy,
+// and because the retry layer sits above the instrumentation, every
+// attempt is charged as a DHT-lookup.
 func New(d dht.DHT, cfg Config) (*Index, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if _, err := d.Get(bitlabel.Root.Key()); err != nil {
+	ctx := context.Background()
+	if _, err := d.Get(ctx, bitlabel.Root.Key()); err != nil {
 		if !errors.Is(err, dht.ErrNotFound) {
 			return nil, fmt.Errorf("lht: probe substrate: %w", err)
 		}
-		if err := d.Put(bitlabel.Root.Key(), &Bucket{Label: bitlabel.TreeRoot}); err != nil {
+		if err := d.Put(ctx, bitlabel.Root.Key(), &Bucket{Label: bitlabel.TreeRoot}); err != nil {
 			return nil, fmt.Errorf("lht: bootstrap: %w", err)
 		}
 	}
 	c := &metrics.Counters{}
-	ix := &Index{d: dht.NewInstrumented(d, c), cfg: cfg, c: c}
+	stack := dht.DHT(dht.NewInstrumented(d, c))
+	if cfg.Policy != nil {
+		p := *cfg.Policy
+		p.Counters = c
+		stack = dht.WithPolicy(stack, p)
+	}
+	ix := &Index{d: stack, cfg: cfg, c: c}
 	if cfg.LeafCache {
 		ix.cache = newLeafCache(cfg.leafCacheSize())
 	}
@@ -105,8 +118,8 @@ func (ix *Index) Overflows() int64 {
 // bucket fetched from the DHT is a current leaf, so the fetch is also
 // where the leaf cache learns: any successful get notes the leaf's
 // label, covering lookup probes, range forwarding, scans and walks.
-func (ix *Index) fetchBucket(key string) (*Bucket, error) {
-	v, err := ix.d.Get(key)
+func (ix *Index) fetchBucket(ctx context.Context, key string) (*Bucket, error) {
+	v, err := ix.d.Get(ctx, key)
 	if err != nil {
 		return nil, err
 	}
@@ -119,9 +132,9 @@ func (ix *Index) fetchBucket(key string) (*Bucket, error) {
 }
 
 // getBucket fetches and type-asserts a bucket, charging cost.
-func (ix *Index) getBucket(key string, cost *Cost) (*Bucket, error) {
+func (ix *Index) getBucket(ctx context.Context, key string, cost *Cost) (*Bucket, error) {
 	cost.Lookups++
-	return ix.fetchBucket(key)
+	return ix.fetchBucket(ctx, key)
 }
 
 // LookupBucket implements LHT-lookup (Algorithm 2): a binary search over
@@ -134,7 +147,13 @@ func (ix *Index) getBucket(key string, cost *Cost) (*Bucket, error) {
 // The returned Cost counts one lookup per DHT-get; Steps equals Lookups
 // because the probes are sequential.
 func (ix *Index) LookupBucket(delta float64) (*Bucket, Cost, error) {
-	b, _, cost, err := ix.lookup(delta)
+	return ix.LookupBucketContext(context.Background(), delta)
+}
+
+// LookupBucketContext is LookupBucket with a caller-supplied context
+// bounding the underlying DHT traffic.
+func (ix *Index) LookupBucketContext(ctx context.Context, delta float64) (*Bucket, Cost, error) {
+	b, _, cost, err := ix.lookup(ctx, delta)
 	return b, cost, err
 }
 
@@ -144,7 +163,7 @@ func (ix *Index) LookupBucket(delta float64) (*Bucket, Cost, error) {
 // any other outcome is a soundly detected stale entry, which is dropped
 // and converted into tightened binary-search bounds (see repair cases
 // below), so cached results are always identical to the uncached path.
-func (ix *Index) lookup(delta float64) (*Bucket, string, Cost, error) {
+func (ix *Index) lookup(ctx context.Context, delta float64) (*Bucket, string, Cost, error) {
 	var cost Cost
 	mu, err := keyspace.Mu(delta, ix.cfg.Depth)
 	if err != nil {
@@ -154,7 +173,7 @@ func (ix *Index) lookup(delta float64) (*Bucket, string, Cost, error) {
 	if ix.cache != nil {
 		if x, ok := ix.cache.find(mu); ok {
 			name := x.Name()
-			b, err := ix.getBucket(name.Key(), &cost)
+			b, err := ix.getBucket(ctx, name.Key(), &cost)
 			switch {
 			case err == nil && b.Contains(delta):
 				// Hit. The fetched label can differ from the cached one
@@ -200,7 +219,7 @@ func (ix *Index) lookup(delta float64) (*Bucket, string, Cost, error) {
 		mid := lo + (hi-lo)/2
 		x := mu.Prefix(mid)
 		name := x.Name()
-		b, err := ix.getBucket(name.Key(), &cost)
+		b, err := ix.getBucket(ctx, name.Key(), &cost)
 		switch {
 		case errors.Is(err, dht.ErrNotFound):
 			// No leaf is named f_n(x): every prefix of mu in
@@ -234,7 +253,12 @@ func (ix *Index) lookup(delta float64) (*Bucket, string, Cost, error) {
 // Search is the exact-match query of section 5: an LHT lookup that returns
 // the record with the given data key, or ErrKeyNotFound.
 func (ix *Index) Search(delta float64) (record.Record, Cost, error) {
-	b, cost, err := ix.LookupBucket(delta)
+	return ix.SearchContext(context.Background(), delta)
+}
+
+// SearchContext is Search with a caller-supplied context.
+func (ix *Index) SearchContext(ctx context.Context, delta float64) (record.Record, Cost, error) {
+	b, cost, err := ix.LookupBucketContext(ctx, delta)
 	if err != nil {
 		return record.Record{}, cost, err
 	}
@@ -250,10 +274,15 @@ func (ix *Index) Search(delta float64) (record.Record, Cost, error) {
 // (Algorithm 1), which costs one more DHT-lookup to push the remote half
 // out. An insertion causes at most one split, avoiding cascades.
 func (ix *Index) Insert(rec record.Record) (Cost, error) {
+	return ix.InsertContext(context.Background(), rec)
+}
+
+// InsertContext is Insert with a caller-supplied context.
+func (ix *Index) InsertContext(ctx context.Context, rec record.Record) (Cost, error) {
 	if err := keyspace.CheckKey(rec.Key); err != nil {
 		return Cost{}, err
 	}
-	b, key, cost, err := ix.lookup(rec.Key)
+	b, key, cost, err := ix.lookup(ctx, rec.Key)
 	if err != nil {
 		return cost, err
 	}
@@ -264,11 +293,11 @@ func (ix *Index) Insert(rec record.Record) (Cost, error) {
 	}
 	cost.Lookups++
 	cost.Steps++
-	if err := ix.d.Put(key, b); err != nil {
+	if err := ix.d.Put(ctx, key, b); err != nil {
 		return cost, fmt.Errorf("lht: write back %q: %w", key, err)
 	}
 	if b.Weight() >= ix.cfg.SplitThreshold {
-		splitCost, err := ix.split(key, b)
+		splitCost, err := ix.split(ctx, key, b)
 		cost.Add(splitCost)
 		ix.c.AddMaintLookups(int64(splitCost.Lookups))
 		if err != nil {
@@ -282,7 +311,7 @@ func (ix *Index) Insert(rec record.Record) (Cost, error) {
 // keeps the name f_n(lambda) and stays on its peer (a free local rewrite);
 // the other is named lambda itself and is pushed out with a single
 // DHT-put (Theorem 2).
-func (ix *Index) split(key string, b *Bucket) (Cost, error) {
+func (ix *Index) split(ctx context.Context, key string, b *Bucket) (Cost, error) {
 	var cost Cost
 	lambda := b.Label
 	if lambda.Len() >= ix.cfg.Depth {
@@ -330,11 +359,11 @@ func (ix *Index) split(key string, b *Bucket) (Cost, error) {
 	// Push the remote half to the peer responsible for key lambda.
 	cost.Lookups++
 	cost.Steps++
-	if err := ix.d.Put(lambda.Key(), rb); err != nil {
+	if err := ix.d.Put(ctx, lambda.Key(), rb); err != nil {
 		return cost, fmt.Errorf("lht: split put %s: %w", lambda, err)
 	}
 	// Write the shrunk local half back to the local disk (no lookup).
-	if err := ix.d.Write(key, b); err != nil {
+	if err := ix.d.Write(ctx, key, b); err != nil {
 		return cost, fmt.Errorf("lht: split write %q: %w", key, err)
 	}
 	// This client just observed both children; lambda is now internal.
@@ -348,10 +377,15 @@ func (ix *Index) split(key string, b *Bucket) (Cost, error) {
 // ErrKeyNotFound. It is the dual of Insert: an LHT lookup, a DHT-put of
 // the shrunk bucket, and possibly a leaf merge.
 func (ix *Index) Delete(delta float64) (Cost, error) {
+	return ix.DeleteContext(context.Background(), delta)
+}
+
+// DeleteContext is Delete with a caller-supplied context.
+func (ix *Index) DeleteContext(ctx context.Context, delta float64) (Cost, error) {
 	if err := keyspace.CheckKey(delta); err != nil {
 		return Cost{}, err
 	}
-	b, key, cost, err := ix.lookup(delta)
+	b, key, cost, err := ix.lookup(ctx, delta)
 	if err != nil {
 		return cost, err
 	}
@@ -363,11 +397,11 @@ func (ix *Index) Delete(delta float64) (Cost, error) {
 	b.Records = b.Records[:len(b.Records)-1]
 	cost.Lookups++
 	cost.Steps++
-	if err := ix.d.Put(key, b); err != nil {
+	if err := ix.d.Put(ctx, key, b); err != nil {
 		return cost, fmt.Errorf("lht: write back %q: %w", key, err)
 	}
 	if ix.cfg.MergeThreshold > 0 && b.Label.Len() >= 2 && b.Weight() < ix.cfg.MergeThreshold {
-		mergeCost, err := ix.merge(key, b)
+		mergeCost, err := ix.merge(ctx, key, b)
 		cost.Add(mergeCost)
 		ix.c.AddMaintLookups(int64(mergeCost.Lookups))
 		if err != nil {
@@ -384,14 +418,14 @@ func (ix *Index) Delete(delta float64) (Cost, error) {
 // key f_n(parent), which is the key one of the two children already has,
 // so one bucket stays in place and the other moves: one leaf's records of
 // data movement, as in the split cost model.
-func (ix *Index) merge(key string, b *Bucket) (Cost, error) {
+func (ix *Index) merge(ctx context.Context, key string, b *Bucket) (Cost, error) {
 	var cost Cost
 	parent := b.Label.Parent()
 	sibling := b.Label.Sibling()
 
 	// The sibling, if it is a leaf, is stored under its own name.
 	sibKey := sibling.Name().Key()
-	sb, err := ix.getBucket(sibKey, &cost)
+	sb, err := ix.getBucket(ctx, sibKey, &cost)
 	cost.Steps++
 	if errors.Is(err, dht.ErrNotFound) {
 		return cost, nil // sibling subtree deeper than a single leaf
@@ -419,11 +453,11 @@ func (ix *Index) merge(key string, b *Bucket) (Cost, error) {
 		// deleted and its records move here.
 		cost.Lookups++
 		cost.Steps++
-		if _, err := ix.d.Take(sibKey); err != nil {
+		if _, err := ix.d.Take(ctx, sibKey); err != nil {
 			return cost, fmt.Errorf("lht: merge take %q: %w", sibKey, err)
 		}
 		ix.c.AddMovedRecords(int64(sb.Weight()))
-		if err := ix.d.Write(mergedKey, merged); err != nil {
+		if err := ix.d.Write(ctx, mergedKey, merged); err != nil {
 			return cost, fmt.Errorf("lht: merge write %q: %w", mergedKey, err)
 		}
 		return cost, nil
@@ -433,10 +467,10 @@ func (ix *Index) merge(key string, b *Bucket) (Cost, error) {
 	cost.Lookups += 2
 	cost.Steps += 2
 	ix.c.AddMovedRecords(int64(b.Weight()))
-	if err := ix.d.Put(mergedKey, merged); err != nil {
+	if err := ix.d.Put(ctx, mergedKey, merged); err != nil {
 		return cost, fmt.Errorf("lht: merge put %q: %w", mergedKey, err)
 	}
-	if err := ix.d.Remove(key); err != nil {
+	if err := ix.d.Remove(ctx, key); err != nil {
 		return cost, fmt.Errorf("lht: merge remove %q: %w", key, err)
 	}
 	return cost, nil

@@ -1,6 +1,7 @@
 package lht
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -45,7 +46,7 @@ func TestNewValidatesConfig(t *testing.T) {
 
 func TestBootstrap(t *testing.T) {
 	ix, d := newTestIndex(t, DefaultConfig())
-	v, err := d.Get("#")
+	v, err := d.Get(context.Background(), "#")
 	if err != nil {
 		t.Fatalf("bootstrap bucket missing: %v", err)
 	}
@@ -155,7 +156,7 @@ func TestSplitKeepsOneHalfLocal(t *testing.T) {
 	}
 	// The original leaf #0 was stored under "#". After splitting, #00
 	// stays under "#" (f_n(#00) = #) and #01 is pushed to key "#0".
-	v, err := d.Get("#")
+	v, err := d.Get(context.Background(), "#")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestSplitKeepsOneHalfLocal(t *testing.T) {
 	if local.Label.String() != "#00" {
 		t.Fatalf("local half = %s, want #00", local.Label)
 	}
-	v, err = d.Get("#0")
+	v, err = d.Get(context.Background(), "#0")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package lht
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -17,30 +18,40 @@ import (
 // the local tree's branch nodes (one extra lookup per empty leaf) until it
 // finds a record; ErrEmpty is returned when the whole index is empty.
 func (ix *Index) Min() (record.Record, Cost, error) {
-	return ix.extreme(sweepRight)
+	return ix.extreme(context.Background(), sweepRight)
+}
+
+// MinContext is Min with a caller-supplied context.
+func (ix *Index) MinContext(ctx context.Context) (record.Record, Cost, error) {
+	return ix.extreme(ctx, sweepRight)
 }
 
 // Max answers a max query (Theorem 3): the rightmost leaf #01* is bound to
 // "#0", one DHT-lookup away. On a single-leaf tree the key "#0" does not
 // exist and the leaf is under "#" instead.
 func (ix *Index) Max() (record.Record, Cost, error) {
-	return ix.extreme(sweepLeft)
+	return ix.extreme(context.Background(), sweepLeft)
+}
+
+// MaxContext is Max with a caller-supplied context.
+func (ix *Index) MaxContext(ctx context.Context) (record.Record, Cost, error) {
+	return ix.extreme(ctx, sweepLeft)
 }
 
 // extreme finds the extreme non-empty leaf: dir == sweepRight walks
 // rightward from the leftmost leaf (min query), sweepLeft leftward from
 // the rightmost (max query).
-func (ix *Index) extreme(dir sweepDir) (record.Record, Cost, error) {
+func (ix *Index) extreme(ctx context.Context, dir sweepDir) (record.Record, Cost, error) {
 	var cost Cost
 	key := bitlabel.Root.Key() // min: leftmost leaf is named "#"
 	if dir == sweepLeft {
 		key = bitlabel.TreeRoot.Key() // max: rightmost leaf is named "#0"
 	}
-	b, err := ix.getBucket(key, &cost)
+	b, err := ix.getBucket(ctx, key, &cost)
 	if dir == sweepLeft && errors.Is(err, dht.ErrNotFound) {
 		// Single-leaf tree: "#0" is both leftmost and rightmost and lives
 		// under "#".
-		b, err = ix.getBucket(bitlabel.Root.Key(), &cost)
+		b, err = ix.getBucket(ctx, bitlabel.Root.Key(), &cost)
 	}
 	if err != nil {
 		cost.Steps = cost.Lookups
@@ -67,9 +78,9 @@ func (ix *Index) extreme(dir sweepDir) (record.Record, Cost, error) {
 			cost.Steps = cost.Lookups
 			return record.Record{}, cost, ErrEmpty
 		}
-		nb, err := ix.getBucket(beta.Key(), &cost)
+		nb, err := ix.getBucket(ctx, beta.Key(), &cost)
 		if errors.Is(err, dht.ErrNotFound) {
-			nb, err = ix.getBucket(beta.Name().Key(), &cost)
+			nb, err = ix.getBucket(ctx, beta.Name().Key(), &cost)
 		}
 		if err != nil {
 			cost.Steps = cost.Lookups

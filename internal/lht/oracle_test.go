@@ -1,6 +1,7 @@
 package lht
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -400,10 +401,16 @@ func (c *codecDHT) decode(v dht.Value, err error) (dht.Value, error) {
 	return b, nil
 }
 
-func (c *codecDHT) Get(key string) (dht.Value, error)  { return c.decode(c.inner.Get(key)) }
-func (c *codecDHT) Take(key string) (dht.Value, error) { return c.decode(c.inner.Take(key)) }
-func (c *codecDHT) Put(key string, v dht.Value) error  { return c.inner.Put(key, c.encode(v)) }
-func (c *codecDHT) Write(key string, v dht.Value) error {
-	return c.inner.Write(key, c.encode(v))
+func (c *codecDHT) Get(ctx context.Context, key string) (dht.Value, error) {
+	return c.decode(c.inner.Get(ctx, key))
 }
-func (c *codecDHT) Remove(key string) error { return c.inner.Remove(key) }
+func (c *codecDHT) Take(ctx context.Context, key string) (dht.Value, error) {
+	return c.decode(c.inner.Take(ctx, key))
+}
+func (c *codecDHT) Put(ctx context.Context, key string, v dht.Value) error {
+	return c.inner.Put(ctx, key, c.encode(v))
+}
+func (c *codecDHT) Write(ctx context.Context, key string, v dht.Value) error {
+	return c.inner.Write(ctx, key, c.encode(v))
+}
+func (c *codecDHT) Remove(ctx context.Context, key string) error { return c.inner.Remove(ctx, key) }

@@ -1,6 +1,7 @@
 package lht
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -21,11 +22,11 @@ type recordingDHT struct {
 	gets []string
 }
 
-func (r *recordingDHT) Get(key string) (dht.Value, error) {
+func (r *recordingDHT) Get(ctx context.Context, key string) (dht.Value, error) {
 	r.mu.Lock()
 	r.gets = append(r.gets, key)
 	r.mu.Unlock()
-	return r.DHT.Get(key)
+	return r.DHT.Get(ctx, key)
 }
 
 func (r *recordingDHT) reset() {
@@ -57,7 +58,7 @@ func buildTree(t *testing.T, leaves []string) *recordingDHT {
 			Label:   label,
 			Records: []record.Record{{Key: iv.Lo + iv.Width()/2, Value: []byte(ls)}},
 		}
-		if err := d.DHT.Put(label.Name().Key(), b); err != nil {
+		if err := d.DHT.Put(context.Background(), label.Name().Key(), b); err != nil {
 			t.Fatal(err)
 		}
 	}

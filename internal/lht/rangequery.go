@@ -1,6 +1,7 @@
 package lht
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -53,9 +54,9 @@ func (c *rangeCollector) snapshot() ([]record.Record, int, error) {
 }
 
 // getBucketC fetches a bucket, charging the collector.
-func (ix *Index) getBucketC(key string, col *rangeCollector) (*Bucket, error) {
+func (ix *Index) getBucketC(ctx context.Context, key string, col *rangeCollector) (*Bucket, error) {
 	col.addLookup()
-	return ix.fetchBucket(key)
+	return ix.fetchBucket(ctx, key)
 }
 
 // Range answers the range query [lo, hi) (sections 6.1-6.2): it returns
@@ -78,6 +79,15 @@ func (ix *Index) getBucketC(key string, col *rangeCollector) (*Bucket, error) {
 // do - independent branches run in goroutines - which turns the Steps
 // model into wall-clock time over networked substrates.
 func (ix *Index) Range(lo, hi float64) ([]record.Record, Cost, error) {
+	return ix.RangeContext(context.Background(), lo, hi)
+}
+
+// RangeContext is Range with a caller-supplied context. Cancelling the
+// context stops the forwarding recursion promptly: no new branch fetches
+// start, in-flight substrate operations observe the cancellation, and the
+// parallel goroutines drain before RangeContext returns. The partial cost
+// accumulated up to that point is still reported.
+func (ix *Index) RangeContext(ctx context.Context, lo, hi float64) ([]record.Record, Cost, error) {
 	var cost Cost
 	if err := keyspace.CheckKey(lo); err != nil {
 		return nil, cost, fmt.Errorf("%w: lo: %v", ErrBadRange, err)
@@ -89,12 +99,12 @@ func (ix *Index) Range(lo, hi float64) ([]record.Record, Cost, error) {
 	lca := keyspace.RangeLCA(r, ix.cfg.Depth)
 
 	col := &rangeCollector{}
-	b, err := ix.getBucketC(lca.Name().Key(), col)
+	b, err := ix.getBucketC(ctx, lca.Name().Key(), col)
 	switch {
 	case errors.Is(err, dht.ErrNotFound):
 		// Case 1: no leaf is named f_n(LCA), so the subtree under LCA is
 		// a single leaf covering the whole range: exact-match lookup.
-		lb, lcost, err := ix.LookupBucket(lo)
+		lb, lcost, err := ix.LookupBucketContext(ctx, lo)
 		out, lookups, _ := col.snapshot()
 		cost.Lookups = lookups + lcost.Lookups
 		cost.Steps = 1 + lcost.Steps
@@ -112,7 +122,7 @@ func (ix *Index) Range(lo, hi float64) ([]record.Record, Cost, error) {
 	var depth int
 	if b.Interval().Overlaps(r) {
 		// Case 2: the simple case holds from this bucket.
-		depth = 1 + ix.forward(b, r, col)
+		depth = 1 + ix.forward(ctx, b, r, col)
 	} else {
 		// Case 3: descend through both children of the LCA; each child's
 		// subrange contains one bound of its half, so forwarding from the
@@ -120,8 +130,8 @@ func (ix *Index) Range(lo, hi float64) ([]record.Record, Cost, error) {
 		// in parallel.
 		var d0, d1 int
 		ix.inParallel(
-			func() { d0 = ix.enterChild(lca.Left(), r, col) },
-			func() { d1 = ix.enterChild(lca.Right(), r, col) },
+			func() { d0 = ix.enterChild(ctx, lca.Left(), r, col) },
+			func() { d1 = ix.enterChild(ctx, lca.Right(), r, col) },
 		)
 		depth = 1 + max(d0, d1)
 	}
@@ -145,7 +155,6 @@ func (ix *Index) inParallel(thunks ...func()) {
 	}
 	var wg sync.WaitGroup
 	for _, f := range thunks {
-		f := f
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -162,22 +171,26 @@ func (ix *Index) inParallel(thunks ...func()) {
 // key misses and the leaf is found under f_n(child) instead - the one
 // extra lookup the complexity analysis of section 6.3 budgets for.
 // It returns the depth of the dependent lookup chain it issued.
-func (ix *Index) enterChild(child bitlabel.Label, r keyspace.Interval, col *rangeCollector) int {
+func (ix *Index) enterChild(ctx context.Context, child bitlabel.Label, r keyspace.Interval, col *rangeCollector) int {
 	sub := keyspace.IntervalOf(child).Intersect(r)
 	if sub.Empty() {
 		return 0
 	}
+	if err := ctx.Err(); err != nil {
+		col.setErr(fmt.Errorf("lht: range enter %s: %w", child, err))
+		return 0
+	}
 	depth := 1
-	b, err := ix.getBucketC(child.Key(), col)
+	b, err := ix.getBucketC(ctx, child.Key(), col)
 	if errors.Is(err, dht.ErrNotFound) {
 		depth = 2
-		b, err = ix.getBucketC(child.Name().Key(), col)
+		b, err = ix.getBucketC(ctx, child.Name().Key(), col)
 	}
 	if err != nil {
 		col.setErr(fmt.Errorf("lht: range enter %s: %w", child, err))
 		return depth
 	}
-	return depth + ix.forward(b, sub, col)
+	return depth + ix.forward(ctx, b, sub, col)
 }
 
 // forward implements the recursive forwarding of Algorithm 3 from bucket
@@ -185,19 +198,23 @@ func (ix *Index) enterChild(child bitlabel.Label, r keyspace.Interval, col *rang
 // sweep toward whichever sides of r extend beyond b's interval. Both
 // sweeps and all per-branch forwards are issued by b's peer in one round,
 // so the returned chain depth is the maximum over the branches.
-func (ix *Index) forward(b *Bucket, r keyspace.Interval, col *rangeCollector) int {
+func (ix *Index) forward(ctx context.Context, b *Bucket, r keyspace.Interval, col *rangeCollector) int {
 	col.addRecords(b.Records, r.Lo, r.Hi)
+	if err := ctx.Err(); err != nil {
+		col.setErr(fmt.Errorf("lht: range forward from %s: %w", b.Label, err))
+		return 0
+	}
 	iv := b.Interval()
 	var dRight, dLeft int
 	ix.inParallel(
 		func() {
 			if r.Hi > iv.Hi {
-				dRight = ix.sweep(b.Label, r, sweepRight, col)
+				dRight = ix.sweep(ctx, b.Label, r, sweepRight, col)
 			}
 		},
 		func() {
 			if r.Lo < iv.Lo {
-				dLeft = ix.sweep(b.Label, r, sweepLeft, col)
+				dLeft = ix.sweep(ctx, b.Label, r, sweepLeft, col)
 			}
 		},
 	)
@@ -223,8 +240,9 @@ const (
 //
 // The walk over branch labels is local arithmetic; every branch's fetch
 // and recursive forward is independent, so in parallel mode each runs in
-// its own goroutine.
-func (ix *Index) sweep(from bitlabel.Label, r keyspace.Interval, dir sweepDir, col *rangeCollector) int {
+// its own goroutine. A cancelled context stops the recursion before any
+// further branch fetch.
+func (ix *Index) sweep(ctx context.Context, from bitlabel.Label, r keyspace.Interval, dir sweepDir, col *rangeCollector) int {
 	// Phase 1: enumerate the branches to visit (pure local arithmetic).
 	type branchTask struct {
 		label   bitlabel.Label
@@ -269,18 +287,21 @@ loop:
 	depths := make([]int, len(tasks))
 	thunks := make([]func(), len(tasks))
 	for i, task := range tasks {
-		i, task := i, task
 		if task.covered {
 			// The branch is fully inside the remaining range: enter it
 			// through its named leaf and let it sweep back inward.
 			thunks[i] = func() {
-				nb, err := ix.getBucketC(task.label.Name().Key(), col)
+				if err := ctx.Err(); err != nil {
+					col.setErr(fmt.Errorf("lht: range forward %s: %w", task.label, err))
+					return
+				}
+				nb, err := ix.getBucketC(ctx, task.label.Name().Key(), col)
 				if err != nil {
 					col.setErr(fmt.Errorf("lht: range forward %s: %w", task.label, err))
 					depths[i] = 1
 					return
 				}
-				depths[i] = 1 + ix.forward(nb, task.inv, col)
+				depths[i] = 1 + ix.forward(ctx, nb, task.inv, col)
 			}
 			continue
 		}
@@ -289,18 +310,22 @@ loop:
 		// itself a leaf, found under f_n(beta) - the at-most-one failed
 		// lookup of section 6.3.
 		thunks[i] = func() {
+			if err := ctx.Err(); err != nil {
+				col.setErr(fmt.Errorf("lht: range forward %s: %w", task.label, err))
+				return
+			}
 			hops := 1
-			nb, err := ix.getBucketC(task.label.Key(), col)
+			nb, err := ix.getBucketC(ctx, task.label.Key(), col)
 			if errors.Is(err, dht.ErrNotFound) {
 				hops = 2
-				nb, err = ix.getBucketC(task.label.Name().Key(), col)
+				nb, err = ix.getBucketC(ctx, task.label.Name().Key(), col)
 			}
 			if err != nil {
 				col.setErr(fmt.Errorf("lht: range forward %s: %w", task.label, err))
 				depths[i] = hops
 				return
 			}
-			depths[i] = hops + ix.forward(nb, task.inv.Intersect(r), col)
+			depths[i] = hops + ix.forward(ctx, nb, task.inv.Intersect(r), col)
 		}
 	}
 	ix.inParallel(thunks...)

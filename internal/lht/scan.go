@@ -1,6 +1,7 @@
 package lht
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -15,11 +16,17 @@ import (
 // algorithm uses), so a full scan in pages costs the same as one range
 // query over the union.
 func (ix *Index) Scan(from float64, limit int) ([]record.Record, Cost, error) {
+	return ix.ScanContext(context.Background(), from, limit)
+}
+
+// ScanContext is Scan with a caller-supplied context; cancellation stops
+// the walk at the next leaf fetch.
+func (ix *Index) ScanContext(ctx context.Context, from float64, limit int) ([]record.Record, Cost, error) {
 	var cost Cost
 	if limit <= 0 {
 		return nil, cost, fmt.Errorf("%w: scan limit %d", ErrBadRange, limit)
 	}
-	b, lcost, err := ix.LookupBucket(from)
+	b, lcost, err := ix.LookupBucketContext(ctx, from)
 	cost.Add(lcost)
 	if err != nil {
 		return nil, cost, err
@@ -40,10 +47,10 @@ func (ix *Index) Scan(from float64, limit int) ([]record.Record, Cost, error) {
 		if !ok {
 			return out, cost, nil // reached the right edge of the tree
 		}
-		nb, err := ix.getBucket(beta.Key(), &cost)
+		nb, err := ix.getBucket(ctx, beta.Key(), &cost)
 		cost.Steps++
 		if errors.Is(err, dht.ErrNotFound) {
-			nb, err = ix.getBucket(beta.Name().Key(), &cost)
+			nb, err = ix.getBucket(ctx, beta.Name().Key(), &cost)
 			cost.Steps++
 		}
 		if err != nil {

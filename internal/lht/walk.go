@@ -1,6 +1,7 @@
 package lht
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -14,8 +15,14 @@ import (
 // (plus the boundary fallbacks) and is not part of the paper's query
 // repertoire.
 func (ix *Index) Leaves() ([]*Bucket, error) {
+	return ix.LeavesContext(context.Background())
+}
+
+// LeavesContext is Leaves with a caller-supplied context; cancellation
+// stops the walk at the next leaf fetch.
+func (ix *Index) LeavesContext(ctx context.Context) ([]*Bucket, error) {
 	var cost Cost
-	b, err := ix.getBucket(bitlabel.Root.Key(), &cost)
+	b, err := ix.getBucket(ctx, bitlabel.Root.Key(), &cost)
 	if err != nil {
 		return nil, fmt.Errorf("lht: leftmost leaf: %w", err)
 	}
@@ -27,9 +34,9 @@ func (ix *Index) Leaves() ([]*Bucket, error) {
 		}
 		// The next leaf in key order is the leftmost leaf of the nearest
 		// right branch.
-		nb, err := ix.getBucket(beta.Key(), &cost)
+		nb, err := ix.getBucket(ctx, beta.Key(), &cost)
 		if errors.Is(err, dht.ErrNotFound) {
-			nb, err = ix.getBucket(beta.Name().Key(), &cost)
+			nb, err = ix.getBucket(ctx, beta.Name().Key(), &cost)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("lht: walk %s: %w", beta, err)
@@ -68,7 +75,7 @@ func (ix *Index) CheckInvariants() error {
 		}
 		names[name.Key()] = b.Label
 		var cost Cost
-		stored, err := ix.getBucket(name.Key(), &cost)
+		stored, err := ix.getBucket(context.Background(), name.Key(), &cost)
 		if err != nil {
 			return fmt.Errorf("%w: leaf %s not stored under %s: %v", ErrCorrupt, b.Label, name, err)
 		}

@@ -38,6 +38,10 @@ type Counters struct {
 	cacheHits    atomic.Int64 // leaf-cache probes that resolved the lookup in one get
 	cacheMisses  atomic.Int64 // lookups that found no leaf-cache entry
 	cacheStale   atomic.Int64 // leaf-cache probes that found a stale entry
+
+	retries          atomic.Int64 // policy-layer re-attempts after transient faults
+	cancellations    atomic.Int64 // operations ended by context cancellation
+	deadlineExceeded atomic.Int64 // operations ended by context deadline expiry
 }
 
 // AddLookups adds n DHT-lookups.
@@ -71,6 +75,19 @@ func (c *Counters) AddCacheMisses(n int64) { c.cacheMisses.Add(n) }
 // split or merged away, so the client repaired and fell back.
 func (c *Counters) AddCacheStale(n int64) { c.cacheStale.Add(n) }
 
+// AddRetries adds n policy-layer retries: repeated attempts after a
+// transient substrate fault. Each retry is also charged as a DHT-lookup
+// by the instrumentation layer beneath the policy wrapper.
+func (c *Counters) AddRetries(n int64) { c.retries.Add(n) }
+
+// AddCancellations adds n operations that ended because the caller's
+// context was cancelled.
+func (c *Counters) AddCancellations(n int64) { c.cancellations.Add(n) }
+
+// AddDeadlineExceeded adds n operations that ended because the caller's
+// context deadline expired.
+func (c *Counters) AddDeadlineExceeded(n int64) { c.deadlineExceeded.Add(n) }
+
 // Snapshot is a point-in-time copy of the counters.
 type Snapshot struct {
 	Lookups      int64 // DHT-lookups issued
@@ -82,6 +99,10 @@ type Snapshot struct {
 	CacheHits    int64 // leaf-cache probes resolved in one DHT-get
 	CacheMisses  int64 // lookups with no leaf-cache entry
 	CacheStale   int64 // leaf-cache probes that detected a stale entry
+
+	Retries          int64 // policy-layer retries after transient faults
+	Cancellations    int64 // operations ended by context cancellation
+	DeadlineExceeded int64 // operations ended by context deadline expiry
 }
 
 // Snapshot returns the current counter values.
@@ -96,6 +117,10 @@ func (c *Counters) Snapshot() Snapshot {
 		CacheHits:    c.cacheHits.Load(),
 		CacheMisses:  c.cacheMisses.Load(),
 		CacheStale:   c.cacheStale.Load(),
+
+		Retries:          c.retries.Load(),
+		Cancellations:    c.cancellations.Load(),
+		DeadlineExceeded: c.deadlineExceeded.Load(),
 	}
 }
 
@@ -110,6 +135,9 @@ func (c *Counters) Reset() {
 	c.cacheHits.Store(0)
 	c.cacheMisses.Store(0)
 	c.cacheStale.Store(0)
+	c.retries.Store(0)
+	c.cancellations.Store(0)
+	c.deadlineExceeded.Store(0)
 }
 
 // Sub returns the component-wise difference s - prev, for measuring the
@@ -125,5 +153,9 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		CacheHits:    s.CacheHits - prev.CacheHits,
 		CacheMisses:  s.CacheMisses - prev.CacheMisses,
 		CacheStale:   s.CacheStale - prev.CacheStale,
+
+		Retries:          s.Retries - prev.Retries,
+		Cancellations:    s.Cancellations - prev.Cancellations,
+		DeadlineExceeded: s.DeadlineExceeded - prev.DeadlineExceeded,
 	}
 }

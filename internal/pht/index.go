@@ -1,6 +1,7 @@
 package pht
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -76,12 +77,13 @@ func New(d dht.DHT, cfg Config) (*Index, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	ctx := context.Background()
 	rootKey := bitlabel.TreeRoot.Key()
-	if _, err := d.Get(rootKey); err != nil {
+	if _, err := d.Get(ctx, rootKey); err != nil {
 		if !errors.Is(err, dht.ErrNotFound) {
 			return nil, fmt.Errorf("pht: probe substrate: %w", err)
 		}
-		if err := d.Put(rootKey, &Node{Label: bitlabel.TreeRoot, Leaf: true}); err != nil {
+		if err := d.Put(ctx, rootKey, &Node{Label: bitlabel.TreeRoot, Leaf: true}); err != nil {
 			return nil, fmt.Errorf("pht: bootstrap: %w", err)
 		}
 	}
@@ -104,9 +106,9 @@ func (ix *Index) Overflows() int64 {
 }
 
 // getNode fetches and type-asserts a trie node, charging cost.
-func (ix *Index) getNode(key string, cost *Cost) (*Node, error) {
+func (ix *Index) getNode(ctx context.Context, key string, cost *Cost) (*Node, error) {
 	cost.Lookups++
-	v, err := ix.d.Get(key)
+	v, err := ix.d.Get(ctx, key)
 	if err != nil {
 		return nil, err
 	}
@@ -124,6 +126,11 @@ func (ix *Index) getNode(key string, cost *Cost) (*Node, error) {
 // probes - the candidate set LHT's naming function halves (section 5,
 // complexity discussion).
 func (ix *Index) LookupLeaf(delta float64) (*Node, Cost, error) {
+	return ix.LookupLeafContext(context.Background(), delta)
+}
+
+// LookupLeafContext is LookupLeaf with a caller-supplied context.
+func (ix *Index) LookupLeafContext(ctx context.Context, delta float64) (*Node, Cost, error) {
 	var cost Cost
 	mu, err := keyspace.Mu(delta, ix.cfg.Depth)
 	if err != nil {
@@ -133,7 +140,7 @@ func (ix *Index) LookupLeaf(delta float64) (*Node, Cost, error) {
 	for lo <= hi {
 		mid := lo + (hi-lo)/2
 		x := mu.Prefix(mid)
-		n, err := ix.getNode(x.Key(), &cost)
+		n, err := ix.getNode(ctx, x.Key(), &cost)
 		switch {
 		case errors.Is(err, dht.ErrNotFound):
 			hi = mid - 1
@@ -153,7 +160,12 @@ func (ix *Index) LookupLeaf(delta float64) (*Node, Cost, error) {
 
 // Search is the exact-match query: a lookup returning the record itself.
 func (ix *Index) Search(delta float64) (record.Record, Cost, error) {
-	n, cost, err := ix.LookupLeaf(delta)
+	return ix.SearchContext(context.Background(), delta)
+}
+
+// SearchContext is Search with a caller-supplied context.
+func (ix *Index) SearchContext(ctx context.Context, delta float64) (record.Record, Cost, error) {
+	n, cost, err := ix.LookupLeafContext(ctx, delta)
 	if err != nil {
 		return record.Record{}, cost, err
 	}
@@ -166,10 +178,15 @@ func (ix *Index) Search(delta float64) (record.Record, Cost, error) {
 // Insert adds a record (replacing any record with the same key): a lookup,
 // a put of the leaf, and possibly a split.
 func (ix *Index) Insert(rec record.Record) (Cost, error) {
+	return ix.InsertContext(context.Background(), rec)
+}
+
+// InsertContext is Insert with a caller-supplied context.
+func (ix *Index) InsertContext(ctx context.Context, rec record.Record) (Cost, error) {
 	if err := keyspace.CheckKey(rec.Key); err != nil {
 		return Cost{}, err
 	}
-	n, cost, err := ix.LookupLeaf(rec.Key)
+	n, cost, err := ix.LookupLeafContext(ctx, rec.Key)
 	if err != nil {
 		return cost, err
 	}
@@ -180,11 +197,11 @@ func (ix *Index) Insert(rec record.Record) (Cost, error) {
 	}
 	cost.Lookups++
 	cost.Steps++
-	if err := ix.d.Put(n.Label.Key(), n); err != nil {
+	if err := ix.d.Put(ctx, n.Label.Key(), n); err != nil {
 		return cost, fmt.Errorf("pht: write back %s: %w", n.Label, err)
 	}
 	if n.Weight() >= ix.cfg.SplitThreshold {
-		splitCost, err := ix.split(n)
+		splitCost, err := ix.split(ctx, n)
 		cost.Add(splitCost)
 		ix.c.AddMaintLookups(int64(splitCost.Lookups))
 		if err != nil {
@@ -200,7 +217,7 @@ func (ix *Index) Insert(rec record.Record) (Cost, error) {
 // an internal marker (free), and the two neighbor leaves' links are
 // patched (2 more DHT-lookups): equation 2's theta*i + 4*j per split.
 // Like LHT, one insertion causes at most one split.
-func (ix *Index) split(n *Node) (Cost, error) {
+func (ix *Index) split(ctx context.Context, n *Node) (Cost, error) {
 	var cost Cost
 	if n.Label.Len() >= ix.cfg.Depth {
 		ix.mu.Lock()
@@ -236,21 +253,21 @@ func (ix *Index) split(n *Node) (Cost, error) {
 	// Both children move to the peers responsible for their new labels.
 	cost.Lookups += 2
 	cost.Steps++ // the two puts go out in parallel
-	if err := ix.d.Put(left.Label.Key(), left); err != nil {
+	if err := ix.d.Put(ctx, left.Label.Key(), left); err != nil {
 		return cost, fmt.Errorf("pht: split put %s: %w", left.Label, err)
 	}
-	if err := ix.d.Put(right.Label.Key(), right); err != nil {
+	if err := ix.d.Put(ctx, right.Label.Key(), right); err != nil {
 		return cost, fmt.Errorf("pht: split put %s: %w", right.Label, err)
 	}
 
 	// Patch the chain neighbors; each patch routes to one peer.
 	if n.HasPrev {
-		if err := ix.patchLink(n.Prev, &cost, func(p *Node) { p.Next, p.HasNext = left.Label, true }); err != nil {
+		if err := ix.patchLink(ctx, n.Prev, &cost, func(p *Node) { p.Next, p.HasNext = left.Label, true }); err != nil {
 			return cost, err
 		}
 	}
 	if n.HasNext {
-		if err := ix.patchLink(n.Next, &cost, func(p *Node) { p.Prev, p.HasPrev = right.Label, true }); err != nil {
+		if err := ix.patchLink(ctx, n.Next, &cost, func(p *Node) { p.Prev, p.HasPrev = right.Label, true }); err != nil {
 			return cost, err
 		}
 	}
@@ -259,7 +276,7 @@ func (ix *Index) split(n *Node) (Cost, error) {
 	n.Leaf = false
 	n.Records = nil
 	n.Prev, n.Next, n.HasPrev, n.HasNext = bitlabel.Label{}, bitlabel.Label{}, false, false
-	if err := ix.d.Write(n.Label.Key(), n); err != nil {
+	if err := ix.d.Write(ctx, n.Label.Key(), n); err != nil {
 		return cost, fmt.Errorf("pht: split write %s: %w", n.Label, err)
 	}
 	return cost, nil
@@ -267,14 +284,14 @@ func (ix *Index) split(n *Node) (Cost, error) {
 
 // patchLink routes to the leaf stored under label, applies fn and rewrites
 // it: one DHT-lookup (the rewrite happens on the peer that was routed to).
-func (ix *Index) patchLink(label bitlabel.Label, cost *Cost, fn func(*Node)) error {
-	p, err := ix.getNode(label.Key(), cost)
+func (ix *Index) patchLink(ctx context.Context, label bitlabel.Label, cost *Cost, fn func(*Node)) error {
+	p, err := ix.getNode(ctx, label.Key(), cost)
 	cost.Steps++
 	if err != nil {
 		return fmt.Errorf("pht: patch link %s: %w", label, err)
 	}
 	fn(p)
-	if err := ix.d.Write(label.Key(), p); err != nil {
+	if err := ix.d.Write(ctx, label.Key(), p); err != nil {
 		return fmt.Errorf("pht: patch link %s: %w", label, err)
 	}
 	return nil
@@ -283,10 +300,15 @@ func (ix *Index) patchLink(label bitlabel.Label, cost *Cost, fn func(*Node)) err
 // Delete removes the record with the given key, or returns
 // ErrKeyNotFound; an underweight leaf attempts to merge with its sibling.
 func (ix *Index) Delete(delta float64) (Cost, error) {
+	return ix.DeleteContext(context.Background(), delta)
+}
+
+// DeleteContext is Delete with a caller-supplied context.
+func (ix *Index) DeleteContext(ctx context.Context, delta float64) (Cost, error) {
 	if err := keyspace.CheckKey(delta); err != nil {
 		return Cost{}, err
 	}
-	n, cost, err := ix.LookupLeaf(delta)
+	n, cost, err := ix.LookupLeafContext(ctx, delta)
 	if err != nil {
 		return cost, err
 	}
@@ -298,11 +320,11 @@ func (ix *Index) Delete(delta float64) (Cost, error) {
 	n.Records = n.Records[:len(n.Records)-1]
 	cost.Lookups++
 	cost.Steps++
-	if err := ix.d.Put(n.Label.Key(), n); err != nil {
+	if err := ix.d.Put(ctx, n.Label.Key(), n); err != nil {
 		return cost, fmt.Errorf("pht: write back %s: %w", n.Label, err)
 	}
 	if ix.cfg.MergeThreshold > 0 && n.Label.Len() >= 2 && n.Weight() < ix.cfg.MergeThreshold {
-		mergeCost, err := ix.merge(n)
+		mergeCost, err := ix.merge(ctx, n)
 		cost.Add(mergeCost)
 		ix.c.AddMaintLookups(int64(mergeCost.Lookups))
 		if err != nil {
@@ -317,10 +339,10 @@ func (ix *Index) Delete(delta float64) (Cost, error) {
 // parent marker is rewritten as a leaf), both child entries are removed,
 // and the chain is patched around them. It is noticeably more expensive
 // than LHT's merge - every step routes, just as PHT's split does.
-func (ix *Index) merge(n *Node) (Cost, error) {
+func (ix *Index) merge(ctx context.Context, n *Node) (Cost, error) {
 	var cost Cost
 	sibling := n.Label.Sibling()
-	sib, err := ix.getNode(sibling.Key(), &cost)
+	sib, err := ix.getNode(ctx, sibling.Key(), &cost)
 	cost.Steps++
 	if err != nil {
 		if errors.Is(err, dht.ErrNotFound) {
@@ -351,22 +373,22 @@ func (ix *Index) merge(n *Node) (Cost, error) {
 
 	cost.Lookups += 3
 	cost.Steps++ // put parent + remove both children, in parallel
-	if err := ix.d.Put(parent.Label.Key(), parent); err != nil {
+	if err := ix.d.Put(ctx, parent.Label.Key(), parent); err != nil {
 		return cost, fmt.Errorf("pht: merge put %s: %w", parent.Label, err)
 	}
-	if err := ix.d.Remove(left.Label.Key()); err != nil {
+	if err := ix.d.Remove(ctx, left.Label.Key()); err != nil {
 		return cost, fmt.Errorf("pht: merge remove %s: %w", left.Label, err)
 	}
-	if err := ix.d.Remove(right.Label.Key()); err != nil {
+	if err := ix.d.Remove(ctx, right.Label.Key()); err != nil {
 		return cost, fmt.Errorf("pht: merge remove %s: %w", right.Label, err)
 	}
 	if parent.HasPrev {
-		if err := ix.patchLink(parent.Prev, &cost, func(p *Node) { p.Next, p.HasNext = parent.Label, true }); err != nil {
+		if err := ix.patchLink(ctx, parent.Prev, &cost, func(p *Node) { p.Next, p.HasNext = parent.Label, true }); err != nil {
 			return cost, err
 		}
 	}
 	if parent.HasNext {
-		if err := ix.patchLink(parent.Next, &cost, func(p *Node) { p.Prev, p.HasPrev = parent.Label, true }); err != nil {
+		if err := ix.patchLink(ctx, parent.Next, &cost, func(p *Node) { p.Prev, p.HasPrev = parent.Label, true }); err != nil {
 			return cost, err
 		}
 	}

@@ -1,6 +1,7 @@
 package pht
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -30,10 +31,16 @@ func checkRange(lo, hi float64) error {
 // but every hop depends on the previous one, so latency equals bandwidth:
 // the order-of-magnitude gap of Fig. 10.
 func (ix *Index) RangeSequential(lo, hi float64) ([]record.Record, Cost, error) {
+	return ix.RangeSequentialContext(context.Background(), lo, hi)
+}
+
+// RangeSequentialContext is RangeSequential with a caller-supplied
+// context; cancellation stops the chain walk at the next hop.
+func (ix *Index) RangeSequentialContext(ctx context.Context, lo, hi float64) ([]record.Record, Cost, error) {
 	if err := checkRange(lo, hi); err != nil {
 		return nil, Cost{}, err
 	}
-	n, cost, err := ix.LookupLeaf(lo)
+	n, cost, err := ix.LookupLeafContext(ctx, lo)
 	if err != nil {
 		return nil, cost, err
 	}
@@ -44,7 +51,7 @@ func (ix *Index) RangeSequential(lo, hi float64) ([]record.Record, Cost, error) 
 			cost.Steps = cost.Lookups
 			return out, cost, nil
 		}
-		next, err := ix.getNode(n.Next.Key(), &cost)
+		next, err := ix.getNode(ctx, n.Next.Key(), &cost)
 		if err != nil {
 			cost.Steps = cost.Lookups
 			return out, cost, fmt.Errorf("pht: chain walk to %s: %w", n.Next, err)
@@ -61,6 +68,12 @@ func (ix *Index) RangeSequential(lo, hi float64) ([]record.Record, Cost, error) 
 // is why Fig. 9 shows PHT(parallel) as the most bandwidth-hungry of the
 // three algorithms.
 func (ix *Index) RangeParallel(lo, hi float64) ([]record.Record, Cost, error) {
+	return ix.RangeParallelContext(context.Background(), lo, hi)
+}
+
+// RangeParallelContext is RangeParallel with a caller-supplied context;
+// cancellation stops the trie descent before further node fetches.
+func (ix *Index) RangeParallelContext(ctx context.Context, lo, hi float64) ([]record.Record, Cost, error) {
 	if err := checkRange(lo, hi); err != nil {
 		return nil, Cost{}, err
 	}
@@ -71,14 +84,14 @@ func (ix *Index) RangeParallel(lo, hi float64) ([]record.Record, Cost, error) {
 		out  []record.Record
 		cost Cost
 	)
-	depth, found, err := ix.visit(lca, r, &out, &cost)
+	depth, found, err := ix.visit(ctx, lca, r, &out, &cost)
 	if err != nil {
 		return nil, cost, err
 	}
 	if !found {
 		// The trie is shallower than the LCA: the whole range lies in
 		// one leaf, found by an ordinary lookup.
-		n, lcost, err := ix.LookupLeaf(lo)
+		n, lcost, err := ix.LookupLeafContext(ctx, lo)
 		cost.Lookups += lcost.Lookups
 		cost.Steps = depth + lcost.Steps
 		if err != nil {
@@ -94,8 +107,8 @@ func (ix *Index) RangeParallel(lo, hi float64) ([]record.Record, Cost, error) {
 // visit fetches the trie node at label and recurses into the children
 // overlapping r. It reports the depth of its dependent lookup chain and
 // whether the node exists.
-func (ix *Index) visit(label bitlabel.Label, r keyspace.Interval, out *[]record.Record, cost *Cost) (int, bool, error) {
-	n, err := ix.getNode(label.Key(), cost)
+func (ix *Index) visit(ctx context.Context, label bitlabel.Label, r keyspace.Interval, out *[]record.Record, cost *Cost) (int, bool, error) {
+	n, err := ix.getNode(ctx, label.Key(), cost)
 	if errors.Is(err, dht.ErrNotFound) {
 		return 1, false, nil
 	}
@@ -113,7 +126,7 @@ func (ix *Index) visit(label bitlabel.Label, r keyspace.Interval, out *[]record.
 		if !keyspace.IntervalOf(child).Overlaps(r) {
 			continue
 		}
-		d, found, err := ix.visit(child, r, out, cost)
+		d, found, err := ix.visit(ctx, child, r, out, cost)
 		if err != nil {
 			return 1 + d, true, err
 		}
@@ -132,16 +145,17 @@ func (ix *Index) visit(label bitlabel.Label, r keyspace.Interval, out *[]record.
 func (ix *Index) Leaves() ([]*Node, error) {
 	var cost Cost
 	// Descend the leftmost path.
+	ctx := context.Background()
 	label := bitlabel.TreeRoot
 	for {
-		n, err := ix.getNode(label.Key(), &cost)
+		n, err := ix.getNode(ctx, label.Key(), &cost)
 		if err != nil {
 			return nil, fmt.Errorf("pht: leftmost descent at %s: %w", label, err)
 		}
 		if n.Leaf {
 			leaves := []*Node{n}
 			for n.HasNext {
-				next, err := ix.getNode(n.Next.Key(), &cost)
+				next, err := ix.getNode(ctx, n.Next.Key(), &cost)
 				if err != nil {
 					return nil, fmt.Errorf("pht: chain walk to %s: %w", n.Next, err)
 				}
@@ -188,7 +202,7 @@ func (ix *Index) CheckInvariants() error {
 		// Every proper ancestor must be an internal marker.
 		for k := 1; k < n.Label.Len(); k++ {
 			var c Cost
-			anc, err := ix.getNode(n.Label.Prefix(k).Key(), &c)
+			anc, err := ix.getNode(context.Background(), n.Label.Prefix(k).Key(), &c)
 			if err != nil {
 				return fmt.Errorf("%w: ancestor %s of %s missing: %v", ErrCorrupt, n.Label.Prefix(k), n.Label, err)
 			}

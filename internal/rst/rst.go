@@ -21,6 +21,7 @@
 package rst
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -122,14 +123,14 @@ func New(d dht.DHT, cfg Config) (*Index, error) {
 	ix := &Index{d: dht.NewInstrumented(d, c), cfg: cfg, c: c}
 	// The globally-known shape is itself a DHT object: a joining peer
 	// fetches it instead of discovering the tree (uncharged bootstrap).
-	v, err := d.Get(shapeKey)
+	v, err := d.Get(context.Background(), shapeKey)
 	switch {
 	case errors.Is(err, dht.ErrNotFound):
-		if err := d.Put(bitlabel.TreeRoot.Key(), &Bucket{Label: bitlabel.TreeRoot}); err != nil {
+		if err := d.Put(context.Background(), bitlabel.TreeRoot.Key(), &Bucket{Label: bitlabel.TreeRoot}); err != nil {
 			return nil, fmt.Errorf("rst: bootstrap: %w", err)
 		}
 		ix.shape = []bitlabel.Label{bitlabel.TreeRoot}
-		if err := d.Put(shapeKey, ix.snapshotShape()); err != nil {
+		if err := d.Put(context.Background(), shapeKey, ix.snapshotShape()); err != nil {
 			return nil, fmt.Errorf("rst: bootstrap shape: %w", err)
 		}
 	case err != nil:
@@ -224,7 +225,7 @@ func (ix *Index) mutateShape(fn func(shape []bitlabel.Label) []bitlabel.Label) e
 	ix.mu.Unlock()
 	ix.c.AddLookups(int64(ix.cfg.Peers))
 	ix.c.AddMaintLookups(int64(ix.cfg.Peers))
-	if err := ix.d.Write(shapeKey, snapshot); err != nil {
+	if err := ix.d.Write(context.Background(), shapeKey, snapshot); err != nil {
 		return fmt.Errorf("rst: persist shape: %w", err)
 	}
 	return nil
@@ -233,7 +234,7 @@ func (ix *Index) mutateShape(fn func(shape []bitlabel.Label) []bitlabel.Label) e
 // getBucket fetches and type-asserts a bucket, charging cost.
 func (ix *Index) getBucket(key string, cost *Cost) (*Bucket, error) {
 	cost.Lookups++
-	v, err := ix.d.Get(key)
+	v, err := ix.d.Get(context.Background(), key)
 	if err != nil {
 		return nil, err
 	}
@@ -289,7 +290,7 @@ func (ix *Index) Insert(rec record.Record) (Cost, error) {
 	}
 	cost.Lookups++
 	cost.Steps++
-	if err := ix.d.Put(leaf.Key(), b); err != nil {
+	if err := ix.d.Put(context.Background(), leaf.Key(), b); err != nil {
 		return cost, fmt.Errorf("rst: put %s: %w", leaf, err)
 	}
 	if b.Weight() >= ix.cfg.SplitThreshold {
@@ -328,13 +329,13 @@ func (ix *Index) split(b *Bucket) (Cost, error) {
 	ix.c.AddMovedRecords(int64(lc.Weight() + rc.Weight()))
 	cost.Lookups += 3
 	cost.Steps++
-	if err := ix.d.Put(lc.Label.Key(), lc); err != nil {
+	if err := ix.d.Put(context.Background(), lc.Label.Key(), lc); err != nil {
 		return cost, fmt.Errorf("rst: split put %s: %w", lc.Label, err)
 	}
-	if err := ix.d.Put(rc.Label.Key(), rc); err != nil {
+	if err := ix.d.Put(context.Background(), rc.Label.Key(), rc); err != nil {
 		return cost, fmt.Errorf("rst: split put %s: %w", rc.Label, err)
 	}
-	if err := ix.d.Remove(b.Label.Key()); err != nil {
+	if err := ix.d.Remove(context.Background(), b.Label.Key()); err != nil {
 		return cost, fmt.Errorf("rst: split remove %s: %w", b.Label, err)
 	}
 	ix.c.AddMaintLookups(3)
@@ -377,7 +378,7 @@ func (ix *Index) Delete(delta float64) (Cost, error) {
 	b.Records = b.Records[:len(b.Records)-1]
 	cost.Lookups++
 	cost.Steps++
-	if err := ix.d.Put(leaf.Key(), b); err != nil {
+	if err := ix.d.Put(context.Background(), leaf.Key(), b); err != nil {
 		return cost, fmt.Errorf("rst: put %s: %w", leaf, err)
 	}
 	if ix.cfg.MergeThreshold > 0 && leaf.Len() >= 2 && b.Weight() < ix.cfg.MergeThreshold {
@@ -423,13 +424,13 @@ func (ix *Index) merge(b *Bucket) (Cost, error) {
 	ix.c.AddMovedRecords(int64(parent.Weight()))
 	cost.Lookups += 3
 	cost.Steps++
-	if err := ix.d.Put(parent.Label.Key(), parent); err != nil {
+	if err := ix.d.Put(context.Background(), parent.Label.Key(), parent); err != nil {
 		return cost, fmt.Errorf("rst: merge put %s: %w", parent.Label, err)
 	}
-	if err := ix.d.Remove(b.Label.Key()); err != nil {
+	if err := ix.d.Remove(context.Background(), b.Label.Key()); err != nil {
 		return cost, fmt.Errorf("rst: merge remove %s: %w", b.Label, err)
 	}
-	if err := ix.d.Remove(sibling.Key()); err != nil {
+	if err := ix.d.Remove(context.Background(), sibling.Key()); err != nil {
 		return cost, fmt.Errorf("rst: merge remove %s: %w", sibling, err)
 	}
 	ix.c.AddMaintLookups(3)

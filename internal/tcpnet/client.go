@@ -1,12 +1,14 @@
 package tcpnet
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
 	"sort"
 	"sync"
+	"time"
 
 	"lht/internal/dht"
 	"lht/internal/hashring"
@@ -17,6 +19,12 @@ import (
 // Chord substrate uses, so each node owns the arc ending at its hashed
 // address. It is safe for concurrent use; each node connection carries
 // one request at a time.
+//
+// Contexts turn into real socket deadlines: a deadline on the context
+// bounds the dial and every read/write of that request, and cancellation
+// interrupts an in-flight round trip by closing its connection. Transport
+// failures are marked transient (dht.IsTransient) so a policy wrapper can
+// retry them; the next attempt redials lazily.
 type Client struct {
 	nodes []*nodeConn // sorted by ring ID
 }
@@ -34,9 +42,16 @@ type nodeConn struct {
 	dec  *gob.Decoder
 }
 
-// Dial builds a client for the given node addresses and verifies each
-// node answers a ping.
+// Dial builds a client for the given node addresses with no deadline; see
+// DialContext.
 func Dial(addrs []string) (*Client, error) {
+	return DialContext(context.Background(), addrs)
+}
+
+// DialContext builds a client for the given node addresses and verifies
+// each node answers a ping. The context bounds the verification pings;
+// later operations carry their own contexts.
+func DialContext(ctx context.Context, addrs []string) (*Client, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("tcpnet: no node addresses")
 	}
@@ -51,7 +66,7 @@ func Dial(addrs []string) (*Client, error) {
 	}
 	sort.Slice(c.nodes, func(i, j int) bool { return c.nodes[i].id < c.nodes[j].id })
 	for _, n := range c.nodes {
-		if _, err := n.roundTrip(request{Op: opPing}); err != nil {
+		if _, err := n.roundTrip(ctx, request{Op: opPing}); err != nil {
 			return nil, fmt.Errorf("tcpnet: ping %q: %w", n.addr, err)
 		}
 	}
@@ -85,35 +100,78 @@ func (c *Client) owner(key string) *nodeConn {
 	return c.nodes[i]
 }
 
-func (n *nodeConn) roundTrip(req request) (response, error) {
+// deadline translates the context into a socket deadline: the context's
+// deadline when set, otherwise none (the zero time clears any previous
+// per-request deadline on a reused connection).
+func deadline(ctx context.Context) time.Time {
+	if d, ok := ctx.Deadline(); ok {
+		return d
+	}
+	return time.Time{}
+}
+
+// roundTrip sends one request and reads its response, redialing a broken
+// connection once. The context's deadline applies to the dial and to the
+// encode/decode of this request; if the context is cancelled mid-flight
+// the connection is closed, which unblocks the socket I/O.
+func (n *nodeConn) roundTrip(ctx context.Context, req request) (response, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return response{}, err
+	}
+	var lastErr error
 	// One reconnect attempt per call: a broken connection surfaces as a
 	// decode/encode error on the first try.
 	for attempt := 0; attempt < 2; attempt++ {
 		if n.conn == nil {
-			conn, err := net.Dial("tcp", n.addr)
+			var d net.Dialer
+			conn, err := d.DialContext(ctx, "tcp", n.addr)
 			if err != nil {
-				return response{}, err
+				if cerr := ctx.Err(); cerr != nil {
+					return response{}, cerr
+				}
+				return response{}, dht.MarkTransient(err)
 			}
 			n.conn = conn
 			n.enc = gob.NewEncoder(conn)
 			n.dec = gob.NewDecoder(conn)
 		}
-		var resp response
-		if err := n.enc.Encode(req); err == nil {
-			if err := n.dec.Decode(&resp); err == nil {
-				return resp, nil
+		_ = n.conn.SetDeadline(deadline(ctx))
+
+		// Cancellation support: closing the conn unblocks gob I/O.
+		watchDone := make(chan struct{})
+		conn := n.conn
+		go func() {
+			select {
+			case <-ctx.Done():
+				_ = conn.Close()
+			case <-watchDone:
 			}
+		}()
+
+		var resp response
+		err := n.enc.Encode(req)
+		if err == nil {
+			err = n.dec.Decode(&resp)
 		}
+		close(watchDone)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
 		_ = n.conn.Close()
 		n.conn = nil
+		if cerr := ctx.Err(); cerr != nil {
+			return response{}, cerr
+		}
 	}
-	return response{}, fmt.Errorf("tcpnet: node %q unreachable", n.addr)
+	return response{}, dht.MarkTransient(
+		fmt.Errorf("tcpnet: node %q unreachable: %w", n.addr, lastErr))
 }
 
-func (c *Client) do(key string, req request) (response, error) {
-	resp, err := c.owner(key).roundTrip(req)
+func (c *Client) do(ctx context.Context, key string, req request) (response, error) {
+	resp, err := c.owner(key).roundTrip(ctx, req)
 	if err != nil {
 		return response{}, err
 	}
@@ -128,8 +186,8 @@ func (c *Client) do(key string, req request) (response, error) {
 }
 
 // Get implements dht.DHT.
-func (c *Client) Get(key string) (dht.Value, error) {
-	resp, err := c.do(key, request{Op: opGet, Key: key})
+func (c *Client) Get(ctx context.Context, key string) (dht.Value, error) {
+	resp, err := c.do(ctx, key, request{Op: opGet, Key: key})
 	if err != nil {
 		return nil, err
 	}
@@ -137,18 +195,18 @@ func (c *Client) Get(key string) (dht.Value, error) {
 }
 
 // Put implements dht.DHT.
-func (c *Client) Put(key string, v dht.Value) error {
+func (c *Client) Put(ctx context.Context, key string, v dht.Value) error {
 	data, err := encodeValue(v)
 	if err != nil {
 		return err
 	}
-	_, err = c.do(key, request{Op: opPut, Key: key, Val: data})
+	_, err = c.do(ctx, key, request{Op: opPut, Key: key, Val: data})
 	return err
 }
 
 // Take implements dht.DHT.
-func (c *Client) Take(key string) (dht.Value, error) {
-	resp, err := c.do(key, request{Op: opTake, Key: key})
+func (c *Client) Take(ctx context.Context, key string) (dht.Value, error) {
+	resp, err := c.do(ctx, key, request{Op: opTake, Key: key})
 	if err != nil {
 		return nil, err
 	}
@@ -156,18 +214,18 @@ func (c *Client) Take(key string) (dht.Value, error) {
 }
 
 // Remove implements dht.DHT.
-func (c *Client) Remove(key string) error {
-	_, err := c.do(key, request{Op: opRemove, Key: key})
+func (c *Client) Remove(ctx context.Context, key string) error {
+	_, err := c.do(ctx, key, request{Op: opRemove, Key: key})
 	return err
 }
 
 // Write implements dht.DHT: the owning node rewrites the value in place.
-func (c *Client) Write(key string, v dht.Value) error {
+func (c *Client) Write(ctx context.Context, key string, v dht.Value) error {
 	data, err := encodeValue(v)
 	if err != nil {
 		return err
 	}
-	_, err = c.do(key, request{Op: opWrite, Key: key, Val: data})
+	_, err = c.do(ctx, key, request{Op: opWrite, Key: key, Val: data})
 	return err
 }
 

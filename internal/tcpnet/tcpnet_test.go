@@ -1,6 +1,7 @@
 package tcpnet
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -56,49 +57,49 @@ func init() {
 func TestClusterBasicOps(t *testing.T) {
 	c, servers := startCluster(t, 3)
 
-	if err := c.Put("a", &payload{N: 1, S: "x"}); err != nil {
+	if err := c.Put(context.Background(), "a", &payload{N: 1, S: "x"}); err != nil {
 		t.Fatal(err)
 	}
-	v, err := c.Get("a")
+	v, err := c.Get(context.Background(), "a")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if p := v.(*payload); p.N != 1 || p.S != "x" {
 		t.Fatalf("Get = %+v", p)
 	}
-	if _, err := c.Get("missing"); !errors.Is(err, dht.ErrNotFound) {
+	if _, err := c.Get(context.Background(), "missing"); !errors.Is(err, dht.ErrNotFound) {
 		t.Fatalf("Get missing = %v", err)
 	}
-	if err := c.Write("a", &payload{N: 2}); err != nil {
+	if err := c.Write(context.Background(), "a", &payload{N: 2}); err != nil {
 		t.Fatal(err)
 	}
-	if v, _ := c.Get("a"); v.(*payload).N != 2 {
+	if v, _ := c.Get(context.Background(), "a"); v.(*payload).N != 2 {
 		t.Fatal("Write lost")
 	}
-	if err := c.Write("missing", &payload{}); !errors.Is(err, dht.ErrNotFound) {
+	if err := c.Write(context.Background(), "missing", &payload{}); !errors.Is(err, dht.ErrNotFound) {
 		t.Fatalf("Write missing = %v", err)
 	}
-	v, err = c.Take("a")
+	v, err = c.Take(context.Background(), "a")
 	if err != nil || v.(*payload).N != 2 {
 		t.Fatalf("Take = %v, %v", v, err)
 	}
-	if _, err := c.Take("a"); !errors.Is(err, dht.ErrNotFound) {
+	if _, err := c.Take(context.Background(), "a"); !errors.Is(err, dht.ErrNotFound) {
 		t.Fatal("second Take should miss")
 	}
-	if err := c.Put("b", &payload{N: 3}); err != nil {
+	if err := c.Put(context.Background(), "b", &payload{N: 3}); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Remove("b"); err != nil {
+	if err := c.Remove(context.Background(), "b"); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Remove("b"); err != nil {
+	if err := c.Remove(context.Background(), "b"); err != nil {
 		t.Fatal("Remove absent must not error")
 	}
 
 	// Keys spread across the member set.
 	total := 0
 	for i := 0; i < 60; i++ {
-		if err := c.Put(fmt.Sprintf("spread-%d", i), &payload{N: i}); err != nil {
+		if err := c.Put(context.Background(), fmt.Sprintf("spread-%d", i), &payload{N: i}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -138,11 +139,11 @@ func TestConcurrentClients(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
 				key := fmt.Sprintf("c%d-%d", g, i)
-				if err := c.Put(key, &payload{N: i}); err != nil {
+				if err := c.Put(context.Background(), key, &payload{N: i}); err != nil {
 					t.Error(err)
 					return
 				}
-				v, err := c.Get(key)
+				v, err := c.Get(context.Background(), key)
 				if err != nil || v.(*payload).N != i {
 					t.Errorf("Get(%s) = %v, %v", key, v, err)
 					return
@@ -210,7 +211,7 @@ func TestServerCloseUnblocksServe(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Put("k", &payload{N: 1}); err != nil {
+	if err := c.Put(context.Background(), "k", &payload{N: 1}); err != nil {
 		t.Fatal(err)
 	}
 	if err := srv.Close(); err != nil {
@@ -220,7 +221,7 @@ func TestServerCloseUnblocksServe(t *testing.T) {
 		t.Fatalf("Serve returned %v after Close", err)
 	}
 	// The client should now fail cleanly.
-	if err := c.Put("k2", &payload{N: 2}); err == nil {
+	if err := c.Put(context.Background(), "k2", &payload{N: 2}); err == nil {
 		t.Error("Put to closed server should fail")
 	}
 }

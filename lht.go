@@ -25,12 +25,23 @@
 // results never change — only their cost (see Snapshot.CacheHits /
 // CacheMisses / CacheStale).
 //
+// Every operation has a Context variant (GetContext, RangeContext, ...)
+// that threads a context.Context down to the substrate: deadlines become
+// socket deadlines on networked substrates, and cancellation stops
+// multi-step algorithms (including parallel range forwarding) promptly.
+// The plain methods are shorthand for a background context. Setting
+// Config.Policy adds a retry/backoff layer that absorbs transient
+// substrate faults (see Policy and DefaultPolicy); every retry is charged
+// as a DHT-lookup, keeping the paper's cost model honest.
+//
 // The substrates, the PHT baseline, and the experiment harness that
 // regenerates the paper's figures live under internal/; see DESIGN.md for
 // the system inventory and EXPERIMENTS.md for reproduction results.
 package lht
 
 import (
+	"context"
+
 	"lht/internal/dht"
 	ilht "lht/internal/lht"
 	"lht/internal/metrics"
@@ -103,31 +114,73 @@ func New(d DHT, cfg Config) (*Index, error) {
 // Insert adds a record, replacing any record with the same key.
 func (ix *Index) Insert(r Record) (Cost, error) { return ix.inner.Insert(r) }
 
+// InsertContext is Insert under a caller-supplied context.
+func (ix *Index) InsertContext(ctx context.Context, r Record) (Cost, error) {
+	return ix.inner.InsertContext(ctx, r)
+}
+
 // BulkLoad populates an empty index with a whole dataset in one pass
 // (about one DHT-put per resulting leaf), the standard construction
 // optimization; ErrNotEmpty if the index already holds data.
 func (ix *Index) BulkLoad(recs []Record) (Cost, error) { return ix.inner.BulkLoad(recs) }
 
+// BulkLoadContext is BulkLoad under a caller-supplied context.
+func (ix *Index) BulkLoadContext(ctx context.Context, recs []Record) (Cost, error) {
+	return ix.inner.BulkLoadContext(ctx, recs)
+}
+
 // Delete removes the record with the given key, or returns
 // ErrKeyNotFound.
 func (ix *Index) Delete(key float64) (Cost, error) { return ix.inner.Delete(key) }
 
+// DeleteContext is Delete under a caller-supplied context.
+func (ix *Index) DeleteContext(ctx context.Context, key float64) (Cost, error) {
+	return ix.inner.DeleteContext(ctx, key)
+}
+
 // Get answers an exact-match query for one key.
 func (ix *Index) Get(key float64) (Record, Cost, error) { return ix.inner.Search(key) }
+
+// GetContext is Get under a caller-supplied context.
+func (ix *Index) GetContext(ctx context.Context, key float64) (Record, Cost, error) {
+	return ix.inner.SearchContext(ctx, key)
+}
 
 // Range returns every record with key in [lo, hi).
 func (ix *Index) Range(lo, hi float64) ([]Record, Cost, error) { return ix.inner.Range(lo, hi) }
 
+// RangeContext is Range under a caller-supplied context: a deadline bounds
+// the whole forwarding recursion, and cancellation stops the parallel
+// branch goroutines promptly.
+func (ix *Index) RangeContext(ctx context.Context, lo, hi float64) ([]Record, Cost, error) {
+	return ix.inner.RangeContext(ctx, lo, hi)
+}
+
 // Min returns the record with the smallest key (one DHT-lookup).
 func (ix *Index) Min() (Record, Cost, error) { return ix.inner.Min() }
 
+// MinContext is Min under a caller-supplied context.
+func (ix *Index) MinContext(ctx context.Context) (Record, Cost, error) {
+	return ix.inner.MinContext(ctx)
+}
+
 // Max returns the record with the largest key (one DHT-lookup).
 func (ix *Index) Max() (Record, Cost, error) { return ix.inner.Max() }
+
+// MaxContext is Max under a caller-supplied context.
+func (ix *Index) MaxContext(ctx context.Context) (Record, Cost, error) {
+	return ix.inner.MaxContext(ctx)
+}
 
 // Scan returns up to limit records with keys >= from in ascending order -
 // the pagination primitive (resume with from = last returned key).
 func (ix *Index) Scan(from float64, limit int) ([]Record, Cost, error) {
 	return ix.inner.Scan(from, limit)
+}
+
+// ScanContext is Scan under a caller-supplied context.
+func (ix *Index) ScanContext(ctx context.Context, from float64, limit int) ([]Record, Cost, error) {
+	return ix.inner.ScanContext(ctx, from, limit)
 }
 
 // Count returns the number of indexed records by walking all leaves (an

@@ -10,12 +10,51 @@ import (
 )
 
 // DHT is the substrate interface LHT runs over: a flat key-value store
-// with one-lookup Get/Put/Take/Remove and a free local Write. Any DHT can
-// be adapted by implementing it; this package ships four substrates.
+// with one-lookup Get/Put/Take/Remove and a free local Write, every
+// operation taking a context.Context for cancellation and deadlines. Any
+// DHT can be adapted by implementing it; this package ships four
+// substrates.
 type DHT = dht.DHT
 
 // Value is the unit of substrate storage.
 type Value = dht.Value
+
+// Policy describes the retry/backoff layer for transient substrate
+// faults: attempts, capped jittered exponential backoff, and the
+// transient-vs-permanent classifier. Set Config.Policy to have an index
+// absorb transient faults, or apply WithPolicy to a substrate directly.
+type Policy = dht.Policy
+
+// DefaultPolicy returns the default retry policy: 4 attempts, 5ms base
+// delay doubling to a 250ms cap, 50% jitter, IsTransient classification.
+func DefaultPolicy() Policy { return dht.DefaultPolicy() }
+
+// WithPolicy wraps a substrate so every routed operation retries
+// transient faults per the policy. Indexes created with Config.Policy
+// already compose this above their instrumentation layer (charging each
+// retry as a DHT-lookup); use WithPolicy directly only for raw substrate
+// access.
+func WithPolicy(d DHT, p Policy) DHT { return dht.WithPolicy(d, p) }
+
+// Transient-fault classification, shared by Policy and callers that
+// inspect errors themselves.
+var (
+	// ErrTransient marks an error as a transient substrate fault; wrap
+	// with MarkTransient, test with errors.Is or IsTransient.
+	ErrTransient = dht.ErrTransient
+	// ErrRetriesExhausted reports that a transient fault persisted
+	// through every attempt a Policy allows.
+	ErrRetriesExhausted = dht.ErrRetriesExhausted
+)
+
+// IsTransient reports whether an error is a transient substrate fault
+// worth retrying: unreachable peers and network timeouts are transient;
+// ErrNotFound and context cancellation/expiry are permanent.
+func IsTransient(err error) bool { return dht.IsTransient(err) }
+
+// MarkTransient wraps an error so IsTransient reports true, for custom
+// DHT implementations surfacing their own fault types.
+func MarkTransient(err error) error { return dht.MarkTransient(err) }
 
 // ChordRing is the Chord substrate (in-process simulation with
 // per-message accounting, joins/leaves/failures and stabilization).
