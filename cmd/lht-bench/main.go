@@ -21,6 +21,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"lht/internal/bench"
 	"lht/internal/workload"
@@ -41,13 +42,15 @@ type config struct {
 	maxExp   int
 	span     float64
 	csv      bool
+	jsonPath string // non-empty: also write a machine-readable report here
 	selected map[string]bool
 }
 
 // experimentNames lists every figure in presentation order, followed by
 // the ablation studies (a1: lookup strategy, a2: merge hysteresis, a3:
-// theta sweep, a4: client leaf cache, a5: retry policy under faults).
-var experimentNames = []string{"fig6a", "fig6b", "fig7", "fig8a", "fig8b", "fig9a", "fig9b", "eq3", "thm3", "a1", "a2", "a3", "a4", "a5", "s1", "rw1", "x1"}
+// theta sweep, a4: client leaf cache, a5: retry policy under faults,
+// a6: batched operation plane).
+var experimentNames = []string{"fig6a", "fig6b", "fig7", "fig8a", "fig8b", "fig9a", "fig9b", "eq3", "thm3", "a1", "a2", "a3", "a4", "a5", "a6", "s1", "rw1", "x1"}
 
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("lht-bench", flag.ContinueOnError)
@@ -62,6 +65,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		maxExp      = fs.Int("maxexp", 16, "largest data size as a power of two")
 		span        = fs.Float64("span", 0.1, "range span for the vs-size experiments")
 		csv         = fs.Bool("csv", false, "emit CSV instead of tables")
+		jsonOut     = fs.Bool("json", false, "also write a machine-readable report to results/bench.json")
 		paper       = fs.Bool("paper", false, "paper scale: 100 trials, 1000 queries, sizes up to 2^20")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -73,6 +77,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		},
 		minExp: *minExp, maxExp: *maxExp, span: *span, csv: *csv,
 		selected: map[string]bool{},
+	}
+	if *jsonOut {
+		cfg.jsonPath = "results/bench.json"
 	}
 	if *paper {
 		cfg.opts.Trials = 100
@@ -119,14 +126,22 @@ func runExperiments(ctx context.Context, cfg config, out io.Writer) error {
 	// interrupt stops the run after the experiment in flight while keeping
 	// everything already emitted.
 	want := func(name string) bool { return cfg.selected[name] && ctx.Err() == nil }
+	report := bench.NewReport(cfg.opts.WithDefaults())
+	// Each experiment calls emit exactly once, so the time since the
+	// previous emit is that experiment's wall time (skipped experiments
+	// cost nothing in between).
+	lastEmit := time.Now()
 	emit := func(results ...bench.Result) {
+		wall := time.Since(lastEmit)
 		for _, r := range results {
 			if cfg.csv {
 				fmt.Fprintf(out, "# %s: %s\n%s\n", r.Name, r.Title, bench.FormatCSV(r))
 			} else {
 				fmt.Fprintln(out, bench.FormatTable(r))
 			}
+			report.Add(r, wall/time.Duration(len(results)))
 		}
+		lastEmit = time.Now()
 	}
 	both := []workload.Dist{workload.Uniform, workload.Gaussian}
 	sizes := bench.Sizes(cfg.minExp, cfg.maxExp)
@@ -236,6 +251,13 @@ func runExperiments(ctx context.Context, cfg config, out io.Writer) error {
 		}
 		emit(succ, cost)
 	}
+	if want("a6") {
+		load, query, err := bench.RunBatchAblation(cfg.opts, workload.Uniform, sizes)
+		if err != nil {
+			return err
+		}
+		emit(load, query)
+	}
 	if want("s1") {
 		res, err := bench.RunHopsVsNodes(cfg.opts, []int{4, 8, 16, 32, 64, 128})
 		if err != nil {
@@ -259,6 +281,12 @@ func runExperiments(ctx context.Context, cfg config, out io.Writer) error {
 	}
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("interrupted: %w", err)
+	}
+	if cfg.jsonPath != "" {
+		if err := report.WriteFile(cfg.jsonPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s (%d results)\n", cfg.jsonPath, len(report.Results))
 	}
 	return nil
 }

@@ -24,18 +24,18 @@ import (
 // Options are the shared experiment parameters.
 type Options struct {
 	// Theta is theta_split (default 100, the paper's default).
-	Theta int
+	Theta int `json:"theta"`
 	// Depth is D (default 20).
-	Depth int
+	Depth int `json:"depth"`
 	// Trials is the number of independently generated datasets averaged
 	// per data point (the paper uses 100; tests use fewer).
-	Trials int
+	Trials int `json:"trials"`
 	// Queries is the number of queries per trial for query experiments
 	// (the paper issues 1000 lookups per point).
-	Queries int
+	Queries int `json:"queries"`
 	// Seed makes every run reproducible; trial t of any experiment uses
 	// Seed+t.
-	Seed int64
+	Seed int64 `json:"seed"`
 }
 
 // WithDefaults fills unset fields with the paper's defaults (scaled-down
@@ -61,22 +61,23 @@ func (o Options) WithDefaults() Options {
 
 // Point is one (x, y) sample of a series.
 type Point struct {
-	X, Y float64
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
 }
 
 // Series is one named curve of a figure.
 type Series struct {
-	Name   string
-	Points []Point
+	Name   string  `json:"name"`
+	Points []Point `json:"points"`
 }
 
 // Result is one reproduced figure.
 type Result struct {
-	Name   string // e.g. "Fig 6a"
-	Title  string
-	XLabel string
-	YLabel string
-	Series []Series
+	Name   string   `json:"name"` // e.g. "Fig 6a"
+	Title  string   `json:"title"`
+	XLabel string   `json:"xlabel"`
+	YLabel string   `json:"ylabel"`
+	Series []Series `json:"series"`
 }
 
 // Sizes returns the power-of-two data sizes [2^lo, 2^hi].

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// ReportSchema versions the machine-readable report format; bump it when
+// the shape of Report changes incompatibly.
+const ReportSchema = "lht-bench/1"
+
+// TimedResult is one experiment's figure plus the wall time it took to
+// produce.
+type TimedResult struct {
+	Result
+	WallMillis int64 `json:"wall_millis"`
+}
+
+// Report is the machine-readable output of a bench run: every result with
+// its series data (the op counts behind each figure) and wall times, for
+// CI trend tracking and external plotting.
+type Report struct {
+	Schema     string        `json:"schema"`
+	Options    Options       `json:"options"`
+	WallMillis int64         `json:"wall_millis"`
+	Results    []TimedResult `json:"results"`
+}
+
+// NewReport starts a report for one run.
+func NewReport(o Options) *Report {
+	return &Report{Schema: ReportSchema, Options: o}
+}
+
+// Add appends one result with its wall time.
+func (r *Report) Add(res Result, wall time.Duration) {
+	r.Results = append(r.Results, TimedResult{Result: res, WallMillis: wall.Milliseconds()})
+	r.WallMillis += wall.Milliseconds()
+}
+
+// WriteFile writes the report as indented JSON, creating the target
+// directory if needed.
+func (r *Report) WriteFile(path string) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("bench: report dir: %w", err)
+		}
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: encode report: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("bench: write report: %w", err)
+	}
+	return nil
+}

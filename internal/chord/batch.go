@@ -1,0 +1,125 @@
+package chord
+
+import (
+	"context"
+	"sort"
+
+	"lht/internal/dht"
+	"lht/internal/hashring"
+)
+
+var _ dht.Batcher = (*Ring)(nil)
+
+// GetBatch implements dht.Batcher. Keys hashing into the same responsible
+// arc share one routed resolution: the batch costs one replica-chain
+// lookup (plus one predecessor query that establishes the arc) per
+// distinct responsible peer instead of one per key, which is where
+// batching saves round trips on a multi-hop DHT.
+func (r *Ring) GetBatch(ctx context.Context, keys []string) ([]dht.Value, []error) {
+	vals := make([]dht.Value, len(keys))
+	errs := make([]error, len(keys))
+	r.eachChainGroup(ctx, keys, errs, func(chain []*Node, slid bool, members []int) {
+		for _, i := range members {
+			v, ok := fetchChain(chain, keys[i])
+			if !ok {
+				errs[i] = errMissing(keys[i], slid)
+				continue
+			}
+			vals[i] = v
+		}
+	})
+	return vals, errs
+}
+
+// PutBatch implements dht.Batcher: one store batch per replica holder per
+// resolved group. Pairs apply in ascending slice order, so a duplicate
+// key's last occurrence wins, matching a sequence of per-op Puts.
+func (r *Ring) PutBatch(ctx context.Context, kvs []dht.KV) []error {
+	errs := make([]error, len(kvs))
+	keys := make([]string, len(kvs))
+	for i, kv := range kvs {
+		keys[i] = kv.Key
+	}
+	r.eachChainGroup(ctx, keys, errs, func(chain []*Node, _ bool, members []int) {
+		batch := make(map[string]dht.Value, len(members))
+		for _, i := range members {
+			batch[kvs[i].Key] = kvs[i].Val
+		}
+		for _, n := range chain {
+			n.rpcStoreBatch(batch)
+		}
+	})
+	return errs
+}
+
+// fetchChain reads key from the first replica holding it.
+func fetchChain(chain []*Node, key string) (dht.Value, bool) {
+	for _, n := range chain {
+		if v, ok := n.rpcFetch(key); ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// eachChainGroup resolves the batch's keys to replica chains, one routed
+// resolution per responsible arc: it picks the unresolved key with the
+// lowest hash, resolves its chain, asks the primary for its predecessor
+// to learn the arc (pred, primary] the primary owns, and claims every
+// other unresolved key hashing into that arc for the same group. A key
+// whose resolution fails gets the error in its slot alone; the rest of
+// the batch proceeds. Under churn a stale predecessor can only shrink or
+// grow a group, never misroute it worse than per-op routing does — the
+// same stabilization handoff repairs both.
+func (r *Ring) eachChainGroup(ctx context.Context, keys []string, errs []error, visit func(chain []*Node, slid bool, members []int)) {
+	order := make([]int, len(keys))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ha, hb := hashring.HashKey(keys[order[a]]), hashring.HashKey(keys[order[b]])
+		if ha == hb {
+			return order[a] < order[b] // duplicate keys resolve in slice order
+		}
+		return ha < hb
+	})
+	resolved := make([]bool, len(keys))
+	for _, i := range order {
+		if resolved[i] {
+			continue
+		}
+		resolved[i] = true
+		chain, _, slid, err := r.replicaChain(ctx, keys[i])
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		members := []int{i}
+		if pred, ok := r.predecessorOf(chain[0]); ok {
+			for _, j := range order {
+				if !resolved[j] && hashring.Between(hashring.HashKey(keys[j]), pred.ID, chain[0].ref.ID) {
+					resolved[j] = true
+					members = append(members, j)
+				}
+			}
+			sort.Ints(members) // ascending slice order decides duplicate-key precedence
+		}
+		visit(chain, slid, members)
+	}
+}
+
+// predecessorOf queries node for its current predecessor, charging one
+// message for the hop (free when the chosen entry is the node itself). An
+// unknown predecessor — a single-node ring, or mid-churn — just shrinks
+// the group to its representative key; correctness never depends on it.
+func (r *Ring) predecessorOf(n *Node) (Ref, bool) {
+	entry, err := r.entry()
+	if err != nil {
+		return zeroRef, false
+	}
+	peer, err := entry.call(n.ref.Addr)
+	if err != nil {
+		return zeroRef, false
+	}
+	return peer.rpcPredecessor()
+}

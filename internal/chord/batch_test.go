@@ -1,0 +1,113 @@
+package chord
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"lht/internal/dht"
+)
+
+// TestBatchMatchesPerOpAndSavesMessages loads two identical rings — one
+// through the native batch plane, one per-op — and checks the batch path
+// returns identical data while spending fewer simulated network messages.
+func TestBatchMatchesPerOpAndSavesMessages(t *testing.T) {
+	ctx := context.Background()
+	const n = 64
+	keys := make([]string, n)
+	kvs := make([]dht.KV, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%03d", i)
+		kvs[i] = dht.KV{Key: keys[i], Val: i}
+	}
+
+	batched := newRing(t, 16, Config{Seed: 42})
+	perOp := newRing(t, 16, Config{Seed: 42})
+
+	batched.Network().ResetMessages()
+	for _, err := range batched.PutBatch(ctx, kvs) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	putMsgs := batched.Network().Messages()
+
+	perOp.Network().ResetMessages()
+	for _, kv := range kvs {
+		if err := perOp.Put(ctx, kv.Key, kv.Val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	perOpPutMsgs := perOp.Network().Messages()
+
+	if putMsgs >= perOpPutMsgs {
+		t.Errorf("batched put cost %d messages, per-op %d; batching should be cheaper", putMsgs, perOpPutMsgs)
+	}
+
+	batched.Network().ResetMessages()
+	vals, errs := batched.GetBatch(ctx, keys)
+	getMsgs := batched.Network().Messages()
+	for i := range keys {
+		if errs[i] != nil {
+			t.Fatalf("slot %d: %v", i, errs[i])
+		}
+		if vals[i].(int) != i {
+			t.Fatalf("slot %d = %v, want %d", i, vals[i], i)
+		}
+		pv, err := perOp.Get(ctx, keys[i])
+		if err != nil || pv.(int) != i {
+			t.Fatalf("per-op ring slot %d = %v, %v", i, pv, err)
+		}
+	}
+	perOp.Network().ResetMessages()
+	for _, k := range keys {
+		if _, err := perOp.Get(ctx, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	perOpGetMsgs := perOp.Network().Messages()
+	if getMsgs >= perOpGetMsgs {
+		t.Errorf("batched get cost %d messages, per-op %d; batching should be cheaper", getMsgs, perOpGetMsgs)
+	}
+}
+
+// TestBatchMissingKeys: absent keys come back as per-slot ErrNotFound
+// without failing the batch.
+func TestBatchMissingKeys(t *testing.T) {
+	ctx := context.Background()
+	r := newRing(t, 8, Config{Seed: 7})
+	if err := r.Put(ctx, "present", 1); err != nil {
+		t.Fatal(err)
+	}
+	vals, errs := r.GetBatch(ctx, []string{"present", "absent-a", "absent-b"})
+	if errs[0] != nil || vals[0].(int) != 1 {
+		t.Fatalf("present slot = %v, %v", vals[0], errs[0])
+	}
+	for i := 1; i < 3; i++ {
+		if !errors.Is(errs[i], dht.ErrNotFound) {
+			t.Fatalf("absent slot %d = %v, want ErrNotFound", i, errs[i])
+		}
+	}
+}
+
+// TestBatchDuplicateKeysLastWins: PutBatch applies duplicates in slice
+// order even though grouping reorders keys internally.
+func TestBatchDuplicateKeysLastWins(t *testing.T) {
+	ctx := context.Background()
+	r := newRing(t, 8, Config{Seed: 9})
+	kvs := []dht.KV{
+		{Key: "dup", Val: 1},
+		{Key: "other", Val: 2},
+		{Key: "dup", Val: 3},
+	}
+	for i, err := range r.PutBatch(ctx, kvs) {
+		if err != nil {
+			t.Fatalf("slot %d: %v", i, err)
+		}
+	}
+	v, err := r.Get(ctx, "dup")
+	if err != nil || v.(int) != 3 {
+		t.Fatalf("dup = %v, %v; want 3 (last write wins)", v, err)
+	}
+}

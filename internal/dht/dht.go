@@ -11,6 +11,12 @@
 // rewrites a value on the peer that already stores it ("write b back to
 // the local disk", Algorithm 1 line 10) and costs no lookup.
 //
+// Substrates may additionally implement the optional Batcher interface,
+// serving many keys per round trip; DoGetBatch and DoPutBatch fall back
+// to per-op calls for substrates that do not. Batched keys are charged as
+// lookups exactly like per-op calls, so batching changes latency (round
+// trips), never the cost model's bandwidth measure.
+//
 // All routed operations take a context.Context: substrates honor
 // cancellation and deadlines (the TCP substrate derives real dial/read/
 // write deadlines from it), and the index layers thread the caller's

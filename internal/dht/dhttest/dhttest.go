@@ -207,6 +207,109 @@ func Run(t *testing.T, factory func(t *testing.T) dht.DHT, opts Options) {
 		}
 	})
 
+	t.Run("BatchMatchesPerOp", func(t *testing.T) {
+		// Whether the batch plane is native or the per-op fallback, a
+		// multi-get must return positionally aligned outcomes identical
+		// to individual Gets, present and absent keys mixed freely.
+		d := factory(t)
+		n := o.Keys / 4
+		if n < 8 {
+			n = 8
+		}
+		kvs := make([]dht.KV, 0, n)
+		for i := 0; i < n; i++ {
+			kvs = append(kvs, dht.KV{Key: fmt.Sprintf("b-%d", i), Val: o.ValueFactory(i)})
+		}
+		for _, err := range dht.DoPutBatch(ctx, d, kvs) {
+			if err != nil {
+				t.Fatalf("PutBatch slot: %v", err)
+			}
+		}
+		keys := make([]string, 0, n+n/4+1)
+		want := make([]int, 0, cap(keys)) // value index, or -1 for absent
+		for i := 0; i < n; i++ {
+			keys = append(keys, fmt.Sprintf("b-%d", i))
+			want = append(want, i)
+			if i%4 == 0 {
+				keys = append(keys, fmt.Sprintf("b-absent-%d", i))
+				want = append(want, -1)
+			}
+		}
+		vals, errs := dht.DoGetBatch(ctx, d, keys)
+		if len(vals) != len(keys) || len(errs) != len(keys) {
+			t.Fatalf("GetBatch returned %d/%d slots, want %d", len(vals), len(errs), len(keys))
+		}
+		for i, k := range keys {
+			if want[i] < 0 {
+				if !errors.Is(errs[i], dht.ErrNotFound) {
+					t.Fatalf("slot %d (%q): err %v, want ErrNotFound", i, k, errs[i])
+				}
+				continue
+			}
+			if errs[i] != nil || !o.ValueEqual(vals[i], want[i]) {
+				t.Fatalf("slot %d (%q): %v, %v; want value %d", i, k, vals[i], errs[i], want[i])
+			}
+		}
+	})
+
+	t.Run("BatchPutLastWins", func(t *testing.T) {
+		// Duplicate keys in one PutBatch must apply in slice order, as a
+		// sequence of per-op Puts would.
+		d := factory(t)
+		kvs := []dht.KV{
+			{Key: "dup", Val: o.ValueFactory(1)},
+			{Key: "other", Val: o.ValueFactory(2)},
+			{Key: "dup", Val: o.ValueFactory(3)},
+		}
+		for _, err := range dht.DoPutBatch(ctx, d, kvs) {
+			if err != nil {
+				t.Fatalf("PutBatch slot: %v", err)
+			}
+		}
+		if v, err := d.Get(ctx, "dup"); err != nil || !o.ValueEqual(v, 3) {
+			t.Fatalf("Get(dup) = %v, %v; last occurrence must win", v, err)
+		}
+		if v, err := d.Get(ctx, "other"); err != nil || !o.ValueEqual(v, 2) {
+			t.Fatalf("Get(other) = %v, %v", v, err)
+		}
+	})
+
+	t.Run("BatchEmpty", func(t *testing.T) {
+		d := factory(t)
+		if vals, errs := dht.DoGetBatch(ctx, d, nil); len(vals) != 0 || len(errs) != 0 {
+			t.Fatalf("empty GetBatch = %d/%d slots", len(vals), len(errs))
+		}
+		if errs := dht.DoPutBatch(ctx, d, nil); len(errs) != 0 {
+			t.Fatalf("empty PutBatch = %d slots", len(errs))
+		}
+	})
+
+	t.Run("BatchCancelled", func(t *testing.T) {
+		// A cancelled context fails every slot with the cancellation, and
+		// stored state survives untouched.
+		d := factory(t)
+		if err := d.Put(ctx, "bc", o.ValueFactory(7)); err != nil {
+			t.Fatal(err)
+		}
+		cctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, errs := dht.DoGetBatch(cctx, d, []string{"bc", "bc2"})
+		for i, err := range errs {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("GetBatch(cancelled) slot %d = %v, want context.Canceled", i, err)
+			}
+		}
+		perrs := dht.DoPutBatch(cctx, d, []dht.KV{{Key: "bc", Val: o.ValueFactory(8)}})
+		for i, err := range perrs {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("PutBatch(cancelled) slot %d = %v, want context.Canceled", i, err)
+			}
+		}
+		if v, err := d.Get(ctx, "bc"); err != nil || !o.ValueEqual(v, 7) {
+			t.Fatalf("Get after cancelled batch = %v, %v", v, err)
+		}
+	})
+
 	if !o.SkipConcurrency {
 		t.Run("ConcurrentMixedOps", func(t *testing.T) {
 			d := factory(t)

@@ -19,7 +19,10 @@ type Instrumented struct {
 	c     *metrics.Counters
 }
 
-var _ DHT = (*Instrumented)(nil)
+var (
+	_ DHT     = (*Instrumented)(nil)
+	_ Batcher = (*Instrumented)(nil)
+)
 
 // NewInstrumented wraps inner, charging costs to c. c must not be nil.
 func NewInstrumented(inner DHT, c *metrics.Counters) *Instrumented {
@@ -76,6 +79,60 @@ func (d *Instrumented) Remove(ctx context.Context, key string) error {
 	err := d.inner.Remove(ctx, key)
 	d.note(err)
 	return err
+}
+
+// GetBatch implements Batcher. When the wrapped substrate batches
+// natively, each carried key is still charged as one lookup — batching
+// saves round trips, never bandwidth — and the batch itself is tallied in
+// BatchOps/BatchedKeys. Otherwise the batch decomposes through this
+// wrapper's own per-op Get, which charges each key as it goes.
+func (d *Instrumented) GetBatch(ctx context.Context, keys []string) ([]Value, []error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	b, ok := d.inner.(Batcher)
+	if !ok {
+		vals := make([]Value, len(keys))
+		errs := make([]error, len(keys))
+		for i, k := range keys {
+			vals[i], errs[i] = d.Get(ctx, k)
+		}
+		return vals, errs
+	}
+	d.c.AddLookups(int64(len(keys)))
+	d.c.AddBatchOps(1)
+	d.c.AddBatchedKeys(int64(len(keys)))
+	vals, errs := b.GetBatch(ctx, keys)
+	for _, err := range errs {
+		if errors.Is(err, ErrNotFound) {
+			d.c.AddFailedGets(1)
+		}
+		d.note(err)
+	}
+	return vals, errs
+}
+
+// PutBatch implements Batcher with the same charging rules as GetBatch.
+func (d *Instrumented) PutBatch(ctx context.Context, kvs []KV) []error {
+	if len(kvs) == 0 {
+		return nil
+	}
+	b, ok := d.inner.(Batcher)
+	if !ok {
+		errs := make([]error, len(kvs))
+		for i, kv := range kvs {
+			errs[i] = d.Put(ctx, kv.Key, kv.Val)
+		}
+		return errs
+	}
+	d.c.AddLookups(int64(len(kvs)))
+	d.c.AddBatchOps(1)
+	d.c.AddBatchedKeys(int64(len(kvs)))
+	errs := b.PutBatch(ctx, kvs)
+	for _, err := range errs {
+		d.note(err)
+	}
+	return errs
 }
 
 // Write implements DHT; it is free in the cost model.

@@ -16,7 +16,10 @@ type Local struct {
 	data map[string]Value
 }
 
-var _ DHT = (*Local)(nil)
+var (
+	_ DHT     = (*Local)(nil)
+	_ Batcher = (*Local)(nil)
+)
 
 // NewLocal returns an empty single-process DHT.
 func NewLocal() *Local {
@@ -86,6 +89,48 @@ func (l *Local) Write(ctx context.Context, key string, v Value) error {
 	}
 	l.data[key] = v
 	return nil
+}
+
+// GetBatch implements Batcher: one lock pass serves the whole batch, the
+// single-process analogue of one round trip.
+func (l *Local) GetBatch(ctx context.Context, keys []string) ([]Value, []error) {
+	vals := make([]Value, len(keys))
+	errs := make([]error, len(keys))
+	if err := ctxErr(ctx); err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+		return vals, errs
+	}
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	for i, k := range keys {
+		v, ok := l.data[k]
+		if !ok {
+			errs[i] = ErrNotFound
+			continue
+		}
+		vals[i] = v
+	}
+	return vals, errs
+}
+
+// PutBatch implements Batcher. Pairs apply in slice order, so a duplicate
+// key's last occurrence wins.
+func (l *Local) PutBatch(ctx context.Context, kvs []KV) []error {
+	errs := make([]error, len(kvs))
+	if err := ctxErr(ctx); err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+		return errs
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, kv := range kvs {
+		l.data[kv.Key] = kv.Val
+	}
+	return errs
 }
 
 // Len returns the number of stored keys.

@@ -99,7 +99,10 @@ type PolicyDHT struct {
 	rng *rand.Rand
 }
 
-var _ DHT = (*PolicyDHT)(nil)
+var (
+	_ DHT     = (*PolicyDHT)(nil)
+	_ Batcher = (*PolicyDHT)(nil)
+)
 
 // WithPolicy wraps inner so every routed operation retries transient
 // faults with capped, jittered exponential backoff. Permanent outcomes
@@ -176,6 +179,86 @@ func (d *PolicyDHT) do(ctx context.Context, op func(context.Context) error) erro
 		}
 	}
 	return fmt.Errorf("%w after %d attempts: %w", ErrRetriesExhausted, d.p.MaxAttempts, err)
+}
+
+// retryBatch drives the shared retry loop of GetBatch/PutBatch. pending
+// holds the slot indices whose last error classified transient; attempt
+// re-issues exactly that subset (one sub-batch per round, with one shared
+// backoff) and returns the slots still transient. Slots that stay
+// transient through every allowed attempt get their error wrapped with
+// ErrRetriesExhausted.
+func (d *PolicyDHT) retryBatch(ctx context.Context, errs []error, pending []int, attempt func(context.Context, []int)) {
+	for round := 1; round < d.p.MaxAttempts && len(pending) > 0; round++ {
+		if d.p.Counters != nil {
+			d.p.Counters.AddRetries(int64(len(pending)))
+		}
+		if berr := d.backoff(ctx, round-1); berr != nil {
+			for _, i := range pending {
+				errs[i] = berr
+			}
+			return
+		}
+		attempt(ctx, pending)
+		var still []int
+		for _, i := range pending {
+			if errs[i] != nil && d.p.Classify(errs[i]) {
+				still = append(still, i)
+			}
+		}
+		pending = still
+	}
+	for _, i := range pending {
+		errs[i] = fmt.Errorf("%w after %d attempts: %w", ErrRetriesExhausted, d.p.MaxAttempts, errs[i])
+	}
+}
+
+// transientSlots returns the indices whose error the policy classifies as
+// retryable.
+func (d *PolicyDHT) transientSlots(errs []error) []int {
+	var pending []int
+	for i, err := range errs {
+		if err != nil && d.p.Classify(err) {
+			pending = append(pending, i)
+		}
+	}
+	return pending
+}
+
+// GetBatch implements Batcher with per-slot retries: after each attempt
+// only the keys whose errors classify transient re-issue, as one
+// sub-batch per backoff round, so a mostly-successful batch never repeats
+// its successful keys. Every re-issued key is charged again by whatever
+// Instrumented wrapper sits below this one.
+func (d *PolicyDHT) GetBatch(ctx context.Context, keys []string) ([]Value, []error) {
+	vals, errs := DoGetBatch(ctx, d.inner, keys)
+	d.retryBatch(ctx, errs, d.transientSlots(errs), func(ctx context.Context, pending []int) {
+		sub := make([]string, len(pending))
+		for j, i := range pending {
+			sub[j] = keys[i]
+		}
+		svals, serrs := DoGetBatch(ctx, d.inner, sub)
+		for j, i := range pending {
+			vals[i], errs[i] = svals[j], serrs[j]
+		}
+	})
+	return vals, errs
+}
+
+// PutBatch implements Batcher with the same failed-subset retry loop as
+// GetBatch.
+func (d *PolicyDHT) PutBatch(ctx context.Context, kvs []KV) []error {
+	errs := DoPutBatch(ctx, d.inner, kvs)
+	d.retryBatch(ctx, errs, d.transientSlots(errs), func(ctx context.Context, pending []int) {
+		sub := make([]KV, len(pending))
+		for j, i := range pending {
+			sub[j] = kvs[i]
+		}
+		serrs := DoPutBatch(ctx, d.inner, sub)
+		for j, i := range pending {
+			errs[i] = serrs[j]
+		}
+	})
+	return errs
 }
 
 // Get implements DHT with retries.

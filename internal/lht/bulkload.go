@@ -5,14 +5,39 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"lht/internal/bitlabel"
+	"lht/internal/dht"
 	"lht/internal/keyspace"
 	"lht/internal/record"
 )
 
 // ErrNotEmpty reports a bulk load into an index that already holds data.
 var ErrNotEmpty = errors.New("lht: bulk load requires an empty index")
+
+// ErrPartialLoad reports a bulk load that failed after shipping some of
+// its leaves: the tree is partially populated, not absent. Errors of this
+// kind are always a *PartialLoadError carrying the ship counts and the
+// root cause; errors.Is(err, ErrPartialLoad) detects the condition and
+// errors.Is against the cause (e.g. context.Canceled) still matches.
+var ErrPartialLoad = errors.New("lht: bulk load partially applied")
+
+// PartialLoadError is the error type behind ErrPartialLoad.
+type PartialLoadError struct {
+	Shipped int   // leaves stored before the failure
+	Total   int   // leaves the load planned to store
+	Err     error // the first real failure (cancellations yield to it)
+}
+
+func (e *PartialLoadError) Error() string {
+	return fmt.Sprintf("lht: bulk load interrupted after %d/%d leaves: %v", e.Shipped, e.Total, e.Err)
+}
+
+func (e *PartialLoadError) Unwrap() []error { return []error{ErrPartialLoad, e.Err} }
+
+// bulkLoadWorkers bounds how many leaf batches ship concurrently.
+const bulkLoadWorkers = 8
 
 // BulkLoad populates an empty index with a dataset in one pass: the
 // client partitions the records into a valid tree locally (every leaf
@@ -29,9 +54,14 @@ func (ix *Index) BulkLoad(recs []record.Record) (Cost, error) {
 	return ix.BulkLoadContext(context.Background(), recs)
 }
 
-// BulkLoadContext is BulkLoad with a caller-supplied context;
-// cancellation stops the load between leaf puts (already shipped leaves
-// stay put, so a cancelled load leaves a partially populated tree).
+// BulkLoadContext is BulkLoad with a caller-supplied context. Leaves ship
+// in batched parallel put rounds (Config.BatchSize keys per batch, a
+// bounded worker pool of batches in flight), one round trip per batch on
+// a batch-native substrate. Cancellation or a substrate fault stops the
+// load; leaves already shipped stay put, and when any did, the returned
+// error is a *PartialLoadError (errors.Is ErrPartialLoad) reporting how
+// much of the tree made it out — a subsequent BulkLoad will refuse with
+// ErrNotEmpty, exactly because the partial tree is real data.
 func (ix *Index) BulkLoadContext(ctx context.Context, recs []record.Record) (Cost, error) {
 	var cost Cost
 	// The index must be in its bootstrap state: the single empty leaf.
@@ -78,14 +108,53 @@ func (ix *Index) BulkLoadContext(ctx context.Context, recs []record.Record) (Cos
 	}
 	build(bitlabel.TreeRoot, sorted)
 
-	// Ship every leaf to its name; all puts go out in one parallel round.
+	// Ship every leaf to its name: the puts are independent, so they go
+	// out as parallel batches — one conceptual round, hence one step.
+	// Every attempted put is a lookup whether it lands or not.
 	cost.Steps++
-	for _, leaf := range leaves {
-		cost.Lookups++
-		ix.c.AddMovedRecords(int64(leaf.Weight()))
-		if err := ix.d.Put(ctx, leaf.Label.Name().Key(), leaf); err != nil {
-			return cost, fmt.Errorf("lht: bulk load put %s: %w", leaf.Label, err)
+	cost.Lookups += len(leaves)
+	kvs := make([]dht.KV, len(leaves))
+	for i, leaf := range leaves {
+		kvs[i] = dht.KV{Key: leaf.Label.Name().Key(), Val: leaf}
+	}
+	batch := ix.cfg.batchSize()
+	var (
+		mu       sync.Mutex
+		shipped  int
+		firstErr error
+	)
+	sem := make(chan struct{}, bulkLoadWorkers)
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(kvs); lo += batch {
+		hi := min(lo+batch, len(kvs))
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(lo, hi int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs := dht.DoPutBatch(ctx, ix.d, kvs[lo:hi])
+			mu.Lock()
+			defer mu.Unlock()
+			for i, err := range errs {
+				if err == nil {
+					shipped++
+					ix.c.AddMovedRecords(int64(leaves[lo+i].Weight()))
+					continue
+				}
+				err = fmt.Errorf("lht: bulk load put %s: %w", leaves[lo+i].Label, err)
+				// Prefer a real root cause over follow-on cancellations.
+				if firstErr == nil || (isCancellation(firstErr) && !isCancellation(err)) {
+					firstErr = err
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		if shipped == 0 {
+			return cost, firstErr
 		}
+		return cost, &PartialLoadError{Shipped: shipped, Total: len(leaves), Err: firstErr}
 	}
 	// The bootstrap bucket was either replaced (single-leaf result) or
 	// superseded by the new root's leftmost leaf, which shares key "#".

@@ -21,6 +21,13 @@ func TestConcurrentReaders(t *testing.T) {
 		testConcurrentReaders(t, Config{SplitThreshold: 16, MergeThreshold: 8, Depth: 20,
 			LeafCache: true, LeafCacheSize: 32})
 	})
+	// ParallelRange layers the batched sweep's intra-query goroutines on
+	// top of the inter-query concurrency; with the cache on, every slot
+	// of every multi-get notes its bucket in the shared LRU.
+	t.Run("cached-parallel", func(t *testing.T) {
+		testConcurrentReaders(t, Config{SplitThreshold: 16, MergeThreshold: 8, Depth: 20,
+			LeafCache: true, LeafCacheSize: 32, ParallelRange: true})
+	})
 }
 
 func testConcurrentReaders(t *testing.T, cfg Config) {

@@ -60,6 +60,15 @@ type Config struct {
 	// it parallelizes.
 	ParallelRange bool
 
+	// BatchSize caps the number of keys per batched DHT operation (the
+	// bulk-load put rounds and the range-sweep multi-gets). Larger
+	// batches mean fewer round trips on a batch-native substrate but
+	// bigger messages. 0 means DefaultBatchSize; negative is invalid.
+	// Batching never changes results or the Lookups/Steps cost, only
+	// round trips; to disable it entirely, wrap the substrate with
+	// dht.WithoutBatch.
+	BatchSize int
+
 	// Policy, when non-nil, interposes a dht.WithPolicy retry layer
 	// between the index and the substrate: transient substrate faults
 	// (classified by Policy.Classify, default dht.IsTransient) are
@@ -77,6 +86,11 @@ type Config struct {
 // roughly 400k records, far beyond the paper's 2^20-record experiments'
 // hot sets, while costing only a label (16 bytes) per entry.
 const DefaultLeafCacheSize = 4096
+
+// DefaultBatchSize is the per-batch key cap used when BatchSize is 0:
+// big enough that a paper-scale bulk load ships in a handful of rounds,
+// small enough that one message stays well under typical frame limits.
+const DefaultBatchSize = 64
 
 // DefaultConfig mirrors the paper's experiment defaults: theta_split =
 // 100, D = 20, merges enabled with theta_split/2 hysteresis.
@@ -105,6 +119,9 @@ func (c Config) Validate() error {
 	if c.LeafCacheSize < 0 {
 		return fmt.Errorf("%w: LeafCacheSize %d negative", ErrConfig, c.LeafCacheSize)
 	}
+	if c.BatchSize < 0 {
+		return fmt.Errorf("%w: BatchSize %d negative", ErrConfig, c.BatchSize)
+	}
 	return nil
 }
 
@@ -115,4 +132,12 @@ func (c Config) leafCacheSize() int {
 		return DefaultLeafCacheSize
 	}
 	return c.LeafCacheSize
+}
+
+// batchSize resolves the configured batch cap, applying the default for 0.
+func (c Config) batchSize() int {
+	if c.BatchSize == 0 {
+		return DefaultBatchSize
+	}
+	return c.BatchSize
 }

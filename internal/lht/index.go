@@ -31,11 +31,17 @@ type Cost = metrics.Cost
 
 // Index is an LHT index over a DHT substrate. Create one with New.
 //
-// Concurrency follows sync.RWMutex semantics over the data: queries may
-// run concurrently with each other, but Insert/Delete require exclusive
-// access. (In the deployed system each bucket has one responsible peer
-// serializing its updates; an in-process client cannot provide that for
-// the caller.)
+// Concurrency contract: queries (Search, LookupBucket, Range, Scan,
+// Min/Max, the walks) are safe to call concurrently from any number of
+// goroutines, including with the leaf cache enabled — the cache and the
+// cost counters are internally synchronized. Writers (Insert, Delete,
+// BulkLoad) are NOT serialized by this type: the index is a client-side
+// view of shared DHT state, and nothing here can lock a remote bucket, so
+// callers must serialize writers externally against both queries and each
+// other — i.e. use the index as if under a sync.RWMutex: any number of
+// concurrent readers, or exactly one writer. (In the deployed system each
+// bucket has one responsible peer serializing its updates; an in-process
+// client cannot provide that for the caller.)
 type Index struct {
 	d     dht.DHT
 	cfg   Config
@@ -120,6 +126,12 @@ func (ix *Index) Overflows() int64 {
 // label, covering lookup probes, range forwarding, scans and walks.
 func (ix *Index) fetchBucket(ctx context.Context, key string) (*Bucket, error) {
 	v, err := ix.d.Get(ctx, key)
+	return ix.bucketOf(v, err, key)
+}
+
+// bucketOf type-asserts one get outcome (per-op or one slot of a batched
+// multi-get) into a bucket, teaching the leaf cache on success.
+func (ix *Index) bucketOf(v dht.Value, err error, key string) (*Bucket, error) {
 	if err != nil {
 		return nil, err
 	}

@@ -152,9 +152,9 @@ func TestSection62RangeTrace(t *testing.T) {
 	if cost.Lookups != 4 {
 		t.Fatalf("range cost = %d DHT-lookups, paper's trace uses 4", cost.Lookups)
 	}
-	// The probe set (order within a parallel round may vary; ours is
-	// deterministic: right sweep first).
-	assertProbes(t, d.probes(), []string{"#", "#00", "#001", "#01"})
+	// The probe set, in round order: the sweep's branch probes {#00, #01}
+	// go out as one multi-get round, then #0011 forwards inward to #001.
+	assertProbes(t, d.probes(), []string{"#", "#00", "#01", "#001"})
 	// Latency: the LCA get, then {#00, #01} in parallel, then #001 from
 	// inside #0011: three dependent rounds.
 	if cost.Steps != 3 {

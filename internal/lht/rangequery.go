@@ -39,9 +39,28 @@ func (c *rangeCollector) addLookup() {
 	c.mu.Unlock()
 }
 
+func (c *rangeCollector) addLookups(n int) {
+	c.mu.Lock()
+	c.lookups += n
+	c.mu.Unlock()
+}
+
+// isCancellation reports whether err is (or wraps) a context
+// cancellation or deadline expiry — the follow-on noise every other
+// branch emits once one branch has failed for a real reason.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// setErr records the error the query surfaces. The first error wins,
+// with one exception: a stored cancellation yields to a later
+// non-cancellation error. Under ParallelRange one branch's real fault
+// (say a dead Chord peer) makes the sibling branches observe
+// context.Canceled; whichever order those land in, the root cause — not
+// the collateral cancellation — must be what the caller sees.
 func (c *rangeCollector) setErr(err error) {
 	c.mu.Lock()
-	if c.err == nil {
+	if c.err == nil || (isCancellation(c.err) && !isCancellation(err)) {
 		c.err = err
 	}
 	c.mu.Unlock()
@@ -282,20 +301,40 @@ loop:
 		}
 	}
 
-	// Phase 2: fetch and forward into every branch, in parallel when
-	// configured; depths land in pre-sized slots.
+	// Phase 2: every branch's first probe goes out as one multi-get —
+	// the same fan-out round the Steps model already treats as parallel,
+	// now one round trip on a batch-native substrate. Each fetched branch
+	// then forwards independently (concurrently under ParallelRange).
+	// A covered branch probes its named leaf f_n(beta); the partially
+	// covered terminal branch probes beta's own label, and a miss there
+	// means beta is itself a leaf, found under f_n(beta) — the
+	// at-most-one failed lookup of section 6.3, still a per-op follow-up.
+	if len(tasks) == 0 {
+		return 0
+	}
+	if err := ctx.Err(); err != nil {
+		col.setErr(fmt.Errorf("lht: range forward %s: %w", tasks[0].label, err))
+		return 0
+	}
+	keys := make([]string, len(tasks))
+	for i, task := range tasks {
+		if task.covered {
+			keys[i] = task.label.Name().Key()
+		} else {
+			keys[i] = task.label.Key()
+		}
+	}
+	col.addLookups(len(keys))
+	vals, errs := dht.DoGetBatch(ctx, ix.d, keys)
+
 	depths := make([]int, len(tasks))
 	thunks := make([]func(), len(tasks))
 	for i, task := range tasks {
+		nb, err := ix.bucketOf(vals[i], errs[i], keys[i])
 		if task.covered {
 			// The branch is fully inside the remaining range: enter it
 			// through its named leaf and let it sweep back inward.
 			thunks[i] = func() {
-				if err := ctx.Err(); err != nil {
-					col.setErr(fmt.Errorf("lht: range forward %s: %w", task.label, err))
-					return
-				}
-				nb, err := ix.getBucketC(ctx, task.label.Name().Key(), col)
 				if err != nil {
 					col.setErr(fmt.Errorf("lht: range forward %s: %w", task.label, err))
 					depths[i] = 1
@@ -305,27 +344,19 @@ loop:
 			}
 			continue
 		}
-		// Partially covered terminal branch: enter through the near-end
-		// boundary leaf, bound to beta's own label; a miss means beta is
-		// itself a leaf, found under f_n(beta) - the at-most-one failed
-		// lookup of section 6.3.
 		thunks[i] = func() {
-			if err := ctx.Err(); err != nil {
-				col.setErr(fmt.Errorf("lht: range forward %s: %w", task.label, err))
-				return
-			}
 			hops := 1
-			nb, err := ix.getBucketC(ctx, task.label.Key(), col)
-			if errors.Is(err, dht.ErrNotFound) {
+			tb, terr := nb, err
+			if errors.Is(terr, dht.ErrNotFound) {
 				hops = 2
-				nb, err = ix.getBucketC(ctx, task.label.Name().Key(), col)
+				tb, terr = ix.getBucketC(ctx, task.label.Name().Key(), col)
 			}
-			if err != nil {
-				col.setErr(fmt.Errorf("lht: range forward %s: %w", task.label, err))
+			if terr != nil {
+				col.setErr(fmt.Errorf("lht: range forward %s: %w", task.label, terr))
 				depths[i] = hops
 				return
 			}
-			depths[i] = hops + ix.forward(ctx, nb, task.inv.Intersect(r), col)
+			depths[i] = hops + ix.forward(ctx, tb, task.inv.Intersect(r), col)
 		}
 	}
 	ix.inParallel(thunks...)

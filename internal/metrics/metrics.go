@@ -42,6 +42,9 @@ type Counters struct {
 	retries          atomic.Int64 // policy-layer re-attempts after transient faults
 	cancellations    atomic.Int64 // operations ended by context cancellation
 	deadlineExceeded atomic.Int64 // operations ended by context deadline expiry
+
+	batchOps    atomic.Int64 // native batched round trips issued
+	batchedKeys atomic.Int64 // keys carried by those batches (each also a lookup)
 }
 
 // AddLookups adds n DHT-lookups.
@@ -88,6 +91,16 @@ func (c *Counters) AddCancellations(n int64) { c.cancellations.Add(n) }
 // context deadline expired.
 func (c *Counters) AddDeadlineExceeded(n int64) { c.deadlineExceeded.Add(n) }
 
+// AddBatchOps adds n native batched round trips. Only batches served by a
+// substrate's own Batcher implementation count; per-op fallbacks charge
+// nothing here because they save no round trips.
+func (c *Counters) AddBatchOps(n int64) { c.batchOps.Add(n) }
+
+// AddBatchedKeys adds n keys carried inside native batches. Every such
+// key is also charged as a DHT-lookup, keeping the bandwidth measure
+// identical whether or not batching is available.
+func (c *Counters) AddBatchedKeys(n int64) { c.batchedKeys.Add(n) }
+
 // Snapshot is a point-in-time copy of the counters.
 type Snapshot struct {
 	Lookups      int64 // DHT-lookups issued
@@ -103,7 +116,16 @@ type Snapshot struct {
 	Retries          int64 // policy-layer retries after transient faults
 	Cancellations    int64 // operations ended by context cancellation
 	DeadlineExceeded int64 // operations ended by context deadline expiry
+
+	BatchOps    int64 // native batched round trips issued
+	BatchedKeys int64 // keys carried by those batches
 }
+
+// RoundTrips estimates the client's DHT round trips: every lookup is its
+// own round trip except the keys carried by native batches, which share
+// one round trip per batch. With no batching it equals Lookups; a fully
+// batched workload approaches one round trip per batch.
+func (s Snapshot) RoundTrips() int64 { return s.Lookups - s.BatchedKeys + s.BatchOps }
 
 // Snapshot returns the current counter values.
 func (c *Counters) Snapshot() Snapshot {
@@ -121,6 +143,9 @@ func (c *Counters) Snapshot() Snapshot {
 		Retries:          c.retries.Load(),
 		Cancellations:    c.cancellations.Load(),
 		DeadlineExceeded: c.deadlineExceeded.Load(),
+
+		BatchOps:    c.batchOps.Load(),
+		BatchedKeys: c.batchedKeys.Load(),
 	}
 }
 
@@ -138,6 +163,8 @@ func (c *Counters) Reset() {
 	c.retries.Store(0)
 	c.cancellations.Store(0)
 	c.deadlineExceeded.Store(0)
+	c.batchOps.Store(0)
+	c.batchedKeys.Store(0)
 }
 
 // Sub returns the component-wise difference s - prev, for measuring the
@@ -157,5 +184,8 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		Retries:          s.Retries - prev.Retries,
 		Cancellations:    s.Cancellations - prev.Cancellations,
 		DeadlineExceeded: s.DeadlineExceeded - prev.DeadlineExceeded,
+
+		BatchOps:    s.BatchOps - prev.BatchOps,
+		BatchedKeys: s.BatchedKeys - prev.BatchedKeys,
 	}
 }

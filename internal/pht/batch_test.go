@@ -1,0 +1,62 @@
+package pht
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"lht/internal/dht"
+	"lht/internal/record"
+)
+
+// TestRangeParallelBatchedMatchesPerOp: the breadth-first descent must
+// return the same records at the same Lookups/Steps whether each level's
+// frontier goes out as one multi-get or as individual gets — only round
+// trips may differ.
+func TestRangeParallelBatchedMatchesPerOp(t *testing.T) {
+	build := func(d dht.DHT) *Index {
+		ix, err := New(d, Config{SplitThreshold: 8, MergeThreshold: 0, Depth: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(91))
+		for i := 0; i < 500; i++ {
+			if _, err := ix.Insert(record.Record{Key: rng.Float64(), Value: []byte{byte(i)}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return ix
+	}
+	batched := build(dht.NewLocal())
+	perOp := build(dht.WithoutBatch(dht.NewLocal()))
+
+	for _, r := range [][2]float64{{0, 1}, {0.2, 0.6}, {0.49, 0.51}, {0, 0.0001}, {0.999, 1}} {
+		bres, bc, err := batched.RangeParallel(r[0], r[1])
+		if err != nil {
+			t.Fatalf("batched RangeParallel%v: %v", r, err)
+		}
+		pres, pc, err := perOp.RangeParallel(r[0], r[1])
+		if err != nil {
+			t.Fatalf("per-op RangeParallel%v: %v", r, err)
+		}
+		if bc != pc {
+			t.Errorf("RangeParallel%v cost: batched %+v, per-op %+v", r, bc, pc)
+		}
+		if len(bres) != len(pres) {
+			t.Fatalf("RangeParallel%v: %d vs %d records", r, len(bres), len(pres))
+		}
+		for i := range bres {
+			if bres[i].Key != pres[i].Key || !bytes.Equal(bres[i].Value, pres[i].Value) {
+				t.Fatalf("RangeParallel%v record %d differs", r, i)
+			}
+		}
+		// Cross-check against the chain walk, which is order-stable.
+		sres, _, err := batched.RangeSequential(r[0], r[1])
+		if err != nil {
+			t.Fatalf("RangeSequential%v: %v", r, err)
+		}
+		if len(sres) != len(bres) {
+			t.Fatalf("RangeParallel%v: %d records, sequential found %d", r, len(bres), len(sres))
+		}
+	}
+}

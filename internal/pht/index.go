@@ -109,14 +109,7 @@ func (ix *Index) Overflows() int64 {
 func (ix *Index) getNode(ctx context.Context, key string, cost *Cost) (*Node, error) {
 	cost.Lookups++
 	v, err := ix.d.Get(ctx, key)
-	if err != nil {
-		return nil, err
-	}
-	n, ok := v.(*Node)
-	if !ok {
-		return nil, fmt.Errorf("%w: key %q holds %T, not a node", ErrCorrupt, key, v)
-	}
-	return n, nil
+	return nodeOf(v, err, key)
 }
 
 // LookupLeaf is the PHT lookup: a binary search over all prefix lengths of

@@ -73,6 +73,13 @@ func (ix *Index) RangeParallel(lo, hi float64) ([]record.Record, Cost, error) {
 
 // RangeParallelContext is RangeParallel with a caller-supplied context;
 // cancellation stops the trie descent before further node fetches.
+//
+// The descent runs breadth-first: each trie level below the LCA is one
+// frontier, fetched with a single multi-get (one round trip per level on
+// a batch-native substrate). The fan-out per level is exactly the
+// parallelism the algorithm's latency model always assumed — Lookups and
+// Steps are identical to a node-at-a-time descent; only round trips
+// change.
 func (ix *Index) RangeParallelContext(ctx context.Context, lo, hi float64) ([]record.Record, Cost, error) {
 	if err := checkRange(lo, hi); err != nil {
 		return nil, Cost{}, err
@@ -81,63 +88,70 @@ func (ix *Index) RangeParallelContext(ctx context.Context, lo, hi float64) ([]re
 	lca := keyspace.RangeLCA(r, ix.cfg.Depth)
 
 	var (
-		out  []record.Record
-		cost Cost
+		out   []record.Record
+		cost  Cost
+		depth int
 	)
-	depth, found, err := ix.visit(ctx, lca, r, &out, &cost)
-	if err != nil {
-		return nil, cost, err
-	}
-	if !found {
-		// The trie is shallower than the LCA: the whole range lies in
-		// one leaf, found by an ordinary lookup.
-		n, lcost, err := ix.LookupLeafContext(ctx, lo)
-		cost.Lookups += lcost.Lookups
-		cost.Steps = depth + lcost.Steps
-		if err != nil {
-			return nil, cost, err
+	frontier := []bitlabel.Label{lca}
+	for len(frontier) > 0 {
+		depth++
+		keys := make([]string, len(frontier))
+		for i, label := range frontier {
+			keys[i] = label.Key()
 		}
-		out = record.FilterRange(out, n.Records, lo, hi)
-		return out, cost, nil
+		cost.Lookups += len(keys)
+		vals, errs := dht.DoGetBatch(ctx, ix.d, keys)
+
+		var next []bitlabel.Label
+		for i, label := range frontier {
+			if errors.Is(errs[i], dht.ErrNotFound) {
+				if label == lca {
+					// The trie is shallower than the LCA: the whole range
+					// lies in one leaf, found by an ordinary lookup.
+					n, lcost, err := ix.LookupLeafContext(ctx, lo)
+					cost.Lookups += lcost.Lookups
+					cost.Steps = depth + lcost.Steps
+					if err != nil {
+						return nil, cost, err
+					}
+					out = record.FilterRange(out, n.Records, lo, hi)
+					return out, cost, nil
+				}
+				return nil, cost, fmt.Errorf("%w: internal node %s lacks child %s", ErrCorrupt, label.Parent(), label)
+			}
+			n, err := nodeOf(vals[i], errs[i], keys[i])
+			if err != nil {
+				return nil, cost, err
+			}
+			if n.Leaf {
+				out = record.FilterRange(out, n.Records, r.Lo, r.Hi)
+				continue
+			}
+			// Internal: both children exist; descend into the overlapping
+			// ones next level.
+			for _, child := range []bitlabel.Label{label.Left(), label.Right()} {
+				if keyspace.IntervalOf(child).Overlaps(r) {
+					next = append(next, child)
+				}
+			}
+		}
+		frontier = next
 	}
 	cost.Steps = depth
 	return out, cost, nil
 }
 
-// visit fetches the trie node at label and recurses into the children
-// overlapping r. It reports the depth of its dependent lookup chain and
-// whether the node exists.
-func (ix *Index) visit(ctx context.Context, label bitlabel.Label, r keyspace.Interval, out *[]record.Record, cost *Cost) (int, bool, error) {
-	n, err := ix.getNode(ctx, label.Key(), cost)
-	if errors.Is(err, dht.ErrNotFound) {
-		return 1, false, nil
-	}
+// nodeOf type-asserts one get outcome (per-op or one slot of a batched
+// multi-get) into a trie node.
+func nodeOf(v dht.Value, err error, key string) (*Node, error) {
 	if err != nil {
-		return 1, false, err
+		return nil, err
 	}
-	if n.Leaf {
-		*out = record.FilterRange(*out, n.Records, r.Lo, r.Hi)
-		return 1, true, nil
+	n, ok := v.(*Node)
+	if !ok {
+		return nil, fmt.Errorf("%w: key %q holds %T, not a node", ErrCorrupt, key, v)
 	}
-	// Internal: both children exist; visit the overlapping ones in
-	// parallel.
-	maxChild := 0
-	for _, child := range []bitlabel.Label{label.Left(), label.Right()} {
-		if !keyspace.IntervalOf(child).Overlaps(r) {
-			continue
-		}
-		d, found, err := ix.visit(ctx, child, r, out, cost)
-		if err != nil {
-			return 1 + d, true, err
-		}
-		if !found {
-			return 1 + d, true, fmt.Errorf("%w: internal node %s lacks child %s", ErrCorrupt, label, child)
-		}
-		if d > maxChild {
-			maxChild = d
-		}
-	}
-	return 1 + maxChild, true, nil
+	return n, nil
 }
 
 // Leaves returns every leaf in key order by walking the chain from the

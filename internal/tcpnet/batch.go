@@ -1,0 +1,132 @@
+package tcpnet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"lht/internal/dht"
+)
+
+var _ dht.Batcher = (*Client)(nil)
+
+// GetBatch implements dht.Batcher: the batch's keys are grouped by owning
+// node and each group travels as one framed multi-op message, the round
+// trips to distinct nodes running concurrently. A transport failure fails
+// only that node's slots; the rest of the batch stands.
+func (c *Client) GetBatch(ctx context.Context, keys []string) ([]dht.Value, []error) {
+	vals := make([]dht.Value, len(keys))
+	errs := make([]error, len(keys))
+	var wg sync.WaitGroup
+	for n, slots := range c.groupByOwner(keys) {
+		wg.Add(1)
+		go func(n *nodeConn, slots []int) {
+			defer wg.Done()
+			req := request{Op: opGetBatch, Keys: make([]string, len(slots))}
+			for j, i := range slots {
+				req.Keys[j] = keys[i]
+			}
+			replies, err := n.batchRoundTrip(ctx, req, len(slots))
+			if err != nil {
+				for _, i := range slots {
+					errs[i] = err
+				}
+				return
+			}
+			for j, i := range slots {
+				switch replies[j].Err {
+				case "":
+					vals[i], errs[i] = decodeValue(replies[j].Val)
+				case errNotFound:
+					errs[i] = dht.ErrNotFound
+				default:
+					errs[i] = fmt.Errorf("tcpnet: server error: %s", replies[j].Err)
+				}
+			}
+		}(n, slots)
+	}
+	wg.Wait()
+	return vals, errs
+}
+
+// PutBatch implements dht.Batcher with the same per-owner grouping as
+// GetBatch. Pairs travel and apply in slice order, so a duplicate key's
+// last occurrence wins. A pair whose value fails to encode fails in its
+// slot alone and is left out of the wire message.
+func (c *Client) PutBatch(ctx context.Context, kvs []dht.KV) []error {
+	errs := make([]error, len(kvs))
+	keys := make([]string, len(kvs))
+	for i, kv := range kvs {
+		keys[i] = kv.Key
+	}
+	data := make([][]byte, len(kvs))
+	for i, kv := range kvs {
+		b, err := encodeValue(kv.Val)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		data[i] = b
+	}
+	var wg sync.WaitGroup
+	for n, slots := range c.groupByOwner(keys) {
+		sendable := slots[:0:0]
+		for _, i := range slots {
+			if errs[i] == nil {
+				sendable = append(sendable, i)
+			}
+		}
+		if len(sendable) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(n *nodeConn, slots []int) {
+			defer wg.Done()
+			req := request{Op: opPutBatch, KVs: make([]batchKV, len(slots))}
+			for j, i := range slots {
+				req.KVs[j] = batchKV{Key: kvs[i].Key, Val: data[i]}
+			}
+			replies, err := n.batchRoundTrip(ctx, req, len(slots))
+			if err != nil {
+				for _, i := range slots {
+					errs[i] = err
+				}
+				return
+			}
+			for j, i := range slots {
+				if replies[j].Err != "" {
+					errs[i] = fmt.Errorf("tcpnet: server error: %s", replies[j].Err)
+				}
+			}
+		}(n, sendable)
+	}
+	wg.Wait()
+	return errs
+}
+
+// groupByOwner maps each owning node to the slot indices it serves, in
+// ascending slice order per node.
+func (c *Client) groupByOwner(keys []string) map[*nodeConn][]int {
+	groups := make(map[*nodeConn][]int)
+	for i, k := range keys {
+		n := c.owner(k)
+		groups[n] = append(groups[n], i)
+	}
+	return groups
+}
+
+// batchRoundTrip performs one batched request and validates the reply
+// shape, so callers can index replies by slot unconditionally.
+func (n *nodeConn) batchRoundTrip(ctx context.Context, req request, want int) ([]batchReply, error) {
+	resp, err := n.roundTrip(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("tcpnet: server error: %s", resp.Err)
+	}
+	if len(resp.Batch) != want {
+		return nil, fmt.Errorf("tcpnet: batch reply has %d slots, want %d", len(resp.Batch), want)
+	}
+	return resp.Batch, nil
+}

@@ -30,13 +30,30 @@ const (
 	opTake
 	opRemove
 	opWrite
+	opGetBatch
+	opPutBatch
 )
 
 // request is one client->server message.
 type request struct {
-	Op  op
+	Op   op
+	Key  string
+	Val  []byte    // gob-encoded dht.Value for Put/Write
+	Keys []string  // keys of an opGetBatch
+	KVs  []batchKV // pairs of an opPutBatch, applied in order
+}
+
+// batchKV is one pair of an opPutBatch request.
+type batchKV struct {
 	Key string
-	Val []byte // gob-encoded dht.Value for Put/Write
+	Val []byte
+}
+
+// batchReply is one per-key slot of a batched response, positionally
+// aligned with the request's Keys or KVs.
+type batchReply struct {
+	Val []byte
+	Err string
 }
 
 // response is one server->client message.
@@ -44,6 +61,7 @@ type response struct {
 	Found bool
 	Val   []byte
 	Err   string
+	Batch []batchReply // per-key outcomes of a batched op
 }
 
 // encodeValue serializes a dht.Value with gob. Concrete types must be

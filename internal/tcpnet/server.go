@@ -148,6 +148,22 @@ func (s *Server) apply(req request) response {
 		}
 		s.store[req.Key] = req.Val
 		return response{Found: true}
+	case opGetBatch:
+		out := make([]batchReply, len(req.Keys))
+		for i, k := range req.Keys {
+			v, ok := s.store[k]
+			if !ok {
+				out[i] = batchReply{Err: errNotFound}
+				continue
+			}
+			out[i] = batchReply{Val: v}
+		}
+		return response{Found: true, Batch: out}
+	case opPutBatch:
+		for _, kv := range req.KVs { // in order: a duplicate key's last pair wins
+			s.store[kv.Key] = kv.Val
+		}
+		return response{Found: true, Batch: make([]batchReply, len(req.KVs))}
 	default:
 		return response{Err: "unknown op"}
 	}

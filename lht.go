@@ -34,6 +34,13 @@
 // substrate faults (see Policy and DefaultPolicy); every retry is charged
 // as a DHT-lookup, keeping the paper's cost model honest.
 //
+// Substrates that implement the optional Batcher interface serve
+// many-key rounds — bulk loads, parallel range sweeps — in one network
+// round trip per peer instead of one per key. Batching changes latency
+// and round-trip counts only: Lookups (the paper's bandwidth measure)
+// and query results are identical either way, and WithoutBatch restores
+// strict per-op behavior for comparison.
+//
 // The substrates, the PHT baseline, and the experiment harness that
 // regenerates the paper's figures live under internal/; see DESIGN.md for
 // the system inventory and EXPERIMENTS.md for reproduction results.
@@ -84,7 +91,16 @@ var (
 	ErrNotFound = dht.ErrNotFound
 	// ErrNotEmpty reports a BulkLoad into a non-empty index.
 	ErrNotEmpty = ilht.ErrNotEmpty
+	// ErrPartialLoad reports a BulkLoad that failed after shipping some
+	// leaves: the tree is partially populated, not absent. The error is
+	// always a *PartialLoadError carrying ship counts and the root cause.
+	ErrPartialLoad = ilht.ErrPartialLoad
 )
+
+// PartialLoadError is the error type behind ErrPartialLoad: how many
+// leaves shipped before the failure, out of how many planned, and the
+// first real cause (cancellations yield to substrate faults).
+type PartialLoadError = ilht.PartialLoadError
 
 // DefaultConfig returns the paper's experiment defaults: theta_split =
 // 100, D = 20, merging enabled.
@@ -92,11 +108,17 @@ func DefaultConfig() Config { return ilht.DefaultConfig() }
 
 // Index is an LHT index over a DHT substrate. Create one with New.
 //
-// Concurrency follows sync.RWMutex semantics over the *data*: any number
-// of query operations (Get/Range/Min/Max/Scan) may run concurrently, but
-// a mutating operation (Insert/Delete) requires exclusive access - in
-// the deployed system each bucket's responsible peer serializes its
-// updates, which this in-process client cannot do for the caller.
+// Concurrency contract: queries (Search, Range, Scan, Min/Max) are safe
+// to call concurrently from any number of goroutines, including with the
+// leaf cache enabled — the cache and cost counters are internally
+// synchronized. Writers (Insert, Delete, BulkLoad) are NOT serialized by
+// this type: the index is a client-side view of shared DHT state, and
+// nothing here can lock a remote bucket, so callers must serialize
+// writers externally against both queries and each other — use the index
+// as if under a sync.RWMutex: any number of concurrent readers, or
+// exactly one writer. (In the deployed system each bucket has one
+// responsible peer serializing its updates; an in-process client cannot
+// provide that for the caller.)
 type Index struct {
 	inner *ilht.Index
 }
@@ -121,7 +143,10 @@ func (ix *Index) InsertContext(ctx context.Context, r Record) (Cost, error) {
 
 // BulkLoad populates an empty index with a whole dataset in one pass
 // (about one DHT-put per resulting leaf), the standard construction
-// optimization; ErrNotEmpty if the index already holds data.
+// optimization; ErrNotEmpty if the index already holds data. Leaves ship
+// in batched parallel put rounds (Config.BatchSize keys per batch); a
+// failure mid-load surfaces as a *PartialLoadError once any leaf has
+// landed.
 func (ix *Index) BulkLoad(recs []Record) (Cost, error) { return ix.inner.BulkLoad(recs) }
 
 // BulkLoadContext is BulkLoad under a caller-supplied context.

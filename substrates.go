@@ -1,6 +1,7 @@
 package lht
 
 import (
+	"context"
 	"encoding/gob"
 
 	"lht/internal/chord"
@@ -35,6 +36,38 @@ func DefaultPolicy() Policy { return dht.DefaultPolicy() }
 // retry as a DHT-lookup); use WithPolicy directly only for raw substrate
 // access.
 func WithPolicy(d DHT, p Policy) DHT { return dht.WithPolicy(d, p) }
+
+// Batcher is the optional batched operation plane: substrates that can
+// serve many keys in fewer network round trips implement it alongside
+// DHT. Results are positionally aligned with the inputs, a batch never
+// fails as a whole (each slot carries its own error), and duplicate keys
+// in a PutBatch apply in slice order. The Local, Chord, and tcpnet
+// substrates are batch-native; everything that is not decomposes
+// per-op through GetBatch/PutBatch below. Batching never changes what
+// the paper's cost model counts — every batched key is still one
+// DHT-lookup — only how many substrate round trips carry them.
+type Batcher = dht.Batcher
+
+// KV is one key/value slot of a batched put.
+type KV = dht.KV
+
+// GetBatch fetches many keys through d's native batch plane if it has
+// one, or per-op otherwise. Result slices are positionally aligned with
+// keys; absent keys report ErrNotFound in their slot.
+func GetBatch(ctx context.Context, d DHT, keys []string) ([]Value, []error) {
+	return dht.DoGetBatch(ctx, d, keys)
+}
+
+// PutBatch stores many key/value pairs through d's native batch plane if
+// it has one, or per-op otherwise. The returned errors align with kvs.
+func PutBatch(ctx context.Context, d DHT, kvs []KV) []error {
+	return dht.DoPutBatch(ctx, d, kvs)
+}
+
+// WithoutBatch hides a substrate's native Batcher implementation, forcing
+// per-op decomposition — the control arm for measuring what batching
+// saves (ablation A6 in EXPERIMENTS.md).
+func WithoutBatch(d DHT) DHT { return dht.WithoutBatch(d) }
 
 // Transient-fault classification, shared by Policy and callers that
 // inspect errors themselves.
