@@ -49,8 +49,9 @@ type config struct {
 // experimentNames lists every figure in presentation order, followed by
 // the ablation studies (a1: lookup strategy, a2: merge hysteresis, a3:
 // theta sweep, a4: client leaf cache, a5: retry policy under faults,
-// a6: batched operation plane).
-var experimentNames = []string{"fig6a", "fig6b", "fig7", "fig8a", "fig8b", "fig9a", "fig9b", "eq3", "thm3", "a1", "a2", "a3", "a4", "a5", "a6", "s1", "rw1", "x1"}
+// a6: batched operation plane, a7: recovery under churn + torn
+// mutations).
+var experimentNames = []string{"fig6a", "fig6b", "fig7", "fig8a", "fig8b", "fig9a", "fig9b", "eq3", "thm3", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "s1", "rw1", "x1"}
 
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("lht-bench", flag.ContinueOnError)
@@ -257,6 +258,17 @@ func runExperiments(ctx context.Context, cfg config, out io.Writer) error {
 			return err
 		}
 		emit(load, query)
+	}
+	if want("a7") {
+		// Churn stresses the substrate, not the tree: a modest record
+		// count exercises every recovery path while the node count and
+		// churn fractions carry the experiment.
+		succ, cost, err := bench.RunChurnAblation(cfg.opts, workload.Uniform, 32, sizes[0],
+			[]float64{0, 0.05, 0.1, 0.2})
+		if err != nil {
+			return err
+		}
+		emit(succ, cost)
 	}
 	if want("s1") {
 		res, err := bench.RunHopsVsNodes(cfg.opts, []int{4, 8, 16, 32, 64, 128})

@@ -10,6 +10,7 @@
 //	lht-cli -nodes ... scan 0.5 20
 //	lht-cli -nodes ... min | max | count
 //	lht-cli -nodes ... fill 10000        # seeded uniform bulk load
+//	lht-cli -nodes ... -scrub            # verify + repair tree invariants
 package main
 
 import (
@@ -48,13 +49,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		seed    = fs.Int64("seed", 1, "seed for the fill command")
 		timeout = fs.Duration("timeout", 0, "deadline for the whole command (0 = none); becomes socket deadlines on every request")
 		retry   = fs.Bool("retry", true, "retry transient node faults with backoff (each retry costs one DHT-lookup)")
+		scrub   = fs.Bool("scrub", false, "verify and repair the tree's structural invariants, print the report, and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	cmd := fs.Args()
-	if len(cmd) == 0 {
-		return fmt.Errorf("missing command (put|get|del|range|scan|min|max|count|fill)")
+	if len(cmd) == 0 && !*scrub {
+		return fmt.Errorf("missing command (put|get|del|range|scan|min|max|count|fill), or use -scrub")
 	}
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -76,6 +78,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	ix, err := lht.New(client, cfg)
 	if err != nil {
+		return err
+	}
+	if *scrub {
+		rep, err := ix.ScrubContext(ctx)
+		if rep != nil {
+			fmt.Fprintln(out, rep)
+		}
 		return err
 	}
 	return dispatch(ctx, ix, cmd, *seed, out)

@@ -9,7 +9,9 @@
 //	lht-cli -nodes 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 fill 10000
 //
 // With -data set, the node loads its shard at startup and snapshots it
-// on SIGINT/SIGTERM, so a restart preserves the index.
+// on SIGINT/SIGTERM, so a restart preserves the index; adding
+// -snapshot-interval 30s also snapshots periodically, bounding what a
+// hard crash can lose to one interval.
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"lht/internal/tcpnet"
 )
@@ -28,16 +31,17 @@ import (
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7001", "address to listen on")
 	data := flag.String("data", "", "snapshot file for the node's shard (empty = in-memory only)")
+	interval := flag.Duration("snapshot-interval", 0, "also snapshot the shard periodically (0 = only on shutdown); requires -data")
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *listen, *data); err != nil {
+	if err := run(ctx, *listen, *data, *interval); err != nil {
 		fmt.Fprintln(os.Stderr, "lht-node:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, listen, data string) error {
+func run(ctx context.Context, listen, data string, interval time.Duration) error {
 	srv := tcpnet.NewServer()
 	if data != "" {
 		if err := srv.LoadSnapshot(data); err != nil {
@@ -45,9 +49,34 @@ func run(ctx context.Context, listen, data string) error {
 		}
 		log.Printf("loaded %d keys from %s", srv.Len(), data)
 	}
+	if interval > 0 && data == "" {
+		return fmt.Errorf("-snapshot-interval requires -data")
+	}
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err
+	}
+
+	// Periodic snapshots bound the state a crash (as opposed to a clean
+	// shutdown) can lose to one interval; a restarted node then resumes
+	// from recent state instead of the last manual save.
+	if interval > 0 {
+		go func() {
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if err := srv.SaveSnapshot(data); err != nil {
+						log.Printf("periodic snapshot: %v", err)
+					} else {
+						log.Printf("snapshotted %d keys to %s", srv.Len(), data)
+					}
+				}
+			}
+		}()
 	}
 
 	// SIGINT/SIGTERM cancels ctx: snapshot the shard, then close the

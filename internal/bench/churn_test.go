@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"testing"
+
+	"lht/internal/workload"
+)
+
+// TestChurnAblation pins the A7 acceptance criteria: with Replicas 3 and
+// a scrub pass, query success holds at 100% under 5% non-graceful churn
+// plus injected torn mutations; with Replicas 1 the stranded shards make
+// heavy churn visibly lossy; and the recovery machinery's cost is nonzero
+// exactly when it runs.
+func TestChurnAblation(t *testing.T) {
+	o := testOptions()
+	churns := []float64{0, 0.05, 0.25}
+	succ, cost, err := RunChurnAblation(o, workload.Uniform, 24, 1<<10, churns)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	replicated := seriesByName(t, succ, "LHT replicas 3, scrub")
+	bare := seriesByName(t, succ, "LHT replicas 1, no scrub")
+
+	// Healthy ring: the planted tears are repaired (in-line or by the
+	// scrub) and every query answers, in every variant.
+	for _, s := range succ.Series {
+		if s.Points[0].Y != 100 {
+			t.Errorf("%s at 0%% churn: success %v%%, want 100%%", s.Name, s.Points[0].Y)
+		}
+	}
+	// The headline: replication + scrub absorb 5% churn completely.
+	if y := replicated.Points[1].Y; y != 100 {
+		t.Errorf("replicas 3 + scrub at 5%% churn: success %v%%, want 100%%", y)
+	}
+	// Without replication, heavy churn strands shards no index-layer
+	// recovery can rebuild.
+	if y := bare.Points[2].Y; y >= 95 {
+		t.Errorf("replicas 1 at 25%% churn: success %v%%, expected visible loss", y)
+	}
+
+	// Scrubbing costs lookups; those lookups buy the repairs.
+	scrubCost := seriesByName(t, cost, "LHT replicas 3, scrub")
+	noScrubCost := seriesByName(t, cost, "LHT replicas 3, no scrub")
+	if scrubCost.Points[0].Y <= noScrubCost.Points[0].Y {
+		t.Errorf("scrub cost %v should exceed in-line-only cost %v",
+			scrubCost.Points[0].Y, noScrubCost.Points[0].Y)
+	}
+	// In-line read-repair alone also pays something on a torn tree.
+	if noScrubCost.Points[0].Y <= 0 {
+		t.Errorf("in-line repair cost = %v, want > 0 (tears were planted)", noScrubCost.Points[0].Y)
+	}
+}

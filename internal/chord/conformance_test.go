@@ -26,3 +26,15 @@ func TestReplicatedRingConformance(t *testing.T) {
 		return r
 	}, dhttest.Options{Keys: 120})
 }
+
+func TestRingCrashPointsConformance(t *testing.T) {
+	// Crash schedules must decompose the ring's batched rounds per key, so
+	// injected faults land on the same logical ops as in a per-op run.
+	dhttest.RunCrashPoints(t, func(t *testing.T) dht.DHT {
+		r, err := NewRing(8, Config{Seed: 101})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	})
+}

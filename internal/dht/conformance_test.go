@@ -19,3 +19,7 @@ func TestInstrumentedConformance(t *testing.T) {
 		return dht.NewInstrumented(dht.NewLocal(), newCounters())
 	}, dhttest.Options{})
 }
+
+func TestCrashPointsConformance(t *testing.T) {
+	dhttest.RunCrashPoints(t, func(t *testing.T) dht.DHT { return dht.NewLocal() })
+}

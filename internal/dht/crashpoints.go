@@ -1,0 +1,301 @@
+package dht
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrCrashed reports an operation failed by an injected crash schedule.
+// It is deliberately NOT transient: a crashed client does not retry, so
+// the policy layer must surface it immediately (schedules that model
+// flaky-but-alive substrates set CrashRule.Transient instead).
+var ErrCrashed = errors.New("dht: injected crash")
+
+// OpKind identifies one DHT operation class for crash scheduling. Batched
+// operations decompose into their per-key kinds (OpGet / OpPut), so a
+// schedule counts ops identically whether or not the substrate batches.
+type OpKind uint8
+
+const (
+	// OpAny matches every operation.
+	OpAny OpKind = iota
+	// OpGet matches Get (and each key of a GetBatch).
+	OpGet
+	// OpPut matches Put (and each pair of a PutBatch).
+	OpPut
+	// OpTake matches Take.
+	OpTake
+	// OpRemove matches Remove.
+	OpRemove
+	// OpWrite matches Write.
+	OpWrite
+)
+
+// String names the kind for logs and test failures.
+func (k OpKind) String() string {
+	switch k {
+	case OpAny:
+		return "any"
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpTake:
+		return "take"
+	case OpRemove:
+		return "remove"
+	case OpWrite:
+		return "write"
+	}
+	return "unknown"
+}
+
+// CrashRule is one entry of a deterministic fault schedule. A rule matches
+// an operation when Op (OpAny = all) and Key (nil = all) both accept it;
+// N picks the Nth match (1-based; 0 = every match). When a rule fires,
+// the operation fails with ErrCrashed (or a transient fault when
+// Transient is set); with After set, the underlying operation is executed
+// first and only the acknowledgement is lost — the classic crash-after-put
+// window where the remote write took effect but the writer died before
+// its next step. Halt turns the firing into a process crash: every
+// subsequent operation through the wrapper fails immediately.
+type CrashRule struct {
+	// Op restricts the rule to one operation class; OpAny matches all.
+	Op OpKind
+	// Key, when non-nil, restricts the rule to keys it accepts.
+	Key func(key string) bool
+	// N fires the rule on the Nth matching operation (1-based). 0 fires
+	// on every match.
+	N int
+	// After executes the underlying operation before failing, so the
+	// effect is durable but the caller observes a crash.
+	After bool
+	// Halt fails all operations after the rule fires (simulated process
+	// death), not just the matching one.
+	Halt bool
+	// Transient marks the injected error retryable (dht.IsTransient), for
+	// schedules that model a flaky substrate rather than a dead client.
+	Transient bool
+}
+
+// CrashPoints wraps a DHT with a scripted, deterministic fault schedule.
+// Unlike probabilistic injection (bench's flaky substrate), the same
+// operation sequence always fails at the same points, so torn states are
+// reproducible in tests. It implements Batcher: batched keys advance the
+// same per-op counter, one count per key, in slice order.
+type CrashPoints struct {
+	inner DHT
+	rules []CrashRule
+
+	mu      sync.Mutex
+	matches []int // per-rule match counts
+	ops     int   // total operations observed
+	halted  bool
+}
+
+var (
+	_ DHT     = (*CrashPoints)(nil)
+	_ Batcher = (*CrashPoints)(nil)
+)
+
+// WithCrashPoints wraps d with the given schedule. Rules are evaluated in
+// order; the first firing rule decides the outcome.
+func WithCrashPoints(d DHT, rules ...CrashRule) *CrashPoints {
+	return &CrashPoints{inner: d, rules: rules, matches: make([]int, len(rules))}
+}
+
+// Ops returns how many operations the schedule has observed (batched keys
+// count one each).
+func (c *CrashPoints) Ops() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ops
+}
+
+// Crashed reports whether a halting rule has fired: the simulated process
+// is dead and every further operation fails.
+func (c *CrashPoints) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.halted
+}
+
+// Reset revives a halted wrapper and restarts the schedule from the
+// beginning, modeling a process restart with the same script.
+func (c *CrashPoints) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.halted = false
+	c.ops = 0
+	for i := range c.matches {
+		c.matches[i] = 0
+	}
+}
+
+// verdict is the scheduling decision for one operation.
+type verdict struct {
+	fail  bool
+	after bool
+	err   error
+}
+
+// decide advances the schedule one operation and returns its fate.
+func (c *CrashPoints) decide(op OpKind, key string) verdict {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.halted {
+		return verdict{fail: true, err: ErrCrashed}
+	}
+	c.ops++
+	for i, r := range c.rules {
+		if r.Op != OpAny && r.Op != op {
+			continue
+		}
+		if r.Key != nil && !r.Key(key) {
+			continue
+		}
+		c.matches[i]++
+		if r.N != 0 && c.matches[i] != r.N {
+			continue
+		}
+		if r.Halt {
+			c.halted = true
+		}
+		err := ErrCrashed
+		if r.Transient {
+			err = MarkTransient(ErrCrashed)
+		}
+		return verdict{fail: true, after: r.After, err: err}
+	}
+	return verdict{}
+}
+
+// Get implements DHT.
+func (c *CrashPoints) Get(ctx context.Context, key string) (Value, error) {
+	v := c.decide(OpGet, key)
+	if v.fail && !v.after {
+		return nil, v.err
+	}
+	val, err := c.inner.Get(ctx, key)
+	if v.fail {
+		return nil, v.err
+	}
+	return val, err
+}
+
+// Put implements DHT.
+func (c *CrashPoints) Put(ctx context.Context, key string, val Value) error {
+	v := c.decide(OpPut, key)
+	if v.fail && !v.after {
+		return v.err
+	}
+	err := c.inner.Put(ctx, key, val)
+	if v.fail {
+		return v.err
+	}
+	return err
+}
+
+// Take implements DHT.
+func (c *CrashPoints) Take(ctx context.Context, key string) (Value, error) {
+	v := c.decide(OpTake, key)
+	if v.fail && !v.after {
+		return nil, v.err
+	}
+	val, err := c.inner.Take(ctx, key)
+	if v.fail {
+		return nil, v.err
+	}
+	return val, err
+}
+
+// Remove implements DHT.
+func (c *CrashPoints) Remove(ctx context.Context, key string) error {
+	v := c.decide(OpRemove, key)
+	if v.fail && !v.after {
+		return v.err
+	}
+	err := c.inner.Remove(ctx, key)
+	if v.fail {
+		return v.err
+	}
+	return err
+}
+
+// Write implements DHT.
+func (c *CrashPoints) Write(ctx context.Context, key string, val Value) error {
+	v := c.decide(OpWrite, key)
+	if v.fail && !v.after {
+		return v.err
+	}
+	err := c.inner.Write(ctx, key, val)
+	if v.fail {
+		return v.err
+	}
+	return err
+}
+
+// GetBatch implements Batcher: every key is scheduled as one OpGet, in
+// slice order, exactly as a loop of per-op Gets would be. Surviving keys
+// are fetched through the inner substrate's batch plane when available.
+func (c *CrashPoints) GetBatch(ctx context.Context, keys []string) ([]Value, []error) {
+	vals := make([]Value, len(keys))
+	errs := make([]error, len(keys))
+	var live []string
+	var liveIdx []int
+	after := make([]bool, len(keys))
+	for i, k := range keys {
+		v := c.decide(OpGet, k)
+		if v.fail {
+			errs[i] = v.err
+			if v.after {
+				after[i] = true
+				live = append(live, k)
+				liveIdx = append(liveIdx, i)
+			}
+			continue
+		}
+		live = append(live, k)
+		liveIdx = append(liveIdx, i)
+	}
+	lv, le := DoGetBatch(ctx, c.inner, live)
+	for j, i := range liveIdx {
+		if after[i] {
+			continue // effect happened; the scheduled error stands
+		}
+		vals[i], errs[i] = lv[j], le[j]
+	}
+	return vals, errs
+}
+
+// PutBatch implements Batcher with the same per-key scheduling as
+// GetBatch.
+func (c *CrashPoints) PutBatch(ctx context.Context, kvs []KV) []error {
+	errs := make([]error, len(kvs))
+	var live []KV
+	var liveIdx []int
+	after := make([]bool, len(kvs))
+	for i, kv := range kvs {
+		v := c.decide(OpPut, kv.Key)
+		if v.fail {
+			errs[i] = v.err
+			if v.after {
+				after[i] = true
+				live = append(live, kv)
+				liveIdx = append(liveIdx, i)
+			}
+			continue
+		}
+		live = append(live, kv)
+		liveIdx = append(liveIdx, i)
+	}
+	le := DoPutBatch(ctx, c.inner, live)
+	for j, i := range liveIdx {
+		if after[i] {
+			continue
+		}
+		errs[i] = le[j]
+	}
+	return errs
+}

@@ -34,7 +34,55 @@ type Bucket struct {
 	Label bitlabel.Label
 	// Records are the stored data records, in no particular order.
 	Records []record.Record
+	// Epoch is a per-bucket version, bumped on every mutation the index
+	// performs (record write-backs, splits, merges; children continue
+	// their parent's count). Recovery uses it to order two overlapping
+	// buckets: the higher epoch is the live structure, the lower a stale
+	// remnant of a torn mutation or resurrected replica.
+	Epoch uint64
+	// Pending is the write-ahead intent of an in-flight structural
+	// mutation (split or merge). It is recorded in the surviving bucket
+	// before the multi-step rewrite begins and cleared by the final step,
+	// so every intermediate state of a crashed mutation is detectable
+	// from the bucket alone; see Index.Scrub and the lookup read-repair.
+	Pending Pending
 }
+
+// PendingKind enumerates the structural mutations that leave a
+// write-ahead intent in a bucket.
+type PendingKind uint8
+
+const (
+	// PendingNone marks a bucket with no mutation in flight.
+	PendingNone PendingKind = iota
+	// PendingSplit marks a leaf about to split (Algorithm 1): the
+	// partition is deterministic from the bucket itself, so the intent
+	// needs no extra data. Until cleared, the remote half may or may not
+	// yet exist under the leaf's own label key.
+	PendingSplit
+	// PendingMerge marks a merged bucket whose obsolete child has not yet
+	// been removed from the DHT.
+	PendingMerge
+)
+
+// Pending is a bucket's write-ahead intent. The zero value means no
+// mutation is in flight.
+type Pending struct {
+	// Kind says which mutation was started.
+	Kind PendingKind
+	// RemoveKey, for merges, is the DHT key of the obsolete child bucket
+	// to delete once the merged bucket is durable.
+	RemoveKey string
+	// PeerEpoch, for merges, is the epoch the obsolete child had when the
+	// merge began. Recovery rolls the merge forward only if the child is
+	// unchanged; a newer epoch means another client wrote to it after the
+	// crash, so the merge is rolled back instead.
+	PeerEpoch uint64
+}
+
+// Torn reports whether the bucket carries an uncleared mutation intent,
+// i.e. a writer crashed between the intent and the final write.
+func (b *Bucket) Torn() bool { return b.Pending.Kind != PendingNone }
 
 // Weight is the storage occupancy of the bucket: the record count plus one
 // slot for the leaf label (section 9.2 notes the label occupies one record
@@ -49,7 +97,7 @@ func (b *Bucket) Contains(delta float64) bool { return b.Interval().Contains(del
 
 // Clone returns a deep copy of the bucket.
 func (b *Bucket) Clone() *Bucket {
-	out := &Bucket{Label: b.Label}
+	out := &Bucket{Label: b.Label, Epoch: b.Epoch, Pending: b.Pending}
 	if b.Records != nil {
 		out.Records = make([]record.Record, len(b.Records))
 		copy(out.Records, b.Records)
@@ -62,17 +110,21 @@ func (b *Bucket) String() string {
 	return fmt.Sprintf("bucket(%s, %d records)", b.Label, len(b.Records))
 }
 
-// bucketWire is the serialized form of a Bucket.
+// bucketWire is the serialized form of a Bucket. Epoch and Pending are
+// zero-valued on clean buckets, which gob omits, so snapshots written
+// before recovery existed decode unchanged.
 type bucketWire struct {
 	Label   bitlabel.Label
 	Records []record.Record
+	Epoch   uint64
+	Pending Pending
 }
 
 // EncodeBucket serializes a bucket for substrates that cross process
 // boundaries (Chord/Kademlia byte stores, the TCP cluster).
 func EncodeBucket(b *Bucket) ([]byte, error) {
 	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(bucketWire{Label: b.Label, Records: b.Records}); err != nil {
+	if err := gob.NewEncoder(&buf).Encode(bucketWire{Label: b.Label, Records: b.Records, Epoch: b.Epoch, Pending: b.Pending}); err != nil {
 		return nil, fmt.Errorf("encode bucket: %w", err)
 	}
 	return buf.Bytes(), nil
@@ -84,5 +136,5 @@ func DecodeBucket(data []byte) (*Bucket, error) {
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
 		return nil, fmt.Errorf("decode bucket: %w", err)
 	}
-	return &Bucket{Label: w.Label, Records: w.Records}, nil
+	return &Bucket{Label: w.Label, Records: w.Records, Epoch: w.Epoch, Pending: w.Pending}, nil
 }

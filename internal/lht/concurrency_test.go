@@ -1,6 +1,7 @@
 package lht
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -84,4 +85,60 @@ func testConcurrentReaders(t *testing.T, cfg Config) {
 		}(int64(g))
 	}
 	wg.Wait()
+}
+
+// TestScrubConcurrentWithReaders backs Scrub's documented concurrency
+// position: over a consistent tree it performs no writes, so it may run
+// alongside any number of queries (run with -race). The cached variant
+// additionally races the scrub's bucket fetches against the shared LRU.
+func TestScrubConcurrentWithReaders(t *testing.T) {
+	for _, cfg := range []Config{
+		{SplitThreshold: 16, MergeThreshold: 8, Depth: 20},
+		{SplitThreshold: 16, MergeThreshold: 8, Depth: 20, LeafCache: true, LeafCacheSize: 32},
+	} {
+		name := "uncached"
+		if cfg.LeafCache {
+			name = "cached"
+		}
+		t.Run(name, func(t *testing.T) {
+			ix, err := New(dht.NewLocal(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(72))
+			keys := make([]float64, 1000)
+			for i := range keys {
+				keys[i] = rng.Float64()
+				if _, err := ix.Insert(record.Record{Key: keys[i]}); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			var wg sync.WaitGroup
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < 200; i++ {
+						k := keys[rng.Intn(len(keys))]
+						if _, _, err := ix.Search(k); err != nil {
+							t.Errorf("Search(%v): %v", k, err)
+							return
+						}
+					}
+				}(int64(g))
+			}
+			for s := 0; s < 3; s++ {
+				rep, err := ix.Scrub(context.Background())
+				if err != nil {
+					t.Fatalf("Scrub: %v\n%s", err, rep)
+				}
+				if !rep.Clean() {
+					t.Fatalf("Scrub of consistent tree not clean:\n%s", rep)
+				}
+			}
+			wg.Wait()
+		})
+	}
 }

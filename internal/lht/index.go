@@ -186,6 +186,12 @@ func (ix *Index) lookup(ctx context.Context, delta float64) (*Bucket, string, Co
 		if x, ok := ix.cache.find(mu); ok {
 			name := x.Name()
 			b, err := ix.getBucket(ctx, name.Key(), &cost)
+			if err == nil && b.Torn() {
+				// The cached leaf's peer holds a torn mutation from a
+				// crashed writer; finish it, then apply the normal case
+				// analysis to the repaired bucket.
+				b, err = ix.repairTorn(ctx, name.Key(), b, &cost)
+			}
 			switch {
 			case err == nil && b.Contains(delta):
 				// Hit. The fetched label can differ from the cached one
@@ -232,6 +238,20 @@ func (ix *Index) lookup(ctx context.Context, delta float64) (*Bucket, string, Co
 		x := mu.Prefix(mid)
 		name := x.Name()
 		b, err := ix.getBucket(ctx, name.Key(), &cost)
+		if err == nil && b.Torn() {
+			// In-line read-repair: a fetched bucket carrying a pending
+			// split/merge intent is completed (or rolled back) before the
+			// search interprets it, so a torn tree converges back to the
+			// never-crashed structure under ordinary query traffic.
+			b, err = ix.repairTorn(ctx, name.Key(), b, &cost)
+			// The repair changed tree structure, so bounds derived from
+			// probes of the pre-repair tree may exclude the new leaves
+			// (e.g. a split's remote child sits one level below an hi set
+			// by probing its then-absent key). Restart from the full
+			// range; the repaired bucket's own case analysis below is
+			// computed against the current tree and stays valid.
+			lo, hi = 1, ix.cfg.Depth
+		}
 		switch {
 		case errors.Is(err, dht.ErrNotFound):
 			// No leaf is named f_n(x): every prefix of mu in
@@ -303,6 +323,7 @@ func (ix *Index) InsertContext(ctx context.Context, rec record.Record) (Cost, er
 	} else {
 		b.Records = append(b.Records, rec)
 	}
+	b.Epoch++
 	cost.Lookups++
 	cost.Steps++
 	if err := ix.d.Put(ctx, key, b); err != nil {
@@ -323,6 +344,13 @@ func (ix *Index) InsertContext(ctx context.Context, rec record.Record) (Cost, er
 // keeps the name f_n(lambda) and stays on its peer (a free local rewrite);
 // the other is named lambda itself and is pushed out with a single
 // DHT-put (Theorem 2).
+//
+// The rewrite is crash-consistent: a write-ahead intent (Pending) is
+// recorded in the full leaf in place before any routed write, and cleared
+// only by the final write-back. Every intermediate state is therefore
+// detectable from the bucket under key alone, and completeSplit — invoked
+// by the next lookup's read-repair or by Scrub — re-runs the remaining
+// steps idempotently, converging on exactly the never-crashed tree.
 func (ix *Index) split(ctx context.Context, key string, b *Bucket) (Cost, error) {
 	var cost Cost
 	lambda := b.Label
@@ -335,53 +363,29 @@ func (ix *Index) split(ctx context.Context, key string, b *Bucket) (Cost, error)
 		return cost, nil
 	}
 
-	// Partition records at the interval median (the split point is
-	// distribution-independent, section 3.2).
-	iv := b.Interval()
-	mid := iv.Lo + (iv.Hi-iv.Lo)/2
-	var left, right []record.Record
-	for _, r := range b.Records {
-		if r.Key < mid {
-			left = append(left, r)
-		} else {
-			right = append(right, r)
-		}
+	// Step 1: mark the intent in place (free, local). A crash before this
+	// write leaves the old state untouched; a crash after leaves a marker
+	// every later fetch can act on.
+	b.Pending = Pending{Kind: PendingSplit}
+	if err := ix.d.Write(ctx, key, b); err != nil {
+		b.Pending = Pending{}
+		return cost, fmt.Errorf("lht: split intent %q: %w", key, err)
 	}
 
-	rb := &Bucket{}
-	if lambda.LastBit() == 1 {
-		// lambda = p011*: the remote leaf is lambda0 (named lambda), the
-		// local leaf is lambda1 (named f_n(lambda) = key).
-		rb.Label, rb.Records = lambda.Left(), left
-		b.Label, b.Records = lambda.Right(), right
-	} else {
-		// lambda = p100* or #00*: the remote leaf is lambda1 (named
-		// lambda), the local leaf is lambda0.
-		rb.Label, rb.Records = lambda.Right(), right
-		b.Label, b.Records = lambda.Left(), left
+	// Steps 2-3: push the remote half out, write the local half back.
+	_, rb, err := ix.completeSplit(ctx, key, b, &cost, false)
+	if err != nil {
+		return cost, err
 	}
 
+	// Accounting strictly after both writes succeeded: a failed split
+	// must not distort the cost metrics or the paper's alpha estimate.
 	moved := int64(rb.Weight())
 	ix.c.AddSplits(1)
 	ix.c.AddMovedRecords(moved)
 	ix.mu.Lock()
 	ix.alphaSum += float64(moved) / float64(ix.cfg.SplitThreshold)
 	ix.mu.Unlock()
-
-	// Push the remote half to the peer responsible for key lambda.
-	cost.Lookups++
-	cost.Steps++
-	if err := ix.d.Put(ctx, lambda.Key(), rb); err != nil {
-		return cost, fmt.Errorf("lht: split put %s: %w", lambda, err)
-	}
-	// Write the shrunk local half back to the local disk (no lookup).
-	if err := ix.d.Write(ctx, key, b); err != nil {
-		return cost, fmt.Errorf("lht: split write %q: %w", key, err)
-	}
-	// This client just observed both children; lambda is now internal.
-	ix.cacheDrop(lambda)
-	ix.cacheNote(b.Label)
-	ix.cacheNote(rb.Label)
 	return cost, nil
 }
 
@@ -407,6 +411,7 @@ func (ix *Index) DeleteContext(ctx context.Context, delta float64) (Cost, error)
 	}
 	b.Records[i] = b.Records[len(b.Records)-1]
 	b.Records = b.Records[:len(b.Records)-1]
+	b.Epoch++
 	cost.Lookups++
 	cost.Steps++
 	if err := ix.d.Put(ctx, key, b); err != nil {
@@ -430,6 +435,14 @@ func (ix *Index) DeleteContext(ctx context.Context, delta float64) (Cost, error)
 // key f_n(parent), which is the key one of the two children already has,
 // so one bucket stays in place and the other moves: one leaf's records of
 // data movement, as in the split cost model.
+//
+// The rewrite is crash-consistent and ordered so no intermediate state
+// loses records: the merged bucket — carrying both children's records and
+// a Pending intent naming the obsolete child — is made durable first, the
+// obsolete child is removed second, and the intent is cleared last (a
+// free in-place rewrite). A crash in either window leaves the intent in
+// the merged bucket, and completeMerge rolls the mutation forward (or
+// back, if another client has since written to the obsolete child).
 func (ix *Index) merge(ctx context.Context, key string, b *Bucket) (Cost, error) {
 	var cost Cost
 	parent := b.Label.Parent()
@@ -445,6 +458,12 @@ func (ix *Index) merge(ctx context.Context, key string, b *Bucket) (Cost, error)
 	if err != nil {
 		return cost, err
 	}
+	if sb.Torn() {
+		// The sibling is mid-mutation from a crashed writer: repair it
+		// and skip this merge round rather than merging a torn bucket.
+		_, err := ix.repairTorn(ctx, sibKey, sb, &cost)
+		return cost, err
+	}
 	if sb.Label != sibling {
 		return cost, nil // key exists but names a deeper leaf: sibling is internal
 	}
@@ -452,38 +471,60 @@ func (ix *Index) merge(ctx context.Context, key string, b *Bucket) (Cost, error)
 		return cost, nil // merged weight would defeat the purpose
 	}
 
+	// Exactly one child keeps the parent's name f_n(parent) (the child
+	// extending the parent's trailing bit run); the other child is named
+	// by the parent's own label and is the bucket to remove.
 	mergedKey := parent.Name().Key()
-	merged := &Bucket{Label: parent, Records: append(b.Records, sb.Records...)}
+	removeKey, peerEpoch, moved := sibKey, sb.Epoch, int64(sb.Weight())
+	if key != mergedKey {
+		removeKey, peerEpoch, moved = key, b.Epoch, int64(b.Weight())
+	}
+	merged := &Bucket{
+		Label:   parent,
+		Records: append(b.Records, sb.Records...),
+		Epoch:   max(b.Epoch, sb.Epoch) + 1,
+		Pending: Pending{Kind: PendingMerge, RemoveKey: removeKey, PeerEpoch: peerEpoch},
+	}
+
+	// Step 1: make the merged bucket durable under f_n(parent), intent
+	// recorded. From here on, no crash can lose records: both children's
+	// records exist in the merged bucket.
+	if key == mergedKey {
+		// b already sits on the peer that keeps the merged bucket: a free
+		// in-place rewrite.
+		if err := ix.d.Write(ctx, mergedKey, merged); err != nil {
+			return cost, fmt.Errorf("lht: merge write %q: %w", mergedKey, err)
+		}
+	} else {
+		// The sibling's peer holds mergedKey: one routed put replaces the
+		// sibling's bucket with the merged one.
+		cost.Lookups++
+		cost.Steps++
+		if err := ix.d.Put(ctx, mergedKey, merged); err != nil {
+			return cost, fmt.Errorf("lht: merge put %q: %w", mergedKey, err)
+		}
+	}
+
+	// Step 2: drop the obsolete child (its records are in the merged
+	// bucket; Remove is idempotent, so a repair can re-run it).
+	cost.Lookups++
+	cost.Steps++
+	if err := ix.d.Remove(ctx, removeKey); err != nil {
+		return cost, fmt.Errorf("lht: merge remove %q: %w", removeKey, err)
+	}
+
+	// Step 3: clear the intent (free in-place rewrite).
+	merged.Pending = Pending{}
+	if err := ix.d.Write(ctx, mergedKey, merged); err != nil {
+		return cost, fmt.Errorf("lht: merge clear %q: %w", mergedKey, err)
+	}
+
+	// Accounting strictly after all steps succeeded.
 	ix.c.AddMerges(1)
+	ix.c.AddMovedRecords(moved)
 	// Both children stop being leaves; the parent takes their place.
 	ix.cacheDrop(b.Label)
 	ix.cacheDrop(sibling)
 	ix.cacheNote(parent)
-	if key == mergedKey {
-		// b already sits on the peer that keeps the merged bucket; the
-		// sibling (stored under parent's own label) is fetched-and-
-		// deleted and its records move here.
-		cost.Lookups++
-		cost.Steps++
-		if _, err := ix.d.Take(ctx, sibKey); err != nil {
-			return cost, fmt.Errorf("lht: merge take %q: %w", sibKey, err)
-		}
-		ix.c.AddMovedRecords(int64(sb.Weight()))
-		if err := ix.d.Write(ctx, mergedKey, merged); err != nil {
-			return cost, fmt.Errorf("lht: merge write %q: %w", mergedKey, err)
-		}
-		return cost, nil
-	}
-	// b is the child named by the parent's own label: its records move to
-	// the sibling's peer (one routed put) and b's slot is dropped.
-	cost.Lookups += 2
-	cost.Steps += 2
-	ix.c.AddMovedRecords(int64(b.Weight()))
-	if err := ix.d.Put(ctx, mergedKey, merged); err != nil {
-		return cost, fmt.Errorf("lht: merge put %q: %w", mergedKey, err)
-	}
-	if err := ix.d.Remove(ctx, key); err != nil {
-		return cost, fmt.Errorf("lht: merge remove %q: %w", key, err)
-	}
 	return cost, nil
 }

@@ -1,0 +1,228 @@
+package lht
+
+// This file implements torn-mutation recovery: completing or rolling back
+// splits and merges whose writer crashed mid-rewrite.
+//
+// Both structural mutations record a write-ahead intent (Bucket.Pending)
+// in the surviving bucket before their first routed write and clear it
+// with their last, so every intermediate state of a crashed mutation is
+// detectable from a single fetch. The lookup path (Algorithm 2) and Scrub
+// call repairTorn on any bucket fetched with an uncleared intent; repair
+// is idempotent and deterministic, so any number of clients can race to
+// repair the same tear and converge on the same tree — byte-identical to
+// the one a never-crashed writer would have produced.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"lht/internal/bitlabel"
+	"lht/internal/dht"
+	"lht/internal/keyspace"
+	"lht/internal/record"
+)
+
+// splitHalves partitions the (possibly intent-marked) full leaf b at its
+// interval median, exactly as Algorithm 1 does: the local half keeps the
+// name f_n(lambda), the remote half is named lambda itself. The partition
+// is a pure function of the bucket, which is what makes split recovery
+// deterministic: re-deriving the halves from the marked bucket yields the
+// same bytes the crashed writer was about to write.
+func splitHalves(b *Bucket) (local, remote *Bucket) {
+	lambda := b.Label
+	iv := b.Interval()
+	mid := iv.Lo + (iv.Hi-iv.Lo)/2
+	var left, right []record.Record
+	for _, r := range b.Records {
+		if r.Key < mid {
+			left = append(left, r)
+		} else {
+			right = append(right, r)
+		}
+	}
+	local = &Bucket{Epoch: b.Epoch + 1}
+	remote = &Bucket{Epoch: b.Epoch + 1}
+	if lambda.LastBit() == 1 {
+		// lambda = p011*: the remote leaf is lambda0 (named lambda), the
+		// local leaf is lambda1 (named f_n(lambda)).
+		remote.Label, remote.Records = lambda.Left(), left
+		local.Label, local.Records = lambda.Right(), right
+	} else {
+		// lambda = p100* or #00*: the remote leaf is lambda1 (named
+		// lambda), the local leaf is lambda0.
+		remote.Label, remote.Records = lambda.Right(), right
+		local.Label, local.Records = lambda.Left(), left
+	}
+	return local, remote
+}
+
+// completeSplit performs the routed steps of Algorithm 1 on the
+// intent-marked bucket b stored under key: push the remote half to the
+// peer responsible for lambda (one DHT-put, Theorem 2), then write the
+// shrunk local half back in place, clearing the intent.
+//
+// With repair set, the call is finishing another writer's crashed split:
+// the remote half may already exist (the crash happened after the put),
+// possibly with newer writes absorbed since, so it is probed first and
+// left untouched if present. The in-flight path skips the probe — the
+// caller just fetched lambda as a leaf, so nothing can be stored under
+// lambda's own key.
+func (ix *Index) completeSplit(ctx context.Context, key string, b *Bucket, cost *Cost, repair bool) (local, remote *Bucket, err error) {
+	lambda := b.Label
+	local, remote = splitHalves(b)
+	put := true
+	if repair {
+		cost.Steps++
+		existing, err := ix.peekBucket(ctx, lambda.Key(), cost)
+		switch {
+		case err == nil:
+			// The crashed writer's put landed (and the remote side may
+			// have evolved since): keep what is stored.
+			remote = existing
+			put = false
+		case !errors.Is(err, dht.ErrNotFound):
+			return nil, nil, err
+		}
+	}
+	if put {
+		cost.Lookups++
+		cost.Steps++
+		if err := ix.d.Put(ctx, lambda.Key(), remote); err != nil {
+			return nil, nil, fmt.Errorf("lht: split put %s: %w", lambda, err)
+		}
+	}
+	// Write the shrunk local half back to the local disk (no lookup);
+	// this clears the intent, committing the split.
+	if err := ix.d.Write(ctx, key, local); err != nil {
+		return nil, nil, fmt.Errorf("lht: split write %q: %w", key, err)
+	}
+	// This client just observed both children; lambda is now internal.
+	ix.cacheDrop(lambda)
+	ix.cacheNote(local.Label)
+	ix.cacheNote(remote.Label)
+	return local, remote, nil
+}
+
+// completeMerge resolves a torn merge: b is the merged bucket fetched
+// under key with an uncleared PendingMerge intent. If the obsolete child
+// named by the intent is unchanged since the merge began (same label and
+// epoch), the merge rolls forward: remove the child, clear the intent.
+// If the child has evolved — another client wrote to it after the crash,
+// so its records are newer than the merged copy — the merge rolls back:
+// the bucket under key shrinks to the surviving child and the evolved
+// child is left untouched. Both outcomes restore a consistent tiling.
+func (ix *Index) completeMerge(ctx context.Context, key string, b *Bucket, cost *Cost) (*Bucket, error) {
+	rmKey := b.Pending.RemoveKey
+	removed, ok := removedChildOf(b)
+	if !ok {
+		return nil, fmt.Errorf("%w: merge intent on %s names unrelated key %q", ErrCorrupt, b.Label, rmKey)
+	}
+	stale, err := ix.peekBucket(ctx, rmKey, cost)
+	switch {
+	case errors.Is(err, dht.ErrNotFound):
+		// The crashed writer already removed the child: only the final
+		// intent-clearing write was lost.
+	case err != nil:
+		return nil, err
+	case stale.Label == removed && stale.Epoch == b.Pending.PeerEpoch:
+		// The child is exactly as the merge saw it: roll forward.
+		cost.Lookups++
+		cost.Steps++
+		if err := ix.d.Remove(ctx, rmKey); err != nil {
+			return nil, fmt.Errorf("lht: repair merge remove %q: %w", rmKey, err)
+		}
+	default:
+		// The child changed since the crash: roll the merge back. The
+		// surviving child (the one named f_n(parent)) keeps the records
+		// of the merged copy that fall in its half; the evolved child
+		// keeps its own.
+		keeper := b.Label.Child(b.Label.LastBit())
+		kiv := keyspace.IntervalOf(keeper)
+		var recs []record.Record
+		for _, r := range b.Records {
+			if kiv.Contains(r.Key) {
+				recs = append(recs, r)
+			}
+		}
+		kb := &Bucket{Label: keeper, Records: recs, Epoch: b.Epoch + 1}
+		if err := ix.d.Write(ctx, key, kb); err != nil {
+			return nil, fmt.Errorf("lht: rollback merge %q: %w", key, err)
+		}
+		ix.cacheDrop(b.Label)
+		ix.cacheNote(kb.Label)
+		return kb, nil
+	}
+	b.Pending = Pending{}
+	if err := ix.d.Write(ctx, key, b); err != nil {
+		return nil, fmt.Errorf("lht: repair merge clear %q: %w", key, err)
+	}
+	ix.cacheDrop(removed)
+	ix.cacheNote(b.Label)
+	return b, nil
+}
+
+// removedChildOf identifies the child of the merged bucket's label that
+// the recorded intent removes: the child named by the parent's own label
+// (the other child inherits f_n(parent) and lives on in the merged slot).
+func removedChildOf(b *Bucket) (removed bitlabel.Label, ok bool) {
+	for _, c := range []bitlabel.Label{b.Label.Left(), b.Label.Right()} {
+		if c.Name().Key() == b.Pending.RemoveKey {
+			return c, true
+		}
+	}
+	return bitlabel.Label{}, false
+}
+
+// repairTorn resolves the torn mutation recorded in b, which was fetched
+// from under key. It returns the bucket now stored under key, charging
+// the extra traffic to cost, the torn/repair counters, and maintenance
+// lookups (repair is structure maintenance deferred past a crash).
+func (ix *Index) repairTorn(ctx context.Context, key string, b *Bucket, cost *Cost) (*Bucket, error) {
+	before := cost.Lookups
+	var out *Bucket
+	var err error
+	switch b.Pending.Kind {
+	case PendingSplit:
+		ix.c.AddTornSplits(1)
+		if b.Label.Len() >= ix.cfg.Depth {
+			// The split can never complete at the depth bound (a marker
+			// left by a writer with a larger configured D, or a corrupt
+			// one): roll it back to a plain oversized leaf.
+			b.Pending = Pending{}
+			if werr := ix.d.Write(ctx, key, b); werr != nil {
+				return nil, fmt.Errorf("lht: rollback split %q: %w", key, werr)
+			}
+			out = b
+			break
+		}
+		out, _, err = ix.completeSplit(ctx, key, b, cost, true)
+	case PendingMerge:
+		ix.c.AddTornMerges(1)
+		out, err = ix.completeMerge(ctx, key, b, cost)
+	default:
+		return b, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	ix.c.AddRepairs(1)
+	ix.c.AddMaintLookups(int64(cost.Lookups - before))
+	return out, nil
+}
+
+// peekBucket fetches and type-asserts a bucket, charging cost but —
+// unlike getBucket — not teaching the leaf cache: recovery probes buckets
+// it may be about to delete or supersede.
+func (ix *Index) peekBucket(ctx context.Context, key string, cost *Cost) (*Bucket, error) {
+	cost.Lookups++
+	v, err := ix.d.Get(ctx, key)
+	if err != nil {
+		return nil, err
+	}
+	b, ok := v.(*Bucket)
+	if !ok {
+		return nil, fmt.Errorf("%w: key %q holds %T, not a bucket", ErrCorrupt, key, v)
+	}
+	return b, nil
+}

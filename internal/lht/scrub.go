@@ -1,0 +1,295 @@
+package lht
+
+// This file implements Index.Scrub: a walk over the reachable label space
+// that verifies the structural invariants the paper's theorems rely on
+// and repairs the violations recovery knows how to fix. It is the offline
+// counterpart of the lookup path's in-line read-repair: read-repair heals
+// tears as query traffic happens to touch them, Scrub heals the whole
+// tree in one pass and reports what it found.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"lht/internal/bitlabel"
+	"lht/internal/dht"
+	"lht/internal/record"
+)
+
+// ScrubReport is the typed outcome of one Scrub pass.
+type ScrubReport struct {
+	Leaves     int // leaves visited by the walk
+	Records    int // records held by those leaves
+	Lookups    int // DHT-lookups the pass spent (also in ScrubLookups)
+	TornSplits int // split intents found and resolved
+	TornMerges int // merge intents found and resolved
+	Orphans    int // orphaned buckets (stale mutation remnants) removed
+	Strays     int // records found outside their leaf's interval, relocated
+	Repairs    int // total repairs applied (tears + orphans + strays)
+
+	// Violations describes every invariant violation observed, including
+	// ones Scrub repaired; an entry prefixed with "unrepaired:" needs
+	// operator attention (typically lost data after unreplicated churn).
+	Violations []string
+}
+
+// Clean reports a fully consistent pass: nothing repaired, nothing to
+// report.
+func (r *ScrubReport) Clean() bool { return r.Repairs == 0 && len(r.Violations) == 0 }
+
+// String formats the report for logs and CLI output.
+func (r *ScrubReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scrub: %d leaves, %d records, %d DHT-lookups", r.Leaves, r.Records, r.Lookups)
+	if r.Clean() {
+		b.WriteString(", clean")
+		return b.String()
+	}
+	fmt.Fprintf(&b, ", %d repairs (%d torn splits, %d torn merges, %d orphans, %d strays)",
+		r.Repairs, r.TornSplits, r.TornMerges, r.Orphans, r.Strays)
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "\n  %s", v)
+	}
+	return b.String()
+}
+
+// maxScrubRounds bounds how many times one Scrub call restarts its walk
+// after a repair that changed tree structure behind the walk position.
+const maxScrubRounds = 8
+
+// Scrub walks the reachable label space left to right, verifying the
+// structural invariants — the leaves' intervals partition [0, 1) in walk
+// order, every leaf is stored under its name f_n(label) and the naming is
+// injective (Theorem 1), every record lies inside its leaf's interval,
+// and no bucket is orphaned (stored under a leaf's own label key, where
+// only a live subtree may store one) — and repairs what recovery can fix:
+//
+//   - torn split/merge intents are completed or rolled back (repairTorn);
+//   - an orphaned bucket shadowed by a newer overlapping leaf is removed;
+//     a leaf shadowed by a newer subtree under its own label key is
+//     re-split so the two agree (both arise from non-graceful churn
+//     resurrecting stale replicas, not from crashes — intents cover those);
+//   - records outside their leaf's interval are relocated through the
+//     normal insert path.
+//
+// Scrub returns a typed report; the error is non-nil only when the walk
+// itself could not proceed (substrate failure or unrecoverable structure).
+// A scrub of a consistent tree performs no writes, so it is safe to run
+// concurrently with readers; like all writers, a repairing scrub must be
+// serialized against other writers by the caller.
+func (ix *Index) Scrub(ctx context.Context) (*ScrubReport, error) {
+	rep := &ScrubReport{}
+	before := ix.c.Snapshot()
+	var cost Cost
+	defer func() {
+		d := ix.c.Snapshot().Sub(before)
+		rep.Lookups = int(cost.Lookups)
+		rep.TornSplits = int(d.TornSplits)
+		rep.TornMerges = int(d.TornMerges)
+		rep.Repairs = int(d.Repairs) + rep.Strays
+		ix.c.AddScrubLookups(int64(cost.Lookups))
+	}()
+
+	var strays []record.Record
+	for round := 0; round < maxScrubRounds; round++ {
+		again, err := ix.scrubWalk(ctx, rep, &cost, &strays)
+		if err != nil {
+			return rep, err
+		}
+		if !again {
+			// Relocate stray records through the normal insert path, now
+			// that the tree tiling is verified.
+			for _, r := range strays {
+				c, err := ix.InsertContext(ctx, r)
+				cost.Add(c)
+				if err != nil {
+					return rep, fmt.Errorf("lht: scrub relocate %g: %w", r.Key, err)
+				}
+			}
+			return rep, nil
+		}
+		// A structural repair changed the region already walked; start
+		// over (repairs are idempotent, so re-walking is safe).
+		rep.Leaves, rep.Records = 0, 0
+	}
+	return rep, fmt.Errorf("%w: scrub did not converge after %d rounds", ErrCorrupt, maxScrubRounds)
+}
+
+// scrubWalk performs one left-to-right pass. It returns again=true when a
+// repair changed structure behind the walk position, asking Scrub to
+// restart the pass.
+func (ix *Index) scrubWalk(ctx context.Context, rep *ScrubReport, cost *Cost, strays *[]record.Record) (again bool, err error) {
+	names := make(map[string]bitlabel.Label)
+	want := 0.0
+	key := bitlabel.Root.Key()
+	b, err := ix.scrubFetch(ctx, key, cost)
+	if err != nil {
+		return false, fmt.Errorf("lht: scrub leftmost leaf: %w", err)
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return false, fmt.Errorf("lht: scrub: %w", err)
+		}
+
+		// Shadow check: nothing may be stored under a live leaf's own
+		// label key — a leaf there means either our bucket or the stored
+		// one is a stale remnant (resurrected replica after churn); the
+		// epoch decides which.
+		if b.Label.Len() < ix.cfg.Depth {
+			nb, changed, err := ix.scrubShadow(ctx, key, b, rep, cost)
+			if err != nil {
+				return false, err
+			}
+			if changed {
+				return true, nil
+			}
+			b = nb
+		}
+
+		// Storage invariant: the bucket under key must be named key.
+		if b.Label.Name().Key() != key {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("unrepaired: key %s holds leaf %s, whose name is %s", key, b.Label, b.Label.Name()))
+		}
+		// Naming injectivity (Theorem 1).
+		if prev, dup := names[key]; dup {
+			return false, fmt.Errorf("%w: scrub revisited key %s (leaves %s and %s)", ErrCorrupt, key, prev, b.Label)
+		}
+		names[key] = b.Label
+
+		// Tiling: this leaf must start where the previous one ended.
+		iv := b.Interval()
+		switch {
+		case iv.Lo < want:
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("unrepaired: leaf %s overlaps preceding coverage (starts %g, want %g)", b.Label, iv.Lo, want))
+		case iv.Lo > want:
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("unrepaired: coverage gap [%g, %g) before leaf %s", want, iv.Lo, b.Label))
+		}
+
+		// Records must lie inside the leaf's interval; strays are pulled
+		// out (free in-place rewrite) and relocated after the walk.
+		var out []record.Record
+		for _, r := range b.Records {
+			if !iv.Contains(r.Key) {
+				out = append(out, r)
+			}
+		}
+		if len(out) > 0 {
+			kept := b.Records[:0:0]
+			for _, r := range b.Records {
+				if iv.Contains(r.Key) {
+					kept = append(kept, r)
+				}
+			}
+			b.Records = kept
+			b.Epoch++
+			if err := ix.d.Write(ctx, key, b); err != nil {
+				return false, fmt.Errorf("lht: scrub drop strays %q: %w", key, err)
+			}
+			*strays = append(*strays, out...)
+			rep.Strays += len(out)
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("relocated %d record(s) outside leaf %s %v", len(out), b.Label, iv))
+		}
+
+		// Weight bound: a leaf inside the depth bound may transiently hold
+		// up to ~2x theta (one insertion causes at most one split), but
+		// runaway weight means maintenance is not keeping up.
+		if b.Label.Len() < ix.cfg.Depth && b.Weight() > 2*ix.cfg.SplitThreshold {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("unrepaired: leaf %s weight %d exceeds 2x threshold %d", b.Label, b.Weight(), ix.cfg.SplitThreshold))
+		}
+
+		rep.Leaves++
+		rep.Records += len(b.Records)
+		want = iv.Hi
+
+		// Advance to the leftmost leaf of the nearest right branch.
+		beta, ok := b.Label.RightNeighbor()
+		if !ok {
+			if want != 1 {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("unrepaired: leaves tile [0, %g), want [0, 1)", want))
+			}
+			return false, nil
+		}
+		key = beta.Key()
+		nb, err := ix.scrubFetch(ctx, key, cost)
+		if errors.Is(err, dht.ErrNotFound) {
+			key = beta.Name().Key()
+			nb, err = ix.scrubFetch(ctx, key, cost)
+		}
+		if err != nil {
+			return false, fmt.Errorf("lht: scrub walk %s: %w", beta, err)
+		}
+		b = nb
+	}
+}
+
+// scrubFetch fetches a bucket for the walk, resolving any torn intent it
+// carries before the walk interprets it.
+func (ix *Index) scrubFetch(ctx context.Context, key string, cost *Cost) (*Bucket, error) {
+	b, err := ix.getBucket(ctx, key, cost)
+	cost.Steps++
+	if err != nil {
+		return nil, err
+	}
+	if b.Torn() {
+		b, err = ix.repairTorn(ctx, key, b, cost)
+	}
+	return b, err
+}
+
+// scrubShadow probes the leaf's own label key. A consistent tree stores
+// nothing there (a leaf has no descendants, and only a descendant's name
+// can equal the leaf's label). A bucket found there is a stale-replica
+// conflict; the epoch orders the two structures:
+//
+//   - shadow newer: our "leaf" is a pre-split remnant — complete the
+//     split against the live remote subtree and restart the walk;
+//   - shadow older or equal: the shadow is an orphan (pre-merge child
+//     resurrected after its parent absorbed it) — remove it.
+func (ix *Index) scrubShadow(ctx context.Context, key string, b *Bucket, rep *ScrubReport, cost *Cost) (*Bucket, bool, error) {
+	cost.Steps++
+	shadow, err := ix.peekBucket(ctx, b.Label.Key(), cost)
+	if errors.Is(err, dht.ErrNotFound) {
+		return b, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("lht: scrub shadow probe %s: %w", b.Label, err)
+	}
+	if !b.Label.IsPrefixOf(shadow.Label) || shadow.Label == b.Label {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("unrepaired: key %s holds %s, not a descendant of leaf %s", b.Label.Key(), shadow.Label, b.Label))
+		return b, false, nil
+	}
+	if shadow.Epoch > b.Epoch {
+		// The subtree under our label is live and newer: this bucket is a
+		// stale pre-split leaf. Completing the split (remote side kept as
+		// stored) reconciles the two.
+		ix.c.AddTornSplits(1)
+		if _, _, err := ix.completeSplit(ctx, key, b, cost, true); err != nil {
+			return nil, false, fmt.Errorf("lht: scrub reconcile stale leaf %s: %w", b.Label, err)
+		}
+		ix.c.AddRepairs(1)
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("re-split stale leaf %s shadowed by newer %s", b.Label, shadow.Label))
+		return nil, true, nil
+	}
+	// The shadow is older: an orphaned remnant whose records the live
+	// leaf already carries. Remove it.
+	cost.Lookups++
+	cost.Steps++
+	if err := ix.d.Remove(ctx, b.Label.Key()); err != nil {
+		return nil, false, fmt.Errorf("lht: scrub remove orphan %s: %w", shadow.Label, err)
+	}
+	ix.c.AddRepairs(1)
+	rep.Orphans++
+	rep.Violations = append(rep.Violations,
+		fmt.Sprintf("removed orphan %s (epoch %d) shadowing leaf %s (epoch %d)", shadow.Label, shadow.Epoch, b.Label, b.Epoch))
+	return b, false, nil
+}

@@ -45,6 +45,11 @@ type Counters struct {
 
 	batchOps    atomic.Int64 // native batched round trips issued
 	batchedKeys atomic.Int64 // keys carried by those batches (each also a lookup)
+
+	tornSplits   atomic.Int64 // torn split intents detected (lookup or scrub)
+	tornMerges   atomic.Int64 // torn merge intents detected (lookup or scrub)
+	repairs      atomic.Int64 // torn states completed or rolled back
+	scrubLookups atomic.Int64 // subset of lookups issued by Scrub walks
 }
 
 // AddLookups adds n DHT-lookups.
@@ -101,6 +106,21 @@ func (c *Counters) AddBatchOps(n int64) { c.batchOps.Add(n) }
 // identical whether or not batching is available.
 func (c *Counters) AddBatchedKeys(n int64) { c.batchedKeys.Add(n) }
 
+// AddTornSplits adds n torn split intents detected: buckets fetched with a
+// pending split marker left behind by a writer that crashed mid-mutation.
+func (c *Counters) AddTornSplits(n int64) { c.tornSplits.Add(n) }
+
+// AddTornMerges adds n torn merge intents detected.
+func (c *Counters) AddTornMerges(n int64) { c.tornMerges.Add(n) }
+
+// AddRepairs adds n repairs: torn states idempotently completed or rolled
+// back by lookup read-repair or by Scrub.
+func (c *Counters) AddRepairs(n int64) { c.repairs.Add(n) }
+
+// AddScrubLookups attributes n already-counted lookups to Scrub walks, the
+// cost of verifying and repairing the tree's structural invariants.
+func (c *Counters) AddScrubLookups(n int64) { c.scrubLookups.Add(n) }
+
 // Snapshot is a point-in-time copy of the counters.
 type Snapshot struct {
 	Lookups      int64 // DHT-lookups issued
@@ -119,6 +139,11 @@ type Snapshot struct {
 
 	BatchOps    int64 // native batched round trips issued
 	BatchedKeys int64 // keys carried by those batches
+
+	TornSplits   int64 // torn split intents detected
+	TornMerges   int64 // torn merge intents detected
+	Repairs      int64 // torn states completed or rolled back
+	ScrubLookups int64 // lookups issued by Scrub walks
 }
 
 // RoundTrips estimates the client's DHT round trips: every lookup is its
@@ -146,6 +171,11 @@ func (c *Counters) Snapshot() Snapshot {
 
 		BatchOps:    c.batchOps.Load(),
 		BatchedKeys: c.batchedKeys.Load(),
+
+		TornSplits:   c.tornSplits.Load(),
+		TornMerges:   c.tornMerges.Load(),
+		Repairs:      c.repairs.Load(),
+		ScrubLookups: c.scrubLookups.Load(),
 	}
 }
 
@@ -165,6 +195,10 @@ func (c *Counters) Reset() {
 	c.deadlineExceeded.Store(0)
 	c.batchOps.Store(0)
 	c.batchedKeys.Store(0)
+	c.tornSplits.Store(0)
+	c.tornMerges.Store(0)
+	c.repairs.Store(0)
+	c.scrubLookups.Store(0)
 }
 
 // Sub returns the component-wise difference s - prev, for measuring the
@@ -187,5 +221,10 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 
 		BatchOps:    s.BatchOps - prev.BatchOps,
 		BatchedKeys: s.BatchedKeys - prev.BatchedKeys,
+
+		TornSplits:   s.TornSplits - prev.TornSplits,
+		TornMerges:   s.TornMerges - prev.TornMerges,
+		Repairs:      s.Repairs - prev.Repairs,
+		ScrubLookups: s.ScrubLookups - prev.ScrubLookups,
 	}
 }

@@ -219,6 +219,21 @@ func (ix *Index) Leaves() ([]*Bucket, error) { return ix.inner.Leaves() }
 // useful in tests of applications embedding LHT.
 func (ix *Index) CheckInvariants() error { return ix.inner.CheckInvariants() }
 
+// ScrubReport is the typed outcome of a Scrub pass: leaves and records
+// visited, DHT cost, repairs applied and invariant violations observed.
+type ScrubReport = ilht.ScrubReport
+
+// Scrub walks the reachable label space, verifying the tree's structural
+// invariants and repairing torn splits/merges, orphaned buckets and
+// misplaced records. A scrub of a consistent tree performs no writes; a
+// repairing scrub counts as a writer for the concurrency contract.
+func (ix *Index) Scrub() (*ScrubReport, error) { return ix.inner.Scrub(context.Background()) }
+
+// ScrubContext is Scrub with a caller-supplied context.
+func (ix *Index) ScrubContext(ctx context.Context) (*ScrubReport, error) {
+	return ix.inner.Scrub(ctx)
+}
+
 // Metrics returns this client's cumulative cost counters.
 func (ix *Index) Metrics() Snapshot { return ix.inner.Metrics() }
 

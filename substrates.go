@@ -69,6 +69,43 @@ func PutBatch(ctx context.Context, d DHT, kvs []KV) []error {
 // saves (ablation A6 in EXPERIMENTS.md).
 func WithoutBatch(d DHT) DHT { return dht.WithoutBatch(d) }
 
+// CrashPoints is a substrate wrapper carrying a scripted, deterministic
+// fault schedule — the tool behind the repository's torn-mutation tests
+// and the churn ablation (A7). Build one with WithCrashPoints.
+type CrashPoints = dht.CrashPoints
+
+// CrashRule is one entry of a CrashPoints schedule: which operation class
+// and keys it matches, which match fires it (N, 1-based; 0 = every
+// match), and what firing does — fail before the operation, or after it
+// took effect (After, the classic lost-acknowledgement window), once or
+// as a permanent process death (Halt).
+type CrashRule = dht.CrashRule
+
+// OpKind selects the operation class a CrashRule matches.
+type OpKind = dht.OpKind
+
+// Operation classes for CrashRule.Op.
+const (
+	OpAny    = dht.OpAny
+	OpGet    = dht.OpGet
+	OpPut    = dht.OpPut
+	OpTake   = dht.OpTake
+	OpRemove = dht.OpRemove
+	OpWrite  = dht.OpWrite
+)
+
+// ErrCrashed reports an operation failed by an injected crash schedule.
+// It is deliberately not transient: a crashed client does not retry.
+var ErrCrashed = dht.ErrCrashed
+
+// WithCrashPoints wraps a substrate with a deterministic fault schedule:
+// the same operation sequence always fails at the same points, making
+// torn index states reproducible in tests and experiments. Rules are
+// evaluated in order; the first firing rule decides the outcome.
+func WithCrashPoints(d DHT, rules ...CrashRule) *CrashPoints {
+	return dht.WithCrashPoints(d, rules...)
+}
+
 // Transient-fault classification, shared by Policy and callers that
 // inspect errors themselves.
 var (
