@@ -294,7 +294,7 @@ func benchmarkLookup(b *testing.B, cached bool) {
 			b.Fatal(err)
 		}
 	}
-	diff := ix.Metrics().Sub(before)
+	diff := ix.Metrics().Sub(before).Flat()
 	b.ReportMetric(float64(diff.Lookups)/float64(b.N), "dht-lookups/query")
 }
 

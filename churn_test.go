@@ -114,7 +114,7 @@ func TestTornSplitOverChordRepaired(t *testing.T) {
 			t.Fatalf("Get(%v) on torn tree: %v", k, err)
 		}
 	}
-	s := fresh.Metrics()
+	s := fresh.Metrics().Flat()
 	if s.TornSplits != 1 || s.Repairs != 1 {
 		t.Fatalf("TornSplits=%d Repairs=%d, want 1, 1", s.TornSplits, s.Repairs)
 	}

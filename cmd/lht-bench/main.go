@@ -10,6 +10,12 @@
 //	lht-bench -experiments all -paper
 //
 // Individual figures: -experiments fig6a,fig7,fig9a ...
+//
+// Every run reports per-experiment latency percentiles (p50/p95/p99 per
+// operation class, from the indexes' log-bucketed histograms); -json
+// persists them in results/bench.json under schema lht-bench/2. With
+// -metrics ADDR the run's aggregate counters are served live on
+// http://ADDR/metrics (Prometheus text format, plus net/http/pprof).
 package main
 
 import (
@@ -17,6 +23,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -24,6 +33,7 @@ import (
 	"time"
 
 	"lht/internal/bench"
+	"lht/internal/metrics"
 	"lht/internal/workload"
 )
 
@@ -67,6 +77,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		span        = fs.Float64("span", 0.1, "range span for the vs-size experiments")
 		csv         = fs.Bool("csv", false, "emit CSV instead of tables")
 		jsonOut     = fs.Bool("json", false, "also write a machine-readable report to results/bench.json")
+		jsonPath    = fs.String("json-out", "", "write the machine-readable report to this path (implies -json)")
+		metricsAddr = fs.String("metrics", "", "serve the run's live counters as Prometheus /metrics (plus pprof) on this address")
 		paper       = fs.Bool("paper", false, "paper scale: 100 trials, 1000 queries, sizes up to 2^20")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -75,12 +87,30 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	cfg := config{
 		opts: bench.Options{
 			Theta: *theta, Depth: *depth, Trials: *trials, Queries: *queries, Seed: *seed,
+			Agg: &metrics.Counters{},
 		},
 		minExp: *minExp, maxExp: *maxExp, span: *span, csv: *csv,
 		selected: map[string]bool{},
 	}
 	if *jsonOut {
 		cfg.jsonPath = "results/bench.json"
+	}
+	if *jsonPath != "" {
+		cfg.jsonPath = *jsonPath
+	}
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		msrv := &http.Server{Handler: metrics.NewMux(cfg.opts.Agg.Snapshot)}
+		defer func() { _ = msrv.Close() }()
+		go func() {
+			if err := msrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+		fmt.Fprintf(out, "metrics on http://%s/metrics\n", ln.Addr())
 	}
 	if *paper {
 		cfg.opts.Trials = 100
@@ -130,19 +160,34 @@ func runExperiments(ctx context.Context, cfg config, out io.Writer) error {
 	report := bench.NewReport(cfg.opts.WithDefaults())
 	// Each experiment calls emit exactly once, so the time since the
 	// previous emit is that experiment's wall time (skipped experiments
-	// cost nothing in between).
+	// cost nothing in between), and the aggregate-counter diff since the
+	// previous emit is that experiment's traffic — which yields its
+	// per-operation-class latency percentiles.
 	lastEmit := time.Now()
+	lastSnap := cfg.opts.Agg.Snapshot()
 	emit := func(results ...bench.Result) {
 		wall := time.Since(lastEmit)
-		for _, r := range results {
+		snap := cfg.opts.Agg.Snapshot()
+		lat := bench.LatencySummary(snap.Sub(lastSnap))
+		for i, r := range results {
 			if cfg.csv {
 				fmt.Fprintf(out, "# %s: %s\n%s\n", r.Name, r.Title, bench.FormatCSV(r))
 			} else {
 				fmt.Fprintln(out, bench.FormatTable(r))
 			}
-			report.Add(r, wall/time.Duration(len(results)))
+			tr := bench.TimedResult{Result: r, WallMillis: (wall / time.Duration(len(results))).Milliseconds()}
+			if i == 0 {
+				// The latency block covers the whole experiment; attach it
+				// to its first result rather than duplicating it.
+				tr.Latency = lat
+			}
+			report.AddTimed(tr)
+		}
+		if !cfg.csv && len(lat) > 0 {
+			fmt.Fprintf(out, "latency percentiles (%s):\n%s\n", results[0].Name, bench.FormatLatency(lat))
 		}
 		lastEmit = time.Now()
+		lastSnap = snap
 	}
 	both := []workload.Dist{workload.Uniform, workload.Gaussian}
 	sizes := bench.Sizes(cfg.minExp, cfg.maxExp)
@@ -295,6 +340,8 @@ func runExperiments(ctx context.Context, cfg config, out io.Writer) error {
 		return fmt.Errorf("interrupted: %w", err)
 	}
 	if cfg.jsonPath != "" {
+		flat := cfg.opts.Agg.Snapshot().Flat()
+		report.Counters = &flat
 		if err := report.WriteFile(cfg.jsonPath); err != nil {
 			return err
 		}

@@ -2,6 +2,10 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"slices"
 	"strings"
 	"testing"
 )
@@ -54,6 +58,65 @@ func TestRunCSV(t *testing.T) {
 	}
 	if !strings.Contains(out, "256,1,1") {
 		t.Errorf("CSV row missing:\n%s", out)
+	}
+}
+
+// The JSON report carries per-operation-class latency percentiles and
+// run-level counters under the lht-bench/2 schema.
+func TestRunJSONLatencySchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	out := runBench(t, "-experiments", "a1", "-json-out", path)
+	if !strings.Contains(out, "latency percentiles") {
+		t.Errorf("text output missing latency table:\n%s", out)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	var report struct {
+		Schema   string `json:"schema"`
+		Counters *struct {
+			Lookups int64 `json:"lookups"`
+		} `json:"counters"`
+		Results []struct {
+			Latency []struct {
+				Op    string  `json:"op"`
+				Count int64   `json:"count"`
+				P50Us float64 `json:"p50_us"`
+				P95Us float64 `json:"p95_us"`
+				P99Us float64 `json:"p99_us"`
+			} `json:"latency"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("unmarshal report: %v", err)
+	}
+	if report.Schema != "lht-bench/2" {
+		t.Errorf("schema = %q, want lht-bench/2", report.Schema)
+	}
+	if report.Counters == nil || report.Counters.Lookups == 0 {
+		t.Errorf("run-level counters missing or empty: %+v", report.Counters)
+	}
+	var ops []string
+	for _, res := range report.Results {
+		for _, l := range res.Latency {
+			ops = append(ops, l.Op)
+			if l.Count == 0 {
+				t.Errorf("op %q: zero count in latency block", l.Op)
+			}
+			if l.P50Us <= 0 || l.P95Us < l.P50Us || l.P99Us < l.P95Us {
+				t.Errorf("op %q: non-monotone percentiles p50=%g p95=%g p99=%g",
+					l.Op, l.P50Us, l.P95Us, l.P99Us)
+			}
+		}
+	}
+	if len(ops) == 0 {
+		t.Error("no latency blocks in report")
+	}
+	for _, want := range []string{"get", "insert"} {
+		if !slices.Contains(ops, want) {
+			t.Errorf("latency blocks %v missing op %q", ops, want)
+		}
 	}
 }
 

@@ -50,6 +50,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		timeout = fs.Duration("timeout", 0, "deadline for the whole command (0 = none); becomes socket deadlines on every request")
 		retry   = fs.Bool("retry", true, "retry transient node faults with backoff (each retry costs one DHT-lookup)")
 		scrub   = fs.Bool("scrub", false, "verify and repair the tree's structural invariants, print the report, and exit")
+		trace   = fs.Int("trace", 0, "after the command, print its last N DHT operations (kind, key, phase, duration, outcome)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,23 +72,41 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	defer func() { _ = client.Close() }()
 
-	cfg := lht.Config{SplitThreshold: *theta, MergeThreshold: *theta / 2, Depth: *depth}
-	if *retry {
-		p := lht.DefaultPolicy()
-		cfg.Policy = &p
+	opts := []lht.Option{
+		lht.WithThresholds(*theta, *theta/2),
+		lht.WithDepth(*depth),
 	}
-	ix, err := lht.New(client, cfg)
+	if *retry {
+		opts = append(opts, lht.WithPolicy(lht.DefaultPolicy()))
+	}
+	var ring *lht.TraceRing
+	if *trace > 0 {
+		ring = lht.NewTraceRing(*trace)
+		opts = append(opts, lht.WithTraceSink(ring))
+	}
+	ix, err := lht.New(client, opts...)
 	if err != nil {
 		return err
 	}
-	if *scrub {
+	err = runCommand(ctx, ix, cmd, *scrub, *seed, out)
+	if ring != nil {
+		fmt.Fprintf(out, "trace (last %d of %d DHT ops):\n", ring.Len(), ring.Total())
+		for _, ev := range ring.Events() {
+			fmt.Fprintf(out, "  %s\n", ev)
+		}
+	}
+	return err
+}
+
+func runCommand(ctx context.Context, ix *lht.Index, cmd []string, scrub bool, seed int64, out io.Writer) error {
+	if scrub {
 		rep, err := ix.ScrubContext(ctx)
 		if rep != nil {
 			fmt.Fprintln(out, rep)
 		}
 		return err
 	}
-	return dispatch(ctx, ix, cmd, *seed, out)
+	return dispatch(ctx, ix, cmd, seed, out)
 }
 
 func dispatch(ctx context.Context, ix *lht.Index, cmd []string, seed int64, out io.Writer) error {
@@ -222,7 +241,7 @@ func dispatch(ctx context.Context, ix *lht.Index, cmd []string, seed int64, out 
 				return err
 			}
 		}
-		s := ix.Metrics()
+		s := ix.Metrics().Flat()
 		fmt.Fprintf(out, "inserted %d records: %d DHT-lookups, %d splits, %d record slots moved\n",
 			n, s.Lookups, s.Splits, s.MovedRecords)
 	default:

@@ -12,6 +12,12 @@
 // on SIGINT/SIGTERM, so a restart preserves the index; adding
 // -snapshot-interval 30s also snapshots periodically, bounding what a
 // hard crash can lose to one interval.
+//
+// With -metrics set, the node serves its traffic counters in Prometheus
+// text format on http://ADDR/metrics (plus net/http/pprof profiles):
+//
+//	lht-node -listen 127.0.0.1:7001 -metrics 127.0.0.1:9001 &
+//	curl -s http://127.0.0.1:9001/metrics | grep lht_dht_lookups_total
 package main
 
 import (
@@ -20,11 +26,13 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"lht/internal/metrics"
 	"lht/internal/tcpnet"
 )
 
@@ -32,16 +40,17 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7001", "address to listen on")
 	data := flag.String("data", "", "snapshot file for the node's shard (empty = in-memory only)")
 	interval := flag.Duration("snapshot-interval", 0, "also snapshot the shard periodically (0 = only on shutdown); requires -data")
+	metricsAddr := flag.String("metrics", "", "serve Prometheus /metrics and pprof on this address (empty = disabled)")
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *listen, *data, *interval); err != nil {
+	if err := run(ctx, *listen, *data, *metricsAddr, *interval); err != nil {
 		fmt.Fprintln(os.Stderr, "lht-node:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, listen, data string, interval time.Duration) error {
+func run(ctx context.Context, listen, data, metricsAddr string, interval time.Duration) error {
 	srv := tcpnet.NewServer()
 	if data != "" {
 		if err := srv.LoadSnapshot(data); err != nil {
@@ -55,6 +64,26 @@ func run(ctx context.Context, listen, data string, interval time.Duration) error
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err
+	}
+
+	// The observability endpoint is separate from the data port so
+	// scrapes never contend with the gob protocol.
+	if metricsAddr != "" {
+		mln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		msrv := &http.Server{Handler: metrics.NewMux(srv.Metrics)}
+		go func() {
+			<-ctx.Done()
+			_ = msrv.Close()
+		}()
+		go func() {
+			if err := msrv.Serve(mln); err != nil && err != http.ErrServerClosed {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+		log.Printf("metrics on http://%s/metrics", mln.Addr())
 	}
 
 	// Periodic snapshots bound the state a crash (as opposed to a clean

@@ -10,8 +10,9 @@ import (
 )
 
 // The smallest end-to-end program: build an index, insert, query.
+// New takes functional options; with none, the paper's defaults apply.
 func Example() {
-	ix, err := lht.New(lht.NewLocalDHT(), lht.DefaultConfig())
+	ix, err := lht.New(lht.NewLocalDHT())
 	if err != nil {
 		panic(err)
 	}
@@ -121,19 +122,18 @@ func ExampleNewChordDHT() {
 // Every operation has a Context variant: a deadline on the context
 // bounds the whole multi-step algorithm - here a range query over a
 // Chord ring, whose parallel forwarding stops promptly if the deadline
-// expires. Config.Policy additionally absorbs transient substrate
-// faults with retries and backoff, each retry charged as a DHT-lookup.
+// expires. The WithPolicy option additionally absorbs transient
+// substrate faults with retries and backoff, each retry charged as a
+// DHT-lookup.
 func ExampleIndex_RangeContext() {
 	ring, err := lht.NewChordDHT(8, lht.ChordConfig{Seed: 1})
 	if err != nil {
 		panic(err)
 	}
-	policy := lht.DefaultPolicy()
-	cfg := lht.DefaultConfig()
-	cfg.SplitThreshold = 4
-	cfg.MergeThreshold = 3
-	cfg.Policy = &policy
-	ix, err := lht.New(ring, cfg)
+	ix, err := lht.New(ring,
+		lht.WithThresholds(4, 3),
+		lht.WithPolicy(lht.DefaultPolicy()),
+	)
 	if err != nil {
 		panic(err)
 	}
@@ -151,6 +151,36 @@ func ExampleIndex_RangeContext() {
 	}
 	fmt.Printf("%d records within the deadline\n", len(recs))
 	// Output: 16 records within the deadline
+}
+
+// Behaviour composes from functional options, and observability comes
+// from the same surface: a bounded trace ring records every DHT
+// operation the index issues (kind, key, phase, duration, outcome),
+// while Metrics returns grouped counters with per-operation latency
+// histograms. WritePrometheus or MetricsHandler export the same
+// snapshot in Prometheus text format.
+func ExampleWithTraceSink() {
+	ring := lht.NewTraceRing(64)
+	ix, err := lht.New(lht.NewLocalDHT(),
+		lht.WithLeafCache(1024),
+		lht.WithBatchSize(64),
+		lht.WithTraceSink(ring),
+	)
+	if err != nil {
+		panic(err)
+	}
+	for _, k := range []float64{0.2, 0.5, 0.8} {
+		if _, err := ix.Insert(lht.Record{Key: k}); err != nil {
+			panic(err)
+		}
+	}
+	if _, _, err := ix.Get(0.5); err != nil {
+		panic(err)
+	}
+	s := ix.Metrics()
+	fmt.Printf("%d DHT ops traced, %d lookups charged, %d cache hits\n",
+		ring.Total(), s.Lookup.Total, s.Cache.Hits)
+	// Output: 9 DHT ops traced, 9 lookups charged, 3 cache hits
 }
 
 // GeoIndex layers two-dimensional rectangle search on top of the

@@ -89,7 +89,7 @@ func run() error {
 	// it (section 8.2: "LHT has no need of periodical maintenance...
 	// this piece of work is left to and well done by the underlying
 	// DHT").
-	s := ix.Metrics()
+	s := ix.Metrics().Flat()
 	fmt.Printf("\nindex maintenance across all churn: %d splits, %d merges, %d maintenance lookups\n",
 		s.Splits, s.Merges, s.MaintLookups)
 	fmt.Printf("(every one of them caused by data growth, none by the %d membership changes)\n", 8*2+4)

@@ -65,7 +65,7 @@ func run() error {
 
 	// Maintenance summary (section 8): one DHT-lookup and half a bucket
 	// moved per split.
-	s := ix.Metrics()
+	s := ix.Metrics().Flat()
 	alpha, splits := ix.AlphaMean()
 	fmt.Printf("\nmaintenance: %d splits, %d record slots moved, %d maintenance lookups\n",
 		s.Splits, s.MovedRecords, s.MaintLookups)

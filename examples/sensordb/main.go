@@ -89,7 +89,7 @@ func run() error {
 			return fmt.Errorf("delete %v: %w", k, err)
 		}
 	}
-	s := ix.Metrics()
+	s := ix.Metrics().Flat()
 	fmt.Printf("\naged out %d readings: %d leaf merges reclaimed buckets (%d splits during load)\n",
 		len(expired), s.Merges, s.Splits)
 	if err := ix.CheckInvariants(); err != nil {

@@ -33,7 +33,7 @@ func RunLookupAblation(o Options, dist workload.Dist, sizes []int) (Result, erro
 		gen := workload.NewGenerator(dist, o.Seed+int64(t))
 		recs := gen.Records(maxSize)
 		queries := gen.LookupKeys(o.Queries)
-		ix, err := newLHT(o.Theta, o.Depth)
+		ix, err := o.newLHT(o.Theta, o.Depth)
 		if err != nil {
 			return res, err
 		}
@@ -99,6 +99,7 @@ func RunMergeAblation(o Options, dist workload.Dist, size, churnOps int) (Result
 				SplitThreshold: o.Theta,
 				MergeThreshold: int(f * float64(o.Theta)),
 				Depth:          o.Depth,
+				Aggregate:      o.Agg,
 			}
 			ix, err := lht.New(dht.NewLocal(), cfg)
 			if err != nil {
@@ -130,7 +131,7 @@ func RunMergeAblation(o Options, dist workload.Dist, size, churnOps int) (Result
 				}
 				live[victim] = nr
 			}
-			maint := ix.Metrics().Sub(before)
+			maint := ix.Metrics().Sub(before).Flat()
 			leaves, err := ix.Leaves()
 			if err != nil {
 				return res, err
@@ -166,7 +167,7 @@ func RunThetaSweep(o Options, dist workload.Dist, size int, thetas []int, span f
 		recs := gen.Records(size)
 		var rrow, mrow, lrow []float64
 		for _, theta := range thetas {
-			ix, err := newLHT(theta, o.Depth)
+			ix, err := o.newLHT(theta, o.Depth)
 			if err != nil {
 				return res, err
 			}
@@ -189,7 +190,7 @@ func RunThetaSweep(o Options, dist workload.Dist, size int, thetas []int, span f
 				}
 				ltot += lcost.Lookups
 			}
-			s := ix.Metrics()
+			s := ix.Metrics().Flat()
 			rrow = append(rrow, float64(rtot)/float64(o.Queries))
 			lrow = append(lrow, float64(ltot)/float64(o.Queries))
 			mrow = append(mrow, float64(s.MovedRecords)/float64(size))

@@ -74,14 +74,14 @@ func RunBatchAblation(o Options, dist workload.Dist, sizes []int) (Result, Resul
 				if variant.strip {
 					d = dht.WithoutBatch(d)
 				}
-				ix, err := lht.New(d, lht.Config{SplitThreshold: o.Theta, Depth: o.Depth})
+				ix, err := lht.New(d, lht.Config{SplitThreshold: o.Theta, Depth: o.Depth, Aggregate: o.Agg})
 				if err != nil {
 					return load, query, err
 				}
 				if _, err := ix.BulkLoad(recs); err != nil {
 					return load, query, fmt.Errorf("bench: bulk load (%s): %w", variant.name, err)
 				}
-				loaded := ix.Metrics()
+				loaded := ix.Metrics().Flat()
 				loadYs[vi][t] = append(loadYs[vi][t], float64(loaded.RoundTrips()))
 
 				// A fresh, identically seeded generator per arm: both arms
@@ -93,7 +93,7 @@ func RunBatchAblation(o Options, dist workload.Dist, sizes []int) (Result, Resul
 						return load, query, fmt.Errorf("bench: range (%s): %w", variant.name, err)
 					}
 				}
-				delta := ix.Metrics().Sub(loaded)
+				delta := ix.Metrics().Flat().Sub(loaded)
 				queryYs[vi][t] = append(queryYs[vi][t], float64(delta.RoundTrips())/float64(o.Queries))
 
 				// Oracle check: both arms must agree on bandwidth and tree

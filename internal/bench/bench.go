@@ -17,6 +17,7 @@ import (
 
 	"lht/internal/dht"
 	"lht/internal/lht"
+	"lht/internal/metrics"
 	"lht/internal/pht"
 	"lht/internal/record"
 )
@@ -36,6 +37,11 @@ type Options struct {
 	// Seed makes every run reproducible; trial t of any experiment uses
 	// Seed+t.
 	Seed int64 `json:"seed"`
+	// Agg, when non-nil, aggregates the counters of every index any
+	// experiment builds (cmd/lht-bench points it at the process counters
+	// behind its /metrics endpoint and at the latency reporter). It is
+	// runtime wiring, not a parameter, so it stays out of the report.
+	Agg *metrics.Counters `json:"-"`
 }
 
 // WithDefaults fills unset fields with the paper's defaults (scaled-down
@@ -91,13 +97,13 @@ func Sizes(lo, hi int) []int {
 
 // newLHT builds a fresh LHT over an instrumented local DHT. The growth
 // experiments insert only, as the paper's do, so merging is left disabled.
-func newLHT(theta, depth int) (*lht.Index, error) {
-	return lht.New(dht.NewLocal(), lht.Config{SplitThreshold: theta, Depth: depth})
+func (o Options) newLHT(theta, depth int) (*lht.Index, error) {
+	return lht.New(dht.NewLocal(), lht.Config{SplitThreshold: theta, Depth: depth, Aggregate: o.Agg})
 }
 
 // newPHT builds the PHT counterpart with identical parameters.
-func newPHT(theta, depth int) (*pht.Index, error) {
-	return pht.New(dht.NewLocal(), pht.Config{SplitThreshold: theta, Depth: depth})
+func (o Options) newPHT(theta, depth int) (*pht.Index, error) {
+	return pht.New(dht.NewLocal(), pht.Config{SplitThreshold: theta, Depth: depth, Aggregate: o.Agg})
 }
 
 // grow inserts recs one by one, invoking visit at every checkpoint size

@@ -104,7 +104,7 @@ func RunChurnAblation(o Options, dist workload.Dist, nodes, size int, churns []f
 				if err != nil {
 					return success, cost, err
 				}
-				builder, err := lht.New(ring, lht.Config{SplitThreshold: o.Theta, Depth: o.Depth})
+				builder, err := lht.New(ring, lht.Config{SplitThreshold: o.Theta, Depth: o.Depth, Aggregate: o.Agg})
 				if err != nil {
 					return success, cost, err
 				}
@@ -132,7 +132,7 @@ func RunChurnAblation(o Options, dist workload.Dist, nodes, size int, churns []f
 
 				// A fresh client plays the post-crash world: no leaf cache,
 				// no memory of the pre-churn tree.
-				cl, err := lht.New(ring, lht.Config{SplitThreshold: o.Theta, Depth: o.Depth})
+				cl, err := lht.New(ring, lht.Config{SplitThreshold: o.Theta, Depth: o.Depth, Aggregate: o.Agg})
 				if err != nil {
 					return success, cost, err
 				}
@@ -158,7 +158,7 @@ func RunChurnAblation(o Options, dist workload.Dist, nodes, size int, churns []f
 						ok++
 					}
 				}
-				delta := cl.Metrics().Sub(before)
+				delta := cl.Metrics().Sub(before).Flat()
 				row = append(row, 100*float64(ok)/float64(o.Queries))
 				costRow = append(costRow,
 					float64(delta.ScrubLookups+delta.MaintLookups)/float64(o.Queries))

@@ -29,7 +29,7 @@ func RunAvgAlphaVsSize(o Options, dists []workload.Dist, thetas []int, sizes []i
 			for t := 0; t < o.Trials; t++ {
 				gen := workload.NewGenerator(dist, o.Seed+int64(t))
 				recs := gen.Records(maxSize)
-				ix, err := newLHT(theta, o.Depth)
+				ix, err := o.newLHT(theta, o.Depth)
 				if err != nil {
 					return res, err
 				}
@@ -70,7 +70,7 @@ func RunAvgAlphaVsTheta(o Options, dists []workload.Dist, thetas []int, size int
 			recs := gen.Records(size)
 			row := make([]float64, 0, len(thetas))
 			for _, theta := range thetas {
-				ix, err := newLHT(theta, o.Depth)
+				ix, err := o.newLHT(theta, o.Depth)
 				if err != nil {
 					return res, err
 				}
@@ -122,7 +122,7 @@ func RunMaintenance(o Options, dists []workload.Dist, sizes []int) (moved, looku
 			gen := workload.NewGenerator(dist, o.Seed+int64(t))
 			recs := gen.Records(maxSize)
 
-			lix, err := newLHT(o.Theta, o.Depth)
+			lix, err := o.newLHT(o.Theta, o.Depth)
 			if err != nil {
 				return moved, lookups, err
 			}
@@ -130,7 +130,7 @@ func RunMaintenance(o Options, dists []workload.Dist, sizes []int) (moved, looku
 			err = grow(recs, sizes,
 				func(r record.Record) error { _, e := lix.Insert(r); return e },
 				func(int) {
-					s := lix.Metrics()
+					s := lix.Metrics().Flat()
 					lm = append(lm, float64(s.MovedRecords))
 					ll = append(ll, float64(s.MaintLookups))
 				})
@@ -138,7 +138,7 @@ func RunMaintenance(o Options, dists []workload.Dist, sizes []int) (moved, looku
 				return moved, lookups, err
 			}
 
-			pix, err := newPHT(o.Theta, o.Depth)
+			pix, err := o.newPHT(o.Theta, o.Depth)
 			if err != nil {
 				return moved, lookups, err
 			}
@@ -146,7 +146,7 @@ func RunMaintenance(o Options, dists []workload.Dist, sizes []int) (moved, looku
 			err = grow(recs, sizes,
 				func(r record.Record) error { _, e := pix.Insert(r); return e },
 				func(int) {
-					s := pix.Metrics()
+					s := pix.Metrics().Flat()
 					pm = append(pm, float64(s.MovedRecords))
 					pl = append(pl, float64(s.MaintLookups))
 				})
@@ -187,7 +187,7 @@ func RunLookup(o Options, dist workload.Dist, sizes []int) (Result, error) {
 		recs := gen.Records(maxSize)
 		queries := gen.LookupKeys(o.Queries)
 
-		lix, err := newLHT(o.Theta, o.Depth)
+		lix, err := o.newLHT(o.Theta, o.Depth)
 		if err != nil {
 			return res, err
 		}
@@ -210,7 +210,7 @@ func RunLookup(o Options, dist workload.Dist, sizes []int) (Result, error) {
 			return res, err
 		}
 
-		pix, err := newPHT(o.Theta, o.Depth)
+		pix, err := o.newPHT(o.Theta, o.Depth)
 		if err != nil {
 			return res, err
 		}
@@ -309,11 +309,11 @@ func RunRangeVsSize(o Options, dist workload.Dist, sizes []int, span float64) (b
 	for t := 0; t < o.Trials; t++ {
 		gen := workload.NewGenerator(dist, o.Seed+int64(t))
 		recs := gen.Records(maxSize)
-		lix, err := newLHT(o.Theta, o.Depth)
+		lix, err := o.newLHT(o.Theta, o.Depth)
 		if err != nil {
 			return bandwidth, latency, err
 		}
-		pix, err := newPHT(o.Theta, o.Depth)
+		pix, err := o.newPHT(o.Theta, o.Depth)
 		if err != nil {
 			return bandwidth, latency, err
 		}
@@ -369,11 +369,11 @@ func RunRangeVsSpan(o Options, dist workload.Dist, size int, spans []float64) (b
 	for t := 0; t < o.Trials; t++ {
 		gen := workload.NewGenerator(dist, o.Seed+int64(t))
 		recs := gen.Records(size)
-		lix, err := newLHT(o.Theta, o.Depth)
+		lix, err := o.newLHT(o.Theta, o.Depth)
 		if err != nil {
 			return bandwidth, latency, err
 		}
-		pix, err := newPHT(o.Theta, o.Depth)
+		pix, err := o.newPHT(o.Theta, o.Depth)
 		if err != nil {
 			return bandwidth, latency, err
 		}
@@ -434,11 +434,11 @@ func RunSavingRatio(o Options, dist workload.Dist, size int, gammas []float64) (
 	for t := 0; t < o.Trials; t++ {
 		gen := workload.NewGenerator(dist, o.Seed+int64(t))
 		recs := gen.Records(size)
-		lix, err := newLHT(o.Theta, o.Depth)
+		lix, err := o.newLHT(o.Theta, o.Depth)
 		if err != nil {
 			return res, err
 		}
-		pix, err := newPHT(o.Theta, o.Depth)
+		pix, err := o.newPHT(o.Theta, o.Depth)
 		if err != nil {
 			return res, err
 		}
@@ -450,7 +450,7 @@ func RunSavingRatio(o Options, dist workload.Dist, size int, gammas []float64) (
 				return res, err
 			}
 		}
-		ls, ps := lix.Metrics(), pix.Metrics()
+		ls, ps := lix.Metrics().Flat(), pix.Metrics().Flat()
 		sums = append(sums, totals{
 			lm: float64(ls.MovedRecords), ll: float64(ls.MaintLookups),
 			pm: float64(ps.MovedRecords), pl: float64(ps.MaintLookups),
@@ -486,7 +486,7 @@ func RunMinMax(o Options, dist workload.Dist, sizes []int) (Result, error) {
 	for t := 0; t < o.Trials; t++ {
 		gen := workload.NewGenerator(dist, o.Seed+int64(t))
 		recs := gen.Records(maxSize)
-		ix, err := newLHT(o.Theta, o.Depth)
+		ix, err := o.newLHT(o.Theta, o.Depth)
 		if err != nil {
 			return res, err
 		}

@@ -136,7 +136,7 @@ func RunFaultAblation(o Options, dist workload.Dist, size int, rates []float64) 
 			retryRow := make([]float64, 0, len(rates))
 			for ri, rate := range rates {
 				flaky := newFlaky(dht.NewLocal(), o.Seed+int64(t*1000+ri))
-				cfg := lht.Config{SplitThreshold: o.Theta, Depth: o.Depth}
+				cfg := lht.Config{SplitThreshold: o.Theta, Depth: o.Depth, Aggregate: o.Agg}
 				if variant.policy {
 					cfg.Policy = &dht.Policy{
 						BaseDelay: 50 * time.Microsecond,
@@ -171,7 +171,7 @@ func RunFaultAblation(o Options, dist workload.Dist, size int, rates []float64) 
 						ok++
 					}
 				}
-				delta := ix.Metrics().Sub(before)
+				delta := ix.Metrics().Sub(before).Flat()
 				row = append(row, 100*float64(ok)/float64(o.Queries))
 				retryRow = append(retryRow, float64(delta.Retries)/float64(o.Queries))
 			}

@@ -6,27 +6,36 @@ import (
 	"os"
 	"path/filepath"
 	"time"
+
+	"lht/internal/metrics"
 )
 
 // ReportSchema versions the machine-readable report format; bump it when
-// the shape of Report changes incompatibly.
-const ReportSchema = "lht-bench/1"
+// the shape of Report changes incompatibly. lht-bench/2 added the
+// per-experiment latency percentile blocks and the run-level counter
+// totals.
+const ReportSchema = "lht-bench/2"
 
 // TimedResult is one experiment's figure plus the wall time it took to
-// produce.
+// produce and the latency distribution of the operations it issued.
 type TimedResult struct {
 	Result
-	WallMillis int64 `json:"wall_millis"`
+	WallMillis int64       `json:"wall_millis"`
+	Latency    []OpLatency `json:"latency,omitempty"`
 }
 
 // Report is the machine-readable output of a bench run: every result with
-// its series data (the op counts behind each figure) and wall times, for
-// CI trend tracking and external plotting.
+// its series data (the op counts behind each figure), wall times, latency
+// percentiles, and the run's aggregate DHT counters, for CI trend
+// tracking and external plotting.
 type Report struct {
 	Schema     string        `json:"schema"`
 	Options    Options       `json:"options"`
 	WallMillis int64         `json:"wall_millis"`
 	Results    []TimedResult `json:"results"`
+	// Counters is the run-wide counter total (Options.Agg at the end of
+	// the run), present when the run aggregated its indexes' counters.
+	Counters *metrics.FlatSnapshot `json:"counters,omitempty"`
 }
 
 // NewReport starts a report for one run.
@@ -36,8 +45,13 @@ func NewReport(o Options) *Report {
 
 // Add appends one result with its wall time.
 func (r *Report) Add(res Result, wall time.Duration) {
-	r.Results = append(r.Results, TimedResult{Result: res, WallMillis: wall.Milliseconds()})
-	r.WallMillis += wall.Milliseconds()
+	r.AddTimed(TimedResult{Result: res, WallMillis: wall.Milliseconds()})
+}
+
+// AddTimed appends one fully populated result (wall time plus latency).
+func (r *Report) AddTimed(tr TimedResult) {
+	r.Results = append(r.Results, tr)
+	r.WallMillis += tr.WallMillis
 }
 
 // WriteFile writes the report as indented JSON, creating the target

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"lht/internal/metrics"
+)
+
+// OpLatency summarizes the latency distribution of one operation class
+// over one experiment (or a whole run). Percentiles come from the
+// log-bucketed histograms in metrics.Counters, so they are upper bounds
+// with power-of-two resolution, not exact order statistics.
+type OpLatency struct {
+	Op     string  `json:"op"`
+	Count  int64   `json:"count"`
+	Errors int64   `json:"errors,omitempty"`
+	MeanUs float64 `json:"mean_us"`
+	P50Us  float64 `json:"p50_us"`
+	P95Us  float64 `json:"p95_us"`
+	P99Us  float64 `json:"p99_us"`
+}
+
+// LatencySummary extracts per-operation-class latency percentiles from a
+// snapshot (typically a Sub diff covering one experiment), skipping
+// classes that saw no traffic.
+func LatencySummary(d metrics.Snapshot) []OpLatency {
+	var out []OpLatency
+	for op := metrics.Op(0); op < metrics.NumOps; op++ {
+		st := d.Latency.Ops[op]
+		if st.Count == 0 {
+			continue
+		}
+		out = append(out, OpLatency{
+			Op:     op.String(),
+			Count:  st.Count,
+			Errors: st.Errors,
+			MeanUs: micros(st.Hist.Mean()),
+			P50Us:  micros(st.Hist.Quantile(50)),
+			P95Us:  micros(st.Hist.Quantile(95)),
+			P99Us:  micros(st.Hist.Quantile(99)),
+		})
+	}
+	return out
+}
+
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// FormatLatency renders a latency summary as an aligned table matching
+// FormatTable's style; an empty summary renders as the empty string.
+func FormatLatency(ls []OpLatency) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	headers := []string{"op", "count", "errors", "mean", "p50", "p95", "p99"}
+	rows := make([][]string, 0, len(ls))
+	for _, l := range ls {
+		rows = append(rows, []string{
+			l.Op,
+			fmt.Sprintf("%d", l.Count),
+			fmt.Sprintf("%d", l.Errors),
+			formatUs(l.MeanUs),
+			formatUs(l.P50Us),
+			formatUs(l.P95Us),
+			formatUs(l.P99Us),
+		})
+	}
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// formatUs renders a microsecond value with a unit, scaling to ms past
+// 1000us for readability.
+func formatUs(us float64) string {
+	if us >= 1000 {
+		return fmt.Sprintf("%.3gms", us/1000)
+	}
+	return fmt.Sprintf("%.3gus", us)
+}

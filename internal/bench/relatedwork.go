@@ -54,11 +54,11 @@ func RunRelatedWork(o Options, distKind workload.Dist, size int, span float64) (
 		recs := gen.Records(size)
 		queries := gen.LookupKeys(o.Queries)
 
-		lix, err := newLHT(o.Theta, o.Depth)
+		lix, err := o.newLHT(o.Theta, o.Depth)
 		if err != nil {
 			return nil, err
 		}
-		pix, err := newPHT(o.Theta, o.Depth)
+		pix, err := o.newPHT(o.Theta, o.Depth)
 		if err != nil {
 			return nil, err
 		}

@@ -35,11 +35,11 @@ func RunSkewRobustness(o Options, sizes []int) (Result, error) {
 	for t := 0; t < o.Trials; t++ {
 		gen := workload.NewGenerator(workload.Zipf, o.Seed+int64(t))
 		recs := gen.Records(maxSize)
-		lix, err := newLHT(o.Theta, o.Depth)
+		lix, err := o.newLHT(o.Theta, o.Depth)
 		if err != nil {
 			return res, err
 		}
-		pix, err := newPHT(o.Theta, o.Depth)
+		pix, err := o.newPHT(o.Theta, o.Depth)
 		if err != nil {
 			return res, err
 		}

@@ -112,7 +112,7 @@ func TestPolicyBatchRetriesOnlyFailedSubset(t *testing.T) {
 		}
 	}
 
-	s := c.Snapshot()
+	s := c.Snapshot().Flat()
 	if s.Lookups != 6 {
 		t.Errorf("Lookups = %d, want 6 (3+2+1: every attempt charged)", s.Lookups)
 	}
@@ -146,7 +146,7 @@ func TestPolicyBatchExhaustion(t *testing.T) {
 		t.Fatalf("A = %v, %v", v, err)
 	}
 	// 4 attempts for B (1 + 3 retries), 1 for A.
-	if s := c.Snapshot(); s.Lookups != 5 || s.Retries != 3 {
+	if s := c.Snapshot().Flat(); s.Lookups != 5 || s.Retries != 3 {
 		t.Errorf("Lookups/Retries = %d/%d, want 5/3", s.Lookups, s.Retries)
 	}
 }
@@ -177,7 +177,7 @@ func TestWithoutBatchHidesBatcher(t *testing.T) {
 	if vals[0] != 1 || vals[1] != 2 {
 		t.Fatalf("fallback GetBatch vals: %v", vals)
 	}
-	s := c.Snapshot()
+	s := c.Snapshot().Flat()
 	if s.Lookups != 5 || s.FailedGets != 1 {
 		t.Errorf("Lookups/FailedGets = %d/%d, want 5/1", s.Lookups, s.FailedGets)
 	}
@@ -202,7 +202,7 @@ func TestInstrumentedNativeBatchCharging(t *testing.T) {
 	if !errors.Is(errs[2], ErrNotFound) {
 		t.Fatalf("missing slot = %v", errs[2])
 	}
-	s := c.Snapshot()
+	s := c.Snapshot().Flat()
 	if s.Lookups != 5 || s.FailedGets != 1 {
 		t.Errorf("Lookups/FailedGets = %d/%d, want 5/1", s.Lookups, s.FailedGets)
 	}

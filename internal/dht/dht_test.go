@@ -137,7 +137,7 @@ func TestInstrumentedCounting(t *testing.T) {
 	_ = d.Put(context.Background(), "b", 1)       // 7
 	_ = d.Write(context.Background(), "b", 2)     // free
 
-	s := c.Snapshot()
+	s := c.Snapshot().Flat()
 	if s.Lookups != 7 {
 		t.Errorf("Lookups = %d, want 7", s.Lookups)
 	}
@@ -159,7 +159,7 @@ func TestSnapshotSubAndReset(t *testing.T) {
 	before := c.Snapshot()
 	c.AddLookups(5)
 	c.AddMovedRecords(7)
-	diff := c.Snapshot().Sub(before)
+	diff := c.Snapshot().Sub(before).Flat()
 	if diff.Lookups != 5 || diff.MovedRecords != 7 || diff.Splits != 0 {
 		t.Errorf("Sub = %+v", diff)
 	}

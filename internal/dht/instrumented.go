@@ -3,6 +3,7 @@ package dht
 import (
 	"context"
 	"errors"
+	"time"
 
 	"lht/internal/metrics"
 )
@@ -14,9 +15,18 @@ import (
 // context cancellation or deadline expiry are also tallied
 // (Cancellations / DeadlineExceeded), so fault experiments can separate
 // "gave up" from "failed".
+//
+// Instrumented is also where the observability plane taps the traffic:
+// each charged lookup is attributed to the (operation class, algorithm
+// phase) cell labelled on the context by the index layer, and — when a
+// trace sink is attached — every primitive is timed and emitted as a
+// structured OpEvent, so a single slow query can be reconstructed
+// span-by-span. Without a sink no clocks are read and the overhead is a
+// handful of atomic adds.
 type Instrumented struct {
 	inner DHT
 	c     *metrics.Counters
+	sink  metrics.TraceSink
 }
 
 var (
@@ -32,6 +42,11 @@ func NewInstrumented(inner DHT, c *metrics.Counters) *Instrumented {
 // Counters returns the counter set this wrapper charges.
 func (d *Instrumented) Counters() *metrics.Counters { return d.c }
 
+// SetSink attaches a trace sink receiving one OpEvent per routed
+// primitive (nil detaches). Must be called before the wrapper is shared
+// across goroutines.
+func (d *Instrumented) SetSink(s metrics.TraceSink) { d.sink = s }
+
 // note tallies the context-outcome counters for a finished operation.
 func (d *Instrumented) note(err error) {
 	switch {
@@ -43,41 +58,117 @@ func (d *Instrumented) note(err error) {
 	}
 }
 
+// charge counts n lookups and attributes them to the labels on ctx.
+func (d *Instrumented) charge(ctx context.Context, n int64) metrics.Labels {
+	lb := metrics.LabelsFrom(ctx)
+	d.c.AddLookups(n)
+	d.c.AddPhaseLookups(lb.Op, lb.Phase, n)
+	return lb
+}
+
+// start returns the event start time, or zero when tracing is off so
+// the hot path never reads the clock without a sink.
+func (d *Instrumented) start() time.Time {
+	if d.sink == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// outcome classifies how a primitive ended for the trace event.
+func outcome(err error) (string, string) {
+	switch {
+	case err == nil:
+		return "ok", ""
+	case errors.Is(err, ErrNotFound):
+		return "not_found", ""
+	case errors.Is(err, context.Canceled):
+		return "cancelled", ""
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline", ""
+	default:
+		return "error", err.Error()
+	}
+}
+
+// emit sends one trace event when a sink is attached.
+func (d *Instrumented) emit(lb metrics.Labels, kind, key string, keys int, start time.Time, err error) {
+	if d.sink == nil {
+		return
+	}
+	out, detail := outcome(err)
+	d.sink.RecordOp(metrics.OpEvent{
+		Start:    start,
+		Duration: time.Since(start),
+		Kind:     kind,
+		Key:      key,
+		Keys:     keys,
+		Op:       lb.Op,
+		Phase:    lb.Phase,
+		Outcome:  out,
+		Err:      detail,
+	})
+}
+
+// batchErr picks the event-worthy error of a batch: the first non-nil
+// slot error, preferring one that is not a cancellation so partial
+// failures stay visible.
+func batchErr(errs []error) error {
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil || errors.Is(first, context.Canceled) || errors.Is(first, context.DeadlineExceeded) {
+			first = err
+		}
+	}
+	return first
+}
+
 // Get implements DHT, counting one lookup (and one failed get on miss).
 func (d *Instrumented) Get(ctx context.Context, key string) (Value, error) {
-	d.c.AddLookups(1)
+	lb := d.charge(ctx, 1)
+	start := d.start()
 	v, err := d.inner.Get(ctx, key)
 	if errors.Is(err, ErrNotFound) {
 		d.c.AddFailedGets(1)
 	}
 	d.note(err)
+	d.emit(lb, "get", key, 1, start, err)
 	return v, err
 }
 
 // Put implements DHT, counting one lookup.
 func (d *Instrumented) Put(ctx context.Context, key string, v Value) error {
-	d.c.AddLookups(1)
+	lb := d.charge(ctx, 1)
+	start := d.start()
 	err := d.inner.Put(ctx, key, v)
 	d.note(err)
+	d.emit(lb, "put", key, 1, start, err)
 	return err
 }
 
 // Take implements DHT, counting one lookup.
 func (d *Instrumented) Take(ctx context.Context, key string) (Value, error) {
-	d.c.AddLookups(1)
+	lb := d.charge(ctx, 1)
+	start := d.start()
 	v, err := d.inner.Take(ctx, key)
 	if errors.Is(err, ErrNotFound) {
 		d.c.AddFailedGets(1)
 	}
 	d.note(err)
+	d.emit(lb, "take", key, 1, start, err)
 	return v, err
 }
 
 // Remove implements DHT, counting one lookup.
 func (d *Instrumented) Remove(ctx context.Context, key string) error {
-	d.c.AddLookups(1)
+	lb := d.charge(ctx, 1)
+	start := d.start()
 	err := d.inner.Remove(ctx, key)
 	d.note(err)
+	d.emit(lb, "remove", key, 1, start, err)
 	return err
 }
 
@@ -99,9 +190,10 @@ func (d *Instrumented) GetBatch(ctx context.Context, keys []string) ([]Value, []
 		}
 		return vals, errs
 	}
-	d.c.AddLookups(int64(len(keys)))
+	lb := d.charge(ctx, int64(len(keys)))
 	d.c.AddBatchOps(1)
 	d.c.AddBatchedKeys(int64(len(keys)))
+	start := d.start()
 	vals, errs := b.GetBatch(ctx, keys)
 	for _, err := range errs {
 		if errors.Is(err, ErrNotFound) {
@@ -109,6 +201,7 @@ func (d *Instrumented) GetBatch(ctx context.Context, keys []string) ([]Value, []
 		}
 		d.note(err)
 	}
+	d.emit(lb, "get_batch", "", len(keys), start, batchErr(errs))
 	return vals, errs
 }
 
@@ -125,19 +218,27 @@ func (d *Instrumented) PutBatch(ctx context.Context, kvs []KV) []error {
 		}
 		return errs
 	}
-	d.c.AddLookups(int64(len(kvs)))
+	lb := d.charge(ctx, int64(len(kvs)))
 	d.c.AddBatchOps(1)
 	d.c.AddBatchedKeys(int64(len(kvs)))
+	start := d.start()
 	errs := b.PutBatch(ctx, kvs)
 	for _, err := range errs {
 		d.note(err)
 	}
+	d.emit(lb, "put_batch", "", len(kvs), start, batchErr(errs))
 	return errs
 }
 
-// Write implements DHT; it is free in the cost model.
+// Write implements DHT; it is free in the cost model but still traced,
+// since intent writes are part of a mutation's span.
 func (d *Instrumented) Write(ctx context.Context, key string, v Value) error {
+	start := d.start()
 	err := d.inner.Write(ctx, key, v)
 	d.note(err)
+	if d.sink != nil {
+		// Write charges nothing, so the labels were not read yet.
+		d.emit(metrics.LabelsFrom(ctx), "write", key, 1, start, err)
+	}
 	return err
 }

@@ -161,9 +161,13 @@ func (d *PolicyDHT) backoff(ctx context.Context, n int) error {
 	}
 }
 
-// do runs op under the retry policy.
+// do runs op under the retry policy. Re-attempts run with the context's
+// phase label switched to PhaseRetry, so the instrumented layer below
+// attributes their lookups to retry traffic while the first attempt
+// keeps the phase of the algorithm that issued it.
 func (d *PolicyDHT) do(ctx context.Context, op func(context.Context) error) error {
 	var err error
+	actx := ctx
 	for attempt := 0; attempt < d.p.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			if d.p.Counters != nil {
@@ -172,8 +176,9 @@ func (d *PolicyDHT) do(ctx context.Context, op func(context.Context) error) erro
 			if berr := d.backoff(ctx, attempt-1); berr != nil {
 				return berr
 			}
+			actx = metrics.WithPhase(ctx, metrics.PhaseRetry)
 		}
-		err = op(ctx)
+		err = op(actx)
 		if err == nil || !d.p.Classify(err) {
 			return err
 		}
@@ -198,7 +203,7 @@ func (d *PolicyDHT) retryBatch(ctx context.Context, errs []error, pending []int,
 			}
 			return
 		}
-		attempt(ctx, pending)
+		attempt(metrics.WithPhase(ctx, metrics.PhaseRetry), pending)
 		var still []int
 		for _, i := range pending {
 			if errs[i] != nil && d.p.Classify(errs[i]) {

@@ -89,7 +89,7 @@ func TestPolicyRetriesTransientFaults(t *testing.T) {
 	if f.calls != 3 {
 		t.Fatalf("attempts = %d, want 3 (2 faults + 1 success)", f.calls)
 	}
-	if got := c.Snapshot().Retries; got != 2 {
+	if got := c.Snapshot().Retry.Retries; got != 2 {
 		t.Fatalf("Retries = %d, want 2", got)
 	}
 	if v, err := d.Get(ctx, "k"); err != nil || v.(int) != 42 {
@@ -109,7 +109,7 @@ func TestPolicyPermanentErrorsPassThrough(t *testing.T) {
 	if f.calls != 1 {
 		t.Fatalf("ErrNotFound was retried: %d attempts", f.calls)
 	}
-	if got := c.Snapshot().Retries; got != 0 {
+	if got := c.Snapshot().Retry.Retries; got != 0 {
 		t.Fatalf("Retries = %d, want 0 for a permanent outcome", got)
 	}
 }
@@ -134,7 +134,7 @@ func TestPolicyExhaustion(t *testing.T) {
 	if f.calls != 4 {
 		t.Fatalf("attempts = %d, want MaxAttempts = 4", f.calls)
 	}
-	if got := c.Snapshot().Retries; got != 3 {
+	if got := c.Snapshot().Retry.Retries; got != 3 {
 		t.Fatalf("Retries = %d, want 3", got)
 	}
 }
@@ -172,7 +172,7 @@ func TestPolicyCancelDuringBackoff(t *testing.T) {
 	if f.calls != 1 {
 		t.Fatalf("attempts = %d, want 1 (cancelled before the retry)", f.calls)
 	}
-	s := c.Snapshot()
+	s := c.Snapshot().Flat()
 	if s.Cancellations != 1 {
 		t.Fatalf("Cancellations = %d, want 1", s.Cancellations)
 	}
@@ -193,7 +193,7 @@ func TestPolicyRetriesChargedAsLookups(t *testing.T) {
 	if err := d.Put(ctx, "k", 1); err != nil {
 		t.Fatal(err)
 	}
-	s := c.Snapshot()
+	s := c.Snapshot().Flat()
 	if s.Lookups != 3 {
 		t.Fatalf("Lookups = %d, want 3 (each retry is a real DHT-lookup)", s.Lookups)
 	}

@@ -84,7 +84,7 @@ func TestReplicationInvariants(t *testing.T) {
 		t.Fatalf("Count = %d, %v", n, err)
 	}
 	// The root must have saturated long ago at capacity 8.
-	s := ix.Metrics()
+	s := ix.Metrics().Flat()
 	if s.Splits == 0 {
 		t.Fatal("no saturation events")
 	}

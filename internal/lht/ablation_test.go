@@ -42,7 +42,7 @@ func TestLinearLookupAgreesWithBinary(t *testing.T) {
 			t.Fatalf("linear cost %+v", cost)
 		}
 	}
-	diff := ix.Metrics().Sub(before)
+	diff := ix.Metrics().Sub(before).Flat()
 	// The binary search misses; the linear walk never does. With 300 of
 	// each, failed gets must come only from the binary side.
 	if diff.FailedGets == 0 {

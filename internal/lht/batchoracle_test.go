@@ -129,7 +129,7 @@ func TestBatchedPathIsAnOracle(t *testing.T) {
 				}
 			}
 
-			bs, ps := batched.c.Snapshot(), perOp.c.Snapshot()
+			bs, ps := batched.c.Snapshot().Flat(), perOp.c.Snapshot().Flat()
 			if bs.Lookups != ps.Lookups {
 				t.Errorf("counter Lookups: batched %d, per-op %d", bs.Lookups, ps.Lookups)
 			}

@@ -10,6 +10,7 @@ import (
 	"lht/internal/bitlabel"
 	"lht/internal/dht"
 	"lht/internal/keyspace"
+	"lht/internal/metrics"
 	"lht/internal/record"
 )
 
@@ -62,10 +63,11 @@ func (ix *Index) BulkLoad(recs []record.Record) (Cost, error) {
 // error is a *PartialLoadError (errors.Is ErrPartialLoad) reporting how
 // much of the tree made it out — a subsequent BulkLoad will refuse with
 // ErrNotEmpty, exactly because the partial tree is real data.
-func (ix *Index) BulkLoadContext(ctx context.Context, recs []record.Record) (Cost, error) {
-	var cost Cost
+func (ix *Index) BulkLoadContext(ctx context.Context, recs []record.Record) (cost Cost, err error) {
+	ctx, done := ix.beginOp(ctx, metrics.OpBulkLoad)
+	defer func() { done(err) }()
 	// The index must be in its bootstrap state: the single empty leaf.
-	b, err := ix.getBucket(ctx, bitlabel.Root.Key(), &cost)
+	b, err := ix.getBucket(metrics.WithPhase(ctx, metrics.PhaseProbe), bitlabel.Root.Key(), &cost)
 	if err != nil {
 		return cost, fmt.Errorf("lht: bulk load probe: %w", err)
 	}

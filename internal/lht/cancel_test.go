@@ -96,7 +96,7 @@ func TestRangeCancellationStopsParallelFetches(t *testing.T) {
 	waitUntil(t, "parked fetches to drain", func() bool { return b.inflight.Load() == 0 })
 
 	// The instrumented layer saw the cancelled operations.
-	if s := ix.Metrics(); s.Cancellations < 1 {
+	if s := ix.Metrics().Flat(); s.Cancellations < 1 {
 		t.Fatalf("Cancellations = %d, want >= 1", s.Cancellations)
 	}
 
@@ -133,7 +133,7 @@ func TestRangeDeadlineExpiry(t *testing.T) {
 		t.Fatalf("RangeContext = %v, want context.DeadlineExceeded", err)
 	}
 	waitUntil(t, "parked fetches to drain", func() bool { return b.inflight.Load() == 0 })
-	if s := ix.Metrics(); s.DeadlineExceeded < 1 {
+	if s := ix.Metrics().Flat(); s.DeadlineExceeded < 1 {
 		t.Fatalf("DeadlineExceeded = %d, want >= 1", s.DeadlineExceeded)
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"lht/internal/dht"
 	"lht/internal/keyspace"
+	"lht/internal/metrics"
 )
 
 // Config tunes an LHT index. The zero value is invalid; start from
@@ -79,6 +80,20 @@ type Config struct {
 	// Nil (the default) means faults surface to the caller on the first
 	// occurrence.
 	Policy *dht.Policy
+
+	// TraceSink, when non-nil, receives one structured metrics.OpEvent
+	// per routed DHT primitive this index issues (kind, key, operation
+	// class, algorithm phase, duration, outcome), letting a single slow
+	// query be reconstructed span-by-span. metrics.NewRing provides a
+	// bounded in-process sink. Nil (the default) disables tracing and
+	// its clock reads.
+	TraceSink metrics.TraceSink
+
+	// Aggregate, when non-nil, chains this index's counters to a shared
+	// parent: every increment also counts toward the aggregate, so many
+	// index instances can serve one process-wide /metrics endpoint
+	// while each keeps its own exact per-instance accounting.
+	Aggregate *metrics.Counters
 }
 
 // DefaultLeafCacheSize is the leaf-cache capacity used when LeafCache

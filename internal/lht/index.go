@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"lht/internal/bitlabel"
 	"lht/internal/dht"
@@ -76,7 +77,14 @@ func New(d dht.DHT, cfg Config) (*Index, error) {
 		}
 	}
 	c := &metrics.Counters{}
-	stack := dht.DHT(dht.NewInstrumented(d, c))
+	if cfg.Aggregate != nil {
+		c.Chain(cfg.Aggregate)
+	}
+	inst := dht.NewInstrumented(d, c)
+	if cfg.TraceSink != nil {
+		inst.SetSink(cfg.TraceSink)
+	}
+	stack := dht.DHT(inst)
 	if cfg.Policy != nil {
 		p := *cfg.Policy
 		p.Counters = c
@@ -92,9 +100,27 @@ func New(d dht.DHT, cfg Config) (*Index, error) {
 // Config returns the index configuration.
 func (ix *Index) Config() Config { return ix.cfg }
 
-// Metrics returns the cumulative cost counters of this index client:
-// DHT-lookups, failed gets, moved records, splits and merges.
+// Metrics returns the cumulative cost counters of this index client,
+// grouped by concern (Lookup, Cache, Retry, Batch, Repair) plus the
+// per-operation-class latency histograms and phase-attribution matrix
+// (Latency). Use Snapshot.Flat for the legacy one-level field names.
 func (ix *Index) Metrics() metrics.Snapshot { return ix.c.Snapshot() }
+
+// Counters exposes the live counter set, e.g. to serve a /metrics
+// endpoint without snapshotting on every increment.
+func (ix *Index) Counters() *metrics.Counters { return ix.c }
+
+// beginOp opens an operation scope for the observability plane: the
+// returned context carries the operation class (so the instrumentation
+// layer attributes each DHT-lookup to it), and the returned finish
+// function records the operation's end-to-end latency and outcome. Every
+// public entry point calls it exactly once.
+func (ix *Index) beginOp(ctx context.Context, op metrics.Op) (context.Context, func(error)) {
+	start := time.Now()
+	return metrics.WithOp(ctx, op), func(err error) {
+		ix.c.ObserveOp(op, time.Since(start), err != nil)
+	}
+}
 
 // AlphaMean returns the average alpha (remote-bucket fraction of
 // theta_split, section 8.2) over all splits performed by this client, and
@@ -102,7 +128,7 @@ func (ix *Index) Metrics() metrics.Snapshot { return ix.c.Snapshot() }
 func (ix *Index) AlphaMean() (mean float64, splits int64) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	n := ix.c.Snapshot().Splits
+	n := ix.c.Snapshot().Lookup.Splits
 	if n == 0 {
 		return 0, 0
 	}
@@ -164,8 +190,10 @@ func (ix *Index) LookupBucket(delta float64) (*Bucket, Cost, error) {
 
 // LookupBucketContext is LookupBucket with a caller-supplied context
 // bounding the underlying DHT traffic.
-func (ix *Index) LookupBucketContext(ctx context.Context, delta float64) (*Bucket, Cost, error) {
-	b, _, cost, err := ix.lookup(ctx, delta)
+func (ix *Index) LookupBucketContext(ctx context.Context, delta float64) (b *Bucket, cost Cost, err error) {
+	ctx, done := ix.beginOp(ctx, metrics.OpGet)
+	defer func() { done(err) }()
+	b, _, cost, err = ix.lookup(ctx, delta)
 	return b, cost, err
 }
 
@@ -176,6 +204,10 @@ func (ix *Index) LookupBucketContext(ctx context.Context, delta float64) (*Bucke
 // and converted into tightened binary-search bounds (see repair cases
 // below), so cached results are always identical to the uncached path.
 func (ix *Index) lookup(ctx context.Context, delta float64) (*Bucket, string, Cost, error) {
+	// Every probe of the binary search (and of the cache pre-probe) is
+	// PhaseProbe traffic; repairTorn overrides the phase for the repair
+	// writes it issues.
+	ctx = metrics.WithPhase(ctx, metrics.PhaseProbe)
 	var cost Cost
 	mu, err := keyspace.Mu(delta, ix.cfg.Depth)
 	if err != nil {
@@ -289,8 +321,10 @@ func (ix *Index) Search(delta float64) (record.Record, Cost, error) {
 }
 
 // SearchContext is Search with a caller-supplied context.
-func (ix *Index) SearchContext(ctx context.Context, delta float64) (record.Record, Cost, error) {
-	b, cost, err := ix.LookupBucketContext(ctx, delta)
+func (ix *Index) SearchContext(ctx context.Context, delta float64) (rec record.Record, cost Cost, err error) {
+	ctx, done := ix.beginOp(ctx, metrics.OpGet)
+	defer func() { done(err) }()
+	b, _, cost, err := ix.lookup(ctx, delta)
 	if err != nil {
 		return record.Record{}, cost, err
 	}
@@ -310,10 +344,12 @@ func (ix *Index) Insert(rec record.Record) (Cost, error) {
 }
 
 // InsertContext is Insert with a caller-supplied context.
-func (ix *Index) InsertContext(ctx context.Context, rec record.Record) (Cost, error) {
+func (ix *Index) InsertContext(ctx context.Context, rec record.Record) (cost Cost, err error) {
 	if err := keyspace.CheckKey(rec.Key); err != nil {
 		return Cost{}, err
 	}
+	ctx, done := ix.beginOp(ctx, metrics.OpInsert)
+	defer func() { done(err) }()
 	b, key, cost, err := ix.lookup(ctx, rec.Key)
 	if err != nil {
 		return cost, err
@@ -352,6 +388,9 @@ func (ix *Index) InsertContext(ctx context.Context, rec record.Record) (Cost, er
 // by the next lookup's read-repair or by Scrub — re-runs the remaining
 // steps idempotently, converging on exactly the never-crashed tree.
 func (ix *Index) split(ctx context.Context, key string, b *Bucket) (Cost, error) {
+	// Maintenance traffic: the intent write and both halves' writes are
+	// split-phase lookups (repairTorn labels its own calls PhaseRepair).
+	ctx = metrics.WithPhase(ctx, metrics.PhaseSplit)
 	var cost Cost
 	lambda := b.Label
 	if lambda.Len() >= ix.cfg.Depth {
@@ -397,10 +436,12 @@ func (ix *Index) Delete(delta float64) (Cost, error) {
 }
 
 // DeleteContext is Delete with a caller-supplied context.
-func (ix *Index) DeleteContext(ctx context.Context, delta float64) (Cost, error) {
+func (ix *Index) DeleteContext(ctx context.Context, delta float64) (cost Cost, err error) {
 	if err := keyspace.CheckKey(delta); err != nil {
 		return Cost{}, err
 	}
+	ctx, done := ix.beginOp(ctx, metrics.OpDelete)
+	defer func() { done(err) }()
 	b, key, cost, err := ix.lookup(ctx, delta)
 	if err != nil {
 		return cost, err
@@ -444,6 +485,9 @@ func (ix *Index) DeleteContext(ctx context.Context, delta float64) (Cost, error)
 // the merged bucket, and completeMerge rolls the mutation forward (or
 // back, if another client has since written to the obsolete child).
 func (ix *Index) merge(ctx context.Context, key string, b *Bucket) (Cost, error) {
+	// Maintenance traffic: the sibling fetch and the merge rewrite are
+	// merge-phase lookups.
+	ctx = metrics.WithPhase(ctx, metrics.PhaseMerge)
 	var cost Cost
 	parent := b.Label.Parent()
 	sibling := b.Label.Sibling()

@@ -150,7 +150,7 @@ func TestSplitKeepsOneHalfLocal(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	s := ix.Metrics()
+	s := ix.Metrics().Flat()
 	if s.Splits != 1 {
 		t.Fatalf("Splits = %d, want 1", s.Splits)
 	}
@@ -277,7 +277,7 @@ func TestDeleteTriggersMerges(t *testing.T) {
 	if n, err := ix.Count(); err != nil || n != 0 {
 		t.Fatalf("Count = %d, %v", n, err)
 	}
-	if s := ix.Metrics(); s.Merges == 0 {
+	if s := ix.Metrics().Flat(); s.Merges == 0 {
 		t.Error("expected merges during mass deletion")
 	}
 	// The index must remain fully usable afterwards.
@@ -304,7 +304,7 @@ func TestMergeDisabled(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if s := ix.Metrics(); s.Merges != 0 {
+	if s := ix.Metrics().Flat(); s.Merges != 0 {
 		t.Fatalf("Merges = %d with merging disabled", s.Merges)
 	}
 	if err := ix.CheckInvariants(); err != nil {
@@ -464,7 +464,7 @@ func TestCostAccountingMatchesMetrics(t *testing.T) {
 		t.Fatal(err)
 	}
 	total += int64(cost.Lookups)
-	if s := ix.Metrics(); s.Lookups != total {
+	if s := ix.Metrics().Flat(); s.Lookups != total {
 		t.Fatalf("metrics lookups = %d, per-op sum = %d", s.Lookups, total)
 	}
 }

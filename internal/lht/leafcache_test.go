@@ -129,7 +129,7 @@ func TestCachedLookupEquivalence(t *testing.T) {
 	if err := cix.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
-	s := cix.Metrics()
+	s := cix.Metrics().Flat()
 	if s.CacheHits == 0 {
 		t.Error("no cache hits over 1200 operations")
 	}
@@ -171,7 +171,7 @@ func TestCachedLookupHitCost(t *testing.T) {
 			t.Fatalf("warm Search(%v) cost %+v, want 1 lookup / 1 step", k, cost)
 		}
 	}
-	diff := ix.Metrics().Sub(before)
+	diff := ix.Metrics().Sub(before).Flat()
 	if diff.CacheHits != int64(len(keys)) || diff.CacheMisses != 0 || diff.CacheStale != 0 {
 		t.Fatalf("counters after warm reads: %+v", diff)
 	}
@@ -229,7 +229,7 @@ func TestCacheAcceptance(t *testing.T) {
 	if mean > 1.5 {
 		t.Fatalf("mean DHT-lookups per cached exact-match query = %.3f, want <= 1.5", mean)
 	}
-	t.Logf("mean lookups/query = %.3f over %d reads (metrics: %+v)", mean, reads, ix.Metrics())
+	t.Logf("mean lookups/query = %.3f over %d reads (metrics: %+v)", mean, reads, ix.Metrics().Flat())
 }
 
 // TestCacheTinyCapacity checks correctness is independent of capacity:

@@ -7,6 +7,7 @@ import (
 
 	"lht/internal/bitlabel"
 	"lht/internal/dht"
+	"lht/internal/metrics"
 	"lht/internal/record"
 )
 
@@ -18,11 +19,13 @@ import (
 // the local tree's branch nodes (one extra lookup per empty leaf) until it
 // finds a record; ErrEmpty is returned when the whole index is empty.
 func (ix *Index) Min() (record.Record, Cost, error) {
-	return ix.extreme(context.Background(), sweepRight)
+	return ix.MinContext(context.Background())
 }
 
 // MinContext is Min with a caller-supplied context.
-func (ix *Index) MinContext(ctx context.Context) (record.Record, Cost, error) {
+func (ix *Index) MinContext(ctx context.Context) (rec record.Record, cost Cost, err error) {
+	ctx, done := ix.beginOp(ctx, metrics.OpMin)
+	defer func() { done(err) }()
 	return ix.extreme(ctx, sweepRight)
 }
 
@@ -30,11 +33,13 @@ func (ix *Index) MinContext(ctx context.Context) (record.Record, Cost, error) {
 // "#0", one DHT-lookup away. On a single-leaf tree the key "#0" does not
 // exist and the leaf is under "#" instead.
 func (ix *Index) Max() (record.Record, Cost, error) {
-	return ix.extreme(context.Background(), sweepLeft)
+	return ix.MaxContext(context.Background())
 }
 
 // MaxContext is Max with a caller-supplied context.
-func (ix *Index) MaxContext(ctx context.Context) (record.Record, Cost, error) {
+func (ix *Index) MaxContext(ctx context.Context) (rec record.Record, cost Cost, err error) {
+	ctx, done := ix.beginOp(ctx, metrics.OpMax)
+	defer func() { done(err) }()
 	return ix.extreme(ctx, sweepLeft)
 }
 
@@ -42,6 +47,8 @@ func (ix *Index) MaxContext(ctx context.Context) (record.Record, Cost, error) {
 // rightward from the leftmost leaf (min query), sweepLeft leftward from
 // the rightmost (max query).
 func (ix *Index) extreme(ctx context.Context, dir sweepDir) (record.Record, Cost, error) {
+	// The boundary-leaf fetch and the inward walk are both probe traffic.
+	ctx = metrics.WithPhase(ctx, metrics.PhaseProbe)
 	var cost Cost
 	key := bitlabel.Root.Key() // min: leftmost leaf is named "#"
 	if dir == sweepLeft {

@@ -69,7 +69,7 @@ func TestMultipleClientsShareOneTree(t *testing.T) {
 	// exactly one of them.
 	var totalSplits int64
 	for _, ix := range clients {
-		totalSplits += ix.Metrics().Splits
+		totalSplits += ix.Metrics().Lookup.Splits
 	}
 	leaves, err := clients[0].Leaves()
 	if err != nil {
@@ -77,7 +77,7 @@ func TestMultipleClientsShareOneTree(t *testing.T) {
 	}
 	var totalMerges int64
 	for _, ix := range clients {
-		totalMerges += ix.Metrics().Merges
+		totalMerges += ix.Metrics().Lookup.Merges
 	}
 	// leaves = 1 + splits - merges (each split adds one leaf, each merge
 	// removes one).
@@ -134,7 +134,7 @@ func TestLeafCacheStalenessAcrossClients(t *testing.T) {
 			t.Fatalf("Search(%v) after B's splits: %v", k, err)
 		}
 	}
-	afterSplits := a.Metrics()
+	afterSplits := a.Metrics().Flat()
 	if afterSplits.CacheStale == 0 {
 		t.Error("no stale probes detected although B split leaves behind A's cache")
 	}
@@ -146,7 +146,7 @@ func TestLeafCacheStalenessAcrossClients(t *testing.T) {
 			t.Fatalf("Delete(%v): %v", k, err)
 		}
 	}
-	if b.Metrics().Merges == 0 {
+	if b.Metrics().Flat().Merges == 0 {
 		t.Fatal("workload produced no merges; staleness-after-merge is untested")
 	}
 	for _, k := range keys {
@@ -160,7 +160,7 @@ func TestLeafCacheStalenessAcrossClients(t *testing.T) {
 			t.Fatalf("Search(%v) of deleted key = %v, want ErrKeyNotFound", k, err)
 		}
 	}
-	if s := a.Metrics(); s.CacheStale <= afterSplits.CacheStale {
+	if s := a.Metrics().Flat(); s.CacheStale <= afterSplits.CacheStale {
 		t.Errorf("stale counter did not tick for merges: %d -> %d", afterSplits.CacheStale, s.CacheStale)
 	}
 	if err := a.CheckInvariants(); err != nil {

@@ -9,6 +9,7 @@ import (
 	"lht/internal/bitlabel"
 	"lht/internal/dht"
 	"lht/internal/keyspace"
+	"lht/internal/metrics"
 	"lht/internal/record"
 )
 
@@ -106,24 +107,25 @@ func (ix *Index) Range(lo, hi float64) ([]record.Record, Cost, error) {
 // start, in-flight substrate operations observe the cancellation, and the
 // parallel goroutines drain before RangeContext returns. The partial cost
 // accumulated up to that point is still reported.
-func (ix *Index) RangeContext(ctx context.Context, lo, hi float64) ([]record.Record, Cost, error) {
-	var cost Cost
+func (ix *Index) RangeContext(ctx context.Context, lo, hi float64) (res []record.Record, cost Cost, err error) {
 	if err := keyspace.CheckKey(lo); err != nil {
 		return nil, cost, fmt.Errorf("%w: lo: %v", ErrBadRange, err)
 	}
 	if !(hi > lo && hi <= 1) {
 		return nil, cost, fmt.Errorf("%w: [%v, %v)", ErrBadRange, lo, hi)
 	}
+	ctx, done := ix.beginOp(ctx, metrics.OpRange)
+	defer func() { done(err) }()
 	r := keyspace.Interval{Lo: lo, Hi: hi}
 	lca := keyspace.RangeLCA(r, ix.cfg.Depth)
 
 	col := &rangeCollector{}
-	b, err := ix.getBucketC(ctx, lca.Name().Key(), col)
+	b, err := ix.getBucketC(metrics.WithPhase(ctx, metrics.PhaseProbe), lca.Name().Key(), col)
 	switch {
 	case errors.Is(err, dht.ErrNotFound):
 		// Case 1: no leaf is named f_n(LCA), so the subtree under LCA is
 		// a single leaf covering the whole range: exact-match lookup.
-		lb, lcost, err := ix.LookupBucketContext(ctx, lo)
+		lb, _, lcost, err := ix.lookup(ctx, lo)
 		out, lookups, _ := col.snapshot()
 		cost.Lookups = lookups + lcost.Lookups
 		cost.Steps = 1 + lcost.Steps
@@ -191,6 +193,7 @@ func (ix *Index) inParallel(thunks ...func()) {
 // extra lookup the complexity analysis of section 6.3 budgets for.
 // It returns the depth of the dependent lookup chain it issued.
 func (ix *Index) enterChild(ctx context.Context, child bitlabel.Label, r keyspace.Interval, col *rangeCollector) int {
+	ctx = metrics.WithPhase(ctx, metrics.PhaseForward)
 	sub := keyspace.IntervalOf(child).Intersect(r)
 	if sub.Empty() {
 		return 0
@@ -218,6 +221,7 @@ func (ix *Index) enterChild(ctx context.Context, child bitlabel.Label, r keyspac
 // sweeps and all per-branch forwards are issued by b's peer in one round,
 // so the returned chain depth is the maximum over the branches.
 func (ix *Index) forward(ctx context.Context, b *Bucket, r keyspace.Interval, col *rangeCollector) int {
+	ctx = metrics.WithPhase(ctx, metrics.PhaseForward)
 	col.addRecords(b.Records, r.Lo, r.Hi)
 	if err := ctx.Err(); err != nil {
 		col.setErr(fmt.Errorf("lht: range forward from %s: %w", b.Label, err))
@@ -262,6 +266,7 @@ const (
 // its own goroutine. A cancelled context stops the recursion before any
 // further branch fetch.
 func (ix *Index) sweep(ctx context.Context, from bitlabel.Label, r keyspace.Interval, dir sweepDir, col *rangeCollector) int {
+	ctx = metrics.WithPhase(ctx, metrics.PhaseForward)
 	// Phase 1: enumerate the branches to visit (pure local arithmetic).
 	type branchTask struct {
 		label   bitlabel.Label

@@ -20,6 +20,7 @@ import (
 	"lht/internal/bitlabel"
 	"lht/internal/dht"
 	"lht/internal/keyspace"
+	"lht/internal/metrics"
 	"lht/internal/record"
 )
 
@@ -179,6 +180,12 @@ func removedChildOf(b *Bucket) (removed bitlabel.Label, ok bool) {
 // the extra traffic to cost, the torn/repair counters, and maintenance
 // lookups (repair is structure maintenance deferred past a crash).
 func (ix *Index) repairTorn(ctx context.Context, key string, b *Bucket, cost *Cost) (*Bucket, error) {
+	// Repair traffic is attributed to PhaseRepair regardless of which
+	// operation tripped over the torn bucket — this is deferred
+	// maintenance, not the operation's own cost class. Set here rather
+	// than in completeSplit/completeMerge, which split() and merge()
+	// also call under their own phases.
+	ctx = metrics.WithPhase(ctx, metrics.PhaseRepair)
 	before := cost.Lookups
 	var out *Bucket
 	var err error

@@ -148,7 +148,7 @@ func TestTornSplitRepairedByLookup(t *testing.T) {
 					t.Fatalf("Search(%g) = %v, want value [%d]", k, rec.Value, i)
 				}
 			}
-			s := ix.Metrics()
+			s := ix.Metrics().Flat()
 			if s.TornSplits != 1 || s.Repairs != 1 {
 				t.Fatalf("TornSplits=%d Repairs=%d, want 1, 1", s.TornSplits, s.Repairs)
 			}
@@ -204,7 +204,7 @@ func TestTornSplitRepairedByScrub(t *testing.T) {
 	if err != nil || !rep.Clean() {
 		t.Fatalf("second Scrub = %v, %s; want clean", err, rep)
 	}
-	if got := ix.Metrics().ScrubLookups; got <= 0 {
+	if got := ix.Metrics().Flat().ScrubLookups; got <= 0 {
 		t.Fatalf("ScrubLookups = %d, want > 0", got)
 	}
 }
@@ -274,7 +274,7 @@ func TestTornMergeRepaired(t *testing.T) {
 			if _, _, err := ix.Search(0.7); !errors.Is(err, ErrKeyNotFound) {
 				t.Fatalf("Search(0.7) = %v, want ErrKeyNotFound", err)
 			}
-			s := ix.Metrics()
+			s := ix.Metrics().Flat()
 			if s.TornMerges != 1 || s.Repairs != 1 {
 				t.Fatalf("TornMerges=%d Repairs=%d, want 1, 1", s.TornMerges, s.Repairs)
 			}

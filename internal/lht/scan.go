@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"lht/internal/dht"
+	"lht/internal/metrics"
 	"lht/internal/record"
 )
 
@@ -21,17 +22,19 @@ func (ix *Index) Scan(from float64, limit int) ([]record.Record, Cost, error) {
 
 // ScanContext is Scan with a caller-supplied context; cancellation stops
 // the walk at the next leaf fetch.
-func (ix *Index) ScanContext(ctx context.Context, from float64, limit int) ([]record.Record, Cost, error) {
-	var cost Cost
+func (ix *Index) ScanContext(ctx context.Context, from float64, limit int) (out []record.Record, cost Cost, err error) {
 	if limit <= 0 {
 		return nil, cost, fmt.Errorf("%w: scan limit %d", ErrBadRange, limit)
 	}
-	b, lcost, err := ix.LookupBucketContext(ctx, from)
+	ctx, done := ix.beginOp(ctx, metrics.OpScan)
+	defer func() { done(err) }()
+	b, _, lcost, err := ix.lookup(ctx, from)
 	cost.Add(lcost)
 	if err != nil {
 		return nil, cost, err
 	}
-	var out []record.Record
+	// The neighbor walk is forwarding traffic, like the range sweep.
+	ctx = metrics.WithPhase(ctx, metrics.PhaseForward)
 	for {
 		matched := record.FilterRange(nil, b.Records, from, 1)
 		record.SortByKey(matched)

@@ -15,6 +15,7 @@ import (
 
 	"lht/internal/bitlabel"
 	"lht/internal/dht"
+	"lht/internal/metrics"
 	"lht/internal/record"
 )
 
@@ -79,16 +80,18 @@ const maxScrubRounds = 8
 // A scrub of a consistent tree performs no writes, so it is safe to run
 // concurrently with readers; like all writers, a repairing scrub must be
 // serialized against other writers by the caller.
-func (ix *Index) Scrub(ctx context.Context) (*ScrubReport, error) {
-	rep := &ScrubReport{}
+func (ix *Index) Scrub(ctx context.Context) (rep *ScrubReport, err error) {
+	ctx, done := ix.beginOp(ctx, metrics.OpScrub)
+	defer func() { done(err) }()
+	rep = &ScrubReport{}
 	before := ix.c.Snapshot()
 	var cost Cost
 	defer func() {
 		d := ix.c.Snapshot().Sub(before)
 		rep.Lookups = int(cost.Lookups)
-		rep.TornSplits = int(d.TornSplits)
-		rep.TornMerges = int(d.TornMerges)
-		rep.Repairs = int(d.Repairs) + rep.Strays
+		rep.TornSplits = int(d.Repair.TornSplits)
+		rep.TornMerges = int(d.Repair.TornMerges)
+		rep.Repairs = int(d.Repair.Repairs) + rep.Strays
 		ix.c.AddScrubLookups(int64(cost.Lookups))
 	}()
 
@@ -121,6 +124,9 @@ func (ix *Index) Scrub(ctx context.Context) (*ScrubReport, error) {
 // repair changed structure behind the walk position, asking Scrub to
 // restart the pass.
 func (ix *Index) scrubWalk(ctx context.Context, rep *ScrubReport, cost *Cost, strays *[]record.Record) (again bool, err error) {
+	// Walk fetches are probe traffic; repairTorn re-attributes its own
+	// lookups to PhaseRepair.
+	ctx = metrics.WithPhase(ctx, metrics.PhaseProbe)
 	names := make(map[string]bitlabel.Label)
 	want := 0.0
 	key := bitlabel.Root.Key()

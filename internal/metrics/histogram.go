@@ -1,0 +1,162 @@
+package metrics
+
+// Log-bucketed latency histograms. Recording is one atomic add into a
+// power-of-two bucket (no locks, no allocation), so instrumentation can
+// sit on the hottest paths of an index shared across goroutines.
+// Snapshots are plain value types (fixed-size arrays, so they stay
+// comparable like the rest of Snapshot) that merge and subtract
+// component-wise, which is what lets per-experiment latency be computed
+// as snapshot differences and per-client histograms roll up into a
+// process-wide aggregate.
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumLatencyBuckets is the number of histogram buckets. Bucket 0 holds
+// non-positive durations; bucket i (1 <= i < NumLatencyBuckets-1) holds
+// durations in [2^(i-1), 2^i) nanoseconds; the last bucket holds
+// everything from ~4.6 minutes up.
+const NumLatencyBuckets = 40
+
+// latencyBucket maps a duration to its bucket index.
+func latencyBucket(d time.Duration) int {
+	n := d.Nanoseconds()
+	if n <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(n))
+	if b >= NumLatencyBuckets {
+		return NumLatencyBuckets - 1
+	}
+	return b
+}
+
+// BucketUpper returns the exclusive upper bound of bucket i in
+// nanoseconds (2^i), or math.MaxInt64 for the unbounded last bucket.
+func BucketUpper(i int) time.Duration {
+	if i >= NumLatencyBuckets-1 {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(int64(1) << uint(i))
+}
+
+// Histogram is a race-safe log-bucketed latency histogram. The zero
+// value is ready to use.
+type Histogram struct {
+	counts [NumLatencyBuckets]atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.counts[latencyBucket(d)].Add(1)
+	if d > 0 {
+		h.sum.Add(d.Nanoseconds())
+	}
+}
+
+// Merge adds a snapshot's contents into h, atomically per bucket, so it
+// can run concurrently with Observe (e.g. rolling worker histograms into
+// a shared one).
+func (h *Histogram) Merge(s HistogramSnapshot) {
+	for i, n := range s.Counts {
+		if n != 0 {
+			h.counts[i].Add(n)
+		}
+	}
+	if s.Sum != 0 {
+		h.sum.Add(s.Sum)
+	}
+}
+
+// Snapshot returns a point-in-time copy of the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// reset zeroes the histogram.
+func (h *Histogram) reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.sum.Store(0)
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram: per-bucket
+// counts plus the sum of all recorded durations in nanoseconds.
+type HistogramSnapshot struct {
+	Counts [NumLatencyBuckets]int64
+	Sum    int64
+}
+
+// Count returns the total number of recorded observations.
+func (s HistogramSnapshot) Count() int64 {
+	var n int64
+	for _, c := range s.Counts {
+		n += c
+	}
+	return n
+}
+
+// Mean returns the average recorded duration, or 0 when empty.
+func (s HistogramSnapshot) Mean() time.Duration {
+	n := s.Count()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(s.Sum / n)
+}
+
+// Quantile returns an estimate of the p-th percentile (0 <= p <= 100)
+// by nearest rank over the buckets; the returned value is the upper
+// bound of the bucket holding that rank, i.e. within a factor of two of
+// the true latency. Returns 0 for an empty histogram.
+func (s HistogramSnapshot) Quantile(p float64) time.Duration {
+	total := s.Count()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(p / 100 * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			if i == 0 {
+				return 0
+			}
+			return BucketUpper(i)
+		}
+	}
+	return BucketUpper(NumLatencyBuckets - 1)
+}
+
+// Merge returns the component-wise sum s + o.
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
+	for i, c := range o.Counts {
+		s.Counts[i] += c
+	}
+	s.Sum += o.Sum
+	return s
+}
+
+// Sub returns the component-wise difference s - o, for measuring one
+// experiment or operation window.
+func (s HistogramSnapshot) Sub(o HistogramSnapshot) HistogramSnapshot {
+	for i, c := range o.Counts {
+		s.Counts[i] -= c
+	}
+	s.Sum -= o.Sum
+	return s
+}

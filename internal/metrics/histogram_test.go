@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(-time.Second)
+	h.Observe(1)         // bucket 1: [1, 2) ns
+	h.Observe(1500)      // bucket 11: [1024, 2048) ns
+	h.Observe(time.Hour) // clamps to the last bucket
+	s := h.Snapshot()
+	if s.Counts[0] != 2 || s.Counts[1] != 1 || s.Counts[11] != 1 || s.Counts[NumLatencyBuckets-1] != 1 {
+		t.Fatalf("bucket counts = %v", s.Counts)
+	}
+	if s.Count() != 5 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	if s.Sum != 1+1500+time.Hour.Nanoseconds() {
+		t.Fatalf("Sum = %d", s.Sum)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Microsecond) // bucket 10, upper bound 1024ns
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond) // bucket 20, upper bound ~1.05ms
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(50); q != BucketUpper(10) {
+		t.Fatalf("p50 = %v, want %v", q, BucketUpper(10))
+	}
+	if q := s.Quantile(99); q != BucketUpper(20) {
+		t.Fatalf("p99 = %v, want %v", q, BucketUpper(20))
+	}
+	if q := (HistogramSnapshot{}).Quantile(50); q != 0 {
+		t.Fatalf("empty p50 = %v", q)
+	}
+}
+
+func TestHistogramMergeSub(t *testing.T) {
+	var a, b Histogram
+	a.Observe(time.Microsecond)
+	a.Observe(time.Millisecond)
+	b.Observe(time.Microsecond)
+	sum := a.Snapshot().Merge(b.Snapshot())
+	if sum.Count() != 3 {
+		t.Fatalf("merged count = %d", sum.Count())
+	}
+	diff := sum.Sub(b.Snapshot())
+	if diff != a.Snapshot() {
+		t.Fatalf("Sub: got %+v, want %+v", diff, a.Snapshot())
+	}
+}
+
+// TestHistogramConcurrent exercises record and merge racing against
+// snapshot reads; run under -race (CI does) to verify lock-freedom is
+// actually sound.
+func TestHistogramConcurrent(t *testing.T) {
+	var shared Histogram
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var local Histogram
+			for i := 0; i < perWorker; i++ {
+				d := time.Duration(i%1000+1) * time.Microsecond
+				if w%2 == 0 {
+					shared.Observe(d) // direct recording
+				} else {
+					local.Observe(d) // batched merge path
+				}
+				if i%500 == 499 && w%2 == 1 {
+					shared.Merge(local.Snapshot())
+					local.reset()
+				}
+			}
+			if w%2 == 1 {
+				shared.Merge(local.Snapshot())
+			}
+		}(w)
+	}
+	// Concurrent readers while writers run.
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_ = shared.Snapshot().Count()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	if got := shared.Snapshot().Count(); got != workers*perWorker {
+		t.Fatalf("total observations = %d, want %d", got, workers*perWorker)
+	}
+}

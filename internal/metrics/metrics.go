@@ -3,11 +3,25 @@
 // bandwidth-consuming operations of an over-DHT indexing scheme, and
 // parallel step depth is the latency measure of section 9.4.
 //
+// Beyond the flat cost-model counters, the package carries the
+// observability plane: per-operation-class latency histograms and a
+// lookup matrix attributing DHT traffic to the algorithm phase that
+// issued it (probe, forward, split, merge, repair, retry). Operation
+// and phase labels travel on the context (WithOp, WithPhase) so the
+// instrumentation layer can charge each routed lookup to the right
+// cell without threading extra parameters through the algorithms.
+//
 // Counters are atomic so instrumented DHTs can be shared across
 // goroutines; reads take a consistent-enough snapshot for reporting.
+// A Counters may chain to a parent aggregate (Chain), letting many
+// index instances roll up into one process-wide set served at /metrics
+// while each instance keeps its own exact accounting.
 package metrics
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // Cost reports the DHT traffic of a single index operation, the two
 // measures of paper section 9: Lookups is the bandwidth measure (number of
@@ -50,136 +64,324 @@ type Counters struct {
 	tornMerges   atomic.Int64 // torn merge intents detected (lookup or scrub)
 	repairs      atomic.Int64 // torn states completed or rolled back
 	scrubLookups atomic.Int64 // subset of lookups issued by Scrub walks
+
+	opCount [NumOps]atomic.Int64            // completed index operations per class
+	opErrs  [NumOps]atomic.Int64            // subset of opCount that returned an error
+	opLat   [NumOps]Histogram               // end-to-end latency per class
+	phase   [NumOps][NumPhases]atomic.Int64 // lookup matrix: op class x algorithm phase
+
+	// parent, when non-nil, receives a copy of every increment, so many
+	// per-index Counters can roll up into one process-wide aggregate.
+	// Set once via Chain before the Counters is shared.
+	parent *Counters
 }
 
+// Chain makes every future increment of c also count toward parent
+// (and, transitively, toward parent's own parent). Per-index values
+// such as the split count stay exact on c — which derived statistics
+// like AlphaMean depend on — while the aggregate sees the union of all
+// chained children. Must be called before c is used concurrently.
+func (c *Counters) Chain(parent *Counters) { c.parent = parent }
+
 // AddLookups adds n DHT-lookups.
-func (c *Counters) AddLookups(n int64) { c.lookups.Add(n) }
+func (c *Counters) AddLookups(n int64) {
+	for ; c != nil; c = c.parent {
+		c.lookups.Add(n)
+	}
+}
 
 // AddFailedGets adds n failed DHT-gets (already counted as lookups).
-func (c *Counters) AddFailedGets(n int64) { c.failedGets.Add(n) }
+func (c *Counters) AddFailedGets(n int64) {
+	for ; c != nil; c = c.parent {
+		c.failedGets.Add(n)
+	}
+}
 
 // AddMovedRecords adds n records moved between peers.
-func (c *Counters) AddMovedRecords(n int64) { c.movedRecords.Add(n) }
+func (c *Counters) AddMovedRecords(n int64) {
+	for ; c != nil; c = c.parent {
+		c.movedRecords.Add(n)
+	}
+}
 
 // AddSplits adds n leaf splits.
-func (c *Counters) AddSplits(n int64) { c.splits.Add(n) }
+func (c *Counters) AddSplits(n int64) {
+	for ; c != nil; c = c.parent {
+		c.splits.Add(n)
+	}
+}
 
 // AddMerges adds n leaf merges.
-func (c *Counters) AddMerges(n int64) { c.merges.Add(n) }
+func (c *Counters) AddMerges(n int64) {
+	for ; c != nil; c = c.parent {
+		c.merges.Add(n)
+	}
+}
 
 // AddMaintLookups attributes n already-counted lookups to structure
 // maintenance (splits and merges), the traffic Fig. 7b isolates.
-func (c *Counters) AddMaintLookups(n int64) { c.maintLookups.Add(n) }
+func (c *Counters) AddMaintLookups(n int64) {
+	for ; c != nil; c = c.parent {
+		c.maintLookups.Add(n)
+	}
+}
 
 // AddCacheHits adds n leaf-cache hits: exact-match lookups resolved by
 // probing a cached leaf name with a single DHT-get.
-func (c *Counters) AddCacheHits(n int64) { c.cacheHits.Add(n) }
+func (c *Counters) AddCacheHits(n int64) {
+	for ; c != nil; c = c.parent {
+		c.cacheHits.Add(n)
+	}
+}
 
 // AddCacheMisses adds n leaf-cache misses: lookups for keys with no
 // cached covering leaf, answered by the full binary search.
-func (c *Counters) AddCacheMisses(n int64) { c.cacheMisses.Add(n) }
+func (c *Counters) AddCacheMisses(n int64) {
+	for ; c != nil; c = c.parent {
+		c.cacheMisses.Add(n)
+	}
+}
 
 // AddCacheStale adds n stale leaf-cache probes: the cached leaf had
 // split or merged away, so the client repaired and fell back.
-func (c *Counters) AddCacheStale(n int64) { c.cacheStale.Add(n) }
+func (c *Counters) AddCacheStale(n int64) {
+	for ; c != nil; c = c.parent {
+		c.cacheStale.Add(n)
+	}
+}
 
 // AddRetries adds n policy-layer retries: repeated attempts after a
 // transient substrate fault. Each retry is also charged as a DHT-lookup
 // by the instrumentation layer beneath the policy wrapper.
-func (c *Counters) AddRetries(n int64) { c.retries.Add(n) }
+func (c *Counters) AddRetries(n int64) {
+	for ; c != nil; c = c.parent {
+		c.retries.Add(n)
+	}
+}
 
 // AddCancellations adds n operations that ended because the caller's
 // context was cancelled.
-func (c *Counters) AddCancellations(n int64) { c.cancellations.Add(n) }
+func (c *Counters) AddCancellations(n int64) {
+	for ; c != nil; c = c.parent {
+		c.cancellations.Add(n)
+	}
+}
 
 // AddDeadlineExceeded adds n operations that ended because the caller's
 // context deadline expired.
-func (c *Counters) AddDeadlineExceeded(n int64) { c.deadlineExceeded.Add(n) }
+func (c *Counters) AddDeadlineExceeded(n int64) {
+	for ; c != nil; c = c.parent {
+		c.deadlineExceeded.Add(n)
+	}
+}
 
 // AddBatchOps adds n native batched round trips. Only batches served by a
 // substrate's own Batcher implementation count; per-op fallbacks charge
 // nothing here because they save no round trips.
-func (c *Counters) AddBatchOps(n int64) { c.batchOps.Add(n) }
+func (c *Counters) AddBatchOps(n int64) {
+	for ; c != nil; c = c.parent {
+		c.batchOps.Add(n)
+	}
+}
 
 // AddBatchedKeys adds n keys carried inside native batches. Every such
 // key is also charged as a DHT-lookup, keeping the bandwidth measure
 // identical whether or not batching is available.
-func (c *Counters) AddBatchedKeys(n int64) { c.batchedKeys.Add(n) }
+func (c *Counters) AddBatchedKeys(n int64) {
+	for ; c != nil; c = c.parent {
+		c.batchedKeys.Add(n)
+	}
+}
 
 // AddTornSplits adds n torn split intents detected: buckets fetched with a
 // pending split marker left behind by a writer that crashed mid-mutation.
-func (c *Counters) AddTornSplits(n int64) { c.tornSplits.Add(n) }
+func (c *Counters) AddTornSplits(n int64) {
+	for ; c != nil; c = c.parent {
+		c.tornSplits.Add(n)
+	}
+}
 
 // AddTornMerges adds n torn merge intents detected.
-func (c *Counters) AddTornMerges(n int64) { c.tornMerges.Add(n) }
+func (c *Counters) AddTornMerges(n int64) {
+	for ; c != nil; c = c.parent {
+		c.tornMerges.Add(n)
+	}
+}
 
 // AddRepairs adds n repairs: torn states idempotently completed or rolled
 // back by lookup read-repair or by Scrub.
-func (c *Counters) AddRepairs(n int64) { c.repairs.Add(n) }
+func (c *Counters) AddRepairs(n int64) {
+	for ; c != nil; c = c.parent {
+		c.repairs.Add(n)
+	}
+}
 
 // AddScrubLookups attributes n already-counted lookups to Scrub walks, the
 // cost of verifying and repairing the tree's structural invariants.
-func (c *Counters) AddScrubLookups(n int64) { c.scrubLookups.Add(n) }
+func (c *Counters) AddScrubLookups(n int64) {
+	for ; c != nil; c = c.parent {
+		c.scrubLookups.Add(n)
+	}
+}
 
-// Snapshot is a point-in-time copy of the counters.
+// AddPhaseLookups attributes n already-counted lookups to the (op, phase)
+// cell of the attribution matrix. The instrumentation layer calls this
+// alongside AddLookups with the labels it read from the context, so the
+// matrix row sums track the lookup total for labelled traffic.
+func (c *Counters) AddPhaseLookups(op Op, phase Phase, n int64) {
+	if op < 0 || op >= NumOps || phase < 0 || phase >= NumPhases {
+		return
+	}
+	for ; c != nil; c = c.parent {
+		c.phase[op][phase].Add(n)
+	}
+}
+
+// ObserveOp records one completed index operation of the given class:
+// its end-to-end latency and whether it returned an error.
+func (c *Counters) ObserveOp(op Op, d time.Duration, failed bool) {
+	if op < 0 || op >= NumOps {
+		op = OpOther
+	}
+	for ; c != nil; c = c.parent {
+		c.opCount[op].Add(1)
+		if failed {
+			c.opErrs[op].Add(1)
+		}
+		c.opLat[op].Observe(d)
+	}
+}
+
+// Snapshot is a point-in-time copy of the counters, grouped by concern:
+// the paper's cost model (Lookup), the client leaf cache (Cache), the
+// retry policy plane (Retry), the batched operation plane (Batch), the
+// crash-consistency plane (Repair), and per-operation-class latency and
+// phase attribution (Latency). Flat returns the same numbers as a flat
+// struct for column-oriented consumers.
 type Snapshot struct {
-	Lookups      int64 // DHT-lookups issued
+	Lookup  LookupCounts
+	Cache   CacheCounts
+	Retry   RetryCounts
+	Batch   BatchCounts
+	Repair  RepairCounts
+	Latency LatencyStats
+}
+
+// LookupCounts are the paper's bandwidth-model counters.
+type LookupCounts struct {
+	Total        int64 // DHT-lookups issued
 	FailedGets   int64 // DHT-gets that returned "not found"
 	MovedRecords int64 // record slots moved between peers
 	Splits       int64 // leaf splits
 	Merges       int64 // leaf merges
-	MaintLookups int64 // lookups spent on splits and merges
-	CacheHits    int64 // leaf-cache probes resolved in one DHT-get
-	CacheMisses  int64 // lookups with no leaf-cache entry
-	CacheStale   int64 // leaf-cache probes that detected a stale entry
+	Maintenance  int64 // lookups spent on splits and merges
+}
 
+// CacheCounts are the client leaf-cache counters.
+type CacheCounts struct {
+	Hits   int64 // leaf-cache probes resolved in one DHT-get
+	Misses int64 // lookups with no leaf-cache entry
+	Stale  int64 // leaf-cache probes that detected a stale entry
+}
+
+// RetryCounts are the retry-policy-plane counters.
+type RetryCounts struct {
 	Retries          int64 // policy-layer retries after transient faults
 	Cancellations    int64 // operations ended by context cancellation
 	DeadlineExceeded int64 // operations ended by context deadline expiry
+}
 
-	BatchOps    int64 // native batched round trips issued
-	BatchedKeys int64 // keys carried by those batches
+// BatchCounts are the batched-operation-plane counters.
+type BatchCounts struct {
+	Ops  int64 // native batched round trips issued
+	Keys int64 // keys carried by those batches
+}
 
+// RepairCounts are the crash-consistency-plane counters.
+type RepairCounts struct {
 	TornSplits   int64 // torn split intents detected
 	TornMerges   int64 // torn merge intents detected
 	Repairs      int64 // torn states completed or rolled back
 	ScrubLookups int64 // lookups issued by Scrub walks
 }
 
+// OpStats are the per-operation-class observations: how many operations
+// of the class completed, how many failed, their latency distribution,
+// and the DHT-lookups they issued broken down by algorithm phase.
+type OpStats struct {
+	Count  int64
+	Errors int64
+	Hist   HistogramSnapshot
+	Phases [NumPhases]int64
+}
+
+// Lookups returns the total DHT-lookups attributed to this class across
+// all phases.
+func (o OpStats) Lookups() int64 {
+	var n int64
+	for _, p := range o.Phases {
+		n += p
+	}
+	return n
+}
+
+// LatencyStats hold one OpStats per operation class, indexed by Op.
+type LatencyStats struct {
+	Ops [NumOps]OpStats
+}
+
 // RoundTrips estimates the client's DHT round trips: every lookup is its
 // own round trip except the keys carried by native batches, which share
-// one round trip per batch. With no batching it equals Lookups; a fully
-// batched workload approaches one round trip per batch.
-func (s Snapshot) RoundTrips() int64 { return s.Lookups - s.BatchedKeys + s.BatchOps }
+// one round trip per batch. With no batching it equals Lookup.Total; a
+// fully batched workload approaches one round trip per batch.
+func (s Snapshot) RoundTrips() int64 { return s.Lookup.Total - s.Batch.Keys + s.Batch.Ops }
 
 // Snapshot returns the current counter values.
 func (c *Counters) Snapshot() Snapshot {
-	return Snapshot{
-		Lookups:      c.lookups.Load(),
-		FailedGets:   c.failedGets.Load(),
-		MovedRecords: c.movedRecords.Load(),
-		Splits:       c.splits.Load(),
-		Merges:       c.merges.Load(),
-		MaintLookups: c.maintLookups.Load(),
-		CacheHits:    c.cacheHits.Load(),
-		CacheMisses:  c.cacheMisses.Load(),
-		CacheStale:   c.cacheStale.Load(),
-
-		Retries:          c.retries.Load(),
-		Cancellations:    c.cancellations.Load(),
-		DeadlineExceeded: c.deadlineExceeded.Load(),
-
-		BatchOps:    c.batchOps.Load(),
-		BatchedKeys: c.batchedKeys.Load(),
-
-		TornSplits:   c.tornSplits.Load(),
-		TornMerges:   c.tornMerges.Load(),
-		Repairs:      c.repairs.Load(),
-		ScrubLookups: c.scrubLookups.Load(),
+	s := Snapshot{
+		Lookup: LookupCounts{
+			Total:        c.lookups.Load(),
+			FailedGets:   c.failedGets.Load(),
+			MovedRecords: c.movedRecords.Load(),
+			Splits:       c.splits.Load(),
+			Merges:       c.merges.Load(),
+			Maintenance:  c.maintLookups.Load(),
+		},
+		Cache: CacheCounts{
+			Hits:   c.cacheHits.Load(),
+			Misses: c.cacheMisses.Load(),
+			Stale:  c.cacheStale.Load(),
+		},
+		Retry: RetryCounts{
+			Retries:          c.retries.Load(),
+			Cancellations:    c.cancellations.Load(),
+			DeadlineExceeded: c.deadlineExceeded.Load(),
+		},
+		Batch: BatchCounts{
+			Ops:  c.batchOps.Load(),
+			Keys: c.batchedKeys.Load(),
+		},
+		Repair: RepairCounts{
+			TornSplits:   c.tornSplits.Load(),
+			TornMerges:   c.tornMerges.Load(),
+			Repairs:      c.repairs.Load(),
+			ScrubLookups: c.scrubLookups.Load(),
+		},
 	}
+	for op := Op(0); op < NumOps; op++ {
+		o := &s.Latency.Ops[op]
+		o.Count = c.opCount[op].Load()
+		o.Errors = c.opErrs[op].Load()
+		o.Hist = c.opLat[op].Snapshot()
+		for ph := Phase(0); ph < NumPhases; ph++ {
+			o.Phases[ph] = c.phase[op][ph].Load()
+		}
+	}
+	return s
 }
 
-// Reset zeroes all counters.
+// Reset zeroes all counters (the parent aggregate, if chained, keeps
+// what it has already absorbed).
 func (c *Counters) Reset() {
 	c.lookups.Store(0)
 	c.failedGets.Store(0)
@@ -199,12 +401,125 @@ func (c *Counters) Reset() {
 	c.tornMerges.Store(0)
 	c.repairs.Store(0)
 	c.scrubLookups.Store(0)
+	for op := Op(0); op < NumOps; op++ {
+		c.opCount[op].Store(0)
+		c.opErrs[op].Store(0)
+		c.opLat[op].reset()
+		for ph := Phase(0); ph < NumPhases; ph++ {
+			c.phase[op][ph].Store(0)
+		}
+	}
 }
 
 // Sub returns the component-wise difference s - prev, for measuring the
 // cost of a single operation or experiment phase.
 func (s Snapshot) Sub(prev Snapshot) Snapshot {
-	return Snapshot{
+	d := Snapshot{
+		Lookup: LookupCounts{
+			Total:        s.Lookup.Total - prev.Lookup.Total,
+			FailedGets:   s.Lookup.FailedGets - prev.Lookup.FailedGets,
+			MovedRecords: s.Lookup.MovedRecords - prev.Lookup.MovedRecords,
+			Splits:       s.Lookup.Splits - prev.Lookup.Splits,
+			Merges:       s.Lookup.Merges - prev.Lookup.Merges,
+			Maintenance:  s.Lookup.Maintenance - prev.Lookup.Maintenance,
+		},
+		Cache: CacheCounts{
+			Hits:   s.Cache.Hits - prev.Cache.Hits,
+			Misses: s.Cache.Misses - prev.Cache.Misses,
+			Stale:  s.Cache.Stale - prev.Cache.Stale,
+		},
+		Retry: RetryCounts{
+			Retries:          s.Retry.Retries - prev.Retry.Retries,
+			Cancellations:    s.Retry.Cancellations - prev.Retry.Cancellations,
+			DeadlineExceeded: s.Retry.DeadlineExceeded - prev.Retry.DeadlineExceeded,
+		},
+		Batch: BatchCounts{
+			Ops:  s.Batch.Ops - prev.Batch.Ops,
+			Keys: s.Batch.Keys - prev.Batch.Keys,
+		},
+		Repair: RepairCounts{
+			TornSplits:   s.Repair.TornSplits - prev.Repair.TornSplits,
+			TornMerges:   s.Repair.TornMerges - prev.Repair.TornMerges,
+			Repairs:      s.Repair.Repairs - prev.Repair.Repairs,
+			ScrubLookups: s.Repair.ScrubLookups - prev.Repair.ScrubLookups,
+		},
+	}
+	for op := Op(0); op < NumOps; op++ {
+		a, b := s.Latency.Ops[op], prev.Latency.Ops[op]
+		o := &d.Latency.Ops[op]
+		o.Count = a.Count - b.Count
+		o.Errors = a.Errors - b.Errors
+		o.Hist = a.Hist.Sub(b.Hist)
+		for ph := Phase(0); ph < NumPhases; ph++ {
+			o.Phases[ph] = a.Phases[ph] - b.Phases[ph]
+		}
+	}
+	return d
+}
+
+// FlatSnapshot is Snapshot flattened back to the original one-level
+// counter names, for column-oriented consumers (benchmark formatters,
+// JSON reports) that want every number addressable by a short name.
+type FlatSnapshot struct {
+	Lookups      int64 `json:"lookups"`
+	FailedGets   int64 `json:"failed_gets"`
+	MovedRecords int64 `json:"moved_records"`
+	Splits       int64 `json:"splits"`
+	Merges       int64 `json:"merges"`
+	MaintLookups int64 `json:"maint_lookups"`
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	CacheStale   int64 `json:"cache_stale"`
+
+	Retries          int64 `json:"retries"`
+	Cancellations    int64 `json:"cancellations"`
+	DeadlineExceeded int64 `json:"deadline_exceeded"`
+
+	BatchOps    int64 `json:"batch_ops"`
+	BatchedKeys int64 `json:"batched_keys"`
+
+	TornSplits   int64 `json:"torn_splits"`
+	TornMerges   int64 `json:"torn_merges"`
+	Repairs      int64 `json:"repairs"`
+	ScrubLookups int64 `json:"scrub_lookups"`
+}
+
+// Flat returns the snapshot's counters under their flat legacy names.
+// Latency histograms and the phase matrix have no flat form; use
+// s.Latency directly.
+func (s Snapshot) Flat() FlatSnapshot {
+	return FlatSnapshot{
+		Lookups:      s.Lookup.Total,
+		FailedGets:   s.Lookup.FailedGets,
+		MovedRecords: s.Lookup.MovedRecords,
+		Splits:       s.Lookup.Splits,
+		Merges:       s.Lookup.Merges,
+		MaintLookups: s.Lookup.Maintenance,
+		CacheHits:    s.Cache.Hits,
+		CacheMisses:  s.Cache.Misses,
+		CacheStale:   s.Cache.Stale,
+
+		Retries:          s.Retry.Retries,
+		Cancellations:    s.Retry.Cancellations,
+		DeadlineExceeded: s.Retry.DeadlineExceeded,
+
+		BatchOps:    s.Batch.Ops,
+		BatchedKeys: s.Batch.Keys,
+
+		TornSplits:   s.Repair.TornSplits,
+		TornMerges:   s.Repair.TornMerges,
+		Repairs:      s.Repair.Repairs,
+		ScrubLookups: s.Repair.ScrubLookups,
+	}
+}
+
+// RoundTrips mirrors Snapshot.RoundTrips for flat consumers.
+func (s FlatSnapshot) RoundTrips() int64 { return s.Lookups - s.BatchedKeys + s.BatchOps }
+
+// Sub returns the counter-wise difference s - prev, mirroring
+// Snapshot.Sub for flat consumers.
+func (s FlatSnapshot) Sub(prev FlatSnapshot) FlatSnapshot {
+	return FlatSnapshot{
 		Lookups:      s.Lookups - prev.Lookups,
 		FailedGets:   s.FailedGets - prev.FailedGets,
 		MovedRecords: s.MovedRecords - prev.MovedRecords,

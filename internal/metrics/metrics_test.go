@@ -1,8 +1,10 @@
 package metrics
 
 import (
+	"context"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestCountersAndSnapshot(t *testing.T) {
@@ -17,18 +19,38 @@ func TestCountersAndSnapshot(t *testing.T) {
 	c.AddCacheMisses(4)
 	c.AddCacheStale(3)
 	s := c.Snapshot()
-	want := Snapshot{Lookups: 3, FailedGets: 1, MovedRecords: 10, Splits: 2, Merges: 1, MaintLookups: 2,
-		CacheHits: 5, CacheMisses: 4, CacheStale: 3}
+	want := Snapshot{
+		Lookup: LookupCounts{Total: 3, FailedGets: 1, MovedRecords: 10, Splits: 2, Merges: 1, Maintenance: 2},
+		Cache:  CacheCounts{Hits: 5, Misses: 4, Stale: 3},
+	}
 	if s != want {
 		t.Fatalf("Snapshot = %+v, want %+v", s, want)
 	}
-	diff := s.Sub(Snapshot{Lookups: 1, MovedRecords: 4, CacheHits: 2})
-	if diff.Lookups != 2 || diff.MovedRecords != 6 || diff.Splits != 2 || diff.CacheHits != 3 || diff.CacheStale != 3 {
+	diff := s.Sub(Snapshot{Lookup: LookupCounts{Total: 1, MovedRecords: 4}, Cache: CacheCounts{Hits: 2}})
+	if diff.Lookup.Total != 2 || diff.Lookup.MovedRecords != 6 || diff.Lookup.Splits != 2 ||
+		diff.Cache.Hits != 3 || diff.Cache.Stale != 3 {
 		t.Fatalf("Sub = %+v", diff)
 	}
 	c.Reset()
 	if c.Snapshot() != (Snapshot{}) {
 		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestFlatSnapshot(t *testing.T) {
+	var c Counters
+	c.AddLookups(7)
+	c.AddBatchOps(2)
+	c.AddBatchedKeys(5)
+	c.AddTornSplits(1)
+	c.AddRepairs(1)
+	s := c.Snapshot()
+	f := s.Flat()
+	if f.Lookups != 7 || f.BatchOps != 2 || f.BatchedKeys != 5 || f.TornSplits != 1 || f.Repairs != 1 {
+		t.Fatalf("Flat = %+v", f)
+	}
+	if f.RoundTrips() != s.RoundTrips() || f.RoundTrips() != 4 {
+		t.Fatalf("RoundTrips: flat %d, grouped %d, want 4", f.RoundTrips(), s.RoundTrips())
 	}
 }
 
@@ -46,8 +68,81 @@ func TestCountersConcurrent(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	if s := c.Snapshot(); s.Lookups != 8000 || s.MaintLookups != 8000 {
+	if s := c.Snapshot(); s.Lookup.Total != 8000 || s.Lookup.Maintenance != 8000 {
 		t.Fatalf("Snapshot = %+v", s)
+	}
+}
+
+func TestCountersChain(t *testing.T) {
+	var root, a, b Counters
+	a.Chain(&root)
+	b.Chain(&root)
+	a.AddLookups(3)
+	b.AddLookups(4)
+	a.AddSplits(1)
+	a.ObserveOp(OpGet, time.Millisecond, false)
+	a.AddPhaseLookups(OpGet, PhaseProbe, 2)
+	if got := a.Snapshot().Lookup.Total; got != 3 {
+		t.Fatalf("child a Lookup.Total = %d, want 3", got)
+	}
+	rs := root.Snapshot()
+	if rs.Lookup.Total != 7 || rs.Lookup.Splits != 1 {
+		t.Fatalf("root snapshot = %+v", rs.Lookup)
+	}
+	if g := rs.Latency.Ops[OpGet]; g.Count != 1 || g.Phases[PhaseProbe] != 2 {
+		t.Fatalf("root OpGet stats = %+v", g)
+	}
+	// Resetting a child must not disturb what the root already absorbed.
+	a.Reset()
+	if got := root.Snapshot().Lookup.Total; got != 7 {
+		t.Fatalf("root after child reset = %d, want 7", got)
+	}
+}
+
+func TestObserveOp(t *testing.T) {
+	var c Counters
+	c.ObserveOp(OpInsert, 2*time.Millisecond, false)
+	c.ObserveOp(OpInsert, 4*time.Millisecond, true)
+	c.ObserveOp(OpRange, time.Millisecond, false)
+	s := c.Snapshot()
+	ins := s.Latency.Ops[OpInsert]
+	if ins.Count != 2 || ins.Errors != 1 || ins.Hist.Count() != 2 {
+		t.Fatalf("insert stats = %+v", ins)
+	}
+	if got := s.Latency.Ops[OpRange].Count; got != 1 {
+		t.Fatalf("range count = %d", got)
+	}
+	if mean := ins.Hist.Mean(); mean < 2*time.Millisecond || mean > 4*time.Millisecond {
+		t.Fatalf("insert mean = %v", mean)
+	}
+}
+
+func TestContextLabels(t *testing.T) {
+	ctx := context.Background()
+	if lb := LabelsFrom(ctx); lb != (Labels{}) {
+		t.Fatalf("unlabelled ctx = %+v", lb)
+	}
+	ctx = WithOp(ctx, OpRange)
+	ctx = WithPhase(ctx, PhaseForward)
+	if lb := LabelsFrom(ctx); lb.Op != OpRange || lb.Phase != PhaseForward {
+		t.Fatalf("labels = %+v", lb)
+	}
+	// Same phase again: no new context allocation.
+	if ctx2 := WithPhase(ctx, PhaseForward); ctx2 != ctx {
+		t.Fatal("WithPhase(same) allocated a new context")
+	}
+	// A new op scope resets the phase.
+	if lb := LabelsFrom(WithOp(ctx, OpScrub)); lb.Op != OpScrub || lb.Phase != PhaseOther {
+		t.Fatalf("WithOp labels = %+v", lb)
+	}
+}
+
+func TestOpPhaseStrings(t *testing.T) {
+	if OpGet.String() != "get" || OpBulkLoad.String() != "bulkload" || Op(99).String() != "invalid" {
+		t.Fatal("Op.String mismatch")
+	}
+	if PhaseProbe.String() != "probe" || PhaseRetry.String() != "retry" || Phase(-1).String() != "invalid" {
+		t.Fatal("Phase.String mismatch")
 	}
 }
 

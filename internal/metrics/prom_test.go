@@ -1,0 +1,178 @@
+package metrics
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// goldenCounters populates a Counters deterministically: fixed counter
+// increments and fixed observation durations, so the exposition below is
+// pinned byte-for-byte.
+func goldenCounters() *Counters {
+	var c Counters
+	c.AddLookups(12)
+	c.AddFailedGets(2)
+	c.AddMovedRecords(30)
+	c.AddSplits(3)
+	c.AddMerges(1)
+	c.AddMaintLookups(5)
+	c.AddCacheHits(4)
+	c.AddCacheMisses(6)
+	c.AddCacheStale(1)
+	c.AddRetries(2)
+	c.AddCancellations(1)
+	c.AddDeadlineExceeded(1)
+	c.AddBatchOps(2)
+	c.AddBatchedKeys(8)
+	c.AddTornSplits(1)
+	c.AddRepairs(1)
+	c.AddScrubLookups(4)
+	c.AddPhaseLookups(OpGet, PhaseProbe, 7)
+	c.AddPhaseLookups(OpGet, PhaseRetry, 1)
+	c.AddPhaseLookups(OpRange, PhaseForward, 4)
+	c.ObserveOp(OpGet, 2*time.Microsecond, false)
+	c.ObserveOp(OpGet, 3*time.Microsecond, true)
+	c.ObserveOp(OpRange, time.Millisecond, false)
+	return &c
+}
+
+const goldenExposition = `# HELP lht_dht_lookups_total DHT-lookups issued (paper section 8.1 bandwidth measure).
+# TYPE lht_dht_lookups_total counter
+lht_dht_lookups_total 12
+# HELP lht_dht_failed_gets_total DHT-gets that returned not-found.
+# TYPE lht_dht_failed_gets_total counter
+lht_dht_failed_gets_total 2
+# HELP lht_moved_records_total Record slots moved between peers.
+# TYPE lht_moved_records_total counter
+lht_moved_records_total 30
+# HELP lht_splits_total Leaf splits performed.
+# TYPE lht_splits_total counter
+lht_splits_total 3
+# HELP lht_merges_total Leaf merges performed.
+# TYPE lht_merges_total counter
+lht_merges_total 1
+# HELP lht_maint_lookups_total Lookups spent on splits and merges.
+# TYPE lht_maint_lookups_total counter
+lht_maint_lookups_total 5
+# HELP lht_cache_hits_total Leaf-cache probes resolved in one DHT-get.
+# TYPE lht_cache_hits_total counter
+lht_cache_hits_total 4
+# HELP lht_cache_misses_total Lookups with no leaf-cache entry.
+# TYPE lht_cache_misses_total counter
+lht_cache_misses_total 6
+# HELP lht_cache_stale_total Leaf-cache probes that detected a stale entry.
+# TYPE lht_cache_stale_total counter
+lht_cache_stale_total 1
+# HELP lht_retries_total Policy-layer retries after transient faults.
+# TYPE lht_retries_total counter
+lht_retries_total 2
+# HELP lht_cancellations_total Operations ended by context cancellation.
+# TYPE lht_cancellations_total counter
+lht_cancellations_total 1
+# HELP lht_deadline_exceeded_total Operations ended by context deadline expiry.
+# TYPE lht_deadline_exceeded_total counter
+lht_deadline_exceeded_total 1
+# HELP lht_batch_ops_total Native batched round trips issued.
+# TYPE lht_batch_ops_total counter
+lht_batch_ops_total 2
+# HELP lht_batched_keys_total Keys carried inside native batches.
+# TYPE lht_batched_keys_total counter
+lht_batched_keys_total 8
+# HELP lht_torn_splits_total Torn split intents detected.
+# TYPE lht_torn_splits_total counter
+lht_torn_splits_total 1
+# HELP lht_torn_merges_total Torn merge intents detected.
+# TYPE lht_torn_merges_total counter
+lht_torn_merges_total 0
+# HELP lht_repairs_total Torn states completed or rolled back.
+# TYPE lht_repairs_total counter
+lht_repairs_total 1
+# HELP lht_scrub_lookups_total Lookups issued by Scrub walks.
+# TYPE lht_scrub_lookups_total counter
+lht_scrub_lookups_total 4
+# HELP lht_op_total Completed index operations per class.
+# TYPE lht_op_total counter
+lht_op_total{op="get"} 2
+lht_op_total{op="range"} 1
+# HELP lht_op_errors_total Index operations per class that returned an error.
+# TYPE lht_op_errors_total counter
+lht_op_errors_total{op="get"} 1
+lht_op_errors_total{op="range"} 0
+# HELP lht_phase_lookups_total DHT-lookups attributed to an operation class and algorithm phase.
+# TYPE lht_phase_lookups_total counter
+lht_phase_lookups_total{op="get",phase="probe"} 7
+lht_phase_lookups_total{op="get",phase="retry"} 1
+lht_phase_lookups_total{op="range",phase="forward"} 4
+# HELP lht_op_latency_seconds End-to-end index operation latency per class.
+# TYPE lht_op_latency_seconds histogram
+lht_op_latency_seconds_bucket{op="get",le="2.048e-06"} 1
+lht_op_latency_seconds_bucket{op="get",le="4.096e-06"} 2
+lht_op_latency_seconds_bucket{op="get",le="+Inf"} 2
+lht_op_latency_seconds_sum{op="get"} 5e-06
+lht_op_latency_seconds_count{op="get"} 2
+lht_op_latency_seconds_bucket{op="range",le="0.001048576"} 1
+lht_op_latency_seconds_bucket{op="range",le="+Inf"} 1
+lht_op_latency_seconds_sum{op="range"} 0.001
+lht_op_latency_seconds_count{op="range"} 1
+`
+
+// TestWritePrometheusGolden pins the full exposition for a deterministic
+// workload: any change to metric names, label sets, or bucket rendering
+// must update the golden text consciously.
+func TestWritePrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, goldenCounters().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	got, want := b.String(), goldenExposition
+	if got == want {
+		return
+	}
+	gl, wl := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(gl) || i < len(wl); i++ {
+		var g, w string
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if g != w {
+			t.Fatalf("exposition line %d:\n got: %q\nwant: %q", i+1, g, w)
+		}
+	}
+	t.Fatal("exposition differs in trailing whitespace")
+}
+
+func TestHandler(t *testing.T) {
+	c := goldenCounters()
+	srv := httptest.NewServer(NewMux(c.Snapshot))
+	defer srv.Close()
+	res, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var b strings.Builder
+	if _, err := io.Copy(&b, res.Body); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != goldenExposition {
+		t.Fatal("handler body differs from WritePrometheus output")
+	}
+	// pprof index must be mounted on the same mux.
+	res2, err := srv.Client().Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2.Body.Close()
+	if res2.StatusCode != 200 {
+		t.Fatalf("pprof status = %d", res2.StatusCode)
+	}
+}

@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRingRetention(t *testing.T) {
+	r := NewRing(3)
+	for i := 1; i <= 5; i++ {
+		r.RecordOp(OpEvent{Kind: "get", Keys: i})
+	}
+	if r.Len() != 3 || r.Total() != 5 {
+		t.Fatalf("Len = %d, Total = %d", r.Len(), r.Total())
+	}
+	ev := r.Events()
+	if len(ev) != 3 || ev[0].Keys != 3 || ev[2].Keys != 5 {
+		t.Fatalf("Events = %+v", ev)
+	}
+	if ev[0].Seq != 3 || ev[2].Seq != 5 {
+		t.Fatalf("Seq order = %d..%d", ev[0].Seq, ev[2].Seq)
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Total() != 0 || len(r.Events()) != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.RecordOp(OpEvent{Kind: "get", Key: "k", Keys: 1})
+				if i%100 == 0 {
+					_ = r.Events()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != 4000 || r.Len() != 64 {
+		t.Fatalf("Total = %d, Len = %d", r.Total(), r.Len())
+	}
+	// Sequence numbers must be unique and the retained tail contiguous.
+	ev := r.Events()
+	for i := 1; i < len(ev); i++ {
+		if ev[i].Seq != ev[i-1].Seq+1 {
+			t.Fatalf("non-contiguous seq at %d: %d after %d", i, ev[i].Seq, ev[i-1].Seq)
+		}
+	}
+}
+
+func TestOpEventString(t *testing.T) {
+	e := OpEvent{Seq: 7, Kind: "get", Key: "lht:#01", Keys: 1, Op: OpRange,
+		Phase: PhaseForward, Duration: 1500 * time.Microsecond, Outcome: "ok"}
+	s := e.String()
+	for _, want := range []string{"#7", "range/forward", "get", "lht:#01", "ok"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q, missing %q", s, want)
+		}
+	}
+	e.Keys, e.Key = 16, ""
+	e.Outcome, e.Err = "error", "boom"
+	s = e.String()
+	if !strings.Contains(s, "[16 keys]") || !strings.Contains(s, "error: boom") {
+		t.Fatalf("String() = %q", s)
+	}
+}

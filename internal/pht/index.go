@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"lht/internal/bitlabel"
 	"lht/internal/dht"
@@ -35,6 +36,10 @@ type Config struct {
 	MergeThreshold int
 	// Depth is D, the maximum trie depth in bits.
 	Depth int
+	// Aggregate, when non-nil, receives a copy of every counter update
+	// this index makes (see metrics.Counters.Chain); the benchmark
+	// harness uses it to roll per-index traffic into a process total.
+	Aggregate *metrics.Counters
 }
 
 // DefaultConfig matches the paper's experiment defaults.
@@ -88,7 +93,20 @@ func New(d dht.DHT, cfg Config) (*Index, error) {
 		}
 	}
 	c := &metrics.Counters{}
+	if cfg.Aggregate != nil {
+		c.Chain(cfg.Aggregate)
+	}
 	return &Index{d: dht.NewInstrumented(d, c), cfg: cfg, c: c}, nil
+}
+
+// beginOp opens an operation span: the returned context carries the
+// operation class for phase attribution, and the returned func records
+// the operation's latency and outcome when called with the final error.
+func (ix *Index) beginOp(ctx context.Context, op metrics.Op) (context.Context, func(error)) {
+	start := time.Now()
+	return metrics.WithOp(ctx, op), func(err error) {
+		ix.c.ObserveOp(op, time.Since(start), err != nil)
+	}
 }
 
 // Config returns the index configuration.
@@ -123,7 +141,16 @@ func (ix *Index) LookupLeaf(delta float64) (*Node, Cost, error) {
 }
 
 // LookupLeafContext is LookupLeaf with a caller-supplied context.
-func (ix *Index) LookupLeafContext(ctx context.Context, delta float64) (*Node, Cost, error) {
+func (ix *Index) LookupLeafContext(ctx context.Context, delta float64) (n *Node, cost Cost, err error) {
+	ctx, done := ix.beginOp(ctx, metrics.OpGet)
+	defer func() { done(err) }()
+	return ix.lookupLeaf(ctx, delta)
+}
+
+// lookupLeaf is the binary search itself, shared by every public entry
+// point so each observes its own operation class exactly once.
+func (ix *Index) lookupLeaf(ctx context.Context, delta float64) (*Node, Cost, error) {
+	ctx = metrics.WithPhase(ctx, metrics.PhaseProbe)
 	var cost Cost
 	mu, err := keyspace.Mu(delta, ix.cfg.Depth)
 	if err != nil {
@@ -157,8 +184,10 @@ func (ix *Index) Search(delta float64) (record.Record, Cost, error) {
 }
 
 // SearchContext is Search with a caller-supplied context.
-func (ix *Index) SearchContext(ctx context.Context, delta float64) (record.Record, Cost, error) {
-	n, cost, err := ix.LookupLeafContext(ctx, delta)
+func (ix *Index) SearchContext(ctx context.Context, delta float64) (rec record.Record, cost Cost, err error) {
+	ctx, done := ix.beginOp(ctx, metrics.OpGet)
+	defer func() { done(err) }()
+	n, cost, err := ix.lookupLeaf(ctx, delta)
 	if err != nil {
 		return record.Record{}, cost, err
 	}
@@ -175,11 +204,13 @@ func (ix *Index) Insert(rec record.Record) (Cost, error) {
 }
 
 // InsertContext is Insert with a caller-supplied context.
-func (ix *Index) InsertContext(ctx context.Context, rec record.Record) (Cost, error) {
+func (ix *Index) InsertContext(ctx context.Context, rec record.Record) (cost Cost, err error) {
 	if err := keyspace.CheckKey(rec.Key); err != nil {
 		return Cost{}, err
 	}
-	n, cost, err := ix.LookupLeafContext(ctx, rec.Key)
+	ctx, done := ix.beginOp(ctx, metrics.OpInsert)
+	defer func() { done(err) }()
+	n, cost, err := ix.lookupLeaf(ctx, rec.Key)
 	if err != nil {
 		return cost, err
 	}
@@ -211,6 +242,7 @@ func (ix *Index) InsertContext(ctx context.Context, rec record.Record) (Cost, er
 // patched (2 more DHT-lookups): equation 2's theta*i + 4*j per split.
 // Like LHT, one insertion causes at most one split.
 func (ix *Index) split(ctx context.Context, n *Node) (Cost, error) {
+	ctx = metrics.WithPhase(ctx, metrics.PhaseSplit)
 	var cost Cost
 	if n.Label.Len() >= ix.cfg.Depth {
 		ix.mu.Lock()
@@ -297,11 +329,13 @@ func (ix *Index) Delete(delta float64) (Cost, error) {
 }
 
 // DeleteContext is Delete with a caller-supplied context.
-func (ix *Index) DeleteContext(ctx context.Context, delta float64) (Cost, error) {
+func (ix *Index) DeleteContext(ctx context.Context, delta float64) (cost Cost, err error) {
 	if err := keyspace.CheckKey(delta); err != nil {
 		return Cost{}, err
 	}
-	n, cost, err := ix.LookupLeafContext(ctx, delta)
+	ctx, done := ix.beginOp(ctx, metrics.OpDelete)
+	defer func() { done(err) }()
+	n, cost, err := ix.lookupLeaf(ctx, delta)
 	if err != nil {
 		return cost, err
 	}
@@ -333,6 +367,7 @@ func (ix *Index) DeleteContext(ctx context.Context, delta float64) (Cost, error)
 // and the chain is patched around them. It is noticeably more expensive
 // than LHT's merge - every step routes, just as PHT's split does.
 func (ix *Index) merge(ctx context.Context, n *Node) (Cost, error) {
+	ctx = metrics.WithPhase(ctx, metrics.PhaseMerge)
 	var cost Cost
 	sibling := n.Label.Sibling()
 	sib, err := ix.getNode(ctx, sibling.Key(), &cost)

@@ -90,14 +90,14 @@ func TestSplitCostProfile(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	before := ix.Metrics()
+	before := ix.Metrics().Flat()
 	for i := 0; i < 600; i++ {
-		pre := ix.Metrics()
+		pre := ix.Metrics().Flat()
 		cost, err := ix.Insert(record.Record{Key: rng.Float64()})
 		if err != nil {
 			t.Fatal(err)
 		}
-		post := ix.Metrics()
+		post := ix.Metrics().Flat()
 		if post.Splits == pre.Splits {
 			continue
 		}
@@ -110,7 +110,7 @@ func TestSplitCostProfile(t *testing.T) {
 			t.Errorf("split moved %d record slots, want about theta+1 = %d", moved, theta+1)
 		}
 	}
-	after := ix.Metrics()
+	after := ix.Metrics().Flat()
 	splits := after.Splits - before.Splits
 	if splits == 0 {
 		t.Fatal("no splits observed")
@@ -163,7 +163,7 @@ func TestDeleteTriggersMerges(t *testing.T) {
 			}
 		}
 	}
-	if s := ix.Metrics(); s.Merges == 0 {
+	if s := ix.Metrics().Flat(); s.Merges == 0 {
 		t.Error("expected merges")
 	}
 	if n, err := ix.Count(); err != nil || n != 0 {

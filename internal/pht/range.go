@@ -8,6 +8,7 @@ import (
 	"lht/internal/bitlabel"
 	"lht/internal/dht"
 	"lht/internal/keyspace"
+	"lht/internal/metrics"
 	"lht/internal/record"
 )
 
@@ -36,15 +37,18 @@ func (ix *Index) RangeSequential(lo, hi float64) ([]record.Record, Cost, error) 
 
 // RangeSequentialContext is RangeSequential with a caller-supplied
 // context; cancellation stops the chain walk at the next hop.
-func (ix *Index) RangeSequentialContext(ctx context.Context, lo, hi float64) ([]record.Record, Cost, error) {
+func (ix *Index) RangeSequentialContext(ctx context.Context, lo, hi float64) (out []record.Record, cost Cost, err error) {
 	if err := checkRange(lo, hi); err != nil {
 		return nil, Cost{}, err
 	}
-	n, cost, err := ix.LookupLeafContext(ctx, lo)
+	ctx, done := ix.beginOp(ctx, metrics.OpRange)
+	defer func() { done(err) }()
+	n, cost, err := ix.lookupLeaf(ctx, lo)
 	if err != nil {
 		return nil, cost, err
 	}
-	var out []record.Record
+	// The chain walk is forwarding traffic, like LHT's range sweep.
+	ctx = metrics.WithPhase(ctx, metrics.PhaseForward)
 	for {
 		out = record.FilterRange(out, n.Records, lo, hi)
 		if !n.HasNext || n.Interval().Hi >= hi {
@@ -80,18 +84,18 @@ func (ix *Index) RangeParallel(lo, hi float64) ([]record.Record, Cost, error) {
 // parallelism the algorithm's latency model always assumed — Lookups and
 // Steps are identical to a node-at-a-time descent; only round trips
 // change.
-func (ix *Index) RangeParallelContext(ctx context.Context, lo, hi float64) ([]record.Record, Cost, error) {
+func (ix *Index) RangeParallelContext(ctx context.Context, lo, hi float64) (out []record.Record, cost Cost, err error) {
 	if err := checkRange(lo, hi); err != nil {
 		return nil, Cost{}, err
 	}
+	ctx, done := ix.beginOp(ctx, metrics.OpRange)
+	defer func() { done(err) }()
+	// The trie descent fans the query out level by level.
+	ctx = metrics.WithPhase(ctx, metrics.PhaseForward)
 	r := keyspace.Interval{Lo: lo, Hi: hi}
 	lca := keyspace.RangeLCA(r, ix.cfg.Depth)
 
-	var (
-		out   []record.Record
-		cost  Cost
-		depth int
-	)
+	var depth int
 	frontier := []bitlabel.Label{lca}
 	for len(frontier) > 0 {
 		depth++
@@ -108,7 +112,7 @@ func (ix *Index) RangeParallelContext(ctx context.Context, lo, hi float64) ([]re
 				if label == lca {
 					// The trie is shallower than the LCA: the whole range
 					// lies in one leaf, found by an ordinary lookup.
-					n, lcost, err := ix.LookupLeafContext(ctx, lo)
+					n, lcost, err := ix.lookupLeaf(ctx, lo)
 					cost.Lookups += lcost.Lookups
 					cost.Steps = depth + lcost.Steps
 					if err != nil {

@@ -6,6 +6,8 @@ import (
 	"io"
 	"net"
 	"sync"
+
+	"lht/internal/metrics"
 )
 
 // Server is one storage node: a byte store behind the gob-over-TCP
@@ -17,6 +19,8 @@ type Server struct {
 	conns map[net.Conn]struct{}
 	done  bool
 
+	c metrics.Counters
+
 	wg sync.WaitGroup
 }
 
@@ -27,6 +31,15 @@ func NewServer() *Server {
 		conns: make(map[net.Conn]struct{}),
 	}
 }
+
+// Metrics returns the node's served-traffic counters: every routed
+// request charges one lookup (Write is free, per the cost model), misses
+// count as failed gets, and batch requests feed the batch counters.
+// cmd/lht-node serves them on its /metrics endpoint.
+func (s *Server) Metrics() metrics.Snapshot { return s.c.Snapshot() }
+
+// Counters exposes the live counters for chaining or export.
+func (s *Server) Counters() *metrics.Counters { return &s.c }
 
 // Serve accepts connections on ln until Close is called. It blocks; run
 // it in the caller's goroutine of choice (cmd/lht-node simply calls it
@@ -124,35 +137,46 @@ func (s *Server) apply(req request) response {
 	case opPing:
 		return response{Found: true}
 	case opGet:
+		s.c.AddLookups(1)
 		v, ok := s.store[req.Key]
 		if !ok {
+			s.c.AddFailedGets(1)
 			return response{Err: errNotFound}
 		}
 		return response{Found: true, Val: v}
 	case opPut:
+		s.c.AddLookups(1)
 		s.store[req.Key] = req.Val
 		return response{Found: true}
 	case opTake:
+		s.c.AddLookups(1)
 		v, ok := s.store[req.Key]
 		if !ok {
+			s.c.AddFailedGets(1)
 			return response{Err: errNotFound}
 		}
 		delete(s.store, req.Key)
 		return response{Found: true, Val: v}
 	case opRemove:
+		s.c.AddLookups(1)
 		delete(s.store, req.Key)
 		return response{Found: true}
 	case opWrite:
+		// Free in the cost model: the client already routed here.
 		if _, ok := s.store[req.Key]; !ok {
 			return response{Err: errNotFound}
 		}
 		s.store[req.Key] = req.Val
 		return response{Found: true}
 	case opGetBatch:
+		s.c.AddLookups(int64(len(req.Keys)))
+		s.c.AddBatchOps(1)
+		s.c.AddBatchedKeys(int64(len(req.Keys)))
 		out := make([]batchReply, len(req.Keys))
 		for i, k := range req.Keys {
 			v, ok := s.store[k]
 			if !ok {
+				s.c.AddFailedGets(1)
 				out[i] = batchReply{Err: errNotFound}
 				continue
 			}
@@ -160,6 +184,9 @@ func (s *Server) apply(req request) response {
 		}
 		return response{Found: true, Batch: out}
 	case opPutBatch:
+		s.c.AddLookups(int64(len(req.KVs)))
+		s.c.AddBatchOps(1)
+		s.c.AddBatchedKeys(int64(len(req.KVs)))
 		for _, kv := range req.KVs { // in order: a duplicate key's last pair wins
 			s.store[kv.Key] = kv.Val
 		}

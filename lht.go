@@ -13,26 +13,48 @@
 // Quick start:
 //
 //	d := lht.NewLocalDHT()                     // or NewChordDHT / NewKademliaDHT
-//	ix, err := lht.New(d, lht.DefaultConfig())
+//	ix, err := lht.New(d, lht.WithLeafCache(1024))
 //	...
-//	ix.Insert(lht.Record{Key: 0.42, Value: []byte("answer")})
-//	recs, cost, err := ix.Range(0.4, 0.6)
+//	ix.InsertContext(ctx, lht.Record{Key: 0.42, Value: []byte("answer")})
+//	recs, cost, err := ix.RangeContext(ctx, 0.4, 0.6)
+//
+// New takes functional options (WithLeafCache, WithPolicy, WithBatchSize,
+// WithTraceSink, ...) layered over DefaultConfig; a full Config is itself
+// an option, so New(d, cfg) keeps working and options after it override
+// single fields.
+//
+// # Context-first API
+//
+// The context-taking methods (GetContext, RangeContext, InsertContext,
+// ...) are the canonical API: they thread a context.Context down to the
+// substrate, where deadlines become socket deadlines on networked
+// substrates and cancellation stops multi-step algorithms (including
+// parallel range forwarding) promptly. The context also carries the
+// operation and phase labels the observability plane attributes traffic
+// to. Each plain variant (Get, Range, Insert, ...) is shorthand for the
+// Context method under context.Background(); see the compatibility
+// section at the bottom of this file.
 //
 // Read-heavy clients can enable the client-side leaf cache
-// (Config.LeafCache): exact-match lookups then amortize to a single
-// DHT-get instead of Algorithm 2's ~log2(D) sequential probes, with
-// staleness after splits/merges detected and repaired soundly, so query
-// results never change — only their cost (see Snapshot.CacheHits /
-// CacheMisses / CacheStale).
+// (WithLeafCache): exact-match lookups then amortize to a single DHT-get
+// instead of Algorithm 2's ~log2(D) sequential probes, with staleness
+// after splits/merges detected and repaired soundly, so query results
+// never change — only their cost (see Snapshot.Cache). The WithPolicy
+// option adds a retry/backoff layer that absorbs transient substrate
+// faults (see Policy and DefaultPolicy); every retry is charged as a
+// DHT-lookup, keeping the paper's cost model honest.
 //
-// Every operation has a Context variant (GetContext, RangeContext, ...)
-// that threads a context.Context down to the substrate: deadlines become
-// socket deadlines on networked substrates, and cancellation stops
-// multi-step algorithms (including parallel range forwarding) promptly.
-// The plain methods are shorthand for a background context. Setting
-// Config.Policy adds a retry/backoff layer that absorbs transient
-// substrate faults (see Policy and DefaultPolicy); every retry is charged
-// as a DHT-lookup, keeping the paper's cost model honest.
+// # Observability
+//
+// Every index keeps per-operation-class latency histograms and a
+// phase-attributed lookup matrix alongside the paper's cost counters:
+// Metrics returns the grouped Snapshot (Lookup, Cache, Retry, Batch,
+// Repair, Latency sub-structs; Flat() recovers the one-level legacy
+// names). WritePrometheus / MetricsHandler / NewMetricsMux export the
+// same counters in Prometheus text format, and WithTraceSink streams one
+// structured OpEvent per DHT operation into a sink such as the bounded
+// NewTraceRing. cmd/lht-node and cmd/lht-bench serve these on a -metrics
+// HTTP endpoint together with net/http/pprof.
 //
 // Substrates that implement the optional Batcher interface serve
 // many-key rounds — bulk loads, parallel range sweeps — in one network
@@ -48,6 +70,8 @@ package lht
 
 import (
 	"context"
+	"io"
+	"net/http"
 
 	"lht/internal/dht"
 	ilht "lht/internal/lht"
@@ -59,24 +83,63 @@ import (
 type Record = record.Record
 
 // Config tunes an index: theta_split, the merge threshold, the maximum
-// tree depth D, and the client-side leaf cache (LeafCache /
-// LeafCacheSize).
+// tree depth D, the client-side leaf cache, batching, retry policy, and
+// observability wiring. A Config is itself an Option (replacing the
+// whole configuration built so far), so New(d, cfg) and
+// New(d, cfg, lht.WithTraceSink(s)) both work.
 type Config = ilht.Config
 
-// DefaultLeafCacheSize is the leaf-cache capacity used when
-// Config.LeafCache is set with LeafCacheSize 0.
+// Option configures an index at construction; see New. Options layer
+// over DefaultConfig in order.
+type Option = ilht.Option
+
+// DefaultLeafCacheSize is the leaf-cache capacity used when the leaf
+// cache is enabled with size 0.
 const DefaultLeafCacheSize = ilht.DefaultLeafCacheSize
 
 // Cost reports the DHT traffic of one operation: Lookups (bandwidth) and
 // Steps (latency in dependent rounds).
 type Cost = metrics.Cost
 
-// Snapshot is the cumulative counter state of an index client.
+// Snapshot is the cumulative counter state of an index client, grouped
+// by concern: Lookup (the paper's cost counters), Cache, Retry, Batch,
+// Repair, and Latency (per-operation-class histograms and phase
+// attribution). Flat() recovers the legacy one-level field names.
 type Snapshot = metrics.Snapshot
+
+// FlatSnapshot is Snapshot flattened to one-level counter names, for
+// column-oriented consumers.
+type FlatSnapshot = metrics.FlatSnapshot
 
 // Bucket is a leaf bucket of the partition tree, as returned by inspection
 // helpers.
 type Bucket = ilht.Bucket
+
+// TraceSink receives one structured OpEvent per DHT operation an index
+// performs; attach one with WithTraceSink. Implementations must be safe
+// for concurrent use (parallel range forwarding emits concurrently).
+type TraceSink = metrics.TraceSink
+
+// OpEvent is one traced DHT operation: kind, key, operation class and
+// phase, duration, and outcome.
+type OpEvent = metrics.OpEvent
+
+// TraceRing is a bounded in-memory TraceSink retaining the most recent
+// events; create one with NewTraceRing.
+type TraceRing = metrics.Ring
+
+// NewTraceRing returns a TraceRing retaining the last n events.
+func NewTraceRing(n int) *TraceRing { return metrics.NewRing(n) }
+
+// WritePrometheus writes a Snapshot in Prometheus text exposition format.
+func WritePrometheus(w io.Writer, s Snapshot) error { return metrics.WritePrometheus(w, s) }
+
+// MetricsHandler serves snap() in Prometheus text format on every GET.
+func MetricsHandler(snap func() Snapshot) http.Handler { return metrics.Handler(snap) }
+
+// NewMetricsMux returns an http.ServeMux serving /metrics (Prometheus
+// text format from snap) and the net/http/pprof profile endpoints.
+func NewMetricsMux(snap func() Snapshot) *http.ServeMux { return metrics.NewMux(snap) }
 
 // Errors surfaced by index operations.
 var (
@@ -106,9 +169,35 @@ type PartialLoadError = ilht.PartialLoadError
 // 100, D = 20, merging enabled.
 func DefaultConfig() Config { return ilht.DefaultConfig() }
 
+// WithLeafCache enables the client-side leaf cache with the given
+// capacity (0 means DefaultLeafCacheSize).
+func WithLeafCache(size int) Option { return ilht.WithLeafCache(size) }
+
+// WithPolicy interposes a retry/backoff layer absorbing transient
+// substrate faults; every retry is charged as a DHT-lookup.
+func WithPolicy(p Policy) Option { return ilht.WithPolicy(p) }
+
+// WithBatchSize caps the keys per batched DHT operation (bulk load
+// rounds, parallel range fan-out).
+func WithBatchSize(n int) Option { return ilht.WithBatchSize(n) }
+
+// WithTraceSink attaches a structured op-event sink; see TraceSink and
+// NewTraceRing.
+func WithTraceSink(s TraceSink) Option { return ilht.WithTraceSink(s) }
+
+// WithParallelRange toggles concurrent range-query forwarding (on by
+// default).
+func WithParallelRange(on bool) Option { return ilht.WithParallelRange(on) }
+
+// WithDepth sets D, the a-priori maximum tree depth.
+func WithDepth(d int) Option { return ilht.WithDepth(d) }
+
+// WithThresholds sets theta_split and the merge hysteresis threshold.
+func WithThresholds(split, merge int) Option { return ilht.WithThresholds(split, merge) }
+
 // Index is an LHT index over a DHT substrate. Create one with New.
 //
-// Concurrency contract: queries (Search, Range, Scan, Min/Max) are safe
+// Concurrency contract: queries (Get, Range, Scan, Min/Max) are safe
 // to call concurrently from any number of goroutines, including with the
 // leaf cache enabled — the cache and cost counters are internally
 // synchronized. Writers (Insert, Delete, BulkLoad) are NOT serialized by
@@ -124,88 +213,80 @@ type Index struct {
 }
 
 // New creates an index client over a substrate, bootstrapping the empty
-// tree if the substrate holds none.
-func New(d DHT, cfg Config) (*Index, error) {
-	inner, err := ilht.New(d, cfg)
+// tree if the substrate holds none. With no options the index uses
+// DefaultConfig; pass options (or a whole Config, which is an Option) to
+// tune it:
+//
+//	ix, err := lht.New(d, lht.WithLeafCache(1024), lht.WithPolicy(lht.DefaultPolicy()))
+func New(d DHT, opts ...Option) (*Index, error) {
+	inner, err := ilht.New(d, ilht.BuildConfig(opts...))
 	if err != nil {
 		return nil, err
 	}
 	return &Index{inner: inner}, nil
 }
 
-// Insert adds a record, replacing any record with the same key.
-func (ix *Index) Insert(r Record) (Cost, error) { return ix.inner.Insert(r) }
-
-// InsertContext is Insert under a caller-supplied context.
+// InsertContext adds a record, replacing any record with the same key.
 func (ix *Index) InsertContext(ctx context.Context, r Record) (Cost, error) {
 	return ix.inner.InsertContext(ctx, r)
 }
 
-// BulkLoad populates an empty index with a whole dataset in one pass
-// (about one DHT-put per resulting leaf), the standard construction
+// BulkLoadContext populates an empty index with a whole dataset in one
+// pass (about one DHT-put per resulting leaf), the standard construction
 // optimization; ErrNotEmpty if the index already holds data. Leaves ship
-// in batched parallel put rounds (Config.BatchSize keys per batch); a
+// in batched parallel put rounds (WithBatchSize keys per batch); a
 // failure mid-load surfaces as a *PartialLoadError once any leaf has
 // landed.
-func (ix *Index) BulkLoad(recs []Record) (Cost, error) { return ix.inner.BulkLoad(recs) }
-
-// BulkLoadContext is BulkLoad under a caller-supplied context.
 func (ix *Index) BulkLoadContext(ctx context.Context, recs []Record) (Cost, error) {
 	return ix.inner.BulkLoadContext(ctx, recs)
 }
 
-// Delete removes the record with the given key, or returns
+// DeleteContext removes the record with the given key, or returns
 // ErrKeyNotFound.
-func (ix *Index) Delete(key float64) (Cost, error) { return ix.inner.Delete(key) }
-
-// DeleteContext is Delete under a caller-supplied context.
 func (ix *Index) DeleteContext(ctx context.Context, key float64) (Cost, error) {
 	return ix.inner.DeleteContext(ctx, key)
 }
 
-// Get answers an exact-match query for one key.
-func (ix *Index) Get(key float64) (Record, Cost, error) { return ix.inner.Search(key) }
-
-// GetContext is Get under a caller-supplied context.
+// GetContext answers an exact-match query for one key.
 func (ix *Index) GetContext(ctx context.Context, key float64) (Record, Cost, error) {
 	return ix.inner.SearchContext(ctx, key)
 }
 
-// Range returns every record with key in [lo, hi).
-func (ix *Index) Range(lo, hi float64) ([]Record, Cost, error) { return ix.inner.Range(lo, hi) }
-
-// RangeContext is Range under a caller-supplied context: a deadline bounds
-// the whole forwarding recursion, and cancellation stops the parallel
-// branch goroutines promptly.
+// RangeContext returns every record with key in [lo, hi). A deadline
+// bounds the whole forwarding recursion, and cancellation stops the
+// parallel branch goroutines promptly.
 func (ix *Index) RangeContext(ctx context.Context, lo, hi float64) ([]Record, Cost, error) {
 	return ix.inner.RangeContext(ctx, lo, hi)
 }
 
-// Min returns the record with the smallest key (one DHT-lookup).
-func (ix *Index) Min() (Record, Cost, error) { return ix.inner.Min() }
-
-// MinContext is Min under a caller-supplied context.
+// MinContext returns the record with the smallest key (one DHT-lookup).
 func (ix *Index) MinContext(ctx context.Context) (Record, Cost, error) {
 	return ix.inner.MinContext(ctx)
 }
 
-// Max returns the record with the largest key (one DHT-lookup).
-func (ix *Index) Max() (Record, Cost, error) { return ix.inner.Max() }
-
-// MaxContext is Max under a caller-supplied context.
+// MaxContext returns the record with the largest key (one DHT-lookup).
 func (ix *Index) MaxContext(ctx context.Context) (Record, Cost, error) {
 	return ix.inner.MaxContext(ctx)
 }
 
-// Scan returns up to limit records with keys >= from in ascending order -
-// the pagination primitive (resume with from = last returned key).
-func (ix *Index) Scan(from float64, limit int) ([]Record, Cost, error) {
-	return ix.inner.Scan(from, limit)
-}
-
-// ScanContext is Scan under a caller-supplied context.
+// ScanContext returns up to limit records with keys >= from in ascending
+// order - the pagination primitive (resume with from = last returned
+// key).
 func (ix *Index) ScanContext(ctx context.Context, from float64, limit int) ([]Record, Cost, error) {
 	return ix.inner.ScanContext(ctx, from, limit)
+}
+
+// ScrubReport is the typed outcome of a Scrub pass: leaves and records
+// visited, DHT cost, repairs applied and invariant violations observed.
+type ScrubReport = ilht.ScrubReport
+
+// ScrubContext walks the reachable label space, verifying the tree's
+// structural invariants and repairing torn splits/merges, orphaned
+// buckets and misplaced records. A scrub of a consistent tree performs
+// no writes; a repairing scrub counts as a writer for the concurrency
+// contract.
+func (ix *Index) ScrubContext(ctx context.Context) (*ScrubReport, error) {
+	return ix.inner.Scrub(ctx)
 }
 
 // Count returns the number of indexed records by walking all leaves (an
@@ -219,22 +300,10 @@ func (ix *Index) Leaves() ([]*Bucket, error) { return ix.inner.Leaves() }
 // useful in tests of applications embedding LHT.
 func (ix *Index) CheckInvariants() error { return ix.inner.CheckInvariants() }
 
-// ScrubReport is the typed outcome of a Scrub pass: leaves and records
-// visited, DHT cost, repairs applied and invariant violations observed.
-type ScrubReport = ilht.ScrubReport
-
-// Scrub walks the reachable label space, verifying the tree's structural
-// invariants and repairing torn splits/merges, orphaned buckets and
-// misplaced records. A scrub of a consistent tree performs no writes; a
-// repairing scrub counts as a writer for the concurrency contract.
-func (ix *Index) Scrub() (*ScrubReport, error) { return ix.inner.Scrub(context.Background()) }
-
-// ScrubContext is Scrub with a caller-supplied context.
-func (ix *Index) ScrubContext(ctx context.Context) (*ScrubReport, error) {
-	return ix.inner.Scrub(ctx)
-}
-
-// Metrics returns this client's cumulative cost counters.
+// Metrics returns this client's cumulative counters: the paper's cost
+// counters under Snapshot.Lookup, plus cache, retry, batch, repair, and
+// per-operation-class latency groups. Use Metrics().Flat() for the
+// one-level legacy names.
 func (ix *Index) Metrics() Snapshot { return ix.inner.Metrics() }
 
 // AlphaMean returns the measured average alpha over all splits (paper
@@ -243,3 +312,47 @@ func (ix *Index) AlphaMean() (float64, int64) { return ix.inner.AlphaMean() }
 
 // Config returns the index configuration.
 func (ix *Index) Config() Config { return ix.inner.Config() }
+
+// Background-context compatibility methods.
+//
+// Each method below is exactly its Context counterpart under
+// context.Background(), kept so casual and historical callers stay
+// source-compatible; the Context methods above are the canonical,
+// documented API.
+
+// Insert is InsertContext under context.Background().
+func (ix *Index) Insert(r Record) (Cost, error) { return ix.InsertContext(context.Background(), r) }
+
+// BulkLoad is BulkLoadContext under context.Background().
+func (ix *Index) BulkLoad(recs []Record) (Cost, error) {
+	return ix.BulkLoadContext(context.Background(), recs)
+}
+
+// Delete is DeleteContext under context.Background().
+func (ix *Index) Delete(key float64) (Cost, error) {
+	return ix.DeleteContext(context.Background(), key)
+}
+
+// Get is GetContext under context.Background().
+func (ix *Index) Get(key float64) (Record, Cost, error) {
+	return ix.GetContext(context.Background(), key)
+}
+
+// Range is RangeContext under context.Background().
+func (ix *Index) Range(lo, hi float64) ([]Record, Cost, error) {
+	return ix.RangeContext(context.Background(), lo, hi)
+}
+
+// Min is MinContext under context.Background().
+func (ix *Index) Min() (Record, Cost, error) { return ix.MinContext(context.Background()) }
+
+// Max is MaxContext under context.Background().
+func (ix *Index) Max() (Record, Cost, error) { return ix.MaxContext(context.Background()) }
+
+// Scan is ScanContext under context.Background().
+func (ix *Index) Scan(from float64, limit int) ([]Record, Cost, error) {
+	return ix.ScanContext(context.Background(), from, limit)
+}
+
+// Scrub is ScrubContext under context.Background().
+func (ix *Index) Scrub() (*ScrubReport, error) { return ix.ScrubContext(context.Background()) }

@@ -81,7 +81,7 @@ func TestPublicAPIOverChord(t *testing.T) {
 	if err := ix.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
-	s := ix.Metrics()
+	s := ix.Metrics().Flat()
 	if s.Splits == 0 || s.Lookups == 0 {
 		t.Errorf("metrics look dead: %+v", s)
 	}

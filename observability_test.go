@@ -1,0 +1,89 @@
+package lht_test
+
+import (
+	"bufio"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"lht"
+)
+
+// scrapeCounter fetches url and returns the value of the named
+// un-labelled counter from the Prometheus text exposition.
+func scrapeCounter(t *testing.T, url, name string) int64 {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		v, err := strconv.ParseInt(strings.TrimPrefix(line, name+" "), 10, 64)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("metric %s not in exposition from %s", name, url)
+	return 0
+}
+
+// TestMetricsEndpointMatchesSnapshot runs a workload, scrapes the HTTP
+// /metrics endpoint, and requires the scraped lookup totals to equal
+// the same index's Snapshot counters — the exported view and the
+// programmatic view must never disagree.
+func TestMetricsEndpointMatchesSnapshot(t *testing.T) {
+	ix, err := lht.New(lht.NewLocalDHT(), lht.WithThresholds(8, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if _, err := ix.Insert(lht.Record{Key: float64(i) / 500}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if _, _, err := ix.Get(float64(i) / 50); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := ix.Range(0.2, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ix.Min(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(lht.NewMetricsMux(ix.Metrics))
+	defer srv.Close()
+
+	s := ix.Metrics()
+	if got := scrapeCounter(t, srv.URL+"/metrics", "lht_dht_lookups_total"); got != s.Lookup.Total {
+		t.Errorf("scraped lht_dht_lookups_total = %d, Snapshot.Lookup.Total = %d", got, s.Lookup.Total)
+	}
+	if got := scrapeCounter(t, srv.URL+"/metrics", "lht_splits_total"); got != s.Lookup.Splits {
+		t.Errorf("scraped lht_splits_total = %d, Snapshot.Lookup.Splits = %d", got, s.Lookup.Splits)
+	}
+	if s.Lookup.Total == 0 || s.Lookup.Splits == 0 {
+		t.Errorf("workload produced no traffic: %+v", s.Lookup)
+	}
+
+	// MetricsHandler serves the same exposition as the mux's /metrics.
+	h := httptest.NewServer(lht.MetricsHandler(ix.Metrics))
+	defer h.Close()
+	if a, b := scrapeCounter(t, srv.URL+"/metrics", "lht_dht_lookups_total"),
+		scrapeCounter(t, h.URL, "lht_dht_lookups_total"); a != b {
+		t.Errorf("mux /metrics and MetricsHandler disagree: %d vs %d", a, b)
+	}
+}

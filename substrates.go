@@ -30,12 +30,12 @@ type Policy = dht.Policy
 // delay doubling to a 250ms cap, 50% jitter, IsTransient classification.
 func DefaultPolicy() Policy { return dht.DefaultPolicy() }
 
-// WithPolicy wraps a substrate so every routed operation retries
-// transient faults per the policy. Indexes created with Config.Policy
-// already compose this above their instrumentation layer (charging each
-// retry as a DHT-lookup); use WithPolicy directly only for raw substrate
-// access.
-func WithPolicy(d DHT, p Policy) DHT { return dht.WithPolicy(d, p) }
+// WithRetry wraps a substrate so every routed operation retries
+// transient faults per the policy. Indexes created with the WithPolicy
+// option (or Config.Policy) already compose this above their
+// instrumentation layer (charging each retry as a DHT-lookup); use
+// WithRetry directly only for raw substrate access.
+func WithRetry(d DHT, p Policy) DHT { return dht.WithPolicy(d, p) }
 
 // Batcher is the optional batched operation plane: substrates that can
 // serve many keys in fewer network round trips implement it alongside
