@@ -53,6 +53,7 @@ type config struct {
 	span     float64
 	csv      bool
 	jsonPath string // non-empty: also write a machine-readable report here
+	baseline string // non-empty: perf-gate this run against the report here
 	selected map[string]bool
 }
 
@@ -60,8 +61,9 @@ type config struct {
 // the ablation studies (a1: lookup strategy, a2: merge hysteresis, a3:
 // theta sweep, a4: client leaf cache, a5: retry policy under faults,
 // a6: batched operation plane, a7: recovery under churn + torn
-// mutations).
-var experimentNames = []string{"fig6a", "fig6b", "fig7", "fig8a", "fig8b", "fig9a", "fig9b", "eq3", "thm3", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "s1", "rw1", "x1"}
+// mutations, a8: framed binary wire codec vs gob) and the wire-protocol
+// parameter sweep (substrate x batch size x leaf cache x value size).
+var experimentNames = []string{"fig6a", "fig6b", "fig7", "fig8a", "fig8b", "fig9a", "fig9b", "eq3", "thm3", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "sweep", "s1", "rw1", "x1"}
 
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("lht-bench", flag.ContinueOnError)
@@ -80,6 +82,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		jsonPath    = fs.String("json-out", "", "write the machine-readable report to this path (implies -json)")
 		metricsAddr = fs.String("metrics", "", "serve the run's live counters as Prometheus /metrics (plus pprof) on this address")
 		paper       = fs.Bool("paper", false, "paper scale: 100 trials, 1000 queries, sizes up to 2^20")
+		baseline    = fs.String("baseline", "", "perf gate: diff this run's deterministic rows (round trips, allocs/op) against the baseline report at this path and fail on >20% regression")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,6 +93,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			Agg: &metrics.Counters{},
 		},
 		minExp: *minExp, maxExp: *maxExp, span: *span, csv: *csv,
+		baseline: *baseline,
 		selected: map[string]bool{},
 	}
 	if *jsonOut {
@@ -315,6 +319,20 @@ func runExperiments(ctx context.Context, cfg config, out io.Writer) error {
 		}
 		emit(succ, cost)
 	}
+	if want("a8") {
+		allocs, thru, tail, err := bench.RunWireAblation(cfg.opts)
+		if err != nil {
+			return err
+		}
+		emit(allocs, thru, tail)
+	}
+	if want("sweep") {
+		rt, tpBatch, tpValue, err := bench.RunSweep(cfg.opts, sizes[0])
+		if err != nil {
+			return err
+		}
+		emit(rt, tpBatch, tpValue)
+	}
 	if want("s1") {
 		res, err := bench.RunHopsVsNodes(cfg.opts, []int{4, 8, 16, 32, 64, 128})
 		if err != nil {
@@ -346,6 +364,20 @@ func runExperiments(ctx context.Context, cfg config, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "wrote %s (%d results)\n", cfg.jsonPath, len(report.Results))
+	}
+	if cfg.baseline != "" {
+		base, err := bench.LoadReport(cfg.baseline)
+		if err != nil {
+			return err
+		}
+		if bad := bench.CompareBaseline(base, report); len(bad) > 0 {
+			for _, line := range bad {
+				fmt.Fprintf(out, "perf gate: %s\n", line)
+			}
+			return fmt.Errorf("perf gate: %d regression(s) against %s", len(bad), cfg.baseline)
+		}
+		fmt.Fprintf(out, "perf gate ok: %d deterministic rows within 20%% of %s\n",
+			bench.GatedRows(base), cfg.baseline)
 	}
 	return nil
 }

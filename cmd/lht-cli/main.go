@@ -51,6 +51,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		retry   = fs.Bool("retry", true, "retry transient node faults with backoff (each retry costs one DHT-lookup)")
 		scrub   = fs.Bool("scrub", false, "verify and repair the tree's structural invariants, print the report, and exit")
 		trace   = fs.Int("trace", 0, "after the command, print its last N DHT operations (kind, key, phase, duration, outcome)")
+		wire    = fs.String("wire", "binary", "wire format to the nodes: binary (framed, pipelined) or gob (legacy)")
+		conns   = fs.Int("conns", 0, "pipelined connections per node on the binary wire (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,8 +67,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		defer cancel()
 	}
 
+	w, err := tcpnet.ParseWire(*wire)
+	if err != nil {
+		return err
+	}
+	dialOpts := []tcpnet.Option{tcpnet.WithWire(w)}
+	if *conns > 0 {
+		dialOpts = append(dialOpts, tcpnet.WithPoolSize(*conns))
+	}
 	lht.RegisterGobTypes()
-	client, err := tcpnet.DialContext(ctx, strings.Split(*nodes, ","))
+	client, err := tcpnet.DialContext(ctx, strings.Split(*nodes, ","), dialOpts...)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// The CI perf gate diffs bench reports across commits. Only rows that are
+// deterministic functions of the workload may gate a build: counted costs
+// (round trips, allocations per operation) reproduce exactly on any
+// machine, while timed rates (ops/sec, latency percentiles) move with the
+// hardware and would flake. gatedResult picks the former by YLabel.
+func gatedResult(r Result) bool {
+	y := strings.ToLower(r.YLabel)
+	return strings.Contains(y, "round trips") || strings.Contains(y, "allocs/op")
+}
+
+// LoadReport reads a bench report written by Report.WriteFile.
+func LoadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: read report: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: parse report %s: %w", path, err)
+	}
+	if r.Schema != ReportSchema {
+		return nil, fmt.Errorf("bench: report %s has schema %q, want %q", path, r.Schema, ReportSchema)
+	}
+	return &r, nil
+}
+
+// regressionSlack is the multiplicative headroom a gated row gets over
+// its baseline, plus an absolute grace so near-zero baselines (e.g. 4
+// allocs/op) do not gate on a single extra allocation.
+const (
+	regressionSlack = 1.20
+	regressionGrace = 0.5
+)
+
+// CompareBaseline diffs the deterministic rows of current against
+// baseline and returns one human-readable line per violation: a gated
+// row whose value exceeds its baseline by more than 20% (plus a small
+// absolute grace), or a gated baseline row the current run no longer
+// produces. An empty slice means the gate passes. Runs with different
+// options are not comparable — the deterministic rows are functions of
+// the workload parameters — so mismatched options are themselves a
+// violation.
+func CompareBaseline(baseline, current *Report) []string {
+	var bad []string
+	bo, co := baseline.Options, current.Options
+	bo.Agg, co.Agg = nil, nil
+	if bo != co {
+		bad = append(bad, fmt.Sprintf("options differ: baseline %+v vs current %+v (gated rows depend on them)", bo, co))
+		return bad
+	}
+
+	cur := map[string]map[string]map[float64]float64{}
+	for _, res := range current.Results {
+		series := map[string]map[float64]float64{}
+		for _, s := range res.Series {
+			pts := map[float64]float64{}
+			for _, p := range s.Points {
+				pts[p.X] = p.Y
+			}
+			series[s.Name] = pts
+		}
+		cur[res.Name] = series
+	}
+
+	for _, res := range baseline.Results {
+		if !gatedResult(res.Result) {
+			continue
+		}
+		for _, s := range res.Series {
+			for _, p := range s.Points {
+				got, ok := cur[res.Name][s.Name][p.X]
+				if !ok {
+					bad = append(bad, fmt.Sprintf("%s / %s: row x=%g missing from the current report", res.Name, s.Name, p.X))
+					continue
+				}
+				if limit := p.Y*regressionSlack + regressionGrace; got > limit {
+					bad = append(bad, fmt.Sprintf("%s / %s at x=%g: %g regressed past baseline %g (limit %g)",
+						res.Name, s.Name, p.X, got, p.Y, limit))
+				}
+			}
+		}
+	}
+	return bad
+}
+
+// GatedRows counts the rows of a report the perf gate would compare,
+// so callers can refuse a gate run that checked nothing.
+func GatedRows(r *Report) int {
+	n := 0
+	for _, res := range r.Results {
+		if !gatedResult(res.Result) {
+			continue
+		}
+		for _, s := range res.Series {
+			n += len(s.Points)
+		}
+	}
+	return n
+}

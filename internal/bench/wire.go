@@ -1,0 +1,619 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"runtime"
+	"sort"
+	"time"
+
+	"lht/internal/dht"
+	"lht/internal/lht"
+	"lht/internal/record"
+	"lht/internal/tcpnet"
+	"lht/internal/workload"
+)
+
+// The tcpnet-backed experiments ship lht buckets across a real socket, so
+// the stored type must be gob-registered exactly as an embedding process
+// (lht.RegisterGobTypes) would register it.
+func init() { gob.Register(&lht.Bucket{}) }
+
+// wireCluster is a set of in-process tcpnet servers backing the wire
+// experiments.
+type wireCluster struct {
+	servers []*tcpnet.Server
+	addrs   []string
+}
+
+// startWireCluster boots n servers. When want is non-empty the servers
+// bind exactly those addresses, retrying briefly while the previous
+// owner's socket winds down: consistent hashing — and with it the
+// per-node batch grouping the servers count — is a function of the
+// addresses, so rebinding them keeps sequential clusters comparable.
+func startWireCluster(n int, want []string) (*wireCluster, error) {
+	cl := &wireCluster{}
+	for i := 0; i < n; i++ {
+		var ln net.Listener
+		var err error
+		if len(want) > 0 {
+			for try := 0; try < 200; try++ {
+				ln, err = net.Listen("tcp", want[i])
+				if err == nil {
+					break
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		} else {
+			ln, err = net.Listen("tcp", "127.0.0.1:0")
+		}
+		if err != nil {
+			cl.close()
+			return nil, fmt.Errorf("bench: wire cluster listen: %w", err)
+		}
+		srv := tcpnet.NewServer()
+		go func() { _ = srv.Serve(ln) }()
+		cl.servers = append(cl.servers, srv)
+		cl.addrs = append(cl.addrs, ln.Addr().String())
+	}
+	return cl, nil
+}
+
+func (cl *wireCluster) close() {
+	for _, s := range cl.servers {
+		_ = s.Close()
+	}
+}
+
+// wireServed sums the cost-model counters the cluster's servers charged.
+type wireServed struct {
+	Lookups, FailedGets, BatchOps, BatchedKeys, RoundTrips int64
+}
+
+func (cl *wireCluster) served() wireServed {
+	var tot wireServed
+	for _, s := range cl.servers {
+		f := s.Metrics().Flat()
+		tot.Lookups += f.Lookups
+		tot.FailedGets += f.FailedGets
+		tot.BatchOps += f.BatchOps
+		tot.BatchedKeys += f.BatchedKeys
+		tot.RoundTrips += f.RoundTrips()
+	}
+	return tot
+}
+
+// wireValueSizes spans the payload range the codec ablation sweeps.
+var wireValueSizes = []int{16, 256, 4096}
+
+// RunWireAblation is ablation A8: the framed binary wire protocol versus
+// the legacy gob wire, measured end to end over real TCP connections to
+// in-process tcpnet servers. Three results: allocations per operation
+// (the deterministic row the CI perf gate diffs), throughput (client
+// kops/sec on Get plus batched bulk-load krecords/sec through the
+// index), and Get tail latency.
+//
+// Before measuring, the run pins the two codecs to each other: the
+// identical index workload over each wire must produce byte-identical
+// tree state and byte-identical server-side cost-model counters — the
+// codec may change how bytes travel, never what the index observes or
+// what the cost model charges. Any divergence fails the run.
+func RunWireAblation(o Options) (Result, Result, Result, error) {
+	o = o.WithDefaults()
+	allocs := Result{
+		Name:   "A8",
+		Title:  "Wire codec: allocations per operation (framed binary vs gob)",
+		XLabel: "value size (bytes)",
+		YLabel: "allocs/op",
+	}
+	thru := Result{
+		Name:   "A8b",
+		Title:  "Wire codec: throughput (framed binary vs gob)",
+		XLabel: "value size (bytes)",
+		YLabel: "kops/sec (Get) | krecords/sec (bulk load)",
+	}
+	tail := Result{
+		Name:   "A8c",
+		Title:  "Wire codec: Get tail latency (framed binary vs gob)",
+		XLabel: "value size (bytes)",
+		YLabel: "p99 microseconds",
+	}
+
+	if err := wireOracle(o); err != nil {
+		return allocs, thru, tail, err
+	}
+
+	arms := []struct {
+		name string
+		wire tcpnet.Wire
+	}{
+		{"binary", tcpnet.WireBinary},
+		{"gob", tcpnet.WireGob},
+	}
+	xs := float64s(wireValueSizes)
+	for _, arm := range arms {
+		var getAllocs, putAllocs, getKops, loadRate, p99 []float64
+		for _, vs := range wireValueSizes {
+			st, err := measureWire(o, arm.wire, vs)
+			if err != nil {
+				return allocs, thru, tail, fmt.Errorf("bench: wire %s/%d: %w", arm.name, vs, err)
+			}
+			getAllocs = append(getAllocs, st.getAllocs)
+			putAllocs = append(putAllocs, st.putAllocs)
+			getKops = append(getKops, st.getKops)
+			loadRate = append(loadRate, st.loadRate)
+			p99 = append(p99, st.p99)
+		}
+		allocs.Series = append(allocs.Series,
+			meanSeries(arm.name+" Get", xs, [][]float64{getAllocs}),
+			meanSeries(arm.name+" Put", xs, [][]float64{putAllocs}))
+		thru.Series = append(thru.Series,
+			meanSeries(arm.name+" Get kops/s", xs, [][]float64{getKops}),
+			meanSeries(arm.name+" load krec/s", xs, [][]float64{loadRate}))
+		tail.Series = append(tail.Series,
+			meanSeries(arm.name+" Get p99 us", xs, [][]float64{p99}))
+	}
+	return allocs, thru, tail, nil
+}
+
+// wireStats are one codec's measurements at one value size.
+type wireStats struct {
+	getAllocs float64 // allocations per Get round trip, min over reps
+	putAllocs float64 // allocations per Put round trip, min over reps
+	getKops   float64 // Get throughput, best rep
+	p99       float64 // Get p99 latency in microseconds, best rep
+	loadRate  float64 // batched index bulk load, krecords/sec, best rep
+}
+
+func measureWire(o Options, wire tcpnet.Wire, valSize int) (wireStats, error) {
+	var st wireStats
+
+	// Point ops against a single node: one server isolates codec cost from
+	// key placement.
+	cl, err := startWireCluster(1, nil)
+	if err != nil {
+		return st, err
+	}
+	defer cl.close()
+	c, err := tcpnet.Dial(cl.addrs, tcpnet.WithWire(wire))
+	if err != nil {
+		return st, err
+	}
+	defer func() { _ = c.Close() }()
+
+	ctx := context.Background()
+	val := bytes.Repeat([]byte("v"), valSize)
+	if err := c.Put(ctx, "bench", val); err != nil {
+		return st, err
+	}
+	n := 2 * o.Queries
+	st.getAllocs, st.getKops, st.p99, err = measureOp(n, func(int) error {
+		_, err := c.Get(ctx, "bench")
+		return err
+	})
+	if err != nil {
+		return st, err
+	}
+	st.putAllocs, _, _, err = measureOp(n, func(int) error {
+		return c.Put(ctx, "bench", val)
+	})
+	if err != nil {
+		return st, err
+	}
+
+	st.loadRate, err = measureLoad(o, wire, valSize)
+	return st, err
+}
+
+// measureOp runs op n times per rep, three reps, and reports the minimum
+// allocations per op across reps plus the throughput and p99 latency of
+// the fastest rep. Allocations come from runtime.MemStats Mallocs deltas,
+// which count the whole in-process round trip — client encode/decode,
+// server service, and both ends' connection goroutines — so the number is
+// an honest end-to-end cost, not just the client codec. The minimum
+// across reps sheds warmup effects (pool fills, map growth) without
+// averaging away the steady state.
+func measureOp(n int, op func(int) error) (allocsPerOp, kops, p99us float64, err error) {
+	for i := 0; i < n/10+1; i++ {
+		if err := op(i); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	lat := make([]time.Duration, n)
+	allocsPerOp = math.MaxFloat64
+	best := time.Duration(math.MaxInt64)
+	var ms0, ms1 runtime.MemStats
+	for rep := 0; rep < 3; rep++ {
+		runtime.ReadMemStats(&ms0)
+		t0 := time.Now()
+		for i := 0; i < n; i++ {
+			s := time.Now()
+			if err := op(i); err != nil {
+				return 0, 0, 0, err
+			}
+			lat[i] = time.Since(s)
+		}
+		elapsed := time.Since(t0)
+		runtime.ReadMemStats(&ms1)
+		if a := float64(ms1.Mallocs-ms0.Mallocs) / float64(n); a < allocsPerOp {
+			allocsPerOp = a
+		}
+		if elapsed < best {
+			best = elapsed
+			sorted := append([]time.Duration(nil), lat...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			p99us = float64(sorted[min(n-1, n*99/100)].Microseconds())
+		}
+	}
+	kops = float64(n) / best.Seconds() / 1000
+	return allocsPerOp, kops, p99us, nil
+}
+
+// measureLoad times a batched bulk load through the DHT batch plane:
+// records ship as PutBatch rounds of 64 raw []byte values, several
+// rounds in flight across a 3-node cluster, best of two runs, in
+// krecords/sec. Raw values are the framed wire's sweet spot — they
+// travel tag-prefixed with zero serialization work while the legacy wire
+// gob-encodes every one — and in-flight rounds are the pipelined
+// multiplexer's: the legacy wire admits one blocking request per
+// connection, so concurrent rounds to the same node serialize.
+func measureLoad(o Options, wire tcpnet.Wire, valSize int) (float64, error) {
+	nrec := 8 * o.Queries
+	val := bytes.Repeat([]byte("v"), valSize)
+	kvs := make([]dht.KV, nrec)
+	for i := range kvs {
+		kvs[i] = dht.KV{Key: fmt.Sprintf("load/%06d", i), Val: val}
+	}
+	var best float64
+	for rep := 0; rep < 2; rep++ {
+		rate, err := loadOnce(wire, kvs)
+		if err != nil {
+			return 0, err
+		}
+		if rate > best {
+			best = rate
+		}
+	}
+	return best, nil
+}
+
+// loadOnce runs one timed load: loadWorkers goroutines strip-mine the
+// records in rounds of loadBatch keys each.
+func loadOnce(wire tcpnet.Wire, kvs []dht.KV) (float64, error) {
+	const (
+		loadBatch   = 64
+		loadWorkers = 4
+	)
+	cl, err := startWireCluster(3, nil)
+	if err != nil {
+		return 0, err
+	}
+	defer cl.close()
+	c, err := tcpnet.Dial(cl.addrs, tcpnet.WithWire(wire))
+	if err != nil {
+		return 0, err
+	}
+	defer func() { _ = c.Close() }()
+
+	ctx := context.Background()
+	var chunks [][]dht.KV
+	for len(kvs) > 0 {
+		n := min(loadBatch, len(kvs))
+		chunks = append(chunks, kvs[:n])
+		kvs = kvs[n:]
+	}
+	t0 := time.Now()
+	errs := make(chan error, loadWorkers)
+	for w := 0; w < loadWorkers; w++ {
+		go func(w int) {
+			for i := w; i < len(chunks); i += loadWorkers {
+				for _, err := range c.PutBatch(ctx, chunks[i]) {
+					if err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	var firstErr error
+	total := 0
+	for w := 0; w < loadWorkers; w++ {
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	for _, ch := range chunks {
+		total += len(ch)
+	}
+	return float64(total) / time.Since(t0).Seconds() / 1000, nil
+}
+
+// wireOracle runs the identical index workload over each codec against
+// clusters bound to the same addresses and requires byte-identical tree
+// state and byte-identical server-side counters.
+func wireOracle(o Options) error {
+	var addrs []string
+	binTree, binServed, err := wireOracleArm(o, &addrs, tcpnet.WireBinary)
+	if err != nil {
+		return fmt.Errorf("bench: wire oracle (binary): %w", err)
+	}
+	gobTree, gobServed, err := wireOracleArm(o, &addrs, tcpnet.WireGob)
+	if err != nil {
+		return fmt.Errorf("bench: wire oracle (gob): %w", err)
+	}
+	if !bytes.Equal(binTree, gobTree) {
+		return fmt.Errorf("bench: tree state diverges across codecs: %d vs %d bytes", len(binTree), len(gobTree))
+	}
+	if binServed != gobServed {
+		return fmt.Errorf("bench: cost-model counters diverge across codecs: binary %+v, gob %+v", binServed, gobServed)
+	}
+	if binServed.Lookups == 0 || binServed.BatchOps == 0 {
+		return fmt.Errorf("bench: wire oracle workload did not exercise the cost model: %+v", binServed)
+	}
+	return nil
+}
+
+// wireOracleArm boots a 3-node cluster (fresh ports on the first call,
+// recorded into addrs; the same ports on the second, so key ownership
+// matches), runs a deterministic index workload over the given wire, and
+// returns the gob-encoded leaves plus the summed server counters.
+func wireOracleArm(o Options, addrs *[]string, wire tcpnet.Wire) ([]byte, wireServed, error) {
+	cl, err := startWireCluster(3, *addrs)
+	if err != nil {
+		return nil, wireServed{}, err
+	}
+	defer cl.close()
+	if len(*addrs) == 0 {
+		*addrs = append(*addrs, cl.addrs...)
+	}
+	c, err := tcpnet.Dial(cl.addrs, tcpnet.WithWire(wire))
+	if err != nil {
+		return nil, wireServed{}, err
+	}
+	defer func() { _ = c.Close() }()
+
+	// Small thresholds so a small workload still splits and merges.
+	ix, err := lht.New(c, lht.Config{SplitThreshold: 8, MergeThreshold: 6, Depth: 20, Aggregate: o.Agg})
+	if err != nil {
+		return nil, wireServed{}, err
+	}
+	rng := rand.New(rand.NewSource(o.Seed + 42))
+	recs := make([]record.Record, 200)
+	for i := range recs {
+		recs[i] = record.Record{Key: rng.Float64(), Value: []byte(fmt.Sprintf("r%d", i))}
+	}
+	if _, err := ix.BulkLoad(recs); err != nil {
+		return nil, wireServed{}, err
+	}
+	keys := make([]float64, 0, 120)
+	for i := 0; i < 120; i++ {
+		k := rng.Float64()
+		keys = append(keys, k)
+		if _, err := ix.Insert(record.Record{Key: k, Value: []byte("ins")}); err != nil {
+			return nil, wireServed{}, err
+		}
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := ix.Delete(keys[i]); err != nil {
+			return nil, wireServed{}, err
+		}
+	}
+	for i := 40; i < 80; i++ {
+		if _, _, err := ix.Search(keys[i]); err != nil {
+			return nil, wireServed{}, err
+		}
+	}
+	for i := 0; i < 20; i++ {
+		lo := rng.Float64() * 0.9
+		if _, _, err := ix.Range(lo, lo+0.1); err != nil {
+			return nil, wireServed{}, err
+		}
+	}
+	leaves, err := ix.Leaves()
+	if err != nil {
+		return nil, wireServed{}, err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(leaves); err != nil {
+		return nil, wireServed{}, err
+	}
+	return buf.Bytes(), cl.served(), nil
+}
+
+// Sweep dimensions: batched-operation cap and record payload size.
+var (
+	sweepBatchSizes = []int{1, 8, 64, 256}
+	sweepValueSizes = []int{16, 64, 256, 1024}
+	sweepSubstrates = []string{"local", "tcpnet", "tcpnet-gob"}
+)
+
+// sweepValueBase is the payload size held fixed while the batch-size
+// dimension sweeps (and vice versa: sweepBatchBase while value size
+// sweeps).
+const (
+	sweepValueBase = 64
+	sweepBatchBase = 64
+)
+
+// RunSweep is the wire-protocol parameter sweep: one deterministic index
+// workload — a batched bulk load of size records followed by exact-match
+// searches and range sweeps — run across substrate {instrumented local
+// map, tcpnet framed binary, tcpnet legacy gob} × batch size × leaf-cache
+// setting × value size.
+//
+// It emits three results. The first carries the deterministic cost rows
+// the CI perf gate diffs: round trips for the whole workload, per batch
+// size, cache on and off. Round trips are counted client-side (Lookups -
+// BatchedKeys + BatchOps), so they are identical across substrates and
+// value sizes by construction — the run fails if any cell diverges,
+// which pins the wire protocol to the cost model. The other two report
+// each substrate's measured throughput against batch size and value
+// size.
+func RunSweep(o Options, size int) (Result, Result, Result, error) {
+	o = o.WithDefaults()
+	rt := Result{
+		Name:   "Sweep",
+		Title:  fmt.Sprintf("Wire sweep: round trips per workload (%d records + %d queries)", size, o.Queries),
+		XLabel: "batch size (keys)",
+		YLabel: "round trips",
+	}
+	tpBatch := Result{
+		Name:   "Sweepb",
+		Title:  "Wire sweep: throughput vs batch size (cache off, 64 B values)",
+		XLabel: "batch size (keys)",
+		YLabel: "kops/sec",
+	}
+	tpValue := Result{
+		Name:   "Sweepc",
+		Title:  "Wire sweep: throughput vs value size (cache off, batch 64)",
+		XLabel: "value size (bytes)",
+		YLabel: "kops/sec",
+	}
+
+	// Batch-size dimension: substrate x batch x cache at the base value
+	// size.
+	rtRows := map[bool][]float64{}
+	tpRows := map[string][]float64{}
+	var rtBatchBase float64 // cache-off round trips at the base batch size
+	for _, b := range sweepBatchSizes {
+		for _, cache := range []bool{false, true} {
+			var want float64
+			for i, sub := range sweepSubstrates {
+				cell, err := runSweepCell(o, sub, b, sweepValueBase, cache, size)
+				if err != nil {
+					return rt, tpBatch, tpValue, fmt.Errorf("bench: sweep %s b=%d cache=%t: %w", sub, b, cache, err)
+				}
+				if i == 0 {
+					want = cell.roundTrips
+				} else if cell.roundTrips != want {
+					return rt, tpBatch, tpValue, fmt.Errorf(
+						"bench: sweep round trips diverge at b=%d cache=%t: %s charges %g, %s charges %g",
+						b, cache, sweepSubstrates[0], want, sub, cell.roundTrips)
+				}
+				if !cache {
+					tpRows[sub] = append(tpRows[sub], cell.kops)
+				}
+			}
+			rtRows[cache] = append(rtRows[cache], want)
+			if !cache && b == sweepBatchBase {
+				rtBatchBase = want
+			}
+		}
+	}
+
+	// Value-size dimension: substrate x value at the base batch size.
+	// Round trips must not move with the payload.
+	tp2Rows := map[string][]float64{}
+	for _, vs := range sweepValueSizes {
+		for _, sub := range sweepSubstrates {
+			cell, err := runSweepCell(o, sub, sweepBatchBase, vs, false, size)
+			if err != nil {
+				return rt, tpBatch, tpValue, fmt.Errorf("bench: sweep %s v=%d: %w", sub, vs, err)
+			}
+			if cell.roundTrips != rtBatchBase {
+				return rt, tpBatch, tpValue, fmt.Errorf(
+					"bench: sweep round trips moved with value size at %s v=%d: %g vs %g",
+					sub, vs, cell.roundTrips, rtBatchBase)
+			}
+			tp2Rows[sub] = append(tp2Rows[sub], cell.kops)
+		}
+	}
+
+	bxs := float64s(sweepBatchSizes)
+	rt.Series = append(rt.Series,
+		meanSeries("cache off", bxs, [][]float64{rtRows[false]}),
+		meanSeries("cache on", bxs, [][]float64{rtRows[true]}))
+	for _, sub := range sweepSubstrates {
+		tpBatch.Series = append(tpBatch.Series, meanSeries(sub, bxs, [][]float64{tpRows[sub]}))
+		tpValue.Series = append(tpValue.Series, meanSeries(sub, float64s(sweepValueSizes), [][]float64{tp2Rows[sub]}))
+	}
+	return rt, tpBatch, tpValue, nil
+}
+
+// sweepCell is one parameter combination's measurement.
+type sweepCell struct {
+	roundTrips float64
+	kops       float64
+}
+
+// runSweepCell builds the substrate, runs the sweep workload through a
+// fresh index, and reports the client-observed round trips plus wall
+// throughput.
+func runSweepCell(o Options, substrate string, batch, valSize int, cache bool, size int) (sweepCell, error) {
+	var d dht.DHT
+	switch substrate {
+	case "local":
+		d = dht.NewLocal()
+	case "tcpnet", "tcpnet-gob":
+		cl, err := startWireCluster(3, nil)
+		if err != nil {
+			return sweepCell{}, err
+		}
+		defer cl.close()
+		wire := tcpnet.WireBinary
+		if substrate == "tcpnet-gob" {
+			wire = tcpnet.WireGob
+		}
+		c, err := tcpnet.Dial(cl.addrs, tcpnet.WithWire(wire))
+		if err != nil {
+			return sweepCell{}, err
+		}
+		defer func() { _ = c.Close() }()
+		d = c
+	default:
+		return sweepCell{}, fmt.Errorf("unknown substrate %q", substrate)
+	}
+
+	gen := workload.NewGenerator(workload.Uniform, o.Seed)
+	recs := gen.Records(size)
+	val := bytes.Repeat([]byte("v"), valSize)
+	for i := range recs {
+		recs[i].Value = val
+	}
+	ix, err := lht.New(d, lht.Config{
+		SplitThreshold: o.Theta,
+		MergeThreshold: o.Theta / 2,
+		Depth:          o.Depth,
+		BatchSize:      batch,
+		LeafCache:      cache,
+		Aggregate:      o.Agg,
+	})
+	if err != nil {
+		return sweepCell{}, err
+	}
+
+	t0 := time.Now()
+	if _, err := ix.BulkLoad(recs); err != nil {
+		return sweepCell{}, err
+	}
+	rng := rand.New(rand.NewSource(o.Seed + 101))
+	for q := 0; q < o.Queries; q++ {
+		if _, _, err := ix.Search(recs[rng.Intn(len(recs))].Key); err != nil {
+			return sweepCell{}, err
+		}
+	}
+	for q := 0; q < 20; q++ {
+		lo := rng.Float64() * 0.95
+		if _, _, err := ix.Range(lo, lo+0.05); err != nil {
+			return sweepCell{}, err
+		}
+	}
+	elapsed := time.Since(t0)
+
+	flat := ix.Metrics().Flat()
+	ops := size + o.Queries + 20
+	return sweepCell{
+		roundTrips: float64(flat.RoundTrips()),
+		kops:       float64(ops) / elapsed.Seconds() / 1000,
+	}, nil
+}

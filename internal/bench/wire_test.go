@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunWireAblation runs A8 at a reduced scale: the cross-codec oracle
+// must hold, and the headline claim — the framed binary wire allocates
+// less than gob on every operation at every value size — must reproduce.
+func TestRunWireAblation(t *testing.T) {
+	o := Options{Theta: 16, Depth: 12, Trials: 1, Queries: 60, Seed: 1}
+	allocs, thru, tail, err := RunWireAblation(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(allocs.Series) != 4 || len(thru.Series) != 4 || len(tail.Series) != 2 {
+		t.Fatalf("series counts = %d/%d/%d", len(allocs.Series), len(thru.Series), len(tail.Series))
+	}
+	byName := map[string][]Point{}
+	for _, s := range allocs.Series {
+		if len(s.Points) != len(wireValueSizes) {
+			t.Fatalf("series %q has %d points, want %d", s.Name, len(s.Points), len(wireValueSizes))
+		}
+		byName[s.Name] = s.Points
+	}
+	for _, op := range []string{"Get", "Put"} {
+		bin, gob := byName["binary "+op], byName["gob "+op]
+		for i := range bin {
+			if bin[i].Y >= gob[i].Y {
+				t.Errorf("%s at %g B: binary %g allocs/op not below gob %g",
+					op, bin[i].X, bin[i].Y, gob[i].Y)
+			}
+		}
+	}
+	if !gatedResult(allocs) {
+		t.Error("the allocs/op result must be eligible for the perf gate")
+	}
+	if gatedResult(thru) || gatedResult(tail) {
+		t.Error("timed results must not be eligible for the perf gate")
+	}
+}
+
+// TestRunSweep runs the parameter sweep at a reduced scale. The sweep
+// itself asserts the strong property (round trips identical across
+// substrates and value sizes); here we check the emitted shape and that
+// batching monotonically reduces the deterministic round-trip rows.
+func TestRunSweep(t *testing.T) {
+	o := Options{Theta: 16, Depth: 12, Trials: 1, Queries: 30, Seed: 1}
+	rt, tpBatch, tpValue, err := RunSweep(o, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.Series) != 2 {
+		t.Fatalf("rt series = %d, want cache off + cache on", len(rt.Series))
+	}
+	for _, s := range rt.Series {
+		if len(s.Points) != len(sweepBatchSizes) {
+			t.Fatalf("rt series %q has %d points", s.Name, len(s.Points))
+		}
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].Y > s.Points[i-1].Y {
+				t.Errorf("rt series %q not monotone: batch %g costs %g, batch %g costs %g",
+					s.Name, s.Points[i-1].X, s.Points[i-1].Y, s.Points[i].X, s.Points[i].Y)
+			}
+		}
+		if s.Points[0].Y <= 0 {
+			t.Errorf("rt series %q has empty rows", s.Name)
+		}
+	}
+	if len(tpBatch.Series) != len(sweepSubstrates) || len(tpValue.Series) != len(sweepSubstrates) {
+		t.Fatalf("throughput series = %d/%d, want %d each",
+			len(tpBatch.Series), len(tpValue.Series), len(sweepSubstrates))
+	}
+	if !gatedResult(rt) || gatedResult(tpBatch) || gatedResult(tpValue) {
+		t.Error("only the round-trip result may be eligible for the perf gate")
+	}
+}
+
+// report builds a minimal report for the gate tests.
+func report(o Options, results ...Result) *Report {
+	r := NewReport(o)
+	for _, res := range results {
+		r.Add(res, 0)
+	}
+	return r
+}
+
+func TestCompareBaseline(t *testing.T) {
+	o := Options{}.WithDefaults()
+	gated := func(y float64) Result {
+		return Result{Name: "A8", YLabel: "allocs/op",
+			Series: []Series{{Name: "binary Get", Points: []Point{{X: 16, Y: y}}}}}
+	}
+	timed := func(y float64) Result {
+		return Result{Name: "A8b", YLabel: "kops/sec",
+			Series: []Series{{Name: "binary Get", Points: []Point{{X: 16, Y: y}}}}}
+	}
+
+	base := report(o, gated(10), timed(100))
+
+	// Within the 20% slack: ok; improvements always ok.
+	if bad := CompareBaseline(base, report(o, gated(11.9), timed(100))); len(bad) != 0 {
+		t.Errorf("within-slack run flagged: %v", bad)
+	}
+	if bad := CompareBaseline(base, report(o, gated(3), timed(100))); len(bad) != 0 {
+		t.Errorf("improvement flagged: %v", bad)
+	}
+	// Past the slack: flagged.
+	if bad := CompareBaseline(base, report(o, gated(13), timed(100))); len(bad) != 1 {
+		t.Errorf("regression not flagged exactly once: %v", bad)
+	}
+	// Timed rows never gate, however far they move.
+	if bad := CompareBaseline(base, report(o, gated(10), timed(1))); len(bad) != 0 {
+		t.Errorf("timed row gated: %v", bad)
+	}
+	// A gated baseline row the current run no longer produces is itself a
+	// violation — a silently vanished row must not pass the gate.
+	if bad := CompareBaseline(base, report(o, timed(100))); len(bad) != 1 || !strings.Contains(bad[0], "missing") {
+		t.Errorf("missing row not flagged: %v", bad)
+	}
+	// Near-zero baselines get the absolute grace: 4 -> 5 allocs is not a
+	// 20% gate trip.
+	small := report(o, gated(4))
+	if bad := CompareBaseline(small, report(o, gated(5.2))); len(bad) != 0 {
+		t.Errorf("grace not applied: %v", bad)
+	}
+	// Mismatched options make runs incomparable.
+	o2 := o
+	o2.Queries = o.Queries + 1
+	if bad := CompareBaseline(base, report(o2, gated(10), timed(100))); len(bad) != 1 || !strings.Contains(bad[0], "options differ") {
+		t.Errorf("option mismatch not flagged: %v", bad)
+	}
+
+	if n := GatedRows(base); n != 1 {
+		t.Errorf("GatedRows = %d, want 1", n)
+	}
+}
+
+func TestLoadReportRoundTrip(t *testing.T) {
+	o := Options{}.WithDefaults()
+	r := report(o, Result{Name: "A8", YLabel: "allocs/op",
+		Series: []Series{{Name: "s", Points: []Point{{X: 1, Y: 2}}}}})
+	path := t.TempDir() + "/report.json"
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := CompareBaseline(got, r); len(bad) != 0 {
+		t.Errorf("round-tripped report does not gate cleanly against itself: %v", bad)
+	}
+	if _, err := LoadReport(t.TempDir() + "/missing.json"); err == nil {
+		t.Error("missing report loaded without error")
+	}
+}

@@ -12,13 +12,17 @@ import (
 // flaky-but-alive substrates set CrashRule.Transient instead).
 var ErrCrashed = errors.New("dht: injected crash")
 
-// OpKind identifies one DHT operation class for crash scheduling. Batched
-// operations decompose into their per-key kinds (OpGet / OpPut), so a
-// schedule counts ops identically whether or not the substrate batches.
+// OpKind identifies one DHT operation class. Crash schedules use it to
+// match operations (batched operations decompose into their per-key kinds,
+// OpGet / OpPut, so a schedule counts ops identically whether or not the
+// substrate batches), and wire substrates use the same enumeration as
+// their on-the-wire op byte: internal/tcpnet's framed protocol carries
+// uint8(OpKind) in every frame header, so a packet capture and a crash
+// schedule name operations identically.
 type OpKind uint8
 
 const (
-	// OpAny matches every operation.
+	// OpAny matches every operation (never appears on the wire).
 	OpAny OpKind = iota
 	// OpGet matches Get (and each key of a GetBatch).
 	OpGet
@@ -30,6 +34,17 @@ const (
 	OpRemove
 	// OpWrite matches Write.
 	OpWrite
+
+	// The kinds below are wire-level only: they identify whole protocol
+	// messages, not index-visible operation classes, so crash schedules
+	// never match them directly (a batch decomposes into OpGet/OpPut).
+
+	// OpPing is the wire-level liveness probe.
+	OpPing
+	// OpGetBatch is the wire-level framed multi-get.
+	OpGetBatch
+	// OpPutBatch is the wire-level framed multi-put.
+	OpPutBatch
 )
 
 // String names the kind for logs and test failures.
@@ -47,6 +62,12 @@ func (k OpKind) String() string {
 		return "remove"
 	case OpWrite:
 		return "write"
+	case OpPing:
+		return "ping"
+	case OpGetBatch:
+		return "getbatch"
+	case OpPutBatch:
+		return "putbatch"
 	}
 	return "unknown"
 }

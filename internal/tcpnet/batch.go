@@ -10,6 +10,12 @@ import (
 
 var _ dht.Batcher = (*Client)(nil)
 
+// malformedResp wraps a response-parse failure: the server (or something
+// between) broke framing, which is a transport-level, retryable fault.
+func malformedResp(err error) error {
+	return dht.MarkTransient(fmt.Errorf("tcpnet: malformed response: %w", err))
+}
+
 // GetBatch implements dht.Batcher: the batch's keys are grouped by owning
 // node and each group travels as one framed multi-op message, the round
 // trips to distinct nodes running concurrently. A transport failure fails
@@ -20,28 +26,12 @@ func (c *Client) GetBatch(ctx context.Context, keys []string) ([]dht.Value, []er
 	var wg sync.WaitGroup
 	for n, slots := range c.groupByOwner(keys) {
 		wg.Add(1)
-		go func(n *nodeConn, slots []int) {
+		go func(n *clientNode, slots []int) {
 			defer wg.Done()
-			req := request{Op: opGetBatch, Keys: make([]string, len(slots))}
-			for j, i := range slots {
-				req.Keys[j] = keys[i]
-			}
-			replies, err := n.batchRoundTrip(ctx, req, len(slots))
-			if err != nil {
-				for _, i := range slots {
-					errs[i] = err
-				}
-				return
-			}
-			for j, i := range slots {
-				switch replies[j].Err {
-				case "":
-					vals[i], errs[i] = decodeValue(replies[j].Val)
-				case errNotFound:
-					errs[i] = dht.ErrNotFound
-				default:
-					errs[i] = fmt.Errorf("tcpnet: server error: %s", replies[j].Err)
-				}
+			if c.wire == WireGob {
+				c.gobGetBatch(ctx, n, keys, slots, vals, errs)
+			} else {
+				c.frameGetBatch(ctx, n, keys, slots, vals, errs)
 			}
 		}(n, slots)
 	}
@@ -59,14 +49,21 @@ func (c *Client) PutBatch(ctx context.Context, kvs []dht.KV) []error {
 	for i, kv := range kvs {
 		keys[i] = kv.Key
 	}
-	data := make([][]byte, len(kvs))
+	// Pre-encode values that need gob; on the framed wire a []byte value
+	// travels raw and needs no encoding pass at all.
+	enc := make([][]byte, len(kvs))
 	for i, kv := range kvs {
+		if c.wire != WireGob {
+			if _, ok := kv.Val.([]byte); ok {
+				continue
+			}
+		}
 		b, err := encodeValue(kv.Val)
 		if err != nil {
 			errs[i] = err
 			continue
 		}
-		data[i] = b
+		enc[i] = b
 	}
 	var wg sync.WaitGroup
 	for n, slots := range c.groupByOwner(keys) {
@@ -80,23 +77,12 @@ func (c *Client) PutBatch(ctx context.Context, kvs []dht.KV) []error {
 			continue
 		}
 		wg.Add(1)
-		go func(n *nodeConn, slots []int) {
+		go func(n *clientNode, slots []int) {
 			defer wg.Done()
-			req := request{Op: opPutBatch, KVs: make([]batchKV, len(slots))}
-			for j, i := range slots {
-				req.KVs[j] = batchKV{Key: kvs[i].Key, Val: data[i]}
-			}
-			replies, err := n.batchRoundTrip(ctx, req, len(slots))
-			if err != nil {
-				for _, i := range slots {
-					errs[i] = err
-				}
-				return
-			}
-			for j, i := range slots {
-				if replies[j].Err != "" {
-					errs[i] = fmt.Errorf("tcpnet: server error: %s", replies[j].Err)
-				}
+			if c.wire == WireGob {
+				c.gobPutBatch(ctx, n, kvs, enc, slots, errs)
+			} else {
+				c.framePutBatch(ctx, n, kvs, enc, slots, errs)
 			}
 		}(n, sendable)
 	}
@@ -106,8 +92,8 @@ func (c *Client) PutBatch(ctx context.Context, kvs []dht.KV) []error {
 
 // groupByOwner maps each owning node to the slot indices it serves, in
 // ascending slice order per node.
-func (c *Client) groupByOwner(keys []string) map[*nodeConn][]int {
-	groups := make(map[*nodeConn][]int)
+func (c *Client) groupByOwner(keys []string) map[*clientNode][]int {
+	groups := make(map[*clientNode][]int)
 	for i, k := range keys {
 		n := c.owner(k)
 		groups[n] = append(groups[n], i)
@@ -115,18 +101,171 @@ func (c *Client) groupByOwner(keys []string) map[*nodeConn][]int {
 	return groups
 }
 
-// batchRoundTrip performs one batched request and validates the reply
-// shape, so callers can index replies by slot unconditionally.
-func (n *nodeConn) batchRoundTrip(ctx context.Context, req request, want int) ([]batchReply, error) {
-	resp, err := n.roundTrip(ctx, req)
+// --- framed binary wire ---
+
+// batchCall performs one framed batch round trip and hands back a cursor
+// positioned at the first of want slots, or an error applied to the whole
+// group. The returned frame must be recycled after the slots are parsed.
+func batchCall(ctx context.Context, n *clientNode, op dht.OpKind, want int, build func([]byte) ([]byte, error)) (cursor, *[]byte, error) {
+	body, err := n.pick().call(ctx, op, build)
 	if err != nil {
-		return nil, err
+		return cursor{}, nil, err
 	}
-	if resp.Err != "" {
-		return nil, fmt.Errorf("tcpnet: server error: %s", resp.Err)
+	cur := cursor{b: (*body)[frameHeaderLen:]}
+	status, err := cur.u8()
+	if err != nil {
+		putBuf(body)
+		return cursor{}, nil, malformedResp(err)
 	}
-	if len(resp.Batch) != want {
-		return nil, fmt.Errorf("tcpnet: batch reply has %d slots, want %d", len(resp.Batch), want)
+	if status != statusOK {
+		err = serverErr(cur.rest())
+		putBuf(body)
+		return cursor{}, nil, err
 	}
-	return resp.Batch, nil
+	got, err := cur.count()
+	if err != nil {
+		putBuf(body)
+		return cursor{}, nil, malformedResp(err)
+	}
+	if got != want {
+		putBuf(body)
+		return cursor{}, nil, fmt.Errorf("tcpnet: batch reply has %d slots, want %d", got, want)
+	}
+	return cur, body, nil
+}
+
+func (c *Client) frameGetBatch(ctx context.Context, n *clientNode, keys []string, slots []int, vals []dht.Value, errs []error) {
+	cur, frame, err := batchCall(ctx, n, dht.OpGetBatch, len(slots), func(b []byte) ([]byte, error) {
+		b = appendUv(b, uint64(len(slots)))
+		for _, i := range slots {
+			b = appendLenString(b, keys[i])
+		}
+		return b, nil
+	})
+	if err != nil {
+		for _, i := range slots {
+			errs[i] = err
+		}
+		return
+	}
+	defer putBuf(frame)
+	for _, i := range slots {
+		st, err := cur.u8()
+		if err != nil {
+			errs[i] = malformedResp(err)
+			continue
+		}
+		switch st {
+		case statusOK:
+			tv, err := cur.lenBytes()
+			if err != nil {
+				errs[i] = malformedResp(err)
+				continue
+			}
+			vals[i], errs[i] = decodeTaggedValue(tv)
+		case statusNotFound:
+			errs[i] = dht.ErrNotFound
+		default:
+			msg, err := cur.lenBytes()
+			if err != nil {
+				errs[i] = malformedResp(err)
+				continue
+			}
+			errs[i] = serverErr(msg)
+		}
+	}
+}
+
+func (c *Client) framePutBatch(ctx context.Context, n *clientNode, kvs []dht.KV, enc [][]byte, slots []int, errs []error) {
+	cur, frame, err := batchCall(ctx, n, dht.OpPutBatch, len(slots), func(b []byte) ([]byte, error) {
+		b = appendUv(b, uint64(len(slots)))
+		for _, i := range slots {
+			b = appendLenString(b, kvs[i].Key)
+			if e := enc[i]; e != nil {
+				b = appendUv(b, uint64(1+len(e)))
+				b = append(b, tagGob)
+				b = append(b, e...)
+			} else {
+				raw, _ := kvs[i].Val.([]byte)
+				b = appendUv(b, uint64(1+len(raw)))
+				b = append(b, tagRaw)
+				b = append(b, raw...)
+			}
+		}
+		return b, nil
+	})
+	if err != nil {
+		for _, i := range slots {
+			errs[i] = err
+		}
+		return
+	}
+	defer putBuf(frame)
+	for _, i := range slots {
+		st, err := cur.u8()
+		if err != nil {
+			errs[i] = malformedResp(err)
+			continue
+		}
+		switch st {
+		case statusOK:
+			if _, err := cur.lenBytes(); err != nil {
+				errs[i] = malformedResp(err)
+			}
+		case statusNotFound:
+			errs[i] = dht.ErrNotFound
+		default:
+			msg, err := cur.lenBytes()
+			if err != nil {
+				errs[i] = malformedResp(err)
+				continue
+			}
+			errs[i] = serverErr(msg)
+		}
+	}
+}
+
+// --- legacy gob wire ---
+
+func (c *Client) gobGetBatch(ctx context.Context, n *clientNode, keys []string, slots []int, vals []dht.Value, errs []error) {
+	req := request{Op: opGetBatch, Keys: make([]string, len(slots))}
+	for j, i := range slots {
+		req.Keys[j] = keys[i]
+	}
+	replies, err := n.gc.batchRoundTrip(ctx, req, len(slots))
+	if err != nil {
+		for _, i := range slots {
+			errs[i] = err
+		}
+		return
+	}
+	for j, i := range slots {
+		switch replies[j].Err {
+		case "":
+			vals[i], errs[i] = decodeValue(replies[j].Val)
+		case errNotFound:
+			errs[i] = dht.ErrNotFound
+		default:
+			errs[i] = fmt.Errorf("tcpnet: server error: %s", replies[j].Err)
+		}
+	}
+}
+
+func (c *Client) gobPutBatch(ctx context.Context, n *clientNode, kvs []dht.KV, enc [][]byte, slots []int, errs []error) {
+	req := request{Op: opPutBatch, KVs: make([]batchKV, len(slots))}
+	for j, i := range slots {
+		req.KVs[j] = batchKV{Key: kvs[i].Key, Val: enc[i]}
+	}
+	replies, err := n.gc.batchRoundTrip(ctx, req, len(slots))
+	if err != nil {
+		for _, i := range slots {
+			errs[i] = err
+		}
+		return
+	}
+	for j, i := range slots {
+		if replies[j].Err != "" {
+			errs[i] = fmt.Errorf("tcpnet: server error: %s", replies[j].Err)
+		}
+	}
 }

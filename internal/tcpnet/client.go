@@ -2,96 +2,202 @@ package tcpnet
 
 import (
 	"context"
-	"encoding/gob"
 	"errors"
 	"fmt"
-	"net"
 	"sort"
 	"sync"
-	"time"
+	"sync/atomic"
 
 	"lht/internal/dht"
 	"lht/internal/hashring"
 )
 
+// Wire selects the client's wire format.
+type Wire int
+
+const (
+	// WireBinary is the framed binary protocol (see frame.go): no
+	// reflection, pooled buffers, and a pipelined multiplexer holding
+	// many requests in flight per connection. The default.
+	WireBinary Wire = iota
+	// WireGob is the legacy reflection-based gob stream with one blocking
+	// request per connection. It exists as the compat arm for the codec
+	// oracle (ablation A8) and for talking to pre-framed-protocol nodes.
+	WireGob
+)
+
+// ParseWire maps a command-line wire name ("binary" or "gob") to its
+// Wire value.
+func ParseWire(s string) (Wire, error) {
+	switch s {
+	case "binary":
+		return WireBinary, nil
+	case "gob":
+		return WireGob, nil
+	}
+	return 0, fmt.Errorf("tcpnet: unknown wire format %q (have binary, gob)", s)
+}
+
+// Option tunes a Client at dial time.
+type Option func(*clientOptions)
+
+type clientOptions struct {
+	wire     Wire
+	poolSize int
+}
+
+// WithWire selects the wire format (default WireBinary).
+func WithWire(w Wire) Option { return func(o *clientOptions) { o.wire = w } }
+
+// WithPoolSize sets how many multiplexed connections the client keeps per
+// node (default 2, minimum 1). Each connection already pipelines many
+// requests; extra connections spread very hot nodes across sockets.
+// Ignored by WireGob, which keeps the legacy one connection per node.
+func WithPoolSize(n int) Option { return func(o *clientOptions) { o.poolSize = n } }
+
 // Client implements dht.DHT over a static set of tcpnet servers: keys are
 // mapped to nodes with consistent hashing on the same 64-bit circle the
 // Chord substrate uses, so each node owns the arc ending at its hashed
-// address. It is safe for concurrent use; each node connection carries
-// one request at a time.
+// address. It is safe for concurrent use: on the default binary wire,
+// each node connection is a pipelined multiplexer carrying many requests
+// in flight at once, so concurrent callers (and the batch plane's
+// per-node fan-out) overlap their round trips instead of queueing on a
+// connection mutex.
 //
-// Contexts turn into real socket deadlines: a deadline on the context
-// bounds the dial and every read/write of that request, and cancellation
-// interrupts an in-flight round trip by closing its connection. Transport
-// failures are marked transient (dht.IsTransient) so a policy wrapper can
-// retry them; the next attempt redials lazily.
+// Contexts bound the dial of a connection, and cancellation abandons the
+// request's pending slot — the connection and everyone else's in-flight
+// requests are untouched. Transport failures are marked transient
+// (dht.IsTransient) so a policy wrapper can retry them; the next attempt
+// redials lazily, health-checking the fresh connection with a ping.
 type Client struct {
-	nodes []*nodeConn // sorted by ring ID
+	wire  Wire
+	nodes []*clientNode // sorted by ring ID
 }
 
 var _ dht.DHT = (*Client)(nil)
 
-// nodeConn is one node's connection state with lazy (re)dialing.
-type nodeConn struct {
+// clientNode is one member's connection state: a pool of multiplexed
+// connections (binary wire) or a single legacy gob connection.
+type clientNode struct {
 	id   hashring.ID
 	addr string
 
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	conns []*mconn // binary wire; round-robin
+	next  atomic.Uint32
+	gc    *gobConn // gob wire
+}
+
+// pick returns the node's next connection in round-robin order.
+func (n *clientNode) pick() *mconn {
+	if len(n.conns) == 1 {
+		return n.conns[0]
+	}
+	return n.conns[int(n.next.Add(1))%len(n.conns)]
 }
 
 // Dial builds a client for the given node addresses with no deadline; see
 // DialContext.
-func Dial(addrs []string) (*Client, error) {
-	return DialContext(context.Background(), addrs)
+func Dial(addrs []string, opts ...Option) (*Client, error) {
+	return DialContext(context.Background(), addrs, opts...)
 }
 
 // DialContext builds a client for the given node addresses and verifies
-// each node answers a ping. The context bounds the verification pings;
-// later operations carry their own contexts.
-func DialContext(ctx context.Context, addrs []string) (*Client, error) {
+// every node answers a ping, probing all nodes concurrently: the slowest
+// node bounds startup instead of the sum of all nodes, and the first hard
+// error cancels the remaining probes and is surfaced. The context bounds
+// the verification; later operations carry their own contexts.
+func DialContext(ctx context.Context, addrs []string, opts ...Option) (*Client, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("tcpnet: no node addresses")
 	}
-	c := &Client{}
+	o := clientOptions{wire: WireBinary, poolSize: 2}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.poolSize < 1 {
+		o.poolSize = 1
+	}
+	c := &Client{wire: o.wire}
 	seen := make(map[string]bool, len(addrs))
 	for _, a := range addrs {
 		if seen[a] {
 			return nil, fmt.Errorf("tcpnet: duplicate node %q", a)
 		}
 		seen[a] = true
-		c.nodes = append(c.nodes, &nodeConn{id: hashring.HashAddr(a), addr: a})
+		n := &clientNode{id: hashring.HashAddr(a), addr: a}
+		if o.wire == WireGob {
+			n.gc = &gobConn{addr: a}
+		} else {
+			for i := 0; i < o.poolSize; i++ {
+				n.conns = append(n.conns, &mconn{addr: a})
+			}
+		}
+		c.nodes = append(c.nodes, n)
 	}
 	sort.Slice(c.nodes, func(i, j int) bool { return c.nodes[i].id < c.nodes[j].id })
+
+	// Probe all members concurrently; the first failure wins and cancels
+	// the rest, so one dead node surfaces at its own dial latency.
+	vctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
 	for _, n := range c.nodes {
-		if _, err := n.roundTrip(ctx, request{Op: opPing}); err != nil {
-			return nil, fmt.Errorf("tcpnet: ping %q: %w", n.addr, err)
-		}
+		wg.Add(1)
+		go func(n *clientNode) {
+			defer wg.Done()
+			err := c.verify(vctx, n)
+			if err == nil {
+				return
+			}
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("tcpnet: ping %q: %w", n.addr, err)
+				cancel()
+			}
+			mu.Unlock()
+		}(n)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		_ = c.Close()
+		return nil, firstErr
 	}
 	return c, nil
+}
+
+// verify dials and pings one node on the appropriate wire.
+func (c *Client) verify(ctx context.Context, n *clientNode) error {
+	if c.wire == WireGob {
+		_, err := n.gc.roundTrip(ctx, request{Op: opPing})
+		return err
+	}
+	// The binary dial health-checks with a ping already.
+	return n.conns[0].connect(ctx)
 }
 
 // Close tears down all connections.
 func (c *Client) Close() error {
 	var first error
 	for _, n := range c.nodes {
-		n.mu.Lock()
-		if n.conn != nil {
-			if err := n.conn.Close(); err != nil && first == nil {
+		for _, m := range n.conns {
+			m.close()
+		}
+		if n.gc != nil {
+			if err := n.gc.close(); err != nil && first == nil {
 				first = err
 			}
-			n.conn = nil
 		}
-		n.mu.Unlock()
 	}
 	return first
 }
 
 // owner returns the node responsible for key: the first node clockwise
 // from hash(key).
-func (c *Client) owner(key string) *nodeConn {
+func (c *Client) owner(key string) *clientNode {
 	h := hashring.HashKey(key)
 	i := sort.Search(len(c.nodes), func(i int) bool { return c.nodes[i].id >= h })
 	if i == len(c.nodes) {
@@ -100,78 +206,147 @@ func (c *Client) owner(key string) *nodeConn {
 	return c.nodes[i]
 }
 
-// deadline translates the context into a socket deadline: the context's
-// deadline when set, otherwise none (the zero time clears any previous
-// per-request deadline on a reused connection).
-func deadline(ctx context.Context) time.Time {
-	if d, ok := ctx.Deadline(); ok {
-		return d
+// MaxInFlight reports the highest number of requests any single
+// connection has had in flight at once — the pipelining depth actually
+// reached. Zero on the gob wire, which cannot pipeline.
+func (c *Client) MaxInFlight() int {
+	max := 0
+	for _, n := range c.nodes {
+		for _, m := range n.conns {
+			if h := m.maxInFlight(); h > max {
+				max = h
+			}
+		}
 	}
-	return time.Time{}
+	return max
 }
 
-// roundTrip sends one request and reads its response, redialing a broken
-// connection once. The context's deadline applies to the dial and to the
-// encode/decode of this request; if the context is cancelled mid-flight
-// the connection is closed, which unblocks the socket I/O.
-func (n *nodeConn) roundTrip(ctx context.Context, req request) (response, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if err := ctx.Err(); err != nil {
-		return response{}, err
+// NodeAddrs returns the member addresses in ring order.
+func (c *Client) NodeAddrs() []string {
+	out := make([]string, len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = n.addr
 	}
-	var lastErr error
-	// One reconnect attempt per call: a broken connection surfaces as a
-	// decode/encode error on the first try.
-	for attempt := 0; attempt < 2; attempt++ {
-		if n.conn == nil {
-			var d net.Dialer
-			conn, err := d.DialContext(ctx, "tcp", n.addr)
-			if err != nil {
-				if cerr := ctx.Err(); cerr != nil {
-					return response{}, cerr
-				}
-				return response{}, dht.MarkTransient(err)
-			}
-			n.conn = conn
-			n.enc = gob.NewEncoder(conn)
-			n.dec = gob.NewDecoder(conn)
-		}
-		_ = n.conn.SetDeadline(deadline(ctx))
-
-		// Cancellation support: closing the conn unblocks gob I/O.
-		watchDone := make(chan struct{})
-		conn := n.conn
-		go func() {
-			select {
-			case <-ctx.Done():
-				_ = conn.Close()
-			case <-watchDone:
-			}
-		}()
-
-		var resp response
-		err := n.enc.Encode(req)
-		if err == nil {
-			err = n.dec.Decode(&resp)
-		}
-		close(watchDone)
-		if err == nil {
-			return resp, nil
-		}
-		lastErr = err
-		_ = n.conn.Close()
-		n.conn = nil
-		if cerr := ctx.Err(); cerr != nil {
-			return response{}, cerr
-		}
-	}
-	return response{}, dht.MarkTransient(
-		fmt.Errorf("tcpnet: node %q unreachable: %w", n.addr, lastErr))
+	return out
 }
 
-func (c *Client) do(ctx context.Context, key string, req request) (response, error) {
-	resp, err := c.owner(key).roundTrip(ctx, req)
+// serverErr converts a wire error payload into the caller-facing error.
+func serverErr(msg []byte) error {
+	if string(msg) == errNotFound {
+		return dht.ErrNotFound
+	}
+	return fmt.Errorf("tcpnet: server error: %s", msg)
+}
+
+// simpleCall performs one non-batch framed round trip and returns the
+// response's tagged value bytes (nil for value-less ops) plus the pooled
+// frame to recycle after the value is decoded.
+func (n *clientNode) simpleCall(ctx context.Context, op dht.OpKind, build func([]byte) ([]byte, error)) (val []byte, frame *[]byte, err error) {
+	body, err := n.pick().call(ctx, op, build)
+	if err != nil {
+		return nil, nil, err
+	}
+	c := cursor{b: (*body)[frameHeaderLen:]}
+	status, err := c.u8()
+	if err != nil {
+		putBuf(body)
+		return nil, nil, dht.MarkTransient(fmt.Errorf("tcpnet: malformed response: %w", err))
+	}
+	switch status {
+	case statusOK:
+		return c.rest(), body, nil
+	case statusNotFound:
+		putBuf(body)
+		return nil, nil, dht.ErrNotFound
+	default:
+		err = serverErr(c.rest())
+		putBuf(body)
+		return nil, nil, err
+	}
+}
+
+// Get implements dht.DHT.
+func (c *Client) Get(ctx context.Context, key string) (dht.Value, error) {
+	if c.wire == WireGob {
+		return c.gobGet(ctx, key, request{Op: opGet, Key: key})
+	}
+	tv, frame, err := c.owner(key).simpleCall(ctx, dht.OpGet, func(b []byte) ([]byte, error) {
+		return appendLenString(b, key), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	v, err := decodeTaggedValue(tv)
+	putBuf(frame)
+	return v, err
+}
+
+// Put implements dht.DHT.
+func (c *Client) Put(ctx context.Context, key string, v dht.Value) error {
+	if c.wire == WireGob {
+		return c.gobPutLike(ctx, opPut, key, v)
+	}
+	_, frame, err := c.owner(key).simpleCall(ctx, dht.OpPut, func(b []byte) ([]byte, error) {
+		return appendValue(appendLenString(b, key), v)
+	})
+	if err != nil {
+		return err
+	}
+	putBuf(frame)
+	return nil
+}
+
+// Take implements dht.DHT.
+func (c *Client) Take(ctx context.Context, key string) (dht.Value, error) {
+	if c.wire == WireGob {
+		return c.gobGet(ctx, key, request{Op: opTake, Key: key})
+	}
+	tv, frame, err := c.owner(key).simpleCall(ctx, dht.OpTake, func(b []byte) ([]byte, error) {
+		return appendLenString(b, key), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	v, err := decodeTaggedValue(tv)
+	putBuf(frame)
+	return v, err
+}
+
+// Remove implements dht.DHT.
+func (c *Client) Remove(ctx context.Context, key string) error {
+	if c.wire == WireGob {
+		_, err := c.gobDo(ctx, key, request{Op: opRemove, Key: key})
+		return err
+	}
+	_, frame, err := c.owner(key).simpleCall(ctx, dht.OpRemove, func(b []byte) ([]byte, error) {
+		return appendLenString(b, key), nil
+	})
+	if err != nil {
+		return err
+	}
+	putBuf(frame)
+	return nil
+}
+
+// Write implements dht.DHT: the owning node rewrites the value in place.
+func (c *Client) Write(ctx context.Context, key string, v dht.Value) error {
+	if c.wire == WireGob {
+		return c.gobPutLike(ctx, opWrite, key, v)
+	}
+	_, frame, err := c.owner(key).simpleCall(ctx, dht.OpWrite, func(b []byte) ([]byte, error) {
+		return appendValue(appendLenString(b, key), v)
+	})
+	if err != nil {
+		return err
+	}
+	putBuf(frame)
+	return nil
+}
+
+// --- legacy gob wire ---
+
+func (c *Client) gobDo(ctx context.Context, key string, req request) (response, error) {
+	resp, err := c.owner(key).gc.roundTrip(ctx, req)
 	if err != nil {
 		return response{}, err
 	}
@@ -185,55 +360,19 @@ func (c *Client) do(ctx context.Context, key string, req request) (response, err
 	}
 }
 
-// Get implements dht.DHT.
-func (c *Client) Get(ctx context.Context, key string) (dht.Value, error) {
-	resp, err := c.do(ctx, key, request{Op: opGet, Key: key})
+func (c *Client) gobGet(ctx context.Context, key string, req request) (dht.Value, error) {
+	resp, err := c.gobDo(ctx, key, req)
 	if err != nil {
 		return nil, err
 	}
 	return decodeValue(resp.Val)
 }
 
-// Put implements dht.DHT.
-func (c *Client) Put(ctx context.Context, key string, v dht.Value) error {
+func (c *Client) gobPutLike(ctx context.Context, op op, key string, v dht.Value) error {
 	data, err := encodeValue(v)
 	if err != nil {
 		return err
 	}
-	_, err = c.do(ctx, key, request{Op: opPut, Key: key, Val: data})
+	_, err = c.gobDo(ctx, key, request{Op: op, Key: key, Val: data})
 	return err
-}
-
-// Take implements dht.DHT.
-func (c *Client) Take(ctx context.Context, key string) (dht.Value, error) {
-	resp, err := c.do(ctx, key, request{Op: opTake, Key: key})
-	if err != nil {
-		return nil, err
-	}
-	return decodeValue(resp.Val)
-}
-
-// Remove implements dht.DHT.
-func (c *Client) Remove(ctx context.Context, key string) error {
-	_, err := c.do(ctx, key, request{Op: opRemove, Key: key})
-	return err
-}
-
-// Write implements dht.DHT: the owning node rewrites the value in place.
-func (c *Client) Write(ctx context.Context, key string, v dht.Value) error {
-	data, err := encodeValue(v)
-	if err != nil {
-		return err
-	}
-	_, err = c.do(ctx, key, request{Op: opWrite, Key: key, Val: data})
-	return err
-}
-
-// NodeAddrs returns the member addresses in ring order.
-func (c *Client) NodeAddrs() []string {
-	out := make([]string, len(c.nodes))
-	for i, n := range c.nodes {
-		out[i] = n.addr
-	}
-	return out
 }

@@ -1,6 +1,10 @@
 package tcpnet
 
 import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
 	"net"
 	"testing"
 
@@ -8,32 +12,129 @@ import (
 	"lht/internal/dht/dhttest"
 )
 
-func TestClientConformance(t *testing.T) {
-	factory := func(t *testing.T) dht.DHT {
-		addrs := make([]string, 0, 3)
-		for i := 0; i < 3; i++ {
-			ln, err := net.Listen("tcp", "127.0.0.1:0")
-			if err != nil {
-				t.Fatal(err)
-			}
-			srv := NewServer()
-			go func() { _ = srv.Serve(ln) }()
-			t.Cleanup(func() { _ = srv.Close() })
-			addrs = append(addrs, ln.Addr().String())
-		}
-		c, err := Dial(addrs)
+// startServers boots n fresh servers and returns their addresses.
+func startServers(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			t.Fatal(err)
 		}
-		t.Cleanup(func() { _ = c.Close() })
-		return c
+		srv := NewServer()
+		go func() { _ = srv.Serve(ln) }()
+		t.Cleanup(func() { _ = srv.Close() })
+		addrs = append(addrs, ln.Addr().String())
 	}
-	dhttest.Run(t, factory, dhttest.Options{
-		Keys:         120,
-		ValueFactory: func(i int) dht.Value { return &payload{N: i} },
-		ValueEqual: func(v dht.Value, i int) bool {
-			p, ok := v.(*payload)
-			return ok && p.N == i
-		},
-	})
+	return addrs
+}
+
+// TestClientConformance runs the full dhttest battery over both wire
+// formats, with both gob-encoded struct values and raw []byte values (the
+// framed protocol's zero-serialization fast path).
+func TestClientConformance(t *testing.T) {
+	for _, w := range []struct {
+		name string
+		wire Wire
+	}{{"binary", WireBinary}, {"gob", WireGob}} {
+		factory := func(t *testing.T) dht.DHT {
+			c, err := Dial(startServers(t, 3), WithWire(w.wire))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { _ = c.Close() })
+			return c
+		}
+		t.Run(w.name+"/struct", func(t *testing.T) {
+			dhttest.Run(t, factory, dhttest.Options{
+				Keys:         120,
+				ValueFactory: func(i int) dht.Value { return &payload{N: i} },
+				ValueEqual: func(v dht.Value, i int) bool {
+					p, ok := v.(*payload)
+					return ok && p.N == i
+				},
+			})
+		})
+		t.Run(w.name+"/bytes", func(t *testing.T) {
+			dhttest.Run(t, factory, dhttest.Options{
+				Keys:         120,
+				ValueFactory: func(i int) dht.Value { return []byte(fmt.Sprintf("v-%d", i)) },
+				ValueEqual: func(v dht.Value, i int) bool {
+					b, ok := v.([]byte)
+					return ok && bytes.Equal(b, []byte(fmt.Sprintf("v-%d", i)))
+				},
+			})
+		})
+	}
+}
+
+// TestCrossWireInterop stores through each wire format and reads through
+// the other: the two protocols must interoperate on one store, for both
+// gob-encoded struct values and raw []byte values.
+func TestCrossWireInterop(t *testing.T) {
+	addrs := startServers(t, 3)
+	bin, err := Dial(addrs, WithWire(WireBinary))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = bin.Close() })
+	gob, err := Dial(addrs, WithWire(WireGob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = gob.Close() })
+
+	ctx := context.Background()
+	writers := map[string]dht.DHT{"binary": bin, "gob": gob}
+	readers := map[string]dht.DHT{"binary": bin, "gob": gob}
+	for wn, w := range writers {
+		for rn, r := range readers {
+			t.Run(wn+"-writes_"+rn+"-reads", func(t *testing.T) {
+				sk := fmt.Sprintf("x/%s/%s/struct", wn, rn)
+				if err := w.Put(ctx, sk, &payload{N: 42, S: "cross"}); err != nil {
+					t.Fatal(err)
+				}
+				v, err := r.Get(ctx, sk)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if p, ok := v.(*payload); !ok || p.N != 42 || p.S != "cross" {
+					t.Fatalf("struct value = %#v", v)
+				}
+
+				bk := fmt.Sprintf("x/%s/%s/bytes", wn, rn)
+				if err := w.Put(ctx, bk, []byte("raw-bytes")); err != nil {
+					t.Fatal(err)
+				}
+				v, err = r.Get(ctx, bk)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if b, ok := v.([]byte); !ok || !bytes.Equal(b, []byte("raw-bytes")) {
+					t.Fatalf("bytes value = %#v", v)
+				}
+
+				// Batches cross too.
+				kvs := []dht.KV{
+					{Key: bk + "/b0", Val: []byte("b0")},
+					{Key: bk + "/b1", Val: &payload{N: 1}},
+				}
+				for i, err := range w.(dht.Batcher).PutBatch(ctx, kvs) {
+					if err != nil {
+						t.Fatalf("PutBatch[%d]: %v", i, err)
+					}
+				}
+				vals, errs := r.(dht.Batcher).GetBatch(ctx, []string{bk + "/b0", bk + "/b1", bk + "/absent"})
+				if errs[0] != nil || !bytes.Equal(vals[0].([]byte), []byte("b0")) {
+					t.Fatalf("batch slot 0 = %#v, %v", vals[0], errs[0])
+				}
+				if errs[1] != nil || vals[1].(*payload).N != 1 {
+					t.Fatalf("batch slot 1 = %#v, %v", vals[1], errs[1])
+				}
+				if !errors.Is(errs[2], dht.ErrNotFound) {
+					t.Fatalf("batch slot 2 err = %v, want not found", errs[2])
+				}
+			})
+		}
+	}
 }

@@ -1,0 +1,273 @@
+package tcpnet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"lht/internal/dht"
+)
+
+// This file is the framed binary wire codec (wire format 2). Unlike the
+// legacy gob stream it uses no reflection and recycles every buffer it
+// touches, so the encode/decode hot path allocates nothing beyond the
+// returned value bytes.
+//
+// A connection opens with the 4-byte magic "LHT2" (absent on legacy gob
+// connections, which the server detects by peeking). After the magic,
+// both directions speak length-prefixed frames:
+//
+//	+---------+------------+--------+---------------------+
+//	| len u32 | request id | op u8  | payload (len-9 B)   |
+//	| big-end |   u64 BE   |        |                     |
+//	+---------+------------+--------+---------------------+
+//
+// len counts the bytes after the length field (id + op + payload), so a
+// frame occupies 4+len bytes on the wire. The id correlates a response
+// with its request: responses may arrive in any order, which is what lets
+// a client keep many requests in flight on one connection. The op byte is
+// uint8(dht.OpKind); responses echo the request's id and op.
+//
+// Request payloads (uv = unsigned varint; "rest" = to the frame's end):
+//
+//	ping                    (empty)
+//	get / take / remove     uv klen, key
+//	put / write             uv klen, key, value(rest)
+//	getbatch                uv count, count x (uv klen, key)
+//	putbatch                uv count, count x (uv klen, key, uv vlen, value)
+//
+// A value is a tag byte followed by its serialized form: tagRaw means the
+// bytes ARE the dht.Value (a []byte travels with zero serialization work),
+// tagGob means encoding/gob (arbitrary registered types, exactly the bytes
+// the legacy protocol would have carried). Servers store values with their
+// tag, so the two wire formats interoperate on one store.
+//
+// Response payloads:
+//
+//	status u8: 0 ok, 1 not-found, 2 server error
+//	ok   get/take            value(rest)
+//	ok   put/remove/write/ping  (empty)
+//	ok   getbatch/putbatch   uv count, count x slot
+//	not-found                (empty)
+//	error                    message(rest)
+//
+// A batch slot is: status u8; ok = uv n, n bytes (a tagged value for a
+// get slot, n=0 for a put slot); not-found = nothing; error = uv n,
+// n-byte message.
+const (
+	// wireMagic opens every framed binary connection; its absence selects
+	// the legacy gob protocol.
+	wireMagic = "LHT2"
+
+	// frameHeaderLen is the id+op prefix counted inside the length field.
+	frameHeaderLen = 9
+
+	// maxFrameLen bounds a frame's length field: decoders reject anything
+	// larger before allocating, so a garbage or hostile header can never
+	// balloon memory.
+	maxFrameLen = 64 << 20
+
+	// maxPooledBuf is the largest buffer the frame pool retains; bigger
+	// ones (oversized batch frames) are left to the garbage collector so
+	// one huge request does not pin memory forever.
+	maxPooledBuf = 1 << 20
+)
+
+// Response status bytes.
+const (
+	statusOK       = 0
+	statusNotFound = 1
+	statusErr      = 2
+)
+
+// Value tag bytes.
+const (
+	tagRaw = 0 // the bytes are the dht.Value (a []byte) verbatim
+	tagGob = 1 // encoding/gob, same bytes as the legacy protocol
+)
+
+var (
+	errFrameTooLarge = errors.New("tcpnet: frame exceeds size limit")
+	errFrameTooSmall = errors.New("tcpnet: frame shorter than header")
+	errTruncated     = errors.New("tcpnet: truncated frame payload")
+)
+
+// bufPool recycles frame buffers across requests; the hot path gets and
+// puts, it never allocates in steady state.
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+func putBuf(b *[]byte) {
+	if b == nil || cap(*b) > maxPooledBuf {
+		return
+	}
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
+
+// newFrame starts a request frame in a pooled buffer: length placeholder,
+// zero id placeholder, op byte. The pooled pointer travels with the frame
+// (builders reassign *bp after appending) so the encode path allocates no
+// fresh slice header per request; finishFrame stamps the real id and
+// length in place.
+func newFrame(op dht.OpKind) *[]byte {
+	bp := getBuf()
+	*bp = append((*bp)[:0], 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, byte(op))
+	return bp
+}
+
+// finishFrame stamps the frame's id and length fields in place.
+func finishFrame(b []byte, id uint64) {
+	binary.BigEndian.PutUint32(b[0:4], uint32(len(b)-4))
+	binary.BigEndian.PutUint64(b[4:12], id)
+}
+
+// appendUv appends an unsigned varint.
+func appendUv(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+
+// appendLenBytes appends a varint-length-prefixed byte string.
+func appendLenBytes(b, p []byte) []byte {
+	b = appendUv(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+// appendLenString is appendLenBytes for a string without conversion copies.
+func appendLenString(b []byte, s string) []byte {
+	b = appendUv(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// appendValue appends the tagged wire form of v: a []byte travels raw, any
+// other type goes through gob exactly as the legacy protocol would.
+func appendValue(b []byte, v dht.Value) ([]byte, error) {
+	if raw, ok := v.([]byte); ok {
+		b = append(b, tagRaw)
+		return append(b, raw...), nil
+	}
+	data, err := encodeValue(v)
+	if err != nil {
+		return nil, err
+	}
+	b = append(b, tagGob)
+	return append(b, data...), nil
+}
+
+// decodeTaggedValue is the inverse of appendValue. The input's backing
+// array may be a pooled buffer, so raw bytes are copied out.
+func decodeTaggedValue(tv []byte) (dht.Value, error) {
+	if len(tv) == 0 {
+		return nil, fmt.Errorf("tcpnet: empty wire value")
+	}
+	switch tv[0] {
+	case tagRaw:
+		out := make([]byte, len(tv)-1)
+		copy(out, tv[1:])
+		return out, nil
+	case tagGob:
+		return decodeValue(tv[1:])
+	default:
+		return nil, fmt.Errorf("tcpnet: unknown value tag %d", tv[0])
+	}
+}
+
+// readFrameBody reads one frame from br into buf (grown as needed) and
+// returns the body (id + op + payload). The length field is validated
+// before any allocation, so malformed or hostile headers cannot cause an
+// oversized allocation.
+func readFrameBody(br *bufio.Reader, buf []byte) ([]byte, error) {
+	// The length field is read byte-wise: a stack array passed through
+	// io.ReadFull's interface would escape and cost one allocation per
+	// frame.
+	var n uint32
+	for i := 0; i < 4; i++ {
+		c, err := br.ReadByte()
+		if err != nil {
+			if i > 0 && err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return buf, err
+		}
+		n = n<<8 | uint32(c)
+	}
+	if n < frameHeaderLen {
+		return buf, errFrameTooSmall
+	}
+	if n > maxFrameLen {
+		return buf, errFrameTooLarge
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(br, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return buf, err
+	}
+	return buf, nil
+}
+
+// cursor walks a frame payload; every accessor reports truncation as an
+// error instead of panicking, which is what the fuzz target leans on.
+type cursor struct{ b []byte }
+
+func (c *cursor) empty() bool { return len(c.b) == 0 }
+
+func (c *cursor) u8() (byte, error) {
+	if len(c.b) < 1 {
+		return 0, errTruncated
+	}
+	v := c.b[0]
+	c.b = c.b[1:]
+	return v, nil
+}
+
+func (c *cursor) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(c.b)
+	if n <= 0 {
+		return 0, errTruncated
+	}
+	c.b = c.b[n:]
+	return v, nil
+}
+
+// count reads a batch element count and bounds it by the bytes that
+// remain: every element occupies at least one byte, so a garbage count
+// can never drive an oversized allocation downstream.
+func (c *cursor) count() (int, error) {
+	v, err := c.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(len(c.b)) {
+		return 0, fmt.Errorf("tcpnet: batch count %d exceeds frame size", v)
+	}
+	return int(v), nil
+}
+
+// lenBytes reads a varint-length-prefixed byte string as a view into the
+// frame buffer (no copy; the caller copies if it must outlive the frame).
+func (c *cursor) lenBytes() ([]byte, error) {
+	n, err := c.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(c.b)) {
+		return nil, errTruncated
+	}
+	v := c.b[:n]
+	c.b = c.b[n:]
+	return v, nil
+}
+
+// rest consumes and returns everything left.
+func (c *cursor) rest() []byte {
+	v := c.b
+	c.b = nil
+	return v
+}

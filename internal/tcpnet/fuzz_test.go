@@ -1,0 +1,119 @@
+package tcpnet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"lht/internal/dht"
+)
+
+// FuzzDecodeFrame drives arbitrary bytes through the full server-side
+// decode path: framing (readFrameBody), request parsing and service
+// (applyFrame), and client-side response parsing. Truncated, oversized
+// and garbage inputs must error or answer statusErr — never panic, and
+// never allocate beyond the input's actual size (readFrameBody validates
+// the length field before allocating; cursor.count bounds batch counts by
+// the bytes that remain).
+func FuzzDecodeFrame(f *testing.F) {
+	// Well-formed frames of every op, so the corpus mutates from inside
+	// the grammar, not just outside it.
+	get := appendLenString(nil, "key")
+	put := appendLenString(nil, "key")
+	put = append(put, tagRaw)
+	put = append(put, []byte("value")...)
+	getBatch := binary.AppendUvarint(nil, 2)
+	getBatch = appendLenString(getBatch, "a")
+	getBatch = appendLenString(getBatch, "b")
+	putBatch := binary.AppendUvarint(nil, 1)
+	putBatch = appendLenString(putBatch, "a")
+	putBatch = appendLenBytes(putBatch, []byte{tagRaw, 'v'})
+	seeds := [][]byte{
+		buildFrame(1, dht.OpPing, nil),
+		buildFrame(2, dht.OpGet, get),
+		buildFrame(3, dht.OpPut, put),
+		buildFrame(4, dht.OpTake, get),
+		buildFrame(5, dht.OpRemove, get),
+		buildFrame(6, dht.OpWrite, put),
+		buildFrame(7, dht.OpGetBatch, getBatch),
+		buildFrame(8, dht.OpPutBatch, putBatch),
+		// Malformed shapes.
+		{},
+		{0, 0, 0, 0},
+		{0xff, 0xff, 0xff, 0xff, 1, 2, 3},
+		buildFrame(9, 200, []byte("junk")),
+		buildFrame(10, dht.OpGetBatch, binary.AppendUvarint(nil, 1<<60)),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		// The length field must never drive an allocation larger than the
+		// input itself (plus the bounded header), no matter what it claims.
+		if len(raw) >= 4 {
+			if n := binary.BigEndian.Uint32(raw[:4]); n <= maxFrameLen && int(n) > len(raw) {
+				// Claimed length exceeds what will arrive: must error.
+				if _, err := readFrameBody(bufio.NewReader(bytes.NewReader(raw)), nil); err == nil {
+					t.Fatal("truncated frame decoded without error")
+				}
+				return
+			}
+		}
+		body, err := readFrameBody(bufio.NewReader(bytes.NewReader(raw)), nil)
+		if err != nil {
+			return // framing rejected it; that is a valid outcome
+		}
+		if len(body) > maxFrameLen {
+			t.Fatalf("frame body %d bytes exceeds the limit", len(body))
+		}
+
+		// Serve the request; garbage payloads must answer, not panic.
+		s := NewServer()
+		resp := s.applyFrame(body, nil)
+		if len(resp) < frameHeaderLen+4+1 {
+			t.Fatalf("response frame too short: %d bytes", len(resp))
+		}
+		if got, want := binary.BigEndian.Uint64(resp[4:12]), binary.BigEndian.Uint64(body[:8]); got != want {
+			t.Fatalf("response id %d does not echo request id %d", got, want)
+		}
+
+		// The response must itself be a well-formed frame the client-side
+		// parser accepts structurally.
+		rbody, err := readFrameBody(bufio.NewReader(bytes.NewReader(resp)), nil)
+		if err != nil {
+			t.Fatalf("server emitted an unreadable frame: %v", err)
+		}
+		c := cursor{b: rbody[frameHeaderLen:]}
+		if _, err := c.u8(); err != nil {
+			t.Fatalf("server emitted a status-less response: %v", err)
+		}
+
+		// And the mirrored payload parses under the batch slot grammar
+		// when it claims to be a batch response (client symmetry: these
+		// parsers also must not panic on anything the fuzzer reaches).
+		op := dht.OpKind(body[8])
+		if op == dht.OpGetBatch || op == dht.OpPutBatch {
+			cc := cursor{b: rbody[frameHeaderLen:]}
+			if st, _ := cc.u8(); st == statusOK {
+				n, err := cc.count()
+				if err != nil {
+					t.Fatalf("batch response count: %v", err)
+				}
+				for i := 0; i < n; i++ {
+					st, err := cc.u8()
+					if err != nil {
+						t.Fatalf("batch slot %d status: %v", i, err)
+					}
+					if st == statusNotFound {
+						continue
+					}
+					if _, err := cc.lenBytes(); err != nil {
+						t.Fatalf("batch slot %d payload: %v", i, err)
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,120 @@
+package tcpnet
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"lht/internal/dht"
+)
+
+// gobConn is the legacy wire format's connection state: a gob stream with
+// one blocking request in flight at a time, kept only as the compat arm
+// for the codec oracle (WireGob) — the A8 ablation and the cross-codec
+// oracle tests pin the framed protocol's behaviour against it. New
+// deployments use the framed binary protocol (mconn).
+type gobConn struct {
+	addr string
+
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// deadline translates the context into a socket deadline: the context's
+// deadline when set, otherwise none (the zero time clears any previous
+// per-request deadline on a reused connection).
+func deadline(ctx context.Context) time.Time {
+	if d, ok := ctx.Deadline(); ok {
+		return d
+	}
+	return time.Time{}
+}
+
+// roundTrip sends one request and reads its response, redialing a broken
+// connection once. The context's deadline applies to the dial and to the
+// encode/decode of this request; if the context is cancelled mid-flight
+// the connection is closed, which unblocks the socket I/O. Cancellation
+// is registered with context.AfterFunc rather than a per-call watcher
+// goroutine, so a call on a never-cancelled context starts no goroutine
+// and leaks nothing.
+func (n *gobConn) roundTrip(ctx context.Context, req request) (response, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return response{}, err
+	}
+	var lastErr error
+	// One reconnect attempt per call: a broken connection surfaces as a
+	// decode/encode error on the first try.
+	for attempt := 0; attempt < 2; attempt++ {
+		if n.conn == nil {
+			var d net.Dialer
+			conn, err := d.DialContext(ctx, "tcp", n.addr)
+			if err != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					return response{}, cerr
+				}
+				return response{}, dht.MarkTransient(err)
+			}
+			n.conn = conn
+			n.enc = gob.NewEncoder(conn)
+			n.dec = gob.NewDecoder(conn)
+		}
+		_ = n.conn.SetDeadline(deadline(ctx))
+
+		// Cancellation support: closing the conn unblocks gob I/O.
+		conn := n.conn
+		stop := context.AfterFunc(ctx, func() { _ = conn.Close() })
+
+		var resp response
+		err := n.enc.Encode(req)
+		if err == nil {
+			err = n.dec.Decode(&resp)
+		}
+		stop()
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		_ = n.conn.Close()
+		n.conn = nil
+		if cerr := ctx.Err(); cerr != nil {
+			return response{}, cerr
+		}
+	}
+	return response{}, dht.MarkTransient(
+		fmt.Errorf("tcpnet: node %q unreachable: %w", n.addr, lastErr))
+}
+
+// close tears the connection down.
+func (n *gobConn) close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.conn == nil {
+		return nil
+	}
+	err := n.conn.Close()
+	n.conn = nil
+	return err
+}
+
+// batchRoundTrip performs one batched request and validates the reply
+// shape, so callers can index replies by slot unconditionally.
+func (n *gobConn) batchRoundTrip(ctx context.Context, req request, want int) ([]batchReply, error) {
+	resp, err := n.roundTrip(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("tcpnet: server error: %s", resp.Err)
+	}
+	if len(resp.Batch) != want {
+		return nil, fmt.Errorf("tcpnet: batch reply has %d slots, want %d", len(resp.Batch), want)
+	}
+	return resp.Batch, nil
+}

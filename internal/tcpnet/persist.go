@@ -9,8 +9,10 @@ import (
 	"path/filepath"
 )
 
-// snapshotFormat versions the on-disk layout.
-const snapshotFormat = 1
+// snapshotFormat versions the on-disk layout. Format 2 stores tagged
+// values (tagRaw/tagGob prefix, see frame.go); format 1 stored bare gob
+// bytes and is migrated on load by prefixing tagGob.
+const snapshotFormat = 2
 
 type snapshot struct {
 	Format int
@@ -64,7 +66,14 @@ func (s *Server) LoadSnapshot(path string) error {
 	if err := gob.NewDecoder(f).Decode(&snap); err != nil {
 		return fmt.Errorf("tcpnet: snapshot decode: %w", err)
 	}
-	if snap.Format != snapshotFormat {
+	switch snap.Format {
+	case snapshotFormat:
+	case 1:
+		// Format 1 predates value tagging: every value is gob bytes.
+		for k, v := range snap.Store {
+			snap.Store[k] = tagWrap(v)
+		}
+	default:
 		return fmt.Errorf("tcpnet: snapshot format %d, want %d", snap.Format, snapshotFormat)
 	}
 	s.mu.Lock()

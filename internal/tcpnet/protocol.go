@@ -1,7 +1,16 @@
 // Package tcpnet is the real-network deployment mode: storage nodes that
-// serve a gob-over-TCP key-value protocol, and a client that implements
-// the dht.DHT interface over a static member set with client-side
-// consistent hashing.
+// serve a key-value protocol over TCP, and a client that implements the
+// dht.DHT interface over a static member set with client-side consistent
+// hashing.
+//
+// Two wire formats share one store. The default is the framed binary
+// protocol (frame.go): reflection-free length-prefixed frames with pooled
+// buffers, carried by a pipelined multiplexer (mux.go) that keeps many
+// requests in flight per connection. The legacy gob stream (this file and
+// gobwire.go) remains as a compatibility arm — the server auto-detects the
+// protocol per connection, and the cross-codec oracle tests pin the two
+// formats to identical observable behaviour, including identical
+// cost-model counters.
 //
 // This is the substrate behind cmd/lht-node and cmd/lht-cli: it
 // demonstrates the paper's "easy to implement and deploy" claim with
@@ -20,7 +29,9 @@ import (
 	"lht/internal/dht"
 )
 
-// op enumerates protocol operations.
+// op enumerates the legacy gob protocol's operations. The framed binary
+// protocol carries dht.OpKind in its frame header instead, so crash
+// schedules and packet captures name operations identically.
 type op uint8
 
 const (
@@ -63,6 +74,11 @@ type response struct {
 	Err   string
 	Batch []batchReply // per-key outcomes of a batched op
 }
+
+// Raw []byte values stored by a framed client are gob-encoded when a
+// legacy client reads them (detagValue), so the concrete type must be
+// registered on both ends; every tcpnet process links this package.
+func init() { gob.Register([]byte(nil)) }
 
 // encodeValue serializes a dht.Value with gob. Concrete types must be
 // registered (lht.RegisterGobTypes or gob.Register) by the embedding

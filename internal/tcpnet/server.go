@@ -1,19 +1,28 @@
 package tcpnet
 
 import (
+	"bufio"
 	"encoding/gob"
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"sync"
 
+	"lht/internal/dht"
 	"lht/internal/metrics"
 )
 
-// Server is one storage node: a byte store behind the gob-over-TCP
-// protocol. Create with NewServer, start with Serve, stop with Close.
+// Server is one storage node: a byte store behind the framed binary
+// protocol (frame.go), with the legacy gob protocol auto-detected per
+// connection — a connection that opens with the "LHT2" magic speaks
+// frames, anything else speaks gob, and both land on the same store.
+// Create with NewServer, start with Serve, stop with Close.
 type Server struct {
-	mu    sync.Mutex
+	mu sync.Mutex
+	// store holds tagged values (tagRaw/tagGob prefix, see frame.go), the
+	// framed protocol's value form; the gob handler wraps and unwraps the
+	// tag so both wire formats interoperate on one store.
 	store map[string][]byte
 	ln    net.Listener
 	conns map[net.Conn]struct{}
@@ -110,7 +119,20 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Unlock()
 		_ = conn.Close()
 	}()
-	dec := gob.NewDecoder(conn)
+	// Protocol detection: framed binary connections open with the magic,
+	// legacy gob streams start with a gob type descriptor that cannot
+	// collide with it. Peeking leaves the bytes for the gob decoder.
+	br := bufio.NewReaderSize(conn, wireBufSize)
+	magic, err := br.Peek(len(wireMagic))
+	if err != nil {
+		return // connection died before identifying itself
+	}
+	if string(magic) == wireMagic {
+		_, _ = br.Discard(len(wireMagic))
+		s.handleBinary(conn, br)
+		return
+	}
+	dec := gob.NewDecoder(br)
 	enc := gob.NewEncoder(conn)
 	for {
 		var req request
@@ -124,6 +146,33 @@ func (s *Server) handle(conn net.Conn) {
 		if err := enc.Encode(s.apply(req)); err != nil {
 			return
 		}
+	}
+}
+
+// tagWrap converts a legacy wire value (gob bytes) into the tagged form
+// the store holds.
+func tagWrap(val []byte) []byte {
+	out := make([]byte, 1+len(val))
+	out[0] = tagGob
+	copy(out[1:], val)
+	return out
+}
+
+// detagValue converts a stored tagged value into the legacy wire form:
+// gob bytes travel as-is, raw []byte values are gob-encoded so a legacy
+// client can decode a value a framed client stored. The server never
+// decodes gob itself — it stays a pure byte store.
+func detagValue(v []byte) ([]byte, error) {
+	if len(v) == 0 {
+		return nil, errors.New("tcpnet: corrupt stored value")
+	}
+	switch v[0] {
+	case tagGob:
+		return v[1:], nil
+	case tagRaw:
+		return encodeValue(dht.Value(v[1:]))
+	default:
+		return nil, fmt.Errorf("tcpnet: unknown stored value tag %d", v[0])
 	}
 }
 
@@ -143,10 +192,14 @@ func (s *Server) apply(req request) response {
 			s.c.AddFailedGets(1)
 			return response{Err: errNotFound}
 		}
-		return response{Found: true, Val: v}
+		data, err := detagValue(v)
+		if err != nil {
+			return response{Err: err.Error()}
+		}
+		return response{Found: true, Val: data}
 	case opPut:
 		s.c.AddLookups(1)
-		s.store[req.Key] = req.Val
+		s.store[req.Key] = tagWrap(req.Val)
 		return response{Found: true}
 	case opTake:
 		s.c.AddLookups(1)
@@ -155,8 +208,12 @@ func (s *Server) apply(req request) response {
 			s.c.AddFailedGets(1)
 			return response{Err: errNotFound}
 		}
+		data, err := detagValue(v)
+		if err != nil {
+			return response{Err: err.Error()}
+		}
 		delete(s.store, req.Key)
-		return response{Found: true, Val: v}
+		return response{Found: true, Val: data}
 	case opRemove:
 		s.c.AddLookups(1)
 		delete(s.store, req.Key)
@@ -166,7 +223,7 @@ func (s *Server) apply(req request) response {
 		if _, ok := s.store[req.Key]; !ok {
 			return response{Err: errNotFound}
 		}
-		s.store[req.Key] = req.Val
+		s.store[req.Key] = tagWrap(req.Val)
 		return response{Found: true}
 	case opGetBatch:
 		s.c.AddLookups(int64(len(req.Keys)))
@@ -180,7 +237,12 @@ func (s *Server) apply(req request) response {
 				out[i] = batchReply{Err: errNotFound}
 				continue
 			}
-			out[i] = batchReply{Val: v}
+			data, err := detagValue(v)
+			if err != nil {
+				out[i] = batchReply{Err: err.Error()}
+				continue
+			}
+			out[i] = batchReply{Val: data}
 		}
 		return response{Found: true, Batch: out}
 	case opPutBatch:
@@ -188,7 +250,7 @@ func (s *Server) apply(req request) response {
 		s.c.AddBatchOps(1)
 		s.c.AddBatchedKeys(int64(len(req.KVs)))
 		for _, kv := range req.KVs { // in order: a duplicate key's last pair wins
-			s.store[kv.Key] = kv.Val
+			s.store[kv.Key] = tagWrap(kv.Val)
 		}
 		return response{Found: true, Batch: make([]batchReply, len(req.KVs))}
 	default:

@@ -1,0 +1,198 @@
+package tcpnet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"net"
+
+	"lht/internal/dht"
+)
+
+// errMalformed is the server's reply to a frame whose payload does not
+// parse; the connection survives (the frame boundary is intact, only the
+// payload was garbage).
+const errMalformed = "malformed request"
+
+// handleBinary serves the framed protocol on one connection, after the
+// magic has been consumed from br. Requests are processed in arrival
+// order into reused buffers — steady-state service allocates only store
+// mutations — and responses are flushed only once the read buffer holds
+// no further input, so a pipelined burst of requests is answered with one
+// write.
+func (s *Server) handleBinary(conn net.Conn, br *bufio.Reader) {
+	bw := bufio.NewWriterSize(conn, wireBufSize)
+	in := getBuf()
+	out := getBuf()
+	defer func() { putBuf(in); putBuf(out) }()
+	for {
+		body, err := readFrameBody(br, *in)
+		*in = body // keep the (possibly re-grown) backing array pooled
+		if err != nil {
+			// Framing is broken (EOF, truncation, oversized length):
+			// nothing sane can follow, drop the connection.
+			return
+		}
+		*out = s.applyFrame(body, (*out)[:0])
+		if _, err := bw.Write(*out); err != nil {
+			return
+		}
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// applyFrame serves one request frame body (id + op + payload, at least
+// frameHeaderLen bytes, as readFrameBody returns) and appends the complete
+// response frame to out. It never panics on garbage payloads — malformed
+// requests get a statusErr response.
+func (s *Server) applyFrame(body, out []byte) []byte {
+	id := binary.BigEndian.Uint64(body[:8])
+	op := dht.OpKind(body[8])
+	out = append(out, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, byte(op))
+	out = s.respond(op, body[frameHeaderLen:], out)
+	binary.BigEndian.PutUint32(out[:4], uint32(len(out)-4))
+	binary.BigEndian.PutUint64(out[4:12], id)
+	return out
+}
+
+func appendStatusErr(out []byte, msg string) []byte {
+	out = append(out, statusErr)
+	return append(out, msg...)
+}
+
+// respond appends the status + payload of op's response. Counter
+// discipline matches the legacy path exactly (the cost-model oracle pins
+// this): every routed op charges one lookup per key, misses charge failed
+// gets, Write is free, batches feed the batch counters. Batch payloads
+// are validated in full before any counter is charged or key served, so a
+// malformed frame has no side effects.
+func (s *Server) respond(op dht.OpKind, payload, out []byte) []byte {
+	c := cursor{b: payload}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch op {
+	case dht.OpPing:
+		if !c.empty() {
+			return appendStatusErr(out, errMalformed)
+		}
+		return append(out, statusOK)
+
+	case dht.OpGet, dht.OpTake:
+		key, err := c.lenBytes()
+		if err != nil || !c.empty() {
+			return appendStatusErr(out, errMalformed)
+		}
+		s.c.AddLookups(1)
+		v, ok := s.store[string(key)]
+		if !ok {
+			s.c.AddFailedGets(1)
+			return append(out, statusNotFound)
+		}
+		if op == dht.OpTake {
+			delete(s.store, string(key))
+		}
+		out = append(out, statusOK)
+		return append(out, v...)
+
+	case dht.OpPut:
+		key, err := c.lenBytes()
+		if err != nil {
+			return appendStatusErr(out, errMalformed)
+		}
+		s.c.AddLookups(1)
+		s.store[string(key)] = append([]byte(nil), c.rest()...)
+		return append(out, statusOK)
+
+	case dht.OpRemove:
+		key, err := c.lenBytes()
+		if err != nil || !c.empty() {
+			return appendStatusErr(out, errMalformed)
+		}
+		s.c.AddLookups(1)
+		delete(s.store, string(key))
+		return append(out, statusOK)
+
+	case dht.OpWrite:
+		key, err := c.lenBytes()
+		if err != nil {
+			return appendStatusErr(out, errMalformed)
+		}
+		// Free in the cost model: the client already routed here.
+		if _, ok := s.store[string(key)]; !ok {
+			return append(out, statusNotFound)
+		}
+		s.store[string(key)] = append([]byte(nil), c.rest()...)
+		return append(out, statusOK)
+
+	case dht.OpGetBatch:
+		n, err := c.count()
+		if err != nil {
+			return appendStatusErr(out, errMalformed)
+		}
+		cc := c
+		for i := 0; i < n; i++ {
+			if _, err := cc.lenBytes(); err != nil {
+				return appendStatusErr(out, errMalformed)
+			}
+		}
+		if !cc.empty() {
+			return appendStatusErr(out, errMalformed)
+		}
+		s.c.AddLookups(int64(n))
+		s.c.AddBatchOps(1)
+		s.c.AddBatchedKeys(int64(n))
+		out = append(out, statusOK)
+		out = appendUv(out, uint64(n))
+		for i := 0; i < n; i++ {
+			key, _ := c.lenBytes()
+			v, ok := s.store[string(key)]
+			if !ok {
+				s.c.AddFailedGets(1)
+				out = append(out, statusNotFound)
+				continue
+			}
+			out = append(out, statusOK)
+			out = appendLenBytes(out, v)
+		}
+		return out
+
+	case dht.OpPutBatch:
+		n, err := c.count()
+		if err != nil {
+			return appendStatusErr(out, errMalformed)
+		}
+		cc := c
+		for i := 0; i < n; i++ {
+			if _, err := cc.lenBytes(); err != nil {
+				return appendStatusErr(out, errMalformed)
+			}
+			if _, err := cc.lenBytes(); err != nil {
+				return appendStatusErr(out, errMalformed)
+			}
+		}
+		if !cc.empty() {
+			return appendStatusErr(out, errMalformed)
+		}
+		s.c.AddLookups(int64(n))
+		s.c.AddBatchOps(1)
+		s.c.AddBatchedKeys(int64(n))
+		for i := 0; i < n; i++ { // in order: a duplicate key's last pair wins
+			key, _ := c.lenBytes()
+			val, _ := c.lenBytes()
+			s.store[string(key)] = append([]byte(nil), val...)
+		}
+		out = append(out, statusOK)
+		out = appendUv(out, uint64(n))
+		for i := 0; i < n; i++ {
+			out = append(out, statusOK)
+			out = appendUv(out, 0)
+		}
+		return out
+
+	default:
+		return appendStatusErr(out, "unknown op")
+	}
+}

@@ -1,0 +1,159 @@
+package tcpnet
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	ilht "lht/internal/lht"
+	"lht/internal/record"
+)
+
+// servedCounters are the cost-model counters a tcpnet server maintains,
+// summed across a cluster.
+type servedCounters struct {
+	Lookups, FailedGets, BatchOps, BatchedKeys, RoundTrips int64
+}
+
+func sumServed(servers []*Server) servedCounters {
+	var tot servedCounters
+	for _, s := range servers {
+		f := s.Metrics().Flat()
+		tot.Lookups += f.Lookups
+		tot.FailedGets += f.FailedGets
+		tot.BatchOps += f.BatchOps
+		tot.BatchedKeys += f.BatchedKeys
+		tot.RoundTrips += f.RoundTrips()
+	}
+	return tot
+}
+
+// runWireArm boots a cluster, runs the oracle workload over the given
+// wire format, and returns the gob-encoded tree plus the served counters.
+// On the first call *addrs is empty and the cluster picks fresh ports,
+// recording them; later calls rebind the same ports so consistent hashing
+// assigns every key to the same node in every arm (server-side batch
+// counters depend on how keys group by owner). Everything is torn down
+// before returning so the next arm can bind.
+func runWireArm(t *testing.T, addrs *[]string, wire Wire) ([]byte, servedCounters) {
+	t.Helper()
+	fresh := len(*addrs) == 0
+	servers := make([]*Server, 0, 3)
+	var conns []*Client
+	for i := 0; i < 3; i++ {
+		var ln net.Listener
+		var err error
+		if fresh {
+			ln, err = net.Listen("tcp", "127.0.0.1:0")
+		} else {
+			for try := 0; try < 100; try++ {
+				ln, err = net.Listen("tcp", (*addrs)[i])
+				if err == nil {
+					break
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		}
+		if err != nil {
+			t.Skipf("port not reusable for the second arm: %v", err)
+		}
+		if fresh {
+			*addrs = append(*addrs, ln.Addr().String())
+		}
+		srv := NewServer()
+		go func() { _ = srv.Serve(ln) }()
+		servers = append(servers, srv)
+	}
+	defer func() {
+		for _, c := range conns {
+			_ = c.Close()
+		}
+		for _, s := range servers {
+			_ = s.Close()
+		}
+	}()
+
+	c, err := Dial(*addrs, WithWire(wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conns = append(conns, c)
+
+	ix, err := ilht.New(c, ilht.Config{SplitThreshold: 8, MergeThreshold: 6, Depth: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Deterministic workload: bulk load (exercises the batch plane), point
+	// inserts, deletes, searches and range queries, including misses.
+	rng := rand.New(rand.NewSource(99))
+	recs := make([]record.Record, 200)
+	for i := range recs {
+		recs[i] = record.Record{Key: rng.Float64(), Value: []byte(fmt.Sprintf("r%d", i))}
+	}
+	if _, err := ix.BulkLoad(recs); err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]float64, 0, 120)
+	for i := 0; i < 120; i++ {
+		k := rng.Float64()
+		keys = append(keys, k)
+		if _, err := ix.Insert(record.Record{Key: k, Value: []byte("ins")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := ix.Delete(keys[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 40; i < 80; i++ {
+		if _, _, err := ix.Search(keys[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		lo := rng.Float64() * 0.9
+		if _, _, err := ix.Range(lo, lo+0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	leaves, err := ix.Leaves()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(leaves); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), sumServed(servers)
+}
+
+// TestCodecOracle pins the framed binary wire to the legacy gob wire: the
+// identical index workload over each codec must produce byte-identical
+// tree state and byte-identical cost-model counters — the new wire may
+// change how bytes travel, never what the index observes or what the cost
+// model charges.
+func TestCodecOracle(t *testing.T) {
+	var addrs []string
+	binTree, binServed := runWireArm(t, &addrs, WireBinary)
+	gobTree, gobServed := runWireArm(t, &addrs, WireGob)
+
+	if !bytes.Equal(binTree, gobTree) {
+		t.Errorf("tree state diverges across codecs: %d vs %d bytes", len(binTree), len(gobTree))
+	}
+	if binServed != gobServed {
+		t.Errorf("cost-model counters diverge across codecs:\n binary: %+v\n gob:    %+v", binServed, gobServed)
+	}
+	if binServed.Lookups == 0 || binServed.BatchOps == 0 {
+		t.Errorf("oracle workload did not exercise the cost model: %+v", binServed)
+	}
+}
