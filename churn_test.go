@@ -82,10 +82,11 @@ func TestTornSplitOverChordRepaired(t *testing.T) {
 		t.Fatal(err)
 	}
 	crash := lht.WithCrashPoints(ring, lht.CrashRule{
-		Op:  lht.OpPut,
+		Op:  lht.OpCreateIf,
 		Key: func(k string) bool { return k == "#0" },
-		// The first Put to "#0" is the root split pushing its remote half
-		// out; After loses only the acknowledgement, Halt kills the writer.
+		// The split pushes its remote half out to "#0" with a
+		// create-if-absent; After loses only the acknowledgement, Halt
+		// kills the writer.
 		N: 1, After: true, Halt: true,
 	})
 	ix, err := lht.New(crash, lht.Config{SplitThreshold: 4, Depth: 20})

@@ -61,9 +61,10 @@ type config struct {
 // the ablation studies (a1: lookup strategy, a2: merge hysteresis, a3:
 // theta sweep, a4: client leaf cache, a5: retry policy under faults,
 // a6: batched operation plane, a7: recovery under churn + torn
-// mutations, a8: framed binary wire codec vs gob) and the wire-protocol
-// parameter sweep (substrate x batch size x leaf cache x value size).
-var experimentNames = []string{"fig6a", "fig6b", "fig7", "fig8a", "fig8b", "fig9a", "fig9b", "eq3", "thm3", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "sweep", "s1", "rw1", "x1"}
+// mutations, a8: framed binary wire codec vs gob, a9: multi-writer
+// concurrency) and the wire-protocol parameter sweep (substrate x batch
+// size x leaf cache x value size).
+var experimentNames = []string{"fig6a", "fig6b", "fig7", "fig8a", "fig8b", "fig9a", "fig9b", "eq3", "thm3", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "a9", "sweep", "s1", "rw1", "x1"}
 
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("lht-bench", flag.ContinueOnError)
@@ -325,6 +326,14 @@ func runExperiments(ctx context.Context, cfg config, out io.Writer) error {
 			return err
 		}
 		emit(allocs, thru, tail)
+	}
+	if want("a9") {
+		thru, rounds, cont, err := bench.RunWriterAblation(cfg.opts, workload.Uniform,
+			sizes[len(sizes)-1], []int{1, 2, 4, 8})
+		if err != nil {
+			return err
+		}
+		emit(thru, rounds, cont)
 	}
 	if want("sweep") {
 		rt, tpBatch, tpValue, err := bench.RunSweep(cfg.opts, sizes[0])

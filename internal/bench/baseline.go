@@ -14,7 +14,8 @@ import (
 // hardware and would flake. gatedResult picks the former by YLabel.
 func gatedResult(r Result) bool {
 	y := strings.ToLower(r.YLabel)
-	return strings.Contains(y, "round trips") || strings.Contains(y, "allocs/op")
+	return strings.Contains(y, "round trips") || strings.Contains(y, "allocs/op") ||
+		strings.Contains(y, "cas conflicts")
 }
 
 // LoadReport reads a bench report written by Report.WriteFile.

@@ -127,6 +127,9 @@ func RunWireAblation(o Options) (Result, Result, Result, error) {
 	if err := wireOracle(o); err != nil {
 		return allocs, thru, tail, err
 	}
+	if err := wireCondOracle(o); err != nil {
+		return allocs, thru, tail, err
+	}
 
 	arms := []struct {
 		name string
@@ -428,6 +431,128 @@ func wireOracleArm(o Options, addrs *[]string, wire tcpnet.Wire) ([]byte, wireSe
 		return nil, wireServed{}, err
 	}
 	return buf.Bytes(), cl.served(), nil
+}
+
+// wireCondCost is the comparable slice of one client's cost counters the
+// conditional-interleave oracle diffs across codecs.
+type wireCondCost struct {
+	Lookups, BatchOps, BatchedKeys            int64
+	CASConflicts, WriterRetries, CASFallbacks int64
+}
+
+// wireCondOracle pins the conditional-write plane across codecs: one
+// shared cluster, two index clients — one per wire — interleaving every
+// mutation class (epoch-guarded inserts, deletes through RemoveIf, splits
+// through CreateIf, merges) against the same tree. Both clients must read
+// back byte-identical leaves, and re-running with the codecs' roles
+// swapped on a rebound cluster must reproduce the same tree, the same
+// server-side counters, and exactly transposed client-side costs — the
+// codec may never leak into what a conditional op costs or stores.
+func wireCondOracle(o Options) error {
+	type armResult struct {
+		tree   []byte
+		even   wireCondCost // the client driving even-indexed ops
+		odd    wireCondCost
+		served wireServed
+	}
+	costOf := func(ix *lht.Index) wireCondCost {
+		f := ix.Metrics().Flat()
+		return wireCondCost{
+			Lookups: f.Lookups, BatchOps: f.BatchOps, BatchedKeys: f.BatchedKeys,
+			CASConflicts: f.CASConflicts, WriterRetries: f.WriterRetries, CASFallbacks: f.CASFallbacks,
+		}
+	}
+	run := func(addrs *[]string, swap bool) (armResult, error) {
+		var res armResult
+		cl, err := startWireCluster(3, *addrs)
+		if err != nil {
+			return res, err
+		}
+		defer cl.close()
+		if len(*addrs) == 0 {
+			*addrs = append(*addrs, cl.addrs...)
+		}
+		wires := []tcpnet.Wire{tcpnet.WireBinary, tcpnet.WireGob}
+		if swap {
+			wires[0], wires[1] = wires[1], wires[0]
+		}
+		clients := make([]*lht.Index, 2)
+		for i, w := range wires {
+			c, err := tcpnet.Dial(cl.addrs, tcpnet.WithWire(w))
+			if err != nil {
+				return res, err
+			}
+			defer func() { _ = c.Close() }()
+			if clients[i], err = lht.New(c, lht.Config{SplitThreshold: 8, MergeThreshold: 6, Depth: 20}); err != nil {
+				return res, err
+			}
+		}
+
+		rng := rand.New(rand.NewSource(o.Seed + 43))
+		keys := make([]float64, 160)
+		for i := range keys {
+			keys[i] = rng.Float64()
+			if _, err := clients[i%2].Insert(record.Record{Key: keys[i], Value: []byte(fmt.Sprintf("c%d", i))}); err != nil {
+				return res, fmt.Errorf("interleaved insert %d: %w", i, err)
+			}
+		}
+		for i := 0; i < 60; i++ {
+			// Each client deletes keys the other inserted, so the
+			// epoch-guarded removes cross codecs.
+			if _, err := clients[(i+1)%2].Delete(keys[i]); err != nil {
+				return res, fmt.Errorf("interleaved delete %d: %w", i, err)
+			}
+		}
+		for i := 60; i < 120; i++ {
+			if _, _, err := clients[(i+1)%2].Search(keys[i]); err != nil {
+				return res, fmt.Errorf("cross-codec search %d: %w", i, err)
+			}
+		}
+
+		// Both clients must agree on the final bytes.
+		var trees [2][]byte
+		for i, ix := range clients {
+			leaves, err := ix.Leaves()
+			if err != nil {
+				return res, err
+			}
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(leaves); err != nil {
+				return res, err
+			}
+			trees[i] = buf.Bytes()
+		}
+		if !bytes.Equal(trees[0], trees[1]) {
+			return res, fmt.Errorf("the two codecs read different trees from one store: %d vs %d bytes", len(trees[0]), len(trees[1]))
+		}
+		res.tree = trees[0]
+		res.even, res.odd = costOf(clients[0]), costOf(clients[1])
+		res.served = cl.served()
+		return res, nil
+	}
+
+	var addrs []string
+	a, err := run(&addrs, false)
+	if err != nil {
+		return fmt.Errorf("bench: conditional wire oracle: %w", err)
+	}
+	b, err := run(&addrs, true)
+	if err != nil {
+		return fmt.Errorf("bench: conditional wire oracle (swapped): %w", err)
+	}
+	if !bytes.Equal(a.tree, b.tree) {
+		return fmt.Errorf("bench: conditional interleave tree differs across codec role swap")
+	}
+	if a.served != b.served {
+		return fmt.Errorf("bench: served counters differ across codec role swap: %+v vs %+v", a.served, b.served)
+	}
+	if a.even != b.even || a.odd != b.odd {
+		return fmt.Errorf("bench: client cost counters leak the codec: %+v/%+v vs %+v/%+v", a.even, a.odd, b.even, b.odd)
+	}
+	if a.even.CASFallbacks != 0 || a.odd.CASFallbacks != 0 {
+		return fmt.Errorf("bench: conditional ops fell back to fetch-verify on a native wire: %+v %+v", a.even, a.odd)
+	}
+	return nil
 }
 
 // Sweep dimensions: batched-operation cap and record payload size.

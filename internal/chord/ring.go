@@ -66,9 +66,17 @@ type Ring struct {
 	mu    sync.Mutex
 	rng   *rand.Rand
 	nodes map[string]*Node // every node ever added and not removed
+
+	// casMu serializes conditional read-compare-write cycles per key
+	// across the key's whole replica set, standing in for the responsible
+	// peer applying the CAS atomically in a deployed ring.
+	casMu dht.KeyLocks
 }
 
-var _ dht.DHT = (*Ring)(nil)
+var (
+	_ dht.DHT         = (*Ring)(nil)
+	_ dht.Conditional = (*Ring)(nil)
+)
 
 // NewRing creates a ring with n initial nodes named "n0".."n<n-1>", fully
 // stabilized.
@@ -407,6 +415,112 @@ func (r *Ring) Write(ctx context.Context, key string, v dht.Value) error {
 	r.mu.Unlock()
 	if len(holders) == 0 {
 		return dht.ErrNotFound
+	}
+	for _, n := range holders {
+		n.rpcWriteLocal(key, v)
+	}
+	return nil
+}
+
+// PutIf implements dht.Conditional: route to the replica chain, compare
+// the stored epoch, and store on every replica — all under the key's CAS
+// stripe so racing conditional writers serialize exactly as they would on
+// the one responsible peer.
+func (r *Ring) PutIf(ctx context.Context, key string, v dht.Value, ifEpoch uint64) error {
+	r.casMu.Lock(key)
+	defer r.casMu.Unlock(key)
+	chain, _, slid, err := r.replicaChain(ctx, key)
+	if err != nil {
+		return err
+	}
+	cur, found := fetchChain(chain, key)
+	if !found {
+		if slid {
+			// The holder may be down, not absent: the compare cannot run.
+			return errMissing(key, slid)
+		}
+		return &dht.CASConflictError{Key: key}
+	}
+	if e := dht.EpochOf(cur); e != ifEpoch {
+		return &dht.CASConflictError{Key: key, Exists: true, WinnerEpoch: e}
+	}
+	for _, n := range chain {
+		n.rpcStore(key, v)
+	}
+	return nil
+}
+
+// CreateIf implements dht.Conditional.
+func (r *Ring) CreateIf(ctx context.Context, key string, v dht.Value) error {
+	r.casMu.Lock(key)
+	defer r.casMu.Unlock(key)
+	chain, _, slid, err := r.replicaChain(ctx, key)
+	if err != nil {
+		return err
+	}
+	if cur, found := fetchChain(chain, key); found {
+		return &dht.CASConflictError{Key: key, Exists: true, WinnerEpoch: dht.EpochOf(cur)}
+	} else if slid {
+		// Absence is unprovable while a holder is unreachable.
+		return errMissing(key, slid)
+	}
+	for _, n := range chain {
+		n.rpcStore(key, v)
+	}
+	return nil
+}
+
+// RemoveIf implements dht.Conditional; removing an absent key succeeds.
+func (r *Ring) RemoveIf(ctx context.Context, key string, ifEpoch uint64) error {
+	r.casMu.Lock(key)
+	defer r.casMu.Unlock(key)
+	chain, _, slid, err := r.replicaChain(ctx, key)
+	if err != nil {
+		return err
+	}
+	cur, found := fetchChain(chain, key)
+	if !found {
+		if slid {
+			return errMissing(key, slid)
+		}
+		return nil
+	}
+	if e := dht.EpochOf(cur); e != ifEpoch {
+		return &dht.CASConflictError{Key: key, Exists: true, WinnerEpoch: e}
+	}
+	for _, n := range chain {
+		n.rpcRemove(key)
+	}
+	return nil
+}
+
+// WriteIf implements dht.Conditional: like Write, the storing replicas
+// rewrite in place without routing, but only when the stored epoch still
+// matches.
+func (r *Ring) WriteIf(ctx context.Context, key string, v dht.Value, ifEpoch uint64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	r.casMu.Lock(key)
+	defer r.casMu.Unlock(key)
+	r.mu.Lock()
+	holders := make([]*Node, 0, r.cfg.Replicas)
+	for _, n := range r.nodes {
+		n.mu.Lock()
+		_, ok := n.data[key]
+		n.mu.Unlock()
+		if ok {
+			holders = append(holders, n)
+		}
+	}
+	r.mu.Unlock()
+	if len(holders) == 0 {
+		return dht.ErrNotFound
+	}
+	if cur, ok := holders[0].rpcFetch(key); ok {
+		if e := dht.EpochOf(cur); e != ifEpoch {
+			return &dht.CASConflictError{Key: key, Exists: true, WinnerEpoch: e}
+		}
 	}
 	for _, n := range holders {
 		n.rpcWriteLocal(key, v)

@@ -65,8 +65,27 @@ func DoPutBatch(ctx context.Context, d DHT, kvs []KV) []error {
 
 // withoutBatch hides a substrate's Batcher implementation: only the five
 // DHT methods promote through the embedded interface, so DoGetBatch /
-// DoPutBatch fall back to per-op calls.
+// DoPutBatch fall back to per-op calls. The conditional plane is passed
+// through untouched — the wrapper strips batching, not CAS; without the
+// pass-through the A6 ablation arms would diverge in lookups (the per-op
+// arm's conditional puts would degrade to fetch-verify emulation).
 type withoutBatch struct{ DHT }
+
+func (w withoutBatch) PutIf(ctx context.Context, key string, v Value, ifEpoch uint64) error {
+	return DoPutIf(ctx, w.DHT, key, v, ifEpoch)
+}
+
+func (w withoutBatch) CreateIf(ctx context.Context, key string, v Value) error {
+	return DoCreateIf(ctx, w.DHT, key, v)
+}
+
+func (w withoutBatch) RemoveIf(ctx context.Context, key string, ifEpoch uint64) error {
+	return DoRemoveIf(ctx, w.DHT, key, ifEpoch)
+}
+
+func (w withoutBatch) WriteIf(ctx context.Context, key string, v Value, ifEpoch uint64) error {
+	return DoWriteIf(ctx, w.DHT, key, v, ifEpoch)
+}
 
 // WithoutBatch returns d stripped of its batched-operation plane, forcing
 // every batch through the per-op fallback. Benchmarks use it as the

@@ -45,6 +45,19 @@ const (
 	OpGetBatch
 	// OpPutBatch is the wire-level framed multi-put.
 	OpPutBatch
+
+	// The conditional kinds are index-visible operation classes like
+	// OpGet/OpPut: crash schedules match them, and the framed wire carries
+	// them as op bytes.
+
+	// OpPutIf matches PutIf (epoch-guarded replace).
+	OpPutIf
+	// OpCreateIf matches CreateIf (create-if-absent).
+	OpCreateIf
+	// OpRemoveIf matches RemoveIf (epoch-guarded delete).
+	OpRemoveIf
+	// OpWriteIf matches WriteIf (epoch-guarded in-place rewrite).
+	OpWriteIf
 )
 
 // String names the kind for logs and test failures.
@@ -68,6 +81,14 @@ func (k OpKind) String() string {
 		return "getbatch"
 	case OpPutBatch:
 		return "putbatch"
+	case OpPutIf:
+		return "putif"
+	case OpCreateIf:
+		return "createif"
+	case OpRemoveIf:
+		return "removeif"
+	case OpWriteIf:
+		return "writeif"
 	}
 	return "unknown"
 }
@@ -116,8 +137,9 @@ type CrashPoints struct {
 }
 
 var (
-	_ DHT     = (*CrashPoints)(nil)
-	_ Batcher = (*CrashPoints)(nil)
+	_ DHT         = (*CrashPoints)(nil)
+	_ Batcher     = (*CrashPoints)(nil)
+	_ Conditional = (*CrashPoints)(nil)
 )
 
 // WithCrashPoints wraps d with the given schedule. Rules are evaluated in
@@ -251,6 +273,59 @@ func (c *CrashPoints) Write(ctx context.Context, key string, val Value) error {
 		return v.err
 	}
 	err := c.inner.Write(ctx, key, val)
+	if v.fail {
+		return v.err
+	}
+	return err
+}
+
+// PutIf implements Conditional: scheduled as one OpPutIf, then delegated
+// to the inner substrate's native CAS (or the fetch-verify fallback).
+func (c *CrashPoints) PutIf(ctx context.Context, key string, val Value, ifEpoch uint64) error {
+	v := c.decide(OpPutIf, key)
+	if v.fail && !v.after {
+		return v.err
+	}
+	err := DoPutIf(ctx, c.inner, key, val, ifEpoch)
+	if v.fail {
+		return v.err
+	}
+	return err
+}
+
+// CreateIf implements Conditional.
+func (c *CrashPoints) CreateIf(ctx context.Context, key string, val Value) error {
+	v := c.decide(OpCreateIf, key)
+	if v.fail && !v.after {
+		return v.err
+	}
+	err := DoCreateIf(ctx, c.inner, key, val)
+	if v.fail {
+		return v.err
+	}
+	return err
+}
+
+// RemoveIf implements Conditional.
+func (c *CrashPoints) RemoveIf(ctx context.Context, key string, ifEpoch uint64) error {
+	v := c.decide(OpRemoveIf, key)
+	if v.fail && !v.after {
+		return v.err
+	}
+	err := DoRemoveIf(ctx, c.inner, key, ifEpoch)
+	if v.fail {
+		return v.err
+	}
+	return err
+}
+
+// WriteIf implements Conditional.
+func (c *CrashPoints) WriteIf(ctx context.Context, key string, val Value, ifEpoch uint64) error {
+	v := c.decide(OpWriteIf, key)
+	if v.fail && !v.after {
+		return v.err
+	}
+	err := DoWriteIf(ctx, c.inner, key, val, ifEpoch)
 	if v.fail {
 		return v.err
 	}

@@ -170,6 +170,47 @@ func RunCrashPoints(t *testing.T, factory func(t *testing.T) dht.DHT) {
 		}
 	})
 
+	t.Run("ConditionalKindsScheduled", func(t *testing.T) {
+		// The conditional op kinds are index-visible operation classes:
+		// rules match them precisely (never each other, never plain puts),
+		// ordinals count per kind, and After keeps the same durable-effect
+		// semantics the plain kinds have.
+		inner := factory(t)
+		c := dht.WithCrashPoints(inner,
+			dht.CrashRule{Op: dht.OpCreateIf, N: 1, After: true},
+			dht.CrashRule{Op: dht.OpPutIf, N: 2},
+			dht.CrashRule{Op: dht.OpWriteIf, N: 1},
+			dht.CrashRule{Op: dht.OpRemoveIf, N: 1},
+		)
+		if err := dht.DoCreateIf(ctx, c, "a", &EpochValue{Epoch: 1, Body: "v1"}); !errors.Is(err, dht.ErrCrashed) {
+			t.Fatalf("CreateIf = %v, want ErrCrashed (After rule)", err)
+		}
+		if body, _ := condBody(t, inner, "a"); body != "v1" {
+			t.Fatalf("crash-after-create not durable: %q", body)
+		}
+		if err := dht.DoPutIf(ctx, c, "a", &EpochValue{Epoch: 2, Body: "v2"}, 1); err != nil {
+			t.Fatalf("1st PutIf = %v, want success (rule fires on the 2nd)", err)
+		}
+		if err := dht.DoPutIf(ctx, c, "a", &EpochValue{Epoch: 3, Body: "v3"}, 2); !errors.Is(err, dht.ErrCrashed) {
+			t.Fatalf("2nd PutIf = %v, want ErrCrashed", err)
+		}
+		if body, epoch := condBody(t, inner, "a"); body != "v2" || epoch != 2 {
+			t.Fatalf("crashed-before PutIf landed: %q/%d, want v2/2", body, epoch)
+		}
+		if err := dht.DoWriteIf(ctx, c, "a", &EpochValue{Epoch: 3, Body: "v3"}, 2); !errors.Is(err, dht.ErrCrashed) {
+			t.Fatalf("WriteIf = %v, want ErrCrashed", err)
+		}
+		if err := dht.DoRemoveIf(ctx, c, "a", 2); !errors.Is(err, dht.ErrCrashed) {
+			t.Fatalf("RemoveIf = %v, want ErrCrashed", err)
+		}
+		if body, _ := condBody(t, inner, "a"); body != "v2" {
+			t.Fatalf("crashed conditional ops disturbed the store: %q", body)
+		}
+		if got, want := c.Ops(), 5; got != want {
+			t.Fatalf("Ops() = %d, want %d (each conditional op counts once)", got, want)
+		}
+	})
+
 	t.Run("BatchCrashAfterPut", func(t *testing.T) {
 		// In a batched round, After=true keeps the effect for exactly the
 		// scheduled slot while its error stands; other slots are untouched.

@@ -30,8 +30,9 @@ type Instrumented struct {
 }
 
 var (
-	_ DHT     = (*Instrumented)(nil)
-	_ Batcher = (*Instrumented)(nil)
+	_ DHT         = (*Instrumented)(nil)
+	_ Batcher     = (*Instrumented)(nil)
+	_ Conditional = (*Instrumented)(nil)
 )
 
 // NewInstrumented wraps inner, charging costs to c. c must not be nil.
@@ -239,6 +240,88 @@ func (d *Instrumented) Write(ctx context.Context, key string, v Value) error {
 	if d.sink != nil {
 		// Write charges nothing, so the labels were not read yet.
 		d.emit(metrics.LabelsFrom(ctx), "write", key, 1, start, err)
+	}
+	return err
+}
+
+// noteCAS tallies a finished conditional operation: one CASConflict when
+// the compare lost, plus the usual context-outcome counters.
+func (d *Instrumented) noteCAS(err error) {
+	if errors.Is(err, ErrCASConflict) {
+		d.c.AddCASConflicts(1)
+	}
+	d.note(err)
+}
+
+// PutIf implements Conditional, counting one lookup like Put. When the
+// wrapped substrate has no native CAS, the operation decomposes into this
+// wrapper's own charged Get + Put (two lookups — the price of emulation)
+// and is tallied as a CASFallback.
+func (d *Instrumented) PutIf(ctx context.Context, key string, v Value, ifEpoch uint64) error {
+	cd, ok := d.inner.(Conditional)
+	if !ok {
+		d.c.AddCASFallbacks(1)
+		err := fallbackPutIf(ctx, d, key, v, ifEpoch)
+		d.noteCAS(err)
+		return err
+	}
+	lb := d.charge(ctx, 1)
+	start := d.start()
+	err := cd.PutIf(ctx, key, v, ifEpoch)
+	d.noteCAS(err)
+	d.emit(lb, "putif", key, 1, start, err)
+	return err
+}
+
+// CreateIf implements Conditional, counting one lookup like Put.
+func (d *Instrumented) CreateIf(ctx context.Context, key string, v Value) error {
+	cd, ok := d.inner.(Conditional)
+	if !ok {
+		d.c.AddCASFallbacks(1)
+		err := fallbackCreateIf(ctx, d, key, v)
+		d.noteCAS(err)
+		return err
+	}
+	lb := d.charge(ctx, 1)
+	start := d.start()
+	err := cd.CreateIf(ctx, key, v)
+	d.noteCAS(err)
+	d.emit(lb, "createif", key, 1, start, err)
+	return err
+}
+
+// RemoveIf implements Conditional, counting one lookup like Remove.
+func (d *Instrumented) RemoveIf(ctx context.Context, key string, ifEpoch uint64) error {
+	cd, ok := d.inner.(Conditional)
+	if !ok {
+		d.c.AddCASFallbacks(1)
+		err := fallbackRemoveIf(ctx, d, key, ifEpoch)
+		d.noteCAS(err)
+		return err
+	}
+	lb := d.charge(ctx, 1)
+	start := d.start()
+	err := cd.RemoveIf(ctx, key, ifEpoch)
+	d.noteCAS(err)
+	d.emit(lb, "removeif", key, 1, start, err)
+	return err
+}
+
+// WriteIf implements Conditional; like Write it is free in the cost model
+// but still traced and conflict-counted.
+func (d *Instrumented) WriteIf(ctx context.Context, key string, v Value, ifEpoch uint64) error {
+	cd, ok := d.inner.(Conditional)
+	if !ok {
+		d.c.AddCASFallbacks(1)
+		err := fallbackWriteIf(ctx, d, key, v, ifEpoch)
+		d.noteCAS(err)
+		return err
+	}
+	start := d.start()
+	err := cd.WriteIf(ctx, key, v, ifEpoch)
+	d.noteCAS(err)
+	if d.sink != nil {
+		d.emit(metrics.LabelsFrom(ctx), "writeif", key, 1, start, err)
 	}
 	return err
 }

@@ -17,8 +17,9 @@ type Local struct {
 }
 
 var (
-	_ DHT     = (*Local)(nil)
-	_ Batcher = (*Local)(nil)
+	_ DHT         = (*Local)(nil)
+	_ Batcher     = (*Local)(nil)
+	_ Conditional = (*Local)(nil)
 )
 
 // NewLocal returns an empty single-process DHT.
@@ -86,6 +87,76 @@ func (l *Local) Write(ctx context.Context, key string, v Value) error {
 	defer l.mu.Unlock()
 	if _, ok := l.data[key]; !ok {
 		return ErrNotFound
+	}
+	l.data[key] = v
+	return nil
+}
+
+// PutIf implements Conditional: the compare and the swap happen under one
+// lock acquisition, the single-process analogue of the responsible peer
+// applying the CAS atomically.
+func (l *Local) PutIf(ctx context.Context, key string, v Value, ifEpoch uint64) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cur, ok := l.data[key]
+	if !ok {
+		return casConflict(key, false, 0)
+	}
+	if e := EpochOf(cur); e != ifEpoch {
+		return casConflict(key, true, e)
+	}
+	l.data[key] = v
+	return nil
+}
+
+// CreateIf implements Conditional.
+func (l *Local) CreateIf(ctx context.Context, key string, v Value) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if cur, ok := l.data[key]; ok {
+		return casConflict(key, true, EpochOf(cur))
+	}
+	l.data[key] = v
+	return nil
+}
+
+// RemoveIf implements Conditional; removing an absent key succeeds.
+func (l *Local) RemoveIf(ctx context.Context, key string, ifEpoch uint64) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cur, ok := l.data[key]
+	if !ok {
+		return nil
+	}
+	if e := EpochOf(cur); e != ifEpoch {
+		return casConflict(key, true, e)
+	}
+	delete(l.data, key)
+	return nil
+}
+
+// WriteIf implements Conditional: the free in-place rewrite, guarded.
+func (l *Local) WriteIf(ctx context.Context, key string, v Value, ifEpoch uint64) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cur, ok := l.data[key]
+	if !ok {
+		return ErrNotFound
+	}
+	if e := EpochOf(cur); e != ifEpoch {
+		return casConflict(key, true, e)
 	}
 	l.data[key] = v
 	return nil

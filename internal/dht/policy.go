@@ -100,8 +100,9 @@ type PolicyDHT struct {
 }
 
 var (
-	_ DHT     = (*PolicyDHT)(nil)
-	_ Batcher = (*PolicyDHT)(nil)
+	_ DHT         = (*PolicyDHT)(nil)
+	_ Batcher     = (*PolicyDHT)(nil)
+	_ Conditional = (*PolicyDHT)(nil)
 )
 
 // WithPolicy wraps inner so every routed operation retries transient
@@ -309,5 +310,39 @@ func (d *PolicyDHT) Remove(ctx context.Context, key string) error {
 func (d *PolicyDHT) Write(ctx context.Context, key string, v Value) error {
 	return d.do(ctx, func(ctx context.Context) error {
 		return d.inner.Write(ctx, key, v)
+	})
+}
+
+// The conditional operations retry transient faults exactly like their
+// unconditional counterparts. CAS conflicts are permanent outcomes —
+// IsTransient rejects them — so a lost compare-and-swap surfaces to the
+// index layer's optimistic-retry loop on the first attempt instead of
+// burning backoff rounds on an identical doomed operation.
+
+// PutIf implements Conditional with retries on transient faults only.
+func (d *PolicyDHT) PutIf(ctx context.Context, key string, v Value, ifEpoch uint64) error {
+	return d.do(ctx, func(ctx context.Context) error {
+		return DoPutIf(ctx, d.inner, key, v, ifEpoch)
+	})
+}
+
+// CreateIf implements Conditional with retries on transient faults only.
+func (d *PolicyDHT) CreateIf(ctx context.Context, key string, v Value) error {
+	return d.do(ctx, func(ctx context.Context) error {
+		return DoCreateIf(ctx, d.inner, key, v)
+	})
+}
+
+// RemoveIf implements Conditional with retries on transient faults only.
+func (d *PolicyDHT) RemoveIf(ctx context.Context, key string, ifEpoch uint64) error {
+	return d.do(ctx, func(ctx context.Context) error {
+		return DoRemoveIf(ctx, d.inner, key, ifEpoch)
+	})
+}
+
+// WriteIf implements Conditional with retries on transient faults only.
+func (d *PolicyDHT) WriteIf(ctx context.Context, key string, v Value, ifEpoch uint64) error {
+	return d.do(ctx, func(ctx context.Context) error {
+		return DoWriteIf(ctx, d.inner, key, v, ifEpoch)
 	})
 }

@@ -109,9 +109,17 @@ type Network struct {
 	mu    sync.Mutex
 	rng   *rand.Rand
 	nodes map[string]*node
+
+	// casMu serializes conditional read-compare-write cycles per key
+	// across the key's K-closest replica set, standing in for the storing
+	// peers applying the CAS atomically in a deployed network.
+	casMu dht.KeyLocks
 }
 
-var _ dht.DHT = (*Network)(nil)
+var (
+	_ dht.DHT         = (*Network)(nil)
+	_ dht.Conditional = (*Network)(nil)
+)
 
 // NewNetwork creates a network of n nodes named "k0".."k<n-1>", each
 // bootstrapped through a random earlier node.
@@ -429,6 +437,139 @@ func (nw *Network) Write(ctx context.Context, key string, v dht.Value) error {
 	nw.mu.Unlock()
 	if len(holders) == 0 {
 		return dht.ErrNotFound
+	}
+	for _, n := range holders {
+		n.rpcWriteLocal(key, v)
+	}
+	return nil
+}
+
+// casResolve routes to the K closest nodes and reads the current value
+// for key from the first replica holding it.
+func (nw *Network) casResolve(ctx context.Context, key string) (refs []Ref, origin *node, cur dht.Value, found bool, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, nil, false, err
+	}
+	origin, err = nw.entry()
+	if err != nil {
+		return nil, nil, nil, false, err
+	}
+	refs, _ = nw.iterativeFindNode(ctx, origin, hashring.HashKey(key))
+	if err := ctx.Err(); err != nil {
+		return nil, nil, nil, false, err
+	}
+	if len(refs) == 0 {
+		return nil, nil, nil, false, dht.MarkTransient(ErrNoNodes)
+	}
+	for _, r := range refs {
+		peer, err := nw.dial(origin, r.Addr)
+		if err != nil {
+			continue
+		}
+		if v, ok, _ := peer.rpcFindValue(origin.ref, key, nw.cfg.K); ok {
+			return refs, origin, v, true, nil
+		}
+	}
+	return refs, origin, nil, false, nil
+}
+
+// storeOn STOREs v on every reachable ref.
+func (nw *Network) storeOn(origin *node, refs []Ref, key string, v dht.Value) {
+	for _, r := range refs {
+		peer, err := nw.dial(origin, r.Addr)
+		if err != nil {
+			continue
+		}
+		peer.rpcStore(origin.ref, key, v)
+	}
+}
+
+// PutIf implements dht.Conditional: resolve the K closest, compare the
+// stored epoch, and store — all under the key's CAS stripe so racing
+// conditional writers serialize.
+func (nw *Network) PutIf(ctx context.Context, key string, v dht.Value, ifEpoch uint64) error {
+	nw.casMu.Lock(key)
+	defer nw.casMu.Unlock(key)
+	refs, origin, cur, found, err := nw.casResolve(ctx, key)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return &dht.CASConflictError{Key: key}
+	}
+	if e := dht.EpochOf(cur); e != ifEpoch {
+		return &dht.CASConflictError{Key: key, Exists: true, WinnerEpoch: e}
+	}
+	nw.storeOn(origin, refs, key, v)
+	return nil
+}
+
+// CreateIf implements dht.Conditional.
+func (nw *Network) CreateIf(ctx context.Context, key string, v dht.Value) error {
+	nw.casMu.Lock(key)
+	defer nw.casMu.Unlock(key)
+	refs, origin, cur, found, err := nw.casResolve(ctx, key)
+	if err != nil {
+		return err
+	}
+	if found {
+		return &dht.CASConflictError{Key: key, Exists: true, WinnerEpoch: dht.EpochOf(cur)}
+	}
+	nw.storeOn(origin, refs, key, v)
+	return nil
+}
+
+// RemoveIf implements dht.Conditional; removing an absent key succeeds.
+func (nw *Network) RemoveIf(ctx context.Context, key string, ifEpoch uint64) error {
+	nw.casMu.Lock(key)
+	defer nw.casMu.Unlock(key)
+	refs, origin, cur, found, err := nw.casResolve(ctx, key)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return nil
+	}
+	if e := dht.EpochOf(cur); e != ifEpoch {
+		return &dht.CASConflictError{Key: key, Exists: true, WinnerEpoch: e}
+	}
+	for _, r := range refs {
+		peer, err := nw.dial(origin, r.Addr)
+		if err != nil {
+			continue
+		}
+		peer.rpcDelete(key)
+	}
+	return nil
+}
+
+// WriteIf implements dht.Conditional: every holder rewrites in place, but
+// only when the stored epoch still matches.
+func (nw *Network) WriteIf(ctx context.Context, key string, v dht.Value, ifEpoch uint64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	nw.casMu.Lock(key)
+	defer nw.casMu.Unlock(key)
+	nw.mu.Lock()
+	holders := make([]*node, 0, nw.cfg.K)
+	for _, n := range nw.nodes {
+		n.mu.Lock()
+		_, ok := n.data[key]
+		n.mu.Unlock()
+		if ok {
+			holders = append(holders, n)
+		}
+	}
+	nw.mu.Unlock()
+	if len(holders) == 0 {
+		return dht.ErrNotFound
+	}
+	holders[0].mu.Lock()
+	cur := holders[0].data[key]
+	holders[0].mu.Unlock()
+	if e := dht.EpochOf(cur); e != ifEpoch {
+		return &dht.CASConflictError{Key: key, Exists: true, WinnerEpoch: e}
 	}
 	for _, n := range holders {
 		n.rpcWriteLocal(key, v)

@@ -84,6 +84,11 @@ type Pending struct {
 // i.e. a writer crashed between the intent and the final write.
 func (b *Bucket) Torn() bool { return b.Pending.Kind != PendingNone }
 
+// DHTEpoch implements dht.Epocher: conditional substrate writes compare
+// the stored bucket's epoch against the writer's expectation, which is
+// what serializes concurrent index mutations of one bucket.
+func (b *Bucket) DHTEpoch() uint64 { return b.Epoch }
+
 // Weight is the storage occupancy of the bucket: the record count plus one
 // slot for the leaf label (section 9.2 notes the label occupies one record
 // slot, which is what shifts the average alpha to 1/2 + 1/(2*theta)).

@@ -110,9 +110,45 @@ func (ix *Index) BulkLoadContext(ctx context.Context, recs []record.Record) (cos
 	}
 	build(bitlabel.TreeRoot, sorted)
 
-	// Ship every leaf to its name: the puts are independent, so they go
-	// out as parallel batches — one conceptual round, hence one step.
-	// Every attempted put is a lookup whether it lands or not.
+	// Claim the bootstrap slot first. The leftmost leaf's name is always
+	// the bootstrap key "#" (the naming function strips its trailing
+	// zero-run), so an epoch-guarded put of that leaf over the probed
+	// bootstrap bucket is the load's commit point: losing the claim means
+	// another client mutated the index between the probe and now, and
+	// since nothing has shipped yet, the load degrades to per-record
+	// insertion instead of overwriting live data. The claim replaces one
+	// of the batched puts, so the load still costs leaves+1 lookups.
+	rootLeaf := leaves[0]
+	rootLeaf.Epoch = b.Epoch + 1
+	cost.Steps++
+	cost.Lookups++
+	cerr := dht.DoPutIf(ctx, ix.d, bitlabel.Root.Key(), rootLeaf, b.Epoch)
+	if errors.Is(cerr, dht.ErrCASConflict) {
+		ix.c.AddWriterRetries(1)
+		for _, r := range sorted {
+			c, ierr := ix.InsertContext(ctx, r)
+			cost.Add(c)
+			if ierr != nil {
+				return cost, fmt.Errorf("lht: bulk load degraded insert %g: %w", r.Key, ierr)
+			}
+		}
+		return cost, nil
+	}
+	if cerr != nil {
+		return cost, fmt.Errorf("lht: bulk load claim %q: %w", bitlabel.Root.Key(), cerr)
+	}
+	ix.c.AddMovedRecords(int64(rootLeaf.Weight()))
+	leaves = leaves[1:]
+	if len(leaves) == 0 {
+		return cost, nil
+	}
+
+	// Ship every remaining leaf to its name: the puts are independent, so
+	// they go out as parallel batches — one conceptual round, hence one
+	// step. Every attempted put is a lookup whether it lands or not. The
+	// ship is not guarded: the claim made the new root's leftmost leaf
+	// durable, so these keys are part of the committed tree and cannot be
+	// contested except by writers that already see the load's structure.
 	cost.Steps++
 	cost.Lookups += len(leaves)
 	kvs := make([]dht.KV, len(leaves))
@@ -153,10 +189,9 @@ func (ix *Index) BulkLoadContext(ctx context.Context, recs []record.Record) (cos
 	}
 	wg.Wait()
 	if firstErr != nil {
-		if shipped == 0 {
-			return cost, firstErr
-		}
-		return cost, &PartialLoadError{Shipped: shipped, Total: len(leaves), Err: firstErr}
+		// The claimed bootstrap leaf is always durable by now, so any
+		// failure past the claim leaves a partial tree (+1 counts it).
+		return cost, &PartialLoadError{Shipped: shipped + 1, Total: len(leaves) + 1, Err: firstErr}
 	}
 	// The bootstrap bucket was either replaced (single-leaf result) or
 	// superseded by the new root's leftmost leaf, which shares key "#".

@@ -32,17 +32,24 @@ type Cost = metrics.Cost
 
 // Index is an LHT index over a DHT substrate. Create one with New.
 //
-// Concurrency contract: queries (Search, LookupBucket, Range, Scan,
-// Min/Max, the walks) are safe to call concurrently from any number of
-// goroutines, including with the leaf cache enabled — the cache and the
-// cost counters are internally synchronized. Writers (Insert, Delete,
-// BulkLoad) are NOT serialized by this type: the index is a client-side
-// view of shared DHT state, and nothing here can lock a remote bucket, so
-// callers must serialize writers externally against both queries and each
-// other — i.e. use the index as if under a sync.RWMutex: any number of
-// concurrent readers, or exactly one writer. (In the deployed system each
-// bucket has one responsible peer serializing its updates; an in-process
-// client cannot provide that for the caller.)
+// Concurrency contract: every operation is safe to call concurrently from
+// any number of goroutines — readers and writers alike, across any number
+// of Index clients sharing one substrate. Mutations are optimistic: each
+// bucket carries a monotonic epoch, every read-modify-write commits with
+// an epoch-guarded conditional put (dht.Conditional), and a writer that
+// loses the compare-and-swap re-fetches the bucket, rebases its mutation
+// on the winner, and retries until it commits or its context ends. Lost
+// rounds and retries are visible in the Write counter group of Metrics.
+// Structural mutations (splits, merges) are likewise fenced: the
+// write-ahead intent takes the bucket's next epoch, so racing writers
+// either see the intent (and help complete it idempotently) or conflict
+// and retry — two clients racing one split converge on one winner and one
+// idempotent repair.
+//
+// On substrates without native conditional writes the commit degrades to
+// a fetch-verify-write emulation (counted in Write.CASFallbacks), which
+// closes no race window; true multi-writer safety needs a Conditional
+// substrate (Local, Chord, Kademlia and tcpnet all qualify).
 type Index struct {
 	d     dht.DHT
 	cfg   Config
@@ -72,7 +79,11 @@ func New(d dht.DHT, cfg Config) (*Index, error) {
 		if !errors.Is(err, dht.ErrNotFound) {
 			return nil, fmt.Errorf("lht: probe substrate: %w", err)
 		}
-		if err := d.Put(ctx, bitlabel.Root.Key(), &Bucket{Label: bitlabel.TreeRoot}); err != nil {
+		// Create-if-absent: two clients bootstrapping concurrently converge
+		// on one empty tree instead of the loser clobbering a root the
+		// winner may already have grown.
+		err := dht.DoCreateIf(ctx, d, bitlabel.Root.Key(), &Bucket{Label: bitlabel.TreeRoot})
+		if err != nil && !errors.Is(err, dht.ErrCASConflict) {
 			return nil, fmt.Errorf("lht: bootstrap: %w", err)
 		}
 	}
@@ -265,54 +276,79 @@ func (ix *Index) lookup(ctx context.Context, delta float64) (*Bucket, string, Co
 			ix.c.AddCacheMisses(1)
 		}
 	}
-	for lo <= hi {
-		mid := lo + (hi-lo)/2
-		x := mu.Prefix(mid)
-		name := x.Name()
-		b, err := ix.getBucket(ctx, name.Key(), &cost)
-		if err == nil && b.Torn() {
-			// In-line read-repair: a fetched bucket carrying a pending
-			// split/merge intent is completed (or rolled back) before the
-			// search interprets it, so a torn tree converges back to the
-			// never-crashed structure under ordinary query traffic.
-			b, err = ix.repairTorn(ctx, name.Key(), b, &cost)
-			// The repair changed tree structure, so bounds derived from
-			// probes of the pre-repair tree may exclude the new leaves
-			// (e.g. a split's remote child sits one level below an hi set
-			// by probing its then-absent key). Restart from the full
-			// range; the repaired bucket's own case analysis below is
-			// computed against the current tree and stays valid.
-			lo, hi = 1, ix.cfg.Depth
-		}
-		switch {
-		case errors.Is(err, dht.ErrNotFound):
-			// No leaf is named f_n(x): every prefix of mu in
-			// (len(f_n(x)), len(x)] shares that name and is ruled out.
-			hi = name.Len()
-		case err != nil:
-			cost.Steps = cost.Lookups
-			return nil, "", cost, err
-		case b.Contains(delta):
-			cost.Steps = cost.Lookups
-			return b, name.Key(), cost, nil
-		default:
-			// The bucket named f_n(x) does not cover delta, so x is an
-			// internal node; the next candidate is the first prefix of
-			// mu past x's trailing run (it has a different name).
-			next, ok := x.NextName(mu)
-			if !ok {
-				// mu continues with x's last bit to its full depth D, so
-				// no longer candidate exists; with a correctly sized D
-				// this cannot happen.
-				cost.Steps = cost.Lookups
-				return nil, "", cost, fmt.Errorf("%w: lookup %v exhausted mu %s at %s", ErrCorrupt, delta, mu, x)
+	// Algorithm 2's case analysis is sound against a static tree, but the
+	// probes of one search are not atomic: a concurrent split or merge
+	// landing between probes can make the derived bounds mutually
+	// inconsistent (a NotFound-tightened hi excludes a leaf created just
+	// after the probe), exhausting the search with no covering leaf. No
+	// interleaving can produce a wrong success — a returned bucket is a
+	// genuine leaf covering delta, and stale ones lose their commit CAS —
+	// so an exhausted search restarts from the full range and re-observes
+	// the (always valid) current tree. The restart budget keeps genuine
+	// corruption (a bucket missing where the naming invariants require
+	// one) a detected error rather than a livelock; a healthy tree with
+	// one writer never restarts, preserving the paper's lookup costs.
+	for attempt := 0; ; attempt++ {
+		for lo <= hi {
+			mid := lo + (hi-lo)/2
+			x := mu.Prefix(mid)
+			name := x.Name()
+			b, err := ix.getBucket(ctx, name.Key(), &cost)
+			if err == nil && b.Torn() {
+				// In-line read-repair: a fetched bucket carrying a pending
+				// split/merge intent is completed (or rolled back) before the
+				// search interprets it, so a torn tree converges back to the
+				// never-crashed structure under ordinary query traffic.
+				b, err = ix.repairTorn(ctx, name.Key(), b, &cost)
+				// The repair changed tree structure, so bounds derived from
+				// probes of the pre-repair tree may exclude the new leaves
+				// (e.g. a split's remote child sits one level below an hi set
+				// by probing its then-absent key). Restart from the full
+				// range; the repaired bucket's own case analysis below is
+				// computed against the current tree and stays valid.
+				lo, hi = 1, ix.cfg.Depth
 			}
-			lo = next.Len()
+			switch {
+			case errors.Is(err, dht.ErrNotFound):
+				// No leaf is named f_n(x): every prefix of mu in
+				// (len(f_n(x)), len(x)] shares that name and is ruled out.
+				hi = name.Len()
+			case err != nil:
+				cost.Steps = cost.Lookups
+				return nil, "", cost, err
+			case b.Contains(delta):
+				cost.Steps = cost.Lookups
+				return b, name.Key(), cost, nil
+			default:
+				// The bucket named f_n(x) does not cover delta, so x is an
+				// internal node; the next candidate is the first prefix of
+				// mu past x's trailing run (it has a different name).
+				next, ok := x.NextName(mu)
+				if !ok {
+					// mu continues with x's last bit to its full depth D, so
+					// no longer candidate exists against the probed tree;
+					// either corruption or a racing merge — restart decides.
+					lo = hi + 1
+					continue
+				}
+				lo = next.Len()
+			}
 		}
+		if attempt+1 >= lookupRestarts || ctx.Err() != nil {
+			break
+		}
+		lo, hi = 1, ix.cfg.Depth
 	}
 	cost.Steps = cost.Lookups
+	if err := ctx.Err(); err != nil {
+		return nil, "", cost, err
+	}
 	return nil, "", cost, fmt.Errorf("%w: lookup %v found no covering leaf", ErrCorrupt, delta)
 }
+
+// lookupRestarts bounds how many times one lookup may re-run its binary
+// search after exhausting it against a tree that mutated mid-search.
+const lookupRestarts = 8
 
 // Search is the exact-match query of section 5: an LHT lookup that returns
 // the record with the given data key, or ErrKeyNotFound.
@@ -343,37 +379,56 @@ func (ix *Index) Insert(rec record.Record) (Cost, error) {
 	return ix.InsertContext(context.Background(), rec)
 }
 
-// InsertContext is Insert with a caller-supplied context.
+// InsertContext is Insert with a caller-supplied context. The
+// read-modify-write is optimistic: the write-back is an epoch-guarded
+// conditional put, and losing the compare-and-swap to a concurrent writer
+// re-runs the whole round (lookup included — the leaf may have split or
+// merged under us) until the insert commits or ctx ends.
 func (ix *Index) InsertContext(ctx context.Context, rec record.Record) (cost Cost, err error) {
 	if err := keyspace.CheckKey(rec.Key); err != nil {
 		return Cost{}, err
 	}
 	ctx, done := ix.beginOp(ctx, metrics.OpInsert)
 	defer func() { done(err) }()
-	b, key, cost, err := ix.lookup(ctx, rec.Key)
-	if err != nil {
-		return cost, err
-	}
-	if i := record.FindByKey(b.Records, rec.Key); i >= 0 {
-		b.Records[i] = rec
-	} else {
-		b.Records = append(b.Records, rec)
-	}
-	b.Epoch++
-	cost.Lookups++
-	cost.Steps++
-	if err := ix.d.Put(ctx, key, b); err != nil {
-		return cost, fmt.Errorf("lht: write back %q: %w", key, err)
-	}
-	if b.Weight() >= ix.cfg.SplitThreshold {
-		splitCost, err := ix.split(ctx, key, b)
-		cost.Add(splitCost)
-		ix.c.AddMaintLookups(int64(splitCost.Lookups))
+	for {
+		b, key, lcost, err := ix.lookup(ctx, rec.Key)
+		cost.Add(lcost)
 		if err != nil {
 			return cost, err
 		}
+		// Mutate a private clone: the substrate may hand concurrent readers
+		// the very pointer it stores (the in-process substrates do).
+		nb := b.Clone()
+		if i := record.FindByKey(nb.Records, rec.Key); i >= 0 {
+			nb.Records[i] = rec
+		} else {
+			nb.Records = append(nb.Records, rec)
+		}
+		nb.Epoch++
+		cost.Lookups++
+		cost.Steps++
+		err = dht.DoPutIf(ctx, ix.d, key, nb, b.Epoch)
+		if errors.Is(err, dht.ErrCASConflict) {
+			ix.c.AddWriterRetries(1)
+			ix.cacheDrop(b.Label)
+			if cerr := ctx.Err(); cerr != nil {
+				return cost, cerr
+			}
+			continue
+		}
+		if err != nil {
+			return cost, fmt.Errorf("lht: write back %q: %w", key, err)
+		}
+		if nb.Weight() >= ix.cfg.SplitThreshold {
+			splitCost, err := ix.split(ctx, key, nb)
+			cost.Add(splitCost)
+			ix.c.AddMaintLookups(int64(splitCost.Lookups))
+			if err != nil {
+				return cost, err
+			}
+		}
+		return cost, nil
 	}
-	return cost, nil
 }
 
 // split performs Algorithm 1 on the bucket stored under key. One half
@@ -402,17 +457,27 @@ func (ix *Index) split(ctx context.Context, key string, b *Bucket) (Cost, error)
 		return cost, nil
 	}
 
-	// Step 1: mark the intent in place (free, local). A crash before this
-	// write leaves the old state untouched; a crash after leaves a marker
-	// every later fetch can act on.
-	b.Pending = Pending{Kind: PendingSplit}
-	if err := ix.d.Write(ctx, key, b); err != nil {
-		b.Pending = Pending{}
+	// Step 1: mark the intent in place (free, local). The marker takes the
+	// bucket's next epoch, which fences the split: any concurrent insert or
+	// delete still rebased on the pre-split bucket now loses its CAS and
+	// re-fetches — and what it re-fetches carries the intent, so it helps
+	// complete the split before retrying. Losing the fence ourselves means
+	// another writer committed first (possibly its own split); yield and
+	// let the structure settle — if the leaf is still over threshold, the
+	// next insert re-triggers the split.
+	marked := b.Clone()
+	marked.Pending = Pending{Kind: PendingSplit}
+	marked.Epoch = b.Epoch + 1
+	err := dht.DoWriteIf(ctx, ix.d, key, marked, b.Epoch)
+	if errors.Is(err, dht.ErrCASConflict) || errors.Is(err, dht.ErrNotFound) {
+		return cost, nil
+	}
+	if err != nil {
 		return cost, fmt.Errorf("lht: split intent %q: %w", key, err)
 	}
 
 	// Steps 2-3: push the remote half out, write the local half back.
-	_, rb, err := ix.completeSplit(ctx, key, b, &cost, false)
+	_, rb, err := ix.completeSplit(ctx, key, marked, &cost, false)
 	if err != nil {
 		return cost, err
 	}
@@ -435,38 +500,53 @@ func (ix *Index) Delete(delta float64) (Cost, error) {
 	return ix.DeleteContext(context.Background(), delta)
 }
 
-// DeleteContext is Delete with a caller-supplied context.
+// DeleteContext is Delete with a caller-supplied context. Like
+// InsertContext it is an optimistic read-modify-write: a lost CAS re-runs
+// the round from the lookup until the delete commits or ctx ends.
 func (ix *Index) DeleteContext(ctx context.Context, delta float64) (cost Cost, err error) {
 	if err := keyspace.CheckKey(delta); err != nil {
 		return Cost{}, err
 	}
 	ctx, done := ix.beginOp(ctx, metrics.OpDelete)
 	defer func() { done(err) }()
-	b, key, cost, err := ix.lookup(ctx, delta)
-	if err != nil {
-		return cost, err
-	}
-	i := record.FindByKey(b.Records, delta)
-	if i < 0 {
-		return cost, fmt.Errorf("%w: %v", ErrKeyNotFound, delta)
-	}
-	b.Records[i] = b.Records[len(b.Records)-1]
-	b.Records = b.Records[:len(b.Records)-1]
-	b.Epoch++
-	cost.Lookups++
-	cost.Steps++
-	if err := ix.d.Put(ctx, key, b); err != nil {
-		return cost, fmt.Errorf("lht: write back %q: %w", key, err)
-	}
-	if ix.cfg.MergeThreshold > 0 && b.Label.Len() >= 2 && b.Weight() < ix.cfg.MergeThreshold {
-		mergeCost, err := ix.merge(ctx, key, b)
-		cost.Add(mergeCost)
-		ix.c.AddMaintLookups(int64(mergeCost.Lookups))
+	for {
+		b, key, lcost, err := ix.lookup(ctx, delta)
+		cost.Add(lcost)
 		if err != nil {
 			return cost, err
 		}
+		i := record.FindByKey(b.Records, delta)
+		if i < 0 {
+			return cost, fmt.Errorf("%w: %v", ErrKeyNotFound, delta)
+		}
+		nb := b.Clone()
+		nb.Records[i] = nb.Records[len(nb.Records)-1]
+		nb.Records = nb.Records[:len(nb.Records)-1]
+		nb.Epoch++
+		cost.Lookups++
+		cost.Steps++
+		err = dht.DoPutIf(ctx, ix.d, key, nb, b.Epoch)
+		if errors.Is(err, dht.ErrCASConflict) {
+			ix.c.AddWriterRetries(1)
+			ix.cacheDrop(b.Label)
+			if cerr := ctx.Err(); cerr != nil {
+				return cost, cerr
+			}
+			continue
+		}
+		if err != nil {
+			return cost, fmt.Errorf("lht: write back %q: %w", key, err)
+		}
+		if ix.cfg.MergeThreshold > 0 && nb.Label.Len() >= 2 && nb.Weight() < ix.cfg.MergeThreshold {
+			mergeCost, err := ix.merge(ctx, key, nb)
+			cost.Add(mergeCost)
+			ix.c.AddMaintLookups(int64(mergeCost.Lookups))
+			if err != nil {
+				return cost, err
+			}
+		}
+		return cost, nil
 	}
-	return cost, nil
 }
 
 // merge attempts to merge the underweight leaf b with its sibling, the
@@ -520,23 +600,35 @@ func (ix *Index) merge(ctx context.Context, key string, b *Bucket) (Cost, error)
 	// by the parent's own label and is the bucket to remove.
 	mergedKey := parent.Name().Key()
 	removeKey, peerEpoch, moved := sibKey, sb.Epoch, int64(sb.Weight())
+	baseEpoch := b.Epoch // epoch stored under mergedKey when we read it
 	if key != mergedKey {
 		removeKey, peerEpoch, moved = key, b.Epoch, int64(b.Weight())
+		baseEpoch = sb.Epoch
 	}
+	recs := make([]record.Record, 0, len(b.Records)+len(sb.Records))
+	recs = append(recs, b.Records...)
+	recs = append(recs, sb.Records...)
 	merged := &Bucket{
 		Label:   parent,
-		Records: append(b.Records, sb.Records...),
+		Records: recs,
 		Epoch:   max(b.Epoch, sb.Epoch) + 1,
 		Pending: Pending{Kind: PendingMerge, RemoveKey: removeKey, PeerEpoch: peerEpoch},
 	}
 
 	// Step 1: make the merged bucket durable under f_n(parent), intent
-	// recorded. From here on, no crash can lose records: both children's
-	// records exist in the merged bucket.
+	// recorded, guarded by the epoch we read there. A lost CAS means a
+	// concurrent writer beat us to that bucket — the merge decision is
+	// stale, so yield; a later underweight delete re-triggers it. From
+	// here on, no crash can lose records: both children's records exist
+	// in the merged bucket.
 	if key == mergedKey {
 		// b already sits on the peer that keeps the merged bucket: a free
 		// in-place rewrite.
-		if err := ix.d.Write(ctx, mergedKey, merged); err != nil {
+		err := dht.DoWriteIf(ctx, ix.d, mergedKey, merged, baseEpoch)
+		if errors.Is(err, dht.ErrCASConflict) || errors.Is(err, dht.ErrNotFound) {
+			return cost, nil
+		}
+		if err != nil {
 			return cost, fmt.Errorf("lht: merge write %q: %w", mergedKey, err)
 		}
 	} else {
@@ -544,22 +636,39 @@ func (ix *Index) merge(ctx context.Context, key string, b *Bucket) (Cost, error)
 		// sibling's bucket with the merged one.
 		cost.Lookups++
 		cost.Steps++
-		if err := ix.d.Put(ctx, mergedKey, merged); err != nil {
+		err := dht.DoPutIf(ctx, ix.d, mergedKey, merged, baseEpoch)
+		if errors.Is(err, dht.ErrCASConflict) {
+			return cost, nil
+		}
+		if err != nil {
 			return cost, fmt.Errorf("lht: merge put %q: %w", mergedKey, err)
 		}
 	}
 
-	// Step 2: drop the obsolete child (its records are in the merged
-	// bucket; Remove is idempotent, so a repair can re-run it).
+	// Step 2: drop the obsolete child, but only at the epoch the intent
+	// names. A conflict means another client wrote to the child between
+	// our read and now; the intent's epoch guard no longer holds, so hand
+	// the torn state to completeMerge, which rolls it back exactly as
+	// crash recovery would.
 	cost.Lookups++
 	cost.Steps++
-	if err := ix.d.Remove(ctx, removeKey); err != nil {
+	err = dht.DoRemoveIf(ctx, ix.d, removeKey, peerEpoch)
+	if errors.Is(err, dht.ErrCASConflict) {
+		_, rerr := ix.completeMerge(ctx, mergedKey, merged, &cost)
+		return cost, rerr
+	}
+	if err != nil {
 		return cost, fmt.Errorf("lht: merge remove %q: %w", removeKey, err)
 	}
 
-	// Step 3: clear the intent (free in-place rewrite).
-	merged.Pending = Pending{}
-	if err := ix.d.Write(ctx, mergedKey, merged); err != nil {
+	// Step 3: clear the intent. The clear keeps the merged epoch (racing
+	// repairers write identical bytes, so the non-bump is idempotent) and
+	// is itself guarded: if a repairer or writer already advanced the
+	// bucket, the intent is gone and this write must not clobber theirs.
+	cleared := merged.Clone()
+	cleared.Pending = Pending{}
+	err = dht.DoWriteIf(ctx, ix.d, mergedKey, cleared, merged.Epoch)
+	if err != nil && !errors.Is(err, dht.ErrCASConflict) && !errors.Is(err, dht.ErrNotFound) {
 		return cost, fmt.Errorf("lht: merge clear %q: %w", mergedKey, err)
 	}
 

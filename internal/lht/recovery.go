@@ -87,15 +87,25 @@ func (ix *Index) completeSplit(ctx context.Context, key string, b *Bucket, cost 
 		}
 	}
 	if put {
+		// Create-if-absent: racing repairers of the same tear derive the
+		// same remote half, so the loser's conflict just means the push is
+		// already done (and the stored copy may have evolved since — the
+		// derived halves stay valid for the caller's case analysis, and
+		// any mutation rebased on them is CAS-checked before it commits).
 		cost.Lookups++
 		cost.Steps++
-		if err := ix.d.Put(ctx, lambda.Key(), remote); err != nil {
+		err := dht.DoCreateIf(ctx, ix.d, lambda.Key(), remote)
+		if err != nil && !errors.Is(err, dht.ErrCASConflict) {
 			return nil, nil, fmt.Errorf("lht: split put %s: %w", lambda, err)
 		}
 	}
-	// Write the shrunk local half back to the local disk (no lookup);
-	// this clears the intent, committing the split.
-	if err := ix.d.Write(ctx, key, local); err != nil {
+	// Write the shrunk local half back in place (no lookup); this clears
+	// the intent, committing the split. The write is guarded by the marked
+	// bucket's epoch: a conflict (or a vanished key) means a racing
+	// repairer already committed this very split — the halves are a pure
+	// function of the marked bucket, so the committed state is ours.
+	err = dht.DoWriteIf(ctx, ix.d, key, local, b.Epoch)
+	if err != nil && !errors.Is(err, dht.ErrCASConflict) && !errors.Is(err, dht.ErrNotFound) {
 		return nil, nil, fmt.Errorf("lht: split write %q: %w", key, err)
 	}
 	// This client just observed both children; lambda is now internal.
@@ -119,21 +129,31 @@ func (ix *Index) completeMerge(ctx context.Context, key string, b *Bucket, cost 
 	if !ok {
 		return nil, fmt.Errorf("%w: merge intent on %s names unrelated key %q", ErrCorrupt, b.Label, rmKey)
 	}
+	forward := false
 	stale, err := ix.peekBucket(ctx, rmKey, cost)
 	switch {
 	case errors.Is(err, dht.ErrNotFound):
 		// The crashed writer already removed the child: only the final
 		// intent-clearing write was lost.
+		forward = true
 	case err != nil:
 		return nil, err
 	case stale.Label == removed && stale.Epoch == b.Pending.PeerEpoch:
-		// The child is exactly as the merge saw it: roll forward.
+		// The child looks exactly as the merge saw it: roll forward, but
+		// only at that epoch — a concurrent writer slipping in between the
+		// peek and the remove loses nothing, it just flips this repair to
+		// a rollback.
 		cost.Lookups++
 		cost.Steps++
-		if err := ix.d.Remove(ctx, rmKey); err != nil {
-			return nil, fmt.Errorf("lht: repair merge remove %q: %w", rmKey, err)
+		rerr := dht.DoRemoveIf(ctx, ix.d, rmKey, b.Pending.PeerEpoch)
+		switch {
+		case rerr == nil:
+			forward = true
+		case !errors.Is(rerr, dht.ErrCASConflict):
+			return nil, fmt.Errorf("lht: repair merge remove %q: %w", rmKey, rerr)
 		}
-	default:
+	}
+	if !forward {
 		// The child changed since the crash: roll the merge back. The
 		// surviving child (the one named f_n(parent)) keeps the records
 		// of the merged copy that fall in its half; the evolved child
@@ -147,20 +167,31 @@ func (ix *Index) completeMerge(ctx context.Context, key string, b *Bucket, cost 
 			}
 		}
 		kb := &Bucket{Label: keeper, Records: recs, Epoch: b.Epoch + 1}
-		if err := ix.d.Write(ctx, key, kb); err != nil {
-			return nil, fmt.Errorf("lht: rollback merge %q: %w", key, err)
+		werr := dht.DoWriteIf(ctx, ix.d, key, kb, b.Epoch)
+		if errors.Is(werr, dht.ErrCASConflict) || errors.Is(werr, dht.ErrNotFound) {
+			// A racing repairer (or writer) resolved the tear first; adopt
+			// whatever is stored now.
+			return ix.peekBucket(ctx, key, cost)
+		}
+		if werr != nil {
+			return nil, fmt.Errorf("lht: rollback merge %q: %w", key, werr)
 		}
 		ix.cacheDrop(b.Label)
 		ix.cacheNote(kb.Label)
 		return kb, nil
 	}
-	b.Pending = Pending{}
-	if err := ix.d.Write(ctx, key, b); err != nil {
-		return nil, fmt.Errorf("lht: repair merge clear %q: %w", key, err)
+	cleared := b.Clone()
+	cleared.Pending = Pending{}
+	werr := dht.DoWriteIf(ctx, ix.d, key, cleared, b.Epoch)
+	if errors.Is(werr, dht.ErrCASConflict) || errors.Is(werr, dht.ErrNotFound) {
+		return ix.peekBucket(ctx, key, cost)
+	}
+	if werr != nil {
+		return nil, fmt.Errorf("lht: repair merge clear %q: %w", key, werr)
 	}
 	ix.cacheDrop(removed)
-	ix.cacheNote(b.Label)
-	return b, nil
+	ix.cacheNote(cleared.Label)
+	return cleared, nil
 }
 
 // removedChildOf identifies the child of the merged bucket's label that
@@ -195,12 +226,20 @@ func (ix *Index) repairTorn(ctx context.Context, key string, b *Bucket, cost *Co
 		if b.Label.Len() >= ix.cfg.Depth {
 			// The split can never complete at the depth bound (a marker
 			// left by a writer with a larger configured D, or a corrupt
-			// one): roll it back to a plain oversized leaf.
-			b.Pending = Pending{}
-			if werr := ix.d.Write(ctx, key, b); werr != nil {
+			// one): roll it back to a plain oversized leaf. Guarded and
+			// epoch-preserving: racing repairers write identical bytes,
+			// and a conflict means someone else resolved it — adopt theirs.
+			nb := b.Clone()
+			nb.Pending = Pending{}
+			werr := dht.DoWriteIf(ctx, ix.d, key, nb, b.Epoch)
+			if errors.Is(werr, dht.ErrCASConflict) || errors.Is(werr, dht.ErrNotFound) {
+				out, err = ix.peekBucket(ctx, key, cost)
+				break
+			}
+			if werr != nil {
 				return nil, fmt.Errorf("lht: rollback split %q: %w", key, werr)
 			}
-			out = b
+			out = nb
 			break
 		}
 		out, _, err = ix.completeSplit(ctx, key, b, cost, true)

@@ -111,15 +111,15 @@ func TestTornSplitRepairedByLookup(t *testing.T) {
 		name  string
 		after bool
 	}{
-		// The first Put to "#0" ever issued is the split pushing the
-		// remote half out (write-backs of the root leaf go to "#").
+		// The split pushes the remote half out with a create-if-absent to
+		// "#0" (write-backs of the root leaf go to "#").
 		{"crash-before-remote-put", false},
 		{"crash-after-remote-put", true},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			base := dht.NewLocal()
 			crash := dht.WithCrashPoints(base, dht.CrashRule{
-				Op:    dht.OpPut,
+				Op:    dht.OpCreateIf,
 				Key:   func(k string) bool { return k == "#0" },
 				N:     1,
 				After: tc.after,
@@ -176,7 +176,7 @@ func TestTornSplitRepairedByScrub(t *testing.T) {
 
 	base := dht.NewLocal()
 	crash := dht.WithCrashPoints(base, dht.CrashRule{
-		Op:   dht.OpPut,
+		Op:   dht.OpCreateIf,
 		Key:  func(k string) bool { return k == "#0" },
 		N:    1,
 		Halt: true,
@@ -243,14 +243,15 @@ func TestTornMergeRepaired(t *testing.T) {
 		after bool
 	}{
 		// The merged bucket lands under "#" first; removing the obsolete
-		// child under "#0" is the only Remove the workload issues.
+		// child under "#0" is the only conditional remove the workload
+		// issues.
 		{"crash-before-remove", false},
 		{"crash-after-remove", true},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			base := dht.NewLocal()
 			crash := dht.WithCrashPoints(base, dht.CrashRule{
-				Op:    dht.OpRemove,
+				Op:    dht.OpRemoveIf,
 				N:     1,
 				After: tc.after,
 				Halt:  true,

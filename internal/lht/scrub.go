@@ -185,17 +185,25 @@ func (ix *Index) scrubWalk(ctx context.Context, rep *ScrubReport, cost *Cost, st
 			}
 		}
 		if len(out) > 0 {
-			kept := b.Records[:0:0]
-			for _, r := range b.Records {
+			nb := b.Clone()
+			kept := nb.Records[:0:0]
+			for _, r := range nb.Records {
 				if iv.Contains(r.Key) {
 					kept = append(kept, r)
 				}
 			}
-			b.Records = kept
-			b.Epoch++
-			if err := ix.d.Write(ctx, key, b); err != nil {
-				return false, fmt.Errorf("lht: scrub drop strays %q: %w", key, err)
+			nb.Records = kept
+			nb.Epoch++
+			werr := dht.DoWriteIf(ctx, ix.d, key, nb, b.Epoch)
+			if errors.Is(werr, dht.ErrCASConflict) || errors.Is(werr, dht.ErrNotFound) {
+				// A concurrent writer advanced the leaf under us; restart
+				// the pass and re-examine what is stored now.
+				return true, nil
 			}
+			if werr != nil {
+				return false, fmt.Errorf("lht: scrub drop strays %q: %w", key, werr)
+			}
+			b = nb
 			*strays = append(*strays, out...)
 			rep.Strays += len(out)
 			rep.Violations = append(rep.Violations,
@@ -287,11 +295,17 @@ func (ix *Index) scrubShadow(ctx context.Context, key string, b *Bucket, rep *Sc
 		return nil, true, nil
 	}
 	// The shadow is older: an orphaned remnant whose records the live
-	// leaf already carries. Remove it.
+	// leaf already carries. Remove it — at the epoch we just observed; a
+	// conflict means the "orphan" is being written to right now, so
+	// restart the pass rather than delete live data.
 	cost.Lookups++
 	cost.Steps++
-	if err := ix.d.Remove(ctx, b.Label.Key()); err != nil {
-		return nil, false, fmt.Errorf("lht: scrub remove orphan %s: %w", shadow.Label, err)
+	rerr := dht.DoRemoveIf(ctx, ix.d, b.Label.Key(), shadow.Epoch)
+	if errors.Is(rerr, dht.ErrCASConflict) {
+		return nil, true, nil
+	}
+	if rerr != nil {
+		return nil, false, fmt.Errorf("lht: scrub remove orphan %s: %w", shadow.Label, rerr)
 	}
 	ix.c.AddRepairs(1)
 	rep.Orphans++

@@ -65,6 +65,10 @@ type Counters struct {
 	repairs      atomic.Int64 // torn states completed or rolled back
 	scrubLookups atomic.Int64 // subset of lookups issued by Scrub walks
 
+	casConflicts  atomic.Int64 // conditional writes that lost their compare-and-swap
+	writerRetries atomic.Int64 // index mutation rounds re-run after a CAS conflict
+	casFallbacks  atomic.Int64 // conditional ops emulated by fetch-verify-write
+
 	opCount [NumOps]atomic.Int64            // completed index operations per class
 	opErrs  [NumOps]atomic.Int64            // subset of opCount that returned an error
 	opLat   [NumOps]Histogram               // end-to-end latency per class
@@ -224,6 +228,30 @@ func (c *Counters) AddScrubLookups(n int64) {
 	}
 }
 
+// AddCASConflicts adds n lost compare-and-swaps: conditional writes that
+// found the stored epoch moved by a concurrent winner.
+func (c *Counters) AddCASConflicts(n int64) {
+	for ; c != nil; c = c.parent {
+		c.casConflicts.Add(n)
+	}
+}
+
+// AddWriterRetries adds n optimistic-writer retry rounds: whole
+// read-modify-write cycles the index layer re-ran after losing a CAS.
+func (c *Counters) AddWriterRetries(n int64) {
+	for ; c != nil; c = c.parent {
+		c.writerRetries.Add(n)
+	}
+}
+
+// AddCASFallbacks adds n conditional operations served by the non-atomic
+// fetch-verify-write fallback because the substrate has no native CAS.
+func (c *Counters) AddCASFallbacks(n int64) {
+	for ; c != nil; c = c.parent {
+		c.casFallbacks.Add(n)
+	}
+}
+
 // AddPhaseLookups attributes n already-counted lookups to the (op, phase)
 // cell of the attribution matrix. The instrumentation layer calls this
 // alongside AddLookups with the labels it read from the context, so the
@@ -264,6 +292,7 @@ type Snapshot struct {
 	Retry   RetryCounts
 	Batch   BatchCounts
 	Repair  RepairCounts
+	Write   WriteCounts
 	Latency LatencyStats
 }
 
@@ -303,6 +332,13 @@ type RepairCounts struct {
 	TornMerges   int64 // torn merge intents detected
 	Repairs      int64 // torn states completed or rolled back
 	ScrubLookups int64 // lookups issued by Scrub walks
+}
+
+// WriteCounts are the multi-writer concurrency-control counters.
+type WriteCounts struct {
+	CASConflicts  int64 // conditional writes that lost their compare-and-swap
+	WriterRetries int64 // index mutation rounds re-run after a CAS conflict
+	CASFallbacks  int64 // conditional ops emulated by fetch-verify-write
 }
 
 // OpStats are the per-operation-class observations: how many operations
@@ -367,6 +403,11 @@ func (c *Counters) Snapshot() Snapshot {
 			Repairs:      c.repairs.Load(),
 			ScrubLookups: c.scrubLookups.Load(),
 		},
+		Write: WriteCounts{
+			CASConflicts:  c.casConflicts.Load(),
+			WriterRetries: c.writerRetries.Load(),
+			CASFallbacks:  c.casFallbacks.Load(),
+		},
 	}
 	for op := Op(0); op < NumOps; op++ {
 		o := &s.Latency.Ops[op]
@@ -401,6 +442,9 @@ func (c *Counters) Reset() {
 	c.tornMerges.Store(0)
 	c.repairs.Store(0)
 	c.scrubLookups.Store(0)
+	c.casConflicts.Store(0)
+	c.writerRetries.Store(0)
+	c.casFallbacks.Store(0)
 	for op := Op(0); op < NumOps; op++ {
 		c.opCount[op].Store(0)
 		c.opErrs[op].Store(0)
@@ -443,6 +487,11 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 			Repairs:      s.Repair.Repairs - prev.Repair.Repairs,
 			ScrubLookups: s.Repair.ScrubLookups - prev.Repair.ScrubLookups,
 		},
+		Write: WriteCounts{
+			CASConflicts:  s.Write.CASConflicts - prev.Write.CASConflicts,
+			WriterRetries: s.Write.WriterRetries - prev.Write.WriterRetries,
+			CASFallbacks:  s.Write.CASFallbacks - prev.Write.CASFallbacks,
+		},
 	}
 	for op := Op(0); op < NumOps; op++ {
 		a, b := s.Latency.Ops[op], prev.Latency.Ops[op]
@@ -482,6 +531,10 @@ type FlatSnapshot struct {
 	TornMerges   int64 `json:"torn_merges"`
 	Repairs      int64 `json:"repairs"`
 	ScrubLookups int64 `json:"scrub_lookups"`
+
+	CASConflicts  int64 `json:"cas_conflicts"`
+	WriterRetries int64 `json:"writer_retries"`
+	CASFallbacks  int64 `json:"cas_fallbacks"`
 }
 
 // Flat returns the snapshot's counters under their flat legacy names.
@@ -510,6 +563,10 @@ func (s Snapshot) Flat() FlatSnapshot {
 		TornMerges:   s.Repair.TornMerges,
 		Repairs:      s.Repair.Repairs,
 		ScrubLookups: s.Repair.ScrubLookups,
+
+		CASConflicts:  s.Write.CASConflicts,
+		WriterRetries: s.Write.WriterRetries,
+		CASFallbacks:  s.Write.CASFallbacks,
 	}
 }
 
@@ -541,5 +598,9 @@ func (s FlatSnapshot) Sub(prev FlatSnapshot) FlatSnapshot {
 		TornMerges:   s.TornMerges - prev.TornMerges,
 		Repairs:      s.Repairs - prev.Repairs,
 		ScrubLookups: s.ScrubLookups - prev.ScrubLookups,
+
+		CASConflicts:  s.CASConflicts - prev.CASConflicts,
+		WriterRetries: s.WriterRetries - prev.WriterRetries,
+		CASFallbacks:  s.CASFallbacks - prev.CASFallbacks,
 	}
 }

@@ -36,6 +36,9 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	counter("lht_torn_merges_total", "Torn merge intents detected.", s.Repair.TornMerges)
 	counter("lht_repairs_total", "Torn states completed or rolled back.", s.Repair.Repairs)
 	counter("lht_scrub_lookups_total", "Lookups issued by Scrub walks.", s.Repair.ScrubLookups)
+	counter("lht_cas_conflicts_total", "Conditional writes that lost their compare-and-swap.", s.Write.CASConflicts)
+	counter("lht_writer_retries_total", "Index mutation rounds re-run after a CAS conflict.", s.Write.WriterRetries)
+	counter("lht_cas_fallbacks_total", "Conditional ops emulated by fetch-verify-write.", s.Write.CASFallbacks)
 
 	active := func(o OpStats) bool { return o.Count != 0 || o.Lookups() != 0 }
 

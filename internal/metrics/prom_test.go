@@ -30,6 +30,9 @@ func goldenCounters() *Counters {
 	c.AddTornSplits(1)
 	c.AddRepairs(1)
 	c.AddScrubLookups(4)
+	c.AddCASConflicts(3)
+	c.AddWriterRetries(2)
+	c.AddCASFallbacks(1)
 	c.AddPhaseLookups(OpGet, PhaseProbe, 7)
 	c.AddPhaseLookups(OpGet, PhaseRetry, 1)
 	c.AddPhaseLookups(OpRange, PhaseForward, 4)
@@ -93,6 +96,15 @@ lht_repairs_total 1
 # HELP lht_scrub_lookups_total Lookups issued by Scrub walks.
 # TYPE lht_scrub_lookups_total counter
 lht_scrub_lookups_total 4
+# HELP lht_cas_conflicts_total Conditional writes that lost their compare-and-swap.
+# TYPE lht_cas_conflicts_total counter
+lht_cas_conflicts_total 3
+# HELP lht_writer_retries_total Index mutation rounds re-run after a CAS conflict.
+# TYPE lht_writer_retries_total counter
+lht_writer_retries_total 2
+# HELP lht_cas_fallbacks_total Conditional ops emulated by fetch-verify-write.
+# TYPE lht_cas_fallbacks_total counter
+lht_cas_fallbacks_total 1
 # HELP lht_op_total Completed index operations per class.
 # TYPE lht_op_total counter
 lht_op_total{op="get"} 2

@@ -65,8 +65,14 @@ func (c Config) Validate() error {
 }
 
 // Index is a PHT index over a DHT substrate; create one with New. The
-// concurrency contract matches lht.Index: concurrent readers, serialized
-// writers.
+// concurrency contract matches lht.Index: record-level read-modify-writes
+// are optimistic (epoch-guarded conditional puts, retried on conflict),
+// so any number of concurrent writers may insert and delete safely.
+// Structural maintenance (split, merge) is fenced by the same epochs —
+// exactly one racing writer wins a split — but unlike LHT it records no
+// write-ahead intent, so a writer failing mid-split or mid-merge can
+// leave a torn trie; that fragility versus LHT's recoverable maintenance
+// is part of what the paper's comparison measures.
 type Index struct {
 	d   dht.DHT
 	cfg Config
@@ -88,7 +94,9 @@ func New(d dht.DHT, cfg Config) (*Index, error) {
 		if !errors.Is(err, dht.ErrNotFound) {
 			return nil, fmt.Errorf("pht: probe substrate: %w", err)
 		}
-		if err := d.Put(ctx, rootKey, &Node{Label: bitlabel.TreeRoot, Leaf: true}); err != nil {
+		// Create-if-absent: concurrent bootstrappers converge on one trie.
+		err := dht.DoCreateIf(ctx, d, rootKey, &Node{Label: bitlabel.TreeRoot, Leaf: true})
+		if err != nil && !errors.Is(err, dht.ErrCASConflict) {
 			return nil, fmt.Errorf("pht: bootstrap: %w", err)
 		}
 	}
@@ -203,36 +211,52 @@ func (ix *Index) Insert(rec record.Record) (Cost, error) {
 	return ix.InsertContext(context.Background(), rec)
 }
 
-// InsertContext is Insert with a caller-supplied context.
+// InsertContext is Insert with a caller-supplied context. The
+// read-modify-write is optimistic: the write-back is an epoch-guarded
+// conditional put and a lost CAS re-runs the round from the lookup, the
+// same protocol as lht.Index.InsertContext.
 func (ix *Index) InsertContext(ctx context.Context, rec record.Record) (cost Cost, err error) {
 	if err := keyspace.CheckKey(rec.Key); err != nil {
 		return Cost{}, err
 	}
 	ctx, done := ix.beginOp(ctx, metrics.OpInsert)
 	defer func() { done(err) }()
-	n, cost, err := ix.lookupLeaf(ctx, rec.Key)
-	if err != nil {
-		return cost, err
-	}
-	if i := record.FindByKey(n.Records, rec.Key); i >= 0 {
-		n.Records[i] = rec
-	} else {
-		n.Records = append(n.Records, rec)
-	}
-	cost.Lookups++
-	cost.Steps++
-	if err := ix.d.Put(ctx, n.Label.Key(), n); err != nil {
-		return cost, fmt.Errorf("pht: write back %s: %w", n.Label, err)
-	}
-	if n.Weight() >= ix.cfg.SplitThreshold {
-		splitCost, err := ix.split(ctx, n)
-		cost.Add(splitCost)
-		ix.c.AddMaintLookups(int64(splitCost.Lookups))
+	for {
+		n, lcost, err := ix.lookupLeaf(ctx, rec.Key)
+		cost.Add(lcost)
 		if err != nil {
 			return cost, err
 		}
+		nn := n.Clone()
+		if i := record.FindByKey(nn.Records, rec.Key); i >= 0 {
+			nn.Records[i] = rec
+		} else {
+			nn.Records = append(nn.Records, rec)
+		}
+		nn.Epoch++
+		cost.Lookups++
+		cost.Steps++
+		err = dht.DoPutIf(ctx, ix.d, nn.Label.Key(), nn, n.Epoch)
+		if errors.Is(err, dht.ErrCASConflict) {
+			ix.c.AddWriterRetries(1)
+			if cerr := ctx.Err(); cerr != nil {
+				return cost, cerr
+			}
+			continue
+		}
+		if err != nil {
+			return cost, fmt.Errorf("pht: write back %s: %w", n.Label, err)
+		}
+		if nn.Weight() >= ix.cfg.SplitThreshold {
+			splitCost, err := ix.split(ctx, nn)
+			cost.Add(splitCost)
+			ix.c.AddMaintLookups(int64(splitCost.Lookups))
+			if err != nil {
+				return cost, err
+			}
+		}
+		return cost, nil
 	}
-	return cost, nil
 }
 
 // split divides a saturated leaf. Unlike LHT, both children carry labels
@@ -265,17 +289,39 @@ func (ix *Index) split(ctx context.Context, n *Node) (Cost, error) {
 		Label: n.Label.Left(), Leaf: true, Records: leftRecs,
 		Prev: n.Prev, HasPrev: n.HasPrev,
 		Next: n.Label.Right(), HasNext: true,
+		Epoch: n.Epoch + 1,
 	}
 	right := &Node{
 		Label: n.Label.Right(), Leaf: true, Records: rightRecs,
 		Prev: n.Label.Left(), HasPrev: true,
 		Next: n.Next, HasNext: n.HasNext,
+		Epoch: n.Epoch + 1,
+	}
+
+	// The old leaf becomes an internal marker in place first (free local
+	// rewrite) — the marker is the split's fence: it is guarded by the
+	// leaf's epoch, so of any number of racing writers exactly one
+	// rewrites the leaf and pushes the children; the losers' record
+	// writes conflict against the marker and re-run their lookup. Losing
+	// the fence ourselves means another writer committed first — yield,
+	// and let the next saturating insert re-trigger the split. (Unlike
+	// LHT's intent-marked split, the marker is not recoverable: a writer
+	// dying between here and the children's puts leaves a torn trie.)
+	marker := &Node{Label: n.Label, Epoch: n.Epoch + 1}
+	err := dht.DoWriteIf(ctx, ix.d, n.Label.Key(), marker, n.Epoch)
+	if errors.Is(err, dht.ErrCASConflict) || errors.Is(err, dht.ErrNotFound) {
+		return cost, nil
+	}
+	if err != nil {
+		return cost, fmt.Errorf("pht: split write %s: %w", n.Label, err)
 	}
 
 	ix.c.AddSplits(1)
 	ix.c.AddMovedRecords(int64(left.Weight() + right.Weight()))
 
 	// Both children move to the peers responsible for their new labels.
+	// Plain puts: only the fence winner gets here, and overwriting is
+	// exactly what reclaims a torn predecessor's stale children.
 	cost.Lookups += 2
 	cost.Steps++ // the two puts go out in parallel
 	if err := ix.d.Put(ctx, left.Label.Key(), left); err != nil {
@@ -296,30 +342,36 @@ func (ix *Index) split(ctx context.Context, n *Node) (Cost, error) {
 			return cost, err
 		}
 	}
-
-	// The old leaf becomes an internal marker in place (local rewrite).
-	n.Leaf = false
-	n.Records = nil
-	n.Prev, n.Next, n.HasPrev, n.HasNext = bitlabel.Label{}, bitlabel.Label{}, false, false
-	if err := ix.d.Write(ctx, n.Label.Key(), n); err != nil {
-		return cost, fmt.Errorf("pht: split write %s: %w", n.Label, err)
-	}
 	return cost, nil
 }
 
 // patchLink routes to the leaf stored under label, applies fn and rewrites
 // it: one DHT-lookup (the rewrite happens on the peer that was routed to).
+// The rewrite is an optimistic RMW like every other: a lost CAS re-fetches
+// the neighbor and re-applies fn.
 func (ix *Index) patchLink(ctx context.Context, label bitlabel.Label, cost *Cost, fn func(*Node)) error {
-	p, err := ix.getNode(ctx, label.Key(), cost)
-	cost.Steps++
-	if err != nil {
-		return fmt.Errorf("pht: patch link %s: %w", label, err)
+	for {
+		p, err := ix.getNode(ctx, label.Key(), cost)
+		cost.Steps++
+		if err != nil {
+			return fmt.Errorf("pht: patch link %s: %w", label, err)
+		}
+		np := p.Clone()
+		fn(np)
+		np.Epoch++
+		err = dht.DoWriteIf(ctx, ix.d, label.Key(), np, p.Epoch)
+		if errors.Is(err, dht.ErrCASConflict) {
+			ix.c.AddWriterRetries(1)
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("pht: patch link %s: %w", label, err)
+		}
+		return nil
 	}
-	fn(p)
-	if err := ix.d.Write(ctx, label.Key(), p); err != nil {
-		return fmt.Errorf("pht: patch link %s: %w", label, err)
-	}
-	return nil
 }
 
 // Delete removes the record with the given key, or returns
@@ -335,30 +387,43 @@ func (ix *Index) DeleteContext(ctx context.Context, delta float64) (cost Cost, e
 	}
 	ctx, done := ix.beginOp(ctx, metrics.OpDelete)
 	defer func() { done(err) }()
-	n, cost, err := ix.lookupLeaf(ctx, delta)
-	if err != nil {
-		return cost, err
-	}
-	i := record.FindByKey(n.Records, delta)
-	if i < 0 {
-		return cost, fmt.Errorf("%w: %v", ErrKeyNotFound, delta)
-	}
-	n.Records[i] = n.Records[len(n.Records)-1]
-	n.Records = n.Records[:len(n.Records)-1]
-	cost.Lookups++
-	cost.Steps++
-	if err := ix.d.Put(ctx, n.Label.Key(), n); err != nil {
-		return cost, fmt.Errorf("pht: write back %s: %w", n.Label, err)
-	}
-	if ix.cfg.MergeThreshold > 0 && n.Label.Len() >= 2 && n.Weight() < ix.cfg.MergeThreshold {
-		mergeCost, err := ix.merge(ctx, n)
-		cost.Add(mergeCost)
-		ix.c.AddMaintLookups(int64(mergeCost.Lookups))
+	for {
+		n, lcost, err := ix.lookupLeaf(ctx, delta)
+		cost.Add(lcost)
 		if err != nil {
 			return cost, err
 		}
+		i := record.FindByKey(n.Records, delta)
+		if i < 0 {
+			return cost, fmt.Errorf("%w: %v", ErrKeyNotFound, delta)
+		}
+		nn := n.Clone()
+		nn.Records[i] = nn.Records[len(nn.Records)-1]
+		nn.Records = nn.Records[:len(nn.Records)-1]
+		nn.Epoch++
+		cost.Lookups++
+		cost.Steps++
+		err = dht.DoPutIf(ctx, ix.d, nn.Label.Key(), nn, n.Epoch)
+		if errors.Is(err, dht.ErrCASConflict) {
+			ix.c.AddWriterRetries(1)
+			if cerr := ctx.Err(); cerr != nil {
+				return cost, cerr
+			}
+			continue
+		}
+		if err != nil {
+			return cost, fmt.Errorf("pht: write back %s: %w", n.Label, err)
+		}
+		if ix.cfg.MergeThreshold > 0 && nn.Label.Len() >= 2 && nn.Weight() < ix.cfg.MergeThreshold {
+			mergeCost, err := ix.merge(ctx, nn)
+			cost.Add(mergeCost)
+			ix.c.AddMaintLookups(int64(mergeCost.Lookups))
+			if err != nil {
+				return cost, err
+			}
+		}
+		return cost, nil
 	}
-	return cost, nil
 }
 
 // merge collapses a leaf and its sibling leaf back into their parent when
@@ -394,6 +459,7 @@ func (ix *Index) merge(ctx context.Context, n *Node) (Cost, error) {
 		Records: append(append([]record.Record{}, left.Records...), right.Records...),
 		Prev:    left.Prev, HasPrev: left.HasPrev,
 		Next: right.Next, HasNext: right.HasNext,
+		Epoch: max(left.Epoch, right.Epoch) + 1,
 	}
 
 	ix.c.AddMerges(1)
@@ -404,11 +470,21 @@ func (ix *Index) merge(ctx context.Context, n *Node) (Cost, error) {
 	if err := ix.d.Put(ctx, parent.Label.Key(), parent); err != nil {
 		return cost, fmt.Errorf("pht: merge put %s: %w", parent.Label, err)
 	}
-	if err := ix.d.Remove(ctx, left.Label.Key()); err != nil {
-		return cost, fmt.Errorf("pht: merge remove %s: %w", left.Label, err)
-	}
-	if err := ix.d.Remove(ctx, right.Label.Key()); err != nil {
-		return cost, fmt.Errorf("pht: merge remove %s: %w", right.Label, err)
+	// Drop the children at the epochs the merge read. A conflict means a
+	// concurrent write landed on a child after the merged leaf became
+	// durable; the merged leaf supersedes the child wholesale, so the
+	// removal is forced — PHT has no write-ahead intent to rebase against,
+	// which is exactly the lost-update window the paper's LHT protocol
+	// closes.
+	for _, child := range []*Node{left, right} {
+		rerr := dht.DoRemoveIf(ctx, ix.d, child.Label.Key(), child.Epoch)
+		if errors.Is(rerr, dht.ErrCASConflict) {
+			cost.Lookups++
+			rerr = ix.d.Remove(ctx, child.Label.Key())
+		}
+		if rerr != nil {
+			return cost, fmt.Errorf("pht: merge remove %s: %w", child.Label, rerr)
+		}
 	}
 	if parent.HasPrev {
 		if err := ix.patchLink(ctx, parent.Prev, &cost, func(p *Node) { p.Next, p.HasNext = parent.Label, true }); err != nil {

@@ -46,6 +46,24 @@ type Node struct {
 	// flags distinguish "no neighbor" from the zero label.
 	Prev, Next       bitlabel.Label
 	HasPrev, HasNext bool
+	// Epoch is a per-node version, bumped on every mutation; conditional
+	// substrate writes compare against it, exactly as lht.Bucket.Epoch.
+	Epoch uint64
+}
+
+// DHTEpoch implements dht.Epocher so epoch-guarded conditional writes
+// serialize concurrent mutations of one trie node.
+func (n *Node) DHTEpoch() uint64 { return n.Epoch }
+
+// Clone returns a deep copy of the node, for mutating without aliasing
+// the pointer an in-process substrate may be sharing with readers.
+func (n *Node) Clone() *Node {
+	out := *n
+	if n.Records != nil {
+		out.Records = make([]record.Record, len(n.Records))
+		copy(out.Records, n.Records)
+	}
+	return &out
 }
 
 // Weight is the node's storage occupancy: records plus one label slot,
@@ -67,13 +85,16 @@ func (n *Node) String() string {
 	return fmt.Sprintf("pht(%s, %s)", n.Label, kind)
 }
 
-// nodeWire is the serialized form of a Node.
+// nodeWire is the serialized form of a Node. Epoch is zero-valued on
+// nodes written before it existed, which gob omits, so old snapshots
+// decode unchanged.
 type nodeWire struct {
 	Label            bitlabel.Label
 	Leaf             bool
 	Records          []record.Record
 	Prev, Next       bitlabel.Label
 	HasPrev, HasNext bool
+	Epoch            uint64
 }
 
 // EncodeNode serializes a node for byte-store substrates.
@@ -82,6 +103,7 @@ func EncodeNode(n *Node) ([]byte, error) {
 	w := nodeWire{
 		Label: n.Label, Leaf: n.Leaf, Records: n.Records,
 		Prev: n.Prev, Next: n.Next, HasPrev: n.HasPrev, HasNext: n.HasNext,
+		Epoch: n.Epoch,
 	}
 	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
 		return nil, fmt.Errorf("encode pht node: %w", err)
@@ -98,5 +120,6 @@ func DecodeNode(data []byte) (*Node, error) {
 	return &Node{
 		Label: w.Label, Leaf: w.Leaf, Records: w.Records,
 		Prev: w.Prev, Next: w.Next, HasPrev: w.HasPrev, HasNext: w.HasNext,
+		Epoch: w.Epoch,
 	}, nil
 }

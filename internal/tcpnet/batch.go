@@ -2,6 +2,7 @@ package tcpnet
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
 	"sync"
 
@@ -182,7 +183,20 @@ func (c *Client) framePutBatch(ctx context.Context, n *clientNode, kvs []dht.KV,
 		for _, i := range slots {
 			b = appendLenString(b, kvs[i].Key)
 			if e := enc[i]; e != nil {
-				b = appendUv(b, uint64(1+len(e)))
+				// Epoch-carrying values get the same tagEpoch prefix
+				// appendValue produces, sized into the slot's length.
+				var ev [binary.MaxVarintLen64]byte
+				evn := 0
+				if ep, ok := kvs[i].Val.(dht.Epocher); ok {
+					evn = binary.PutUvarint(ev[:], ep.DHTEpoch())
+				}
+				if evn > 0 {
+					b = appendUv(b, uint64(1+evn+1+len(e)))
+					b = append(b, tagEpoch)
+					b = append(b, ev[:evn]...)
+				} else {
+					b = appendUv(b, uint64(1+len(e)))
+				}
 				b = append(b, tagGob)
 				b = append(b, e...)
 			} else {
@@ -255,6 +269,9 @@ func (c *Client) gobPutBatch(ctx context.Context, n *clientNode, kvs []dht.KV, e
 	req := request{Op: opPutBatch, KVs: make([]batchKV, len(slots))}
 	for j, i := range slots {
 		req.KVs[j] = batchKV{Key: kvs[i].Key, Val: enc[i]}
+		if e, ok := kvs[i].Val.(dht.Epocher); ok {
+			req.KVs[j].Epoch, req.KVs[j].EpochKnown = e.DHTEpoch(), true
+		}
 	}
 	replies, err := n.gc.batchRoundTrip(ctx, req, len(slots))
 	if err != nil {

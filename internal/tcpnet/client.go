@@ -74,7 +74,10 @@ type Client struct {
 	nodes []*clientNode // sorted by ring ID
 }
 
-var _ dht.DHT = (*Client)(nil)
+var (
+	_ dht.DHT         = (*Client)(nil)
+	_ dht.Conditional = (*Client)(nil)
+)
 
 // clientNode is one member's connection state: a pool of multiplexed
 // connections (binary wire) or a single legacy gob connection.
@@ -343,6 +346,84 @@ func (c *Client) Write(ctx context.Context, key string, v dht.Value) error {
 	return nil
 }
 
+// condCall performs one framed conditional round trip: like simpleCall,
+// but mapping statusCASConflict to the typed *dht.CASConflictError. The
+// conditional ops carry no response value, so the frame is recycled here.
+func (n *clientNode) condCall(ctx context.Context, op dht.OpKind, key string, build func([]byte) ([]byte, error)) error {
+	body, err := n.pick().call(ctx, op, build)
+	if err != nil {
+		return err
+	}
+	defer putBuf(body)
+	c := cursor{b: (*body)[frameHeaderLen:]}
+	status, err := c.u8()
+	if err != nil {
+		return dht.MarkTransient(fmt.Errorf("tcpnet: malformed response: %w", err))
+	}
+	switch status {
+	case statusOK:
+		return nil
+	case statusNotFound:
+		return dht.ErrNotFound
+	case statusCASConflict:
+		exists, err1 := c.u8()
+		winner, err2 := c.uvarint()
+		if err1 != nil || err2 != nil {
+			return dht.MarkTransient(fmt.Errorf("tcpnet: malformed conflict response"))
+		}
+		return &dht.CASConflictError{Key: key, Exists: exists != 0, WinnerEpoch: winner}
+	default:
+		return serverErr(c.rest())
+	}
+}
+
+// PutIf implements dht.Conditional: the owning node compares the stored
+// value's epoch tag and swaps atomically under its store lock.
+func (c *Client) PutIf(ctx context.Context, key string, v dht.Value, ifEpoch uint64) error {
+	if c.wire == WireGob {
+		return c.gobCond(ctx, opPutIf, key, v, ifEpoch)
+	}
+	return c.owner(key).condCall(ctx, dht.OpPutIf, key, func(b []byte) ([]byte, error) {
+		b = appendLenString(b, key)
+		b = appendUv(b, ifEpoch)
+		return appendValue(b, v)
+	})
+}
+
+// CreateIf implements dht.Conditional.
+func (c *Client) CreateIf(ctx context.Context, key string, v dht.Value) error {
+	if c.wire == WireGob {
+		return c.gobCond(ctx, opCreateIf, key, v, 0)
+	}
+	return c.owner(key).condCall(ctx, dht.OpCreateIf, key, func(b []byte) ([]byte, error) {
+		return appendValue(appendLenString(b, key), v)
+	})
+}
+
+// RemoveIf implements dht.Conditional.
+func (c *Client) RemoveIf(ctx context.Context, key string, ifEpoch uint64) error {
+	if c.wire == WireGob {
+		_, err := c.gobDo(ctx, key, request{Op: opRemoveIf, Key: key, IfEpoch: ifEpoch})
+		return err
+	}
+	return c.owner(key).condCall(ctx, dht.OpRemoveIf, key, func(b []byte) ([]byte, error) {
+		b = appendLenString(b, key)
+		return appendUv(b, ifEpoch), nil
+	})
+}
+
+// WriteIf implements dht.Conditional: the epoch-guarded form of Write.
+func (c *Client) WriteIf(ctx context.Context, key string, v dht.Value, ifEpoch uint64) error {
+	if c.wire == WireGob {
+		return c.gobCond(ctx, opWriteIf, key, v, ifEpoch)
+	}
+	return c.owner(key).condCall(ctx, dht.OpWriteIf, key, func(b []byte) ([]byte, error) {
+		b = appendLenString(b, key)
+		b = appendUv(b, ifEpoch)
+		return appendValue(b, v)
+	})
+}
+
 // --- legacy gob wire ---
 
 func (c *Client) gobDo(ctx context.Context, key string, req request) (response, error) {
@@ -355,6 +436,10 @@ func (c *Client) gobDo(ctx context.Context, key string, req request) (response, 
 		return resp, nil
 	case errNotFound:
 		return response{}, dht.ErrNotFound
+	case errCASConflict:
+		return response{}, &dht.CASConflictError{
+			Key: key, Exists: resp.ConflictExists, WinnerEpoch: resp.Winner,
+		}
 	default:
 		return response{}, fmt.Errorf("tcpnet: server error: %s", resp.Err)
 	}
@@ -373,6 +458,24 @@ func (c *Client) gobPutLike(ctx context.Context, op op, key string, v dht.Value)
 	if err != nil {
 		return err
 	}
-	_, err = c.gobDo(ctx, key, request{Op: op, Key: key, Val: data})
+	req := request{Op: op, Key: key, Val: data}
+	if e, ok := v.(dht.Epocher); ok {
+		req.Epoch, req.EpochKnown = e.DHTEpoch(), true
+	}
+	_, err = c.gobDo(ctx, key, req)
+	return err
+}
+
+// gobCond sends a value-carrying conditional op on the legacy wire.
+func (c *Client) gobCond(ctx context.Context, op op, key string, v dht.Value, ifEpoch uint64) error {
+	data, err := encodeValue(v)
+	if err != nil {
+		return err
+	}
+	req := request{Op: op, Key: key, Val: data, IfEpoch: ifEpoch}
+	if e, ok := v.(dht.Epocher); ok {
+		req.Epoch, req.EpochKnown = e.DHTEpoch(), true
+	}
+	_, err = c.gobDo(ctx, key, req)
 	return err
 }

@@ -65,6 +65,66 @@ func TestClientConformance(t *testing.T) {
 				},
 			})
 		})
+		t.Run(w.name+"/conditional", func(t *testing.T) {
+			// The byte store serves the CAS from the epoch prefix written
+			// with every put-like op, so conditional semantics must hold
+			// over both wire protocols.
+			dhttest.RunConditional(t, factory, dhttest.Options{})
+		})
+	}
+}
+
+// TestCrossWireConditional pins the conditional plane's interop: an epoch
+// written through one wire must be compared and swapped correctly through
+// the other, in both directions.
+func TestCrossWireConditional(t *testing.T) {
+	addrs := startServers(t, 3)
+	bin, err := Dial(addrs, WithWire(WireBinary))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = bin.Close() })
+	gb, err := Dial(addrs, WithWire(WireGob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = gb.Close() })
+
+	ctx := context.Background()
+	arms := []struct {
+		name           string
+		writer, reader dht.DHT
+	}{
+		{"binary-writes_gob-cas", bin, gb},
+		{"gob-writes_binary-cas", gb, bin},
+	}
+	for _, arm := range arms {
+		t.Run(arm.name, func(t *testing.T) {
+			key := "xc/" + arm.name
+			if err := arm.writer.Put(ctx, key, &dhttest.EpochValue{Epoch: 4, Body: "w"}); err != nil {
+				t.Fatal(err)
+			}
+			if err := dht.DoPutIf(ctx, arm.reader, key, &dhttest.EpochValue{Epoch: 5, Body: "r"}, 3); !errors.Is(err, dht.ErrCASConflict) {
+				t.Fatalf("stale cross-wire PutIf = %v, want ErrCASConflict", err)
+			}
+			var c *dht.CASConflictError
+			if err := dht.DoPutIf(ctx, arm.reader, key, &dhttest.EpochValue{Epoch: 5, Body: "r"}, 3); !errors.As(err, &c) || c.WinnerEpoch != 4 {
+				t.Fatalf("cross-wire conflict carries winner %+v, want epoch 4", c)
+			}
+			if err := dht.DoPutIf(ctx, arm.reader, key, &dhttest.EpochValue{Epoch: 5, Body: "r"}, 4); err != nil {
+				t.Fatalf("matching cross-wire PutIf = %v", err)
+			}
+			v, err := arm.writer.Get(ctx, key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ev, ok := v.(*dhttest.EpochValue); !ok || ev.Epoch != 5 || ev.Body != "r" {
+				t.Fatalf("cross-wire read-back = %#v, want epoch 5 body r", v)
+			}
+			if err := dht.DoRemoveIf(ctx, arm.writer, key, 5); err != nil {
+				t.Fatalf("cross-wire RemoveIf = %v", err)
+			}
+		})
 	}
 }
 

@@ -36,23 +36,31 @@ import (
 //	ping                    (empty)
 //	get / take / remove     uv klen, key
 //	put / write             uv klen, key, value(rest)
+//	putif / writeif         uv klen, key, uv ifEpoch, value(rest)
+//	createif                uv klen, key, value(rest)
+//	removeif                uv klen, key, uv ifEpoch
 //	getbatch                uv count, count x (uv klen, key)
 //	putbatch                uv count, count x (uv klen, key, uv vlen, value)
 //
 // A value is a tag byte followed by its serialized form: tagRaw means the
 // bytes ARE the dht.Value (a []byte travels with zero serialization work),
 // tagGob means encoding/gob (arbitrary registered types, exactly the bytes
-// the legacy protocol would have carried). Servers store values with their
-// tag, so the two wire formats interoperate on one store.
+// the legacy protocol would have carried). A value whose type implements
+// dht.Epocher additionally travels with a tagEpoch prefix — tagEpoch,
+// uv epoch, then the inner tagged form — so the server can serve CAS
+// comparisons without ever decoding a value. Servers store values with
+// their tags, so the two wire formats interoperate on one store.
 //
 // Response payloads:
 //
-//	status u8: 0 ok, 1 not-found, 2 server error
+//	status u8: 0 ok, 1 not-found, 2 server error, 3 CAS conflict
 //	ok   get/take            value(rest)
 //	ok   put/remove/write/ping  (empty)
+//	ok   putif/createif/removeif/writeif  (empty)
 //	ok   getbatch/putbatch   uv count, count x slot
 //	not-found                (empty)
 //	error                    message(rest)
+//	cas-conflict             exists u8, uv winnerEpoch
 //
 // A batch slot is: status u8; ok = uv n, n bytes (a tagged value for a
 // get slot, n=0 for a put slot); not-found = nothing; error = uv n,
@@ -78,15 +86,17 @@ const (
 
 // Response status bytes.
 const (
-	statusOK       = 0
-	statusNotFound = 1
-	statusErr      = 2
+	statusOK          = 0
+	statusNotFound    = 1
+	statusErr         = 2
+	statusCASConflict = 3 // payload: exists u8, uv winnerEpoch
 )
 
 // Value tag bytes.
 const (
-	tagRaw = 0 // the bytes are the dht.Value (a []byte) verbatim
-	tagGob = 1 // encoding/gob, same bytes as the legacy protocol
+	tagRaw   = 0 // the bytes are the dht.Value (a []byte) verbatim
+	tagGob   = 1 // encoding/gob, same bytes as the legacy protocol
+	tagEpoch = 2 // uv epoch then an inner tagged value; serves CAS compares
 )
 
 var (
@@ -142,8 +152,14 @@ func appendLenString(b []byte, s string) []byte {
 }
 
 // appendValue appends the tagged wire form of v: a []byte travels raw, any
-// other type goes through gob exactly as the legacy protocol would.
+// other type goes through gob exactly as the legacy protocol would. A
+// value carrying a CAS epoch (dht.Epocher) is prefixed with tagEpoch and
+// the epoch varint so the server can compare epochs on pure bytes.
 func appendValue(b []byte, v dht.Value) ([]byte, error) {
+	if e, ok := v.(dht.Epocher); ok {
+		b = append(b, tagEpoch)
+		b = appendUv(b, e.DHTEpoch())
+	}
 	if raw, ok := v.([]byte); ok {
 		b = append(b, tagRaw)
 		return append(b, raw...), nil
@@ -169,6 +185,17 @@ func decodeTaggedValue(tv []byte) (dht.Value, error) {
 		return out, nil
 	case tagGob:
 		return decodeValue(tv[1:])
+	case tagEpoch:
+		// The epoch only exists for the server's CAS compare; the decoded
+		// value carries its own version, so the prefix is simply stripped.
+		c := cursor{b: tv[1:]}
+		if _, err := c.uvarint(); err != nil {
+			return nil, fmt.Errorf("tcpnet: truncated epoch tag")
+		}
+		if len(c.b) == 0 || c.b[0] == tagEpoch {
+			return nil, fmt.Errorf("tcpnet: malformed epoch-tagged value")
+		}
+		return decodeTaggedValue(c.b)
 	default:
 		return nil, fmt.Errorf("tcpnet: unknown value tag %d", tv[0])
 	}

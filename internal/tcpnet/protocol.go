@@ -43,21 +43,35 @@ const (
 	opWrite
 	opGetBatch
 	opPutBatch
+	opPutIf
+	opCreateIf
+	opRemoveIf
+	opWriteIf
 )
 
 // request is one client->server message.
 type request struct {
 	Op   op
 	Key  string
-	Val  []byte    // gob-encoded dht.Value for Put/Write
+	Val  []byte    // gob-encoded dht.Value for Put/Write and conditional ops
 	Keys []string  // keys of an opGetBatch
 	KVs  []batchKV // pairs of an opPutBatch, applied in order
+
+	IfEpoch uint64 // expected stored epoch of opPutIf/opRemoveIf/opWriteIf
+	// Epoch/EpochKnown carry the new value's own epoch so the server can
+	// store it in the epoch-tagged byte form the framed wire produces —
+	// the two wires must leave byte-identical stores behind.
+	Epoch      uint64
+	EpochKnown bool
 }
 
 // batchKV is one pair of an opPutBatch request.
 type batchKV struct {
 	Key string
 	Val []byte
+	// Epoch/EpochKnown mirror request.Epoch for this pair's value.
+	Epoch      uint64
+	EpochKnown bool
 }
 
 // batchReply is one per-key slot of a batched response, positionally
@@ -73,6 +87,10 @@ type response struct {
 	Val   []byte
 	Err   string
 	Batch []batchReply // per-key outcomes of a batched op
+
+	// ConflictExists/Winner detail an Err == errCASConflict response.
+	ConflictExists bool
+	Winner         uint64
 }
 
 // Raw []byte values stored by a framed client are gob-encoded when a

@@ -2,6 +2,7 @@ package tcpnet
 
 import (
 	"bufio"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -158,6 +159,34 @@ func tagWrap(val []byte) []byte {
 	return out
 }
 
+// tagWrapEpoch is tagWrap for a legacy value whose request carried the
+// value's own epoch: it produces the same epoch-tagged byte form the
+// framed wire stores, so the two wires leave byte-identical stores.
+func tagWrapEpoch(val []byte, epoch uint64, known bool) []byte {
+	if !known {
+		return tagWrap(val)
+	}
+	out := make([]byte, 0, 2+binary.MaxVarintLen64+len(val))
+	out = append(out, tagEpoch)
+	out = binary.AppendUvarint(out, epoch)
+	out = append(out, tagGob)
+	return append(out, val...)
+}
+
+// storedEpoch reads the CAS epoch off a stored tagged value: the varint
+// after a tagEpoch prefix, or 0 for untagged values (matching
+// dht.EpochOf's treatment of values without a version).
+func storedEpoch(v []byte) uint64 {
+	if len(v) < 2 || v[0] != tagEpoch {
+		return 0
+	}
+	e, n := binary.Uvarint(v[1:])
+	if n <= 0 {
+		return 0
+	}
+	return e
+}
+
 // detagValue converts a stored tagged value into the legacy wire form:
 // gob bytes travel as-is, raw []byte values are gob-encoded so a legacy
 // client can decode a value a framed client stored. The server never
@@ -171,6 +200,14 @@ func detagValue(v []byte) ([]byte, error) {
 		return v[1:], nil
 	case tagRaw:
 		return encodeValue(dht.Value(v[1:]))
+	case tagEpoch:
+		// Strip the CAS epoch prefix; the decoded value carries its own
+		// version, so a legacy client loses nothing.
+		_, n := binary.Uvarint(v[1:])
+		if n <= 0 {
+			return nil, errors.New("tcpnet: corrupt stored value")
+		}
+		return detagValue(v[1+n:])
 	default:
 		return nil, fmt.Errorf("tcpnet: unknown stored value tag %d", v[0])
 	}
@@ -178,6 +215,15 @@ func detagValue(v []byte) ([]byte, error) {
 
 // errNotFound is the wire form of dht.ErrNotFound.
 const errNotFound = "not found"
+
+// errCASConflict is the wire form of dht.ErrCASConflict; the response's
+// ConflictExists/Winner fields carry the detail.
+const errCASConflict = "cas conflict"
+
+// casConflictResponse builds the legacy wire form of a CAS conflict.
+func casConflictResponse(exists bool, winner uint64) response {
+	return response{Err: errCASConflict, ConflictExists: exists, Winner: winner}
+}
 
 func (s *Server) apply(req request) response {
 	s.mu.Lock()
@@ -199,7 +245,7 @@ func (s *Server) apply(req request) response {
 		return response{Found: true, Val: data}
 	case opPut:
 		s.c.AddLookups(1)
-		s.store[req.Key] = tagWrap(req.Val)
+		s.store[req.Key] = tagWrapEpoch(req.Val, req.Epoch, req.EpochKnown)
 		return response{Found: true}
 	case opTake:
 		s.c.AddLookups(1)
@@ -223,7 +269,47 @@ func (s *Server) apply(req request) response {
 		if _, ok := s.store[req.Key]; !ok {
 			return response{Err: errNotFound}
 		}
-		s.store[req.Key] = tagWrap(req.Val)
+		s.store[req.Key] = tagWrapEpoch(req.Val, req.Epoch, req.EpochKnown)
+		return response{Found: true}
+	case opPutIf:
+		s.c.AddLookups(1)
+		cur, ok := s.store[req.Key]
+		if !ok {
+			return casConflictResponse(false, 0)
+		}
+		if w := storedEpoch(cur); w != req.IfEpoch {
+			return casConflictResponse(true, w)
+		}
+		s.store[req.Key] = tagWrapEpoch(req.Val, req.Epoch, req.EpochKnown)
+		return response{Found: true}
+	case opCreateIf:
+		s.c.AddLookups(1)
+		if cur, ok := s.store[req.Key]; ok {
+			return casConflictResponse(true, storedEpoch(cur))
+		}
+		s.store[req.Key] = tagWrapEpoch(req.Val, req.Epoch, req.EpochKnown)
+		return response{Found: true}
+	case opRemoveIf:
+		s.c.AddLookups(1)
+		cur, ok := s.store[req.Key]
+		if !ok {
+			return response{Found: true} // already gone: the removal is done
+		}
+		if w := storedEpoch(cur); w != req.IfEpoch {
+			return casConflictResponse(true, w)
+		}
+		delete(s.store, req.Key)
+		return response{Found: true}
+	case opWriteIf:
+		// Free in the cost model, like opWrite.
+		cur, ok := s.store[req.Key]
+		if !ok {
+			return response{Err: errNotFound}
+		}
+		if w := storedEpoch(cur); w != req.IfEpoch {
+			return casConflictResponse(true, w)
+		}
+		s.store[req.Key] = tagWrapEpoch(req.Val, req.Epoch, req.EpochKnown)
 		return response{Found: true}
 	case opGetBatch:
 		s.c.AddLookups(int64(len(req.Keys)))
@@ -250,7 +336,7 @@ func (s *Server) apply(req request) response {
 		s.c.AddBatchOps(1)
 		s.c.AddBatchedKeys(int64(len(req.KVs)))
 		for _, kv := range req.KVs { // in order: a duplicate key's last pair wins
-			s.store[kv.Key] = tagWrap(kv.Val)
+			s.store[kv.Key] = tagWrapEpoch(kv.Val, kv.Epoch, kv.EpochKnown)
 		}
 		return response{Found: true, Batch: make([]batchReply, len(req.KVs))}
 	default:

@@ -63,6 +63,18 @@ func appendStatusErr(out []byte, msg string) []byte {
 	return append(out, msg...)
 }
 
+// appendCASConflict appends a statusCASConflict response: whether a value
+// exists under the contested key, and the winning stored epoch.
+func appendCASConflict(out []byte, exists bool, winner uint64) []byte {
+	out = append(out, statusCASConflict)
+	if exists {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	return appendUv(out, winner)
+}
+
 // respond appends the status + payload of op's response. Counter
 // discipline matches the legacy path exactly (the cost-model oracle pins
 // this): every routed op charges one lookup per key, misses charge failed
@@ -125,6 +137,71 @@ func (s *Server) respond(op dht.OpKind, payload, out []byte) []byte {
 			return append(out, statusNotFound)
 		}
 		s.store[string(key)] = append([]byte(nil), c.rest()...)
+		return append(out, statusOK)
+
+	case dht.OpPutIf, dht.OpWriteIf:
+		key, err := c.lenBytes()
+		if err != nil {
+			return appendStatusErr(out, errMalformed)
+		}
+		ifEpoch, err := c.uvarint()
+		if err != nil {
+			return appendStatusErr(out, errMalformed)
+		}
+		val := c.rest()
+		if len(val) == 0 {
+			return appendStatusErr(out, errMalformed)
+		}
+		if op == dht.OpPutIf {
+			s.c.AddLookups(1) // WriteIf, like Write, is free
+		}
+		cur, ok := s.store[string(key)]
+		if !ok {
+			if op == dht.OpWriteIf {
+				return append(out, statusNotFound) // matches Write
+			}
+			return appendCASConflict(out, false, 0)
+		}
+		if w := storedEpoch(cur); w != ifEpoch {
+			return appendCASConflict(out, true, w)
+		}
+		s.store[string(key)] = append([]byte(nil), val...)
+		return append(out, statusOK)
+
+	case dht.OpCreateIf:
+		key, err := c.lenBytes()
+		if err != nil {
+			return appendStatusErr(out, errMalformed)
+		}
+		val := c.rest()
+		if len(val) == 0 {
+			return appendStatusErr(out, errMalformed)
+		}
+		s.c.AddLookups(1)
+		if cur, ok := s.store[string(key)]; ok {
+			return appendCASConflict(out, true, storedEpoch(cur))
+		}
+		s.store[string(key)] = append([]byte(nil), val...)
+		return append(out, statusOK)
+
+	case dht.OpRemoveIf:
+		key, err := c.lenBytes()
+		if err != nil {
+			return appendStatusErr(out, errMalformed)
+		}
+		ifEpoch, err := c.uvarint()
+		if err != nil || !c.empty() {
+			return appendStatusErr(out, errMalformed)
+		}
+		s.c.AddLookups(1)
+		cur, ok := s.store[string(key)]
+		if !ok {
+			return append(out, statusOK) // already gone: the removal is done
+		}
+		if w := storedEpoch(cur); w != ifEpoch {
+			return appendCASConflict(out, true, w)
+		}
+		delete(s.store, string(key))
 		return append(out, statusOK)
 
 	case dht.OpGetBatch:

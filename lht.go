@@ -197,17 +197,26 @@ func WithThresholds(split, merge int) Option { return ilht.WithThresholds(split,
 
 // Index is an LHT index over a DHT substrate. Create one with New.
 //
-// Concurrency contract: queries (Get, Range, Scan, Min/Max) are safe
-// to call concurrently from any number of goroutines, including with the
-// leaf cache enabled — the cache and cost counters are internally
-// synchronized. Writers (Insert, Delete, BulkLoad) are NOT serialized by
-// this type: the index is a client-side view of shared DHT state, and
-// nothing here can lock a remote bucket, so callers must serialize
-// writers externally against both queries and each other — use the index
-// as if under a sync.RWMutex: any number of concurrent readers, or
-// exactly one writer. (In the deployed system each bucket has one
-// responsible peer serializing its updates; an in-process client cannot
-// provide that for the caller.)
+// Concurrency contract: every operation is safe to call concurrently
+// from any number of goroutines and any number of Index handles over the
+// same substrate — readers, writers (Insert, Delete), and a repairing
+// Scrub included. Mutations are optimistic: each one rebuilds the target
+// bucket from a fresh read and commits it with an epoch-guarded
+// compare-and-swap on the storing peer (the substrate's Conditional
+// capability), retrying from a fresh read whenever a concurrent writer
+// won the bucket first. Splits and merges yield silently to a concurrent
+// winner and are retried by whichever writer next visits the overweight
+// (or underweight) leaf, so structural maintenance needs no coordination
+// either. Lost CAS rounds are visible in Snapshot.Write (CASConflicts,
+// WriterRetries).
+//
+// The exception is substrates without native Conditional support: there
+// the conditional ops degrade to a non-atomic fetch-verify-write
+// (counted in Snapshot.Write.CASFallbacks), which is sound only when the
+// caller serializes writers externally — any number of concurrent
+// readers, or exactly one writer. Every bundled substrate (Local, Chord,
+// Kademlia, tcpnet over either wire) is native. BulkLoad remains an
+// empty-index construction pass, not a concurrent mutation.
 type Index struct {
 	inner *ilht.Index
 }

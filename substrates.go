@@ -69,6 +69,51 @@ func PutBatch(ctx context.Context, d DHT, kvs []KV) []error {
 // saves (ablation A6 in EXPERIMENTS.md).
 func WithoutBatch(d DHT) DHT { return dht.WithoutBatch(d) }
 
+// Conditional is the optional conditional-write plane: substrates that
+// can compare a stored value's epoch and swap atomically implement it
+// alongside DHT. It is what makes true multi-writer index concurrency
+// safe — every index read-modify-write commits through an epoch-guarded
+// conditional put. All four shipped substrates implement it natively.
+type Conditional = dht.Conditional
+
+// Epocher is implemented by stored values that carry a version epoch;
+// conditional writes compare against it. Index buckets implement it.
+type Epocher = dht.Epocher
+
+// ErrCASConflict reports a conditional write that lost its epoch
+// comparison to a concurrent writer. Conflicts are permanent (never
+// retried by a Policy); the index layer owns rebase-and-retry.
+var ErrCASConflict = dht.ErrCASConflict
+
+// CASConflictError is the typed form of ErrCASConflict, carrying whether
+// a value exists under the contested key and the winning stored epoch.
+type CASConflictError = dht.CASConflictError
+
+// PutIf stores v under key only if a value is stored there with epoch
+// ifEpoch, through d's native conditional plane if it has one, or a
+// non-atomic fetch-verify emulation otherwise.
+func PutIf(ctx context.Context, d DHT, key string, v Value, ifEpoch uint64) error {
+	return dht.DoPutIf(ctx, d, key, v, ifEpoch)
+}
+
+// CreateIf stores v under key only if nothing is stored there.
+func CreateIf(ctx context.Context, d DHT, key string, v Value) error {
+	return dht.DoCreateIf(ctx, d, key, v)
+}
+
+// RemoveIf deletes key only if the stored value's epoch is ifEpoch; an
+// absent key is a success (the removal's goal state).
+func RemoveIf(ctx context.Context, d DHT, key string, ifEpoch uint64) error {
+	return dht.DoRemoveIf(ctx, d, key, ifEpoch)
+}
+
+// WriteIf is the free in-place counterpart of PutIf: it rewrites key's
+// value only if present with epoch ifEpoch, returns ErrNotFound if
+// absent, and costs no DHT-lookup.
+func WriteIf(ctx context.Context, d DHT, key string, v Value, ifEpoch uint64) error {
+	return dht.DoWriteIf(ctx, d, key, v, ifEpoch)
+}
+
 // CrashPoints is a substrate wrapper carrying a scripted, deterministic
 // fault schedule — the tool behind the repository's torn-mutation tests
 // and the churn ablation (A7). Build one with WithCrashPoints.
@@ -86,12 +131,16 @@ type OpKind = dht.OpKind
 
 // Operation classes for CrashRule.Op.
 const (
-	OpAny    = dht.OpAny
-	OpGet    = dht.OpGet
-	OpPut    = dht.OpPut
-	OpTake   = dht.OpTake
-	OpRemove = dht.OpRemove
-	OpWrite  = dht.OpWrite
+	OpAny      = dht.OpAny
+	OpGet      = dht.OpGet
+	OpPut      = dht.OpPut
+	OpTake     = dht.OpTake
+	OpRemove   = dht.OpRemove
+	OpWrite    = dht.OpWrite
+	OpPutIf    = dht.OpPutIf
+	OpCreateIf = dht.OpCreateIf
+	OpRemoveIf = dht.OpRemoveIf
+	OpWriteIf  = dht.OpWriteIf
 )
 
 // ErrCrashed reports an operation failed by an injected crash schedule.
