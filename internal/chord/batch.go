@@ -48,6 +48,9 @@ func (r *Ring) PutBatch(ctx context.Context, kvs []dht.KV) []error {
 		for _, n := range chain {
 			n.rpcStoreBatch(batch)
 		}
+		for k := range batch {
+			r.retireStale(k, chain)
+		}
 	})
 	return errs
 }

@@ -9,6 +9,7 @@ import (
 
 	"lht/internal/dht"
 	"lht/internal/hashring"
+	"lht/internal/metrics"
 )
 
 func newRing(t *testing.T, n int, cfg Config) *Ring {
@@ -318,5 +319,74 @@ func TestMessagesAreCounted(t *testing.T) {
 	}
 	if r.Network().Messages() == 0 {
 		t.Error("Put on a 16-node ring should cost messages")
+	}
+}
+
+// TestReadSpreading pins the hot-read rotation: on a replicated ring,
+// repeated Gets of one key start at different replicas (spreading the
+// hot key's load) while every Get still returns the value, including
+// after the primary fails — the fallback scan visits the whole chain.
+func TestReadSpreading(t *testing.T) {
+	agg := &metrics.Counters{}
+	r := newRing(t, 8, Config{Seed: 21, Replicas: 3, Counters: agg})
+	if err := r.Put(context.Background(), "hot", 42); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		v, err := r.Get(context.Background(), "hot")
+		if err != nil || v.(int) != 42 {
+			t.Fatalf("Get %d = %v, %v", i, v, err)
+		}
+	}
+	// With 3 replicas and a rotating sequence, 2/3 of reads start
+	// off-primary.
+	if n := r.SpreadReads(); n < 10 {
+		t.Errorf("SpreadReads = %d after 30 replicated reads", n)
+	}
+	if got, want := agg.Snapshot().Load.SpreadReads, r.SpreadReads(); got != want {
+		t.Errorf("chained aggregate SpreadReads = %d, ring says %d", got, want)
+	}
+
+	// Unreplicated rings have a single holder: nothing to spread.
+	r1 := newRing(t, 8, Config{Seed: 22})
+	if err := r1.Put(context.Background(), "solo", 7); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := r1.Get(context.Background(), "solo"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := r1.SpreadReads(); n != 0 {
+		t.Errorf("SpreadReads = %d with Replicas=1", n)
+	}
+}
+
+// TestReadSpreadingCostOracle pins the Lookups accounting: rotation
+// happens below the instrumentation layer with free direct calls, so a
+// replicated Get costs exactly one DHT-lookup whether or not its start
+// was rotated — identical to the primary-pinned behavior it replaced.
+func TestReadSpreadingCostOracle(t *testing.T) {
+	r := newRing(t, 8, Config{Seed: 23, Replicas: 3})
+	var c metrics.Counters
+	d := dht.NewInstrumented(r, &c)
+	ctx := context.Background()
+	for i := 0; i < 20; i++ {
+		if err := d.Put(ctx, fmt.Sprintf("k-%d", i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := c.Snapshot().Lookup.Total
+	const reads = 60
+	for i := 0; i < reads; i++ {
+		if _, err := d.Get(ctx, fmt.Sprintf("k-%d", i%20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Snapshot().Lookup.Total - before; got != reads {
+		t.Errorf("60 replicated Gets charged %d lookups, want exactly %d", got, reads)
+	}
+	if r.SpreadReads() == 0 {
+		t.Error("no reads were spread across the replica chain")
 	}
 }

@@ -4,12 +4,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"lht/internal/dht"
 	"lht/internal/hashring"
+	"lht/internal/metrics"
 	"lht/internal/simnet"
 )
 
@@ -39,6 +42,10 @@ type Config struct {
 	StabilizeRounds int
 	// Seed drives entry-point selection and stabilization order.
 	Seed int64
+	// Counters, when set, receives the ring's load-balancing counters
+	// (spread reads); the routing cost model itself is charged by the
+	// dht.Instrumented layer above, not here.
+	Counters *metrics.Counters
 }
 
 func (c Config) withDefaults() Config {
@@ -66,6 +73,11 @@ type Ring struct {
 	mu    sync.Mutex
 	rng   *rand.Rand
 	nodes map[string]*Node // every node ever added and not removed
+
+	// readSeq rotates the replica a read starts at (see rotateStart);
+	// spreadReads counts reads that started off-primary.
+	readSeq     atomic.Uint64
+	spreadReads atomic.Int64
 
 	// casMu serializes conditional read-compare-write cycles per key
 	// across the key's whole replica set, standing in for the responsible
@@ -319,6 +331,59 @@ func (r *Ring) replicaChain(ctx context.Context, key string) (chain []*Node, hop
 	return nil, hops, slid, dht.MarkTransient(fmt.Errorf("chord: %q unroutable: %w", key, lastErr))
 }
 
+// rotateStart picks which replica a read of key starts at: a
+// deterministic function of the key and a per-ring read sequence, so
+// consecutive reads of one hot key spread across its whole live replica
+// set instead of pinning the primary, while any serialized schedule
+// stays exactly reproducible. The scan still visits every chain member
+// in order (wrapping), so fallback-on-failure semantics and the miss
+// classification are unchanged, and no DHT-lookups are added — chain
+// members are fetched by direct calls, which the cost model does not
+// charge.
+func (r *Ring) rotateStart(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	start := int((uint64(h.Sum32()) + r.readSeq.Add(1) - 1) % uint64(n))
+	if start != 0 {
+		r.spreadReads.Add(1)
+		r.cfg.Counters.AddSpreadReads(1)
+	}
+	return start
+}
+
+// SpreadReads reports how many reads started at a non-primary replica.
+func (r *Ring) SpreadReads() int64 { return r.spreadReads.Load() }
+
+// retireStale deletes key from every live node outside keep. A
+// replica-set write replaces every current copy, so a copy held
+// anywhere else is a stale remnant of an earlier chain — a holder that
+// slid out of the replica set during churn and missed the write. Left
+// in place it would resurface when churn slides that node back into
+// the chain, which is exactly the copy a rotated read must never
+// observe; retiring it keeps "any stored copy is the latest write"
+// true, the invariant that makes read spreading safe. Down nodes are
+// skipped, as a real system cannot reach them: their stranded copies
+// remain the Fail/Recover staleness the bucket epoch already orders.
+func (r *Ring) retireStale(key string, keep []*Node) {
+	inKeep := make(map[*Node]bool, len(keep))
+	for _, n := range keep {
+		inKeep[n] = true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for addr, n := range r.nodes {
+		if inKeep[n] || r.net.Down(addr) {
+			continue
+		}
+		n.mu.Lock()
+		delete(n.data, key)
+		n.mu.Unlock()
+	}
+}
+
 // errMissing distinguishes the two causes of a read that found no value:
 // an unreachable holder that a later retry may reach again (transient), or
 // a genuinely absent key.
@@ -341,6 +406,7 @@ func (r *Ring) Put(ctx context.Context, key string, v dht.Value) error {
 	for _, n := range chain {
 		n.rpcStore(key, v)
 	}
+	r.retireStale(key, chain)
 	return nil
 }
 
@@ -353,8 +419,9 @@ func (r *Ring) Get(ctx context.Context, key string) (dht.Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, n := range chain {
-		if v, ok := n.rpcFetch(key); ok {
+	start := r.rotateStart(key, len(chain))
+	for i := range chain {
+		if v, ok := chain[(start+i)%len(chain)].rpcFetch(key); ok {
 			return v, nil
 		}
 	}
@@ -371,14 +438,16 @@ func (r *Ring) Take(ctx context.Context, key string) (dht.Value, error) {
 		out   dht.Value
 		found bool
 	)
-	for _, n := range chain {
-		if v, ok := n.rpcTake(key); ok && !found {
+	start := r.rotateStart(key, len(chain))
+	for i := range chain {
+		if v, ok := chain[(start+i)%len(chain)].rpcTake(key); ok && !found {
 			out, found = v, true
 		}
 	}
 	if !found {
 		return nil, errMissing(key, slid)
 	}
+	r.retireStale(key, nil)
 	return out, nil
 }
 
@@ -391,6 +460,7 @@ func (r *Ring) Remove(ctx context.Context, key string) error {
 	for _, n := range chain {
 		n.rpcRemove(key)
 	}
+	r.retireStale(key, nil)
 	return nil
 }
 
@@ -447,6 +517,7 @@ func (r *Ring) PutIf(ctx context.Context, key string, v dht.Value, ifEpoch uint6
 	for _, n := range chain {
 		n.rpcStore(key, v)
 	}
+	r.retireStale(key, chain)
 	return nil
 }
 
@@ -467,6 +538,7 @@ func (r *Ring) CreateIf(ctx context.Context, key string, v dht.Value) error {
 	for _, n := range chain {
 		n.rpcStore(key, v)
 	}
+	r.retireStale(key, chain)
 	return nil
 }
 
@@ -491,6 +563,7 @@ func (r *Ring) RemoveIf(ctx context.Context, key string, ifEpoch uint64) error {
 	for _, n := range chain {
 		n.rpcRemove(key)
 	}
+	r.retireStale(key, nil)
 	return nil
 }
 

@@ -1,0 +1,141 @@
+package dht
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"lht/internal/metrics"
+)
+
+// flight is one in-progress inner Get that concurrent callers of the
+// same key ride instead of issuing their own.
+type flight struct {
+	done chan struct{}
+	v    Value
+	err  error
+}
+
+// coalescer is the singleflight read layer: concurrent Gets of one key
+// collapse onto a single inner Get, so N clients missing on one hot
+// leaf label cost the substrate one physical fetch instead of N. It
+// sits *below* the instrumentation layer, so every logical Get is still
+// charged as a DHT-lookup — the paper's cost model is unchanged whether
+// coalescing is on or off; only the physical round trips (and the hot
+// peer's service load) shrink. CoalescedGets counts the rides.
+//
+// Followers share the leader's returned value. That matches the Local
+// substrate's existing aliasing semantics, and the index layer never
+// mutates a fetched bucket without cloning it first (the optimistic CAS
+// loop), so the shared read is safe.
+type coalescer struct {
+	inner DHT
+	c     *metrics.Counters
+
+	mu       sync.Mutex
+	inflight map[string]*flight
+}
+
+// WithCoalescing wraps inner with singleflight Get coalescing. The
+// returned DHT re-exposes inner's optional Batcher and Conditional
+// capabilities unchanged (batched and conditional ops are never
+// coalesced), so capability type-assertions by upper layers see exactly
+// what they would on inner. c, when non-nil, receives CoalescedGets.
+func WithCoalescing(inner DHT, c *metrics.Counters) DHT {
+	co := &coalescer{inner: inner, c: c, inflight: make(map[string]*flight)}
+	b, hasB := inner.(Batcher)
+	cd, hasC := inner.(Conditional)
+	switch {
+	case hasB && hasC:
+		return struct {
+			*coalescer
+			Batcher
+			Conditional
+		}{co, b, cd}
+	case hasB:
+		return struct {
+			*coalescer
+			Batcher
+		}{co, b}
+	case hasC:
+		return struct {
+			*coalescer
+			Conditional
+		}{co, cd}
+	default:
+		return co
+	}
+}
+
+// freshReadKey marks a context whose Gets must bypass coalescing.
+type freshReadKey struct{}
+
+// WithFreshRead marks ctx so coalesced Gets under it go straight to the
+// substrate. A caller uses it when it *knows* its last snapshot is stale
+// — typically after losing a compare-and-swap — because an in-flight
+// fetch it would otherwise ride may have been served before the winning
+// write landed, handing back the very epoch that just lost and turning
+// one conflict into a retry storm.
+func WithFreshRead(ctx context.Context) context.Context {
+	if fresh, _ := ctx.Value(freshReadKey{}).(bool); fresh {
+		return ctx
+	}
+	return context.WithValue(ctx, freshReadKey{}, true)
+}
+
+// Get issues the key's fetch if none is in flight, and otherwise waits
+// for the in-flight one. A follower whose own context is still live
+// does not inherit a leader's cancellation: it re-issues the fetch
+// (possibly becoming the new leader) so one caller's timeout cannot
+// poison its coincidental companions.
+func (co *coalescer) Get(ctx context.Context, key string) (Value, error) {
+	if fresh, _ := ctx.Value(freshReadKey{}).(bool); fresh {
+		return co.inner.Get(ctx, key)
+	}
+	for {
+		co.mu.Lock()
+		if f, ok := co.inflight[key]; ok {
+			co.mu.Unlock()
+			co.c.AddCoalescedGets(1)
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if isContextErr(f.err) && ctx.Err() == nil {
+				continue // leader was cancelled, not us: fetch again
+			}
+			return f.v, f.err
+		}
+		f := &flight{done: make(chan struct{})}
+		co.inflight[key] = f
+		co.mu.Unlock()
+
+		f.v, f.err = co.inner.Get(ctx, key)
+		co.mu.Lock()
+		delete(co.inflight, key)
+		co.mu.Unlock()
+		close(f.done)
+		return f.v, f.err
+	}
+}
+
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+func (co *coalescer) Put(ctx context.Context, key string, v Value) error {
+	return co.inner.Put(ctx, key, v)
+}
+
+func (co *coalescer) Take(ctx context.Context, key string) (Value, error) {
+	return co.inner.Take(ctx, key)
+}
+
+func (co *coalescer) Remove(ctx context.Context, key string) error {
+	return co.inner.Remove(ctx, key)
+}
+
+func (co *coalescer) Write(ctx context.Context, key string, v Value) error {
+	return co.inner.Write(ctx, key, v)
+}

@@ -16,6 +16,8 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"math"
+	"time"
 
 	"lht/internal/bitlabel"
 	"lht/internal/keyspace"
@@ -46,6 +48,44 @@ type Bucket struct {
 	// so every intermediate state of a crashed mutation is detectable
 	// from the bucket alone; see Index.Scrub and the lookup read-repair.
 	Pending Pending
+	// Rate is the leaf's decaying request-rate estimate in requests per
+	// second, and RateAt the UnixNano timestamp of its last update. Both
+	// are maintained only when the load-balancing plane is enabled
+	// (Config.HotSplitRate > 0) and stay zero otherwise, so buckets
+	// written with the plane off carry no trace of it. Updated on the
+	// index's CAS commit path; splits halve it into each child and
+	// merges sum it, so the estimate follows the structure it measures.
+	Rate float64
+	// RateAt timestamps Rate (UnixNano); zero means never touched.
+	RateAt int64
+}
+
+// rateTau is the rate estimator's time constant: the estimate forgets
+// at e^(-dt/tau) and each touch adds 1/tau (per second), so under a
+// steady stream of lambda requests/sec the estimate converges to
+// ~lambda. One second balances reactivity (a burst registers within a
+// few hundred requests) against stability (a lull of a few seconds
+// fully cools a leaf).
+const rateTau = float64(time.Second)
+
+// bumpRate folds one request at time now (UnixNano) into the decaying
+// rate estimate. Calls with a frozen clock (dt == 0) skip the decay, so
+// deterministic tests observe Rate == touch count exactly.
+func (b *Bucket) bumpRate(now int64) {
+	if b.RateAt != 0 && now > b.RateAt {
+		b.Rate *= math.Exp(-float64(now-b.RateAt) / rateTau)
+	}
+	b.Rate += 1e9 / rateTau
+	b.RateAt = now
+}
+
+// RateNow returns the rate estimate decayed to time now without
+// recording a touch.
+func (b *Bucket) RateNow(now int64) float64 {
+	if b.RateAt == 0 || now <= b.RateAt {
+		return b.Rate
+	}
+	return b.Rate * math.Exp(-float64(now-b.RateAt)/rateTau)
 }
 
 // PendingKind enumerates the structural mutations that leave a
@@ -102,7 +142,7 @@ func (b *Bucket) Contains(delta float64) bool { return b.Interval().Contains(del
 
 // Clone returns a deep copy of the bucket.
 func (b *Bucket) Clone() *Bucket {
-	out := &Bucket{Label: b.Label, Epoch: b.Epoch, Pending: b.Pending}
+	out := &Bucket{Label: b.Label, Epoch: b.Epoch, Pending: b.Pending, Rate: b.Rate, RateAt: b.RateAt}
 	if b.Records != nil {
 		out.Records = make([]record.Record, len(b.Records))
 		copy(out.Records, b.Records)
@@ -115,21 +155,25 @@ func (b *Bucket) String() string {
 	return fmt.Sprintf("bucket(%s, %d records)", b.Label, len(b.Records))
 }
 
-// bucketWire is the serialized form of a Bucket. Epoch and Pending are
-// zero-valued on clean buckets, which gob omits, so snapshots written
-// before recovery existed decode unchanged.
+// bucketWire is the serialized form of a Bucket. Epoch, Pending and the
+// rate fields are zero-valued on clean (or load-plane-off) buckets,
+// which gob omits, so snapshots written before those planes existed
+// decode unchanged.
 type bucketWire struct {
 	Label   bitlabel.Label
 	Records []record.Record
 	Epoch   uint64
 	Pending Pending
+	Rate    float64
+	RateAt  int64
 }
 
 // EncodeBucket serializes a bucket for substrates that cross process
 // boundaries (Chord/Kademlia byte stores, the TCP cluster).
 func EncodeBucket(b *Bucket) ([]byte, error) {
 	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(bucketWire{Label: b.Label, Records: b.Records, Epoch: b.Epoch, Pending: b.Pending}); err != nil {
+	w := bucketWire{Label: b.Label, Records: b.Records, Epoch: b.Epoch, Pending: b.Pending, Rate: b.Rate, RateAt: b.RateAt}
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
 		return nil, fmt.Errorf("encode bucket: %w", err)
 	}
 	return buf.Bytes(), nil
@@ -141,5 +185,5 @@ func DecodeBucket(data []byte) (*Bucket, error) {
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
 		return nil, fmt.Errorf("decode bucket: %w", err)
 	}
-	return &Bucket{Label: w.Label, Records: w.Records, Epoch: w.Epoch, Pending: w.Pending}, nil
+	return &Bucket{Label: w.Label, Records: w.Records, Epoch: w.Epoch, Pending: w.Pending, Rate: w.Rate, RateAt: w.RateAt}, nil
 }

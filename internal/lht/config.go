@@ -94,6 +94,30 @@ type Config struct {
 	// index instances can serve one process-wide /metrics endpoint
 	// while each keeps its own exact per-instance accounting.
 	Aggregate *metrics.Counters
+
+	// HotSplitRate enables load-aware leaf splitting: each bucket carries
+	// a decaying request-rate estimate (requests per second, updated on
+	// the CAS commit path), and a leaf whose estimate reaches
+	// HotSplitRate splits even while its record count is below
+	// SplitThreshold — halving the key interval one hot peer serves.
+	// Merges skip leaves that are still hot so the structure does not
+	// thrash. 0 (the default) disables the plane entirely: buckets carry
+	// zero-valued rate fields and every cost counter is identical to a
+	// build without the plane. Negative is invalid.
+	HotSplitRate float64
+
+	// CoalesceGets enables singleflight read coalescing below the
+	// instrumentation layer: N concurrent DHT-gets of one key (the
+	// thundering herd on a hot leaf label) issue a single physical fetch
+	// that all N share. Every logical get is still charged as a
+	// DHT-lookup, so the paper's cost model is unchanged; only physical
+	// round trips and the hot peer's service load shrink (counted by
+	// CoalescedGets). Off by default.
+	CoalesceGets bool
+
+	// clock overrides the rate estimator's time source (UnixNano) so
+	// tests drive deterministic hot-split schedules. Nil means real time.
+	clock func() int64
 }
 
 // DefaultLeafCacheSize is the leaf-cache capacity used when LeafCache
@@ -136,6 +160,9 @@ func (c Config) Validate() error {
 	}
 	if c.BatchSize < 0 {
 		return fmt.Errorf("%w: BatchSize %d negative", ErrConfig, c.BatchSize)
+	}
+	if c.HotSplitRate < 0 {
+		return fmt.Errorf("%w: HotSplitRate %v negative", ErrConfig, c.HotSplitRate)
 	}
 	return nil
 }

@@ -1,0 +1,222 @@
+package lht
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lht/internal/dht"
+	"lht/internal/record"
+)
+
+// normalizedImage captures every stored bucket as encoded bytes with the
+// load-plane rate fields zeroed, so trees built with and without the
+// plane compare on structure, records and epochs alone.
+func normalizedImage(t *testing.T, d *dht.Local) map[string][]byte {
+	t.Helper()
+	ctx := context.Background()
+	img := make(map[string][]byte)
+	for _, k := range d.Keys() {
+		v, err := d.Get(ctx, k)
+		if err != nil {
+			t.Fatalf("image %q: %v", k, err)
+		}
+		b, ok := v.(*Bucket)
+		if !ok {
+			t.Fatalf("image %q: %T, not a bucket", k, v)
+		}
+		nb := b.Clone()
+		nb.Rate, nb.RateAt = 0, 0
+		enc, err := EncodeBucket(nb)
+		if err != nil {
+			t.Fatalf("encode %q: %v", k, err)
+		}
+		img[k] = enc
+	}
+	return img
+}
+
+// TestHotSplitOracle checks the load plane's structural contract: a
+// rate-triggered split is the same Algorithm 1 as a capacity split, so a
+// workload whose rate trigger fires exactly where the capacity trigger
+// would must leave a byte-identical tree (modulo the rate fields
+// themselves).
+//
+// The alignment is engineered: with a frozen clock the estimator never
+// decays, so a leaf's Rate equals its touch count, and the bit-reversed
+// insertion order keeps every split's partition perfectly even — each
+// child inherits Rate/2 touches and exactly half the records, so rate
+// and capacity stay in lockstep at every level.
+func TestHotSplitOracle(t *testing.T) {
+	// i/16 for i in bit-reversed order: every prefix is balanced.
+	order := []int{0, 8, 4, 12, 2, 10, 6, 14, 1, 9, 5, 13, 3, 11, 7, 15}
+
+	run := func(cfg Config) (*Index, *dht.Local) {
+		d := dht.NewLocal()
+		ix, err := New(d, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, i := range order {
+			if _, err := ix.Insert(record.Record{Key: float64(i) / 16}); err != nil {
+				t.Fatalf("insert %d/16: %v", i, err)
+			}
+		}
+		return ix, d
+	}
+
+	// Capacity reference: splits when a leaf's weight (records+1) reaches
+	// 9, i.e. on the 8th record.
+	capIx, capD := run(Config{SplitThreshold: 9, MergeThreshold: 0, Depth: 8})
+	// Rate-triggered: capacity can never fire (threshold 1000); the frozen
+	// clock makes Rate a touch counter, so HotSplitRate 8 fires on the 8th
+	// insert into a leaf — the same instant capacity would.
+	hotIx, hotD := run(Config{
+		SplitThreshold: 1000, MergeThreshold: 0, Depth: 8,
+		HotSplitRate: 8, clock: func() int64 { return 1 },
+	})
+
+	capImg, hotImg := normalizedImage(t, capD), normalizedImage(t, hotD)
+	if d := diffImages(hotImg, capImg); d != "" {
+		t.Errorf("rate-triggered tree differs from capacity tree:\n%s", d)
+	}
+
+	capM, hotM := capIx.Metrics(), hotIx.Metrics()
+	if capM.Lookup.Splits != 3 || capM.Load.HotSplits != 0 {
+		t.Errorf("capacity index: %d splits (%d hot), want 3 (0 hot)",
+			capM.Lookup.Splits, capM.Load.HotSplits)
+	}
+	if hotM.Lookup.Splits != 3 || hotM.Load.HotSplits != 3 {
+		t.Errorf("hot index: %d splits (%d hot), want 3 (3 hot)",
+			hotM.Lookup.Splits, hotM.Load.HotSplits)
+	}
+
+	// The capacity run never touched the rate plane: its stored buckets
+	// must be byte-identical to their normalized form.
+	if d := diffImages(substrateImage(t, capD), capImg); d != "" {
+		t.Errorf("plane-off buckets carry rate state:\n%s", d)
+	}
+
+	rep, err := hotIx.Scrub(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Splitting is what cools a leaf: each child inherited Rate/2 = 4,
+	// below the threshold of 8, so the settled tree reports no hot leaves
+	// — the plane sheds load exactly by halving it.
+	if rep.HotLeaves != 0 {
+		t.Errorf("scrub saw %d hot leaves after settling, want 0", rep.HotLeaves)
+	}
+}
+
+// TestHotLeafAtDepthBound pins the plane's behavior when a hot leaf
+// cannot split: at the a-priori depth bound D the split is skipped (an
+// overflow, like a capacity split would be), the leaf keeps its heat,
+// and Scrub's HotLeaves gauge is how an operator sees it.
+func TestHotLeafAtDepthBound(t *testing.T) {
+	d := dht.NewLocal()
+	ix, err := New(d, Config{
+		SplitThreshold: 1000, MergeThreshold: 0, Depth: 2,
+		HotSplitRate: 4, clock: func() int64 { return 1 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bit-reversed i/8: the root splits at rate 4 (depth 1 -> 2), its two
+	// children each reach rate 2+2 = 4 but sit at the depth bound.
+	for _, i := range []int{0, 4, 2, 6, 1, 5, 3, 7} {
+		if _, err := ix.Insert(record.Record{Key: float64(i) / 8}); err != nil {
+			t.Fatalf("insert %d/8: %v", i, err)
+		}
+	}
+	if got := ix.Overflows(); got != 2 {
+		t.Errorf("overflows = %d, want 2 (one per depth-bounded hot child)", got)
+	}
+	rep, err := ix.Scrub(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HotLeaves != 2 {
+		t.Errorf("scrub saw %d hot leaves, want 2", rep.HotLeaves)
+	}
+}
+
+// herdDHT gates Get once armed, so a test can hold a thundering herd in
+// flight, and counts the physical fetches that reach the substrate.
+type herdDHT struct {
+	*dht.Local
+	gate    atomic.Bool
+	release chan struct{}
+	gets    atomic.Int64
+}
+
+func (h *herdDHT) Get(ctx context.Context, key string) (dht.Value, error) {
+	h.gets.Add(1)
+	if h.gate.Load() {
+		select {
+		case <-h.release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return h.Local.Get(ctx, key)
+}
+
+// TestCoalescedSearchHerd drives the thundering herd through the full
+// index stack: N concurrent searches for one hot key walk the same probe
+// sequence, and with Config.CoalesceGets the in-flight fetches collapse
+// — the substrate sees fewer physical gets than the searches issued
+// logical ones, with the difference accounted in CoalescedGets.
+func TestCoalescedSearchHerd(t *testing.T) {
+	h := &herdDHT{Local: dht.NewLocal(), release: make(chan struct{})}
+	ix, err := New(h, Config{SplitThreshold: 8, MergeThreshold: 0, Depth: 8, CoalesceGets: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := ix.Insert(record.Record{Key: float64(i) / 32}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const herd = 16
+	hot := 5.0 / 32
+	before := h.gets.Load()
+	h.gate.Store(true)
+	var wg sync.WaitGroup
+	errs := make([]error, herd)
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = ix.Search(hot)
+		}(i)
+	}
+	// Every search opens with the same probe; wait until the leader is
+	// parked inside the gated substrate get, give the followers a moment
+	// to pile onto its flight, then open the gate.
+	for h.gets.Load() == before {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(h.release)
+	wg.Wait()
+	h.gate.Store(false)
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("search %d: %v", i, err)
+		}
+	}
+	m := ix.Metrics()
+	if m.Load.CoalescedGets == 0 {
+		t.Error("herd searches coalesced no gets")
+	}
+	phys := h.gets.Load() - before
+	logical := phys + m.Load.CoalescedGets
+	if phys >= logical {
+		t.Errorf("physical gets %d not reduced below logical %d", phys, logical)
+	}
+}

@@ -54,7 +54,8 @@ type Index struct {
 	d     dht.DHT
 	cfg   Config
 	c     *metrics.Counters
-	cache *leafCache // nil unless Config.LeafCache
+	cache *leafCache   // nil unless Config.LeafCache
+	now   func() int64 // rate-estimator clock (UnixNano); cfg.clock or real time
 
 	mu        sync.Mutex
 	alphaSum  float64 // sum over splits of (remote bucket weight / theta)
@@ -69,7 +70,10 @@ type Index struct {
 // When cfg.Policy is set, the substrate stack becomes
 // policy(instrumented(d)): transient faults are retried per the policy,
 // and because the retry layer sits above the instrumentation, every
-// attempt is charged as a DHT-lookup.
+// attempt is charged as a DHT-lookup. When cfg.CoalesceGets is set, a
+// singleflight layer sits *below* the instrumentation —
+// policy(instrumented(coalesce(d))) — so coalesced reads are still
+// charged as lookups and only the physical fetches shrink.
 func New(d dht.DHT, cfg Config) (*Index, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -91,6 +95,9 @@ func New(d dht.DHT, cfg Config) (*Index, error) {
 	if cfg.Aggregate != nil {
 		c.Chain(cfg.Aggregate)
 	}
+	if cfg.CoalesceGets {
+		d = dht.WithCoalescing(d, c)
+	}
 	inst := dht.NewInstrumented(d, c)
 	if cfg.TraceSink != nil {
 		inst.SetSink(cfg.TraceSink)
@@ -101,7 +108,10 @@ func New(d dht.DHT, cfg Config) (*Index, error) {
 		p.Counters = c
 		stack = dht.WithPolicy(stack, p)
 	}
-	ix := &Index{d: stack, cfg: cfg, c: c}
+	ix := &Index{d: stack, cfg: cfg, c: c, now: cfg.clock}
+	if ix.now == nil {
+		ix.now = func() int64 { return time.Now().UnixNano() }
+	}
 	if cfg.LeafCache {
 		ix.cache = newLeafCache(cfg.leafCacheSize())
 	}
@@ -404,6 +414,13 @@ func (ix *Index) InsertContext(ctx context.Context, rec record.Record) (cost Cos
 		} else {
 			nb.Records = append(nb.Records, rec)
 		}
+		var hotEdge bool
+		if ix.cfg.HotSplitRate > 0 {
+			now := ix.now()
+			hotEdge = nb.RateNow(now) < ix.cfg.HotSplitRate
+			nb.bumpRate(now)
+			hotEdge = hotEdge && nb.Rate >= ix.cfg.HotSplitRate
+		}
 		nb.Epoch++
 		cost.Lookups++
 		cost.Steps++
@@ -414,13 +431,18 @@ func (ix *Index) InsertContext(ctx context.Context, rec record.Record) (cost Cos
 			if cerr := ctx.Err(); cerr != nil {
 				return cost, cerr
 			}
+			// The snapshot just lost: the re-read must not ride a
+			// coalesced fetch that may predate the winning write, or the
+			// retry would re-run against the same losing epoch.
+			ctx = dht.WithFreshRead(ctx)
 			continue
 		}
 		if err != nil {
 			return cost, fmt.Errorf("lht: write back %q: %w", key, err)
 		}
-		if nb.Weight() >= ix.cfg.SplitThreshold {
-			splitCost, err := ix.split(ctx, key, nb)
+		capacity := nb.Weight() >= ix.cfg.SplitThreshold
+		if capacity || ix.hotLeaf(nb, hotEdge) {
+			splitCost, err := ix.split(ctx, key, nb, !capacity)
 			cost.Add(splitCost)
 			ix.c.AddMaintLookups(int64(splitCost.Lookups))
 			if err != nil {
@@ -431,10 +453,34 @@ func (ix *Index) InsertContext(ctx context.Context, rec record.Record) (cost Cos
 	}
 }
 
+// rateHot reports whether the leaf's decayed request-rate estimate has
+// crossed the configured hot threshold (always false with the plane
+// off).
+func (ix *Index) rateHot(b *Bucket) bool {
+	return ix.cfg.HotSplitRate > 0 && b.RateNow(ix.now()) >= ix.cfg.HotSplitRate
+}
+
+// hotLeaf reports whether the load-balancing plane wants this leaf
+// split: this commit carried its rate estimate *across* the threshold,
+// and it still holds a record to partition (an empty leaf gains nothing
+// from halving its interval). Edge-triggering — the crossing commit
+// splits, not every commit while hot — matters under contention: the CAS
+// serializes commits, so exactly one writer owns each crossing, and a
+// herd of writers on one hot leaf launches one Algorithm 1 run instead
+// of a stampede of racing splits whose pending intents every concurrent
+// reader would then try to repair.
+func (ix *Index) hotLeaf(b *Bucket, hotEdge bool) bool {
+	return hotEdge && b.Weight() >= 2
+}
+
 // split performs Algorithm 1 on the bucket stored under key. One half
 // keeps the name f_n(lambda) and stays on its peer (a free local rewrite);
 // the other is named lambda itself and is pushed out with a single
-// DHT-put (Theorem 2).
+// DHT-put (Theorem 2). hot marks a split triggered by the request-rate
+// estimate rather than capacity; the mechanism is identical — the same
+// intent protocol, the same deterministic partition — only the
+// accounting differs (HotSplits), so a rate-triggered split leaves
+// exactly the tree a capacity split of the same leaf would.
 //
 // The rewrite is crash-consistent: a write-ahead intent (Pending) is
 // recorded in the full leaf in place before any routed write, and cleared
@@ -442,7 +488,7 @@ func (ix *Index) InsertContext(ctx context.Context, rec record.Record) (cost Cos
 // detectable from the bucket under key alone, and completeSplit — invoked
 // by the next lookup's read-repair or by Scrub — re-runs the remaining
 // steps idempotently, converging on exactly the never-crashed tree.
-func (ix *Index) split(ctx context.Context, key string, b *Bucket) (Cost, error) {
+func (ix *Index) split(ctx context.Context, key string, b *Bucket, hot bool) (Cost, error) {
 	// Maintenance traffic: the intent write and both halves' writes are
 	// split-phase lookups (repairTorn labels its own calls PhaseRepair).
 	ctx = metrics.WithPhase(ctx, metrics.PhaseSplit)
@@ -486,6 +532,9 @@ func (ix *Index) split(ctx context.Context, key string, b *Bucket) (Cost, error)
 	// must not distort the cost metrics or the paper's alpha estimate.
 	moved := int64(rb.Weight())
 	ix.c.AddSplits(1)
+	if hot {
+		ix.c.AddHotSplits(1)
+	}
 	ix.c.AddMovedRecords(moved)
 	ix.mu.Lock()
 	ix.alphaSum += float64(moved) / float64(ix.cfg.SplitThreshold)
@@ -522,6 +571,9 @@ func (ix *Index) DeleteContext(ctx context.Context, delta float64) (cost Cost, e
 		nb := b.Clone()
 		nb.Records[i] = nb.Records[len(nb.Records)-1]
 		nb.Records = nb.Records[:len(nb.Records)-1]
+		if ix.cfg.HotSplitRate > 0 {
+			nb.bumpRate(ix.now())
+		}
 		nb.Epoch++
 		cost.Lookups++
 		cost.Steps++
@@ -532,12 +584,17 @@ func (ix *Index) DeleteContext(ctx context.Context, delta float64) (cost Cost, e
 			if cerr := ctx.Err(); cerr != nil {
 				return cost, cerr
 			}
+			// See InsertContext: a lost CAS must re-read fresh, not ride
+			// a possibly pre-write coalesced fetch.
+			ctx = dht.WithFreshRead(ctx)
 			continue
 		}
 		if err != nil {
 			return cost, fmt.Errorf("lht: write back %q: %w", key, err)
 		}
-		if ix.cfg.MergeThreshold > 0 && nb.Label.Len() >= 2 && nb.Weight() < ix.cfg.MergeThreshold {
+		// A rate-hot leaf never merges: re-widening the interval a skewed
+		// read stream is hammering would undo the load split and thrash.
+		if ix.cfg.MergeThreshold > 0 && nb.Label.Len() >= 2 && nb.Weight() < ix.cfg.MergeThreshold && !ix.rateHot(nb) {
 			mergeCost, err := ix.merge(ctx, key, nb)
 			cost.Add(mergeCost)
 			ix.c.AddMaintLookups(int64(mergeCost.Lookups))
@@ -594,6 +651,9 @@ func (ix *Index) merge(ctx context.Context, key string, b *Bucket) (Cost, error)
 	if b.Weight()+sb.Weight()-1 >= ix.cfg.MergeThreshold {
 		return cost, nil // merged weight would defeat the purpose
 	}
+	if ix.rateHot(sb) {
+		return cost, nil // sibling is hot: keep its interval narrow
+	}
 
 	// Exactly one child keeps the parent's name f_n(parent) (the child
 	// extending the parent's trailing bit run); the other child is named
@@ -613,6 +673,10 @@ func (ix *Index) merge(ctx context.Context, key string, b *Bucket) (Cost, error)
 		Records: recs,
 		Epoch:   max(b.Epoch, sb.Epoch) + 1,
 		Pending: Pending{Kind: PendingMerge, RemoveKey: removeKey, PeerEpoch: peerEpoch},
+		// The merged interval serves both children's traffic: sum the
+		// rate estimates (both zero with the plane off).
+		Rate:   b.Rate + sb.Rate,
+		RateAt: max(b.RateAt, sb.RateAt),
 	}
 
 	// Step 1: make the merged bucket durable under f_n(parent), intent

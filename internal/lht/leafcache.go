@@ -21,6 +21,13 @@ import (
 // outcome itself: a fetched bucket that does not cover the key, or a
 // failed get, both feed Algorithm 2's own case analysis, so cached
 // results are always identical to the uncached path.
+//
+// The cache composes with the load-balancing plane: a cache hit turns a
+// hot-key lookup into a single get of the leaf's name, which is exactly
+// the access pattern Config.CoalesceGets collapses — N clients hitting
+// one hot cached leaf converge on the same key and share one physical
+// fetch — and after a hot split the usual staleness repair re-teaches
+// the cache the (now narrower, cooler) children.
 type leafCache struct {
 	mu      sync.Mutex
 	cap     int

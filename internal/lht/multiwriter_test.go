@@ -18,6 +18,7 @@ import (
 	"lht/internal/dht"
 	"lht/internal/record"
 	"lht/internal/tcpnet"
+	"lht/internal/workload"
 )
 
 // The many-writer linearizability oracle. Because LHT splits never
@@ -586,6 +587,162 @@ func TestMultiWriterStress(t *testing.T) {
 
 	// Goroutine-leak check: everything spawned above is joined, so the
 	// count must come back down (allow the runtime a moment to retire).
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before+2 {
+		t.Errorf("goroutines: %d before, %d after; leak suspected", before, g)
+	}
+}
+
+// TestMultiWriterZipfSoak is the load plane's race soak: the full plane
+// on (rate-triggered splits, coalesced reads), a Zipf(1.5) arrival
+// stream concentrating almost all traffic onto a handful of leaves, 6
+// writers updating the hot keys in place while 4 readers hammer the same
+// distribution and a scrubber walks the live tree. Skew is its own race
+// schedule — every writer and reader converges on one leaf, so the
+// edge-triggered hot split, the CAS retry storm and the coalescer's
+// flight teardown all interleave. Afterwards the key population must be
+// intact (updates never change membership), the tree clean, and no
+// goroutine leaked.
+func TestMultiWriterZipfSoak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	shared := dht.NewLocal()
+	cfg := Config{
+		SplitThreshold: 8, MergeThreshold: 4, Depth: 20,
+		HotSplitRate: 50, CoalesceGets: true,
+	}
+	seedIx, err := New(shared, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nKeys = 256
+	keys := make([]float64, nKeys)
+	for i := range keys {
+		keys[i] = (float64(i) + 0.5) / nKeys
+		if _, err := seedIx.Insert(record.Record{Key: keys[i], Value: []byte{0}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const (
+		nWriters = 6
+		nReaders = 4
+		perW     = 150
+	)
+	ctx := context.Background()
+	var writers sync.WaitGroup
+	for w := 0; w < nWriters; w++ {
+		ix, err := New(shared, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arr, err := workload.NewArrivals(keys, 1.5, int64(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		writers.Add(1)
+		go func(w int, ix *Index, arr *workload.Arrivals) {
+			defer writers.Done()
+			for i := 0; i < perW; i++ {
+				k := arr.Next()
+				if _, err := ix.Insert(record.Record{Key: k, Value: []byte{byte(w), byte(i)}}); err != nil {
+					t.Errorf("writer %d: update %g: %v", w, k, err)
+					return
+				}
+			}
+		}(w, ix, arr)
+	}
+
+	done := make(chan struct{})
+	var aux sync.WaitGroup
+	for r := 0; r < nReaders; r++ {
+		ix, err := New(shared, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arr, err := workload.NewArrivals(keys, 1.5, int64(100+r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		aux.Add(1)
+		go func(r int, ix *Index, arr *workload.Arrivals) {
+			defer aux.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if _, _, err := ix.SearchContext(ctx, arr.Next()); err != nil {
+					t.Errorf("reader %d: %v", r, err)
+					return
+				}
+			}
+		}(r, ix, arr)
+	}
+	scrubIx, err := New(shared, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aux.Add(1)
+	go func() {
+		defer aux.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if _, err := scrubIx.Scrub(ctx); err != nil {
+				t.Errorf("live Scrub: %v", err)
+				return
+			}
+		}
+	}()
+
+	writers.Wait()
+	close(done)
+	aux.Wait()
+
+	fresh, err := New(shared, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := false
+	for pass := 0; pass < 5 && !clean; pass++ {
+		rep, err := fresh.Scrub(context.Background())
+		if err != nil {
+			t.Fatalf("final Scrub: %v\n%s", err, rep)
+		}
+		clean = rep.Clean()
+	}
+	if !clean {
+		t.Fatal("final Scrub did not converge in 5 passes")
+	}
+	if err := fresh.CheckInvariants(); err != nil {
+		t.Fatalf("CheckInvariants: %v", err)
+	}
+	leaves, err := fresh.Leaves()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[float64]int)
+	for _, b := range leaves {
+		for _, r := range b.Records {
+			seen[r.Key]++
+		}
+	}
+	for _, k := range keys {
+		if seen[k] != 1 {
+			t.Errorf("key %g stored %d times, want exactly once", k, seen[k])
+		}
+	}
+	if len(seen) != nKeys {
+		t.Errorf("tree holds %d keys, want %d", len(seen), nKeys)
+	}
+
 	deadline := time.Now().Add(2 * time.Second)
 	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
 		time.Sleep(10 * time.Millisecond)

@@ -85,3 +85,21 @@ func WithThresholds(split, merge int) Option {
 		c.MergeThreshold = merge
 	})
 }
+
+// WithHotSplitRate enables load-aware leaf splitting at the given
+// requests-per-second threshold (see Config.HotSplitRate; 0 disables).
+func WithHotSplitRate(rate float64) Option {
+	return optionFunc(func(c *Config) { c.HotSplitRate = rate })
+}
+
+// WithCoalescedGets toggles singleflight read coalescing (see
+// Config.CoalesceGets).
+func WithCoalescedGets(on bool) Option {
+	return optionFunc(func(c *Config) { c.CoalesceGets = on })
+}
+
+// withClock overrides the rate estimator's time source for
+// deterministic tests (package-private on purpose).
+func withClock(now func() int64) Option {
+	return optionFunc(func(c *Config) { c.clock = now })
+}

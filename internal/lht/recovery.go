@@ -42,8 +42,12 @@ func splitHalves(b *Bucket) (local, remote *Bucket) {
 			right = append(right, r)
 		}
 	}
-	local = &Bucket{Epoch: b.Epoch + 1}
-	remote = &Bucket{Epoch: b.Epoch + 1}
+	// Each child serves half the parent's interval, so it inherits half
+	// the rate estimate — a pure function of the stored bucket, like the
+	// record partition, so crash-repair replays reproduce it exactly.
+	// Zero rate (load plane off) stays zero.
+	local = &Bucket{Epoch: b.Epoch + 1, Rate: b.Rate / 2, RateAt: b.RateAt}
+	remote = &Bucket{Epoch: b.Epoch + 1, Rate: b.Rate / 2, RateAt: b.RateAt}
 	if lambda.LastBit() == 1 {
 		// lambda = p011*: the remote leaf is lambda0 (named lambda), the
 		// local leaf is lambda1 (named f_n(lambda)).

@@ -29,6 +29,10 @@ type ScrubReport struct {
 	Orphans    int // orphaned buckets (stale mutation remnants) removed
 	Strays     int // records found outside their leaf's interval, relocated
 	Repairs    int // total repairs applied (tears + orphans + strays)
+	HotLeaves  int // leaves whose decayed request rate is at or above
+	// Config.HotSplitRate at walk time (always 0 with the load plane
+	// off); a gauge of where the hot-split plane is about to act, not a
+	// violation
 
 	// Violations describes every invariant violation observed, including
 	// ones Scrub repaired; an entry prefixed with "unrepaired:" needs
@@ -44,6 +48,9 @@ func (r *ScrubReport) Clean() bool { return r.Repairs == 0 && len(r.Violations) 
 func (r *ScrubReport) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "scrub: %d leaves, %d records, %d DHT-lookups", r.Leaves, r.Records, r.Lookups)
+	if r.HotLeaves > 0 {
+		fmt.Fprintf(&b, ", %d hot", r.HotLeaves)
+	}
 	if r.Clean() {
 		b.WriteString(", clean")
 		return b.String()
@@ -115,7 +122,7 @@ func (ix *Index) Scrub(ctx context.Context) (rep *ScrubReport, err error) {
 		}
 		// A structural repair changed the region already walked; start
 		// over (repairs are idempotent, so re-walking is safe).
-		rep.Leaves, rep.Records = 0, 0
+		rep.Leaves, rep.Records, rep.HotLeaves = 0, 0, 0
 	}
 	return rep, fmt.Errorf("%w: scrub did not converge after %d rounds", ErrCorrupt, maxScrubRounds)
 }
@@ -220,6 +227,9 @@ func (ix *Index) scrubWalk(ctx context.Context, rep *ScrubReport, cost *Cost, st
 
 		rep.Leaves++
 		rep.Records += len(b.Records)
+		if ix.rateHot(b) {
+			rep.HotLeaves++
+		}
 		want = iv.Hi
 
 		// Advance to the leftmost leaf of the nearest right branch.

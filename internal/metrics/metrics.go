@@ -69,6 +69,10 @@ type Counters struct {
 	writerRetries atomic.Int64 // index mutation rounds re-run after a CAS conflict
 	casFallbacks  atomic.Int64 // conditional ops emulated by fetch-verify-write
 
+	hotSplits     atomic.Int64 // leaf splits triggered by request rate, not capacity
+	coalescedGets atomic.Int64 // DHT-gets absorbed by singleflight coalescing
+	spreadReads   atomic.Int64 // reads served starting at a non-primary replica
+
 	opCount [NumOps]atomic.Int64            // completed index operations per class
 	opErrs  [NumOps]atomic.Int64            // subset of opCount that returned an error
 	opLat   [NumOps]Histogram               // end-to-end latency per class
@@ -252,6 +256,35 @@ func (c *Counters) AddCASFallbacks(n int64) {
 	}
 }
 
+// AddHotSplits adds n hot splits: leaf splits triggered by the decaying
+// request-rate estimate crossing Config.HotSplitRate while the leaf was
+// still under its capacity threshold. Each is also counted by AddSplits.
+func (c *Counters) AddHotSplits(n int64) {
+	for ; c != nil; c = c.parent {
+		c.hotSplits.Add(n)
+	}
+}
+
+// AddCoalescedGets adds n coalesced DHT-gets: concurrent fetches of one
+// hot key that rode an already-in-flight get instead of issuing their
+// own. Coalesced gets are still charged as lookups by the
+// instrumentation layer above the coalescer, so the cost model is
+// unchanged; this counts the physical round trips saved.
+func (c *Counters) AddCoalescedGets(n int64) {
+	for ; c != nil; c = c.parent {
+		c.coalescedGets.Add(n)
+	}
+}
+
+// AddSpreadReads adds n spread reads: Get/Take operations whose replica
+// iteration started at a rotated non-primary holder to spread a hot
+// key's read load across its replica set.
+func (c *Counters) AddSpreadReads(n int64) {
+	for ; c != nil; c = c.parent {
+		c.spreadReads.Add(n)
+	}
+}
+
 // AddPhaseLookups attributes n already-counted lookups to the (op, phase)
 // cell of the attribution matrix. The instrumentation layer calls this
 // alongside AddLookups with the labels it read from the context, so the
@@ -293,6 +326,7 @@ type Snapshot struct {
 	Batch   BatchCounts
 	Repair  RepairCounts
 	Write   WriteCounts
+	Load    LoadCounts
 	Latency LatencyStats
 }
 
@@ -339,6 +373,13 @@ type WriteCounts struct {
 	CASConflicts  int64 // conditional writes that lost their compare-and-swap
 	WriterRetries int64 // index mutation rounds re-run after a CAS conflict
 	CASFallbacks  int64 // conditional ops emulated by fetch-verify-write
+}
+
+// LoadCounts are the hot-leaf load-balancing-plane counters.
+type LoadCounts struct {
+	HotSplits     int64 // leaf splits triggered by request rate, not capacity
+	CoalescedGets int64 // DHT-gets absorbed by singleflight coalescing
+	SpreadReads   int64 // reads served starting at a non-primary replica
 }
 
 // OpStats are the per-operation-class observations: how many operations
@@ -408,6 +449,11 @@ func (c *Counters) Snapshot() Snapshot {
 			WriterRetries: c.writerRetries.Load(),
 			CASFallbacks:  c.casFallbacks.Load(),
 		},
+		Load: LoadCounts{
+			HotSplits:     c.hotSplits.Load(),
+			CoalescedGets: c.coalescedGets.Load(),
+			SpreadReads:   c.spreadReads.Load(),
+		},
 	}
 	for op := Op(0); op < NumOps; op++ {
 		o := &s.Latency.Ops[op]
@@ -445,6 +491,9 @@ func (c *Counters) Reset() {
 	c.casConflicts.Store(0)
 	c.writerRetries.Store(0)
 	c.casFallbacks.Store(0)
+	c.hotSplits.Store(0)
+	c.coalescedGets.Store(0)
+	c.spreadReads.Store(0)
 	for op := Op(0); op < NumOps; op++ {
 		c.opCount[op].Store(0)
 		c.opErrs[op].Store(0)
@@ -492,6 +541,11 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 			WriterRetries: s.Write.WriterRetries - prev.Write.WriterRetries,
 			CASFallbacks:  s.Write.CASFallbacks - prev.Write.CASFallbacks,
 		},
+		Load: LoadCounts{
+			HotSplits:     s.Load.HotSplits - prev.Load.HotSplits,
+			CoalescedGets: s.Load.CoalescedGets - prev.Load.CoalescedGets,
+			SpreadReads:   s.Load.SpreadReads - prev.Load.SpreadReads,
+		},
 	}
 	for op := Op(0); op < NumOps; op++ {
 		a, b := s.Latency.Ops[op], prev.Latency.Ops[op]
@@ -535,6 +589,10 @@ type FlatSnapshot struct {
 	CASConflicts  int64 `json:"cas_conflicts"`
 	WriterRetries int64 `json:"writer_retries"`
 	CASFallbacks  int64 `json:"cas_fallbacks"`
+
+	HotSplits     int64 `json:"hot_splits"`
+	CoalescedGets int64 `json:"coalesced_gets"`
+	SpreadReads   int64 `json:"spread_reads"`
 }
 
 // Flat returns the snapshot's counters under their flat legacy names.
@@ -567,6 +625,10 @@ func (s Snapshot) Flat() FlatSnapshot {
 		CASConflicts:  s.Write.CASConflicts,
 		WriterRetries: s.Write.WriterRetries,
 		CASFallbacks:  s.Write.CASFallbacks,
+
+		HotSplits:     s.Load.HotSplits,
+		CoalescedGets: s.Load.CoalescedGets,
+		SpreadReads:   s.Load.SpreadReads,
 	}
 }
 
@@ -602,5 +664,9 @@ func (s FlatSnapshot) Sub(prev FlatSnapshot) FlatSnapshot {
 		CASConflicts:  s.CASConflicts - prev.CASConflicts,
 		WriterRetries: s.WriterRetries - prev.WriterRetries,
 		CASFallbacks:  s.CASFallbacks - prev.CASFallbacks,
+
+		HotSplits:     s.HotSplits - prev.HotSplits,
+		CoalescedGets: s.CoalescedGets - prev.CoalescedGets,
+		SpreadReads:   s.SpreadReads - prev.SpreadReads,
 	}
 }

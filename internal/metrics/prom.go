@@ -39,6 +39,9 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	counter("lht_cas_conflicts_total", "Conditional writes that lost their compare-and-swap.", s.Write.CASConflicts)
 	counter("lht_writer_retries_total", "Index mutation rounds re-run after a CAS conflict.", s.Write.WriterRetries)
 	counter("lht_cas_fallbacks_total", "Conditional ops emulated by fetch-verify-write.", s.Write.CASFallbacks)
+	counter("lht_hot_splits_total", "Leaf splits triggered by request rate, not capacity.", s.Load.HotSplits)
+	counter("lht_coalesced_gets_total", "DHT-gets absorbed by singleflight coalescing.", s.Load.CoalescedGets)
+	counter("lht_spread_reads_total", "Reads served starting at a non-primary replica.", s.Load.SpreadReads)
 
 	active := func(o OpStats) bool { return o.Count != 0 || o.Lookups() != 0 }
 

@@ -33,6 +33,9 @@ func goldenCounters() *Counters {
 	c.AddCASConflicts(3)
 	c.AddWriterRetries(2)
 	c.AddCASFallbacks(1)
+	c.AddHotSplits(2)
+	c.AddCoalescedGets(5)
+	c.AddSpreadReads(6)
 	c.AddPhaseLookups(OpGet, PhaseProbe, 7)
 	c.AddPhaseLookups(OpGet, PhaseRetry, 1)
 	c.AddPhaseLookups(OpRange, PhaseForward, 4)
@@ -105,6 +108,15 @@ lht_writer_retries_total 2
 # HELP lht_cas_fallbacks_total Conditional ops emulated by fetch-verify-write.
 # TYPE lht_cas_fallbacks_total counter
 lht_cas_fallbacks_total 1
+# HELP lht_hot_splits_total Leaf splits triggered by request rate, not capacity.
+# TYPE lht_hot_splits_total counter
+lht_hot_splits_total 2
+# HELP lht_coalesced_gets_total DHT-gets absorbed by singleflight coalescing.
+# TYPE lht_coalesced_gets_total counter
+lht_coalesced_gets_total 5
+# HELP lht_spread_reads_total Reads served starting at a non-primary replica.
+# TYPE lht_spread_reads_total counter
+lht_spread_reads_total 6
 # HELP lht_op_total Completed index operations per class.
 # TYPE lht_op_total counter
 lht_op_total{op="get"} 2

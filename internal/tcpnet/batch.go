@@ -43,8 +43,24 @@ func (c *Client) GetBatch(ctx context.Context, keys []string) ([]dht.Value, []er
 // PutBatch implements dht.Batcher with the same per-owner grouping as
 // GetBatch. Pairs travel and apply in slice order, so a duplicate key's
 // last occurrence wins. A pair whose value fails to encode fails in its
-// slot alone and is left out of the wire message.
+// slot alone and is left out of the wire message. With replication on,
+// the batch is stored on every holder — one wave of per-node batches per
+// replica rank — so a bulk load leaves the same fully replicated store
+// that per-key writes would.
 func (c *Client) PutBatch(ctx context.Context, kvs []dht.KV) []error {
+	errs := c.putBatchRank(ctx, kvs, 0)
+	for r := 1; r < c.replicas; r++ {
+		for i, err := range c.putBatchRank(ctx, kvs, r) {
+			if errs[i] == nil {
+				errs[i] = err
+			}
+		}
+	}
+	return errs
+}
+
+// putBatchRank stores each pair on its rank-th holder, grouped per node.
+func (c *Client) putBatchRank(ctx context.Context, kvs []dht.KV, rank int) []error {
 	errs := make([]error, len(kvs))
 	keys := make([]string, len(kvs))
 	for i, kv := range kvs {
@@ -67,7 +83,7 @@ func (c *Client) PutBatch(ctx context.Context, kvs []dht.KV) []error {
 		enc[i] = b
 	}
 	var wg sync.WaitGroup
-	for n, slots := range c.groupByOwner(keys) {
+	for n, slots := range c.groupByRank(keys, rank) {
 		sendable := slots[:0:0]
 		for _, i := range slots {
 			if errs[i] == nil {
@@ -92,11 +108,23 @@ func (c *Client) PutBatch(ctx context.Context, kvs []dht.KV) []error {
 }
 
 // groupByOwner maps each owning node to the slot indices it serves, in
-// ascending slice order per node.
+// ascending slice order per node. Batched reads always group by primary:
+// the primary is in every key's holder set and sees every accepted
+// write, so a primary-grouped read can miss nothing a replicated one
+// would find.
 func (c *Client) groupByOwner(keys []string) map[*clientNode][]int {
+	return c.groupByRank(keys, 0)
+}
+
+// groupByRank groups each key under its rank-th holder (rank 0 is the
+// primary; higher ranks exist only with replication on).
+func (c *Client) groupByRank(keys []string, rank int) map[*clientNode][]int {
 	groups := make(map[*clientNode][]int)
 	for i, k := range keys {
 		n := c.owner(k)
+		if rank > 0 {
+			n = c.owners(k)[rank]
+		}
 		groups[n] = append(groups[n], i)
 	}
 	return groups

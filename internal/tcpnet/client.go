@@ -10,6 +10,7 @@ import (
 
 	"lht/internal/dht"
 	"lht/internal/hashring"
+	"lht/internal/metrics"
 )
 
 // Wire selects the client's wire format.
@@ -44,6 +45,8 @@ type Option func(*clientOptions)
 type clientOptions struct {
 	wire     Wire
 	poolSize int
+	replicas int
+	counters *metrics.Counters
 }
 
 // WithWire selects the wire format (default WireBinary).
@@ -54,6 +57,17 @@ func WithWire(w Wire) Option { return func(o *clientOptions) { o.wire = w } }
 // requests; extra connections spread very hot nodes across sockets.
 // Ignored by WireGob, which keeps the legacy one connection per node.
 func WithPoolSize(n int) Option { return func(o *clientOptions) { o.poolSize = n } }
+
+// WithReplicas stores each key on n consecutive ring members instead of
+// one (default 1, i.e. no replication). Replication is client-driven —
+// see replicas.go for the fan-out, fallback and read-spreading contract.
+// Requires the binary wire and a cluster of at least n nodes.
+func WithReplicas(n int) Option { return func(o *clientOptions) { o.replicas = n } }
+
+// WithCounters chains the client's load counters (spread reads) onto cs,
+// so replica read spreading shows up on a shared metrics endpoint. Nil
+// (the default) keeps the client's local SpreadReads tally only.
+func WithCounters(cs *metrics.Counters) Option { return func(o *clientOptions) { o.counters = cs } }
 
 // Client implements dht.DHT over a static set of tcpnet servers: keys are
 // mapped to nodes with consistent hashing on the same 64-bit circle the
@@ -70,8 +84,13 @@ func WithPoolSize(n int) Option { return func(o *clientOptions) { o.poolSize = n
 // (dht.IsTransient) so a policy wrapper can retry them; the next attempt
 // redials lazily, health-checking the fresh connection with a ping.
 type Client struct {
-	wire  Wire
-	nodes []*clientNode // sorted by ring ID
+	wire     Wire
+	nodes    []*clientNode // sorted by ring ID
+	replicas int           // holders per key; 1 = unreplicated
+	counters *metrics.Counters
+
+	readSeq     atomic.Uint64 // read-spreading rotation sequence
+	spreadReads atomic.Int64  // reads started at a non-primary holder
 }
 
 var (
@@ -120,7 +139,16 @@ func DialContext(ctx context.Context, addrs []string, opts ...Option) (*Client, 
 	if o.poolSize < 1 {
 		o.poolSize = 1
 	}
-	c := &Client{wire: o.wire}
+	if o.replicas < 1 {
+		o.replicas = 1
+	}
+	if o.replicas > 1 && o.wire == WireGob {
+		return nil, errors.New("tcpnet: WithReplicas requires the binary wire")
+	}
+	if o.replicas > len(addrs) {
+		return nil, fmt.Errorf("tcpnet: %d replicas exceed the %d-node cluster", o.replicas, len(addrs))
+	}
+	c := &Client{wire: o.wire, replicas: o.replicas, counters: o.counters}
 	seen := make(map[string]bool, len(addrs))
 	for _, a := range addrs {
 		if seen[a] {
@@ -270,6 +298,9 @@ func (n *clientNode) simpleCall(ctx context.Context, op dht.OpKind, build func([
 
 // Get implements dht.DHT.
 func (c *Client) Get(ctx context.Context, key string) (dht.Value, error) {
+	if c.replicas > 1 {
+		return c.replicatedGet(ctx, key)
+	}
 	if c.wire == WireGob {
 		return c.gobGet(ctx, key, request{Op: opGet, Key: key})
 	}
@@ -286,6 +317,9 @@ func (c *Client) Get(ctx context.Context, key string) (dht.Value, error) {
 
 // Put implements dht.DHT.
 func (c *Client) Put(ctx context.Context, key string, v dht.Value) error {
+	if c.replicas > 1 {
+		return c.replicatedPut(ctx, key, v)
+	}
 	if c.wire == WireGob {
 		return c.gobPutLike(ctx, opPut, key, v)
 	}
@@ -301,6 +335,9 @@ func (c *Client) Put(ctx context.Context, key string, v dht.Value) error {
 
 // Take implements dht.DHT.
 func (c *Client) Take(ctx context.Context, key string) (dht.Value, error) {
+	if c.replicas > 1 {
+		return c.replicatedTake(ctx, key)
+	}
 	if c.wire == WireGob {
 		return c.gobGet(ctx, key, request{Op: opTake, Key: key})
 	}
@@ -317,6 +354,9 @@ func (c *Client) Take(ctx context.Context, key string) (dht.Value, error) {
 
 // Remove implements dht.DHT.
 func (c *Client) Remove(ctx context.Context, key string) error {
+	if c.replicas > 1 {
+		return c.replicatedRemove(ctx, key)
+	}
 	if c.wire == WireGob {
 		_, err := c.gobDo(ctx, key, request{Op: opRemove, Key: key})
 		return err
@@ -333,6 +373,9 @@ func (c *Client) Remove(ctx context.Context, key string) error {
 
 // Write implements dht.DHT: the owning node rewrites the value in place.
 func (c *Client) Write(ctx context.Context, key string, v dht.Value) error {
+	if c.replicas > 1 {
+		return c.replicatedWrite(ctx, key, v)
+	}
 	if c.wire == WireGob {
 		return c.gobPutLike(ctx, opWrite, key, v)
 	}
@@ -380,6 +423,9 @@ func (n *clientNode) condCall(ctx context.Context, op dht.OpKind, key string, bu
 // PutIf implements dht.Conditional: the owning node compares the stored
 // value's epoch tag and swaps atomically under its store lock.
 func (c *Client) PutIf(ctx context.Context, key string, v dht.Value, ifEpoch uint64) error {
+	if c.replicas > 1 {
+		return c.replicatedPutIf(ctx, key, v, ifEpoch)
+	}
 	if c.wire == WireGob {
 		return c.gobCond(ctx, opPutIf, key, v, ifEpoch)
 	}
@@ -392,6 +438,9 @@ func (c *Client) PutIf(ctx context.Context, key string, v dht.Value, ifEpoch uin
 
 // CreateIf implements dht.Conditional.
 func (c *Client) CreateIf(ctx context.Context, key string, v dht.Value) error {
+	if c.replicas > 1 {
+		return c.replicatedCreateIf(ctx, key, v)
+	}
 	if c.wire == WireGob {
 		return c.gobCond(ctx, opCreateIf, key, v, 0)
 	}
@@ -402,6 +451,9 @@ func (c *Client) CreateIf(ctx context.Context, key string, v dht.Value) error {
 
 // RemoveIf implements dht.Conditional.
 func (c *Client) RemoveIf(ctx context.Context, key string, ifEpoch uint64) error {
+	if c.replicas > 1 {
+		return c.replicatedRemoveIf(ctx, key, ifEpoch)
+	}
 	if c.wire == WireGob {
 		_, err := c.gobDo(ctx, key, request{Op: opRemoveIf, Key: key, IfEpoch: ifEpoch})
 		return err
@@ -414,6 +466,9 @@ func (c *Client) RemoveIf(ctx context.Context, key string, ifEpoch uint64) error
 
 // WriteIf implements dht.Conditional: the epoch-guarded form of Write.
 func (c *Client) WriteIf(ctx context.Context, key string, v dht.Value, ifEpoch uint64) error {
+	if c.replicas > 1 {
+		return c.replicatedWriteIf(ctx, key, v, ifEpoch)
+	}
 	if c.wire == WireGob {
 		return c.gobCond(ctx, opWriteIf, key, v, ifEpoch)
 	}

@@ -1,0 +1,319 @@
+package tcpnet
+
+// Client-driven replication (Option WithReplicas): each key is stored on
+// its owner plus the next replicas-1 distinct ring members, the same
+// successor-set scheme the Chord substrate uses. The servers stay plain
+// byte stores — fan-out, fallback and read spreading all live here:
+//
+//   - put-like ops store on every holder, concurrently, before returning;
+//   - conditional ops resolve their compare-and-swap on the primary (the
+//     one serializer per key) and propagate the outcome to the other
+//     holders only after the primary accepted it;
+//   - Get and Take rotate their starting holder per request across the
+//     secondary holders — keeping a hot key's read queue off its CAS
+//     serializer — and fall back through the remaining holders (the
+//     primary included) so a lagging replica costs an extra round trip,
+//     never a wrong answer.
+//
+// A key is therefore never *stale* on a reachable holder (every accepted
+// write reaches all of them synchronously), at most *absent* where a
+// fan-out has not landed yet, and absence falls back. Concurrent writers
+// to one key are serialized by the primary's CAS; their fan-outs may
+// interleave, which bounds divergence to the epoch tags the index's
+// scrub already orders. Batched stores replicate in per-rank waves (see
+// PutBatch); batched reads group by primary, which holds every accepted
+// write by construction.
+
+import (
+	"context"
+	"errors"
+	"hash/fnv"
+	"sync"
+
+	"lht/internal/dht"
+	"lht/internal/hashring"
+)
+
+// owners returns the replica set for key: the owning node plus the next
+// replicas-1 distinct members clockwise, primary first.
+func (c *Client) owners(key string) []*clientNode {
+	h := hashring.HashKey(key)
+	i := 0
+	for ; i < len(c.nodes); i++ {
+		if c.nodes[i].id >= h {
+			break
+		}
+	}
+	n := c.replicas
+	if n > len(c.nodes) {
+		n = len(c.nodes)
+	}
+	out := make([]*clientNode, 0, n)
+	for k := 0; k < n; k++ {
+		out = append(out, c.nodes[(i+k)%len(c.nodes)])
+	}
+	return out
+}
+
+// rotateStart picks which holder a read of key starts at: the
+// key-hash-plus-sequence rotation the Chord and Kademlia substrates use,
+// but over the *secondary* holders only. The primary is every key's CAS
+// serializer — it already queues the conditional writes and their
+// fan-outs — so reads start away from it and touch it only as the
+// fallback, keeping a hot key's read queue and its write queue on
+// different nodes. With more than two replicas the rotation still
+// spreads reads across the whole secondary set.
+func (c *Client) rotateStart(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	start := 1 + int((uint64(h.Sum32())+c.readSeq.Add(1)-1)%uint64(n-1))
+	c.spreadReads.Add(1)
+	c.counters.AddSpreadReads(1)
+	return start
+}
+
+// SpreadReads reports how many reads started at a non-primary holder.
+func (c *Client) SpreadReads() int64 { return c.spreadReads.Load() }
+
+// getFrom fetches key from one specific node on the binary wire.
+func (c *Client) getFrom(ctx context.Context, n *clientNode, key string) (dht.Value, error) {
+	tv, frame, err := n.simpleCall(ctx, dht.OpGet, func(b []byte) ([]byte, error) {
+		return appendLenString(b, key), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	v, err := decodeTaggedValue(tv)
+	putBuf(frame)
+	return v, err
+}
+
+// replicatedGet reads from the rotated holder, falling back through the
+// rest: a holder that is missing the key (a fan-out it has not seen) or
+// unreachable costs one extra round trip, and only a miss on every
+// holder is a real miss.
+func (c *Client) replicatedGet(ctx context.Context, key string) (dht.Value, error) {
+	owners := c.owners(key)
+	start := c.rotateStart(key, len(owners))
+	var firstErr error
+	for i := range owners {
+		v, err := c.getFrom(ctx, owners[(start+i)%len(owners)], key)
+		if err == nil {
+			return v, nil
+		}
+		if !errors.Is(err, dht.ErrNotFound) && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return nil, dht.ErrNotFound
+}
+
+// eachOwner runs op against every holder of key concurrently and returns
+// the first error, with ErrNotFound outranked by any other error (a
+// holder that never saw the key is expected mid-fan-out; a transport
+// fault is not).
+func (c *Client) eachOwner(ctx context.Context, key string, op func(*clientNode) error) error {
+	owners := c.owners(key)
+	errs := make([]error, len(owners))
+	var wg sync.WaitGroup
+	for i, n := range owners {
+		wg.Add(1)
+		go func(i int, n *clientNode) {
+			defer wg.Done()
+			errs[i] = op(n)
+		}(i, n)
+	}
+	wg.Wait()
+	var notFound error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, dht.ErrNotFound) {
+			notFound = err
+			continue
+		}
+		return err
+	}
+	return notFound
+}
+
+// replicatedPut stores on every holder.
+func (c *Client) replicatedPut(ctx context.Context, key string, v dht.Value) error {
+	return c.eachOwner(ctx, key, func(n *clientNode) error {
+		return c.putTo(ctx, n, dht.OpPut, key, v)
+	})
+}
+
+// putTo issues one put-like op (store or in-place write) to one node.
+func (c *Client) putTo(ctx context.Context, n *clientNode, op dht.OpKind, key string, v dht.Value) error {
+	_, frame, err := n.simpleCall(ctx, op, func(b []byte) ([]byte, error) {
+		return appendValue(appendLenString(b, key), v)
+	})
+	if err != nil {
+		return err
+	}
+	putBuf(frame)
+	return nil
+}
+
+// replicatedWrite rewrites in place on every holder that has the key; a
+// holder missing it is a pending fan-out, not an error, unless they all
+// are.
+func (c *Client) replicatedWrite(ctx context.Context, key string, v dht.Value) error {
+	return c.eachOwner(ctx, key, func(n *clientNode) error {
+		return c.putTo(ctx, n, dht.OpWrite, key, v)
+	})
+}
+
+// replicatedRemove deletes from every holder.
+func (c *Client) replicatedRemove(ctx context.Context, key string) error {
+	return c.eachOwner(ctx, key, func(n *clientNode) error {
+		_, frame, err := n.simpleCall(ctx, dht.OpRemove, func(b []byte) ([]byte, error) {
+			return appendLenString(b, key), nil
+		})
+		if err != nil {
+			return err
+		}
+		putBuf(frame)
+		return nil
+	})
+}
+
+// replicatedTake fetches-and-deletes across the whole replica set: every
+// holder gives up its copy, the rotated holder's value (first found from
+// the rotated start) is returned.
+func (c *Client) replicatedTake(ctx context.Context, key string) (dht.Value, error) {
+	owners := c.owners(key)
+	start := c.rotateStart(key, len(owners))
+	vals := make([]dht.Value, len(owners))
+	errs := make([]error, len(owners))
+	var wg sync.WaitGroup
+	for i := range owners {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			n := owners[(start+i)%len(owners)]
+			tv, frame, err := n.simpleCall(ctx, dht.OpTake, func(b []byte) ([]byte, error) {
+				return appendLenString(b, key), nil
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			vals[i], errs[i] = decodeTaggedValue(tv)
+			putBuf(frame)
+		}(i)
+	}
+	wg.Wait()
+	var firstErr error
+	for i := range owners {
+		if errs[i] == nil {
+			return vals[i], nil
+		}
+		if !errors.Is(errs[i], dht.ErrNotFound) && firstErr == nil {
+			firstErr = errs[i]
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return nil, dht.ErrNotFound
+}
+
+// replicatedCond resolves a conditional op on the primary — the one
+// serializer for the key — and propagates the accepted outcome to the
+// remaining holders: stores for the put-like conditionals, removal for
+// RemoveIf. Propagation failures surface to the caller (the write IS
+// committed on the primary; the caller's retry loop re-runs against the
+// committed state), they never roll back the primary's decision.
+func (c *Client) replicatedCond(ctx context.Context, key string, primary func(*clientNode) error, propagate func(*clientNode) error) error {
+	owners := c.owners(key)
+	if err := primary(owners[0]); err != nil {
+		return err
+	}
+	errs := make([]error, len(owners)-1)
+	var wg sync.WaitGroup
+	for i, n := range owners[1:] {
+		wg.Add(1)
+		go func(i int, n *clientNode) {
+			defer wg.Done()
+			errs[i] = propagate(n)
+		}(i, n)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, dht.ErrNotFound) {
+			return err
+		}
+	}
+	return nil
+}
+
+// replicatedPutIf is PutIf with propagation of the accepted value.
+func (c *Client) replicatedPutIf(ctx context.Context, key string, v dht.Value, ifEpoch uint64) error {
+	return c.replicatedCond(ctx, key,
+		func(n *clientNode) error {
+			return n.condCall(ctx, dht.OpPutIf, key, func(b []byte) ([]byte, error) {
+				b = appendLenString(b, key)
+				b = appendUv(b, ifEpoch)
+				return appendValue(b, v)
+			})
+		},
+		func(n *clientNode) error { return c.putTo(ctx, n, dht.OpPut, key, v) },
+	)
+}
+
+// replicatedCreateIf is CreateIf with propagation of the created value.
+func (c *Client) replicatedCreateIf(ctx context.Context, key string, v dht.Value) error {
+	return c.replicatedCond(ctx, key,
+		func(n *clientNode) error {
+			return n.condCall(ctx, dht.OpCreateIf, key, func(b []byte) ([]byte, error) {
+				return appendValue(appendLenString(b, key), v)
+			})
+		},
+		func(n *clientNode) error { return c.putTo(ctx, n, dht.OpPut, key, v) },
+	)
+}
+
+// replicatedRemoveIf is RemoveIf with propagation of the removal.
+func (c *Client) replicatedRemoveIf(ctx context.Context, key string, ifEpoch uint64) error {
+	return c.replicatedCond(ctx, key,
+		func(n *clientNode) error {
+			return n.condCall(ctx, dht.OpRemoveIf, key, func(b []byte) ([]byte, error) {
+				b = appendLenString(b, key)
+				return appendUv(b, ifEpoch), nil
+			})
+		},
+		func(n *clientNode) error {
+			_, frame, err := n.simpleCall(ctx, dht.OpRemove, func(b []byte) ([]byte, error) {
+				return appendLenString(b, key), nil
+			})
+			if err != nil {
+				return err
+			}
+			putBuf(frame)
+			return nil
+		},
+	)
+}
+
+// replicatedWriteIf is WriteIf with propagation of the accepted value.
+func (c *Client) replicatedWriteIf(ctx context.Context, key string, v dht.Value, ifEpoch uint64) error {
+	return c.replicatedCond(ctx, key,
+		func(n *clientNode) error {
+			return n.condCall(ctx, dht.OpWriteIf, key, func(b []byte) ([]byte, error) {
+				b = appendLenString(b, key)
+				b = appendUv(b, ifEpoch)
+				return appendValue(b, v)
+			})
+		},
+		func(n *clientNode) error { return c.putTo(ctx, n, dht.OpPut, key, v) },
+	)
+}

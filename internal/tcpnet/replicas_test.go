@@ -1,0 +1,130 @@
+package tcpnet
+
+import (
+	"context"
+	"net"
+	"testing"
+
+	"lht/internal/dht"
+	"lht/internal/dht/dhttest"
+	"lht/internal/metrics"
+)
+
+// startServerMap boots n servers and returns their addresses plus an
+// address-to-server map, so a test can take down a specific holder.
+func startServerMap(t *testing.T, n int) ([]string, map[string]*Server) {
+	t.Helper()
+	addrs := make([]string, 0, n)
+	srvs := make(map[string]*Server, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := NewServer()
+		go func() { _ = srv.Serve(ln) }()
+		t.Cleanup(func() { _ = srv.Close() })
+		addr := ln.Addr().String()
+		addrs = append(addrs, addr)
+		srvs[addr] = srv
+	}
+	return addrs, srvs
+}
+
+// TestReplicatedConformance runs the full substrate battery with
+// replication on: every op must behave exactly like the unreplicated
+// client, with redundancy and read spreading invisible to callers.
+func TestReplicatedConformance(t *testing.T) {
+	factory := func(t *testing.T) dht.DHT {
+		c, err := Dial(startServers(t, 4), WithReplicas(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = c.Close() })
+		return c
+	}
+	dhttest.Run(t, factory, dhttest.Options{
+		Keys:         120,
+		ValueFactory: func(i int) dht.Value { return &payload{N: i} },
+		ValueEqual: func(v dht.Value, i int) bool {
+			p, ok := v.(*payload)
+			return ok && p.N == i
+		},
+	})
+}
+
+// TestReplicatedFailover pins what replication buys: with the primary
+// holder down, reads fall back to the surviving holder, and the read
+// rotation spreads load across holders while both are up.
+func TestReplicatedFailover(t *testing.T) {
+	addrs, srvs := startServerMap(t, 4)
+	agg := &metrics.Counters{}
+	c, err := Dial(addrs, WithReplicas(2), WithCounters(agg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	ctx := context.Background()
+	if err := c.Put(ctx, "hot", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both holders up: repeated reads of one key must leave the primary.
+	for i := 0; i < 10; i++ {
+		if _, err := c.Get(ctx, "hot"); err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+	}
+	if c.SpreadReads() == 0 {
+		t.Error("no reads spread to the non-primary holder")
+	}
+	if got := agg.Snapshot().Load.SpreadReads; got != c.SpreadReads() {
+		t.Errorf("chained counter saw %d spread reads, client %d", got, c.SpreadReads())
+	}
+
+	// Kill the primary: the fallback scan must still serve the key.
+	primary := c.owners("hot")[0]
+	if err := srvs[primary.addr].Close(); err != nil {
+		t.Fatal(err)
+	}
+	var served bool
+	for i := 0; i < 4; i++ {
+		if _, err := c.Get(ctx, "hot"); err == nil {
+			served = true
+			break
+		}
+	}
+	if !served {
+		t.Error("replicated get did not survive losing the primary holder")
+	}
+
+	// A conditional write against the dead primary fails rather than
+	// diverging: the CAS serializer for the key is gone.
+	err = c.PutIf(ctx, "hot", []byte("v2"), 0)
+	if err == nil {
+		t.Error("PutIf succeeded with the primary CAS serializer down")
+	}
+}
+
+// TestReplicasValidation pins the dial-time contract.
+func TestReplicasValidation(t *testing.T) {
+	addrs := startServers(t, 2)
+	if _, err := Dial(addrs, WithReplicas(3)); err == nil {
+		t.Error("3 replicas on a 2-node cluster dialed")
+	}
+	if _, err := Dial(addrs, WithReplicas(2), WithWire(WireGob)); err == nil {
+		t.Error("replicated gob wire dialed")
+	}
+	c, err := Dial(addrs, WithReplicas(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	if got := len(c.owners("k")); got != 2 {
+		t.Errorf("owners = %d nodes, want 2", got)
+	}
+	if c.owners("k")[0] != c.owner("k") {
+		t.Error("replica set does not start at the owner")
+	}
+}

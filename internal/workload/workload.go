@@ -7,6 +7,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"lht/internal/record"
@@ -71,7 +72,14 @@ func (g *Generator) Key() float64 {
 			}
 		}
 	case Zipf:
-		return float64(g.zipf.Uint64()) / (1 << 20)
+		// The Zipf source yields ranks on a 2^20 lattice whose mass piles
+		// up at rank 0; uniform sub-bucket jitter spreads each rank over
+		// its own lattice cell so drawn keys are continuous (distinct with
+		// probability 1) while the cell-level skew is unchanged. Without
+		// it, Records' distinct-key rejection loop spins near-forever for
+		// large n because most draws collapse onto a handful of lattice
+		// points.
+		return (float64(g.zipf.Uint64()) + g.rng.Float64()) / (1 << 20)
 	default:
 		return g.rng.Float64()
 	}
@@ -94,8 +102,18 @@ func (g *Generator) Records(n int) []record.Record {
 }
 
 // RangeQuery draws a random range of the given span: the lower bound is
-// uniform in [0, 1-span], as in section 9.4.
+// uniform in [0, 1-span], as in section 9.4. Spans outside (0, 1) are
+// clamped into the key domain — span <= 0 (or NaN) collapses to a point
+// range and span >= 1 covers all of [0, 1) — so the result is always a
+// valid range with 0 <= lo <= hi <= 1. One uniform draw is consumed on
+// every call regardless of clamping, keeping seeded streams aligned
+// across span values.
 func (g *Generator) RangeQuery(span float64) (lo, hi float64) {
+	if math.IsNaN(span) || span < 0 {
+		span = 0
+	} else if span > 1 {
+		span = 1
+	}
 	lo = g.rng.Float64() * (1 - span)
 	return lo, lo + span
 }

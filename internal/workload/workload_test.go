@@ -1,7 +1,9 @@
 package workload
 
 import (
+	"math"
 	"testing"
+	"time"
 
 	"lht/internal/stats"
 )
@@ -110,6 +112,154 @@ func TestRangeQuery(t *testing.T) {
 		lo, hi := g.RangeQuery(0.2)
 		if !(lo >= 0 && hi <= 1.0000001 && hi-lo > 0.19999) {
 			t.Fatalf("bad range [%v, %v)", lo, hi)
+		}
+	}
+}
+
+// TestZipfRecordsTerminate pins the fix for the distinct-key rejection
+// near-livelock: before sub-bucket jitter, 2^16 Zipf records over the
+// 2^20 lattice (whose mass sits on a handful of ranks near 0) would spin
+// effectively forever. With jitter the draw is continuous and finishes
+// in well under the watchdog.
+func TestZipfRecordsTerminate(t *testing.T) {
+	const n = 1 << 16
+	done := make(chan []float64, 1)
+	go func() {
+		recs := NewGenerator(Zipf, 11).Records(n)
+		keys := make([]float64, len(recs))
+		for i, r := range recs {
+			keys[i] = r.Key
+		}
+		done <- keys
+	}()
+	var keys []float64
+	select {
+	case keys = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("drawing 2^16 Zipf records did not terminate")
+	}
+	if len(keys) != n {
+		t.Fatalf("got %d records", len(keys))
+	}
+	seen := make(map[float64]bool, n)
+	below := 0
+	for _, k := range keys {
+		if !(k >= 0 && k < 1) {
+			t.Fatalf("key %v outside [0,1)", k)
+		}
+		if seen[k] {
+			t.Fatalf("duplicate key %v", k)
+		}
+		seen[k] = true
+		if k < 0.01 {
+			below++
+		}
+	}
+	// The jitter must not flatten the skew: the head of the lattice still
+	// holds most of the mass.
+	if below < n/2 {
+		t.Errorf("zipf record mass below 0.01 = %d/%d, skew lost", below, n)
+	}
+}
+
+// TestRangeQueryClamp is the table test for span validation: any span,
+// including the previously-broken span <= 0 and span >= 1 cases, must
+// yield 0 <= lo <= hi <= 1 with the span clamped into [0, 1].
+func TestRangeQueryClamp(t *testing.T) {
+	cases := []struct {
+		span     float64
+		wantSpan float64
+	}{
+		{span: 0.2, wantSpan: 0.2},
+		{span: 0, wantSpan: 0},
+		{span: -0.5, wantSpan: 0},
+		{span: -1e9, wantSpan: 0},
+		{span: 1, wantSpan: 1},
+		{span: 1.5, wantSpan: 1},
+		{span: math.Inf(1), wantSpan: 1},
+		{span: math.Inf(-1), wantSpan: 0},
+		{span: math.NaN(), wantSpan: 0},
+		{span: 1e-9, wantSpan: 1e-9},
+	}
+	for _, tc := range cases {
+		g := NewGenerator(Uniform, 12)
+		for i := 0; i < 100; i++ {
+			lo, hi := g.RangeQuery(tc.span)
+			if math.IsNaN(lo) || math.IsNaN(hi) {
+				t.Fatalf("span %v: NaN range [%v, %v)", tc.span, lo, hi)
+			}
+			if !(lo >= 0 && lo <= hi && hi <= 1) {
+				t.Fatalf("span %v: bad range [%v, %v)", tc.span, lo, hi)
+			}
+			if got := hi - lo; math.Abs(got-tc.wantSpan) > 1e-12 {
+				t.Fatalf("span %v: got width %v, want %v", tc.span, got, tc.wantSpan)
+			}
+		}
+	}
+	// Clamping must not desync seeded streams: a clamped call consumes
+	// exactly one draw, like a valid one.
+	a, b := NewGenerator(Uniform, 13), NewGenerator(Uniform, 13)
+	a.RangeQuery(-1)
+	b.RangeQuery(0.5)
+	alo, _ := a.RangeQuery(0.3)
+	blo, _ := b.RangeQuery(0.3)
+	if alo != blo {
+		t.Fatal("clamped RangeQuery consumed a different number of draws")
+	}
+}
+
+func TestArrivals(t *testing.T) {
+	g := NewGenerator(Uniform, 14)
+	recs := g.Records(1000)
+	keys := make([]float64, len(recs))
+	for i, r := range recs {
+		keys[i] = r.Key
+	}
+
+	if _, err := NewArrivals(nil, 0, 1); err == nil {
+		t.Error("empty population accepted")
+	}
+	if _, err := NewArrivals(keys, 0.5, 1); err == nil {
+		t.Error("skew in (0,1] accepted")
+	}
+
+	pop := func(s float64) map[float64]int {
+		a, err := NewArrivals(keys, s, 42)
+		if err != nil {
+			t.Fatalf("NewArrivals(s=%v): %v", s, err)
+		}
+		counts := make(map[float64]int)
+		for i := 0; i < 50000; i++ {
+			k := a.Next()
+			counts[k]++
+		}
+		return counts
+	}
+
+	// Uniform arrivals: the hottest key is unremarkable.
+	u := pop(0)
+	for k, n := range u {
+		if n > 200 { // mean 50, generous bound
+			t.Fatalf("uniform arrivals concentrate on %v: %d/50000", k, n)
+		}
+	}
+
+	// Zipf arrivals: traffic concentrates on the head.
+	a, err := NewArrivals(keys, 1.5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := pop(1.5)
+	if n := z[a.Hottest()]; n < 10000 {
+		t.Errorf("s=1.5 hottest key drew %d/50000 arrivals, want heavy concentration", n)
+	}
+
+	// Determinism: same (keys, s, seed) reproduces the stream.
+	a1, _ := NewArrivals(keys, 1.5, 7)
+	a2, _ := NewArrivals(keys, 1.5, 7)
+	for i := 0; i < 1000; i++ {
+		if a1.Next() != a2.Next() {
+			t.Fatalf("seeded arrival streams diverge at %d", i)
 		}
 	}
 }

@@ -195,6 +195,16 @@ func WithDepth(d int) Option { return ilht.WithDepth(d) }
 // WithThresholds sets theta_split and the merge hysteresis threshold.
 func WithThresholds(split, merge int) Option { return ilht.WithThresholds(split, merge) }
 
+// WithHotSplitRate enables load-aware leaf splitting: a leaf whose
+// request rate crosses the threshold (requests/sec) splits even below
+// theta_split. 0 (the default) disables the load plane.
+func WithHotSplitRate(rate float64) Option { return ilht.WithHotSplitRate(rate) }
+
+// WithCoalescedGets toggles singleflight read coalescing: concurrent
+// reads of one bucket through this index share a single substrate
+// fetch. Off by default.
+func WithCoalescedGets(on bool) Option { return ilht.WithCoalescedGets(on) }
+
 // Index is an LHT index over a DHT substrate. Create one with New.
 //
 // Concurrency contract: every operation is safe to call concurrently
