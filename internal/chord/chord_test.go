@@ -390,3 +390,99 @@ func TestReadSpreadingCostOracle(t *testing.T) {
 		t.Error("no reads were spread across the replica chain")
 	}
 }
+
+// TestStrandedCopyRetiredAfterRecovery pins the holder registry that
+// scopes retireStale: a secondary that was DOWN while a write replaced
+// the key's copies keeps its stale remnant (a real system cannot reach
+// it), stays registered, and the first replica-set write after its
+// recovery retires the remnant — so a removed key can never be
+// resurrected by a rotated read landing on the recovered node.
+func TestStrandedCopyRetiredAfterRecovery(t *testing.T) {
+	r := newRing(t, 8, Config{Seed: 31, Replicas: 2})
+	ctx := context.Background()
+	if err := r.Put(ctx, "stranded", 1); err != nil {
+		t.Fatal(err)
+	}
+	chain, _, _, err := r.replicaChain(ctx, "stranded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec := chain[1]
+
+	r.Fail(sec.ref.Addr)
+	r.Stabilize(4)
+	if err := r.Put(ctx, "stranded", 2); err != nil {
+		t.Fatal(err) // sec misses this write: its copy of value 1 is stranded
+	}
+	// Recover WITHOUT a stabilization round: a maintenance sweep's
+	// predecessor handoff could independently refresh the copy, and the
+	// retirement contract must not depend on maintenance having run.
+	r.Recover(sec.ref.Addr)
+	if v, ok := sec.rpcFetch("stranded"); !ok || v.(int) != 1 {
+		t.Fatalf("precondition: recovered node holds %v (found %t), want stale value 1", v, ok)
+	}
+
+	// Remove retires every REGISTERED holder, including the recovered
+	// one the removal-time chain no longer contains.
+	if err := r.Remove(ctx, "stranded"); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := sec.rpcFetch("stranded"); ok {
+		t.Fatalf("stranded copy survived retirement: %v", v)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := r.Get(ctx, "stranded"); !errors.Is(err, dht.ErrNotFound) {
+			t.Fatalf("rotated read %d resurrected a removed key: %v", i, err)
+		}
+	}
+}
+
+// TestRecoveredStaleCopyWindow documents the read-rotation staleness
+// window under Fail/Recover churn: between a holder's recovery and the
+// NEXT write of the key, a rotated read may serve the recovered (older)
+// copy that the old primary-first order usually shadowed — bounded
+// divergence the bucket epochs order and the index scrub repairs. The
+// next write closes the window: every registered holder is refreshed or
+// retired, and reads converge on the latest value.
+func TestRecoveredStaleCopyWindow(t *testing.T) {
+	r := newRing(t, 8, Config{Seed: 33, Replicas: 2})
+	ctx := context.Background()
+	if err := r.Put(ctx, "win", 1); err != nil {
+		t.Fatal(err)
+	}
+	chain, _, _, err := r.replicaChain(ctx, "win")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec := chain[1]
+	r.Fail(sec.ref.Addr)
+	r.Stabilize(4)
+	if err := r.Put(ctx, "win", 2); err != nil {
+		t.Fatal(err)
+	}
+	r.Recover(sec.ref.Addr)
+	r.Stabilize(4)
+
+	// The window: reads may serve the stranded older copy or the newer
+	// value, never anything else.
+	for i := 0; i < 20; i++ {
+		v, err := r.Get(ctx, "win")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := v.(int); n != 1 && n != 2 {
+			t.Fatalf("read %d = %d, want the stale (1) or current (2) value", i, n)
+		}
+	}
+
+	// The next write closes it: every holder is refreshed or retired.
+	if err := r.Put(ctx, "win", 3); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		v, err := r.Get(ctx, "win")
+		if err != nil || v.(int) != 3 {
+			t.Fatalf("post-write read %d = %v, %v, want 3", i, v, err)
+		}
+	}
+}

@@ -45,6 +45,15 @@ type Node struct {
 	data    map[string]dht.Value
 
 	succListLen int
+
+	// onStore, when set, is invoked after the node stores keys — with
+	// n.mu released, so the callback may take its own locks. The Ring
+	// installs it to maintain the per-key holder registry that scopes
+	// stale-copy retirement (Ring.retireStale): every path that creates a
+	// copy (client stores, stabilization handoffs, graceful-leave
+	// transfers) funnels through rpcStore/rpcStoreBatch, so the registry
+	// sees them all.
+	onStore func(keys ...string)
 }
 
 func newNode(ref Ref, net *simnet.Network, succListLen int) *Node {
@@ -173,18 +182,26 @@ func (n *Node) rpcNotify(p Ref) {
 
 // rpcStoreBatch ingests a key handoff.
 func (n *Node) rpcStoreBatch(kv map[string]dht.Value) {
+	keys := make([]string, 0, len(kv))
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	for k, v := range kv {
 		n.data[k] = v
+		keys = append(keys, k)
+	}
+	n.mu.Unlock()
+	if n.onStore != nil && len(keys) > 0 {
+		n.onStore(keys...)
 	}
 }
 
 // rpcStore stores one value.
 func (n *Node) rpcStore(key string, v dht.Value) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	n.data[key] = v
+	n.mu.Unlock()
+	if n.onStore != nil {
+		n.onStore(key)
+	}
 }
 
 // rpcFetch retrieves one value.

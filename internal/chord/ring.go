@@ -79,6 +79,17 @@ type Ring struct {
 	readSeq     atomic.Uint64
 	spreadReads atomic.Int64
 
+	// held is the per-key holder registry: every node that may store a
+	// copy of the key (fed by Node.onStore from every copy-creating path,
+	// including stabilization handoffs). It scopes retireStale to the
+	// nodes that could actually hold a stale remnant — O(holders) per
+	// write instead of a sweep over the whole ring under the global lock.
+	// Entries survive a holder's downtime (an unreachable node cannot be
+	// retired) so the stranded copy is reclaimed by the first write after
+	// recovery, exactly as the full sweep used to.
+	heldMu sync.Mutex
+	held   map[string]map[*Node]struct{}
+
 	// casMu serializes conditional read-compare-write cycles per key
 	// across the key's whole replica set, standing in for the responsible
 	// peer applying the CAS atomically in a deployed ring.
@@ -100,6 +111,7 @@ func NewRing(n int, cfg Config) (*Ring, error) {
 		cfg:   cfg.withDefaults(),
 		net:   simnet.New(),
 		nodes: make(map[string]*Node, n),
+		held:  make(map[string]map[*Node]struct{}),
 	}
 	r.rng = rand.New(rand.NewSource(r.cfg.Seed))
 	for i := 0; i < n; i++ {
@@ -125,6 +137,7 @@ func (r *Ring) AddNode(addr string) error {
 		return fmt.Errorf("%w: %q", ErrNodeExists, addr)
 	}
 	node := newNode(Ref{ID: hashring.HashAddr(addr), Addr: addr}, r.net, r.cfg.SuccessorListLen)
+	node.onStore = func(keys ...string) { r.recordHold(node, keys) }
 	entry := r.randomLiveLocked()
 	r.nodes[addr] = node
 	r.mu.Unlock()
@@ -357,30 +370,63 @@ func (r *Ring) rotateStart(key string, n int) int {
 // SpreadReads reports how many reads started at a non-primary replica.
 func (r *Ring) SpreadReads() int64 { return r.spreadReads.Load() }
 
-// retireStale deletes key from every live node outside keep. A
+// recordHold marks n as a possible holder of keys in the retirement
+// registry. Invoked (via Node.onStore) after every store, with the
+// node's own mutex released.
+func (r *Ring) recordHold(n *Node, keys []string) {
+	r.heldMu.Lock()
+	defer r.heldMu.Unlock()
+	for _, k := range keys {
+		m := r.held[k]
+		if m == nil {
+			m = make(map[*Node]struct{}, r.cfg.Replicas+1)
+			r.held[k] = m
+		}
+		m[n] = struct{}{}
+	}
+}
+
+// retireStale deletes key from every registered holder outside keep. A
 // replica-set write replaces every current copy, so a copy held
 // anywhere else is a stale remnant of an earlier chain — a holder that
 // slid out of the replica set during churn and missed the write. Left
 // in place it would resurface when churn slides that node back into
 // the chain, which is exactly the copy a rotated read must never
 // observe; retiring it keeps "any stored copy is the latest write"
-// true, the invariant that makes read spreading safe. Down nodes are
-// skipped, as a real system cannot reach them: their stranded copies
-// remain the Fail/Recover staleness the bucket epoch already orders.
+// true, the invariant that makes read spreading safe. Retirement is
+// scoped by the holder registry (r.held) rather than sweeping the whole
+// ring: every copy-creating path records itself, so the registry is a
+// superset of the nodes that can hold a remnant, and a write touches
+// O(holders) nodes without the global lock.
+//
+// Down nodes are skipped, as a real system cannot reach them, but stay
+// registered: the first write after recovery retires their stranded
+// copy. Until that write, the read rotation can surface the recovered
+// stale copy — under the old primary-first read order the live primary
+// usually shadowed it — which is the Fail/Recover staleness the bucket
+// epoch already orders and the index scrub repairs (pinned by
+// TestRecoveredStaleCopy* in chord_test.go).
 func (r *Ring) retireStale(key string, keep []*Node) {
 	inKeep := make(map[*Node]bool, len(keep))
 	for _, n := range keep {
 		inKeep[n] = true
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for addr, n := range r.nodes {
-		if inKeep[n] || r.net.Down(addr) {
+	r.heldMu.Lock()
+	defer r.heldMu.Unlock()
+	for n := range r.held[key] {
+		if inKeep[n] {
 			continue
+		}
+		if r.net.Down(n.ref.Addr) {
+			continue // unreachable: stays registered, retired after recovery
 		}
 		n.mu.Lock()
 		delete(n.data, key)
 		n.mu.Unlock()
+		delete(r.held[key], n)
+	}
+	if len(r.held[key]) == 0 {
+		delete(r.held, key)
 	}
 }
 

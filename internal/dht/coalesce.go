@@ -28,6 +28,20 @@ type flight struct {
 // substrate's existing aliasing semantics, and the index layer never
 // mutates a fetched bucket without cloning it first (the optimistic CAS
 // loop), so the shared read is safe.
+//
+// The trade is a bounded read-your-writes window: a follower's Get may
+// ride a flight whose physical fetch was served BEFORE a write that
+// committed after the flight began — including the follower's own
+// acknowledged write — so a coalesced read can return the pre-commit
+// value once. The window is bounded by one in-flight fetch: the next Get
+// after the flight resolves starts fresh and observes the commit. Paths
+// that cannot tolerate the window bypass it with WithFreshRead — both
+// index layers' CAS-conflict retry reads do, so a lost compare-and-swap
+// always re-reads the winning epoch and conflicts never cascade into
+// retry storms. Query paths accept the window as part of opting into
+// Config.CoalesceGets: a record inserted mid-herd may be invisible to
+// reads that joined the herd before its commit, exactly as if those
+// reads had been issued just before the insert.
 type coalescer struct {
 	inner DHT
 	c     *metrics.Counters

@@ -58,6 +58,13 @@ const (
 	OpRemoveIf
 	// OpWriteIf matches WriteIf (epoch-guarded in-place rewrite).
 	OpWriteIf
+
+	// OpPutNewer is wire-level only, like OpPing: the replica-propagation
+	// store. The holder stores the value unless it already holds one with
+	// a strictly newer epoch tag, so fan-outs of serialized conditional
+	// commits may arrive in any order without an older commit ever
+	// overwriting a newer one. Crash schedules never match it directly.
+	OpPutNewer
 )
 
 // String names the kind for logs and test failures.
@@ -89,6 +96,8 @@ func (k OpKind) String() string {
 		return "removeif"
 	case OpWriteIf:
 		return "writeif"
+	case OpPutNewer:
+		return "putnewer"
 	}
 	return "unknown"
 }

@@ -113,6 +113,15 @@ type Config struct {
 	// DHT-lookup, so the paper's cost model is unchanged; only physical
 	// round trips and the hot peer's service load shrink (counted by
 	// CoalescedGets). Off by default.
+	//
+	// Opting in accepts a bounded read-your-writes window on QUERY paths:
+	// a search that joins an in-flight fetch started before a write
+	// committed can observe the pre-commit bucket once — a record whose
+	// Insert was just acknowledged may be missed by reads already riding
+	// the herd, exactly as if they had been issued before the insert. The
+	// window is one in-flight fetch; the write paths are exempt (the CAS
+	// retry loops bypass coalescing with dht.WithFreshRead, so mutations
+	// always rebase onto the committed epoch). See dht/coalesce.go.
 	CoalesceGets bool
 
 	// clock overrides the rate estimator's time source (UnixNano) so

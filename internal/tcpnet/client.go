@@ -145,9 +145,6 @@ func DialContext(ctx context.Context, addrs []string, opts ...Option) (*Client, 
 	if o.replicas > 1 && o.wire == WireGob {
 		return nil, errors.New("tcpnet: WithReplicas requires the binary wire")
 	}
-	if o.replicas > len(addrs) {
-		return nil, fmt.Errorf("tcpnet: %d replicas exceed the %d-node cluster", o.replicas, len(addrs))
-	}
 	c := &Client{wire: o.wire, replicas: o.replicas, counters: o.counters}
 	seen := make(map[string]bool, len(addrs))
 	for _, a := range addrs {
@@ -164,6 +161,13 @@ func DialContext(ctx context.Context, addrs []string, opts ...Option) (*Client, 
 			}
 		}
 		c.nodes = append(c.nodes, n)
+	}
+	// Validated against the built member list, after the duplicate check:
+	// the replica count must never exceed the number of distinct nodes, or
+	// owners() would hand out short holder sets and the per-rank batch
+	// fan-out would index past them.
+	if o.replicas > len(c.nodes) {
+		return nil, fmt.Errorf("tcpnet: %d replicas exceed the %d-node cluster", o.replicas, len(c.nodes))
 	}
 	sort.Slice(c.nodes, func(i, j int) bool { return c.nodes[i].id < c.nodes[j].id })
 

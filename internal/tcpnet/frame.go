@@ -36,6 +36,8 @@ import (
 //	ping                    (empty)
 //	get / take / remove     uv klen, key
 //	put / write             uv klen, key, value(rest)
+//	putnewer                uv klen, key, value(rest); stored only if no
+//	                        strictly newer epoch tag is already held
 //	putif / writeif         uv klen, key, uv ifEpoch, value(rest)
 //	createif                uv klen, key, value(rest)
 //	removeif                uv klen, key, uv ifEpoch

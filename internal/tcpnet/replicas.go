@@ -8,7 +8,9 @@ package tcpnet
 //   - put-like ops store on every holder, concurrently, before returning;
 //   - conditional ops resolve their compare-and-swap on the primary (the
 //     one serializer per key) and propagate the outcome to the other
-//     holders only after the primary accepted it;
+//     holders only after the primary accepted it — via OpPutNewer, the
+//     epoch-ordered store: a holder rejects a propagated value whose
+//     epoch tag is older than what it already stores;
 //   - Get and Take rotate their starting holder per request across the
 //     secondary holders — keeping a hot key's read queue off its CAS
 //     serializer — and fall back through the remaining holders (the
@@ -18,11 +20,16 @@ package tcpnet
 // A key is therefore never *stale* on a reachable holder (every accepted
 // write reaches all of them synchronously), at most *absent* where a
 // fan-out has not landed yet, and absence falls back. Concurrent writers
-// to one key are serialized by the primary's CAS; their fan-outs may
-// interleave, which bounds divergence to the epoch tags the index's
-// scrub already orders. Batched stores replicate in per-rank waves (see
-// PutBatch); batched reads group by primary, which holds every accepted
-// write by construction.
+// to one key are serialized by the primary's CAS, but their fan-outs may
+// interleave on the network; the epoch-ordered propagation makes that
+// harmless — if commit N's fan-out overtakes commit N-1's, the straggler
+// is rejected on arrival instead of durably rolling a holder back. The
+// one remaining divergence window is a removal racing an earlier
+// commit's fan-out (a late store can transiently resurrect a copy on a
+// secondary after RemoveIf's propagation deleted it); that copy carries
+// an older epoch, which the index's scrub orders and repairs. Batched
+// stores replicate in per-rank waves (see PutBatch); batched reads group
+// by primary, which holds every accepted write by construction.
 
 import (
 	"context"
@@ -229,7 +236,9 @@ func (c *Client) replicatedTake(ctx context.Context, key string) (dht.Value, err
 
 // replicatedCond resolves a conditional op on the primary — the one
 // serializer for the key — and propagates the accepted outcome to the
-// remaining holders: stores for the put-like conditionals, removal for
+// remaining holders: epoch-ordered stores (OpPutNewer) for the put-like
+// conditionals, so two commits' concurrently in-flight fan-outs land in
+// epoch order regardless of network interleaving, and removal for
 // RemoveIf. Propagation failures surface to the caller (the write IS
 // committed on the primary; the caller's retry loop re-runs against the
 // committed state), they never roll back the primary's decision.
@@ -266,7 +275,7 @@ func (c *Client) replicatedPutIf(ctx context.Context, key string, v dht.Value, i
 				return appendValue(b, v)
 			})
 		},
-		func(n *clientNode) error { return c.putTo(ctx, n, dht.OpPut, key, v) },
+		func(n *clientNode) error { return c.putTo(ctx, n, dht.OpPutNewer, key, v) },
 	)
 }
 
@@ -278,7 +287,7 @@ func (c *Client) replicatedCreateIf(ctx context.Context, key string, v dht.Value
 				return appendValue(appendLenString(b, key), v)
 			})
 		},
-		func(n *clientNode) error { return c.putTo(ctx, n, dht.OpPut, key, v) },
+		func(n *clientNode) error { return c.putTo(ctx, n, dht.OpPutNewer, key, v) },
 	)
 }
 
@@ -314,6 +323,6 @@ func (c *Client) replicatedWriteIf(ctx context.Context, key string, v dht.Value,
 				return appendValue(b, v)
 			})
 		},
-		func(n *clientNode) error { return c.putTo(ctx, n, dht.OpPut, key, v) },
+		func(n *clientNode) error { return c.putTo(ctx, n, dht.OpPutNewer, key, v) },
 	)
 }

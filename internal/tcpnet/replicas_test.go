@@ -2,7 +2,9 @@ package tcpnet
 
 import (
 	"context"
+	"errors"
 	"net"
+	"sync"
 	"testing"
 
 	"lht/internal/dht"
@@ -107,6 +109,111 @@ func TestReplicatedFailover(t *testing.T) {
 	}
 }
 
+// TestReplicaPropagationEpochOrder pins the high-severity staleness fix:
+// replica fan-outs travel as OpPutNewer, so a late-arriving propagation of
+// an OLDER commit must not overwrite the newer value a holder already
+// stores. Without the epoch guard, two concurrent commits' interleaved
+// fan-outs could durably roll a secondary back, and every rotated read of
+// the key would serve the stale epoch.
+func TestReplicaPropagationEpochOrder(t *testing.T) {
+	addrs, _ := startServerMap(t, 2)
+	c, err := Dial(addrs, WithReplicas(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	ctx := context.Background()
+
+	holder := c.owners("k")[1] // a secondary: where fan-outs land
+
+	// Commit N's fan-out lands first...
+	if err := c.putTo(ctx, holder, dht.OpPutNewer, "k", &dhttest.EpochValue{Epoch: 5, Body: "new"}); err != nil {
+		t.Fatal(err)
+	}
+	// ...then commit N-1's straggler arrives. It must be rejected.
+	if err := c.putTo(ctx, holder, dht.OpPutNewer, "k", &dhttest.EpochValue{Epoch: 4, Body: "old"}); err != nil {
+		t.Fatalf("superseded propagation errored instead of no-oping: %v", err)
+	}
+	v, err := c.getFrom(ctx, holder, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev, ok := v.(*dhttest.EpochValue); !ok || ev.Epoch != 5 || ev.Body != "new" {
+		t.Fatalf("holder rolled back to %#v, want epoch 5 %q", v, "new")
+	}
+
+	// Equal and newer epochs still store (idempotent re-propagation, and
+	// the normal in-order case).
+	if err := c.putTo(ctx, holder, dht.OpPutNewer, "k", &dhttest.EpochValue{Epoch: 6, Body: "newer"}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := c.getFrom(ctx, holder, "k"); v.(*dhttest.EpochValue).Epoch != 6 {
+		t.Fatalf("in-order propagation did not store, holder at %#v", v)
+	}
+}
+
+// TestReplicatedCASHoldersConverge drives many concurrent CAS writers at
+// one key and then inspects EVERY holder directly: once all writers have
+// returned, each reachable holder must store the final committed epoch —
+// the file's "never stale on a reachable holder" invariant. The last
+// commit's fan-out completes before its writer returns, and epoch-ordered
+// propagation forbids any straggling older fan-out from overwriting it.
+func TestReplicatedCASHoldersConverge(t *testing.T) {
+	addrs, _ := startServerMap(t, 4)
+	c, err := Dial(addrs, WithReplicas(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	ctx := context.Background()
+	const key = "contested"
+
+	if err := c.CreateIf(ctx, key, &dhttest.EpochValue{Epoch: 1, Body: "seed"}); err != nil {
+		t.Fatal(err)
+	}
+
+	const writers, commitsEach = 8, 10
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < commitsEach; n++ {
+				for { // optimistic CAS retry loop, as the index layer runs it
+					v, err := c.Get(ctx, key)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					cur := v.(*dhttest.EpochValue)
+					next := &dhttest.EpochValue{Epoch: cur.Epoch + 1, Body: "w"}
+					err = c.PutIf(ctx, key, next, cur.Epoch)
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, dht.ErrCASConflict) {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	want := uint64(1 + writers*commitsEach)
+	for rank, holder := range c.owners(key) {
+		v, err := c.getFrom(ctx, holder, key)
+		if err != nil {
+			t.Fatalf("holder %d (%s): %v", rank, holder.addr, err)
+		}
+		if got := v.(*dhttest.EpochValue).Epoch; got != want {
+			t.Errorf("holder %d (%s) settled at epoch %d, want %d: stale replica survived the fan-out race",
+				rank, holder.addr, got, want)
+		}
+	}
+}
+
 // TestReplicasValidation pins the dial-time contract.
 func TestReplicasValidation(t *testing.T) {
 	addrs := startServers(t, 2)
@@ -115,6 +222,12 @@ func TestReplicasValidation(t *testing.T) {
 	}
 	if _, err := Dial(addrs, WithReplicas(2), WithWire(WireGob)); err == nil {
 		t.Error("replicated gob wire dialed")
+	}
+	// Duplicate addresses must fail the dial outright — they can never
+	// shrink the distinct-node count below the replica count, which would
+	// leave owners() handing out short holder sets.
+	if _, err := Dial([]string{addrs[0], addrs[0]}, WithReplicas(2)); err == nil {
+		t.Error("duplicated node list dialed")
 	}
 	c, err := Dial(addrs, WithReplicas(2))
 	if err != nil {

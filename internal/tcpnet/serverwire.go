@@ -118,6 +118,28 @@ func (s *Server) respond(op dht.OpKind, payload, out []byte) []byte {
 		s.store[string(key)] = append([]byte(nil), c.rest()...)
 		return append(out, statusOK)
 
+	case dht.OpPutNewer:
+		// Replica propagation of a primary-serialized commit: store unless
+		// a strictly newer epoch already landed. Fan-outs of successive
+		// commits may arrive out of order; the epoch guard keeps the newest
+		// accepted write in place, so a late-arriving older fan-out can
+		// never leave this holder durably stale. Charged like OpPut — the
+		// cost model sees propagation identically either way.
+		key, err := c.lenBytes()
+		if err != nil {
+			return appendStatusErr(out, errMalformed)
+		}
+		val := c.rest()
+		if len(val) == 0 {
+			return appendStatusErr(out, errMalformed)
+		}
+		s.c.AddLookups(1)
+		if cur, ok := s.store[string(key)]; ok && storedEpoch(cur) > storedEpoch(val) {
+			return append(out, statusOK) // superseded: keep the newer value
+		}
+		s.store[string(key)] = append([]byte(nil), val...)
+		return append(out, statusOK)
+
 	case dht.OpRemove:
 		key, err := c.lenBytes()
 		if err != nil || !c.empty() {
