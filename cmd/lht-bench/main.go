@@ -62,10 +62,11 @@ type config struct {
 // theta sweep, a4: client leaf cache, a5: retry policy under faults,
 // a6: batched operation plane, a7: recovery under churn + torn
 // mutations, a8: framed binary wire codec vs gob, a9: multi-writer
-// concurrency, a10: hot-leaf load balancing under Zipfian skew) and the
-// wire-protocol parameter sweep (substrate x batch size x leaf cache x
-// value size).
-var experimentNames = []string{"fig6a", "fig6b", "fig7", "fig8a", "fig8b", "fig9a", "fig9b", "eq3", "thm3", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "a9", "a10", "sweep", "s1", "rw1", "x1"}
+// concurrency, a10: hot-leaf load balancing under Zipfian skew, a11:
+// degradation plane — breakers + hedged reads — under scripted network
+// chaos) and the wire-protocol parameter sweep (substrate x batch size
+// x leaf cache x value size).
+var experimentNames = []string{"fig6a", "fig6b", "fig7", "fig8a", "fig8b", "fig9a", "fig9b", "eq3", "thm3", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "a9", "a10", "a11", "sweep", "s1", "rw1", "x1"}
 
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("lht-bench", flag.ContinueOnError)
@@ -341,6 +342,13 @@ func runExperiments(ctx context.Context, cfg config, out io.Writer) error {
 		// concurrent clients, so uniform arrivals (the control) rarely
 		// collide on a leaf and only *skew* concentrates load.
 		lat, rt, err := bench.RunHotAblation(cfg.opts, 4*sizes[0])
+		if err != nil {
+			return err
+		}
+		emit(lat, rt)
+	}
+	if want("a11") {
+		lat, rt, err := bench.RunChaosAblation(cfg.opts, sizes[0])
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in; the
+// wall-clock-budgeted chaos ablation test skips itself under it (see
+// race_on.go).
+const raceEnabled = false

@@ -1,0 +1,10 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in. The
+// detector slows execution 10-20x, which turns the chaos ablation's
+// real-time deadlines and fault schedules into CPU measurements; the
+// degradation plane's *race* coverage lives in the tcpnet, netchaos and
+// dht test suites, which CI soaks under -race separately.
+const raceEnabled = true

@@ -76,7 +76,7 @@ func (n *Node) call(addr string) (*Node, error) {
 	if addr == n.ref.Addr {
 		return n, nil
 	}
-	v, err := n.net.Send(addr)
+	v, err := n.net.SendFrom(n.ref.Addr, addr)
 	if err != nil {
 		return nil, err
 	}

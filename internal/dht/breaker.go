@@ -1,0 +1,263 @@
+package dht
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// BreakerState enumerates the circuit-breaker phases. A breaker guards
+// one downstream peer: Closed passes traffic through, Open fast-fails it
+// for a cooldown window, and HalfOpen admits exactly one probe whose
+// outcome decides between re-opening (with a longer cooldown) and
+// closing again.
+type BreakerState int32
+
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("BreakerState(%d)", int32(s))
+	}
+}
+
+// UnavailableError is the typed fast-fail a caller receives when a
+// breaker is open: the peer was not contacted at all. It chains to
+// ErrTransient so the policy layer's retry loop can outlive a cooldown
+// the same way it outlives any other transient fault, and it carries the
+// fault that tripped the breaker for diagnostics.
+type UnavailableError struct {
+	Addr  string    // peer the breaker guards
+	Until time.Time // earliest instant a probe will be admitted
+	Err   error     // last failure that opened the breaker (may be nil)
+}
+
+func (e *UnavailableError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("dht: peer %s unavailable (breaker open, last error: %v)", e.Addr, e.Err)
+	}
+	return fmt.Sprintf("dht: peer %s unavailable (breaker open)", e.Addr)
+}
+
+func (e *UnavailableError) Unwrap() []error {
+	if e.Err != nil {
+		return []error{ErrTransient, e.Err}
+	}
+	return []error{ErrTransient}
+}
+
+// IsUnavailable reports whether err (anywhere in its chain) is a
+// breaker fast-fail, letting failover paths distinguish "skipped an
+// open peer" from "contacted a peer and it failed".
+func IsUnavailable(err error) bool {
+	var ue *UnavailableError
+	return errors.As(err, &ue)
+}
+
+// BreakerConfig tunes one Breaker. The zero value is usable: defaults
+// are applied by NewBreaker.
+type BreakerConfig struct {
+	// Threshold is the run of consecutive qualifying failures that trips
+	// a closed breaker open. Default 3.
+	Threshold int
+
+	// Cooldown is the first open window. Each consecutive re-open (a
+	// failed half-open probe) doubles it, capped at MaxCooldown, and the
+	// realized window is jittered uniformly over [d/2, d) so a fleet of
+	// breakers tripped together does not probe in lockstep.
+	// Default 250ms.
+	Cooldown time.Duration
+
+	// MaxCooldown caps the exponential growth. Default 5s.
+	MaxCooldown time.Duration
+
+	// Seed feeds the jitter stream, making open windows replayable in
+	// tests. Zero means seed from the breaker's identity-free default.
+	Seed int64
+
+	// Clock supplies the current time; nil means time.Now. Tests inject
+	// a fake to step through cooldowns without sleeping.
+	Clock func() time.Time
+
+	// OnOpen, when non-nil, is called (under the breaker's lock) on
+	// every Closed/HalfOpen -> Open transition. Callers hang metrics
+	// counters here.
+	OnOpen func()
+}
+
+// Breaker is a per-peer circuit breaker: consecutive transport failures
+// open it, an open breaker fast-fails callers until a capped, jittered,
+// exponentially growing cooldown elapses, and the first caller after the
+// cooldown is admitted as the half-open probe whose result closes or
+// re-opens the circuit. Safe for concurrent use.
+//
+// The breaker deliberately has no background goroutine: state advances
+// only inside Allow/Success/Failure, so an idle client holds no timers
+// and Close has nothing to reap.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	state   BreakerState
+	fails   int       // consecutive failures while closed
+	trips   int       // consecutive opens (exponential backoff input)
+	until   time.Time // open window end
+	probing bool      // the single half-open slot is taken
+	lastErr error     // failure that opened the breaker
+}
+
+// NewBreaker returns a Breaker with cfg's zero fields defaulted.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 3
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 250 * time.Millisecond
+	}
+	if cfg.MaxCooldown <= 0 {
+		cfg.MaxCooldown = 5 * time.Second
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Breaker{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Allow reports whether a call to the guarded peer may proceed. Closed
+// always admits. Open fast-fails until the cooldown elapses; the first
+// Allow after that flips to HalfOpen and admits the caller as the
+// probe, while concurrent callers keep fast-failing until the probe
+// reports Success or Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.cfg.Clock().Before(b.until) {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // BreakerHalfOpen
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a completed call: the peer answered (even with an
+// application-level miss), so the circuit closes and the backoff run
+// resets.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.fails = 0
+	b.trips = 0
+	b.probing = false
+	b.lastErr = nil
+}
+
+// Failure records a qualifying transport failure. While closed it
+// counts toward the trip threshold; a half-open probe failure re-opens
+// immediately with the next (doubled, capped, jittered) cooldown.
+func (b *Breaker) Failure(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.cfg.Threshold {
+			b.open(err)
+		}
+	case BreakerHalfOpen:
+		b.open(err)
+	case BreakerOpen:
+		// A straggler from before the trip; the window is already set.
+	}
+}
+
+// Trip opens the breaker immediately on an external health verdict — a
+// bootstrap probe that found the peer dead, for example — without
+// waiting for a failure run. The usual half-open probing applies from
+// the first cooldown on.
+func (b *Breaker) Trip(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen {
+		return
+	}
+	b.open(err)
+}
+
+// open transitions to Open and schedules the next probe window.
+// Caller holds b.mu.
+func (b *Breaker) open(err error) {
+	b.state = BreakerOpen
+	b.fails = 0
+	b.probing = false
+	b.trips++
+	b.lastErr = err
+	d := b.cfg.Cooldown << (b.trips - 1)
+	if b.trips > 30 || d > b.cfg.MaxCooldown || d <= 0 {
+		d = b.cfg.MaxCooldown
+	}
+	// Jitter uniformly over [d/2, d) so simultaneous trips de-sync.
+	d = d/2 + time.Duration(b.rng.Int63n(int64(d/2)+1))
+	b.until = b.cfg.Clock().Add(d)
+	if b.cfg.OnOpen != nil {
+		b.cfg.OnOpen()
+	}
+}
+
+// State returns the current phase without advancing it: an Open breaker
+// whose cooldown has elapsed still reports Open until an Allow claims
+// the probe slot. Failover paths use State to order holders without
+// consuming probes.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Unavailable builds the typed fast-fail for a rejected call.
+func (b *Breaker) Unavailable(addr string) *UnavailableError {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return &UnavailableError{Addr: addr, Until: b.until, Err: b.lastErr}
+}
+
+// Backoff reports whether a redial attempt at now falls inside the
+// breaker's open window — the shared cooldown the lazy-redial paths
+// consult before burning a dial on a peer that just failed.
+func (b *Breaker) Backoff() (time.Time, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerOpen {
+		return time.Time{}, false
+	}
+	return b.until, b.cfg.Clock().Before(b.until)
+}

@@ -1,0 +1,157 @@
+package dht
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-stepped time source for breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+
+func newTestBreaker(clk *fakeClock, opens *int) *Breaker {
+	return NewBreaker(BreakerConfig{
+		Threshold:   3,
+		Cooldown:    100 * time.Millisecond,
+		MaxCooldown: time.Second,
+		Seed:        7,
+		Clock:       clk.now,
+		OnOpen:      func() { *opens++ },
+	})
+}
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	var opens int
+	b := newTestBreaker(clk, &opens)
+
+	errBoom := errors.New("boom")
+	for i := 0; i < 2; i++ {
+		b.Failure(errBoom)
+		if !b.Allow() || b.State() != BreakerClosed {
+			t.Fatalf("breaker tripped after %d failures, threshold is 3", i+1)
+		}
+	}
+	b.Failure(errBoom)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after 3rd failure = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call inside the cooldown")
+	}
+	if opens != 1 {
+		t.Fatalf("OnOpen fired %d times, want 1", opens)
+	}
+	ue := b.Unavailable("n1")
+	if !IsTransient(ue) {
+		t.Fatal("UnavailableError must be transient so the policy layer retries past the cooldown")
+	}
+	if !IsUnavailable(ue) || !errors.Is(ue, errBoom) {
+		t.Fatal("UnavailableError lost its type or cause")
+	}
+}
+
+func TestBreakerHalfOpenProbeRecovers(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	var opens int
+	b := newTestBreaker(clk, &opens)
+	for i := 0; i < 3; i++ {
+		b.Failure(errors.New("down"))
+	}
+
+	// Jitter keeps the window within [Cooldown/2, Cooldown); a full
+	// Cooldown step is always past it.
+	clk.advance(100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but probe was not admitted")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second caller admitted while the probe slot is taken")
+	}
+	b.Success()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("probe success did not close the breaker")
+	}
+	// A closed breaker needs a fresh run of Threshold failures to trip:
+	// the backoff run reset with the success.
+	b.Failure(errors.New("again"))
+	b.Failure(errors.New("again"))
+	if b.State() != BreakerClosed {
+		t.Fatal("failure run survived a Success reset")
+	}
+}
+
+func TestBreakerProbeFailureReopensLonger(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	var opens int
+	b := newTestBreaker(clk, &opens)
+	for i := 0; i < 3; i++ {
+		b.Failure(errors.New("down"))
+	}
+	clk.advance(100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("probe not admitted")
+	}
+	b.Failure(errors.New("still down"))
+	if b.State() != BreakerOpen || opens != 2 {
+		t.Fatalf("probe failure: state=%v opens=%d, want open/2", b.State(), opens)
+	}
+	// Second window is doubled: within [Cooldown, 2*Cooldown). Half a
+	// base cooldown in, the breaker must still fast-fail.
+	clk.advance(50 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("reopened breaker admitted a call before the doubled cooldown")
+	}
+	clk.advance(200 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("doubled cooldown elapsed but probe was not admitted")
+	}
+}
+
+func TestBreakerCooldownCapped(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	var opens int
+	b := newTestBreaker(clk, &opens)
+	for trip := 0; trip < 12; trip++ {
+		for i := 0; i < 3; i++ {
+			b.Failure(errors.New("down"))
+		}
+		until, backing := b.Backoff()
+		if !backing {
+			t.Fatal("open breaker reports no backoff window")
+		}
+		if d := until.Sub(clk.now()); d > time.Second {
+			t.Fatalf("trip %d cooldown %v exceeds MaxCooldown", trip, d)
+		}
+		// Step past the cap so the next iteration can claim its probe
+		// slot; failing the probe is what escalates the trip count.
+		clk.advance(time.Second)
+		if !b.Allow() {
+			t.Fatal("probe not admitted after max cooldown")
+		}
+	}
+}
+
+func TestBreakerBackoffClearsOnClose(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	var opens int
+	b := newTestBreaker(clk, &opens)
+	if _, backing := b.Backoff(); backing {
+		t.Fatal("closed breaker reports a backoff window")
+	}
+	for i := 0; i < 3; i++ {
+		b.Failure(errors.New("down"))
+	}
+	clk.advance(100 * time.Millisecond)
+	b.Allow()
+	b.Success()
+	if _, backing := b.Backoff(); backing {
+		t.Fatal("backoff window survived a Success close")
+	}
+}

@@ -81,7 +81,8 @@ func IsTransient(err error) bool {
 		errors.Is(err, context.DeadlineExceeded) {
 		return false
 	}
-	if errors.Is(err, ErrTransient) || errors.Is(err, simnet.ErrUnreachable) {
+	if errors.Is(err, ErrTransient) || errors.Is(err, simnet.ErrUnreachable) ||
+		errors.Is(err, simnet.ErrPartitioned) {
 		return true
 	}
 	var ne net.Error

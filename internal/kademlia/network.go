@@ -221,7 +221,7 @@ func (nw *Network) dial(from *node, addr string) (*node, error) {
 	if addr == from.ref.Addr {
 		return from, nil
 	}
-	v, err := nw.net.Send(addr)
+	v, err := nw.net.SendFrom(from.ref.Addr, addr)
 	if err != nil {
 		return nil, err
 	}

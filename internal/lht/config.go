@@ -3,6 +3,7 @@ package lht
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"lht/internal/dht"
 	"lht/internal/keyspace"
@@ -124,6 +125,19 @@ type Config struct {
 	// always rebase onto the committed epoch). See dht/coalesce.go.
 	CoalesceGets bool
 
+	// HedgeAfter enables quantile-triggered hedged reads below the
+	// instrumentation layer: an idempotent DHT-get still waiting after
+	// the hedge delay (the observed p95 get latency, floored at
+	// HedgeAfter) launches one duplicate attempt, first answer wins, the
+	// loser is cancelled. Over a replicated substrate the duplicate
+	// rotates to a different holder, so one slow or silently dead node
+	// stops defining the read's tail latency. Hedges are physical round
+	// trips only — like coalescing, the layer sits below the
+	// instrumentation, so the paper's DHT-lookup cost model is unchanged
+	// (HedgedGets/HedgeWins count them separately). 0 (the default)
+	// disables hedging; negative is invalid.
+	HedgeAfter time.Duration
+
 	// clock overrides the rate estimator's time source (UnixNano) so
 	// tests drive deterministic hot-split schedules. Nil means real time.
 	clock func() int64
@@ -172,6 +186,9 @@ func (c Config) Validate() error {
 	}
 	if c.HotSplitRate < 0 {
 		return fmt.Errorf("%w: HotSplitRate %v negative", ErrConfig, c.HotSplitRate)
+	}
+	if c.HedgeAfter < 0 {
+		return fmt.Errorf("%w: HedgeAfter %v negative", ErrConfig, c.HedgeAfter)
 	}
 	return nil
 }

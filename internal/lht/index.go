@@ -70,10 +70,12 @@ type Index struct {
 // When cfg.Policy is set, the substrate stack becomes
 // policy(instrumented(d)): transient faults are retried per the policy,
 // and because the retry layer sits above the instrumentation, every
-// attempt is charged as a DHT-lookup. When cfg.CoalesceGets is set, a
-// singleflight layer sits *below* the instrumentation —
-// policy(instrumented(coalesce(d))) — so coalesced reads are still
-// charged as lookups and only the physical fetches shrink.
+// attempt is charged as a DHT-lookup. When cfg.CoalesceGets or
+// cfg.HedgeAfter is set, the singleflight and hedging layers sit *below*
+// the instrumentation — policy(instrumented(coalesce(hedge(d)))) — so
+// coalesced reads are still charged as lookups, a hedge is a physical
+// round trip rather than a logical lookup, and only the traffic the cost
+// model does not count changes.
 func New(d dht.DHT, cfg Config) (*Index, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -94,6 +96,9 @@ func New(d dht.DHT, cfg Config) (*Index, error) {
 	c := &metrics.Counters{}
 	if cfg.Aggregate != nil {
 		c.Chain(cfg.Aggregate)
+	}
+	if cfg.HedgeAfter > 0 {
+		d = dht.WithHedging(d, cfg.HedgeAfter, c)
 	}
 	if cfg.CoalesceGets {
 		d = dht.WithCoalescing(d, c)

@@ -1,6 +1,8 @@
 package lht
 
 import (
+	"time"
+
 	"lht/internal/dht"
 	"lht/internal/metrics"
 )
@@ -96,6 +98,12 @@ func WithHotSplitRate(rate float64) Option {
 // Config.CoalesceGets).
 func WithCoalescedGets(on bool) Option {
 	return optionFunc(func(c *Config) { c.CoalesceGets = on })
+}
+
+// WithHedgedGets enables quantile-triggered hedged reads with the given
+// trigger floor (see Config.HedgeAfter; 0 disables).
+func WithHedgedGets(after time.Duration) Option {
+	return optionFunc(func(c *Config) { c.HedgeAfter = after })
 }
 
 // withClock overrides the rate estimator's time source for

@@ -73,6 +73,12 @@ type Counters struct {
 	coalescedGets atomic.Int64 // DHT-gets absorbed by singleflight coalescing
 	spreadReads   atomic.Int64 // reads served starting at a non-primary replica
 
+	hedgedGets       atomic.Int64 // hedge requests launched for slow idempotent gets
+	hedgeWins        atomic.Int64 // hedges that answered before the original attempt
+	breakerOpens     atomic.Int64 // circuit-breaker transitions into the open state
+	breakerFastFails atomic.Int64 // operations rejected instantly by an open breaker
+	failovers        atomic.Int64 // reads rerouted off an unhealthy primary holder
+
 	opCount [NumOps]atomic.Int64            // completed index operations per class
 	opErrs  [NumOps]atomic.Int64            // subset of opCount that returned an error
 	opLat   [NumOps]Histogram               // end-to-end latency per class
@@ -285,6 +291,51 @@ func (c *Counters) AddSpreadReads(n int64) {
 	}
 }
 
+// AddHedgedGets adds n hedged gets: duplicate reads launched against
+// another replica holder after the original attempt outlived the hedge
+// delay. Hedges are physical round trips, not logical DHT-lookups — the
+// paper's cost model is unchanged; this counts the extra load spent
+// buying tail latency.
+func (c *Counters) AddHedgedGets(n int64) {
+	for ; c != nil; c = c.parent {
+		c.hedgedGets.Add(n)
+	}
+}
+
+// AddHedgeWins adds n hedge wins: hedged gets whose duplicate answered
+// before the original attempt did.
+func (c *Counters) AddHedgeWins(n int64) {
+	for ; c != nil; c = c.parent {
+		c.hedgeWins.Add(n)
+	}
+}
+
+// AddBreakerOpens adds n circuit-breaker open transitions: a node's
+// consecutive transport failures crossed the threshold and further
+// traffic to it will fast-fail for the cooldown.
+func (c *Counters) AddBreakerOpens(n int64) {
+	for ; c != nil; c = c.parent {
+		c.breakerOpens.Add(n)
+	}
+}
+
+// AddBreakerFastFails adds n breaker fast fails: operations that were
+// rejected instantly by an open breaker instead of paying a dial or
+// request timeout against a node known to be unhealthy.
+func (c *Counters) AddBreakerFastFails(n int64) {
+	for ; c != nil; c = c.parent {
+		c.breakerFastFails.Add(n)
+	}
+}
+
+// AddFailovers adds n read failovers: reads that skipped an open
+// (unhealthy) holder and were served by another replica.
+func (c *Counters) AddFailovers(n int64) {
+	for ; c != nil; c = c.parent {
+		c.failovers.Add(n)
+	}
+}
+
 // AddPhaseLookups attributes n already-counted lookups to the (op, phase)
 // cell of the attribution matrix. The instrumentation layer calls this
 // alongside AddLookups with the labels it read from the context, so the
@@ -327,6 +378,7 @@ type Snapshot struct {
 	Repair  RepairCounts
 	Write   WriteCounts
 	Load    LoadCounts
+	Health  HealthCounts
 	Latency LatencyStats
 }
 
@@ -380,6 +432,17 @@ type LoadCounts struct {
 	HotSplits     int64 // leaf splits triggered by request rate, not capacity
 	CoalescedGets int64 // DHT-gets absorbed by singleflight coalescing
 	SpreadReads   int64 // reads served starting at a non-primary replica
+}
+
+// HealthCounts are the graceful-degradation-plane counters: circuit
+// breakers and hedged reads keeping queries answered while the network
+// misbehaves.
+type HealthCounts struct {
+	HedgedGets       int64 // duplicate reads launched after the hedge delay
+	HedgeWins        int64 // hedges that answered before the original attempt
+	BreakerOpens     int64 // circuit-breaker transitions into the open state
+	BreakerFastFails int64 // operations rejected instantly by an open breaker
+	Failovers        int64 // reads rerouted off an unhealthy holder
 }
 
 // OpStats are the per-operation-class observations: how many operations
@@ -454,6 +517,13 @@ func (c *Counters) Snapshot() Snapshot {
 			CoalescedGets: c.coalescedGets.Load(),
 			SpreadReads:   c.spreadReads.Load(),
 		},
+		Health: HealthCounts{
+			HedgedGets:       c.hedgedGets.Load(),
+			HedgeWins:        c.hedgeWins.Load(),
+			BreakerOpens:     c.breakerOpens.Load(),
+			BreakerFastFails: c.breakerFastFails.Load(),
+			Failovers:        c.failovers.Load(),
+		},
 	}
 	for op := Op(0); op < NumOps; op++ {
 		o := &s.Latency.Ops[op]
@@ -494,6 +564,11 @@ func (c *Counters) Reset() {
 	c.hotSplits.Store(0)
 	c.coalescedGets.Store(0)
 	c.spreadReads.Store(0)
+	c.hedgedGets.Store(0)
+	c.hedgeWins.Store(0)
+	c.breakerOpens.Store(0)
+	c.breakerFastFails.Store(0)
+	c.failovers.Store(0)
 	for op := Op(0); op < NumOps; op++ {
 		c.opCount[op].Store(0)
 		c.opErrs[op].Store(0)
@@ -546,6 +621,13 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 			CoalescedGets: s.Load.CoalescedGets - prev.Load.CoalescedGets,
 			SpreadReads:   s.Load.SpreadReads - prev.Load.SpreadReads,
 		},
+		Health: HealthCounts{
+			HedgedGets:       s.Health.HedgedGets - prev.Health.HedgedGets,
+			HedgeWins:        s.Health.HedgeWins - prev.Health.HedgeWins,
+			BreakerOpens:     s.Health.BreakerOpens - prev.Health.BreakerOpens,
+			BreakerFastFails: s.Health.BreakerFastFails - prev.Health.BreakerFastFails,
+			Failovers:        s.Health.Failovers - prev.Health.Failovers,
+		},
 	}
 	for op := Op(0); op < NumOps; op++ {
 		a, b := s.Latency.Ops[op], prev.Latency.Ops[op]
@@ -593,6 +675,12 @@ type FlatSnapshot struct {
 	HotSplits     int64 `json:"hot_splits"`
 	CoalescedGets int64 `json:"coalesced_gets"`
 	SpreadReads   int64 `json:"spread_reads"`
+
+	HedgedGets       int64 `json:"hedged_gets"`
+	HedgeWins        int64 `json:"hedge_wins"`
+	BreakerOpens     int64 `json:"breaker_opens"`
+	BreakerFastFails int64 `json:"breaker_fast_fails"`
+	Failovers        int64 `json:"failovers"`
 }
 
 // Flat returns the snapshot's counters under their flat legacy names.
@@ -629,6 +717,12 @@ func (s Snapshot) Flat() FlatSnapshot {
 		HotSplits:     s.Load.HotSplits,
 		CoalescedGets: s.Load.CoalescedGets,
 		SpreadReads:   s.Load.SpreadReads,
+
+		HedgedGets:       s.Health.HedgedGets,
+		HedgeWins:        s.Health.HedgeWins,
+		BreakerOpens:     s.Health.BreakerOpens,
+		BreakerFastFails: s.Health.BreakerFastFails,
+		Failovers:        s.Health.Failovers,
 	}
 }
 
@@ -668,5 +762,11 @@ func (s FlatSnapshot) Sub(prev FlatSnapshot) FlatSnapshot {
 		HotSplits:     s.HotSplits - prev.HotSplits,
 		CoalescedGets: s.CoalescedGets - prev.CoalescedGets,
 		SpreadReads:   s.SpreadReads - prev.SpreadReads,
+
+		HedgedGets:       s.HedgedGets - prev.HedgedGets,
+		HedgeWins:        s.HedgeWins - prev.HedgeWins,
+		BreakerOpens:     s.BreakerOpens - prev.BreakerOpens,
+		BreakerFastFails: s.BreakerFastFails - prev.BreakerFastFails,
+		Failovers:        s.Failovers - prev.Failovers,
 	}
 }

@@ -42,6 +42,11 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	counter("lht_hot_splits_total", "Leaf splits triggered by request rate, not capacity.", s.Load.HotSplits)
 	counter("lht_coalesced_gets_total", "DHT-gets absorbed by singleflight coalescing.", s.Load.CoalescedGets)
 	counter("lht_spread_reads_total", "Reads served starting at a non-primary replica.", s.Load.SpreadReads)
+	counter("lht_hedged_gets_total", "Duplicate reads launched after the hedge delay.", s.Health.HedgedGets)
+	counter("lht_hedge_wins_total", "Hedges that answered before the original attempt.", s.Health.HedgeWins)
+	counter("lht_breaker_opens_total", "Circuit-breaker transitions into the open state.", s.Health.BreakerOpens)
+	counter("lht_breaker_fast_fails_total", "Operations rejected instantly by an open breaker.", s.Health.BreakerFastFails)
+	counter("lht_failovers_total", "Reads rerouted off an unhealthy holder.", s.Health.Failovers)
 
 	active := func(o OpStats) bool { return o.Count != 0 || o.Lookups() != 0 }
 

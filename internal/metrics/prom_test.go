@@ -36,6 +36,11 @@ func goldenCounters() *Counters {
 	c.AddHotSplits(2)
 	c.AddCoalescedGets(5)
 	c.AddSpreadReads(6)
+	c.AddHedgedGets(3)
+	c.AddHedgeWins(1)
+	c.AddBreakerOpens(2)
+	c.AddBreakerFastFails(4)
+	c.AddFailovers(2)
 	c.AddPhaseLookups(OpGet, PhaseProbe, 7)
 	c.AddPhaseLookups(OpGet, PhaseRetry, 1)
 	c.AddPhaseLookups(OpRange, PhaseForward, 4)
@@ -117,6 +122,21 @@ lht_coalesced_gets_total 5
 # HELP lht_spread_reads_total Reads served starting at a non-primary replica.
 # TYPE lht_spread_reads_total counter
 lht_spread_reads_total 6
+# HELP lht_hedged_gets_total Duplicate reads launched after the hedge delay.
+# TYPE lht_hedged_gets_total counter
+lht_hedged_gets_total 3
+# HELP lht_hedge_wins_total Hedges that answered before the original attempt.
+# TYPE lht_hedge_wins_total counter
+lht_hedge_wins_total 1
+# HELP lht_breaker_opens_total Circuit-breaker transitions into the open state.
+# TYPE lht_breaker_opens_total counter
+lht_breaker_opens_total 2
+# HELP lht_breaker_fast_fails_total Operations rejected instantly by an open breaker.
+# TYPE lht_breaker_fast_fails_total counter
+lht_breaker_fast_fails_total 4
+# HELP lht_failovers_total Reads rerouted off an unhealthy holder.
+# TYPE lht_failovers_total counter
+lht_failovers_total 2
 # HELP lht_op_total Completed index operations per class.
 # TYPE lht_op_total counter
 lht_op_total{op="get"} 2

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 var (
@@ -23,22 +24,40 @@ var (
 	ErrUnknownAddr = errors.New("simnet: unknown address")
 	// ErrUnreachable reports a send to a node currently down.
 	ErrUnreachable = errors.New("simnet: peer unreachable")
+	// ErrPartitioned reports a send blocked by a one-way link partition:
+	// the destination is up, but this source cannot reach it.
+	ErrPartitioned = errors.New("simnet: link partitioned")
 )
+
+// link identifies one directed src→dst edge. The empty source is "any
+// caller that did not identify itself" (plain Send).
+type link struct{ src, dst string }
 
 // Network is the simulated network. Create with New.
 type Network struct {
 	mu    sync.RWMutex
 	nodes map[string]any
 	down  map[string]bool
+	// cut holds directed partitioned links; Any as src or dst wildcards
+	// that side, so a node can be cut off asymmetrically from everyone.
+	cut map[link]bool
+	// delay holds per-directed-link latency, charged as real sleep time
+	// on delivery (zero value: synchronous delivery, as before).
+	delay map[link]time.Duration
 
 	messages atomic.Int64
 }
+
+// Any is the wildcard endpoint for SetPartition and SetLinkLatency.
+const Any = "*"
 
 // New returns an empty network.
 func New() *Network {
 	return &Network{
 		nodes: make(map[string]any),
 		down:  make(map[string]bool),
+		cut:   make(map[link]bool),
+		delay: make(map[link]time.Duration),
 	}
 }
 
@@ -81,20 +100,86 @@ func (n *Network) Down(addr string) bool {
 	return n.down[addr]
 }
 
+// SetPartition cuts (on) or heals (off) the directed src→dst link:
+// while cut, SendFrom(src, dst) fails with ErrPartitioned but the
+// reverse direction is untouched — an asymmetric partition. Either
+// endpoint may be Any, wildcarding that side (SetPartition(Any, addr,
+// true) makes addr unreachable by everyone who identifies a source,
+// without marking it down).
+func (n *Network) SetPartition(src, dst string, on bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if on {
+		n.cut[link{src, dst}] = true
+	} else {
+		delete(n.cut, link{src, dst})
+	}
+}
+
+// SetLinkLatency attaches a one-way delivery delay to the directed
+// src→dst link (Any wildcards an endpoint; the most specific match
+// wins, exact link over wildcard). Zero removes the delay. The delay is
+// charged as real sleep time in SendFrom, so simulated-substrate
+// latency experiments see a genuinely slow peer.
+func (n *Network) SetLinkLatency(src, dst string, d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if d <= 0 {
+		delete(n.delay, link{src, dst})
+	} else {
+		n.delay[link{src, dst}] = d
+	}
+}
+
+// cutLocked reports whether src→dst delivery is blocked by a partition.
+func (n *Network) cutLocked(src, dst string) bool {
+	return n.cut[link{src, dst}] || n.cut[link{Any, dst}] || n.cut[link{src, Any}]
+}
+
+// delayLocked resolves the src→dst delivery delay, most specific first.
+func (n *Network) delayLocked(src, dst string) time.Duration {
+	if d, ok := n.delay[link{src, dst}]; ok {
+		return d
+	}
+	if d, ok := n.delay[link{Any, dst}]; ok {
+		return d
+	}
+	return n.delay[link{src, Any}]
+}
+
 // Send delivers one message to addr: it charges one message and returns
 // the registered node object for the caller to invoke directly, or
 // ErrUnknownAddr / ErrUnreachable. The message is charged even when
-// delivery fails - a timeout consumes bandwidth too.
+// delivery fails - a timeout consumes bandwidth too. Send carries no
+// source identity, so only wildcard-source partitions and delays apply;
+// substrates that know their own address use SendFrom.
 func (n *Network) Send(addr string) (any, error) {
+	return n.SendFrom("", addr)
+}
+
+// SendFrom is Send with an identified source, the hook the one-way
+// partition and per-link latency knobs act on: a cut src→dst link fails
+// with ErrPartitioned (charged — the sender's packets still leave), and
+// a link delay sleeps before delivery.
+func (n *Network) SendFrom(src, addr string) (any, error) {
 	n.messages.Add(1)
 	n.mu.RLock()
-	defer n.mu.RUnlock()
 	node, ok := n.nodes[addr]
+	down := n.down[addr]
+	cut := n.cutLocked(src, addr)
+	d := n.delayLocked(src, addr)
+	n.mu.RUnlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownAddr, addr)
 	}
-	if n.down[addr] {
+	if down {
 		return nil, fmt.Errorf("%w: %q", ErrUnreachable, addr)
+	}
+	if cut {
+		return nil, fmt.Errorf("%w: %q -> %q", ErrPartitioned, src, addr)
 	}
 	return node, nil
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestRegisterSendPeek(t *testing.T) {
@@ -81,6 +82,102 @@ func TestResetMessages(t *testing.T) {
 	n.ResetMessages()
 	if n.Messages() != 0 {
 		t.Fatal("ResetMessages failed")
+	}
+}
+
+// TestOneWayPartition: cutting a→b blocks exactly that direction; the
+// reverse link and anonymous Send stay up, and healing restores it.
+func TestOneWayPartition(t *testing.T) {
+	n := New()
+	n.Register("a", 1)
+	n.Register("b", 2)
+
+	n.SetPartition("a", "b", true)
+	if _, err := n.SendFrom("a", "b"); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("SendFrom across cut link = %v, want ErrPartitioned", err)
+	}
+	if _, err := n.SendFrom("b", "a"); err != nil {
+		t.Fatalf("reverse direction blocked: %v", err)
+	}
+	if _, err := n.Send("b"); err != nil {
+		t.Fatalf("anonymous Send caught by a specific-source cut: %v", err)
+	}
+	n.SetPartition("a", "b", false)
+	if _, err := n.SendFrom("a", "b"); err != nil {
+		t.Fatalf("healed link still cut: %v", err)
+	}
+}
+
+// TestWildcardPartition: Any as source isolates a destination from every
+// identified sender without marking it down; Any as destination cuts a
+// source off from the world.
+func TestWildcardPartition(t *testing.T) {
+	n := New()
+	n.Register("a", 1)
+	n.Register("b", 2)
+	n.Register("c", 3)
+
+	n.SetPartition(Any, "b", true)
+	if _, err := n.SendFrom("a", "b"); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("wildcard-source cut missed: %v", err)
+	}
+	if _, err := n.SendFrom("c", "b"); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("wildcard-source cut missed for c: %v", err)
+	}
+	if n.Down("b") {
+		t.Fatal("partition must not mark the node down")
+	}
+	n.SetPartition(Any, "b", false)
+
+	n.SetPartition("a", Any, true)
+	if _, err := n.SendFrom("a", "c"); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("wildcard-destination cut missed: %v", err)
+	}
+	if _, err := n.SendFrom("b", "c"); err != nil {
+		t.Fatalf("unrelated sender cut: %v", err)
+	}
+}
+
+// TestLinkLatency: a per-link delay slows exactly that direction, and
+// the exact link overrides a wildcard.
+func TestLinkLatency(t *testing.T) {
+	n := New()
+	n.Register("a", 1)
+	n.Register("b", 2)
+
+	n.SetLinkLatency("a", "b", 30*time.Millisecond)
+	start := time.Now()
+	if _, err := n.SendFrom("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("delayed link delivered in %v, want >= 30ms", d)
+	}
+	start = time.Now()
+	if _, err := n.SendFrom("b", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Fatalf("reverse link took %v, want fast", d)
+	}
+
+	// Exact beats wildcard.
+	n.SetLinkLatency(Any, "b", 80*time.Millisecond)
+	start = time.Now()
+	if _, err := n.SendFrom("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d >= 80*time.Millisecond {
+		t.Fatalf("exact link delay not preferred over wildcard (%v)", d)
+	}
+	// Clearing the exact link falls back to the wildcard.
+	n.SetLinkLatency("a", "b", 0)
+	start = time.Now()
+	if _, err := n.SendFrom("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 70*time.Millisecond {
+		t.Fatalf("wildcard delay not applied after clearing exact (%v)", d)
 	}
 }
 

@@ -47,6 +47,9 @@ type clientOptions struct {
 	poolSize int
 	replicas int
 	counters *metrics.Counters
+	dialer   ContextDialer
+	health   *dht.BreakerConfig
+	degraded bool
 }
 
 // WithWire selects the wire format (default WireBinary).
@@ -68,6 +71,31 @@ func WithReplicas(n int) Option { return func(o *clientOptions) { o.replicas = n
 // so replica read spreading shows up on a shared metrics endpoint. Nil
 // (the default) keeps the client's local SpreadReads tally only.
 func WithCounters(cs *metrics.Counters) Option { return func(o *clientOptions) { o.counters = cs } }
+
+// WithDialer replaces the transport factory used for every outgoing
+// connection on both wire formats (default: a plain net.Dialer). This is
+// the injection point for the netchaos plane: a scripted dialer can
+// drop, delay, throttle, or partition individual node links under an
+// otherwise unmodified client.
+func WithDialer(d ContextDialer) Option { return func(o *clientOptions) { o.dialer = d } }
+
+// WithHealth enables the graceful-degradation plane: one circuit breaker
+// per node with the given configuration (zero fields defaulted — see
+// dht.BreakerConfig). Consecutive transport failures open the node's
+// breaker; while open, every operation against it fails instantly with a
+// typed *dht.UnavailableError, replicated reads fail over to the next
+// holder immediately, and the first operation after the cooldown probes
+// the node half-open. See health.go for the full contract.
+func WithHealth(cfg dht.BreakerConfig) Option {
+	return func(o *clientOptions) { o.health = &cfg }
+}
+
+// WithDegradedStart lets DialContext succeed with part of the cluster
+// unreachable: dead nodes are registered with their breaker already
+// open, so they fail fast until a half-open probe finds them recovered
+// and adopts them. Implies WithHealth (with defaults, if not configured
+// explicitly). Construction still fails when no node is reachable.
+func WithDegradedStart() Option { return func(o *clientOptions) { o.degraded = true } }
 
 // Client implements dht.DHT over a static set of tcpnet servers: keys are
 // mapped to nodes with consistent hashing on the same 64-bit circle the
@@ -107,6 +135,9 @@ type clientNode struct {
 	conns []*mconn // binary wire; round-robin
 	next  atomic.Uint32
 	gc    *gobConn // gob wire
+
+	br       *dht.Breaker // health plane; nil when WithHealth is off
+	counters *metrics.Counters
 }
 
 // pick returns the node's next connection in round-robin order.
@@ -145,6 +176,9 @@ func DialContext(ctx context.Context, addrs []string, opts ...Option) (*Client, 
 	if o.replicas > 1 && o.wire == WireGob {
 		return nil, errors.New("tcpnet: WithReplicas requires the binary wire")
 	}
+	if o.degraded && o.health == nil {
+		o.health = &dht.BreakerConfig{}
+	}
 	c := &Client{wire: o.wire, replicas: o.replicas, counters: o.counters}
 	seen := make(map[string]bool, len(addrs))
 	for _, a := range addrs {
@@ -152,12 +186,27 @@ func DialContext(ctx context.Context, addrs []string, opts ...Option) (*Client, 
 			return nil, fmt.Errorf("tcpnet: duplicate node %q", a)
 		}
 		seen[a] = true
-		n := &clientNode{id: hashring.HashAddr(a), addr: a}
+		n := &clientNode{id: hashring.HashAddr(a), addr: a, counters: o.counters}
+		if o.health != nil {
+			cfg := *o.health
+			if cfg.Seed == 0 {
+				// Distinct deterministic jitter stream per node.
+				cfg.Seed = int64(n.id) | 1
+			}
+			prev := cfg.OnOpen
+			cfg.OnOpen = func() {
+				o.counters.AddBreakerOpens(1)
+				if prev != nil {
+					prev()
+				}
+			}
+			n.br = dht.NewBreaker(cfg)
+		}
 		if o.wire == WireGob {
-			n.gc = &gobConn{addr: a}
+			n.gc = &gobConn{addr: a, dial: o.dialer, gate: redialGate{br: n.br}}
 		} else {
 			for i := 0; i < o.poolSize; i++ {
-				n.conns = append(n.conns, &mconn{addr: a})
+				n.conns = append(n.conns, &mconn{addr: a, dial: o.dialer, gate: redialGate{br: n.br}})
 			}
 		}
 		c.nodes = append(c.nodes, n)
@@ -170,6 +219,14 @@ func DialContext(ctx context.Context, addrs []string, opts ...Option) (*Client, 
 		return nil, fmt.Errorf("tcpnet: %d replicas exceed the %d-node cluster", o.replicas, len(c.nodes))
 	}
 	sort.Slice(c.nodes, func(i, j int) bool { return c.nodes[i].id < c.nodes[j].id })
+
+	if o.degraded {
+		if err := c.verifyDegraded(ctx); err != nil {
+			_ = c.Close()
+			return nil, err
+		}
+		return c, nil
+	}
 
 	// Probe all members concurrently; the first failure wins and cancels
 	// the rest, so one dead node surfaces at its own dial latency.
@@ -277,6 +334,10 @@ func serverErr(msg []byte) error {
 // response's tagged value bytes (nil for value-less ops) plus the pooled
 // frame to recycle after the value is decoded.
 func (n *clientNode) simpleCall(ctx context.Context, op dht.OpKind, build func([]byte) ([]byte, error)) (val []byte, frame *[]byte, err error) {
+	if err := n.allow(); err != nil {
+		return nil, nil, err
+	}
+	defer func() { n.record(err) }()
 	body, err := n.pick().call(ctx, op, build)
 	if err != nil {
 		return nil, nil, err
@@ -396,7 +457,11 @@ func (c *Client) Write(ctx context.Context, key string, v dht.Value) error {
 // condCall performs one framed conditional round trip: like simpleCall,
 // but mapping statusCASConflict to the typed *dht.CASConflictError. The
 // conditional ops carry no response value, so the frame is recycled here.
-func (n *clientNode) condCall(ctx context.Context, op dht.OpKind, key string, build func([]byte) ([]byte, error)) error {
+func (n *clientNode) condCall(ctx context.Context, op dht.OpKind, key string, build func([]byte) ([]byte, error)) (err error) {
+	if err := n.allow(); err != nil {
+		return err
+	}
+	defer func() { n.record(err) }()
 	body, err := n.pick().call(ctx, op, build)
 	if err != nil {
 		return err
@@ -485,8 +550,13 @@ func (c *Client) WriteIf(ctx context.Context, key string, v dht.Value, ifEpoch u
 
 // --- legacy gob wire ---
 
-func (c *Client) gobDo(ctx context.Context, key string, req request) (response, error) {
-	resp, err := c.owner(key).gc.roundTrip(ctx, req)
+func (c *Client) gobDo(ctx context.Context, key string, req request) (_ response, err error) {
+	n := c.owner(key)
+	if err := n.allow(); err != nil {
+		return response{}, err
+	}
+	defer func() { n.record(err) }()
+	resp, err := n.gc.roundTrip(ctx, req)
 	if err != nil {
 		return response{}, err
 	}

@@ -18,8 +18,10 @@ import (
 // deployments use the framed binary protocol (mconn).
 type gobConn struct {
 	addr string
+	dial ContextDialer // nil = plain net.Dialer
 
 	mu   sync.Mutex
+	gate redialGate // lazy-redial cooldown (breaker-backed when health is on)
 	conn net.Conn
 	enc  *gob.Encoder
 	dec  *gob.Decoder
@@ -53,14 +55,19 @@ func (n *gobConn) roundTrip(ctx context.Context, req request) (response, error) 
 	// decode/encode error on the first try.
 	for attempt := 0; attempt < 2; attempt++ {
 		if n.conn == nil {
-			var d net.Dialer
-			conn, err := d.DialContext(ctx, "tcp", n.addr)
+			if err := n.gate.check(n.addr); err != nil {
+				return response{}, err
+			}
+			conn, err := dialWith(ctx, n.dial, n.addr)
 			if err != nil {
 				if cerr := ctx.Err(); cerr != nil {
 					return response{}, cerr
 				}
-				return response{}, dht.MarkTransient(err)
+				err = dht.MarkTransient(err)
+				n.gate.failure(err)
+				return response{}, err
 			}
+			n.gate.success()
 			n.conn = conn
 			n.enc = gob.NewEncoder(conn)
 			n.dec = gob.NewDecoder(conn)

@@ -29,9 +29,11 @@ import (
 // table.
 type mconn struct {
 	addr string
+	dial ContextDialer // nil = plain net.Dialer
 
 	mu     sync.Mutex
 	st     *wireState // nil until dialed; replaced on reconnect
+	gate   redialGate // lazy-redial cooldown (breaker-backed when health is on)
 	closed bool
 	hwm    int // high-water mark of in-flight requests, across generations
 }
@@ -89,21 +91,28 @@ func (m *mconn) ensureLocked(ctx context.Context) (*wireState, error) {
 	if m.st != nil {
 		return m.st, nil
 	}
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", m.addr)
+	if err := m.gate.check(m.addr); err != nil {
+		return nil, err
+	}
+	conn, err := dialWith(ctx, m.dial, m.addr)
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, cerr
 		}
-		return nil, dht.MarkTransient(fmt.Errorf("tcpnet: dial %q: %w", m.addr, err))
+		err = dht.MarkTransient(fmt.Errorf("tcpnet: dial %q: %w", m.addr, err))
+		m.gate.failure(err)
+		return nil, err
 	}
 	if err := handshake(ctx, conn); err != nil {
 		_ = conn.Close()
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, cerr
 		}
-		return nil, dht.MarkTransient(fmt.Errorf("tcpnet: handshake %q: %w", m.addr, err))
+		err = dht.MarkTransient(fmt.Errorf("tcpnet: handshake %q: %w", m.addr, err))
+		m.gate.failure(err)
+		return nil, err
 	}
+	m.gate.success()
 	st := &wireState{
 		conn:    conn,
 		sendq:   make(chan *[]byte, 64),
@@ -117,12 +126,25 @@ func (m *mconn) ensureLocked(ctx context.Context) (*wireState, error) {
 	return st, nil
 }
 
+// handshakeTimeout bounds the health-check ping when the caller's
+// context has no deadline of its own: a wedged or black-holed endpoint
+// must fail the probe, never hang it.
+const handshakeTimeout = 5 * time.Second
+
 // handshake sends the protocol magic and a health-check ping frame, and
 // reads the ping response, all synchronously on the fresh connection
-// (nothing else can be using it yet). The context's deadline bounds it.
+// (nothing else can be using it yet). The context's deadline bounds it
+// (capped at handshakeTimeout when absent), and cancelling the context
+// closes the socket to unblock the read.
 func handshake(ctx context.Context, conn net.Conn) error {
-	_ = conn.SetDeadline(deadline(ctx))
+	dl := deadline(ctx)
+	if lim := time.Now().Add(handshakeTimeout); dl.IsZero() || dl.After(lim) {
+		dl = lim
+	}
+	_ = conn.SetDeadline(dl)
 	defer func() { _ = conn.SetDeadline(time.Time{}) }()
+	stop := context.AfterFunc(ctx, func() { _ = conn.Close() })
+	defer stop()
 	frame := newFrame(dht.OpPing)
 	finishFrame(*frame, 0)
 	msg := append([]byte(wireMagic), *frame...)

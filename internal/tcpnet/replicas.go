@@ -34,6 +34,7 @@ package tcpnet
 import (
 	"context"
 	"errors"
+	"fmt"
 	"hash/fnv"
 	"sync"
 
@@ -102,17 +103,53 @@ func (c *Client) getFrom(ctx context.Context, n *clientNode, key string) (dht.Va
 // rest: a holder that is missing the key (a fan-out it has not seen) or
 // unreachable costs one extra round trip, and only a miss on every
 // holder is a real miss.
+//
+// Degradation contract (WithHealth): a holder whose breaker is open
+// fails in microseconds, so the read moves straight to the next holder —
+// an open primary never costs a timeout. Each failover attempt runs
+// under an even share of the caller's remaining deadline (stepCtx), so a
+// black-holed holder burns its share of the budget, never all of it; the
+// loop stops early only when the caller's own deadline is spent.
+//
+// A hedged duplicate (dht.MarkHedgeAttempt) starts at the primary
+// instead: first reads never do, so the duplicate is guaranteed a
+// different first holder than the straggler it is racing, whatever the
+// rotation sequence did in between.
 func (c *Client) replicatedGet(ctx context.Context, key string) (dht.Value, error) {
 	owners := c.owners(key)
-	start := c.rotateStart(key, len(owners))
+	start := 0
+	if !dht.IsHedgeAttempt(ctx) {
+		start = c.rotateStart(key, len(owners))
+	}
 	var firstErr error
 	for i := range owners {
-		v, err := c.getFrom(ctx, owners[(start+i)%len(owners)], key)
+		n := owners[(start+i)%len(owners)]
+		actx, cancel := stepCtx(ctx, len(owners)-i)
+		v, err := c.getFrom(actx, n, key)
+		cancel()
 		if err == nil {
 			return v, nil
 		}
-		if !errors.Is(err, dht.ErrNotFound) && firstErr == nil {
-			firstErr = err
+		if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+			// The step budget expired, not the caller's deadline: to the
+			// caller this is an ordinary transient holder fault (the
+			// breaker already recorded the timeout against the node), so
+			// it must stay retryable — context.DeadlineExceeded would
+			// wrongly read as the caller's own deadline and stop a
+			// policy-layer retry loop cold.
+			err = dht.MarkTransient(fmt.Errorf(
+				"tcpnet: holder %q timed out inside its failover budget", n.addr))
+		}
+		if !errors.Is(err, dht.ErrNotFound) {
+			if firstErr == nil {
+				firstErr = err
+			}
+			if i < len(owners)-1 {
+				c.counters.AddFailovers(1)
+			}
+		}
+		if ctx.Err() != nil {
+			break
 		}
 	}
 	if firstErr != nil {

@@ -72,6 +72,7 @@ import (
 	"context"
 	"io"
 	"net/http"
+	"time"
 
 	"lht/internal/dht"
 	ilht "lht/internal/lht"
@@ -199,6 +200,14 @@ func WithThresholds(split, merge int) Option { return ilht.WithThresholds(split,
 // request rate crosses the threshold (requests/sec) splits even below
 // theta_split. 0 (the default) disables the load plane.
 func WithHotSplitRate(rate float64) Option { return ilht.WithHotSplitRate(rate) }
+
+// WithHedgedGets enables quantile-triggered hedged reads: an idempotent
+// DHT-get still unanswered after the trigger delay (observed p95,
+// floored at after) races a duplicate, first answer wins. Over a
+// replicated TCP substrate the duplicate probes a different holder, so
+// one slow or partitioned node stops defining the read tail. Hedges are
+// physical round trips, never DHT-lookups; see Config.HedgeAfter.
+func WithHedgedGets(after time.Duration) Option { return ilht.WithHedgedGets(after) }
 
 // WithCoalescedGets toggles singleflight read coalescing: concurrent
 // reads of one bucket through this index share a single substrate
