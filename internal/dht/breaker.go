@@ -145,26 +145,37 @@ func NewBreaker(cfg BreakerConfig) *Breaker {
 // always admits. Open fast-fails until the cooldown elapses; the first
 // Allow after that flips to HalfOpen and admits the caller as the
 // probe, while concurrent callers keep fast-failing until the probe
-// reports Success or Failure.
+// settles the slot.
 func (b *Breaker) Allow() bool {
+	ok, _ := b.AllowProbe()
+	return ok
+}
+
+// AllowProbe is Allow, additionally reporting whether this caller was
+// admitted as the half-open probe. The probe holder owns the slot and
+// must settle it: Success or Failure decide the circuit, and CancelProbe
+// relinquishes the slot when the attempt ended with no verdict (a
+// cancelled context, say) — otherwise the breaker would stay half-open
+// with the slot claimed forever, rejecting every later caller.
+func (b *Breaker) AllowProbe() (ok, probe bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case BreakerClosed:
-		return true
+		return true, false
 	case BreakerOpen:
 		if b.cfg.Clock().Before(b.until) {
-			return false
+			return false, false
 		}
 		b.state = BreakerHalfOpen
 		b.probing = true
-		return true
+		return true, true
 	default: // BreakerHalfOpen
 		if b.probing {
-			return false
+			return false, false
 		}
 		b.probing = true
-		return true
+		return true, true
 	}
 }
 
@@ -198,6 +209,22 @@ func (b *Breaker) Failure(err error) {
 	case BreakerOpen:
 		// A straggler from before the trip; the window is already set.
 	}
+}
+
+// CancelProbe relinquishes the half-open probe slot with no verdict: the
+// admitted probe was cancelled mid-flight (a hedge losing its race, a
+// caller walking away), so it will never report Success or Failure. The
+// breaker returns to Open with its existing — already elapsed — window,
+// so the next caller is admitted as a fresh probe immediately. A no-op
+// unless the breaker is half-open with the slot taken.
+func (b *Breaker) CancelProbe() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerHalfOpen || !b.probing {
+		return
+	}
+	b.probing = false
+	b.state = BreakerOpen
 }
 
 // Trip opens the breaker immediately on an external health verdict — a

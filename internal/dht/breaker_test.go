@@ -138,6 +138,44 @@ func TestBreakerCooldownCapped(t *testing.T) {
 	}
 }
 
+// TestBreakerCancelProbeReleasesSlot: a probe that ends with no verdict
+// (cancelled mid-flight, e.g. a hedger killing its losing arm) must hand
+// the slot back. Before CancelProbe existed this wedged the breaker:
+// half-open with the slot claimed forever, every caller rejected, no
+// backoff window reported, and no path back to closed without a restart.
+func TestBreakerCancelProbeReleasesSlot(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	var opens int
+	b := newTestBreaker(clk, &opens)
+	for i := 0; i < 3; i++ {
+		b.Failure(errors.New("down"))
+	}
+	clk.advance(100 * time.Millisecond)
+	ok, probe := b.AllowProbe()
+	if !ok || !probe {
+		t.Fatalf("AllowProbe after cooldown = %v/%v, want probe admission", ok, probe)
+	}
+	if ok, _ := b.AllowProbe(); ok {
+		t.Fatal("second caller admitted while the probe slot is taken")
+	}
+	b.CancelProbe()
+	// The window already elapsed, so the very next caller must be
+	// admitted as a fresh probe — not rejected by a still-claimed slot.
+	ok, probe = b.AllowProbe()
+	if !ok || !probe {
+		t.Fatalf("AllowProbe after CancelProbe = %v/%v, want fresh probe", ok, probe)
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatal("fresh probe success did not close the breaker")
+	}
+	// Outside a held half-open slot CancelProbe is a no-op.
+	b.CancelProbe()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("CancelProbe on a closed breaker changed state")
+	}
+}
+
 func TestBreakerBackoffClearsOnClose(t *testing.T) {
 	clk := &fakeClock{t: time.Unix(1000, 0)}
 	var opens int

@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -290,6 +291,35 @@ type conn struct {
 	addr  string
 
 	severed atomic.Bool
+	readDL  atomic.Int64 // read deadline, unix nanos; 0 = none
+}
+
+// SetDeadline mirrors the read half into the wrapper (so a reader parked
+// in a DropReads window still observes it) before passing through.
+func (cc *conn) SetDeadline(t time.Time) error {
+	cc.storeReadDL(t)
+	return cc.Conn.SetDeadline(t)
+}
+
+// SetReadDeadline mirrors the deadline into the wrapper before passing
+// through.
+func (cc *conn) SetReadDeadline(t time.Time) error {
+	cc.storeReadDL(t)
+	return cc.Conn.SetReadDeadline(t)
+}
+
+func (cc *conn) storeReadDL(t time.Time) {
+	if t.IsZero() {
+		cc.readDL.Store(0)
+	} else {
+		cc.readDL.Store(t.UnixNano())
+	}
+}
+
+// readDeadlineExpired reports whether a read deadline is set and past.
+func (cc *conn) readDeadlineExpired() bool {
+	dl := cc.readDL.Load()
+	return dl != 0 && !time.Now().Before(time.Unix(0, dl))
 }
 
 var errSevered = fmt.Errorf("netchaos: connection severed by schedule")
@@ -344,6 +374,11 @@ func (cc *conn) Write(p []byte) (int, error) {
 // abandoned (their pending slots timed out), and the late responses are
 // dropped by request-id correlation, which is precisely the asymmetric-
 // partition behaviour the degradation machinery must survive.
+//
+// A parked reader still honours its read deadline (mirrored by the
+// SetDeadline/SetReadDeadline wrappers): a black-holed return path makes
+// reads time out, never hang past their budget — the handshake timeout
+// on a half-open probe depends on exactly that.
 func (cc *conn) Read(p []byte) (int, error) {
 	for {
 		e, err := cc.apply()
@@ -352,6 +387,13 @@ func (cc *conn) Read(p []byte) (int, error) {
 		}
 		if !e.DropReads {
 			return cc.Conn.Read(p)
+		}
+		if cc.readDeadlineExpired() {
+			return 0, &net.OpError{
+				Op: "read", Net: "tcp",
+				Source: cc.Conn.LocalAddr(), Addr: cc.Conn.RemoteAddr(),
+				Err: os.ErrDeadlineExceeded,
+			}
 		}
 		time.Sleep(2 * time.Millisecond)
 	}

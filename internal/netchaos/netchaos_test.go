@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"net"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -205,6 +206,45 @@ func TestDropReadsWithholdsThenReleases(t *testing.T) {
 	}
 	if d := time.Since(start); d < 50*time.Millisecond {
 		t.Fatalf("read returned after %v, want it withheld for the window", d)
+	}
+}
+
+// TestDropReadsHonorsReadDeadline: a reader parked in a DropReads window
+// must still observe its read deadline — the tcpnet handshake bounds its
+// health-check ping with SetDeadline, and a half-open probe into an
+// inbound partition has to fail within that bound, not hang for the
+// whole drop window.
+func TestDropReadsHonorsReadDeadline(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	ch := New(1)
+	ch.Add(Rule{Addr: addr, Effect: Effect{DropReads: true}}) // holds forever
+	ch.Start()
+	c, err := ch.DialContext(context.Background(), "tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	// SetDeadline is what the tcpnet handshake uses; it must cover reads.
+	_ = c.SetDeadline(time.Now().Add(40 * time.Millisecond))
+	start := time.Now()
+	buf := make([]byte, 4)
+	_, err = c.Read(buf)
+	if err == nil {
+		t.Fatal("read inside an unbounded DropReads window returned data")
+	}
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want os.ErrDeadlineExceeded", err)
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("err = %v, want a net.Error timeout", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond || d > 2*time.Second {
+		t.Fatalf("read returned after %v, want ~the 40ms deadline", d)
 	}
 }
 

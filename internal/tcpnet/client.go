@@ -334,10 +334,11 @@ func serverErr(msg []byte) error {
 // response's tagged value bytes (nil for value-less ops) plus the pooled
 // frame to recycle after the value is decoded.
 func (n *clientNode) simpleCall(ctx context.Context, op dht.OpKind, build func([]byte) ([]byte, error)) (val []byte, frame *[]byte, err error) {
-	if err := n.allow(); err != nil {
+	tok, err := n.allow()
+	if err != nil {
 		return nil, nil, err
 	}
-	defer func() { n.record(err) }()
+	defer func() { n.record(tok, err) }()
 	body, err := n.pick().call(ctx, op, build)
 	if err != nil {
 		return nil, nil, err
@@ -458,10 +459,11 @@ func (c *Client) Write(ctx context.Context, key string, v dht.Value) error {
 // but mapping statusCASConflict to the typed *dht.CASConflictError. The
 // conditional ops carry no response value, so the frame is recycled here.
 func (n *clientNode) condCall(ctx context.Context, op dht.OpKind, key string, build func([]byte) ([]byte, error)) (err error) {
-	if err := n.allow(); err != nil {
+	tok, err := n.allow()
+	if err != nil {
 		return err
 	}
-	defer func() { n.record(err) }()
+	defer func() { n.record(tok, err) }()
 	body, err := n.pick().call(ctx, op, build)
 	if err != nil {
 		return err
@@ -552,10 +554,11 @@ func (c *Client) WriteIf(ctx context.Context, key string, v dht.Value, ifEpoch u
 
 func (c *Client) gobDo(ctx context.Context, key string, req request) (_ response, err error) {
 	n := c.owner(key)
-	if err := n.allow(); err != nil {
+	tok, err := n.allow()
+	if err != nil {
 		return response{}, err
 	}
-	defer func() { n.record(err) }()
+	defer func() { n.record(tok, err) }()
 	resp, err := n.gc.roundTrip(ctx, req)
 	if err != nil {
 		return response{}, err

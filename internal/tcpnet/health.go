@@ -118,16 +118,36 @@ func (g *redialGate) success() {
 	g.lastErr = nil
 }
 
-// allow is the health gate every per-node operation passes: nil without
-// the health plane or through a closed breaker, and the typed fast-fail
-// when the node's breaker is open. Allow itself claims the half-open
-// probe slot, so the first operation after a cooldown IS the probe.
-func (n *clientNode) allow() error {
-	if n.br == nil || n.br.Allow() {
-		return nil
+// minTimeoutCharge is the least wall-clock an attempt must have consumed
+// before its context.DeadlineExceeded counts against the node's breaker.
+// A caller whose deadline was already (nearly) spent on entry times out
+// in microseconds through no fault of the node, and a burst of such
+// calls must not trip breakers on healthy peers.
+const minTimeoutCharge = 5 * time.Millisecond
+
+// opToken is what allow returns for an admitted operation: whether this
+// operation holds the breaker's single half-open probe slot, and when it
+// was admitted. record needs both to classify the outcome.
+type opToken struct {
+	probe bool
+	start time.Time
+}
+
+// allow is the health gate every per-node operation passes: it admits
+// without the health plane or through a closed breaker, and returns the
+// typed fast-fail when the node's breaker is open. Allow itself claims
+// the half-open probe slot, so the first operation after a cooldown IS
+// the probe — the token records that so record can settle the slot.
+func (n *clientNode) allow() (opToken, error) {
+	if n.br == nil {
+		return opToken{}, nil
 	}
-	n.counters.AddBreakerFastFails(1)
-	return n.br.Unavailable(n.addr)
+	ok, probe := n.br.AllowProbe()
+	if !ok {
+		n.counters.AddBreakerFastFails(1)
+		return opToken{}, n.br.Unavailable(n.addr)
+	}
+	return opToken{probe: probe, start: time.Now()}, nil
 }
 
 // record feeds one finished operation's outcome to the node's breaker.
@@ -136,28 +156,46 @@ func (n *clientNode) allow() error {
 //   - nil, ErrNotFound, CAS conflicts, and other server-level errors are
 //     successes — the node answered;
 //   - transport faults (dht.IsTransient) are failures;
-//   - context.DeadlineExceeded is a failure too: a black-holed node
-//     never answers, so the deadline expiring while waiting on it is the
-//     only signal it gives;
+//   - context.DeadlineExceeded is a failure only when the attempt ran
+//     for at least minTimeoutCharge: a black-holed node never answers,
+//     so the deadline expiring while waiting on it is the only signal it
+//     gives — but a caller whose own deadline was already (nearly) spent
+//     on entry says nothing about the node;
 //   - context.Canceled is neutral — a hedge losing its race or a caller
 //     walking away says nothing about the node;
 //   - our own breaker fast-fails and client-closed are neutral: no
 //     contact was made.
-func (n *clientNode) record(err error) {
+//
+// A neutral outcome on the operation holding the half-open probe slot
+// relinquishes it (Breaker.CancelProbe): the hedger cancels its losing
+// arm, and if that arm was the probe, keeping the slot claimed would
+// wedge the breaker half-open forever — no later operation could ever be
+// admitted to close or re-open it.
+func (n *clientNode) record(tok opToken, err error) {
 	if n.br == nil {
 		return
 	}
+	neutral := false
 	switch {
 	case err == nil:
 		n.br.Success()
 	case errors.Is(err, context.Canceled),
 		errors.Is(err, errClientClosed),
 		dht.IsUnavailable(err):
-		// neutral
-	case errors.Is(err, context.DeadlineExceeded), dht.IsTransient(err):
+		neutral = true
+	case errors.Is(err, context.DeadlineExceeded):
+		if time.Since(tok.start) < minTimeoutCharge {
+			neutral = true
+		} else {
+			n.br.Failure(err)
+		}
+	case dht.IsTransient(err):
 		n.br.Failure(err)
 	default:
 		n.br.Success()
+	}
+	if neutral && tok.probe {
+		n.br.CancelProbe()
 	}
 }
 

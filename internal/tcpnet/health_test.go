@@ -337,6 +337,89 @@ func TestDegradedStartAdoptsRecoveredNode(t *testing.T) {
 	}
 }
 
+// TestCancelledProbeDoesNotWedgeBreaker pins the hedger-vs-breaker
+// interaction: the hedger cancels its losing arm, and when that arm held
+// the half-open probe slot the breaker used to keep the slot claimed
+// forever — every later operation fast-failed and nothing could ever
+// probe the node again. A cancelled (neutral) probe must relinquish the
+// slot so the next operation is admitted as a fresh probe.
+func TestCancelledProbeDoesNotWedgeBreaker(t *testing.T) {
+	now := time.Unix(2000, 0)
+	br := dht.NewBreaker(dht.BreakerConfig{
+		Threshold: 1,
+		Cooldown:  100 * time.Millisecond,
+		Seed:      3,
+		Clock:     func() time.Time { return now },
+	})
+	n := &clientNode{addr: "10.0.0.1:1", br: br}
+
+	tok, err := n.allow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.record(tok, dht.MarkTransient(errors.New("conn reset")))
+	if br.State() != dht.BreakerOpen {
+		t.Fatalf("breaker = %v, want open", br.State())
+	}
+
+	now = now.Add(100 * time.Millisecond)
+	tok, err = n.allow()
+	if err != nil {
+		t.Fatalf("post-cooldown op not admitted: %v", err)
+	}
+	if !tok.probe {
+		t.Fatal("post-cooldown op did not hold the probe slot")
+	}
+	// The hedge's losing arm: cancelled mid-flight, no verdict on the node.
+	n.record(tok, context.Canceled)
+
+	// Without the relinquish this allow() fast-fails forever.
+	tok, err = n.allow()
+	if err != nil {
+		t.Fatalf("operation after a cancelled probe rejected: %v", err)
+	}
+	if !tok.probe {
+		t.Fatal("next operation was not admitted as the fresh probe")
+	}
+	n.record(tok, nil)
+	if br.State() != dht.BreakerClosed {
+		t.Fatalf("breaker = %v, want closed after probe success", br.State())
+	}
+}
+
+// TestExpiredDeadlineDoesNotTripBreaker: context.DeadlineExceeded counts
+// against a node only when the attempt had real budget to wait in. A
+// burst of calls whose deadlines were already (nearly) spent on entry
+// must leave the breaker closed — the node never had a chance to answer.
+func TestExpiredDeadlineDoesNotTripBreaker(t *testing.T) {
+	br := dht.NewBreaker(dht.BreakerConfig{Threshold: 2})
+	n := &clientNode{addr: "10.0.0.1:1", br: br}
+	for i := 0; i < 10; i++ {
+		tok, err := n.allow()
+		if err != nil {
+			t.Fatalf("call %d rejected: %v", i, err)
+		}
+		// The deadline fired (nearly) immediately: no budget was consumed.
+		n.record(tok, context.DeadlineExceeded)
+	}
+	if br.State() != dht.BreakerClosed {
+		t.Fatalf("breaker = %v after zero-budget timeouts, want closed", br.State())
+	}
+
+	// An attempt that actually waited out a meaningful budget still counts.
+	for i := 0; i < 2; i++ {
+		tok, err := n.allow()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tok.start = tok.start.Add(-minTimeoutCharge) // ran >= the charge floor
+		n.record(tok, context.DeadlineExceeded)
+	}
+	if br.State() != dht.BreakerOpen {
+		t.Fatalf("breaker = %v after real timeouts, want open", br.State())
+	}
+}
+
 // TestRedialBackoffLimitsDials is the lazy-redial satellite: without any
 // breaker, a dead node must cost one dial per backoff window, not one
 // dial per operation — rapid-fire calls mostly fail fast on the gate.
