@@ -64,9 +64,11 @@ type config struct {
 // mutations, a8: framed binary wire codec vs gob, a9: multi-writer
 // concurrency, a10: hot-leaf load balancing under Zipfian skew, a11:
 // degradation plane — breakers + hedged reads — under scripted network
-// chaos) and the wire-protocol parameter sweep (substrate x batch size
-// x leaf cache x value size).
-var experimentNames = []string{"fig6a", "fig6b", "fig7", "fig8a", "fig8b", "fig9a", "fig9b", "eq3", "thm3", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "a9", "a10", "a11", "sweep", "s1", "rw1", "x1"}
+// chaos, a12: self-healing membership — gossip view, hinted handoff,
+// scrub re-replication — under permanent and rejoin churn) and the
+// wire-protocol parameter sweep (substrate x batch size x leaf cache
+// x value size x cache capacity x query skew).
+var experimentNames = []string{"fig6a", "fig6b", "fig7", "fig8a", "fig8b", "fig9a", "fig9b", "eq3", "thm3", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "a9", "a10", "a11", "a12", "sweep", "s1", "rw1", "x1"}
 
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("lht-bench", flag.ContinueOnError)
@@ -354,12 +356,19 @@ func runExperiments(ctx context.Context, cfg config, out io.Writer) error {
 		}
 		emit(lat, rt)
 	}
-	if want("sweep") {
-		rt, tpBatch, tpValue, err := bench.RunSweep(cfg.opts, sizes[0])
+	if want("a12") {
+		lat, rt, err := bench.RunMembershipAblation(cfg.opts, sizes[0])
 		if err != nil {
 			return err
 		}
-		emit(rt, tpBatch, tpValue)
+		emit(lat, rt)
+	}
+	if want("sweep") {
+		results, err := bench.RunSweep(cfg.opts, sizes[0])
+		if err != nil {
+			return err
+		}
+		emit(results...)
 	}
 	if want("s1") {
 		res, err := bench.RunHopsVsNodes(cfg.opts, []int{4, 8, 16, 32, 64, 128})

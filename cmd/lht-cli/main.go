@@ -11,6 +11,18 @@
 //	lht-cli -nodes ... min | max | count
 //	lht-cli -nodes ... fill 10000        # seeded uniform bulk load
 //	lht-cli -nodes ... -scrub            # verify + repair tree invariants
+//	lht-cli -nodes ... -status           # cluster membership + health report
+//
+// Against a replicated, self-healing cluster (lht-node -gossip-peers),
+// pass -replicas so reads fail over and -scrub -rereplicate restores
+// lost replica copies:
+//
+//	lht-cli -nodes ... -replicas 3 -scrub -rereplicate
+//
+// -degraded connects even while part of the cluster is down (-status
+// always does: the health report must work precisely then), and
+// -hinted parks writes that fail against a down holder for replay on
+// its return.
 package main
 
 import (
@@ -53,13 +65,24 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		trace   = fs.Int("trace", 0, "after the command, print its last N DHT operations (kind, key, phase, duration, outcome)")
 		wire    = fs.String("wire", "binary", "wire format to the nodes: binary (framed, pipelined) or gob (legacy)")
 		conns   = fs.Int("conns", 0, "pipelined connections per node on the binary wire (0 = default)")
+		reps    = fs.Int("replicas", 1, "store each key on this many distinct nodes (binary wire only)")
+		status  = fs.Bool("status", false, "print the cluster membership and health report, and exit")
+		rerep   = fs.Bool("rereplicate", false, "with -scrub: restore the replica count of every bucket (needs -replicas > 1)")
+		degr    = fs.Bool("degraded", false, "connect even if part of the cluster is down (dead nodes start breaker-open); implied by -status")
+		hinted  = fs.Bool("hinted", false, "park writes that fail against a down holder as hints for replay on its return (needs -replicas > 1)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	cmd := fs.Args()
-	if len(cmd) == 0 && !*scrub {
-		return fmt.Errorf("missing command (put|get|del|range|scan|min|max|count|fill), or use -scrub")
+	if len(cmd) == 0 && !*scrub && !*status {
+		return fmt.Errorf("missing command (put|get|del|range|scan|min|max|count|fill), or use -scrub / -status")
+	}
+	if *rerep && *reps < 2 {
+		return fmt.Errorf("-rereplicate needs -replicas > 1")
+	}
+	if *hinted && *reps < 2 {
+		return fmt.Errorf("-hinted needs -replicas > 1")
 	}
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -71,12 +94,18 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	dialOpts := []tcpnet.Option{tcpnet.WithWire(w)}
-	if *conns > 0 {
-		dialOpts = append(dialOpts, tcpnet.WithPoolSize(*conns))
-	}
 	lht.RegisterGobTypes()
-	client, err := tcpnet.DialContext(ctx, strings.Split(*nodes, ","), dialOpts...)
+	// -status must work precisely when part of the cluster is down, so it
+	// always boots degraded: unreachable members start breaker-open and
+	// show up in the report instead of failing the dial.
+	client, err := tcpnet.Dial(ctx, tcpnet.ClusterConfig{
+		Seeds:         strings.Split(*nodes, ","),
+		Wire:          w,
+		PoolSize:      *conns,
+		Replicas:      *reps,
+		DegradedStart: *degr || *status,
+		HintedHandoff: *hinted,
+	})
 	if err != nil {
 		return err
 	}
@@ -85,6 +114,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	opts := []lht.Option{
 		lht.WithThresholds(*theta, *theta/2),
 		lht.WithDepth(*depth),
+		lht.WithRereplication(*rerep),
 	}
 	if *retry {
 		opts = append(opts, lht.WithPolicy(lht.DefaultPolicy()))
@@ -98,7 +128,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	err = runCommand(ctx, ix, cmd, *scrub, *seed, out)
+	err = runCommand(ctx, ix, cmd, *scrub, *status, *seed, out)
 	if ring != nil {
 		fmt.Fprintf(out, "trace (last %d of %d DHT ops):\n", ring.Len(), ring.Total())
 		for _, ev := range ring.Events() {
@@ -108,7 +138,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	return err
 }
 
-func runCommand(ctx context.Context, ix *lht.Index, cmd []string, scrub bool, seed int64, out io.Writer) error {
+func runCommand(ctx context.Context, ix *lht.Index, cmd []string, scrub, status bool, seed int64, out io.Writer) error {
+	if status {
+		st, err := ix.ClusterStatus(ctx)
+		if err != nil {
+			return err
+		}
+		printStatus(out, st)
+		return nil
+	}
 	if scrub {
 		rep, err := ix.ScrubContext(ctx)
 		if rep != nil {
@@ -117,6 +155,20 @@ func runCommand(ctx context.Context, ix *lht.Index, cmd []string, scrub bool, se
 		return err
 	}
 	return dispatch(ctx, ix, cmd, seed, out)
+}
+
+// printStatus renders the cluster membership report: one row per member
+// with its gossip state, incarnation, this client's breaker verdict, the
+// hinted-handoff backlog parked for it cluster-wide, and known replica
+// debt.
+func printStatus(out io.Writer, st lht.ClusterStatus) {
+	fmt.Fprintf(out, "cluster view epoch %d, %d member(s)\n", st.ViewEpoch, len(st.Members))
+	fmt.Fprintf(out, "%-24s %-8s %-5s %-9s %-6s %s\n",
+		"ADDRESS", "STATE", "INC", "BREAKER", "HINTS", "DEBT")
+	for _, m := range st.Members {
+		fmt.Fprintf(out, "%-24s %-8s %-5d %-9s %-6d %d\n",
+			m.Addr, m.State, m.Incarnation, m.Breaker, m.Hints, m.ReplicaDebt)
+	}
 }
 
 func dispatch(ctx context.Context, ix *lht.Index, cmd []string, seed int64, out io.Writer) error {

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -42,7 +43,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	lht.RegisterGobTypes()
-	client, err := tcpnet.Dial(strings.Split(*nodes, ","))
+	client, err := tcpnet.DialContext(context.Background(), strings.Split(*nodes, ","))
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"net"
 	"strings"
 	"testing"
@@ -24,7 +25,7 @@ func startClusterWithData(t *testing.T) string {
 	}
 	nodes := strings.Join(addrs, ",")
 	lht.RegisterGobTypes()
-	client, err := tcpnet.Dial(addrs)
+	client, err := tcpnet.DialContext(context.Background(), addrs)
 	if err != nil {
 		t.Fatal(err)
 	}

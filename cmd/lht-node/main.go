@@ -18,39 +18,82 @@
 //
 //	lht-node -listen 127.0.0.1:7001 -metrics 127.0.0.1:9001 &
 //	curl -s http://127.0.0.1:9001/metrics | grep lht_dht_lookups_total
+//
+// With -gossip-peers set, the node joins the self-healing membership
+// plane: it anti-entropy-gossips a versioned cluster view with its
+// peers, declares unresponsive members suspect and then dead, parks
+// hinted handoffs for down holders and replays them when the holder
+// returns. Adding -repair-interval makes the node periodically scrub
+// the shared index with re-replication, restoring the replica count of
+// buckets lost to permanent node failures (run it on one node per
+// cluster, or stagger the intervals):
+//
+//	lht-node -listen 127.0.0.1:7001 \
+//	  -gossip-peers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 \
+//	  -repair-interval 30s -repair-replicas 3 &
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"lht"
+	"lht/internal/dht"
 	"lht/internal/metrics"
 	"lht/internal/tcpnet"
 )
 
+// nodeConfig carries the parsed flag set into run.
+type nodeConfig struct {
+	listen, data, metricsAddr string
+	snapshotInterval          time.Duration
+	gossipPeers               []string
+	gossipInterval            time.Duration
+	gossipSeed                int64
+	repairInterval            time.Duration
+	repairReplicas            int
+}
+
 func main() {
+	var cfg nodeConfig
 	listen := flag.String("listen", "127.0.0.1:7001", "address to listen on")
 	data := flag.String("data", "", "snapshot file for the node's shard (empty = in-memory only)")
 	interval := flag.Duration("snapshot-interval", 0, "also snapshot the shard periodically (0 = only on shutdown); requires -data")
 	metricsAddr := flag.String("metrics", "", "serve Prometheus /metrics and pprof on this address (empty = disabled)")
+	peers := flag.String("gossip-peers", "", "comma-separated cluster member addresses (including this node); enables the membership plane")
+	gossipInterval := flag.Duration("gossip-interval", time.Second, "anti-entropy gossip period; requires -gossip-peers")
+	gossipSeed := flag.Int64("gossip-seed", 0, "seed for deterministic gossip peer selection (0 = derive from the listen address)")
+	repairInterval := flag.Duration("repair-interval", 0, "scrub the shared index with re-replication this often (0 = off); requires -gossip-peers")
+	repairReplicas := flag.Int("repair-replicas", 2, "replica count the cluster's writers use; the repair scrub restores it")
 	flag.Parse()
+	cfg.listen, cfg.data, cfg.metricsAddr = *listen, *data, *metricsAddr
+	cfg.snapshotInterval = *interval
+	if *peers != "" {
+		cfg.gossipPeers = strings.Split(*peers, ",")
+	}
+	cfg.gossipInterval, cfg.gossipSeed = *gossipInterval, *gossipSeed
+	cfg.repairInterval, cfg.repairReplicas = *repairInterval, *repairReplicas
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *listen, *data, *metricsAddr, *interval); err != nil {
+	if err := run(ctx, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "lht-node:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, listen, data, metricsAddr string, interval time.Duration) error {
+func run(ctx context.Context, cfg nodeConfig) error {
+	listen, data, metricsAddr := cfg.listen, cfg.data, cfg.metricsAddr
+	interval := cfg.snapshotInterval
 	srv := tcpnet.NewServer()
 	if data != "" {
 		if err := srv.LoadSnapshot(data); err != nil {
@@ -64,6 +107,35 @@ func run(ctx context.Context, listen, data, metricsAddr string, interval time.Du
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err
+	}
+
+	// Membership plane: seed the view with the configured member list
+	// and anti-entropy gossip on the configured period. Self must be the
+	// address peers dial, so -listen needs an explicit host with gossip
+	// on.
+	if len(cfg.gossipPeers) > 0 {
+		seed := cfg.gossipSeed
+		if seed == 0 {
+			h := fnv.New64a()
+			_, _ = h.Write([]byte(listen))
+			seed = int64(h.Sum64())
+		}
+		mem := srv.EnableMembership(tcpnet.MembershipConfig{
+			Self:  listen,
+			Seeds: cfg.gossipPeers,
+			Seed:  seed,
+		})
+		go mem.Run(ctx, cfg.gossipInterval)
+		log.Printf("membership plane on: %d member(s), gossip every %v", len(cfg.gossipPeers), cfg.gossipInterval)
+	} else if cfg.repairInterval > 0 {
+		return fmt.Errorf("-repair-interval requires -gossip-peers")
+	}
+	if cfg.repairInterval > 0 {
+		if cfg.repairReplicas < 2 {
+			return fmt.Errorf("-repair-replicas must be at least 2")
+		}
+		lht.RegisterGobTypes()
+		go repairLoop(ctx, cfg)
 	}
 
 	// The observability endpoint is separate from the data port so
@@ -127,4 +199,55 @@ func run(ctx context.Context, listen, data, metricsAddr string, interval time.Du
 
 	log.Printf("lht-node serving on %s", ln.Addr())
 	return srv.Serve(ln)
+}
+
+// repairLoop periodically scrubs the shared index with re-replication
+// enabled, dialing the cluster fresh each pass so the routing ring
+// always reflects the latest gossip view. Failures are logged and
+// retried next tick — a down peer must never take the node with it.
+func repairLoop(ctx context.Context, cfg nodeConfig) {
+	t := time.NewTicker(cfg.repairInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			pctx, cancel := context.WithTimeout(ctx, cfg.repairInterval)
+			rep, err := repairOnce(pctx, cfg)
+			cancel()
+			switch {
+			case err != nil:
+				log.Printf("repair scrub: %v", err)
+			case !rep.Clean():
+				log.Printf("repair %s", rep)
+			}
+		}
+	}
+}
+
+// repairOnce runs one re-replicating scrub over the cluster. The client
+// dials degraded (dead members start with open breakers) and refreshes
+// its routing ring from the gossip view first, so the scrub probes the
+// owners the cluster actually routes to now.
+func repairOnce(ctx context.Context, cfg nodeConfig) (*lht.ScrubReport, error) {
+	client, err := tcpnet.Dial(ctx, tcpnet.ClusterConfig{
+		Seeds:         cfg.gossipPeers,
+		Replicas:      cfg.repairReplicas,
+		Health:        &dht.BreakerConfig{},
+		DegradedStart: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = client.Close() }()
+	if err := client.RefreshView(ctx); err != nil {
+		log.Printf("repair view refresh: %v", err)
+	}
+	ix, err := lht.New(client,
+		lht.WithRereplication(true), lht.WithPolicy(lht.DefaultPolicy()))
+	if err != nil {
+		return nil, err
+	}
+	return ix.ScrubContext(ctx)
 }

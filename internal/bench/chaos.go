@@ -188,7 +188,7 @@ func measureChaosCell(o Options, size, scenario int, plane bool) (chaosCell, err
 			Seed:        o.Seed,
 		}))
 	}
-	c, err := tcpnet.Dial(cl.addrs, copts...)
+	c, err := tcpnet.DialContext(context.Background(), cl.addrs, copts...)
 	if err != nil {
 		return cell, err
 	}

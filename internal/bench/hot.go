@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -160,7 +161,7 @@ func measureHotCell(o Options, size int, s float64, plane bool) (hotCell, error)
 	if plane {
 		copts = append(copts, tcpnet.WithReplicas(2), tcpnet.WithCounters(o.Agg))
 	}
-	c, err := tcpnet.Dial(cl.addrs, copts...)
+	c, err := tcpnet.DialContext(context.Background(), cl.addrs, copts...)
 	if err != nil {
 		return cell, err
 	}

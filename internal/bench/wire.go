@@ -183,7 +183,7 @@ func measureWire(o Options, wire tcpnet.Wire, valSize int) (wireStats, error) {
 		return st, err
 	}
 	defer cl.close()
-	c, err := tcpnet.Dial(cl.addrs, tcpnet.WithWire(wire))
+	c, err := tcpnet.DialContext(context.Background(), cl.addrs, tcpnet.WithWire(wire))
 	if err != nil {
 		return st, err
 	}
@@ -297,7 +297,7 @@ func loadOnce(wire tcpnet.Wire, kvs []dht.KV) (float64, error) {
 		return 0, err
 	}
 	defer cl.close()
-	c, err := tcpnet.Dial(cl.addrs, tcpnet.WithWire(wire))
+	c, err := tcpnet.DialContext(context.Background(), cl.addrs, tcpnet.WithWire(wire))
 	if err != nil {
 		return 0, err
 	}
@@ -379,7 +379,7 @@ func wireOracleArm(o Options, addrs *[]string, wire tcpnet.Wire) ([]byte, wireSe
 	if len(*addrs) == 0 {
 		*addrs = append(*addrs, cl.addrs...)
 	}
-	c, err := tcpnet.Dial(cl.addrs, tcpnet.WithWire(wire))
+	c, err := tcpnet.DialContext(context.Background(), cl.addrs, tcpnet.WithWire(wire))
 	if err != nil {
 		return nil, wireServed{}, err
 	}
@@ -478,7 +478,7 @@ func wireCondOracle(o Options) error {
 		}
 		clients := make([]*lht.Index, 2)
 		for i, w := range wires {
-			c, err := tcpnet.Dial(cl.addrs, tcpnet.WithWire(w))
+			c, err := tcpnet.DialContext(context.Background(), cl.addrs, tcpnet.WithWire(w))
 			if err != nil {
 				return res, err
 			}
@@ -555,11 +555,20 @@ func wireCondOracle(o Options) error {
 	return nil
 }
 
-// Sweep dimensions: batched-operation cap and record payload size.
+// Sweep dimensions: batched-operation cap, record payload size, leaf
+// cache capacity, and query-arrival skew.
 var (
 	sweepBatchSizes = []int{1, 8, 64, 256}
 	sweepValueSizes = []int{16, 64, 256, 1024}
 	sweepSubstrates = []string{"local", "tcpnet", "tcpnet-gob"}
+	// sweepCacheSizes caps the leaf cache well below the default 4096 so
+	// eviction is visible at bench scale: a 2-bucket cache thrashes under
+	// uniform queries, a 128-bucket one holds the whole working set.
+	sweepCacheSizes = []int{2, 8, 32, 128}
+	// sweepSkews are Zipf exponents for the query arrival process (0 =
+	// uniform; the Zipf source needs s > 1): skew concentrates queries on
+	// hot keys, which a capacity-bounded cache absorbs.
+	sweepSkews = []float64{0, 1.01, 1.2, 1.5}
 )
 
 // sweepValueBase is the payload size held fixed while the batch-size
@@ -576,15 +585,18 @@ const (
 // map, tcpnet framed binary, tcpnet legacy gob} × batch size × leaf-cache
 // setting × value size.
 //
-// It emits three results. The first carries the deterministic cost rows
+// It emits five results. The first carries the deterministic cost rows
 // the CI perf gate diffs: round trips for the whole workload, per batch
 // size, cache on and off. Round trips are counted client-side (Lookups -
 // BatchedKeys + BatchOps), so they are identical across substrates and
 // value sizes by construction — the run fails if any cell diverges,
-// which pins the wire protocol to the cost model. The other two report
-// each substrate's measured throughput against batch size and value
-// size.
-func RunSweep(o Options, size int) (Result, Result, Result, error) {
+// which pins the wire protocol to the cost model. The second and third
+// report each substrate's measured throughput against batch size and
+// value size. The fourth and fifth sweep the client cache itself —
+// leaf-cache capacity under uniform queries, and query-arrival skew
+// (Zipf s) with the cache off and on — both deterministic round-trip
+// rows over the local substrate, also eligible for the gate.
+func RunSweep(o Options, size int) ([]Result, error) {
 	o = o.WithDefaults()
 	rt := Result{
 		Name:   "Sweep",
@@ -614,14 +626,14 @@ func RunSweep(o Options, size int) (Result, Result, Result, error) {
 		for _, cache := range []bool{false, true} {
 			var want float64
 			for i, sub := range sweepSubstrates {
-				cell, err := runSweepCell(o, sub, b, sweepValueBase, cache, size)
+				cell, err := runSweepCell(o, sub, b, sweepValueBase, cache, 0, 0, size)
 				if err != nil {
-					return rt, tpBatch, tpValue, fmt.Errorf("bench: sweep %s b=%d cache=%t: %w", sub, b, cache, err)
+					return nil, fmt.Errorf("bench: sweep %s b=%d cache=%t: %w", sub, b, cache, err)
 				}
 				if i == 0 {
 					want = cell.roundTrips
 				} else if cell.roundTrips != want {
-					return rt, tpBatch, tpValue, fmt.Errorf(
+					return nil, fmt.Errorf(
 						"bench: sweep round trips diverge at b=%d cache=%t: %s charges %g, %s charges %g",
 						b, cache, sweepSubstrates[0], want, sub, cell.roundTrips)
 				}
@@ -641,12 +653,12 @@ func RunSweep(o Options, size int) (Result, Result, Result, error) {
 	tp2Rows := map[string][]float64{}
 	for _, vs := range sweepValueSizes {
 		for _, sub := range sweepSubstrates {
-			cell, err := runSweepCell(o, sub, sweepBatchBase, vs, false, size)
+			cell, err := runSweepCell(o, sub, sweepBatchBase, vs, false, 0, 0, size)
 			if err != nil {
-				return rt, tpBatch, tpValue, fmt.Errorf("bench: sweep %s v=%d: %w", sub, vs, err)
+				return nil, fmt.Errorf("bench: sweep %s v=%d: %w", sub, vs, err)
 			}
 			if cell.roundTrips != rtBatchBase {
-				return rt, tpBatch, tpValue, fmt.Errorf(
+				return nil, fmt.Errorf(
 					"bench: sweep round trips moved with value size at %s v=%d: %g vs %g",
 					sub, vs, cell.roundTrips, rtBatchBase)
 			}
@@ -662,7 +674,54 @@ func RunSweep(o Options, size int) (Result, Result, Result, error) {
 		tpBatch.Series = append(tpBatch.Series, meanSeries(sub, bxs, [][]float64{tpRows[sub]}))
 		tpValue.Series = append(tpValue.Series, meanSeries(sub, float64s(sweepValueSizes), [][]float64{tp2Rows[sub]}))
 	}
-	return rt, tpBatch, tpValue, nil
+
+	// Cache-capacity dimension: the leaf cache capped at a few buckets up
+	// to the whole working set, uniform queries, local substrate. The
+	// deterministic round-trip rows pin the eviction policy: a bigger
+	// cache never costs more.
+	cacheRt := Result{
+		Name:   "Sweepd",
+		Title:  fmt.Sprintf("Cache sweep: round trips vs leaf-cache capacity (%d records + %d queries)", size, o.Queries),
+		XLabel: "leaf cache capacity (buckets)",
+		YLabel: "round trips",
+	}
+	var capRows []float64
+	for _, cap := range sweepCacheSizes {
+		cell, err := runSweepCell(o, "local", sweepBatchBase, sweepValueBase, true, cap, 0, size)
+		if err != nil {
+			return nil, fmt.Errorf("bench: cache sweep cap=%d: %w", cap, err)
+		}
+		capRows = append(capRows, cell.roundTrips)
+	}
+	cacheRt.Series = append(cacheRt.Series,
+		meanSeries("cache on", float64s(sweepCacheSizes), [][]float64{capRows}))
+
+	// Skew dimension: the query arrival process from uniform to heavily
+	// Zipfian, cache off and on, local substrate. Off, every query costs
+	// the same wherever it lands; on, skew concentrates arrivals on leaves
+	// a small cache can hold, so the gap between the rows is the cache's
+	// skew win — deterministic, gated.
+	skewRt := Result{
+		Name:   "Sweepe",
+		Title:  fmt.Sprintf("Skew sweep: round trips vs query skew (%d records + %d queries)", size, o.Queries),
+		XLabel: "query skew (Zipf s, 0 = uniform)",
+		YLabel: "round trips",
+	}
+	skewRows := map[bool][]float64{}
+	for _, s := range sweepSkews {
+		for _, cache := range []bool{false, true} {
+			cell, err := runSweepCell(o, "local", sweepBatchBase, sweepValueBase, cache, 0, s, size)
+			if err != nil {
+				return nil, fmt.Errorf("bench: skew sweep s=%g cache=%t: %w", s, cache, err)
+			}
+			skewRows[cache] = append(skewRows[cache], cell.roundTrips)
+		}
+	}
+	skewRt.Series = append(skewRt.Series,
+		meanSeries("cache off", sweepSkews, [][]float64{skewRows[false]}),
+		meanSeries("cache on", sweepSkews, [][]float64{skewRows[true]}))
+
+	return []Result{rt, tpBatch, tpValue, cacheRt, skewRt}, nil
 }
 
 // sweepCell is one parameter combination's measurement.
@@ -673,8 +732,9 @@ type sweepCell struct {
 
 // runSweepCell builds the substrate, runs the sweep workload through a
 // fresh index, and reports the client-observed round trips plus wall
-// throughput.
-func runSweepCell(o Options, substrate string, batch, valSize int, cache bool, size int) (sweepCell, error) {
+// throughput. cacheCap bounds the leaf cache (0 = the default capacity)
+// and skew shapes the query arrival process (0 = uniform, s > 1 Zipf).
+func runSweepCell(o Options, substrate string, batch, valSize int, cache bool, cacheCap int, skew float64, size int) (sweepCell, error) {
 	var d dht.DHT
 	switch substrate {
 	case "local":
@@ -689,7 +749,7 @@ func runSweepCell(o Options, substrate string, batch, valSize int, cache bool, s
 		if substrate == "tcpnet-gob" {
 			wire = tcpnet.WireGob
 		}
-		c, err := tcpnet.Dial(cl.addrs, tcpnet.WithWire(wire))
+		c, err := tcpnet.DialContext(context.Background(), cl.addrs, tcpnet.WithWire(wire))
 		if err != nil {
 			return sweepCell{}, err
 		}
@@ -711,6 +771,7 @@ func runSweepCell(o Options, substrate string, batch, valSize int, cache bool, s
 		Depth:          o.Depth,
 		BatchSize:      batch,
 		LeafCache:      cache,
+		LeafCacheSize:  cacheCap,
 		Aggregate:      o.Agg,
 	})
 	if err != nil {
@@ -721,9 +782,23 @@ func runSweepCell(o Options, substrate string, batch, valSize int, cache bool, s
 	if _, err := ix.BulkLoad(recs); err != nil {
 		return sweepCell{}, err
 	}
+	next := func() float64 { return 0 }
 	rng := rand.New(rand.NewSource(o.Seed + 101))
+	if skew > 0 {
+		keys := make([]float64, len(recs))
+		for i, r := range recs {
+			keys[i] = r.Key
+		}
+		arr, err := workload.NewArrivals(keys, skew, o.Seed+101)
+		if err != nil {
+			return sweepCell{}, err
+		}
+		next = arr.Next
+	} else {
+		next = func() float64 { return recs[rng.Intn(len(recs))].Key }
+	}
 	for q := 0; q < o.Queries; q++ {
-		if _, _, err := ix.Search(recs[rng.Intn(len(recs))].Key); err != nil {
+		if _, _, err := ix.Search(next()); err != nil {
 			return sweepCell{}, err
 		}
 	}

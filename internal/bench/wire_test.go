@@ -47,10 +47,14 @@ func TestRunWireAblation(t *testing.T) {
 // batching monotonically reduces the deterministic round-trip rows.
 func TestRunSweep(t *testing.T) {
 	o := Options{Theta: 16, Depth: 12, Trials: 1, Queries: 30, Seed: 1}
-	rt, tpBatch, tpValue, err := RunSweep(o, 128)
+	results, err := RunSweep(o, 128)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if len(results) != 5 {
+		t.Fatalf("RunSweep returned %d results, want 5", len(results))
+	}
+	rt, tpBatch, tpValue, cacheRt, skewRt := results[0], results[1], results[2], results[3], results[4]
 	if len(rt.Series) != 2 {
 		t.Fatalf("rt series = %d, want cache off + cache on", len(rt.Series))
 	}
@@ -74,6 +78,50 @@ func TestRunSweep(t *testing.T) {
 	}
 	if !gatedResult(rt) || gatedResult(tpBatch) || gatedResult(tpValue) {
 		t.Error("only the round-trip result may be eligible for the perf gate")
+	}
+
+	// The cache-capacity axis: deterministic, gated, and a bigger cache
+	// never costs more round trips.
+	if !gatedResult(cacheRt) {
+		t.Error("the cache-capacity sweep must be eligible for the perf gate")
+	}
+	capRow := cacheRt.Series[0]
+	if len(capRow.Points) != len(sweepCacheSizes) {
+		t.Fatalf("cache sweep has %d points, want %d", len(capRow.Points), len(sweepCacheSizes))
+	}
+	for i := 1; i < len(capRow.Points); i++ {
+		if capRow.Points[i].Y > capRow.Points[i-1].Y {
+			t.Errorf("cache sweep not monotone: capacity %g costs %g, capacity %g costs %g",
+				capRow.Points[i-1].X, capRow.Points[i-1].Y, capRow.Points[i].X, capRow.Points[i].Y)
+		}
+	}
+	if capRow.Points[0].Y <= capRow.Points[len(capRow.Points)-1].Y {
+		t.Errorf("a 2-bucket cache should thrash: %g round trips vs %g at capacity %d",
+			capRow.Points[0].Y, capRow.Points[len(capRow.Points)-1].Y, sweepCacheSizes[len(sweepCacheSizes)-1])
+	}
+
+	// The skew axis: gated; the cache never costs extra round trips at
+	// any skew, and under heavy skew — arrivals concentrated on leaves
+	// the cache holds — it strictly wins.
+	if !gatedResult(skewRt) {
+		t.Error("the skew sweep must be eligible for the perf gate")
+	}
+	for _, sr := range skewRt.Series {
+		if len(sr.Points) != len(sweepSkews) {
+			t.Fatalf("skew series %q has %d points, want %d", sr.Name, len(sr.Points), len(sweepSkews))
+		}
+	}
+	off, on := skewRt.Series[0], skewRt.Series[1]
+	for i := range sweepSkews {
+		if on.Points[i].Y > off.Points[i].Y {
+			t.Errorf("cache costs round trips at s=%g: on %g > off %g",
+				sweepSkews[i], on.Points[i].Y, off.Points[i].Y)
+		}
+	}
+	last := len(sweepSkews) - 1
+	if on.Points[last].Y >= off.Points[last].Y {
+		t.Errorf("cache does not win at s=%g: on %g vs off %g",
+			sweepSkews[last], on.Points[last].Y, off.Points[last].Y)
 	}
 }
 

@@ -65,6 +65,23 @@ const (
 	// commits may arrive in any order without an older commit ever
 	// overwriting a newer one. Crash schedules never match it directly.
 	OpPutNewer
+
+	// The membership-plane kinds are wire-level only and free in the cost
+	// model: they carry no index traffic, only cluster metadata. New wire
+	// ops must keep appending here — the byte values are the framed
+	// protocol's op bytes, so reordering the enum breaks wire stability.
+
+	// OpGossip is one anti-entropy membership exchange: the payload is the
+	// sender's encoded ClusterView, the response the receiver's merged one.
+	OpGossip
+	// OpHintPut parks a hinted handoff: an epoch-tagged value a writer
+	// could not deliver to its down holder, stored on a substitute node
+	// keyed by the intended holder's address, replayed via OpPutNewer when
+	// the holder returns.
+	OpHintPut
+	// OpStatus asks a node for its membership view plus its parked-hint
+	// backlog per intended holder.
+	OpStatus
 )
 
 // String names the kind for logs and test failures.
@@ -98,6 +115,12 @@ func (k OpKind) String() string {
 		return "writeif"
 	case OpPutNewer:
 		return "putnewer"
+	case OpGossip:
+		return "gossip"
+	case OpHintPut:
+		return "hintput"
+	case OpStatus:
+		return "status"
 	}
 	return "unknown"
 }

@@ -1,0 +1,150 @@
+package dht
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMemberStateString(t *testing.T) {
+	cases := map[MemberState]string{
+		MemberAlive:    "alive",
+		MemberSuspect:  "suspect",
+		MemberDead:     "dead",
+		MemberLeft:     "left",
+		MemberState(9): "state(9)",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", uint8(s), got, want)
+		}
+	}
+	if !MemberAlive.Routable() || !MemberSuspect.Routable() {
+		t.Error("alive and suspect must stay routable")
+	}
+	if MemberDead.Routable() || MemberLeft.Routable() {
+		t.Error("dead and left must not be routable")
+	}
+}
+
+func TestMemberSupersedes(t *testing.T) {
+	// Higher incarnation wins regardless of state: a refutation at
+	// incarnation 2 overrides a death rumor at incarnation 1.
+	alive2 := Member{Addr: "a", State: MemberAlive, Incarnation: 2}
+	dead1 := Member{Addr: "a", State: MemberDead, Incarnation: 1}
+	if !alive2.supersedes(dead1) {
+		t.Error("higher incarnation must supersede")
+	}
+	if dead1.supersedes(alive2) {
+		t.Error("stale death rumor must not supersede a refutation")
+	}
+	// Within one incarnation the worse state wins; equal claims do not
+	// supersede each other (merge must be idempotent).
+	suspect1 := Member{Addr: "a", State: MemberSuspect, Incarnation: 1}
+	alive1 := Member{Addr: "a", State: MemberAlive, Incarnation: 1}
+	if !suspect1.supersedes(alive1) {
+		t.Error("worse state must win within one incarnation")
+	}
+	if alive1.supersedes(suspect1) {
+		t.Error("equal-incarnation alive must not shout down suspicion")
+	}
+	if alive1.supersedes(alive1) {
+		t.Error("a claim must not supersede itself")
+	}
+}
+
+func TestViewUpsertKeepsSortedOrder(t *testing.T) {
+	var v ClusterView
+	for _, addr := range []string{"c", "a", "b"} {
+		if !v.Upsert(Member{Addr: addr, State: MemberAlive}) {
+			t.Fatalf("inserting %q should change the view", addr)
+		}
+	}
+	got := make([]string, len(v.Members))
+	for i, m := range v.Members {
+		got[i] = m.Addr
+	}
+	if want := []string{"a", "b", "c"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("members = %v, want sorted %v", got, want)
+	}
+	// Re-asserting the same claim is a no-op.
+	if v.Upsert(Member{Addr: "b", State: MemberAlive}) {
+		t.Error("idempotent upsert must report unchanged")
+	}
+	// A stale weaker claim is rejected.
+	v.Upsert(Member{Addr: "b", State: MemberDead, Incarnation: 0})
+	if v.Upsert(Member{Addr: "b", State: MemberAlive, Incarnation: 0}) {
+		t.Error("same-incarnation resurrection must be rejected")
+	}
+	if m, ok := v.Find("b"); !ok || m.State != MemberDead {
+		t.Fatalf("Find(b) = %+v, %v; want dead entry", m, ok)
+	}
+	if _, ok := v.Find("zz"); ok {
+		t.Error("Find of unknown addr must report absence")
+	}
+}
+
+func TestViewMergeConverges(t *testing.T) {
+	mk := func(ms ...Member) ClusterView {
+		var v ClusterView
+		for _, m := range ms {
+			v.Upsert(m)
+		}
+		return v
+	}
+	a := mk(
+		Member{Addr: "n1", State: MemberAlive, Incarnation: 1},
+		Member{Addr: "n2", State: MemberSuspect, Incarnation: 0},
+	)
+	a.Epoch = 4
+	b := mk(
+		Member{Addr: "n2", State: MemberAlive, Incarnation: 1}, // refutation
+		Member{Addr: "n3", State: MemberDead, Incarnation: 0},
+	)
+	b.Epoch = 2
+
+	ac, bc := a.Clone(), b.Clone()
+	if !ac.Merge(b) {
+		t.Fatal("merge with new info must report change")
+	}
+	if !bc.Merge(a) {
+		t.Fatal("reverse merge must also change")
+	}
+	if !reflect.DeepEqual(ac.Members, bc.Members) {
+		t.Fatalf("merge must converge:\n a+b = %+v\n b+a = %+v", ac.Members, bc.Members)
+	}
+	if ac.Epoch != bc.Epoch {
+		t.Fatalf("epochs diverged: %d vs %d", ac.Epoch, bc.Epoch)
+	}
+	if ac.Epoch <= 4 {
+		t.Fatalf("merged epoch %d must advance past max input epoch", ac.Epoch)
+	}
+	// A second identical exchange is a fixed point: no change, no epoch step.
+	before := ac.Epoch
+	if ac.Merge(bc) {
+		t.Error("merging an equal view must be a no-op")
+	}
+	if ac.Epoch != before {
+		t.Errorf("no-op merge moved the epoch %d -> %d", before, ac.Epoch)
+	}
+	if got, want := ac.Alive(), []string{"n1", "n2"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Alive() = %v, want %v", got, want)
+	}
+}
+
+func TestViewCloneIsDeep(t *testing.T) {
+	var v ClusterView
+	v.Upsert(Member{Addr: "a", State: MemberAlive})
+	c := v.Clone()
+	c.Upsert(Member{Addr: "a", State: MemberDead})
+	if m, _ := v.Find("a"); m.State != MemberAlive {
+		t.Fatal("mutating a clone leaked into the original")
+	}
+}
+
+func TestReplicaRepairAdd(t *testing.T) {
+	r := ReplicaRepair{Probes: 1, Missing: 1, Restored: 1}
+	r.Add(ReplicaRepair{Probes: 2, Missing: 3, Restored: 4})
+	if r != (ReplicaRepair{Probes: 3, Missing: 4, Restored: 5}) {
+		t.Fatalf("Add = %+v", r)
+	}
+}

@@ -2,6 +2,7 @@ package lht
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"math/rand"
 	"net"
@@ -55,7 +56,7 @@ func TestBatchedPathIsAnOracle(t *testing.T) {
 				t.Cleanup(func() { _ = srv.Close() })
 				addrs = append(addrs, ln.Addr().String())
 			}
-			c, err := tcpnet.Dial(addrs)
+			c, err := tcpnet.DialContext(context.Background(), addrs)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -138,6 +138,18 @@ type Config struct {
 	// disables hedging; negative is invalid.
 	HedgeAfter time.Duration
 
+	// Rereplicate extends Scrub with a re-replication pass when the
+	// substrate implements dht.Rereplicator (the tcpnet cluster client
+	// does): after the structural walk verifies the tree, every visited
+	// bucket key is probed on all of its ring owners and missing copies
+	// are restored from the highest-epoch survivor. The probe and restore
+	// round trips are charged to the scrub's cost (they bypass the
+	// instrumented stack, so Scrub accounts for them manually); query and
+	// mutation costs are untouched, keeping the paper's gated cost rows
+	// byte-identical. Off by default; a no-op on substrates without
+	// replication.
+	Rereplicate bool
+
 	// clock overrides the rate estimator's time source (UnixNano) so
 	// tests drive deterministic hot-split schedules. Nil means real time.
 	clock func() int64

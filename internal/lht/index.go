@@ -52,6 +52,7 @@ type Cost = metrics.Cost
 // substrate (Local, Chord, Kademlia and tcpnet all qualify).
 type Index struct {
 	d     dht.DHT
+	raw   dht.DHT // bare substrate, below all wrapping; membership probes
 	cfg   Config
 	c     *metrics.Counters
 	cache *leafCache   // nil unless Config.LeafCache
@@ -80,6 +81,7 @@ func New(d dht.DHT, cfg Config) (*Index, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	raw := d // keep the bare substrate for membership-plane interfaces
 	ctx := context.Background()
 	if _, err := d.Get(ctx, bitlabel.Root.Key()); err != nil {
 		if !errors.Is(err, dht.ErrNotFound) {
@@ -113,7 +115,7 @@ func New(d dht.DHT, cfg Config) (*Index, error) {
 		p.Counters = c
 		stack = dht.WithPolicy(stack, p)
 	}
-	ix := &Index{d: stack, cfg: cfg, c: c, now: cfg.clock}
+	ix := &Index{d: stack, raw: raw, cfg: cfg, c: c, now: cfg.clock}
 	if ix.now == nil {
 		ix.now = func() int64 { return time.Now().UnixNano() }
 	}

@@ -155,7 +155,7 @@ func TestMultiWriterOracle(t *testing.T) {
 	tcpArm := func(wire tcpnet.Wire) func(t *testing.T) dht.DHT {
 		return func(t *testing.T) dht.DHT {
 			addrs := startServers(t, 3)
-			c, err := tcpnet.Dial(addrs, tcpnet.WithWire(wire))
+			c, err := tcpnet.DialContext(context.Background(), addrs, tcpnet.WithWire(wire))
 			if err != nil {
 				t.Fatal(err)
 			}

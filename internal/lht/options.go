@@ -106,6 +106,12 @@ func WithHedgedGets(after time.Duration) Option {
 	return optionFunc(func(c *Config) { c.HedgeAfter = after })
 }
 
+// WithRereplication extends Scrub with a replica-repair pass on
+// substrates that implement dht.Rereplicator (see Config.Rereplicate).
+func WithRereplication(on bool) Option {
+	return optionFunc(func(c *Config) { c.Rereplicate = on })
+}
+
 // withClock overrides the rate estimator's time source for
 // deterministic tests (package-private on purpose).
 func withClock(now func() int64) Option {

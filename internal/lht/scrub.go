@@ -34,6 +34,14 @@ type ScrubReport struct {
 	// off); a gauge of where the hot-split plane is about to act, not a
 	// violation
 
+	// Replica-repair pass (Config.Rereplicate over a dht.Rereplicator
+	// substrate; all zero otherwise): per-owner existence probes issued,
+	// copies found missing from an owner, and copies restored from the
+	// highest-epoch surviving replica.
+	ReplicaProbes   int
+	ReplicaMissing  int
+	ReplicaRestored int
+
 	// Violations describes every invariant violation observed, including
 	// ones Scrub repaired; an entry prefixed with "unrepaired:" needs
 	// operator attention (typically lost data after unreplicated churn).
@@ -42,7 +50,9 @@ type ScrubReport struct {
 
 // Clean reports a fully consistent pass: nothing repaired, nothing to
 // report.
-func (r *ScrubReport) Clean() bool { return r.Repairs == 0 && len(r.Violations) == 0 }
+func (r *ScrubReport) Clean() bool {
+	return r.Repairs == 0 && r.ReplicaRestored == 0 && len(r.Violations) == 0
+}
 
 // String formats the report for logs and CLI output.
 func (r *ScrubReport) String() string {
@@ -50,6 +60,10 @@ func (r *ScrubReport) String() string {
 	fmt.Fprintf(&b, "scrub: %d leaves, %d records, %d DHT-lookups", r.Leaves, r.Records, r.Lookups)
 	if r.HotLeaves > 0 {
 		fmt.Fprintf(&b, ", %d hot", r.HotLeaves)
+	}
+	if r.ReplicaProbes > 0 {
+		fmt.Fprintf(&b, ", replicas %d probed/%d missing/%d restored",
+			r.ReplicaProbes, r.ReplicaMissing, r.ReplicaRestored)
 	}
 	if r.Clean() {
 		b.WriteString(", clean")
@@ -103,8 +117,9 @@ func (ix *Index) Scrub(ctx context.Context) (rep *ScrubReport, err error) {
 	}()
 
 	var strays []record.Record
+	var keys []string
 	for round := 0; round < maxScrubRounds; round++ {
-		again, err := ix.scrubWalk(ctx, rep, &cost, &strays)
+		again, err := ix.scrubWalk(ctx, rep, &cost, &strays, &keys)
 		if err != nil {
 			return rep, err
 		}
@@ -118,11 +133,17 @@ func (ix *Index) Scrub(ctx context.Context) (rep *ScrubReport, err error) {
 					return rep, fmt.Errorf("lht: scrub relocate %g: %w", r.Key, err)
 				}
 			}
+			// With the tiling verified, the visited keys are exactly the
+			// live storage keys: restore any replica copies churn lost.
+			if err := ix.scrubRereplicate(ctx, keys, rep, &cost); err != nil {
+				return rep, err
+			}
 			return rep, nil
 		}
 		// A structural repair changed the region already walked; start
 		// over (repairs are idempotent, so re-walking is safe).
 		rep.Leaves, rep.Records, rep.HotLeaves = 0, 0, 0
+		keys = keys[:0]
 	}
 	return rep, fmt.Errorf("%w: scrub did not converge after %d rounds", ErrCorrupt, maxScrubRounds)
 }
@@ -130,7 +151,7 @@ func (ix *Index) Scrub(ctx context.Context) (rep *ScrubReport, err error) {
 // scrubWalk performs one left-to-right pass. It returns again=true when a
 // repair changed structure behind the walk position, asking Scrub to
 // restart the pass.
-func (ix *Index) scrubWalk(ctx context.Context, rep *ScrubReport, cost *Cost, strays *[]record.Record) (again bool, err error) {
+func (ix *Index) scrubWalk(ctx context.Context, rep *ScrubReport, cost *Cost, strays *[]record.Record, keys *[]string) (again bool, err error) {
 	// Walk fetches are probe traffic; repairTorn re-attributes its own
 	// lookups to PhaseRepair.
 	ctx = metrics.WithPhase(ctx, metrics.PhaseProbe)
@@ -227,6 +248,7 @@ func (ix *Index) scrubWalk(ctx context.Context, rep *ScrubReport, cost *Cost, st
 
 		rep.Leaves++
 		rep.Records += len(b.Records)
+		*keys = append(*keys, key)
 		if ix.rateHot(b) {
 			rep.HotLeaves++
 		}
@@ -266,6 +288,48 @@ func (ix *Index) scrubFetch(ctx context.Context, key string, cost *Cost) (*Bucke
 		b, err = ix.repairTorn(ctx, key, b, cost)
 	}
 	return b, err
+}
+
+// scrubRereplicate restores the replica count of every live storage key
+// after the structural walk verified the tree. It is a no-op unless
+// Config.Rereplicate is set and the bare substrate implements
+// dht.Rereplicator (the tcpnet cluster client). The repair traffic
+// bypasses the instrumented stack — EnsureReplicated speaks raw tagged
+// bytes below the codec — so its per-owner probes and restores are
+// charged to the scrub's cost here, one lookup per round trip, keeping
+// the global counters honest while leaving every query/mutation cost row
+// untouched.
+//
+// A key whose owners are all unreachable is reported as an unrepaired
+// violation rather than failing the scrub: the structural verdict above
+// it is still valid, and the next pass retries.
+func (ix *Index) scrubRereplicate(ctx context.Context, keys []string, rep *ScrubReport, cost *Cost) error {
+	rr, ok := ix.rereplicator()
+	if !ok {
+		return nil
+	}
+	for _, k := range keys {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("lht: scrub re-replication: %w", err)
+		}
+		r, err := rr.EnsureReplicated(ctx, k)
+		trips := r.Probes + r.Restored
+		cost.Lookups += trips
+		cost.Steps += trips
+		ix.c.AddLookups(int64(trips))
+		ix.c.AddPhaseLookups(metrics.OpScrub, metrics.PhaseRepair, int64(trips))
+		rep.ReplicaProbes += r.Probes
+		rep.ReplicaMissing += r.Missing
+		rep.ReplicaRestored += r.Restored
+		if err != nil {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("unrepaired: re-replication of key %s: %v", k, err))
+		} else if r.Missing > r.Restored {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("unrepaired: key %s still missing %d replica cop(ies)", k, r.Missing-r.Restored))
+		}
+	}
+	return nil
 }
 
 // scrubShadow probes the leaf's own label key. A consistent tree stores

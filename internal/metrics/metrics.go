@@ -79,6 +79,13 @@ type Counters struct {
 	breakerFastFails atomic.Int64 // operations rejected instantly by an open breaker
 	failovers        atomic.Int64 // reads rerouted off an unhealthy primary holder
 
+	gossipRounds   atomic.Int64 // anti-entropy membership exchanges performed
+	viewRefreshes  atomic.Int64 // membership views applied to a client's routing ring
+	hintsParked    atomic.Int64 // hinted handoffs parked for an unreachable holder
+	hintsReplayed  atomic.Int64 // parked hints delivered to their returned holder
+	replicaProbes  atomic.Int64 // per-holder existence probes issued by re-replication
+	replicaRepairs atomic.Int64 // missing replica copies restored on their owners
+
 	opCount [NumOps]atomic.Int64            // completed index operations per class
 	opErrs  [NumOps]atomic.Int64            // subset of opCount that returned an error
 	opLat   [NumOps]Histogram               // end-to-end latency per class
@@ -336,6 +343,55 @@ func (c *Counters) AddFailovers(n int64) {
 	}
 }
 
+// AddGossipRounds adds n anti-entropy membership exchanges: one gossip
+// round trip between two nodes, successful or not.
+func (c *Counters) AddGossipRounds(n int64) {
+	for ; c != nil; c = c.parent {
+		c.gossipRounds.Add(n)
+	}
+}
+
+// AddViewRefreshes adds n view refreshes: membership views a client
+// pulled from the cluster and applied to its routing ring.
+func (c *Counters) AddViewRefreshes(n int64) {
+	for ; c != nil; c = c.parent {
+		c.viewRefreshes.Add(n)
+	}
+}
+
+// AddHintsParked adds n hinted handoffs: epoch-tagged writes a fan-out
+// could not deliver to their holder, parked on a substitute node for
+// replay when the holder returns.
+func (c *Counters) AddHintsParked(n int64) {
+	for ; c != nil; c = c.parent {
+		c.hintsParked.Add(n)
+	}
+}
+
+// AddHintsReplayed adds n hint replays: parked hinted handoffs delivered
+// to their returned holder through the epoch-ordered store.
+func (c *Counters) AddHintsReplayed(n int64) {
+	for ; c != nil; c = c.parent {
+		c.hintsReplayed.Add(n)
+	}
+}
+
+// AddReplicaProbes adds n re-replication probes: per-holder existence
+// checks EnsureReplicated issued while auditing a key's replica set.
+func (c *Counters) AddReplicaProbes(n int64) {
+	for ; c != nil; c = c.parent {
+		c.replicaProbes.Add(n)
+	}
+}
+
+// AddReplicaRepairs adds n replica repairs: missing copies re-stored on
+// their ring owners by re-replication.
+func (c *Counters) AddReplicaRepairs(n int64) {
+	for ; c != nil; c = c.parent {
+		c.replicaRepairs.Add(n)
+	}
+}
+
 // AddPhaseLookups attributes n already-counted lookups to the (op, phase)
 // cell of the attribution matrix. The instrumentation layer calls this
 // alongside AddLookups with the labels it read from the context, so the
@@ -371,15 +427,16 @@ func (c *Counters) ObserveOp(op Op, d time.Duration, failed bool) {
 // phase attribution (Latency). Flat returns the same numbers as a flat
 // struct for column-oriented consumers.
 type Snapshot struct {
-	Lookup  LookupCounts
-	Cache   CacheCounts
-	Retry   RetryCounts
-	Batch   BatchCounts
-	Repair  RepairCounts
-	Write   WriteCounts
-	Load    LoadCounts
-	Health  HealthCounts
-	Latency LatencyStats
+	Lookup     LookupCounts
+	Cache      CacheCounts
+	Retry      RetryCounts
+	Batch      BatchCounts
+	Repair     RepairCounts
+	Write      WriteCounts
+	Load       LoadCounts
+	Health     HealthCounts
+	Membership MembershipCounts
+	Latency    LatencyStats
 }
 
 // LookupCounts are the paper's bandwidth-model counters.
@@ -443,6 +500,19 @@ type HealthCounts struct {
 	BreakerOpens     int64 // circuit-breaker transitions into the open state
 	BreakerFastFails int64 // operations rejected instantly by an open breaker
 	Failovers        int64 // reads rerouted off an unhealthy holder
+}
+
+// MembershipCounts are the self-healing-membership-plane counters:
+// gossip keeping every view current, hinted handoff bridging transient
+// holder outages, and re-replication restoring replica count after
+// permanent ones.
+type MembershipCounts struct {
+	GossipRounds   int64 // anti-entropy membership exchanges performed
+	ViewRefreshes  int64 // membership views applied to a client's routing ring
+	HintsParked    int64 // hinted handoffs parked for an unreachable holder
+	HintsReplayed  int64 // parked hints delivered to their returned holder
+	ReplicaProbes  int64 // per-holder existence probes issued by re-replication
+	ReplicaRepairs int64 // missing replica copies restored on their owners
 }
 
 // OpStats are the per-operation-class observations: how many operations
@@ -524,6 +594,14 @@ func (c *Counters) Snapshot() Snapshot {
 			BreakerFastFails: c.breakerFastFails.Load(),
 			Failovers:        c.failovers.Load(),
 		},
+		Membership: MembershipCounts{
+			GossipRounds:   c.gossipRounds.Load(),
+			ViewRefreshes:  c.viewRefreshes.Load(),
+			HintsParked:    c.hintsParked.Load(),
+			HintsReplayed:  c.hintsReplayed.Load(),
+			ReplicaProbes:  c.replicaProbes.Load(),
+			ReplicaRepairs: c.replicaRepairs.Load(),
+		},
 	}
 	for op := Op(0); op < NumOps; op++ {
 		o := &s.Latency.Ops[op]
@@ -569,6 +647,12 @@ func (c *Counters) Reset() {
 	c.breakerOpens.Store(0)
 	c.breakerFastFails.Store(0)
 	c.failovers.Store(0)
+	c.gossipRounds.Store(0)
+	c.viewRefreshes.Store(0)
+	c.hintsParked.Store(0)
+	c.hintsReplayed.Store(0)
+	c.replicaProbes.Store(0)
+	c.replicaRepairs.Store(0)
 	for op := Op(0); op < NumOps; op++ {
 		c.opCount[op].Store(0)
 		c.opErrs[op].Store(0)
@@ -628,6 +712,14 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 			BreakerFastFails: s.Health.BreakerFastFails - prev.Health.BreakerFastFails,
 			Failovers:        s.Health.Failovers - prev.Health.Failovers,
 		},
+		Membership: MembershipCounts{
+			GossipRounds:   s.Membership.GossipRounds - prev.Membership.GossipRounds,
+			ViewRefreshes:  s.Membership.ViewRefreshes - prev.Membership.ViewRefreshes,
+			HintsParked:    s.Membership.HintsParked - prev.Membership.HintsParked,
+			HintsReplayed:  s.Membership.HintsReplayed - prev.Membership.HintsReplayed,
+			ReplicaProbes:  s.Membership.ReplicaProbes - prev.Membership.ReplicaProbes,
+			ReplicaRepairs: s.Membership.ReplicaRepairs - prev.Membership.ReplicaRepairs,
+		},
 	}
 	for op := Op(0); op < NumOps; op++ {
 		a, b := s.Latency.Ops[op], prev.Latency.Ops[op]
@@ -681,6 +773,13 @@ type FlatSnapshot struct {
 	BreakerOpens     int64 `json:"breaker_opens"`
 	BreakerFastFails int64 `json:"breaker_fast_fails"`
 	Failovers        int64 `json:"failovers"`
+
+	GossipRounds   int64 `json:"gossip_rounds"`
+	ViewRefreshes  int64 `json:"view_refreshes"`
+	HintsParked    int64 `json:"hints_parked"`
+	HintsReplayed  int64 `json:"hints_replayed"`
+	ReplicaProbes  int64 `json:"replica_probes"`
+	ReplicaRepairs int64 `json:"replica_repairs"`
 }
 
 // Flat returns the snapshot's counters under their flat legacy names.
@@ -723,6 +822,13 @@ func (s Snapshot) Flat() FlatSnapshot {
 		BreakerOpens:     s.Health.BreakerOpens,
 		BreakerFastFails: s.Health.BreakerFastFails,
 		Failovers:        s.Health.Failovers,
+
+		GossipRounds:   s.Membership.GossipRounds,
+		ViewRefreshes:  s.Membership.ViewRefreshes,
+		HintsParked:    s.Membership.HintsParked,
+		HintsReplayed:  s.Membership.HintsReplayed,
+		ReplicaProbes:  s.Membership.ReplicaProbes,
+		ReplicaRepairs: s.Membership.ReplicaRepairs,
 	}
 }
 
@@ -768,5 +874,12 @@ func (s FlatSnapshot) Sub(prev FlatSnapshot) FlatSnapshot {
 		BreakerOpens:     s.BreakerOpens - prev.BreakerOpens,
 		BreakerFastFails: s.BreakerFastFails - prev.BreakerFastFails,
 		Failovers:        s.Failovers - prev.Failovers,
+
+		GossipRounds:   s.GossipRounds - prev.GossipRounds,
+		ViewRefreshes:  s.ViewRefreshes - prev.ViewRefreshes,
+		HintsParked:    s.HintsParked - prev.HintsParked,
+		HintsReplayed:  s.HintsReplayed - prev.HintsReplayed,
+		ReplicaProbes:  s.ReplicaProbes - prev.ReplicaProbes,
+		ReplicaRepairs: s.ReplicaRepairs - prev.ReplicaRepairs,
 	}
 }

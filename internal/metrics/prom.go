@@ -47,6 +47,12 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	counter("lht_breaker_opens_total", "Circuit-breaker transitions into the open state.", s.Health.BreakerOpens)
 	counter("lht_breaker_fast_fails_total", "Operations rejected instantly by an open breaker.", s.Health.BreakerFastFails)
 	counter("lht_failovers_total", "Reads rerouted off an unhealthy holder.", s.Health.Failovers)
+	counter("lht_gossip_rounds_total", "Anti-entropy membership exchanges performed.", s.Membership.GossipRounds)
+	counter("lht_view_refreshes_total", "Membership views applied to a client routing ring.", s.Membership.ViewRefreshes)
+	counter("lht_hints_parked_total", "Hinted handoffs parked for an unreachable holder.", s.Membership.HintsParked)
+	counter("lht_hints_replayed_total", "Parked hints delivered to their returned holder.", s.Membership.HintsReplayed)
+	counter("lht_replica_probes_total", "Per-holder existence probes issued by re-replication.", s.Membership.ReplicaProbes)
+	counter("lht_replica_repairs_total", "Missing replica copies restored on their owners.", s.Membership.ReplicaRepairs)
 
 	active := func(o OpStats) bool { return o.Count != 0 || o.Lookups() != 0 }
 

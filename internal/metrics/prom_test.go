@@ -41,6 +41,12 @@ func goldenCounters() *Counters {
 	c.AddBreakerOpens(2)
 	c.AddBreakerFastFails(4)
 	c.AddFailovers(2)
+	c.AddGossipRounds(5)
+	c.AddViewRefreshes(2)
+	c.AddHintsParked(3)
+	c.AddHintsReplayed(2)
+	c.AddReplicaProbes(9)
+	c.AddReplicaRepairs(1)
 	c.AddPhaseLookups(OpGet, PhaseProbe, 7)
 	c.AddPhaseLookups(OpGet, PhaseRetry, 1)
 	c.AddPhaseLookups(OpRange, PhaseForward, 4)
@@ -137,6 +143,24 @@ lht_breaker_fast_fails_total 4
 # HELP lht_failovers_total Reads rerouted off an unhealthy holder.
 # TYPE lht_failovers_total counter
 lht_failovers_total 2
+# HELP lht_gossip_rounds_total Anti-entropy membership exchanges performed.
+# TYPE lht_gossip_rounds_total counter
+lht_gossip_rounds_total 5
+# HELP lht_view_refreshes_total Membership views applied to a client routing ring.
+# TYPE lht_view_refreshes_total counter
+lht_view_refreshes_total 2
+# HELP lht_hints_parked_total Hinted handoffs parked for an unreachable holder.
+# TYPE lht_hints_parked_total counter
+lht_hints_parked_total 3
+# HELP lht_hints_replayed_total Parked hints delivered to their returned holder.
+# TYPE lht_hints_replayed_total counter
+lht_hints_replayed_total 2
+# HELP lht_replica_probes_total Per-holder existence probes issued by re-replication.
+# TYPE lht_replica_probes_total counter
+lht_replica_probes_total 9
+# HELP lht_replica_repairs_total Missing replica copies restored on their owners.
+# TYPE lht_replica_repairs_total counter
+lht_replica_repairs_total 1
 # HELP lht_op_total Completed index operations per class.
 # TYPE lht_op_total counter
 lht_op_total{op="get"} 2

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lht/internal/dht"
 	"lht/internal/hashring"
@@ -39,7 +40,52 @@ func ParseWire(s string) (Wire, error) {
 	return 0, fmt.Errorf("tcpnet: unknown wire format %q (have binary, gob)", s)
 }
 
+// ClusterConfig is the one-stop cluster client configuration: the Dial
+// entry point takes it whole, replacing the accreted option list
+// (WithReplicas/WithHealth/WithDialer/...), which survives only as the
+// deprecated DialContext compat path. The zero value of every field is a
+// sensible default; only Seeds is required.
+type ClusterConfig struct {
+	// Seeds are the bootstrap node addresses. With membership gossip
+	// running on the servers they are only the first view — RefreshView
+	// (or the RefreshInterval loop) grows and shrinks the routing ring as
+	// the gossiped view changes. Without gossip they are the static
+	// member list, exactly as before.
+	Seeds []string
+	// Wire selects the wire format (default WireBinary).
+	Wire Wire
+	// PoolSize is the number of multiplexed connections per node (default
+	// 2; ignored by WireGob).
+	PoolSize int
+	// Replicas stores each key on this many consecutive ring members
+	// (default 1 = unreplicated). Requires the binary wire.
+	Replicas int
+	// Counters chains the client's counters onto a shared metrics sink.
+	Counters *metrics.Counters
+	// Dialer replaces the transport factory (nil = plain net.Dialer); the
+	// netchaos plane injects here.
+	Dialer ContextDialer
+	// Health enables the per-node circuit-breaker plane (see WithHealth).
+	Health *dht.BreakerConfig
+	// DegradedStart lets construction succeed with part of the cluster
+	// down (dead nodes start with open breakers). Implies Health.
+	DegradedStart bool
+	// HintedHandoff parks put-like fan-outs that fail against a down
+	// holder on a reachable node instead of surfacing the fault: the park
+	// (OpHintPut) tags the value with its epoch, and the holding node
+	// replays it to the returned holder over the epoch-ordered putnewer
+	// path. Requires Replicas > 1.
+	HintedHandoff bool
+	// RefreshInterval, when positive, runs a background loop calling
+	// RefreshView at that period, keeping the routing ring synced to the
+	// servers' gossiped membership view. Zero leaves refresh manual.
+	RefreshInterval time.Duration
+}
+
 // Option tunes a Client at dial time.
+//
+// Deprecated: options configure the legacy DialContext path; new code
+// should fill a ClusterConfig and call Dial.
 type Option func(*clientOptions)
 
 type clientOptions struct {
@@ -113,12 +159,45 @@ func WithDegradedStart() Option { return func(o *clientOptions) { o.degraded = t
 // redials lazily, health-checking the fresh connection with a ping.
 type Client struct {
 	wire     Wire
-	nodes    []*clientNode // sorted by ring ID
-	replicas int           // holders per key; 1 = unreplicated
+	replicas int // holders per key; 1 = unreplicated
 	counters *metrics.Counters
+	opts     clientOptions // retained to build nodes for members the view adds
+	hinted   bool          // hinted handoff enabled
+
+	// ring is the current routing ring. It is replaced wholesale (never
+	// mutated) when a membership view refresh changes the member set, so
+	// in-flight operations keep a consistent snapshot.
+	ring atomic.Pointer[memberRing]
+
+	// view is the client's local membership view: seeded from the
+	// bootstrap list, fed suspicion by breaker opens, and merged with a
+	// server's gossiped view on every RefreshView.
+	viewMu sync.Mutex
+	view   dht.ClusterView
+
+	// debt tracks keys with a missing, not-yet-restored replica copy per
+	// node address (fed by EnsureReplicated; read by ClusterStatus).
+	debtMu sync.Mutex
+	debt   map[string]map[string]struct{}
+
+	refreshCancel context.CancelFunc
+	refreshWG     sync.WaitGroup
 
 	readSeq     atomic.Uint64 // read-spreading rotation sequence
 	spreadReads atomic.Int64  // reads started at a non-primary holder
+}
+
+// memberRing is one immutable routing-ring snapshot.
+type memberRing struct {
+	nodes []*clientNode // sorted by ring ID
+}
+
+// ringNodes returns the current ring snapshot's nodes.
+func (c *Client) ringNodes() []*clientNode {
+	if r := c.ring.Load(); r != nil {
+		return r.nodes
+	}
+	return nil
 }
 
 var (
@@ -148,24 +227,29 @@ func (n *clientNode) pick() *mconn {
 	return n.conns[int(n.next.Add(1))%len(n.conns)]
 }
 
-// Dial builds a client for the given node addresses with no deadline; see
-// DialContext.
-func Dial(addrs []string, opts ...Option) (*Client, error) {
-	return DialContext(context.Background(), addrs, opts...)
-}
-
-// DialContext builds a client for the given node addresses and verifies
-// every node answers a ping, probing all nodes concurrently: the slowest
-// node bounds startup instead of the sum of all nodes, and the first hard
-// error cancels the remaining probes and is surfaced. The context bounds
-// the verification; later operations carry their own contexts.
-func DialContext(ctx context.Context, addrs []string, opts ...Option) (*Client, error) {
-	if len(addrs) == 0 {
+// Dial builds a cluster client from cfg and verifies every seed node
+// answers a ping, probing all nodes concurrently: the slowest node bounds
+// startup instead of the sum of all nodes, and the first hard error
+// cancels the remaining probes and is surfaced. The context bounds the
+// verification; later operations carry their own contexts.
+//
+// This is the canonical constructor; DialContext and the Option list are
+// its deprecated compat form.
+func Dial(ctx context.Context, cfg ClusterConfig) (*Client, error) {
+	if len(cfg.Seeds) == 0 {
 		return nil, errors.New("tcpnet: no node addresses")
 	}
-	o := clientOptions{wire: WireBinary, poolSize: 2}
-	for _, opt := range opts {
-		opt(&o)
+	o := clientOptions{
+		wire:     cfg.Wire,
+		poolSize: cfg.PoolSize,
+		replicas: cfg.Replicas,
+		counters: cfg.Counters,
+		dialer:   cfg.Dialer,
+		health:   cfg.Health,
+		degraded: cfg.DegradedStart,
+	}
+	if o.poolSize == 0 {
+		o.poolSize = 2
 	}
 	if o.poolSize < 1 {
 		o.poolSize = 1
@@ -174,62 +258,110 @@ func DialContext(ctx context.Context, addrs []string, opts ...Option) (*Client, 
 		o.replicas = 1
 	}
 	if o.replicas > 1 && o.wire == WireGob {
-		return nil, errors.New("tcpnet: WithReplicas requires the binary wire")
+		return nil, errors.New("tcpnet: replication requires the binary wire")
+	}
+	if cfg.HintedHandoff && o.replicas < 2 {
+		return nil, errors.New("tcpnet: hinted handoff requires replication")
 	}
 	if o.degraded && o.health == nil {
 		o.health = &dht.BreakerConfig{}
 	}
-	c := &Client{wire: o.wire, replicas: o.replicas, counters: o.counters}
-	seen := make(map[string]bool, len(addrs))
-	for _, a := range addrs {
+	c := &Client{
+		wire:     o.wire,
+		replicas: o.replicas,
+		counters: o.counters,
+		opts:     o,
+		hinted:   cfg.HintedHandoff,
+	}
+	seen := make(map[string]bool, len(cfg.Seeds))
+	var nodes []*clientNode
+	for _, a := range cfg.Seeds {
 		if seen[a] {
 			return nil, fmt.Errorf("tcpnet: duplicate node %q", a)
 		}
 		seen[a] = true
-		n := &clientNode{id: hashring.HashAddr(a), addr: a, counters: o.counters}
-		if o.health != nil {
-			cfg := *o.health
-			if cfg.Seed == 0 {
-				// Distinct deterministic jitter stream per node.
-				cfg.Seed = int64(n.id) | 1
-			}
-			prev := cfg.OnOpen
-			cfg.OnOpen = func() {
-				o.counters.AddBreakerOpens(1)
-				if prev != nil {
-					prev()
-				}
-			}
-			n.br = dht.NewBreaker(cfg)
-		}
-		if o.wire == WireGob {
-			n.gc = &gobConn{addr: a, dial: o.dialer, gate: redialGate{br: n.br}}
-		} else {
-			for i := 0; i < o.poolSize; i++ {
-				n.conns = append(n.conns, &mconn{addr: a, dial: o.dialer, gate: redialGate{br: n.br}})
-			}
-		}
-		c.nodes = append(c.nodes, n)
+		nodes = append(nodes, c.newNode(a))
+		// The bootstrap list seeds the local view; gossip grows it.
+		c.view.Upsert(dht.Member{Addr: a, State: dht.MemberAlive})
 	}
 	// Validated against the built member list, after the duplicate check:
 	// the replica count must never exceed the number of distinct nodes, or
 	// owners() would hand out short holder sets and the per-rank batch
 	// fan-out would index past them.
-	if o.replicas > len(c.nodes) {
-		return nil, fmt.Errorf("tcpnet: %d replicas exceed the %d-node cluster", o.replicas, len(c.nodes))
+	if o.replicas > len(nodes) {
+		return nil, fmt.Errorf("tcpnet: %d replicas exceed the %d-node cluster", o.replicas, len(nodes))
 	}
-	sort.Slice(c.nodes, func(i, j int) bool { return c.nodes[i].id < c.nodes[j].id })
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].id < nodes[j].id })
+	c.ring.Store(&memberRing{nodes: nodes})
 
 	if o.degraded {
 		if err := c.verifyDegraded(ctx); err != nil {
 			_ = c.Close()
 			return nil, err
 		}
-		return c, nil
+	} else if err := c.verifyAll(ctx, nodes); err != nil {
+		_ = c.Close()
+		return nil, err
 	}
+	if cfg.RefreshInterval > 0 {
+		rctx, cancel := context.WithCancel(context.Background())
+		c.refreshCancel = cancel
+		c.refreshWG.Add(1)
+		go func() {
+			defer c.refreshWG.Done()
+			t := time.NewTicker(cfg.RefreshInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-rctx.Done():
+					return
+				case <-t.C:
+					_ = c.RefreshView(rctx)
+				}
+			}
+		}()
+	}
+	return c, nil
+}
 
-	// Probe all members concurrently; the first failure wins and cancels
-	// the rest, so one dead node surfaces at its own dial latency.
+// newNode builds one member's connection state from the client's retained
+// dial options. Used at construction and again whenever a view refresh
+// admits a new member.
+func (c *Client) newNode(a string) *clientNode {
+	o := c.opts
+	n := &clientNode{id: hashring.HashAddr(a), addr: a, counters: o.counters}
+	if o.health != nil {
+		cfg := *o.health
+		if cfg.Seed == 0 {
+			// Distinct deterministic jitter stream per node.
+			cfg.Seed = int64(n.id) | 1
+		}
+		prev := cfg.OnOpen
+		counters := o.counters
+		cfg.OnOpen = func() {
+			counters.AddBreakerOpens(1)
+			// An opened breaker is local evidence of failure: mark the
+			// member suspect so the next gossip exchange spreads the doubt.
+			c.markSuspect(a)
+			if prev != nil {
+				prev()
+			}
+		}
+		n.br = dht.NewBreaker(cfg)
+	}
+	if o.wire == WireGob {
+		n.gc = &gobConn{addr: a, dial: o.dialer, gate: redialGate{br: n.br}}
+	} else {
+		for i := 0; i < o.poolSize; i++ {
+			n.conns = append(n.conns, &mconn{addr: a, dial: o.dialer, gate: redialGate{br: n.br}})
+		}
+	}
+	return n
+}
+
+// verifyAll probes all members concurrently; the first failure wins and
+// cancels the rest, so one dead node surfaces at its own dial latency.
+func (c *Client) verifyAll(ctx context.Context, nodes []*clientNode) error {
 	vctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var (
@@ -237,7 +369,7 @@ func DialContext(ctx context.Context, addrs []string, opts ...Option) (*Client, 
 		firstErr error
 		wg       sync.WaitGroup
 	)
-	for _, n := range c.nodes {
+	for _, n := range nodes {
 		wg.Add(1)
 		go func(n *clientNode) {
 			defer wg.Done()
@@ -254,11 +386,29 @@ func DialContext(ctx context.Context, addrs []string, opts ...Option) (*Client, 
 		}(n)
 	}
 	wg.Wait()
-	if firstErr != nil {
-		_ = c.Close()
-		return nil, firstErr
+	return firstErr
+}
+
+// DialContext builds a client from a bootstrap address list plus options.
+//
+// Deprecated: this is the pre-ClusterConfig constructor, kept so existing
+// call sites migrate mechanically. New code should call Dial with a
+// ClusterConfig.
+func DialContext(ctx context.Context, addrs []string, opts ...Option) (*Client, error) {
+	o := clientOptions{wire: WireBinary, poolSize: 2}
+	for _, opt := range opts {
+		opt(&o)
 	}
-	return c, nil
+	return Dial(ctx, ClusterConfig{
+		Seeds:         addrs,
+		Wire:          o.wire,
+		PoolSize:      o.poolSize,
+		Replicas:      o.replicas,
+		Counters:      o.counters,
+		Dialer:        o.dialer,
+		Health:        o.health,
+		DegradedStart: o.degraded,
+	})
 }
 
 // verify dials and pings one node on the appropriate wire.
@@ -271,10 +421,15 @@ func (c *Client) verify(ctx context.Context, n *clientNode) error {
 	return n.conns[0].connect(ctx)
 }
 
-// Close tears down all connections.
+// Close stops the view-refresh loop (if any) and tears down all
+// connections.
 func (c *Client) Close() error {
+	if c.refreshCancel != nil {
+		c.refreshCancel()
+		c.refreshWG.Wait()
+	}
 	var first error
-	for _, n := range c.nodes {
+	for _, n := range c.ringNodes() {
 		for _, m := range n.conns {
 			m.close()
 		}
@@ -290,12 +445,13 @@ func (c *Client) Close() error {
 // owner returns the node responsible for key: the first node clockwise
 // from hash(key).
 func (c *Client) owner(key string) *clientNode {
+	nodes := c.ringNodes()
 	h := hashring.HashKey(key)
-	i := sort.Search(len(c.nodes), func(i int) bool { return c.nodes[i].id >= h })
-	if i == len(c.nodes) {
+	i := sort.Search(len(nodes), func(i int) bool { return nodes[i].id >= h })
+	if i == len(nodes) {
 		i = 0
 	}
-	return c.nodes[i]
+	return nodes[i]
 }
 
 // MaxInFlight reports the highest number of requests any single
@@ -303,7 +459,7 @@ func (c *Client) owner(key string) *clientNode {
 // reached. Zero on the gob wire, which cannot pipeline.
 func (c *Client) MaxInFlight() int {
 	max := 0
-	for _, n := range c.nodes {
+	for _, n := range c.ringNodes() {
 		for _, m := range n.conns {
 			if h := m.maxInFlight(); h > max {
 				max = h
@@ -313,10 +469,11 @@ func (c *Client) MaxInFlight() int {
 	return max
 }
 
-// NodeAddrs returns the member addresses in ring order.
+// NodeAddrs returns the current member addresses in ring order.
 func (c *Client) NodeAddrs() []string {
-	out := make([]string, len(c.nodes))
-	for i, n := range c.nodes {
+	nodes := c.ringNodes()
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
 		out[i] = n.addr
 	}
 	return out

@@ -1,0 +1,418 @@
+package tcpnet
+
+// Client-side membership: the Client keeps a local dht.ClusterView
+// (seeded from the bootstrap list, fed suspicion by its own circuit
+// breakers) and syncs it with the servers' gossiped view through
+// RefreshView — one OpGossip exchange with the first reachable member,
+// exactly the anti-entropy protocol the servers run among themselves, so
+// the client is just one more gossip participant that happens to hold no
+// data. A refresh that changes the routable member set rebuilds the
+// routing ring: new members get fresh connection state, members the view
+// declared dead or left are closed and dropped, and every in-flight
+// operation keeps the immutable ring snapshot it started with.
+//
+// On top of the view sit the two repair capabilities the index layer
+// discovers by type assertion: EnsureReplicated (dht.Rereplicator)
+// restores a key's missing replica copies from the freshest surviving
+// one, and ClusterStatus (dht.ClusterReporter) joins the gossiped view
+// with the client's local health plane for operator introspection.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"lht/internal/dht"
+)
+
+var (
+	_ dht.Rereplicator    = (*Client)(nil)
+	_ dht.ClusterReporter = (*Client)(nil)
+)
+
+// markSuspect records local failure evidence against a member: the
+// breaker's OnOpen calls this, so a node that just tripped its breaker is
+// marked suspect in the client's view and the doubt spreads on the next
+// gossip exchange. Within one incarnation suspicion merges over health
+// (worse state wins), and only the member itself can refute it.
+func (c *Client) markSuspect(addr string) {
+	c.viewMu.Lock()
+	defer c.viewMu.Unlock()
+	cur, _ := c.view.Find(addr)
+	if cur.State != dht.MemberAlive {
+		return
+	}
+	if c.view.Upsert(dht.Member{Addr: addr, State: dht.MemberSuspect, Incarnation: cur.Incarnation}) {
+		c.view.Epoch++
+	}
+}
+
+// View returns a snapshot of the client's local membership view.
+func (c *Client) View() dht.ClusterView {
+	c.viewMu.Lock()
+	defer c.viewMu.Unlock()
+	return c.view.Clone()
+}
+
+// RefreshView runs one gossip exchange with the first reachable member:
+// push the local view, merge the server's, and rebuild the routing ring
+// if the routable member set changed. Errors only when no member could be
+// exchanged with (all down, or none runs the membership plane).
+func (c *Client) RefreshView(ctx context.Context) error {
+	if c.wire == WireGob {
+		return errors.New("tcpnet: membership requires the binary wire")
+	}
+	c.viewMu.Lock()
+	local := c.view.Clone()
+	c.viewMu.Unlock()
+	nodes := c.ringNodes()
+	err := errors.New("tcpnet: no members to refresh from")
+	for _, n := range nodes {
+		var tv []byte
+		var frame *[]byte
+		tv, frame, err = n.simpleCall(ctx, dht.OpGossip, func(b []byte) ([]byte, error) {
+			return appendView(b, local), nil
+		})
+		if err != nil {
+			continue
+		}
+		cur := cursor{b: tv}
+		var remote dht.ClusterView
+		remote, err = readView(&cur)
+		putBuf(frame)
+		if err != nil {
+			continue
+		}
+		c.viewMu.Lock()
+		c.view.Merge(remote)
+		merged := c.view.Clone()
+		c.viewMu.Unlock()
+		c.reviveBreakers(local, merged)
+		c.applyView(merged)
+		return nil
+	}
+	return err
+}
+
+// reviveBreakers closes the breaker of every member the refreshed view
+// newly reports alive. The gossip plane carries fresher evidence than a
+// breaker's failure memory — a rejoined node refutes its own death with a
+// bumped incarnation — so an open window must not outlive the verdict
+// that caused it. Members the merge taught nothing new about (already
+// alive at the same or a newer local incarnation) keep their breaker
+// state: local transport evidence stands until gossip contradicts it.
+func (c *Client) reviveBreakers(old, merged dht.ClusterView) {
+	for _, n := range c.ringNodes() {
+		if n.br == nil {
+			continue
+		}
+		m, ok := merged.Find(n.addr)
+		if !ok || m.State != dht.MemberAlive {
+			continue
+		}
+		if prev, had := old.Find(n.addr); had && prev.State == dht.MemberAlive && prev.Incarnation >= m.Incarnation {
+			continue
+		}
+		if n.br.State() != dht.BreakerClosed {
+			n.br.Success()
+		}
+	}
+}
+
+// applyView rebuilds the routing ring to the view's routable member set.
+// Existing members keep their connection state (and breaker history); new
+// members are dialed lazily on first use; removed members are closed. The
+// ring never shrinks below the replica count — a view that would leave
+// too few holders is held (routing keeps the wider ring) until gossip
+// finds replacements.
+func (c *Client) applyView(v dht.ClusterView) bool {
+	addrs := v.Alive()
+	if len(addrs) < c.replicas {
+		return false
+	}
+	old := c.ringNodes()
+	byAddr := make(map[string]*clientNode, len(old))
+	for _, n := range old {
+		byAddr[n.addr] = n
+	}
+	changed := len(addrs) != len(old)
+	nodes := make([]*clientNode, 0, len(addrs))
+	for _, a := range addrs {
+		if n, ok := byAddr[a]; ok {
+			nodes = append(nodes, n)
+			delete(byAddr, a)
+		} else {
+			nodes = append(nodes, c.newNode(a))
+			changed = true
+		}
+	}
+	if !changed {
+		return false
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].id < nodes[j].id })
+	c.ring.Store(&memberRing{nodes: nodes})
+	for _, n := range byAddr { // members the view retired
+		for _, m := range n.conns {
+			m.close()
+		}
+		if n.gc != nil {
+			_ = n.gc.close()
+		}
+	}
+	c.counters.AddViewRefreshes(1)
+	return true
+}
+
+// noteDebt records a missing, un-restored replica copy of key on addr.
+func (c *Client) noteDebt(addr, key string) {
+	c.debtMu.Lock()
+	defer c.debtMu.Unlock()
+	if c.debt == nil {
+		c.debt = make(map[string]map[string]struct{})
+	}
+	keys := c.debt[addr]
+	if keys == nil {
+		keys = make(map[string]struct{})
+		c.debt[addr] = keys
+	}
+	keys[key] = struct{}{}
+}
+
+// clearDebt retires the debt record for key on addr (the copy was seen
+// present or restored).
+func (c *Client) clearDebt(addr, key string) {
+	c.debtMu.Lock()
+	defer c.debtMu.Unlock()
+	if keys := c.debt[addr]; keys != nil {
+		delete(keys, key)
+		if len(keys) == 0 {
+			delete(c.debt, addr)
+		}
+	}
+}
+
+// replicaDebt returns the number of keys with an outstanding missing copy
+// on addr.
+func (c *Client) replicaDebt(addr string) int {
+	c.debtMu.Lock()
+	defer c.debtMu.Unlock()
+	return len(c.debt[addr])
+}
+
+// rawGet fetches key's stored tagged bytes from one node, without
+// decoding: re-replication moves bytes between holders verbatim, so the
+// epoch tag (and the value it guards) survive untouched.
+func (c *Client) rawGet(ctx context.Context, n *clientNode, key string) ([]byte, error) {
+	tv, frame, err := n.simpleCall(ctx, dht.OpGet, func(b []byte) ([]byte, error) {
+		return appendLenString(b, key), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := append([]byte(nil), tv...)
+	putBuf(frame)
+	return out, nil
+}
+
+// putRaw stores already-tagged bytes on one node over the epoch-ordered
+// OpPutNewer path: if the holder accepted a fresher write in the
+// meantime, the restore loses, which is exactly right.
+func (c *Client) putRaw(ctx context.Context, n *clientNode, key string, tagged []byte) error {
+	_, frame, err := n.simpleCall(ctx, dht.OpPutNewer, func(b []byte) ([]byte, error) {
+		b = appendLenString(b, key)
+		return append(b, tagged...), nil
+	})
+	if err != nil {
+		return err
+	}
+	putBuf(frame)
+	return nil
+}
+
+// EnsureReplicated implements dht.Rereplicator: probe every current ring
+// owner of key and restore missing copies from the freshest surviving
+// one. A key no holder has is not an error (it was removed, or never
+// existed); a key no holder could even be asked about is. Restores ride
+// OpPutNewer, so racing writers can only ever beat the restore with a
+// newer value, never lose to it.
+func (c *Client) EnsureReplicated(ctx context.Context, key string) (dht.ReplicaRepair, error) {
+	var rep dht.ReplicaRepair
+	if c.replicas <= 1 || c.wire == WireGob {
+		return rep, nil
+	}
+	owners := c.owners(key)
+	vals := make([][]byte, len(owners))
+	errs := make([]error, len(owners))
+	for i, n := range owners {
+		rep.Probes++
+		vals[i], errs[i] = c.rawGet(ctx, n, key)
+	}
+	c.counters.AddReplicaProbes(int64(rep.Probes))
+
+	// The freshest surviving copy (highest stored epoch) is the donor.
+	var donor []byte
+	reachable := 0
+	for i := range owners {
+		switch {
+		case errs[i] == nil:
+			reachable++
+			if donor == nil || storedEpoch(vals[i]) > storedEpoch(donor) {
+				donor = vals[i]
+			}
+		case errors.Is(errs[i], dht.ErrNotFound):
+			reachable++
+		}
+	}
+	if reachable == 0 {
+		return rep, fmt.Errorf("tcpnet: ensure-replicated %q: no reachable holder: %w", key, errs[0])
+	}
+	if donor == nil {
+		return rep, nil // absent everywhere reachable: nothing to restore
+	}
+	for i, n := range owners {
+		switch {
+		case errs[i] == nil:
+			c.clearDebt(n.addr, key)
+		case errors.Is(errs[i], dht.ErrNotFound):
+			rep.Missing++
+			if err := c.putRaw(ctx, n, key, donor); err != nil {
+				c.noteDebt(n.addr, key)
+				continue
+			}
+			rep.Restored++
+			c.counters.AddReplicaRepairs(1)
+			c.clearDebt(n.addr, key)
+		default:
+			// Unreachable holder: its copy state is unknown; leave any
+			// existing debt record as is.
+		}
+	}
+	return rep, nil
+}
+
+// ClusterStatus implements dht.ClusterReporter: fetch the gossiped view
+// and hint backlog from the first reachable member (OpStatus) and join it
+// with the client's local health plane. Against a cluster that never
+// enabled the membership plane the report falls back to the client's own
+// view of its ring, so breaker states stay visible either way.
+func (c *Client) ClusterStatus(ctx context.Context) (dht.ClusterStatus, error) {
+	view, hints, err := c.fetchStatus(ctx)
+	if err != nil || len(view.Members) == 0 {
+		// No server-side view: report the client's local one.
+		view = c.View()
+	}
+	if len(view.Members) > 0 {
+		// Keep the local view current with whatever was learned.
+		c.viewMu.Lock()
+		c.view.Merge(view)
+		view = c.view.Clone()
+		c.viewMu.Unlock()
+	}
+	st := dht.ClusterStatus{ViewEpoch: view.Epoch}
+	for _, m := range view.Members {
+		st.Members = append(st.Members, dht.MemberStatus{
+			Addr:        m.Addr,
+			State:       m.State,
+			Incarnation: m.Incarnation,
+			Breaker:     c.Health(m.Addr),
+			Hints:       hints[m.Addr],
+			ReplicaDebt: c.replicaDebt(m.Addr),
+		})
+	}
+	return st, nil
+}
+
+// fetchStatus asks the first reachable member for its view and hint
+// backlog over OpStatus.
+func (c *Client) fetchStatus(ctx context.Context) (dht.ClusterView, map[string]int, error) {
+	if c.wire == WireGob {
+		return dht.ClusterView{}, nil, errors.New("tcpnet: membership requires the binary wire")
+	}
+	err := errors.New("tcpnet: no members to query")
+	for _, n := range c.ringNodes() {
+		var tv []byte
+		var frame *[]byte
+		tv, frame, err = n.simpleCall(ctx, dht.OpStatus, func(b []byte) ([]byte, error) {
+			return b, nil
+		})
+		if err != nil {
+			continue
+		}
+		cur := cursor{b: tv}
+		view, verr := readView(&cur)
+		if verr != nil {
+			putBuf(frame)
+			err = verr
+			continue
+		}
+		hints := make(map[string]int)
+		nh, herr := cur.uvarint()
+		for i := uint64(0); herr == nil && i < nh; i++ {
+			var holder []byte
+			holder, herr = cur.lenBytes()
+			if herr != nil {
+				break
+			}
+			var count uint64
+			count, herr = cur.uvarint()
+			if herr != nil {
+				break
+			}
+			hints[string(holder)] = int(count)
+		}
+		putBuf(frame)
+		if herr != nil {
+			err = herr
+			continue
+		}
+		return view, hints, nil
+	}
+	return dht.ClusterView{}, nil, err
+}
+
+// parkHint parks the value a failed put-like fan-out could not deliver to
+// holderAddr on the first reachable other owner (any live node works; the
+// other owners are simply the closest candidates). The park node replays
+// it to the holder over OpPutNewer once gossip shows the holder routable
+// again.
+func (c *Client) parkHint(ctx context.Context, key, holderAddr string, v dht.Value) error {
+	err := errors.New("tcpnet: no substitute for hint")
+	for _, n := range c.owners(key) {
+		if n.addr == holderAddr {
+			continue
+		}
+		var frame *[]byte
+		_, frame, err = n.simpleCall(ctx, dht.OpHintPut, func(b []byte) ([]byte, error) {
+			b = appendLenString(b, holderAddr)
+			b = appendLenString(b, key)
+			return appendValue(b, v)
+		})
+		if err != nil {
+			continue
+		}
+		putBuf(frame)
+		return nil
+	}
+	return err
+}
+
+// putToOrHint is putTo with hinted handoff: a put-like fan-out that fails
+// against an unreachable holder parks the value as a hint instead of
+// surfacing the fault — the write is complete on every reachable holder,
+// and the hint replays when the missing one returns. Only transport
+// faults are hinted; logical outcomes (not-found on Write, CAS conflicts)
+// surface unchanged.
+func (c *Client) putToOrHint(ctx context.Context, n *clientNode, op dht.OpKind, key string, v dht.Value) error {
+	err := c.putTo(ctx, n, op, key, v)
+	if err == nil || !c.hinted {
+		return err
+	}
+	if errors.Is(err, dht.ErrNotFound) || !dht.IsTransient(err) {
+		return err
+	}
+	if perr := c.parkHint(ctx, key, n.addr, v); perr == nil {
+		return nil
+	}
+	return err
+}

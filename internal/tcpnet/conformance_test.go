@@ -38,7 +38,7 @@ func TestClientConformance(t *testing.T) {
 		wire Wire
 	}{{"binary", WireBinary}, {"gob", WireGob}} {
 		factory := func(t *testing.T) dht.DHT {
-			c, err := Dial(startServers(t, 3), WithWire(w.wire))
+			c, err := DialContext(context.Background(), startServers(t, 3), WithWire(w.wire))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -79,12 +79,12 @@ func TestClientConformance(t *testing.T) {
 // the other, in both directions.
 func TestCrossWireConditional(t *testing.T) {
 	addrs := startServers(t, 3)
-	bin, err := Dial(addrs, WithWire(WireBinary))
+	bin, err := DialContext(context.Background(), addrs, WithWire(WireBinary))
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = bin.Close() })
-	gb, err := Dial(addrs, WithWire(WireGob))
+	gb, err := DialContext(context.Background(), addrs, WithWire(WireGob))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,12 +133,12 @@ func TestCrossWireConditional(t *testing.T) {
 // gob-encoded struct values and raw []byte values.
 func TestCrossWireInterop(t *testing.T) {
 	addrs := startServers(t, 3)
-	bin, err := Dial(addrs, WithWire(WireBinary))
+	bin, err := DialContext(context.Background(), addrs, WithWire(WireBinary))
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = bin.Close() })
-	gob, err := Dial(addrs, WithWire(WireGob))
+	gob, err := DialContext(context.Background(), addrs, WithWire(WireGob))
 	if err != nil {
 		t.Fatal(err)
 	}

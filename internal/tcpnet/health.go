@@ -203,7 +203,7 @@ func (n *clientNode) record(tok opToken, err error) {
 // BreakerClosed when the health plane is off. Exposed for tests and
 // operational introspection.
 func (c *Client) Health(addr string) dht.BreakerState {
-	for _, n := range c.nodes {
+	for _, n := range c.ringNodes() {
 		if n.addr == addr && n.br != nil {
 			return n.br.State()
 		}
@@ -243,7 +243,7 @@ func (c *Client) verifyDegraded(ctx context.Context) error {
 		last error
 		wg   sync.WaitGroup
 	)
-	for _, n := range c.nodes {
+	for _, n := range c.ringNodes() {
 		wg.Add(1)
 		go func(n *clientNode) {
 			defer wg.Done()

@@ -37,7 +37,7 @@ func (d *countingDialer) DialContext(ctx context.Context, network, addr string) 
 func TestBreakerOpensAndFastFails(t *testing.T) {
 	addrs, srvs := startServerMap(t, 1)
 	agg := &metrics.Counters{}
-	c, err := Dial(addrs,
+	c, err := DialContext(context.Background(), addrs,
 		WithCounters(agg),
 		WithHealth(dht.BreakerConfig{Threshold: 2, Cooldown: time.Minute}))
 	if err != nil {
@@ -182,7 +182,7 @@ func TestBreakerHalfOpenProbeRecoversClient(t *testing.T) {
 	p := newFlipProxy(t, backends[0], false)
 	addr := p.addr()
 
-	c, err := Dial([]string{addr},
+	c, err := DialContext(context.Background(), []string{addr},
 		WithHealth(dht.BreakerConfig{Threshold: 1, Cooldown: 30 * time.Millisecond, MaxCooldown: 60 * time.Millisecond}))
 	if err != nil {
 		t.Fatal(err)
@@ -227,7 +227,7 @@ func TestBreakerHalfOpenProbeRecoversClient(t *testing.T) {
 func TestOpenHolderFailsOverImmediately(t *testing.T) {
 	addrs, srvs := startServerMap(t, 4)
 	agg := &metrics.Counters{}
-	c, err := Dial(addrs,
+	c, err := DialContext(context.Background(), addrs,
 		WithReplicas(2),
 		WithCounters(agg),
 		WithHealth(dht.BreakerConfig{Threshold: 1, Cooldown: time.Minute}))
@@ -285,11 +285,11 @@ func TestDegradedStartAdoptsRecoveredNode(t *testing.T) {
 
 	// The strict dial contract is unchanged: without the option, one
 	// dead node still fails construction.
-	if _, err := Dial(addrs); err == nil {
+	if _, err := DialContext(context.Background(), addrs); err == nil {
 		t.Fatal("strict Dial succeeded with a dead node")
 	}
 
-	c, err := Dial(addrs,
+	c, err := DialContext(context.Background(), addrs,
 		WithDegradedStart(),
 		WithHealth(dht.BreakerConfig{Threshold: 1, Cooldown: 30 * time.Millisecond, MaxCooldown: 60 * time.Millisecond}))
 	if err != nil {
@@ -431,7 +431,7 @@ func TestRedialBackoffLimitsDials(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			addrs, srvs := startServerMap(t, 1)
 			cd := &countingDialer{}
-			c, err := Dial(addrs, WithWire(tc.wire), WithDialer(cd))
+			c, err := DialContext(context.Background(), addrs, WithWire(tc.wire), WithDialer(cd))
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -53,7 +53,7 @@ func TestCloseReclaimsInFlightHedgedReads(t *testing.T) {
 	leak := checkGoroutines(t)
 
 	chaos := netchaos.New(11)
-	c, err := Dial(addrs,
+	c, err := DialContext(context.Background(), addrs,
 		WithDialer(chaos),
 		WithReplicas(2),
 		WithHealth(dht.BreakerConfig{Threshold: 100, Cooldown: time.Minute}))
@@ -97,7 +97,7 @@ func TestCloseReclaimsOpenBreakers(t *testing.T) {
 	leak := checkGoroutines(t)
 
 	chaos := netchaos.New(12)
-	c, err := Dial(addrs,
+	c, err := DialContext(context.Background(), addrs,
 		WithDialer(chaos),
 		WithHealth(dht.BreakerConfig{Threshold: 1, Cooldown: time.Minute}))
 	if err != nil {
@@ -136,7 +136,7 @@ func TestCloseReclaimsCancelledHandshake(t *testing.T) {
 	leak := checkGoroutines(t)
 
 	chaos := netchaos.New(13)
-	c, err := Dial(addrs, WithDialer(chaos))
+	c, err := DialContext(context.Background(), addrs, WithDialer(chaos))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestCloseReclaimsCancelledHandshake(t *testing.T) {
 	// inside the real socket read, beyond the chaos plane's reach), then
 	// withhold all inbound data: the next operation redials and its
 	// handshake parks waiting for the ping response that never arrives.
-	for _, n := range c.nodes {
+	for _, n := range c.ringNodes() {
 		for _, m := range n.conns {
 			m.mu.Lock()
 			if m.st != nil {

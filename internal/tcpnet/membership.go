@@ -1,0 +1,596 @@
+package tcpnet
+
+// Server-side membership: each node runs a Membership that holds a
+// versioned dht.ClusterView and keeps it current by anti-entropy gossip —
+// every Tick picks one peer (seeded rng, so simnet/netchaos runs replay
+// identically), pushes the local view over an OpGossip frame, and merges
+// the peer's view from the response. Exchange failures feed a
+// fail-counter failure detector (suspect after SuspectAfter consecutive
+// misses, dead after DeadAfter more); a node that finds itself slandered
+// refutes by bumping its incarnation, which the merge order in
+// internal/dht turns into an authoritative resurrection.
+//
+// The same Tick also drains hinted handoffs: writes that failed over a
+// down holder parked an epoch-tagged hint here (OpHintPut), and once the
+// view shows the holder routable again the hints replay to it over the
+// epoch-ordered OpPutNewer path — a stale hint loses to any newer write
+// the holder accepted in the meantime, so replay can never roll a key
+// back.
+//
+// All membership traffic is free in the cost model (see the OpKind doc in
+// internal/dht): it is control-plane chatter, not index routing, and the
+// gated bench rows never enable it.
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"lht/internal/dht"
+	"lht/internal/metrics"
+)
+
+// Membership defaults: two straight missed exchanges cast suspicion, two
+// more confirm death. With lht-node's default 1s gossip interval that
+// makes a silent node suspect in ~2s and dead in ~4s.
+const (
+	defaultSuspectAfter = 2
+	defaultDeadAfter    = 2
+	// gossipIOBudget bounds one exchange or replay connection when the
+	// caller's context carries no deadline of its own.
+	gossipIOBudget = 2 * time.Second
+)
+
+// MembershipConfig configures a server's gossip participant.
+type MembershipConfig struct {
+	// Self is this node's listen address exactly as peers dial it; it is
+	// the node's identity in every view. Required.
+	Self string
+	// Seeds are the bootstrap peers the view starts with (Self is always
+	// included). The live member list grows from here by gossip.
+	Seeds []string
+	// Seed seeds the peer-selection rng; a fixed seed makes the gossip
+	// schedule deterministic for replayable tests.
+	Seed int64
+	// SuspectAfter is how many consecutive failed exchanges with a peer
+	// mark it suspect (default 2).
+	SuspectAfter int
+	// DeadAfter is how many further consecutive failures after suspicion
+	// mark the peer dead (default 2).
+	DeadAfter int
+	// Dialer is the transport factory for outbound gossip and hint replay
+	// (nil = plain net.Dialer); the netchaos plane injects here.
+	Dialer ContextDialer
+}
+
+// Membership is one server's gossip participant. Obtain it with
+// Server.EnableMembership; drive it with Tick (tests) or Run (lht-node).
+type Membership struct {
+	srv    *Server
+	self   string
+	dialer ContextDialer
+	c      *metrics.Counters
+
+	suspectAfter int
+	deadAfter    int
+
+	mu    sync.Mutex
+	view  dht.ClusterView
+	inc   uint64 // self incarnation, bumped only to refute
+	rng   *rand.Rand
+	fails map[string]int // consecutive failed exchanges per peer
+}
+
+// EnableMembership attaches a gossip participant to the server and
+// returns it. Call once, before Serve; the OpGossip/OpStatus handlers
+// answer with the participant's view from then on.
+func (s *Server) EnableMembership(cfg MembershipConfig) *Membership {
+	if cfg.Self == "" {
+		panic("tcpnet: MembershipConfig.Self is required")
+	}
+	if cfg.SuspectAfter <= 0 {
+		cfg.SuspectAfter = defaultSuspectAfter
+	}
+	if cfg.DeadAfter <= 0 {
+		cfg.DeadAfter = defaultDeadAfter
+	}
+	m := &Membership{
+		srv:          s,
+		self:         cfg.Self,
+		dialer:       cfg.Dialer,
+		c:            &s.c,
+		suspectAfter: cfg.SuspectAfter,
+		deadAfter:    cfg.DeadAfter,
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		fails:        make(map[string]int),
+	}
+	m.view.Upsert(dht.Member{Addr: cfg.Self, State: dht.MemberAlive})
+	for _, seed := range cfg.Seeds {
+		if seed != cfg.Self {
+			m.view.Upsert(dht.Member{Addr: seed, State: dht.MemberAlive})
+		}
+	}
+	s.mu.Lock()
+	s.mem = m
+	s.mu.Unlock()
+	return m
+}
+
+// Membership returns the server's gossip participant, if enabled.
+func (s *Server) Membership() *Membership {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mem
+}
+
+// Has reports whether the node currently stores key. The A12 harness uses
+// it to count live replicas per key without routing through a client.
+func (s *Server) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.store[key]
+	return ok
+}
+
+// View returns a snapshot of the node's current membership view.
+func (m *Membership) View() dht.ClusterView {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.view.Clone()
+}
+
+// upsertLocked applies a local state transition under the merge order and
+// advances the epoch when it changed anything. Callers hold m.mu.
+func (m *Membership) upsertLocked(mem dht.Member) {
+	if m.view.Upsert(mem) {
+		m.view.Epoch++
+	}
+}
+
+// refuteLocked re-asserts this node as alive when the view slanders it:
+// the incarnation bump outranks any same-or-older suspicion or death
+// rumor at merge time. Callers hold m.mu.
+func (m *Membership) refuteLocked() {
+	me, ok := m.view.Find(m.self)
+	if !ok || me.State == dht.MemberAlive {
+		return
+	}
+	if me.Incarnation >= m.inc {
+		m.inc = me.Incarnation + 1
+	}
+	m.upsertLocked(dht.Member{Addr: m.self, State: dht.MemberAlive, Incarnation: m.inc})
+}
+
+// merge folds a remote view into the local one (used by the OpGossip
+// handler and by Tick for the response view) and returns the local view
+// after refutation. Safe to call while the server holds s.mu: only m.mu
+// is taken.
+func (m *Membership) merge(remote dht.ClusterView) dht.ClusterView {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.view.Merge(remote)
+	m.refuteLocked()
+	return m.view.Clone()
+}
+
+// Leave marks this node as gracefully departed. The claim spreads on
+// subsequent exchanges initiated by peers; a left node never rejoins
+// under the same incarnation.
+func (m *Membership) Leave() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.upsertLocked(dht.Member{Addr: m.self, State: dht.MemberLeft, Incarnation: m.inc})
+}
+
+// Tick performs one gossip round: pick one peer by seeded rng, exchange
+// views, and apply the failure detector to the outcome; then replay any
+// parked hints whose holder the view shows routable again. Returns the
+// exchange error, or nil when the round had no peer to talk to.
+func (m *Membership) Tick(ctx context.Context) error {
+	peer, ok := m.pickPeer()
+	if !ok {
+		m.replayHints(ctx)
+		return nil
+	}
+	m.c.AddGossipRounds(1)
+	m.mu.Lock()
+	local := m.view.Clone()
+	m.mu.Unlock()
+	remote, err := m.exchange(ctx, peer, local)
+	m.mu.Lock()
+	if err != nil {
+		m.recordFailureLocked(peer)
+	} else {
+		m.fails[peer] = 0
+		m.view.Merge(remote)
+		m.refuteLocked()
+	}
+	m.mu.Unlock()
+	m.replayHints(ctx)
+	return err
+}
+
+// Run drives Tick every interval until ctx ends; lht-node's background
+// gossip loop.
+func (m *Membership) Run(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			_ = m.Tick(ctx)
+		}
+	}
+}
+
+// pickPeer chooses the round's gossip target: a seeded-uniform draw over
+// every known peer that is not confirmed gone (dead peers are still
+// probed occasionally via their hint replay path, but gossip targets only
+// alive/suspect members — a returned node re-announces itself).
+func (m *Membership) pickPeer() (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var peers []string
+	for _, mem := range m.view.Members {
+		if mem.Addr != m.self && mem.State.Routable() {
+			peers = append(peers, mem.Addr)
+		}
+	}
+	if len(peers) == 0 {
+		return "", false
+	}
+	return peers[m.rng.Intn(len(peers))], true
+}
+
+// recordFailureLocked advances the peer's failure count and worsens its
+// state at the configured thresholds. The transition keeps the peer's
+// current incarnation: only the peer itself may bump it, so a comeback
+// always wins the merge. Callers hold m.mu.
+func (m *Membership) recordFailureLocked(peer string) {
+	f := m.fails[peer] + 1
+	m.fails[peer] = f
+	cur, _ := m.view.Find(peer)
+	switch {
+	case f >= m.suspectAfter+m.deadAfter:
+		if cur.State == dht.MemberSuspect || cur.State == dht.MemberAlive {
+			m.upsertLocked(dht.Member{Addr: peer, State: dht.MemberDead, Incarnation: cur.Incarnation})
+		}
+	case f >= m.suspectAfter:
+		if cur.State == dht.MemberAlive {
+			m.upsertLocked(dht.Member{Addr: peer, State: dht.MemberSuspect, Incarnation: cur.Incarnation})
+		}
+	}
+}
+
+// exchange performs one outbound OpGossip round trip on a fresh
+// connection: send the local view, return the peer's.
+func (m *Membership) exchange(ctx context.Context, addr string, local dht.ClusterView) (dht.ClusterView, error) {
+	body, err := m.roundTrip(ctx, addr, func(conn net.Conn, bw *bufio.Writer) error {
+		bp := newFrame(dht.OpGossip)
+		*bp = appendView(*bp, local)
+		finishFrame(*bp, 1)
+		_, werr := bw.Write(*bp)
+		putBuf(bp)
+		return werr
+	})
+	if err != nil {
+		return dht.ClusterView{}, err
+	}
+	defer putBuf(body)
+	c := cursor{b: (*body)[frameHeaderLen:]}
+	st, err := c.u8()
+	if err != nil {
+		return dht.ClusterView{}, errTruncated
+	}
+	if st != statusOK {
+		return dht.ClusterView{}, fmt.Errorf("tcpnet: gossip %q: %s", addr, string(c.rest()))
+	}
+	return readView(&c)
+}
+
+// roundTrip dials addr, writes the framed-protocol magic, lets send write
+// one or more request frames, flushes, and reads one response frame into
+// a pooled buffer the caller must putBuf.
+func (m *Membership) roundTrip(ctx context.Context, addr string, send func(net.Conn, *bufio.Writer) error) (*[]byte, error) {
+	ctx, cancel := withIOBudget(ctx)
+	defer cancel()
+	conn, err := dialWith(ctx, m.dialer, addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if dl, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(dl)
+	}
+	bw := bufio.NewWriterSize(conn, wireBufSize)
+	if _, err := bw.WriteString(wireMagic); err != nil {
+		return nil, err
+	}
+	if err := send(conn, bw); err != nil {
+		return nil, err
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+	br := bufio.NewReaderSize(conn, wireBufSize)
+	bp := getBuf()
+	body, err := readFrameBody(br, *bp)
+	*bp = body
+	if err != nil {
+		putBuf(bp)
+		return nil, err
+	}
+	if len(body) < frameHeaderLen+1 {
+		putBuf(bp)
+		return nil, errTruncated
+	}
+	return bp, nil
+}
+
+// withIOBudget caps ctx with the default gossip IO budget when it has no
+// deadline of its own.
+func withIOBudget(ctx context.Context) (context.Context, context.CancelFunc) {
+	if _, ok := ctx.Deadline(); ok {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, gossipIOBudget)
+}
+
+// replayHints walks the parked-hint store and delivers every hint whose
+// holder the view shows routable, over the epoch-ordered OpPutNewer path.
+// Hints that fail to deliver stay parked for the next round.
+func (m *Membership) replayHints(ctx context.Context) {
+	m.mu.Lock()
+	routable := make(map[string]bool, len(m.view.Members))
+	for _, mem := range m.view.Members {
+		routable[mem.Addr] = mem.State.Routable()
+	}
+	m.mu.Unlock()
+
+	s := m.srv
+	s.mu.Lock()
+	var batches []hintBatch
+	for holder, keys := range s.hints {
+		if holder == m.self || !routable[holder] {
+			continue
+		}
+		b := hintBatch{holder: holder, vals: make(map[string][]byte, len(keys))}
+		for k, v := range keys {
+			b.vals[k] = v
+		}
+		batches = append(batches, b)
+	}
+	s.mu.Unlock()
+
+	for _, b := range batches {
+		delivered := m.deliverHints(ctx, b.holder, b.vals)
+		if len(delivered) == 0 {
+			continue
+		}
+		s.mu.Lock()
+		if keys := s.hints[b.holder]; keys != nil {
+			for _, k := range delivered {
+				// A fresher hint may have parked while we replayed; only
+				// retire the exact bytes that were delivered.
+				if cur, ok := keys[k]; ok && string(cur) == string(b.vals[k]) {
+					delete(keys, k)
+				}
+			}
+			if len(keys) == 0 {
+				delete(s.hints, b.holder)
+			}
+		}
+		s.mu.Unlock()
+		m.c.AddHintsReplayed(int64(len(delivered)))
+	}
+}
+
+type hintBatch struct {
+	holder string
+	vals   map[string][]byte
+}
+
+// deliverHints sends each parked value to its returned holder as an
+// OpPutNewer and returns the keys the holder acknowledged. One connection
+// carries the whole batch; the first transport error abandons the rest
+// (they stay parked).
+func (m *Membership) deliverHints(ctx context.Context, holder string, vals map[string][]byte) []string {
+	ctx, cancel := withIOBudget(ctx)
+	defer cancel()
+	conn, err := dialWith(ctx, m.dialer, holder)
+	if err != nil {
+		return nil
+	}
+	defer conn.Close()
+	if dl, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(dl)
+	}
+	bw := bufio.NewWriterSize(conn, wireBufSize)
+	if _, err := bw.WriteString(wireMagic); err != nil {
+		return nil
+	}
+	br := bufio.NewReaderSize(conn, wireBufSize)
+	var delivered []string
+	for key, val := range vals {
+		bp := newFrame(dht.OpPutNewer)
+		*bp = appendLenString(*bp, key)
+		*bp = append(*bp, val...)
+		finishFrame(*bp, 1)
+		_, werr := bw.Write(*bp)
+		putBuf(bp)
+		if werr != nil || bw.Flush() != nil {
+			break
+		}
+		rp := getBuf()
+		body, rerr := readFrameBody(br, *rp)
+		*rp = body
+		if rerr != nil || len(body) < frameHeaderLen+1 || body[frameHeaderLen] != statusOK {
+			putBuf(rp)
+			break
+		}
+		putBuf(rp)
+		delivered = append(delivered, key)
+	}
+	return delivered
+}
+
+// HintBacklog returns the number of keys parked per holder awaiting
+// replay, for status reporting.
+func (s *Server) HintBacklog() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.hints) == 0 {
+		return nil
+	}
+	out := make(map[string]int, len(s.hints))
+	for holder, keys := range s.hints {
+		out[holder] = len(keys)
+	}
+	return out
+}
+
+// parkHint stores a hinted handoff for an unreachable holder: the exact
+// tagged value the failed fan-out would have delivered. A newer-epoch
+// hint for the same key replaces an older parked one. Callers hold s.mu.
+func (s *Server) parkHintLocked(holder, key string, val []byte) {
+	if s.hints == nil {
+		s.hints = make(map[string]map[string][]byte)
+	}
+	keys := s.hints[holder]
+	if keys == nil {
+		keys = make(map[string][]byte)
+		s.hints[holder] = keys
+	}
+	if cur, ok := keys[key]; ok && storedEpoch(cur) > storedEpoch(val) {
+		return // an older fan-out arrived late; keep the newer hint
+	}
+	keys[key] = append([]byte(nil), val...)
+	s.c.AddHintsParked(1)
+}
+
+// View wire encoding (canonical, shared by OpGossip and OpStatus):
+//
+//	uv epoch, uv count, count x (uv alen, addr, state u8, uv incarnation)
+
+// appendView appends the wire encoding of a view.
+func appendView(b []byte, v dht.ClusterView) []byte {
+	b = appendUv(b, v.Epoch)
+	b = appendUv(b, uint64(len(v.Members)))
+	for _, m := range v.Members {
+		b = appendLenString(b, m.Addr)
+		b = append(b, byte(m.State))
+		b = appendUv(b, m.Incarnation)
+	}
+	return b
+}
+
+// readView decodes a view from the cursor. Member entries fold in through
+// Upsert, so a non-canonical (unsorted or duplicated) encoding still
+// yields a well-formed view.
+func readView(c *cursor) (dht.ClusterView, error) {
+	var v dht.ClusterView
+	epoch, err := c.uvarint()
+	if err != nil {
+		return v, err
+	}
+	v.Epoch = epoch
+	n, err := c.count()
+	if err != nil {
+		return v, err
+	}
+	for i := 0; i < n; i++ {
+		addr, err := c.lenBytes()
+		if err != nil {
+			return v, err
+		}
+		st, err := c.u8()
+		if err != nil {
+			return v, err
+		}
+		if dht.MemberState(st) > dht.MemberLeft {
+			return v, fmt.Errorf("tcpnet: unknown member state %d", st)
+		}
+		inc, err := c.uvarint()
+		if err != nil {
+			return v, err
+		}
+		v.Upsert(dht.Member{Addr: string(addr), State: dht.MemberState(st), Incarnation: inc})
+	}
+	return v, nil
+}
+
+// errNoMembership is the wire error for membership ops on a server that
+// never enabled the plane.
+var errNoMembership = errors.New("membership disabled")
+
+// respondMembership serves the membership-plane ops (split out of respond
+// to keep that switch readable). It is called under s.mu.
+func (s *Server) respondMembership(op dht.OpKind, c *cursor, out []byte) []byte {
+	switch op {
+	case dht.OpGossip:
+		remote, err := readView(c)
+		if err != nil || !c.empty() {
+			return appendStatusErr(out, errMalformed)
+		}
+		mem := s.mem
+		if mem == nil {
+			return appendStatusErr(out, errNoMembership.Error())
+		}
+		// merge only takes mem.mu; lock order is always s.mu -> mem.mu.
+		local := mem.merge(remote)
+		out = append(out, statusOK)
+		return appendView(out, local)
+
+	case dht.OpHintPut:
+		holder, err := c.lenBytes()
+		if err != nil {
+			return appendStatusErr(out, errMalformed)
+		}
+		key, err := c.lenBytes()
+		if err != nil {
+			return appendStatusErr(out, errMalformed)
+		}
+		val := c.rest()
+		if len(val) == 0 {
+			return appendStatusErr(out, errMalformed)
+		}
+		s.parkHintLocked(string(holder), string(key), val)
+		return append(out, statusOK)
+
+	case dht.OpStatus:
+		if !c.empty() {
+			return appendStatusErr(out, errMalformed)
+		}
+		var view dht.ClusterView
+		if s.mem != nil {
+			s.mem.mu.Lock()
+			view = s.mem.view.Clone()
+			s.mem.mu.Unlock()
+		}
+		out = append(out, statusOK)
+		out = appendView(out, view)
+		out = appendUv(out, uint64(len(s.hints)))
+		// Deterministic order: hints render sorted by holder address.
+		holders := make([]string, 0, len(s.hints))
+		for h := range s.hints {
+			holders = append(holders, h)
+		}
+		sort.Strings(holders)
+		for _, h := range holders {
+			out = appendLenString(out, h)
+			out = appendUv(out, uint64(len(s.hints[h])))
+		}
+		return out
+
+	default:
+		return appendStatusErr(out, "unknown op")
+	}
+}

@@ -104,7 +104,7 @@ func batchServer(t *testing.T, hold int) (addr string, done <-chan struct{}) {
 func TestPipelineDepthAndCorrelation(t *testing.T) {
 	const depth = 64
 	addr, done := batchServer(t, depth)
-	c, err := Dial([]string{addr}, WithPoolSize(1))
+	c, err := DialContext(context.Background(), []string{addr}, WithPoolSize(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestPipelinedClientStress(t *testing.T) {
 	base := runtime.NumGoroutine()
 
 	addrs := startServers(t, 3)
-	c, err := Dial(addrs)
+	c, err := DialContext(context.Background(), addrs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +254,7 @@ func TestNoGoroutinePerCall(t *testing.T) {
 	}{{"binary", WireBinary}, {"gob", WireGob}} {
 		t.Run(w.name, func(t *testing.T) {
 			addrs := startServers(t, 1)
-			c, err := Dial(addrs, WithWire(w.wire), WithPoolSize(1))
+			c, err := DialContext(context.Background(), addrs, WithWire(w.wire), WithPoolSize(1))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -282,7 +282,7 @@ func TestNoGoroutinePerCall(t *testing.T) {
 // dropped when it eventually arrives.
 func TestCancellationAbandonsSlot(t *testing.T) {
 	addrs := startServers(t, 1)
-	c, err := Dial(addrs, WithPoolSize(1))
+	c, err := DialContext(context.Background(), addrs, WithPoolSize(1))
 	if err != nil {
 		t.Fatal(err)
 	}

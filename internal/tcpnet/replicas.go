@@ -45,20 +45,21 @@ import (
 // owners returns the replica set for key: the owning node plus the next
 // replicas-1 distinct members clockwise, primary first.
 func (c *Client) owners(key string) []*clientNode {
+	nodes := c.ringNodes()
 	h := hashring.HashKey(key)
 	i := 0
-	for ; i < len(c.nodes); i++ {
-		if c.nodes[i].id >= h {
+	for ; i < len(nodes); i++ {
+		if nodes[i].id >= h {
 			break
 		}
 	}
 	n := c.replicas
-	if n > len(c.nodes) {
-		n = len(c.nodes)
+	if n > len(nodes) {
+		n = len(nodes)
 	}
 	out := make([]*clientNode, 0, n)
 	for k := 0; k < n; k++ {
-		out = append(out, c.nodes[(i+k)%len(c.nodes)])
+		out = append(out, nodes[(i+k)%len(nodes)])
 	}
 	return out
 }
@@ -188,10 +189,12 @@ func (c *Client) eachOwner(ctx context.Context, key string, op func(*clientNode)
 	return notFound
 }
 
-// replicatedPut stores on every holder.
+// replicatedPut stores on every holder; with hinted handoff an
+// unreachable holder's copy parks on a substitute instead of failing the
+// put.
 func (c *Client) replicatedPut(ctx context.Context, key string, v dht.Value) error {
 	return c.eachOwner(ctx, key, func(n *clientNode) error {
-		return c.putTo(ctx, n, dht.OpPut, key, v)
+		return c.putToOrHint(ctx, n, dht.OpPut, key, v)
 	})
 }
 
@@ -212,7 +215,7 @@ func (c *Client) putTo(ctx context.Context, n *clientNode, op dht.OpKind, key st
 // are.
 func (c *Client) replicatedWrite(ctx context.Context, key string, v dht.Value) error {
 	return c.eachOwner(ctx, key, func(n *clientNode) error {
-		return c.putTo(ctx, n, dht.OpWrite, key, v)
+		return c.putToOrHint(ctx, n, dht.OpWrite, key, v)
 	})
 }
 
@@ -279,19 +282,44 @@ func (c *Client) replicatedTake(ctx context.Context, key string) (dht.Value, err
 // RemoveIf. Propagation failures surface to the caller (the write IS
 // committed on the primary; the caller's retry loop re-runs against the
 // committed state), they never roll back the primary's decision.
+//
+// With hinted handoff on, the serializer role itself fails over: an
+// unreachable primary is skipped and the conditional resolves on the
+// first reachable holder instead — every reachable holder carries the
+// key's committed state (fan-outs are synchronous), so the CAS verdict
+// is the same, and all writers walk the owner list in the same order, so
+// within one view they agree on the acting serializer. The skipped
+// holders then receive the outcome through the ordinary propagation
+// path, whose hinting parks their copy for replay. Only transport
+// faults fail over; a logical verdict (CAS conflict, not-found) from
+// any holder settles the op.
 func (c *Client) replicatedCond(ctx context.Context, key string, primary func(*clientNode) error, propagate func(*clientNode) error) error {
 	owners := c.owners(key)
-	if err := primary(owners[0]); err != nil {
+	acting, err := 0, error(nil)
+	for i, n := range owners {
+		acting, err = i, primary(n)
+		if err == nil || !c.hinted || errors.Is(err, dht.ErrNotFound) || !dht.IsTransient(err) {
+			break
+		}
+	}
+	if err != nil {
 		return err
 	}
-	errs := make([]error, len(owners)-1)
+	errs := make([]error, 0, len(owners)-1)
+	var mu sync.Mutex
 	var wg sync.WaitGroup
-	for i, n := range owners[1:] {
+	for i, n := range owners {
+		if i == acting {
+			continue
+		}
 		wg.Add(1)
-		go func(i int, n *clientNode) {
+		go func(n *clientNode) {
 			defer wg.Done()
-			errs[i] = propagate(n)
-		}(i, n)
+			perr := propagate(n)
+			mu.Lock()
+			errs = append(errs, perr)
+			mu.Unlock()
+		}(n)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -312,7 +340,7 @@ func (c *Client) replicatedPutIf(ctx context.Context, key string, v dht.Value, i
 				return appendValue(b, v)
 			})
 		},
-		func(n *clientNode) error { return c.putTo(ctx, n, dht.OpPutNewer, key, v) },
+		func(n *clientNode) error { return c.putToOrHint(ctx, n, dht.OpPutNewer, key, v) },
 	)
 }
 
@@ -324,11 +352,14 @@ func (c *Client) replicatedCreateIf(ctx context.Context, key string, v dht.Value
 				return appendValue(appendLenString(b, key), v)
 			})
 		},
-		func(n *clientNode) error { return c.putTo(ctx, n, dht.OpPutNewer, key, v) },
+		func(n *clientNode) error { return c.putToOrHint(ctx, n, dht.OpPutNewer, key, v) },
 	)
 }
 
 // replicatedRemoveIf is RemoveIf with propagation of the removal.
+// Removals are never hinted: replaying a deletion later could resurrect
+// nothing but could race a newer create, so a missed removal is left to
+// the scrub plane, whose epoch ordering repairs it safely.
 func (c *Client) replicatedRemoveIf(ctx context.Context, key string, ifEpoch uint64) error {
 	return c.replicatedCond(ctx, key,
 		func(n *clientNode) error {
@@ -360,6 +391,6 @@ func (c *Client) replicatedWriteIf(ctx context.Context, key string, v dht.Value,
 				return appendValue(b, v)
 			})
 		},
-		func(n *clientNode) error { return c.putTo(ctx, n, dht.OpPutNewer, key, v) },
+		func(n *clientNode) error { return c.putToOrHint(ctx, n, dht.OpPutNewer, key, v) },
 	)
 }

@@ -38,7 +38,7 @@ func startServerMap(t *testing.T, n int) ([]string, map[string]*Server) {
 // client, with redundancy and read spreading invisible to callers.
 func TestReplicatedConformance(t *testing.T) {
 	factory := func(t *testing.T) dht.DHT {
-		c, err := Dial(startServers(t, 4), WithReplicas(2))
+		c, err := DialContext(context.Background(), startServers(t, 4), WithReplicas(2))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -61,7 +61,7 @@ func TestReplicatedConformance(t *testing.T) {
 func TestReplicatedFailover(t *testing.T) {
 	addrs, srvs := startServerMap(t, 4)
 	agg := &metrics.Counters{}
-	c, err := Dial(addrs, WithReplicas(2), WithCounters(agg))
+	c, err := DialContext(context.Background(), addrs, WithReplicas(2), WithCounters(agg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestReplicatedFailover(t *testing.T) {
 // the key would serve the stale epoch.
 func TestReplicaPropagationEpochOrder(t *testing.T) {
 	addrs, _ := startServerMap(t, 2)
-	c, err := Dial(addrs, WithReplicas(2))
+	c, err := DialContext(context.Background(), addrs, WithReplicas(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestReplicaPropagationEpochOrder(t *testing.T) {
 // propagation forbids any straggling older fan-out from overwriting it.
 func TestReplicatedCASHoldersConverge(t *testing.T) {
 	addrs, _ := startServerMap(t, 4)
-	c, err := Dial(addrs, WithReplicas(3))
+	c, err := DialContext(context.Background(), addrs, WithReplicas(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,19 +217,19 @@ func TestReplicatedCASHoldersConverge(t *testing.T) {
 // TestReplicasValidation pins the dial-time contract.
 func TestReplicasValidation(t *testing.T) {
 	addrs := startServers(t, 2)
-	if _, err := Dial(addrs, WithReplicas(3)); err == nil {
+	if _, err := DialContext(context.Background(), addrs, WithReplicas(3)); err == nil {
 		t.Error("3 replicas on a 2-node cluster dialed")
 	}
-	if _, err := Dial(addrs, WithReplicas(2), WithWire(WireGob)); err == nil {
+	if _, err := DialContext(context.Background(), addrs, WithReplicas(2), WithWire(WireGob)); err == nil {
 		t.Error("replicated gob wire dialed")
 	}
 	// Duplicate addresses must fail the dial outright — they can never
 	// shrink the distinct-node count below the replica count, which would
 	// leave owners() handing out short holder sets.
-	if _, err := Dial([]string{addrs[0], addrs[0]}, WithReplicas(2)); err == nil {
+	if _, err := DialContext(context.Background(), []string{addrs[0], addrs[0]}, WithReplicas(2)); err == nil {
 		t.Error("duplicated node list dialed")
 	}
-	c, err := Dial(addrs, WithReplicas(2))
+	c, err := DialContext(context.Background(), addrs, WithReplicas(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,5 +239,55 @@ func TestReplicasValidation(t *testing.T) {
 	}
 	if c.owners("k")[0] != c.owner("k") {
 		t.Error("replica set does not start at the owner")
+	}
+}
+
+// TestCondSerializerFailover pins the acting-serializer rule: with hinted
+// handoff on, a conditional write whose primary holder is unreachable
+// resolves on the first reachable holder and parks the primary's copy as
+// a hint; without hinted handoff the same write surfaces the fault.
+func TestCondSerializerFailover(t *testing.T) {
+	ctx := context.Background()
+	addrs, srvs := startServerMap(t, 3)
+	c, err := Dial(ctx, ClusterConfig{Seeds: addrs, Replicas: 2, HintedHandoff: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	static, err := Dial(ctx, ClusterConfig{Seeds: addrs, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer static.Close()
+
+	key := "cas-failover"
+	owners := c.owners(key)
+	primary, secondary := owners[0].addr, owners[1].addr
+	_ = srvs[primary].Close()
+
+	if err := static.CreateIf(ctx, key, []byte("lost")); err == nil {
+		t.Fatal("static client must surface the down primary")
+	}
+	if err := c.CreateIf(ctx, key, []byte("v1")); err != nil {
+		t.Fatalf("CreateIf with serializer failover: %v", err)
+	}
+	if !srvs[secondary].Has(key) {
+		t.Fatal("acting serializer holds no copy")
+	}
+	if got := srvs[secondary].HintBacklog()[primary]; got != 1 {
+		t.Fatalf("hints parked for the skipped primary = %d, want 1", got)
+	}
+
+	// The committed copy is CAS-visible: a conditional update against the
+	// acting serializer's epoch succeeds, a stale one conflicts.
+	v, err := c.Get(ctx, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v.([]byte)) != "v1" {
+		t.Fatalf("read back %q", v)
+	}
+	if err := c.CreateIf(ctx, key, []byte("dup")); err == nil {
+		t.Fatal("CreateIf over an existing key must conflict, not fail over")
 	}
 }

@@ -29,6 +29,12 @@ type Server struct {
 	conns map[net.Conn]struct{}
 	done  bool
 
+	// mem is the gossip participant (nil until EnableMembership); hints is
+	// the hinted-handoff park: holder address -> key -> the tagged value a
+	// failed fan-out left for it (see membership.go).
+	mem   *Membership
+	hints map[string]map[string][]byte
+
 	c metrics.Counters
 
 	wg sync.WaitGroup

@@ -291,6 +291,9 @@ func (s *Server) respond(op dht.OpKind, payload, out []byte) []byte {
 		}
 		return out
 
+	case dht.OpGossip, dht.OpHintPut, dht.OpStatus:
+		return s.respondMembership(op, &c, out)
+
 	default:
 		return appendStatusErr(out, "unknown op")
 	}

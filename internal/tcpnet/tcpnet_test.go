@@ -36,7 +36,7 @@ func startCluster(t *testing.T, n int) (*Client, []*Server) {
 		addrs = append(addrs, ln.Addr().String())
 		servers = append(servers, srv)
 	}
-	c, err := Dial(addrs)
+	c, err := DialContext(context.Background(), addrs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,13 +119,13 @@ func TestClusterBasicOps(t *testing.T) {
 }
 
 func TestDialValidation(t *testing.T) {
-	if _, err := Dial(nil); err == nil {
+	if _, err := DialContext(context.Background(), nil); err == nil {
 		t.Error("Dial with no nodes should fail")
 	}
-	if _, err := Dial([]string{"x:1", "x:1"}); err == nil {
+	if _, err := DialContext(context.Background(), []string{"x:1", "x:1"}); err == nil {
 		t.Error("Dial with duplicates should fail")
 	}
-	if _, err := Dial([]string{"127.0.0.1:1"}); err == nil {
+	if _, err := DialContext(context.Background(), []string{"127.0.0.1:1"}); err == nil {
 		t.Error("Dial to a dead port should fail the ping")
 	}
 }
@@ -207,7 +207,7 @@ func TestServerCloseUnblocksServe(t *testing.T) {
 	srv := NewServer()
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
-	c, err := Dial([]string{ln.Addr().String()})
+	c, err := DialContext(context.Background(), []string{ln.Addr().String()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +280,7 @@ func TestNodeRestartPreservesIndex(t *testing.T) {
 	srv := NewServer()
 	go func() { _ = srv.Serve(ln) }()
 
-	c, err := Dial([]string{addr})
+	c, err := DialContext(context.Background(), []string{addr})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,7 +316,7 @@ func TestNodeRestartPreservesIndex(t *testing.T) {
 	go func() { _ = srv2.Serve(ln2) }()
 	t.Cleanup(func() { _ = srv2.Close() })
 
-	c2, err := Dial([]string{addr})
+	c2, err := DialContext(context.Background(), []string{addr})
 	if err != nil {
 		t.Fatal(err)
 	}

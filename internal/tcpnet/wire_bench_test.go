@@ -62,7 +62,7 @@ func BenchmarkFrameDecode(b *testing.B) {
 func benchCluster(b *testing.B, opts ...Option) *Client {
 	b.Helper()
 	addrs := startBenchServers(b, 1)
-	c, err := Dial(addrs, opts...)
+	c, err := DialContext(context.Background(), addrs, opts...)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package tcpnet
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"fmt"
 	"math/rand"
@@ -77,7 +78,7 @@ func runWireArm(t *testing.T, addrs *[]string, wire Wire) ([]byte, servedCounter
 		}
 	}()
 
-	c, err := Dial(*addrs, WithWire(wire))
+	c, err := DialContext(context.Background(), *addrs, WithWire(wire))
 	if err != nil {
 		t.Fatal(err)
 	}

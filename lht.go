@@ -159,6 +159,9 @@ var (
 	// leaves: the tree is partially populated, not absent. The error is
 	// always a *PartialLoadError carrying ship counts and the root cause.
 	ErrPartialLoad = ilht.ErrPartialLoad
+	// ErrNoCluster reports a cluster operation (ClusterStatus) against a
+	// substrate without a membership plane.
+	ErrNoCluster = ilht.ErrNoCluster
 )
 
 // PartialLoadError is the error type behind ErrPartialLoad: how many
@@ -200,6 +203,13 @@ func WithThresholds(split, merge int) Option { return ilht.WithThresholds(split,
 // request rate crosses the threshold (requests/sec) splits even below
 // theta_split. 0 (the default) disables the load plane.
 func WithHotSplitRate(rate float64) Option { return ilht.WithHotSplitRate(rate) }
+
+// WithRereplication extends Scrub with a replica-repair pass over
+// substrates with a membership plane (the tcpnet cluster client): after
+// the structural walk, every live storage key is probed on all of its
+// ring owners and missing copies are restored from the highest-epoch
+// survivor. A no-op on other substrates; off by default.
+func WithRereplication(on bool) Option { return ilht.WithRereplication(on) }
 
 // WithHedgedGets enables quantile-triggered hedged reads: an idempotent
 // DHT-get still unanswered after the trigger delay (observed p95,
@@ -315,6 +325,23 @@ type ScrubReport = ilht.ScrubReport
 // contract.
 func (ix *Index) ScrubContext(ctx context.Context) (*ScrubReport, error) {
 	return ix.inner.Scrub(ctx)
+}
+
+// ClusterStatus is the membership view of a self-healing cluster
+// substrate: per member its gossip state and incarnation, the client's
+// breaker verdict, parked hinted-handoff backlogs, and known replica
+// debt.
+type ClusterStatus = dht.ClusterStatus
+
+// MemberStatus is one member's row in a ClusterStatus.
+type MemberStatus = dht.MemberStatus
+
+// ClusterStatus reports the substrate cluster's membership view. It
+// fails with ErrNoCluster when the substrate has no membership plane
+// (anything but the tcpnet cluster client). Status traffic is free in
+// the paper's cost model.
+func (ix *Index) ClusterStatus(ctx context.Context) (ClusterStatus, error) {
+	return ix.inner.ClusterStatus(ctx)
 }
 
 // Count returns the number of indexed records by walking all leaves (an
